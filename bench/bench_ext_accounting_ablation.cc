@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Extension bench — ablation of the charge-based accounting decision.
+ *
+ * The model refers every domain's CHARGE through its generator's
+ * charge-transfer efficiency and multiplies by Vdd (power/domains.h).
+ * The alternative — energy-based accounting (external power = internal
+ * CV^2 energy / an energy efficiency) — predicts power independent of
+ * Vdd and quadratic in the internal rails.
+ *
+ * The paper states which is right: "A variation of 40% would mean that
+ * the power consumption is directly proportional to the value of the
+ * varied parameter. This is only the case for the external supply
+ * voltage Vdd" (Section IV.B) — i.e. datasheet currents are charge
+ * flows, power scales linearly with Vdd, and internal voltages act
+ * linearly through their charge share.
+ *
+ * Shape criteria: under charge accounting P(Vdd) is exactly linear and
+ * P(Vint) sub-linear; under energy accounting P(Vdd) is flat and
+ * P(Vint) super-linear — only the former matches the paper.
+ */
+#include <cstdio>
+
+#include "core/model.h"
+#include "presets/presets.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace vdram;
+
+namespace {
+
+/** Energy-based alternative: external power = sum of internal CV^2
+ *  energies divided by the (same-valued) efficiency, independent of
+ *  Vdd. */
+double
+energyAccountedPower(const DramPowerModel& model, const Pattern& pattern)
+{
+    const ElectricalParams& e = model.description().elec;
+    const OperationSet& ops = model.operations();
+    double loop_energy = 0;
+    auto add = [&](const OperationCharges& charges, double count) {
+        for (int d = 0; d < kDomainCount; ++d) {
+            Domain domain = static_cast<Domain>(d);
+            loop_energy += charges.total().at(domain) *
+                           domainVoltage(domain, e) /
+                           domainEfficiency(domain, e) * count;
+        }
+    };
+    for (Op op : {Op::Act, Op::Pre, Op::Rd, Op::Wr, Op::Ref})
+        add(ops.of(op), pattern.count(op));
+    add(ops.backgroundPerCycle, pattern.cycles());
+    double loop_time = pattern.cycles() *
+                       model.description().timing.tCkSeconds;
+    return loop_energy / loop_time + e.constantCurrent * e.vdd;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== extension: charge-based vs energy-based accounting "
+                "==\n\n");
+
+    DramDescription base = preset2GbDdr3_55();
+    Pattern pattern = base.pattern;
+
+    Table table({"sweep", "factor", "charge-based", "energy-based"});
+    auto evaluate = [&](const DramDescription& desc) {
+        DramPowerModel model(desc);
+        return std::pair<double, double>(
+            model.evaluate(pattern).power,
+            energyAccountedPower(model, pattern));
+    };
+    auto [p0_charge, p0_energy] = evaluate(base);
+
+    double charge_vdd_ratio = 0, energy_vdd_ratio = 0;
+    for (double f : {0.8, 1.0, 1.2}) {
+        DramDescription d = base;
+        d.elec.vdd *= f;
+        auto [pc, pe] = evaluate(d);
+        if (f == 1.2) {
+            charge_vdd_ratio = pc / p0_charge;
+            energy_vdd_ratio = pe / p0_energy;
+        }
+        table.addRow({"Vdd", strformat("%.1f", f),
+                      strformat("%.1f mW (%+.1f%%)", pc * 1e3,
+                                (pc / p0_charge - 1) * 100),
+                      strformat("%.1f mW (%+.1f%%)", pe * 1e3,
+                                (pe / p0_energy - 1) * 100)});
+    }
+    double charge_vint_ratio = 0, energy_vint_ratio = 0;
+    for (double f : {0.8, 1.0, 1.2}) {
+        DramDescription d = base;
+        d.elec.vint *= f;
+        auto [pc, pe] = evaluate(d);
+        if (f == 1.2) {
+            charge_vint_ratio = pc / p0_charge;
+            energy_vint_ratio = pe / p0_energy;
+        }
+        table.addRow({"Vint", strformat("%.1f", f),
+                      strformat("%.1f mW (%+.1f%%)", pc * 1e3,
+                                (pc / p0_charge - 1) * 100),
+                      strformat("%.1f mW (%+.1f%%)", pe * 1e3,
+                                (pe / p0_energy - 1) * 100)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    bool charge_linear_vdd =
+        charge_vdd_ratio > 1.195 && charge_vdd_ratio < 1.205;
+    bool energy_flat_vdd =
+        energy_vdd_ratio > 0.995 && energy_vdd_ratio < 1.01;
+    std::printf("shape: charge accounting makes P directly proportional "
+                "to Vdd (+%.1f%% at +20%%): %s\n",
+                (charge_vdd_ratio - 1) * 100,
+                charge_linear_vdd ? "PASS" : "FAIL");
+    std::printf("shape: energy accounting would make P independent of "
+                "Vdd (+%.1f%%) — contradicting the paper: %s\n",
+                (energy_vdd_ratio - 1) * 100,
+                energy_flat_vdd ? "PASS" : "FAIL");
+    std::printf("shape: Vint acts sub-linearly under charge accounting "
+                "(+%.1f%% < 20%%) and super-linearly under energy "
+                "accounting (+%.1f%% > 20%%): %s\n",
+                (charge_vint_ratio - 1) * 100,
+                (energy_vint_ratio - 1) * 100,
+                charge_vint_ratio < 1.20 && energy_vint_ratio > 1.20
+                    ? "PASS"
+                    : "FAIL");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Extension bench — the three DRAM architecture families of paper
+ * Section II: commodity (cost-optimized main memory), mobile (LP-DDR2
+ * style: low standby current, edge pads, no DLL) and graphics (GDDR5
+ * style: heavily partitioned array for maximum total data rate).
+ *
+ * "These optimizations always yield a higher cost per bit, which may be
+ * acceptable for this application." — the bench shows each family
+ * winning its own metric and paying for it elsewhere.
+ *
+ * Shape criteria: the mobile part has the lowest standby and
+ * self-refresh currents; the graphics part sustains by far the highest
+ * bandwidth (and absolute read current); the commodity part has the
+ * best cost proxy (die area per bit) of the same-node devices.
+ */
+#include <cstdio>
+
+#include "core/model.h"
+#include "presets/presets.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace vdram;
+
+int
+main()
+{
+    std::printf("== extension: commodity vs mobile vs graphics "
+                "architectures ==\n\n");
+
+    struct Family {
+        const char* label;
+        DramDescription desc;
+    };
+    std::vector<Family> families = {
+        {"commodity DDR2-800 x16", preset1GbDdr2(65e-9, 16, 800)},
+        {"mobile LPDDR2-800 x32", presetMobileLpddr2(32)},
+        {"graphics GDDR5-4000 x32", presetGraphicsGddr5(32)},
+    };
+
+    Table table({"family", "bandwidth", "IDD2N", "IDD6", "IDD4R",
+                 "pJ/bit (IDD7-style)", "die mm2/Gb"});
+    std::vector<double> standby, selfref, bandwidth, area_per_gb;
+    for (Family& family : families) {
+        DramPowerModel model(family.desc);
+        const Specification& spec = family.desc.spec;
+        double gb = static_cast<double>(spec.densityBits()) /
+                    (1024.0 * 1024.0 * 1024.0);
+        standby.push_back(model.idd(IddMeasure::Idd2N));
+        selfref.push_back(model.idd(IddMeasure::Idd6));
+        bandwidth.push_back(spec.bandwidth());
+        area_per_gb.push_back(model.area().dieArea * 1e6 / gb);
+        table.addRow({family.label,
+                      strformat("%.1f GB/s", spec.bandwidth() / 8e9),
+                      strformat("%.1f mA",
+                                model.idd(IddMeasure::Idd2N) * 1e3),
+                      strformat("%.1f mA",
+                                model.idd(IddMeasure::Idd6) * 1e3),
+                      strformat("%.0f mA",
+                                model.idd(IddMeasure::Idd4R) * 1e3),
+                      strformat("%.1f", model.energyPerBit() * 1e12),
+                      strformat("%.1f", area_per_gb.back())});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    bool mobile_standby = standby[1] < standby[0] &&
+                          standby[1] < standby[2] &&
+                          selfref[1] < selfref[0] &&
+                          selfref[1] < selfref[2];
+    std::printf("shape: mobile part has the lowest standby and "
+                "self-refresh currents: %s\n",
+                mobile_standby ? "PASS" : "FAIL");
+    bool graphics_bandwidth = bandwidth[2] > 3 * bandwidth[0] &&
+                              bandwidth[2] > 3 * bandwidth[1];
+    std::printf("shape: graphics part sustains > 3x the bandwidth of "
+                "the others: %s\n",
+                graphics_bandwidth ? "PASS" : "FAIL");
+    bool commodity_cost = area_per_gb[0] <= area_per_gb[1] &&
+                          area_per_gb[0] <= area_per_gb[2];
+    std::printf("shape: commodity part has the best die area per Gb "
+                "(cost proxy): %s\n", commodity_cost ? "PASS" : "FAIL");
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Extension bench — ablation of the hierarchical array structure.
+ *
+ * The paper's Section II explains why hierarchical wordlines and array
+ * data lines (Nakamura/Nitta, mid-1990s) are universal: without them
+ * the fired poly wordline and the sensed bitline would span the whole
+ * bank. This bench quantifies that design choice with the same
+ * capacitance model the power engine uses:
+ *
+ *  - energy: the CACTI-lite flat-array comparator vs the hierarchical
+ *    activate budget;
+ *  - timing: a bank-wide poly wordline vs the segmented local wordline.
+ *
+ * Shape criteria: the flat array is several times worse on activate
+ * energy and orders of magnitude worse on wordline rise time — i.e. the
+ * hierarchy is not an optimization but an enabling structure, which is
+ * why a model with the architecture baked in (the paper's CACTI
+ * critique) cannot explore these trade-offs.
+ */
+#include <cstdio>
+
+#include "circuit/rc_timing.h"
+#include "core/model.h"
+#include "datasheet/cacti_lite.h"
+#include "presets/presets.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace vdram;
+
+int
+main()
+{
+    std::printf("== extension: hierarchical vs flat array ablation "
+                "==\n\n");
+
+    DramDescription desc = preset2GbDdr3_55();
+    DramPowerModel model(desc);
+    ArrayGeometry geo = model.geometry();
+    FlatArrayEstimate flat = computeFlatArrayEstimate(desc);
+
+    double hier_act =
+        model.operations().activate.externalEnergy(desc.elec);
+
+    // Flat-wordline timing: one poly wordline across the whole bank
+    // width driven from its edge.
+    ResistanceParams resistance =
+        ResistanceParams::forNode(desc.tech.featureSize);
+    double flat_wl_r = geo.bankWidth *
+                       resistance.localWordlineResistancePerLength;
+    double flat_wl_delay = 0.69 * resistance.lwdDriverResistance *
+                               flat.flatWordlineCap +
+                           0.38 * flat_wl_r * flat.flatWordlineCap;
+    TimingEstimate hier = estimateTiming(desc, geo, resistance);
+
+    Table table({"quantity", "hierarchical", "flat array", "ratio"});
+    table.addRow({"activate energy",
+                  strformat("%.2f nJ", hier_act * 1e9),
+                  strformat("%.2f nJ", flat.activateEnergy * 1e9),
+                  strformat("x%.1f", flat.activateEnergy / hier_act)});
+    table.addRow({"bitline capacitance",
+                  strformat("%.0f fF", desc.tech.bitlineCap * 1e15),
+                  strformat("%.0f fF", flat.flatBitlineCap * 1e15),
+                  strformat("x%.1f",
+                            flat.flatBitlineCap / desc.tech.bitlineCap)});
+    table.addRow({"wordline rise",
+                  strformat("%.2f ns", hier.localWordlineDelay * 1e9),
+                  strformat("%.0f ns", flat_wl_delay * 1e9),
+                  strformat("x%.0f",
+                            flat_wl_delay / hier.localWordlineDelay)});
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("shape: flat activate energy several times worse "
+                "(x%.1f > 3): %s\n", flat.activateEnergy / hier_act,
+                flat.activateEnergy > 3 * hier_act ? "PASS" : "FAIL");
+    std::printf("shape: flat wordline rise orders of magnitude worse "
+                "(x%.0f > 100): %s\n",
+                flat_wl_delay / hier.localWordlineDelay,
+                flat_wl_delay > 100 * hier.localWordlineDelay
+                    ? "PASS"
+                    : "FAIL");
+
+    // Sub-array sizing sweep: the paper's "size of the blocks is
+    // determined by performance requirements" — longer bitlines save
+    // stripe area but cost sense time and activate energy.
+    std::printf("\nsub-array sizing sweep (bits per bitline):\n\n");
+    Table sweep({"bits/BL", "SA stripe share", "activate energy",
+                 "sense time"});
+    for (int bits : {256, 512, 1024}) {
+        DramDescription d = desc;
+        d.arch.bitsPerBitline = bits;
+        d.tech.bitlineCap = desc.tech.bitlineCap * bits / 512.0;
+        DramPowerModel m(d);
+        TimingEstimate t = estimateTiming(
+            d, m.geometry(),
+            ResistanceParams::forNode(d.tech.featureSize));
+        sweep.addRow({strformat("%d", bits),
+                      strformat("%.1f%%",
+                                m.geometry().saStripeAreaShare * 100),
+                      strformat("%.2f nJ",
+                                m.operations().activate.externalEnergy(
+                                    d.elec) * 1e9),
+                      strformat("%.2f ns", t.senseTime * 1e9)});
+    }
+    std::printf("%s\n", sweep.render().c_str());
+    std::printf("shape: shorter bitlines trade stripe area for energy "
+                "and speed (monotone columns): see table\n");
+    return 0;
+}

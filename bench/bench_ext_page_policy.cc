@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Extension bench — page-policy co-design study (paper Section V:
+ * the model "allows evaluating proposals quickly"; system work like
+ * Hur & Lin and the threaded/mini-rank modules of Ware and Zheng turn
+ * on how much row activation a workload amortizes).
+ *
+ * Sweeps workload row locality and compares open-page vs closed-page
+ * scheduling on a 2 Gb DDR3-1333: row-hit rate, power, and energy per
+ * bit. Shape criteria: at zero locality the policies are within a few
+ * percent (every access pays a row cycle either way); open page wins
+ * increasingly with locality; the streaming workload approaches the
+ * IDD4-style floor.
+ */
+#include <cstdio>
+
+#include "core/model.h"
+#include "presets/presets.h"
+#include "protocol/controller.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace vdram;
+
+int
+main()
+{
+    std::printf("== extension: open vs closed page policy across "
+                "workload locality ==\n\n");
+
+    DramDescription desc = preset2GbDdr3_55();
+    DramPowerModel model(desc);
+    WorkloadParams params;
+    params.count = 3000;
+    params.seed = 11;
+
+    Table table({"locality", "hit rate", "open power", "open pJ/bit",
+                 "closed power", "closed pJ/bit", "open advantage"});
+
+    double advantage_at_zero = 0;
+    double advantage_at_max = 0;
+    for (double locality : {0.0, 0.25, 0.5, 0.75, 0.9, 0.95}) {
+        auto accesses =
+            makeLocalityWorkload(desc.spec, params, locality);
+
+        CommandScheduler open_sched(desc.spec, desc.timing,
+                                    PagePolicy::OpenPage);
+        CommandScheduler closed_sched(desc.spec, desc.timing,
+                                      PagePolicy::ClosedPage);
+        ScheduledStream open = open_sched.schedule(accesses);
+        ScheduledStream closed = closed_sched.schedule(accesses);
+
+        PatternPower p_open = model.evaluate(open.pattern);
+        PatternPower p_closed = model.evaluate(closed.pattern);
+        double advantage = 1.0 - p_open.energyPerBit /
+                                     p_closed.energyPerBit;
+        if (locality == 0.0)
+            advantage_at_zero = advantage;
+        advantage_at_max = advantage;
+
+        table.addRow({strformat("%.0f%%", locality * 100),
+                      strformat("%.0f%%",
+                                open.stats.rowHitRate() * 100),
+                      strformat("%.0f mW", p_open.power * 1e3),
+                      strformat("%.1f", p_open.energyPerBit * 1e12),
+                      strformat("%.0f mW", p_closed.power * 1e3),
+                      strformat("%.1f", p_closed.energyPerBit * 1e12),
+                      strformat("%.1f%%", advantage * 100)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    // Streaming reference: the best case of the open-page policy.
+    auto streaming = makeStreamingWorkload(desc.spec, params);
+    CommandScheduler open_sched(desc.spec, desc.timing,
+                                PagePolicy::OpenPage);
+    ScheduledStream stream = open_sched.schedule(streaming);
+    PatternPower p_stream = model.evaluate(stream.pattern);
+    double idd4r_epb =
+        model.iddPattern(IddMeasure::Idd4R).energyPerBit;
+    std::printf("streaming workload: hit rate %.0f%%, %.1f pJ/bit "
+                "(IDD4R floor: %.1f pJ/bit)\n\n",
+                stream.stats.rowHitRate() * 100,
+                p_stream.energyPerBit * 1e12, idd4r_epb * 1e12);
+
+    std::printf("shape: policies near-equal at zero locality "
+                "(|advantage| %.1f%% < 6%%): %s\n",
+                advantage_at_zero * 100,
+                std::abs(advantage_at_zero) < 0.06 ? "PASS" : "FAIL");
+    std::printf("shape: open page wins at high locality (advantage "
+                "%.1f%% > 10%%): %s\n", advantage_at_max * 100,
+                advantage_at_max > 0.10 ? "PASS" : "FAIL");
+    std::printf("shape: streaming approaches the gapless-read floor "
+                "(within 3x): %s\n",
+                p_stream.energyPerBit < 3.0 * idd4r_epb ? "PASS"
+                                                        : "FAIL");
+    return 0;
+}

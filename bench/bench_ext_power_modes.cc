@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Extension bench — DRAM power-mode management (paper Section V,
+ * Hur & Lin [11]: "uses the memory controller to schedule usage of the
+ * power-down modes ... and to throttle DRAM activity").
+ *
+ * Sweeps the idle fraction of a workload and compares three controller
+ * policies: never power down, enter power-down in idle stretches, and
+ * enter self refresh in long idle stretches. Shape criteria: the
+ * policies are indistinguishable at full utilization and diverge toward
+ * the IDD2P/IDD6 floors as the device idles; power-down saves the most
+ * where DRAMs actually idle (low utilization).
+ */
+#include <cstdio>
+
+#include "core/model.h"
+#include "presets/presets.h"
+#include "protocol/idd.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace vdram;
+
+namespace {
+
+/** A loop with one row cycle + bursts followed by an idle stretch that
+ *  the policy spends in NOP, PDN or SRF. */
+Pattern
+dutyCycledPattern(const TimingParams& t, int active_loops, int idle_cycles,
+                  Op idle_op)
+{
+    Pattern p;
+    for (int i = 0; i < active_loops; ++i) {
+        std::vector<Op> burst(static_cast<size_t>(t.tRc), Op::Nop);
+        burst[0] = Op::Act;
+        burst[static_cast<size_t>(t.tRcd)] = Op::Rd;
+        burst[static_cast<size_t>(t.tRas)] = Op::Pre;
+        p.loop.insert(p.loop.end(), burst.begin(), burst.end());
+    }
+    p.loop.insert(p.loop.end(), static_cast<size_t>(idle_cycles),
+                  idle_op);
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== extension: power-mode management (Hur & Lin style) "
+                "==\n\n");
+    DramPowerModel model(preset1GbDdr3(55e-9, 16, 1333));
+    const TimingParams& t = model.description().timing;
+
+    std::printf("floors: IDD2N %.1f mA, IDD2P %.1f mA, IDD6 %.1f mA\n\n",
+                model.idd(IddMeasure::Idd2N) * 1e3,
+                model.idd(IddMeasure::Idd2P) * 1e3,
+                model.idd(IddMeasure::Idd6) * 1e3);
+
+    Table table({"idle fraction", "always on", "power-down idle",
+                 "self-refresh idle", "PD savings"});
+
+    bool diverges = true;
+    double prev_savings = -1;
+    for (double idle : {0.0, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+        // 4 active row cycles plus an idle tail realizing the fraction.
+        int active_loops = 4;
+        int active_cycles = active_loops * t.tRc;
+        int idle_cycles = idle >= 0.999
+            ? active_cycles * 100
+            : static_cast<int>(active_cycles * idle / (1.0 - idle));
+
+        double on = model.evaluate(dutyCycledPattern(
+                                       t, active_loops, idle_cycles,
+                                       Op::Nop))
+                        .power;
+        double pd = model.evaluate(dutyCycledPattern(
+                                       t, active_loops, idle_cycles,
+                                       Op::Pdn))
+                        .power;
+        double sr = model.evaluate(dutyCycledPattern(
+                                       t, active_loops, idle_cycles,
+                                       Op::Srf))
+                        .power;
+        double savings = 1.0 - pd / on;
+        table.addRow({strformat("%.0f%%", idle * 100),
+                      strformat("%.1f mW", on * 1e3),
+                      strformat("%.1f mW", pd * 1e3),
+                      strformat("%.1f mW", sr * 1e3),
+                      strformat("%.1f%%", savings * 100)});
+        if (savings < prev_savings)
+            diverges = false;
+        prev_savings = savings;
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("shape: power-down savings grow monotonically with "
+                "idleness: %s\n", diverges ? "PASS" : "FAIL");
+    std::printf("shape: savings negligible at 0%% idle, large (>40%%) "
+                "at 99%% idle: %s\n",
+                prev_savings > 0.40 ? "PASS" : "FAIL");
+    return 0;
+}

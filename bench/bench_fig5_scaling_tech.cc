@@ -1,0 +1,76 @@
+/**
+ * @file
+ * E5 — Fig. 5: scaling of technology-related parameters vs the f-shrink
+ * line: gate oxide thicknesses, minimum channel length, junction
+ * capacitance and cell access transistor size over the 170 nm .. 16 nm
+ * ladder, normalized to the 90 nm node.
+ *
+ * Shape criteria: every parameter family shrinks monotonically but more
+ * slowly than the feature size; the average feature shrink is ~16 % per
+ * generation.
+ */
+#include <cstdio>
+
+#include <cmath>
+
+#include "tech/generations.h"
+#include "tech/scaling.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace vdram;
+
+int
+main()
+{
+    std::printf("== Fig. 5: scaling of technology related parameters "
+                "==\n\n");
+
+    const ScalingCurveId families[] = {
+        ScalingCurveId::FeatureSize, ScalingCurveId::GateOxide,
+        ScalingCurveId::MinLength, ScalingCurveId::JunctionCap,
+        ScalingCurveId::AccessTransistor,
+    };
+
+    std::vector<std::string> headers = {"node"};
+    for (ScalingCurveId id : families)
+        headers.push_back(scalingCurveName(id));
+    Table table(headers);
+
+    for (const GenerationInfo& gen : generationLadder()) {
+        std::vector<std::string> row = {
+            strformat("%.0f nm", gen.featureSize * 1e9)};
+        for (ScalingCurveId id : families) {
+            row.push_back(
+                strformat("%.2f", scalingFactor(id, gen.featureSize)));
+        }
+        table.addRow(row);
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    // Shape: slower-than-f scaling at the end of the roadmap.
+    bool slower = true;
+    double f16 = scalingFactor(ScalingCurveId::FeatureSize, 16e-9);
+    for (ScalingCurveId id : families) {
+        if (id == ScalingCurveId::FeatureSize)
+            continue;
+        if (scalingFactor(id, 16e-9) <= f16)
+            slower = false;
+    }
+    std::printf("shape: technology parameters shrink more slowly than "
+                "f: %s\n", slower ? "PASS" : "FAIL");
+
+    double log_sum = 0;
+    int steps = 0;
+    const auto& ladder = generationLadder();
+    for (size_t i = 1; i < ladder.size(); ++i) {
+        log_sum +=
+            std::log(ladder[i].featureSize / ladder[i - 1].featureSize);
+        ++steps;
+    }
+    double shrink = 1.0 - std::exp(log_sum / steps);
+    std::printf("shape: average feature shrink per generation %.1f%% "
+                "(paper: 16%%): %s\n", shrink * 100,
+                std::fabs(shrink - 0.16) < 0.03 ? "PASS" : "FAIL");
+    return 0;
+}

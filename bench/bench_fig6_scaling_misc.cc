@@ -1,0 +1,67 @@
+/**
+ * @file
+ * E6 — Fig. 6: scaling of bitline and cell capacitance, the average
+ * logic device width and the SA/LWD stripe widths, normalized to 90 nm.
+ *
+ * Shape criteria: cell capacitance nearly constant (capacitor innovation
+ * compensates the shrink); bitline capacitance shrinks slowly; specific
+ * wire capacitance nearly flat with a visible Cu step at 44 nm
+ * (Table II); stripe widths shrink slower than f.
+ */
+#include <cstdio>
+
+#include "tech/generations.h"
+#include "tech/scaling.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace vdram;
+
+int
+main()
+{
+    std::printf("== Fig. 6: scaling of miscellaneous technology "
+                "parameters ==\n\n");
+
+    const ScalingCurveId families[] = {
+        ScalingCurveId::FeatureSize, ScalingCurveId::BitlineCap,
+        ScalingCurveId::CellCap, ScalingCurveId::WireCap,
+        ScalingCurveId::LogicWidth, ScalingCurveId::StripeWidth,
+    };
+
+    std::vector<std::string> headers = {"node"};
+    for (ScalingCurveId id : families)
+        headers.push_back(scalingCurveName(id));
+    Table table(headers);
+    for (const GenerationInfo& gen : generationLadder()) {
+        std::vector<std::string> row = {
+            strformat("%.0f nm", gen.featureSize * 1e9)};
+        for (ScalingCurveId id : families) {
+            row.push_back(
+                strformat("%.2f", scalingFactor(id, gen.featureSize)));
+        }
+        table.addRow(row);
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    double cell_ratio = scalingFactor(ScalingCurveId::CellCap, 170e-9) /
+                        scalingFactor(ScalingCurveId::CellCap, 16e-9);
+    std::printf("shape: cell capacitance nearly constant (170nm/16nm "
+                "ratio %.2f < 1.35): %s\n", cell_ratio,
+                cell_ratio < 1.35 ? "PASS" : "FAIL");
+
+    double cu_step = scalingFactor(ScalingCurveId::WireCap, 55e-9) -
+                     scalingFactor(ScalingCurveId::WireCap, 44e-9);
+    double pre_step = scalingFactor(ScalingCurveId::WireCap, 65e-9) -
+                      scalingFactor(ScalingCurveId::WireCap, 55e-9);
+    std::printf("shape: Cu metallization step visible at 44nm (step "
+                "%.3f vs %.3f before): %s\n", cu_step, pre_step,
+                cu_step > 3 * pre_step ? "PASS" : "FAIL");
+
+    bool stripes_slower =
+        scalingFactor(ScalingCurveId::StripeWidth, 16e-9) >
+        scalingFactor(ScalingCurveId::FeatureSize, 16e-9);
+    std::printf("shape: stripe widths shrink slower than f: %s\n",
+                stripes_slower ? "PASS" : "FAIL");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * E7 — Fig. 7: scaling of the core device sizes — the bitline
+ * sense-amplifier devices and the on-pitch row circuit devices —
+ * compared to the f-shrink line, plus the resulting absolute device
+ * values of the scaled technology at each node.
+ *
+ * Shape criteria: both families shrink monotonically, slower than f;
+ * width-over-length ratios of the scaled devices stay constant (the
+ * paper's stated scaling rule).
+ */
+#include <cstdio>
+
+#include "core/builder.h"
+#include "tech/generations.h"
+#include "tech/scaling.h"
+#include "util/numerics.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace vdram;
+
+int
+main()
+{
+    std::printf("== Fig. 7: scaling of core device width and length "
+                "==\n\n");
+
+    Table table({"node", "f-shrink", "SA devices", "row core devices",
+                 "SA sense W (um)", "SWD NMOS W (um)"});
+    TechnologyParams ref = referenceTechnology90nm();
+    for (const GenerationInfo& gen : generationLadder()) {
+        TechnologyParams scaled =
+            scaleTechnology(ref, gen.featureSize);
+        table.addRow({strformat("%.0f nm", gen.featureSize * 1e9),
+                      strformat("%.2f",
+                                scalingFactor(ScalingCurveId::FeatureSize,
+                                              gen.featureSize)),
+                      strformat("%.2f",
+                                scalingFactor(
+                                    ScalingCurveId::SenseAmpDevice,
+                                    gen.featureSize)),
+                      strformat("%.2f",
+                                scalingFactor(
+                                    ScalingCurveId::RowCoreDevice,
+                                    gen.featureSize)),
+                      strformat("%.3f", scaled.widthSaSenseN * 1e6),
+                      strformat("%.3f", scaled.widthSwdN * 1e6)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    bool slower =
+        scalingFactor(ScalingCurveId::SenseAmpDevice, 16e-9) >
+            scalingFactor(ScalingCurveId::FeatureSize, 16e-9) &&
+        scalingFactor(ScalingCurveId::RowCoreDevice, 16e-9) >
+            scalingFactor(ScalingCurveId::FeatureSize, 16e-9);
+    std::printf("shape: core devices shrink slower than f: %s\n",
+                slower ? "PASS" : "FAIL");
+
+    // W/L of the sense pair is preserved by scaling (same family).
+    TechnologyParams small = scaleTechnology(ref, 22e-9);
+    double wl_ref = ref.widthSaSenseN / ref.lengthSaSenseN;
+    double wl_small = small.widthSaSenseN / small.lengthSaSenseN;
+    std::printf("shape: sense-pair W/L preserved under scaling "
+                "(%.2f vs %.2f): %s\n", wl_ref, wl_small,
+                approxEqual(wl_ref, wl_small, 1e-6) ? "PASS" : "FAIL");
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * E2 — Fig. 9: model vs datasheet for 1 Gb DDR3, evaluated for a typical
+ * 65 nm and a typical 55 nm part against the vendor band
+ * (Samsung/Hynix/Micron/Elpida/Qimonda envelopes).
+ *
+ * Shape criteria as for Fig. 8: values inside the (15 %-widened) vendor
+ * band with the correct frequency/width/operation dependency.
+ */
+#include <cstdio>
+
+#include "core/model.h"
+#include "datasheet/reference_data.h"
+#include "presets/presets.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace vdram;
+
+int
+main()
+{
+    std::printf("== Fig. 9: model vs datasheet, 1Gb DDR3 ==\n\n");
+
+    Table table({"point", "datasheet min", "datasheet max", "model 65nm",
+                 "model 55nm", "verdict"});
+
+    int in_band = 0;
+    int total = 0;
+    bool monotone = true;
+    double prev = 0;
+    IddMeasure prev_measure = IddMeasure::Idd0;
+
+    for (const DatasheetPoint& point : ddr3_1gb_datasheet()) {
+        double values[2];
+        int i = 0;
+        for (double node : {65e-9, 55e-9}) {
+            DramPowerModel model(preset1GbDdr3(node, point.ioWidth,
+                                               point.dataRateMbps));
+            values[i++] = model.idd(point.measure) * 1e3;
+        }
+        auto inside = [&](double v) {
+            return v >= point.minMa * 0.85 && v <= point.maxMa * 1.15;
+        };
+        bool ok = inside(values[0]) || inside(values[1]);
+        in_band += ok;
+        ++total;
+
+        if (point.measure == prev_measure && prev > 0 &&
+            values[1] < prev) {
+            monotone = false;
+        }
+        prev = values[1];
+        prev_measure = point.measure;
+
+        table.addRow({point.label(),
+                      strformat("%.0f mA", point.minMa),
+                      strformat("%.0f mA", point.maxMa),
+                      strformat("%.1f mA", values[0]),
+                      strformat("%.1f mA", values[1]),
+                      ok ? "in band" : "OUT"});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("shape: %d / %d points within the vendor band: %s\n",
+                in_band, total, in_band == total ? "PASS" : "FAIL");
+    std::printf("shape: current rises with data rate and I/O width "
+                "within each measure: %s\n",
+                monotone ? "PASS" : "FAIL");
+
+    // DDR3 at 1.5 V draws less standby and row current than DDR2 at
+    // 1.8 V for the same density — the datasheet-visible interface gain.
+    DramPowerModel ddr3(preset1GbDdr3(65e-9, 16, 1066));
+    DramPowerModel ddr2(preset1GbDdr2(65e-9, 16, 800));
+    bool interface_gain =
+        ddr3.energyPerBit() < ddr2.energyPerBit();
+    std::printf("shape: DDR3 (1.5V) more efficient per bit than DDR2 "
+                "(1.8V) at the same node: %s\n",
+                interface_gain ? "PASS" : "FAIL");
+    return 0;
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * E14 — google-benchmark microbenchmarks of the model itself: full model
+ * construction (the Fig. 4 pipeline), pattern evaluation, IDD loops,
+ * sensitivity sweeps and DSL parsing. The analytical model must stay
+ * fast enough to sit inside architecture-exploration loops (thousands of
+ * evaluations per second).
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/model.h"
+#include "core/sensitivity.h"
+#include "dsl/parser.h"
+#include "dsl/writer.h"
+#include "presets/presets.h"
+#include "protocol/bank_fsm.h"
+#include "protocol/controller.h"
+
+namespace {
+
+using namespace vdram;
+
+void
+BM_ModelConstruction(benchmark::State& state)
+{
+    DramDescription desc = preset1GbDdr3(55e-9, 16, 1333);
+    for (auto _ : state) {
+        DramPowerModel model(desc);
+        benchmark::DoNotOptimize(model.operations());
+    }
+}
+BENCHMARK(BM_ModelConstruction);
+
+void
+BM_PatternEvaluation(benchmark::State& state)
+{
+    DramPowerModel model(preset1GbDdr3(55e-9, 16, 1333));
+    Pattern pattern = model.description().pattern;
+    for (auto _ : state) {
+        PatternPower power = model.evaluate(pattern);
+        benchmark::DoNotOptimize(power.power);
+    }
+}
+BENCHMARK(BM_PatternEvaluation);
+
+void
+BM_FullIddTable(benchmark::State& state)
+{
+    DramPowerModel model(preset1GbDdr3(55e-9, 16, 1333));
+    for (auto _ : state) {
+        double sum = 0;
+        for (IddMeasure m : {IddMeasure::Idd0, IddMeasure::Idd2N,
+                             IddMeasure::Idd4R, IddMeasure::Idd4W,
+                             IddMeasure::Idd5, IddMeasure::Idd7}) {
+            sum += model.idd(m);
+        }
+        benchmark::DoNotOptimize(sum);
+    }
+}
+BENCHMARK(BM_FullIddTable);
+
+void
+BM_BuildCommodityDescription(benchmark::State& state)
+{
+    const GenerationInfo& gen = generationAt(55e-9);
+    for (auto _ : state) {
+        DramDescription desc = buildCommodityDescription(gen, {});
+        benchmark::DoNotOptimize(desc.signals.size());
+    }
+}
+BENCHMARK(BM_BuildCommodityDescription);
+
+void
+BM_SensitivitySweepGrouped(benchmark::State& state)
+{
+    DramDescription desc = preset1GbDdr3(55e-9, 16, 1333);
+    for (auto _ : state) {
+        SensitivityAnalyzer analyzer(desc);
+        auto results = analyzer.analyze(0.20);
+        benchmark::DoNotOptimize(results.size());
+    }
+}
+BENCHMARK(BM_SensitivitySweepGrouped);
+
+void
+BM_DslParse(benchmark::State& state)
+{
+    std::string text = writeDescription(preset1GbDdr3(55e-9, 16, 1333));
+    for (auto _ : state) {
+        auto result = parseDescription(text);
+        benchmark::DoNotOptimize(result.ok());
+    }
+}
+BENCHMARK(BM_DslParse);
+
+void
+BM_DslWrite(benchmark::State& state)
+{
+    DramDescription desc = preset1GbDdr3(55e-9, 16, 1333);
+    for (auto _ : state) {
+        std::string text = writeDescription(desc);
+        benchmark::DoNotOptimize(text.size());
+    }
+}
+BENCHMARK(BM_DslWrite);
+
+void
+BM_ControllerScheduling(benchmark::State& state)
+{
+    DramDescription desc = preset1GbDdr3(55e-9, 16, 1333);
+    WorkloadParams params;
+    params.count = 1000;
+    auto accesses = makeLocalityWorkload(desc.spec, params, 0.6);
+    for (auto _ : state) {
+        CommandScheduler scheduler(desc.spec, desc.timing,
+                                   PagePolicy::OpenPage);
+        ScheduledStream stream = scheduler.schedule(accesses);
+        benchmark::DoNotOptimize(stream.stats.rowHits);
+    }
+    state.SetItemsProcessed(state.iterations() * params.count);
+}
+BENCHMARK(BM_ControllerScheduling);
+
+void
+BM_PatternCheck(benchmark::State& state)
+{
+    DramDescription desc = preset1GbDdr3(55e-9, 16, 1333);
+    Pattern pattern = desc.pattern;
+    for (auto _ : state) {
+        PatternCheckResult result =
+            checkPattern(pattern, desc.timing, desc.spec.banks());
+        benchmark::DoNotOptimize(result.ok());
+    }
+}
+BENCHMARK(BM_PatternCheck);
+
+} // namespace
+
+BENCHMARK_MAIN();

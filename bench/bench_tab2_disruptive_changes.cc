@@ -1,0 +1,85 @@
+/**
+ * @file
+ * E11 — Table II: disruptive DRAM technology changes. Prints the table
+ * and quantifies the model-visible effect of each encoded transition:
+ * the 8F2->6F2 and 6F2->4F2 cell architecture steps (die area), the Cu
+ * metallization step (wire capacitance), the cells-per-bitline step
+ * (sub-array count), and the access transistor transitions (scaling
+ * curve flattening).
+ */
+#include <cstdio>
+
+#include "core/builder.h"
+#include "core/model.h"
+#include "tech/disruptive.h"
+#include "tech/scaling.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace vdram;
+
+int
+main()
+{
+    std::printf("== Table II: disruptive DRAM technology changes ==\n\n");
+
+    Table table({"transition", "disruptive change", "background"});
+    for (const DisruptiveChange& c : disruptiveChanges()) {
+        table.addRow({strformat("%.0f -> %.0f nm", c.fromNode * 1e9,
+                                c.toNode * 1e9),
+                      c.change, c.background});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("model-visible effects of the encoded transitions:\n\n");
+
+    // 8F2 folded -> 6F2 open at 75 -> 65 nm: cell area per bit falls by
+    // more than the pure f-shrink.
+    DramPowerModel m75(buildCommodityAt(75e-9));
+    DramPowerModel m65(buildCommodityAt(65e-9));
+    double cell75 = m75.area().cellArea /
+                    static_cast<double>(
+                        m75.description().spec.densityBits());
+    double cell65 = m65.area().cellArea /
+                    static_cast<double>(
+                        m65.description().spec.densityBits());
+    double f_shrink2 = (65.0 * 65.0) / (75.0 * 75.0);
+    double measured = cell65 / cell75;
+    std::printf("  8F2 -> 6F2 (75->65nm): cell area per bit x%.2f vs "
+                "pure f-shrink x%.2f: %s\n", measured, f_shrink2,
+                measured < f_shrink2 * 0.85 ? "PASS" : "FAIL");
+
+    // Cells-per-bitline step at 110 -> 90 nm halves the number of
+    // sub-array rows per bank row count.
+    NodeArchitecture a110 = nodeArchitecture(110e-9);
+    NodeArchitecture a90 = nodeArchitecture(90e-9);
+    std::printf("  cells per bitline (110->90nm): %d -> %d: %s\n",
+                a110.bitsPerBitline, a90.bitsPerBitline,
+                a90.bitsPerBitline == 2 * a110.bitsPerBitline ? "PASS"
+                                                              : "FAIL");
+
+    // Cu metallization at 55 -> 44 nm: wire capacitance steps down.
+    double cu = scalingFactorBetween(ScalingCurveId::WireCap, 55e-9,
+                                     44e-9);
+    double before = scalingFactorBetween(ScalingCurveId::WireCap, 65e-9,
+                                         55e-9);
+    std::printf("  Cu metallization (55->44nm): wire cap x%.3f vs "
+                "x%.3f in the prior step: %s\n", cu, before,
+                cu < before ? "PASS" : "FAIL");
+
+    // 3D access transistor at 90 -> 75 nm: device shrink decouples
+    // from f.
+    double dev = scalingFactorBetween(ScalingCurveId::AccessTransistor,
+                                      90e-9, 75e-9);
+    double f = scalingFactorBetween(ScalingCurveId::FeatureSize, 90e-9,
+                                    75e-9);
+    std::printf("  3D access transistor (90->75nm): device x%.2f vs f "
+                "x%.2f: %s\n", dev, f, dev > f ? "PASS" : "FAIL");
+
+    // 4F2 with vertical transistor at 40 -> 36 nm.
+    NodeArchitecture a36 = nodeArchitecture(36e-9);
+    std::printf("  4F2 vertical cell (40->36nm): cell factor %dF2: %s\n",
+                a36.cellAreaFactorF2,
+                a36.cellAreaFactorF2 == 4 ? "PASS" : "FAIL");
+    return 0;
+}

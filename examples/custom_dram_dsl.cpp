@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Description-language walkthrough: load a DRAM from a .dram file in the
+ * paper's input language, run the syntax check, evaluate it, and then
+ * demonstrate a quick architecture experiment by editing the parsed
+ * description in place (what the flexible-description approach is for).
+ *
+ * Usage: example_custom_dram_dsl [path/to/device.dram]
+ * Without an argument, well-known relative locations of the bundled
+ * examples/data/ddr3_1gb.dram are tried.
+ */
+#include <cstdio>
+
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "core/report.h"
+#include "dsl/parser.h"
+#include "dsl/writer.h"
+#include "util/strings.h"
+
+using namespace vdram;
+
+int
+main(int argc, char** argv)
+{
+    // Locate the description file.
+    std::vector<std::string> candidates;
+    if (argc > 1) {
+        candidates.push_back(argv[1]);
+    } else {
+        candidates = {
+            "examples/data/ddr3_1gb.dram",
+            "../examples/data/ddr3_1gb.dram",
+            "../../examples/data/ddr3_1gb.dram",
+        };
+    }
+
+    Result<DramDescription> parsed = Error{"no candidate path tried"};
+    std::string used_path;
+    for (const std::string& path : candidates) {
+        parsed = parseDescriptionFile(path);
+        if (parsed.ok() ||
+            parsed.error().message.find("cannot open") ==
+                std::string::npos) {
+            used_path = path;
+            break;
+        }
+    }
+    if (!parsed.ok()) {
+        std::fprintf(stderr, "parse failed (%s): %s\n",
+                     used_path.c_str(),
+                     parsed.error().toString().c_str());
+        return 1;
+    }
+    DramDescription desc = std::move(parsed).value();
+    std::printf("parsed '%s' from %s\n\n", desc.name.c_str(),
+                used_path.c_str());
+
+    // Evaluate the device exactly as described.
+    DramPowerModel model(desc);
+    std::printf("%s\n", renderSummary(model).c_str());
+    std::printf("%s\n", renderIddTable(model).c_str());
+
+    // --- a quick experiment: what does doubling the prefetch buy? -------
+    // (The paper's flexibility argument: change the description, not
+    // the model code.)
+    DramDescription experiment = desc;
+    experiment.name = desc.name + " (2x data rate via 16n prefetch)";
+    experiment.spec.prefetch *= 2;
+    experiment.spec.dataRate *= 2;
+    experiment.spec.controlClockFrequency *= 2;
+    experiment.spec.dataClockFrequency *= 2;
+    experiment.tech.bitsPerColumnSelect *= 2;
+    // The internal data busses widen with the prefetch.
+    for (SignalNet& net : experiment.signals) {
+        if (net.role == SignalRole::ReadData ||
+            net.role == SignalRole::WriteData) {
+            net.wireCount *= 2;
+        }
+    }
+    // Keep analog row timings: recompute the cycle counts at the new
+    // clock.
+    experiment.timing.tCkSeconds /= 2;
+    experiment.timing.tRc *= 2;
+    experiment.timing.tRcd *= 2;
+    experiment.timing.tRp *= 2;
+    experiment.timing.tRas *= 2;
+
+    DramPowerModel faster(experiment);
+    PatternPower base_power = model.iddPattern(IddMeasure::Idd4R);
+    PatternPower fast_power = faster.iddPattern(IddMeasure::Idd4R);
+
+    std::printf("prefetch experiment (IDD4R streaming):\n");
+    std::printf("  base:      %6.1f mA, %5.2f GB/s, %5.1f pJ/bit\n",
+                base_power.externalCurrent * 1e3,
+                desc.spec.bandwidth() / 8e9,
+                base_power.energyPerBit * 1e12);
+    std::printf("  2x rate:   %6.1f mA, %5.2f GB/s, %5.1f pJ/bit\n",
+                fast_power.externalCurrent * 1e3,
+                experiment.spec.bandwidth() / 8e9,
+                fast_power.energyPerBit * 1e12);
+    std::printf("Doubling the bandwidth through a wider prefetch keeps "
+                "the energy per bit\nnearly flat (%.1f -> %.1f pJ/bit): "
+                "the row path and the core frequency are\nuntouched — "
+                "exactly the paper's assumption for the DDR4/DDR5 "
+                "roadmap.\n\n",
+                base_power.energyPerBit * 1e12,
+                fast_power.energyPerBit * 1e12);
+
+    // Round-trip: emit the modified device back as DSL text (first
+    // lines shown).
+    std::string emitted = writeDescription(experiment);
+    std::printf("the experiment as a description (first lines):\n");
+    size_t pos = 0;
+    for (int line = 0; line < 8 && pos != std::string::npos; ++line) {
+        size_t end = emitted.find('\n', pos);
+        std::printf("  %s\n",
+                    emitted.substr(pos, end - pos).c_str());
+        pos = end == std::string::npos ? end : end + 1;
+    }
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Datasheet comparison walkthrough: evaluate the model against the
+ * vendor IDD bands for 1 Gb DDR2 and DDR3 parts (the paper's Figs. 8
+ * and 9 in miniature), then feed the model's own IDD ratings into the
+ * Micron-style datasheet power calculator and compare the two
+ * estimates for a realistic usage profile — showing how the analytical
+ * model and the datasheet method relate.
+ */
+#include <cstdio>
+
+#include "core/model.h"
+#include "datasheet/datasheet_model.h"
+#include "datasheet/reference_data.h"
+#include "signal/io_power.h"
+#include "presets/presets.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace vdram;
+
+int
+main()
+{
+    // --- model vs vendor band ------------------------------------------
+    std::printf("model vs vendor datasheet band, 1Gb DDR3 55nm:\n\n");
+    Table table({"point", "vendor band", "model"});
+    for (const DatasheetPoint& point : ddr3_1gb_datasheet()) {
+        DramPowerModel model(
+            preset1GbDdr3(55e-9, point.ioWidth, point.dataRateMbps));
+        table.addRow({point.label(),
+                      strformat("%.0f..%.0f mA", point.minMa,
+                                point.maxMa),
+                      strformat("%.1f mA",
+                                model.idd(point.measure) * 1e3)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    // --- analytical model feeding the datasheet calculator ---------------
+    DramPowerModel model(preset1GbDdr3(55e-9, 16, 1333));
+    DatasheetRatings ratings;
+    ratings.vdd = model.description().elec.vdd;
+    ratings.idd0 = model.idd(IddMeasure::Idd0);
+    ratings.idd2n = model.idd(IddMeasure::Idd2N);
+    ratings.idd3n = model.idd(IddMeasure::Idd3N);
+    ratings.idd4r = model.idd(IddMeasure::Idd4R);
+    ratings.idd4w = model.idd(IddMeasure::Idd4W);
+    ratings.idd5 = model.idd(IddMeasure::Idd5);
+    ratings.tRc = model.description().timing.tRcSeconds();
+    ratings.tRas = model.description().timing.tRas *
+                   model.description().timing.tCkSeconds;
+
+    UsageProfile usage;
+    usage.bankActiveFraction = 0.8;
+    usage.rowCycleUtilization = 0.35;
+    usage.readFraction = 0.30;
+    usage.writeFraction = 0.15;
+
+    DatasheetPower estimate = computeDatasheetPower(ratings, usage);
+    std::printf("datasheet-calculator estimate for a 45%%-utilized "
+                "system:\n");
+    Table breakdown({"contribution", "power"});
+    breakdown.addRow({"background", formatEng(estimate.background, "W")});
+    breakdown.addRow({"activate/precharge",
+                      formatEng(estimate.activate, "W")});
+    breakdown.addRow({"read", formatEng(estimate.read, "W")});
+    breakdown.addRow({"write", formatEng(estimate.write, "W")});
+    breakdown.addRow({"refresh", formatEng(estimate.refresh, "W")});
+    breakdown.addSeparator();
+    breakdown.addRow({"total", formatEng(estimate.total, "W")});
+    std::printf("%s\n", breakdown.render().c_str());
+
+    std::printf("The datasheet method can only describe this existing "
+                "part;\nthe analytical model can additionally say WHERE "
+                "the power goes\n(see quickstart) and extrapolate to "
+                "future nodes (see ddr5_forecast).\n\n");
+
+    // --- what neither IDD view contains: the interface (Vddq) domain ----
+    // The paper scopes link power out of the device model (Section
+    // III.A); at SSTL termination it rivals the core.
+    IoConfig link = defaultIoConfig(model.description().elec.vdd,
+                                    /*pod_termination=*/false);
+    IoPower io = computeIoPower(link, model.description().spec);
+    double core_read = model.iddPattern(IddMeasure::Idd4R).power;
+    std::printf("link-side (Vddq) power while streaming reads: %s "
+                "(core: %s)\n",
+                formatEng(io.average(1.0, 0.0), "W").c_str(),
+                formatEng(core_read, "W").c_str());
+    std::printf("\"The power in this voltage domain ... has to be "
+                "calculated based on the\nproperties of the link between "
+                "DRAM and controller\" (paper, Section III.A).\n");
+    return 0;
+}

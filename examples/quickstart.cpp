@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Quickstart: build a 1 Gb DDR3-1333 x16 description, evaluate the
+ * standard IDD loops and the default pattern, and print the full power
+ * breakdown — the minimal end-to-end tour of the public API.
+ */
+#include <cstdio>
+
+#include "core/model.h"
+#include "core/report.h"
+#include "presets/presets.h"
+
+int
+main()
+{
+    using namespace vdram;
+
+    // 1. Start from a preset description (or build your own via
+    //    buildCommodityDescription / the DSL parser).
+    DramDescription desc = preset1GbDdr3(55e-9, 16, 1333);
+
+    // 2. Construct the model: this computes every wire and device
+    //    capacitance and the per-operation charge budgets (paper Fig. 4).
+    DramPowerModel model(desc);
+
+    std::printf("%s\n", renderSummary(model).c_str());
+
+    // 3. Datasheet-comparable currents.
+    std::printf("Standard IDD measurements:\n%s\n",
+                renderIddTable(model).c_str());
+
+    // 4. Where does the power go? Component breakdown of the default
+    //    (IDD7-style) pattern.
+    PatternPower power = model.evaluateDefault();
+    std::printf("Default pattern component breakdown:\n%s\n",
+                renderBreakdown(power).c_str());
+    std::printf("Per-operation split:\n%s\n",
+                renderOperationSplit(power).c_str());
+    std::printf("Per-voltage-domain split (power system view):\n%s\n",
+                renderDomainSplit(power).c_str());
+
+    // 5. Per-command energies (comparable to DRAMPower-style tools).
+    std::printf("Per-command external energies:\n%s\n",
+                renderOperationEnergies(model).c_str());
+
+    // 6. Geometry that the energy numbers rest on.
+    std::printf("Die geometry:\n%s\n",
+                renderAreaReport(model.area()).c_str());
+
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * System-level walkthrough: the full trace -> controller -> power
+ * pipeline. Generates workloads with different row locality, schedules
+ * them under open- and closed-page policies, evaluates power, and shows
+ * the cycle-resolved current profile (peak vs average — what the power
+ * delivery network sees). This is the co-design loop the paper's
+ * Section V calls for, in ~80 lines of user code.
+ */
+#include <cstdio>
+
+#include "core/model.h"
+#include "core/report.h"
+#include "power/current_profile.h"
+#include "presets/presets.h"
+#include "protocol/controller.h"
+#include "protocol/trace.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace vdram;
+
+int
+main()
+{
+    DramDescription desc = preset2GbDdr3_55();
+    DramPowerModel model(desc);
+    std::printf("device: %s\n", renderSummary(model).c_str());
+
+    // --- workloads through the controller -------------------------------
+    WorkloadParams params;
+    params.count = 2000;
+    params.writeFraction = 0.3;
+
+    Table table({"workload", "policy", "hit rate", "power", "pJ/bit",
+                 "bus util"});
+    struct Case {
+        const char* name;
+        std::vector<MemoryAccess> accesses;
+    };
+    std::vector<Case> cases = {
+        {"random", makeRandomWorkload(desc.spec, params)},
+        {"70% locality", makeLocalityWorkload(desc.spec, params, 0.7)},
+        {"streaming", makeStreamingWorkload(desc.spec, params)},
+    };
+    for (const Case& c : cases) {
+        for (PagePolicy policy :
+             {PagePolicy::OpenPage, PagePolicy::ClosedPage}) {
+            CommandScheduler scheduler(desc.spec, desc.timing, policy);
+            ScheduledStream stream = scheduler.schedule(c.accesses);
+            PatternPower power = model.evaluate(stream.pattern);
+            table.addRow({c.name,
+                          policy == PagePolicy::OpenPage ? "open"
+                                                         : "closed",
+                          strformat("%.0f%%",
+                                    stream.stats.rowHitRate() * 100),
+                          strformat("%.0f mW", power.power * 1e3),
+                          strformat("%.1f",
+                                    power.energyPerBit * 1e12),
+                          strformat("%.0f%%",
+                                    power.busUtilization * 100)});
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    // --- the power-delivery view: peak vs average current ---------------
+    Pattern idd0 = makeIddPattern(IddMeasure::Idd0, desc.spec,
+                                  desc.timing);
+    CurrentProfile profile = computeCurrentProfile(
+        idd0, model.operations(), desc.elec, desc.timing);
+    std::printf("IDD0 current profile: average %.0f mA, peak %.0f mA "
+                "at cycle %d (crest factor %.1f)\n",
+                profile.average * 1e3, profile.peak * 1e3,
+                profile.peakCycle, profile.crestFactor());
+    std::printf("The row-activation charge dump sizes the on-die "
+                "regulators and decoupling,\nnot the average IDD — the "
+                "same charge budget answers both questions.\n\n");
+
+    // --- traces are plain text ------------------------------------------
+    std::string trace_text = writeTrace(
+        {cases[0].accesses.begin(), cases[0].accesses.begin() + 3});
+    std::printf("traces serialize as text (first lines):\n%s",
+                trace_text.c_str());
+    return 0;
+}

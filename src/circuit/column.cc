@@ -1,0 +1,68 @@
+#include "circuit/column.h"
+
+#include <cmath>
+
+namespace vdram {
+
+ColumnPathLoads
+computeColumnPathLoads(const TechnologyParams& tech,
+                       const ArrayArchitecture& arch,
+                       const ArrayGeometry& geometry,
+                       const SenseAmpLoads& sa,
+                       int column_address_bits)
+{
+    (void)arch;
+    ColumnPathLoads loads;
+
+    // Column select line: spans the bank height (times the number of
+    // array blocks sharing it) on M3 and drives the bit-switch gates of
+    // the bitline pairs it selects.
+    loads.columnSelectCap =
+        geometry.columnSelectLength * tech.wireCapSignal +
+        tech.bitsPerColumnSelect * sa.bitSwitchGateCapPerPair;
+
+    // Local array data line: runs along the sense-amplifier stripe and
+    // sees the bit-switch junctions of the pairs multiplexed onto it.
+    // A typical stripe multiplexes on the order of the column-decode
+    // fan-in onto each local data line; 8 junctions is representative.
+    constexpr double kJunctionsPerLocalLine = 8.0;
+    loads.localDataLineCap =
+        geometry.localDataLineLength * tech.wireCapSignal +
+        kJunctionsPerLocalLine * sa.bitSwitchJunctionCap;
+
+    // Secondary sense-amplifier: input gates comparable to two sense
+    // pairs of the bitline sense-amplifier.
+    loads.secondarySenseAmpCap =
+        2.0 * (tech.gateCapLogic(tech.widthSaSenseN, tech.lengthSaSenseN) +
+               tech.gateCapLogic(tech.widthSaSenseP, tech.lengthSaSenseP));
+
+    // Master array data line: M3 wire over the bank height, a switch
+    // junction per sense-amplifier stripe it crosses, and the secondary
+    // sense-amplifier input at its end.
+    loads.masterDataLineCap =
+        geometry.masterDataLineLength * tech.wireCapSignal +
+        geometry.subarrayRows * sa.bitSwitchJunctionCap +
+        loads.secondarySenseAmpCap;
+
+    // Column decoder: same pre-decode structure as the row decoder but
+    // across the column logic stripe (bank width).
+    const double group_bits = std::max(1.0, tech.predecodeMasterWordline);
+    const int groups = static_cast<int>(
+        std::ceil(column_address_bits / group_bits));
+    const double wire_cap = geometry.bankWidth * tech.wireCapSignal;
+    const double decoder_gate =
+        tech.gateCapLogic(tech.widthMwlDecoderN, tech.minLengthLogic) +
+        tech.gateCapLogic(tech.widthMwlDecoderP, tech.minLengthLogic);
+    const int wires_per_group =
+        1 << static_cast<int>(std::llround(group_bits));
+    const double decoders_per_wire =
+        std::pow(2.0, column_address_bits) / wires_per_group;
+    loads.decoderCapPerColumnOp =
+        groups * (wire_cap +
+                  decoders_per_wire * decoder_gate *
+                      tech.mwlDecoderSwitching);
+
+    return loads;
+}
+
+} // namespace vdram

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Capacitive loads of the column path: column select lines, local and
+ * master array data lines and the secondary sense-amplifiers that sense
+ * or drive the master array data lines (paper Section II).
+ */
+#ifndef VDRAM_CIRCUIT_COLUMN_H
+#define VDRAM_CIRCUIT_COLUMN_H
+
+#include "circuit/sense_amp.h"
+#include "floorplan/array_geometry.h"
+#include "tech/technology.h"
+
+namespace vdram {
+
+/** Column path loads (farads). */
+struct ColumnPathLoads {
+    /** One column select line: M3 wire over the bank (or several banks)
+     *  plus the bit-switch gates it drives (Vint domain). */
+    double columnSelectCap = 0;
+    /** One local array data line (true or complement): wire along the
+     *  sense-amplifier stripe plus bit-switch junctions. */
+    double localDataLineCap = 0;
+    /** One master array data line (true or complement): M3 wire over the
+     *  bank height plus per-stripe switch junctions and the secondary
+     *  sense-amplifier input. */
+    double masterDataLineCap = 0;
+    /** Input/output capacitance of one secondary sense-amplifier. */
+    double secondarySenseAmpCap = 0;
+    /** Column decoder switched capacitance per column command (pre-decode
+     *  wires plus decoder gates, Vint domain). */
+    double decoderCapPerColumnOp = 0;
+};
+
+/**
+ * Compute the column path loads.
+ *
+ * @param tech      technology parameters
+ * @param arch      array architecture
+ * @param geometry  derived array geometry
+ * @param sa        sense-amplifier loads (bit-switch contributions)
+ * @param column_address_bits  column address width (decoder model)
+ */
+ColumnPathLoads
+computeColumnPathLoads(const TechnologyParams& tech,
+                       const ArrayArchitecture& arch,
+                       const ArrayGeometry& geometry,
+                       const SenseAmpLoads& sa,
+                       int column_address_bits);
+
+} // namespace vdram
+
+#endif // VDRAM_CIRCUIT_COLUMN_H

@@ -1,0 +1,52 @@
+#include "circuit/logic_block.h"
+
+#include <cmath>
+
+namespace vdram {
+
+LogicBlockLoads
+computeLogicBlockLoads(const LogicBlock& block, const TechnologyParams& tech)
+{
+    LogicBlockLoads loads;
+
+    const double gate_cap_pair =
+        tech.gateCapLogic(block.avgWidthN, tech.minLengthLogic) +
+        tech.gateCapLogic(block.avgWidthP, tech.minLengthLogic);
+    const double junction_cap_pair =
+        tech.junctionCapOfLogic(block.avgWidthN) +
+        tech.junctionCapOfLogic(block.avgWidthP);
+
+    // transistorsPerGate counts N and P devices; each N/P pair forms one
+    // input stage.
+    const double pairs_per_gate = block.transistorsPerGate / 2.0;
+
+    // Block area from transistor areas and layout density.
+    const double avg_width = (block.avgWidthN + block.avgWidthP) / 2.0;
+    const double transistor_area = avg_width * tech.minLengthLogic;
+    const double gate_area =
+        block.transistorsPerGate * transistor_area / block.layoutDensity;
+    loads.blockArea = block.gateCount * gate_area;
+
+    // Local wiring: one wire of roughly the gate-tile side length per
+    // gate, scaled by the wiring density.
+    loads.wireLengthPerGate =
+        std::sqrt(gate_area) * 2.0 * block.wiringDensity;
+    const double wire_cap = loads.wireLengthPerGate * tech.wireCapSignal;
+
+    const double cap_per_gate = pairs_per_gate *
+                                (gate_cap_pair + junction_cap_pair) +
+                                wire_cap;
+    loads.capPerEvent = block.gateCount * block.toggleRate * cap_per_gate;
+
+    return loads;
+}
+
+double
+logicBlockChargePerEvent(const LogicBlock& block,
+                         const TechnologyParams& tech, double vint)
+{
+    // Toggling gates draw one CV charge per full switch cycle.
+    return computeLogicBlockLoads(block, tech).capPerEvent * vint;
+}
+
+} // namespace vdram

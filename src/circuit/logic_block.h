@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Energy model of miscellaneous peripheral logic blocks (paper Section
+ * III.B.5): command/address decoding, clock synchronization and
+ * distribution, interface control. Blocks are described by gate count,
+ * average device sizes, layout/wiring density and a toggle rate; the gate
+ * counts are the model's declared fit parameters.
+ */
+#ifndef VDRAM_CIRCUIT_LOGIC_BLOCK_H
+#define VDRAM_CIRCUIT_LOGIC_BLOCK_H
+
+#include "core/spec.h"
+#include "tech/technology.h"
+
+namespace vdram {
+
+/** Derived capacitances of one logic block. */
+struct LogicBlockLoads {
+    /** Switched capacitance per toggle event (all toggling gates). */
+    double capPerEvent = 0;
+    /** Estimated layout area of the block. */
+    double blockArea = 0;
+    /** Average local wire length per gate. */
+    double wireLengthPerGate = 0;
+};
+
+/**
+ * Compute the loads of a logic block.
+ *
+ * Per gate the model charges the input gate capacitance of an average
+ * NMOS/PMOS pair (times transistorsPerGate / 2 input pairs), the matching
+ * junction capacitance, and a local wiring load derived from the block
+ * size: the block area follows from the transistor count, average device
+ * area and layout density; the wire length per gate is the side of the
+ * per-gate area tile scaled by the wiring density (paper: "the wire load
+ * as function of the block size which is calculated based on the number
+ * of gates").
+ */
+LogicBlockLoads computeLogicBlockLoads(const LogicBlock& block,
+                                       const TechnologyParams& tech);
+
+/** Switched charge (coulombs) of a block per toggle event at Vint. */
+double logicBlockChargePerEvent(const LogicBlock& block,
+                                const TechnologyParams& tech, double vint);
+
+} // namespace vdram
+
+#endif // VDRAM_CIRCUIT_LOGIC_BLOCK_H

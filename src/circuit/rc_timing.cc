@@ -1,0 +1,122 @@
+#include "circuit/rc_timing.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vdram {
+
+namespace {
+
+/** Elmore delay of a lumped driver into a distributed RC line (50 %
+ *  point): 0.69 R_drv C + 0.38 R_line C. */
+double
+lineDelay(double driver_resistance, double line_resistance,
+          double capacitance)
+{
+    return 0.69 * driver_resistance * capacitance +
+           0.38 * line_resistance * capacitance;
+}
+
+} // namespace
+
+ResistanceParams
+ResistanceParams::forNode(double feature_size)
+{
+    ResistanceParams r; // 90 nm reference values
+    double growth = 90e-9 / feature_size; // narrower wires -> more ohms
+    r.bitlineResistancePerLength *= growth;
+    r.localWordlineResistancePerLength *= growth;
+    r.masterWordlineResistancePerLength *= growth;
+    r.signalResistancePerLength *= growth;
+    // Driver and access device resistances are roughly preserved by
+    // W/L-preserving scaling.
+    return r;
+}
+
+TimingEstimate
+estimateTiming(const DramDescription& desc, const ArrayGeometry& geometry,
+               const ResistanceParams& resistance)
+{
+    TimingEstimate t;
+    const TechnologyParams& tech = desc.tech;
+
+    SenseAmpLoads sa = computeSenseAmpLoads(tech, desc.arch.foldedBitline);
+    LocalWordlineLoads lwl =
+        computeLocalWordlineLoads(tech, desc.arch, geometry);
+    MasterWordlineLoads mwl = computeMasterWordlineLoads(
+        tech, desc.arch, geometry, desc.spec.rowAddressBits);
+    ColumnPathLoads column = computeColumnPathLoads(
+        tech, desc.arch, geometry, sa, desc.spec.columnAddressBits);
+
+    // --- row path -------------------------------------------------------
+    const double mwl_wire_r = geometry.masterWordlineLength *
+                              resistance.masterWordlineResistancePerLength;
+    t.masterWordlineDelay = lineDelay(resistance.mwlDriverResistance,
+                                      mwl_wire_r, mwl.wordlineCap);
+
+    const double lwl_wire_r =
+        geometry.localWordlineLength *
+        resistance.localWordlineResistancePerLength;
+    t.localWordlineDelay = lineDelay(resistance.lwdDriverResistance,
+                                     lwl_wire_r, lwl.wordlineCap);
+
+    // Charge sharing through the high-Vt access transistor.
+    t.signalDevelopment =
+        2.2 * resistance.accessTransistorResistance * tech.cellCap;
+
+    // Latch regeneration on the full bitline load.
+    const double bitline_cap = tech.bitlineCap + sa.bitlineDeviceCap;
+    t.senseTime = resistance.senseTauPerFarad * bitline_cap;
+
+    // --- column path -------------------------------------------------------
+    const double csl_r = geometry.columnSelectLength *
+                         resistance.signalResistancePerLength;
+    const double mdq_r = geometry.masterDataLineLength *
+                         resistance.signalResistancePerLength;
+    t.columnPathDelay =
+        lineDelay(resistance.columnDriverResistance, csl_r,
+                  column.columnSelectCap) +
+        lineDelay(resistance.columnDriverResistance, mdq_r,
+                  column.masterDataLineCap);
+    // Round trip (select + data) plus latching sets the core cycle.
+    t.maxCoreFrequency = 1.0 / (2.0 * t.columnPathDelay);
+
+    // --- precharge ------------------------------------------------------
+    const double bitline_r =
+        geometry.subarrayHeight * resistance.bitlineResistancePerLength;
+    // True/complement shorting drives each line through half its own
+    // resistance plus the equalize device.
+    t.prechargeTime = 0.69 *
+                      (bitline_r / 2.0 +
+                       2.0 * resistance.columnDriverResistance) *
+                      bitline_cap;
+
+    // --- composites ---------------------------------------------------------
+    const double guardband = resistance.timingGuardband;
+    t.tRcdEstimate = guardband *
+                     (resistance.decodeDelay + t.masterWordlineDelay +
+                      t.localWordlineDelay + t.signalDevelopment +
+                      t.senseTime);
+    // Restore: the sense amplifier drives the cells back to full level
+    // through the distributed bitline.
+    const double restore = 2.0 * t.senseTime +
+                           0.38 * bitline_r * bitline_cap;
+    t.tRasEstimate = t.tRcdEstimate + guardband * restore;
+    // Precharge adds the wordline fall and safety margin before the
+    // next activate.
+    t.tRcEstimate = t.tRasEstimate +
+                    guardband * (t.prechargeTime +
+                                 t.localWordlineDelay + 2e-9);
+
+    return t;
+}
+
+TimingEstimate
+estimateTiming(const DramDescription& desc)
+{
+    ArrayGeometry geometry = computeArrayGeometry(desc.arch, desc.spec);
+    return estimateTiming(desc, geometry,
+                          ResistanceParams::forNode(desc.tech.featureSize));
+}
+
+} // namespace vdram

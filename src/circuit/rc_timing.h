@@ -1,0 +1,94 @@
+/**
+ * @file
+ * RC timing estimator for the array block.
+ *
+ * The paper (Section II) notes that "access latency and maximum
+ * operating frequency is mainly determined by the RC time constants in
+ * the array block": first access by the master/local wordline rise and
+ * bitline sensing, maximum frequency by the column select and master
+ * array data line loads. This module estimates those delays with Elmore
+ * approximations over the same capacitance model the power engine uses,
+ * plus wire/driver resistance parameters (an extension beyond Table I —
+ * the power model itself needs no resistances because DRAMs operate at
+ * the RC limit with negligible shoot-through).
+ *
+ * It is an estimator, calibrated to land in the right decade and
+ * reproduce the right trends (hierarchy, sub-array sizing); datasheet
+ * timings remain inputs to the power model.
+ */
+#ifndef VDRAM_CIRCUIT_RC_TIMING_H
+#define VDRAM_CIRCUIT_RC_TIMING_H
+
+#include "circuit/column.h"
+#include "circuit/sense_amp.h"
+#include "circuit/wordline.h"
+#include "core/description.h"
+#include "floorplan/array_geometry.h"
+
+namespace vdram {
+
+/** Wire and driver resistances (defaults for the 90 nm reference;
+ *  per-length values grow as 1/f when scaled to a node). */
+struct ResistanceParams {
+    /** Tungsten bitline resistance per length. */
+    double bitlineResistancePerLength = 150e6; // ohm/m = 150 ohm/um
+    /** Silicided poly local wordline resistance per length. */
+    double localWordlineResistancePerLength = 220e6;
+    /** Al/Cu master wordline (M2) resistance per length. */
+    double masterWordlineResistancePerLength = 0.6e6;
+    /** M3 signal wire (CSL, master data line) resistance per length. */
+    double signalResistancePerLength = 0.5e6;
+    /** Local wordline driver on-resistance. */
+    double lwdDriverResistance = 6e3;
+    /** Master wordline driver on-resistance. */
+    double mwlDriverResistance = 1.2e3;
+    /** Column select / data line driver on-resistance. */
+    double columnDriverResistance = 500.0;
+    /** Cell access transistor on-resistance (high-Vt, low leakage). */
+    double accessTransistorResistance = 25e3;
+    /** Sense-amplifier regeneration time constant per farad of bitline
+     *  load (latch gm limited): 25 ps per fF = 25e3 s/F. */
+    double senseTauPerFarad = 25e3; // s/F
+    /** Fixed command/address decode delay ahead of the row path. */
+    double decodeDelay = 1.2e-9;
+    /** Design guardband on the composite timings (worst-case cells,
+     *  temperature and voltage corners, test margin). */
+    double timingGuardband = 1.7;
+
+    /** Reference parameters scaled to a technology node: per-length
+     *  resistances grow inversely with the feature size (narrower,
+     *  thinner wires), driver resistances stay roughly constant
+     *  (W/L-preserving device scaling). */
+    static ResistanceParams forNode(double feature_size);
+};
+
+/** Estimated array timing. */
+struct TimingEstimate {
+    double masterWordlineDelay = 0; ///< decoder + M2 RC rise
+    double localWordlineDelay = 0;  ///< driver + poly RC rise
+    double signalDevelopment = 0;   ///< cell-to-bitline charge sharing
+    double senseTime = 0;           ///< latch regeneration to full level
+    double columnPathDelay = 0;     ///< CSL + local/master data line
+    double prechargeTime = 0;       ///< equalize back to mid-level
+
+    double tRcdEstimate = 0; ///< first access: WL path + sensing
+    double tRasEstimate = 0; ///< activate to restored cells
+    double tRcEstimate = 0;  ///< full row cycle
+    /** Maximum core (column) frequency from the column path RC. */
+    double maxCoreFrequency = 0;
+};
+
+/**
+ * Estimate the array timing of a described device from its geometry and
+ * capacitance model.
+ */
+TimingEstimate estimateTiming(const DramDescription& desc,
+                              const ArrayGeometry& geometry,
+                              const ResistanceParams& resistance);
+
+/** Convenience: resistances derived from the device's node. */
+TimingEstimate estimateTiming(const DramDescription& desc);
+
+} // namespace vdram
+
+#endif // VDRAM_CIRCUIT_RC_TIMING_H

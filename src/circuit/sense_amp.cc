@@ -1,0 +1,61 @@
+#include "circuit/sense_amp.h"
+
+namespace vdram {
+
+SenseAmpLoads
+computeSenseAmpLoads(const TechnologyParams& tech, bool folded_bitline)
+{
+    SenseAmpLoads loads;
+
+    const double gate_sense_n =
+        tech.gateCapLogic(tech.widthSaSenseN, tech.lengthSaSenseN);
+    const double gate_sense_p =
+        tech.gateCapLogic(tech.widthSaSenseP, tech.lengthSaSenseP);
+    const double junction_sense_n =
+        tech.junctionCapOfLogic(tech.widthSaSenseN);
+    const double junction_sense_p =
+        tech.junctionCapOfLogic(tech.widthSaSenseP);
+    const double junction_equalize =
+        tech.junctionCapOfHighVoltage(tech.widthSaEqualize);
+    const double junction_bit_switch =
+        tech.junctionCapOfLogic(tech.widthSaBitSwitch);
+    const double junction_mux =
+        tech.junctionCapOfHighVoltage(tech.widthSaBitlineMux);
+
+    // Each bitline of the pair sees: the junction of its own sense NMOS
+    // and PMOS, the gates of the cross-coupled opposite devices, an
+    // equalize junction, a bit-switch junction and, for folded bitlines,
+    // one multiplexer junction.
+    loads.bitlineDeviceCap = junction_sense_n + junction_sense_p +
+                             gate_sense_n + gate_sense_p +
+                             junction_equalize + junction_bit_switch;
+    if (folded_bitline)
+        loads.bitlineDeviceCap += junction_mux;
+
+    // Three equalize/precharge devices per pair, gates in the Vpp domain
+    // so the pair can be equalized to the full bitline level.
+    loads.equalizeGateCapPerPair =
+        3.0 * tech.gateCapHighVoltage(tech.widthSaEqualize,
+                                      tech.lengthSaEqualize);
+
+    loads.bitSwitchGateCapPerPair =
+        2.0 * tech.gateCapLogic(tech.widthSaBitSwitch,
+                                tech.lengthSaBitSwitch);
+    loads.bitSwitchJunctionCap = junction_bit_switch;
+
+    loads.setDriveGateCapPerStripe =
+        tech.gateCapLogic(tech.widthSaSetN, tech.lengthSaSetN) +
+        tech.gateCapLogic(tech.widthSaSetP, tech.lengthSaSetP);
+
+    // The common nset/pset nodes see the source junctions of all four
+    // sense devices of every pair in the stripe segment.
+    loads.setNodeJunctionCapPerPair =
+        2.0 * junction_sense_n + 2.0 * junction_sense_p;
+
+    // 2 sense NMOS + 2 sense PMOS + 3 equalize + 2 bit switch (+ 2 mux).
+    loads.transistorsPerPair = folded_bitline ? 11 : 9;
+
+    return loads;
+}
+
+} // namespace vdram

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Capacitive loads of the bitline sense-amplifier (paper Fig. 2).
+ *
+ * A typical bitline sense-amplifier stripe has 11 transistors per bitline
+ * pair (folded architecture): the NMOS and PMOS sense pairs (4), three
+ * equalize/precharge devices, two bit-switch devices connecting the pair
+ * to the local data lines, and two bitline multiplexer devices (folded
+ * bitline only). The open architecture omits the multiplexers (9).
+ *
+ * This module folds those devices into the loads the power model charges:
+ * what the bitline itself sees, what the equalize line (Vpp) sees, what
+ * the column select line sees, and what the nset/pset set lines see.
+ */
+#ifndef VDRAM_CIRCUIT_SENSE_AMP_H
+#define VDRAM_CIRCUIT_SENSE_AMP_H
+
+#include "tech/technology.h"
+
+namespace vdram {
+
+/** Per-pair and per-stripe-segment sense-amplifier loads (farads). */
+struct SenseAmpLoads {
+    /** Device capacitance added to EACH bitline of a pair: junctions of
+     *  one sense NMOS + one sense PMOS, gates of the opposite sense
+     *  devices (cross-coupled), one equalize junction, one bit-switch
+     *  junction, and (folded) one multiplexer junction. */
+    double bitlineDeviceCap = 0;
+    /** Gate capacitance of the equalize devices per pair (3 devices,
+     *  driven from the Vpp domain). */
+    double equalizeGateCapPerPair = 0;
+    /** Gate capacitance of the bit-switch devices per pair (2 devices,
+     *  driven by the column select line). */
+    double bitSwitchGateCapPerPair = 0;
+    /** Junction capacitance added to the local data line per attached
+     *  pair (bit-switch drain). */
+    double bitSwitchJunctionCap = 0;
+    /** Gate capacitance of the nset/pset set drive devices per stripe
+     *  segment. */
+    double setDriveGateCapPerStripe = 0;
+    /** Junction capacitance loading the common set nodes per pair
+     *  (sources of the four sense devices). */
+    double setNodeJunctionCapPerPair = 0;
+    /** Transistors per bitline pair (11 folded, 9 open) — layout sanity
+     *  anchor from paper Section II. */
+    int transistorsPerPair = 0;
+};
+
+/** Compute the sense-amplifier loads for a technology. */
+SenseAmpLoads computeSenseAmpLoads(const TechnologyParams& tech,
+                                   bool folded_bitline);
+
+} // namespace vdram
+
+#endif // VDRAM_CIRCUIT_SENSE_AMP_H

@@ -1,0 +1,109 @@
+#include "circuit/wordline.h"
+
+#include <cmath>
+
+namespace vdram {
+
+LocalWordlineLoads
+computeLocalWordlineLoads(const TechnologyParams& tech,
+                          const ArrayArchitecture& arch,
+                          const ArrayGeometry& geometry)
+{
+    LocalWordlineLoads loads;
+
+    // Poly wire of the sub-wordline.
+    const double wire =
+        geometry.localWordlineLength * tech.wireCapLocalWordline;
+    // Gates of the cells on this wordline.
+    const double cell_gates =
+        arch.bitsPerLocalWordline * tech.gateCapCell();
+    // Wordline-to-bitline coupling: each bitline couples
+    // bitlineToWordlineCapShare of its capacitance into the wordlines it
+    // crosses; per crossing that is share * Cbl / crossings, and the
+    // wordline crosses one bitline per cell.
+    const double coupling = tech.bitlineToWordlineCapShare *
+                            tech.bitlineCap *
+                            static_cast<double>(arch.bitsPerLocalWordline) /
+                            static_cast<double>(arch.bitsPerBitline);
+
+    loads.driverJunctionCap =
+        tech.junctionCapOfHighVoltage(tech.widthSwdN) +
+        tech.junctionCapOfHighVoltage(tech.widthSwdP) +
+        tech.junctionCapOfHighVoltage(tech.widthSwdRestoreN);
+
+    loads.wordlineCap = wire + cell_gates + coupling +
+                        loads.driverJunctionCap;
+
+    // Fig. 3: the driver is a CMOS inverter (NMOS + PMOS) plus a restore
+    // NMOS; its inputs are the master wordline (inverter gates) and the
+    // phase/restore select.
+    loads.driverInputCap =
+        tech.gateCapHighVoltage(tech.widthSwdN, tech.minLengthHighVoltage) +
+        tech.gateCapHighVoltage(tech.widthSwdP, tech.minLengthHighVoltage) +
+        tech.gateCapHighVoltage(tech.widthSwdRestoreN,
+                                tech.minLengthHighVoltage);
+
+    return loads;
+}
+
+MasterWordlineLoads
+computeMasterWordlineLoads(const TechnologyParams& tech,
+                           const ArrayArchitecture& arch,
+                           const ArrayGeometry& geometry,
+                           int row_address_bits)
+{
+    (void)arch;
+    MasterWordlineLoads loads;
+
+    // The master wordline crosses every local wordline driver stripe and
+    // is loaded by the inverter gates of one driver per stripe (the other
+    // phases are blocked by the phase select).
+    const double lwd_input =
+        tech.gateCapHighVoltage(tech.widthSwdN, tech.minLengthHighVoltage) +
+        tech.gateCapHighVoltage(tech.widthSwdP, tech.minLengthHighVoltage);
+    const double wire =
+        geometry.masterWordlineLength * tech.wireCapMasterWordline;
+    const double decoder_junction =
+        tech.junctionCapOfHighVoltage(tech.widthMwlDecoderN) +
+        tech.junctionCapOfHighVoltage(tech.widthMwlDecoderP);
+    loads.wordlineCap = wire +
+                        geometry.subarrayColumns * lwd_input +
+                        decoder_junction;
+
+    // Pre-decode: group the row address predecodeMasterWordline bits at a
+    // time; each group produces 2^group one-hot wires.
+    const double group_bits = std::max(1.0, tech.predecodeMasterWordline);
+    const int groups = static_cast<int>(
+        std::ceil(row_address_bits / group_bits));
+    const int wires_per_group =
+        1 << static_cast<int>(std::llround(group_bits));
+    loads.predecodeWires = groups * wires_per_group;
+
+    // One wire per group rises and one falls per activate. Each wire
+    // spans the row logic stripe (bank height) and carries the gates of
+    // the decoders attached to it, discounted by the average decoder
+    // switching factor.
+    const double wire_cap =
+        geometry.masterDataLineLength * tech.wireCapSignal;
+    const double decoders_per_wire =
+        static_cast<double>(geometry.masterWordlinesPerBank) /
+        wires_per_group;
+    const double decoder_gate =
+        tech.gateCapLogic(tech.widthMwlDecoderN, tech.minLengthLogic) +
+        tech.gateCapLogic(tech.widthMwlDecoderP, tech.minLengthLogic);
+    const double gates_cap = decoders_per_wire * decoder_gate *
+                             tech.mwlDecoderSwitching;
+    // Wordline controller load devices switch once per row operation.
+    const double controller_cap =
+        tech.gateCapHighVoltage(tech.widthWordlineControlN,
+                                tech.minLengthHighVoltage) +
+        tech.gateCapHighVoltage(tech.widthWordlineControlP,
+                                tech.minLengthHighVoltage);
+
+    loads.decoderCapPerActivate =
+        groups * (wire_cap + gates_cap) + controller_cap;
+
+    return loads;
+}
+
+} // namespace vdram

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Capacitive loads of the row path: the local (sub-) wordline with its
+ * 3-transistor driver (paper Fig. 3), the master wordline, and the master
+ * wordline decoder with its pre-decode bus.
+ */
+#ifndef VDRAM_CIRCUIT_WORDLINE_H
+#define VDRAM_CIRCUIT_WORDLINE_H
+
+#include "floorplan/array_geometry.h"
+#include "tech/technology.h"
+
+namespace vdram {
+
+/** Loads of one local (sub-) wordline and its driver (farads, Vpp). */
+struct LocalWordlineLoads {
+    /** The fired local wordline: poly wire, cell access transistor gates
+     *  and wordline-to-bitline coupling. */
+    double wordlineCap = 0;
+    /** Gates of the 3 driver transistors (driven from the master wordline
+     *  and the phase-select line, Vpp domain). */
+    double driverInputCap = 0;
+    /** Driver output junction added to the wordline itself. */
+    double driverJunctionCap = 0;
+};
+
+/** Loads of one master wordline and its decoder. */
+struct MasterWordlineLoads {
+    /** Master wordline: M2 wire plus the input loads of the local
+     *  wordline drivers distributed along it (Vpp domain). */
+    double wordlineCap = 0;
+    /** Charge-equivalent capacitance switched in the row decoder per
+     *  activate: pre-decode wires with their decoder gate loads (Vint). */
+    double decoderCapPerActivate = 0;
+    /** Number of pre-decode wires (reported for diagnostics). */
+    int predecodeWires = 0;
+};
+
+/** Compute local wordline loads. */
+LocalWordlineLoads
+computeLocalWordlineLoads(const TechnologyParams& tech,
+                          const ArrayArchitecture& arch,
+                          const ArrayGeometry& geometry);
+
+/**
+ * Compute master wordline and decoder loads.
+ *
+ * The pre-decode model: row address bits are grouped
+ * predecodeMasterWordline at a time; each group drives 2^group one-hot
+ * wires of which one rises and one falls per activate. Every pre-decode
+ * wire spans the row-logic stripe (the bank height) and is loaded by the
+ * gates of the master wordline decoders attached to it, weighted by the
+ * average decoder switching factor.
+ */
+MasterWordlineLoads
+computeMasterWordlineLoads(const TechnologyParams& tech,
+                           const ArrayArchitecture& arch,
+                           const ArrayGeometry& geometry,
+                           int row_address_bits);
+
+} // namespace vdram
+
+#endif // VDRAM_CIRCUIT_WORDLINE_H

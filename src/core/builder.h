@@ -1,0 +1,53 @@
+/**
+ * @file
+ * ModelBuilder: synthesizes a complete commodity-DRAM description for a
+ * generation-ladder entry — reference technology scaled to the node
+ * (Figs. 5-7), the Table II architecture for the node, a Fig. 1-style
+ * floorplan, the standard signaling busses, and the miscellaneous logic
+ * blocks whose gate counts are the per-interface fit parameters.
+ */
+#ifndef VDRAM_CORE_BUILDER_H
+#define VDRAM_CORE_BUILDER_H
+
+#include "core/description.h"
+#include "tech/generations.h"
+
+namespace vdram {
+
+/** Adjustable knobs of the commodity builder. */
+struct BuilderOptions {
+    /** Device I/O width (4, 8 or 16). */
+    int ioWidth = 16;
+    /** Override the per-pin data rate (0 = ladder value). */
+    double dataRateOverride = 0;
+    /** Override the density in bits (0 = ladder value). */
+    double densityOverride = 0;
+};
+
+/** The reference technology parameter set at the 90 nm node, from which
+ *  all generations are derived by scaling. */
+TechnologyParams referenceTechnology90nm();
+
+/** Interface complexity factor used to size the peripheral logic (grows
+ *  with the interface generation; the declared fit parameter). */
+double interfaceComplexity(Interface iface);
+
+/** Page size in bits for a commodity device of this interface and
+ *  I/O width (JEDEC-style: x4/x8 1 KB, x16 2 KB for DDR2+). */
+long long commodityPageBits(Interface iface, int io_width);
+
+/**
+ * Build the full description of a commodity device at a ladder
+ * generation. The result passes validateDescription() and is ready for
+ * DramPowerModel.
+ */
+DramDescription buildCommodityDescription(const GenerationInfo& generation,
+                                          const BuilderOptions& options = {});
+
+/** Convenience: build for the ladder entry nearest to a node. */
+DramDescription buildCommodityAt(double feature_size,
+                                 const BuilderOptions& options = {});
+
+} // namespace vdram
+
+#endif // VDRAM_CORE_BUILDER_H

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The complete model input: everything Table I describes, grouped as in
+ * the paper — physical floorplan, signaling floorplan, technology,
+ * specification, electrical information, logic blocks and the command
+ * pattern.
+ */
+#ifndef VDRAM_CORE_DESCRIPTION_H
+#define VDRAM_CORE_DESCRIPTION_H
+
+#include <string>
+#include <vector>
+
+#include "core/spec.h"
+#include "floorplan/floorplan.h"
+#include "protocol/timing.h"
+#include "signal/signal_path.h"
+#include "tech/technology.h"
+#include "util/result.h"
+
+namespace vdram {
+
+/** A full DRAM description — the input of the power model. */
+struct DramDescription {
+    std::string name = "unnamed DRAM";
+
+    TechnologyParams tech;
+    ElectricalParams elec;
+    ArrayArchitecture arch;
+    Specification spec;
+    TimingParams timing;
+    Floorplan floorplan;
+    std::vector<SignalNet> signals;
+    std::vector<LogicBlock> logicBlocks;
+    /** Default evaluation pattern ("Pattern loop=..."). */
+    Pattern pattern;
+};
+
+/**
+ * Validate a description: positive physical quantities, resolvable
+ * floorplan, page divisibility, voltage ordering (Vbl <= Vint <= Vpp),
+ * at least one signal net per essential role. Returns the first error
+ * found.
+ */
+Status validateDescription(const DramDescription& desc);
+
+} // namespace vdram
+
+#endif // VDRAM_CORE_DESCRIPTION_H

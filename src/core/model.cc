@@ -1,0 +1,320 @@
+#include "core/model.h"
+
+#include <algorithm>
+
+#include "circuit/logic_block.h"
+#include "util/logging.h"
+
+namespace vdram {
+
+namespace {
+
+/** Probability that a written bit flips the sense-amplifier / bitline
+ *  pair it lands in (random data). */
+constexpr double kWriteFlipProbability = 0.5;
+
+/** JEDEC refresh architecture: 8192 refresh commands per refresh window;
+ *  banks with more rows fold several rows into one refresh command. */
+constexpr long long kRefreshCommandsPerWindow = 8192;
+
+} // namespace
+
+DramPowerModel::DramPowerModel(DramDescription desc) : desc_(std::move(desc))
+{
+    build();
+}
+
+void
+DramPowerModel::build()
+{
+    Status status = validateDescription(desc_);
+    if (!status.ok())
+        fatal("invalid DRAM description '" + desc_.name + "': " +
+              status.error().toString());
+
+    geometry_ = computeArrayGeometry(desc_.arch, desc_.spec);
+    if (!desc_.floorplan.resolved()) {
+        desc_.floorplan.resolveArraySizes(geometry_,
+                                          desc_.arch.bitlineVertical);
+    }
+
+    senseAmp_ = computeSenseAmpLoads(desc_.tech, desc_.arch.foldedBitline);
+    lwl_ = computeLocalWordlineLoads(desc_.tech, desc_.arch, geometry_);
+    mwl_ = computeMasterWordlineLoads(desc_.tech, desc_.arch, geometry_,
+                                      desc_.spec.rowAddressBits);
+    column_ = computeColumnPathLoads(desc_.tech, desc_.arch, geometry_,
+                                     senseAmp_,
+                                     desc_.spec.columnAddressBits);
+
+    ops_ = OperationSet{};
+    buildActivatePrecharge();
+    buildReadWrite();
+    buildRefresh();
+    buildBackground();
+}
+
+double
+DramPowerModel::busChargePerEvent(SignalRole role,
+                                  double toggles_per_wire) const
+{
+    double charge = 0;
+    for (const SignalNet& net : desc_.signals) {
+        if (net.role != role)
+            continue;
+        double cap = signalNetCapPerWire(net, desc_.floorplan, desc_.tech);
+        charge += cap * net.wireCount * net.toggleRate * toggles_per_wire *
+                  desc_.elec.vint;
+    }
+    return charge;
+}
+
+void
+DramPowerModel::addLogicBlocks(OperationCharges& charges, Activity activity,
+                               double events) const
+{
+    for (const LogicBlock& block : desc_.logicBlocks) {
+        if (block.activity != activity)
+            continue;
+        double q = logicBlockChargePerEvent(block, desc_.tech,
+                                            desc_.elec.vint) * events;
+        charges.add(Component::PeripheralLogic, Domain::Vint, q);
+    }
+}
+
+void
+DramPowerModel::buildActivatePrecharge()
+{
+    const TechnologyParams& tech = desc_.tech;
+    const ElectricalParams& e = desc_.elec;
+    const ArrayArchitecture& arch = desc_.arch;
+    OperationCharges& act = ops_.activate;
+    OperationCharges& pre = ops_.precharge;
+
+    const double pairs = static_cast<double>(geometry_.bitlinesPerActivate);
+    const double lwls = geometry_.localWordlinesPerActivate;
+    const double stripes = geometry_.saStripesPerActivate;
+    // Half the sub-array's pairs are sensed in each of the two adjacent
+    // stripes.
+    const double pairs_per_stripe = arch.bitsPerLocalWordline / 2.0;
+    const double stripe_wire_cap =
+        geometry_.subarrayWidth * tech.wireCapSignal;
+
+    // --- bitline sensing -------------------------------------------------
+    // The pair splits from the Vbl/2 equalize level; one line is pulled
+    // to Vbl by the PMOS set, drawing C * Vbl/2 from the Vbl generator.
+    // The other line discharges to ground for free, and the precharge
+    // back to mid-level is adiabatic (true/complement shorting,
+    // paper Section III.A).
+    const double bitline_cap = tech.bitlineCap + senseAmp_.bitlineDeviceCap;
+    act.add(Component::BitlineSensing, Domain::Vbl,
+            pairs * bitline_cap * e.vbl / 2.0);
+
+    // --- cell restore -----------------------------------------------------
+    // Cells that stored a '1' lost charge to the bitline during charge
+    // sharing and are re-charged to full level through the sense
+    // amplifier: on average cellRestoreShare of the page draws
+    // Ccell * Vbl/2.
+    act.add(Component::CellRestore, Domain::Vbl,
+            pairs * arch.cellRestoreShare * tech.cellCap * e.vbl / 2.0);
+
+    // --- sense-amplifier control -----------------------------------------
+    // nset/pset drive transistors switch on at activate (full cycle
+    // attributed here) ...
+    act.add(Component::SenseAmpControl, Domain::Vint,
+            stripes * senseAmp_.setDriveGateCapPerStripe * e.vint);
+    // ... the common set nodes and their stripe wiring swing from the
+    // equalize mid-level: pset rises to Vbl at activate, nset is
+    // recharged to Vbl/2 at precharge.
+    const double set_line_cap =
+        stripe_wire_cap +
+        pairs_per_stripe * senseAmp_.setNodeJunctionCapPerPair / 2.0;
+    act.add(Component::SenseAmpControl, Domain::Vbl,
+            stripes * set_line_cap * e.vbl / 2.0);
+    pre.add(Component::SenseAmpControl, Domain::Vbl,
+            stripes * set_line_cap * e.vbl / 2.0);
+    // The equalize line (Vpp domain) is dropped at activate (free) and
+    // recharged at precharge.
+    const double eq_line_cap =
+        stripe_wire_cap +
+        pairs_per_stripe * senseAmp_.equalizeGateCapPerPair;
+    pre.add(Component::SenseAmpControl, Domain::Vpp,
+            stripes * eq_line_cap * e.vpp);
+
+    // --- wordlines ---------------------------------------------------------
+    // The fired local wordlines and their driver inputs cycle 0 -> Vpp ->
+    // 0 once per row cycle; the full supply draw happens on the rising
+    // edge, so it is attributed to the activate.
+    act.add(Component::LocalWordline, Domain::Vpp,
+            lwls * (lwl_.wordlineCap + lwl_.driverInputCap) * e.vpp);
+    act.add(Component::MasterWordline, Domain::Vpp,
+            geometry_.masterWordlinesPerActivate * mwl_.wordlineCap *
+                e.vpp);
+    act.add(Component::RowDecoder, Domain::Vint,
+            mwl_.decoderCapPerActivate * e.vint);
+
+    // --- busses and peripheral logic ---------------------------------------
+    act.add(Component::AddressBus, Domain::Vint,
+            busChargePerEvent(SignalRole::RowAddress, 0.5));
+    act.add(Component::ControlBus, Domain::Vint,
+            busChargePerEvent(SignalRole::Control, 1.0));
+    pre.add(Component::ControlBus, Domain::Vint,
+            busChargePerEvent(SignalRole::Control, 1.0));
+
+    addLogicBlocks(act, Activity::ActivateOnly, 1.0);
+    addLogicBlocks(act, Activity::RowCommand, 1.0);
+    addLogicBlocks(pre, Activity::PrechargeOnly, 1.0);
+    addLogicBlocks(pre, Activity::RowCommand, 1.0);
+}
+
+void
+DramPowerModel::buildReadWrite()
+{
+    const TechnologyParams& tech = desc_.tech;
+    const ElectricalParams& e = desc_.elec;
+    const Specification& spec = desc_.spec;
+    OperationCharges& rd = ops_.read;
+    OperationCharges& wr = ops_.write;
+
+    // A burst of burstLength beats is fetched in one or more internal
+    // column accesses of `prefetch` beats each.
+    const double column_ops =
+        std::max(1.0, static_cast<double>(spec.burstLength) /
+                          spec.prefetch);
+    const double prefetch_bits =
+        static_cast<double>(spec.ioWidth) *
+        std::min(spec.prefetch, spec.burstLength);
+    const double bits = static_cast<double>(spec.bitsPerBurst());
+
+    // Column select lines toggled per internal access: enough lines to
+    // source/sink the prefetch bits.
+    const double csl_toggles =
+        column_ops *
+        std::max(1.0, prefetch_bits / tech.bitsPerColumnSelect);
+    const double csl_charge =
+        csl_toggles * column_.columnSelectCap * e.vint;
+    const double decoder_charge =
+        column_ops * column_.decoderCapPerColumnOp * e.vint;
+
+    // Array data path: the local and master array data lines are
+    // precharged differential pairs — every transferred bit recharges
+    // one line of each pair, and the precharge/equalize of the pair
+    // between transfers costs another half swing on average.
+    constexpr double kDataLineCycleFactor = 1.5;
+    const double array_path_charge =
+        bits * kDataLineCycleFactor *
+        (column_.localDataLineCap + column_.masterDataLineCap) * e.vint;
+
+    // Center-stripe data busses: each wire of the internal bus carries
+    // bits / wireCount beats per burst.
+    const double beats_per_wire = bits / prefetch_bits;
+    const double read_bus_charge =
+        busChargePerEvent(SignalRole::ReadData, beats_per_wire);
+    const double write_bus_charge =
+        busChargePerEvent(SignalRole::WriteData, beats_per_wire);
+
+    const double column_addr_charge =
+        busChargePerEvent(SignalRole::ColumnAddress, 0.5) * column_ops;
+    const double control_charge =
+        busChargePerEvent(SignalRole::Control, 1.0);
+
+    for (OperationCharges* op : {&rd, &wr}) {
+        op->add(Component::ColumnSelect, Domain::Vint, csl_charge);
+        op->add(Component::ColumnDecoder, Domain::Vint, decoder_charge);
+        op->add(Component::ArrayDataPath, Domain::Vint, array_path_charge);
+        op->add(Component::AddressBus, Domain::Vint, column_addr_charge);
+        op->add(Component::ControlBus, Domain::Vint, control_charge);
+    }
+    rd.add(Component::DataBus, Domain::Vint, read_bus_charge);
+    wr.add(Component::DataBus, Domain::Vint, write_bus_charge);
+
+    // Writing flips on average half of the hit sense amplifiers: the
+    // newly-high bitline charges 0 -> Vbl from the Vbl generator.
+    const double flip_cap = tech.bitlineCap + senseAmp_.bitlineDeviceCap;
+    wr.add(Component::BitlineSensing, Domain::Vbl,
+           bits * kWriteFlipProbability * flip_cap * e.vbl);
+
+    addLogicBlocks(rd, Activity::ReadOnly, 1.0);
+    addLogicBlocks(rd, Activity::ColumnCommand, 1.0);
+    addLogicBlocks(rd, Activity::PerDataBit, bits);
+    addLogicBlocks(wr, Activity::WriteOnly, 1.0);
+    addLogicBlocks(wr, Activity::ColumnCommand, 1.0);
+    addLogicBlocks(wr, Activity::PerDataBit, bits);
+}
+
+void
+DramPowerModel::buildRefresh()
+{
+    // One refresh command refreshes one (or, for dense parts, several)
+    // rows in every bank: internally a full activate/precharge cycle per
+    // row without any column activity.
+    const long long rows_per_ref = std::max<long long>(
+        1, desc_.spec.rowsPerBank() / kRefreshCommandsPerWindow);
+    const double row_cycles = static_cast<double>(
+        rows_per_ref * desc_.spec.banks());
+    OperationCharges row_cycle = ops_.activate;
+    row_cycle += ops_.precharge;
+    ops_.refresh = row_cycle * row_cycles;
+}
+
+void
+DramPowerModel::buildBackground()
+{
+    OperationCharges& bg = ops_.backgroundPerCycle;
+    // The clock wires complete one full cycle per control clock.
+    bg.add(Component::Clock, Domain::Vint,
+           busChargePerEvent(SignalRole::Clock, 1.0));
+    addLogicBlocks(bg, Activity::Always, 1.0);
+
+    // Power-down (CKE low): the clock tree is gated and the always-on
+    // logic (DLL, input buffers) is disabled except for a small retained
+    // share (CKE receiver, refresh counter, oscillator).
+    constexpr double kPowerDownActivityShare = 0.08;
+    ops_.powerDownPerCycle =
+        ops_.backgroundPerCycle * kPowerDownActivityShare;
+
+    // Self refresh: power-down background plus the internally generated
+    // refresh, amortized per control cycle at the tREFI interval.
+    const double refresh_per_cycle =
+        1.0 / static_cast<double>(desc_.timing.tRefi);
+    ops_.selfRefreshPerCycle = ops_.powerDownPerCycle;
+    ops_.selfRefreshPerCycle += ops_.refresh * refresh_per_cycle;
+}
+
+PatternPower
+DramPowerModel::evaluate(const Pattern& pattern) const
+{
+    return computePatternPower(pattern, ops_, desc_.elec,
+                               desc_.timing.tCkSeconds, desc_.spec);
+}
+
+PatternPower
+DramPowerModel::iddPattern(IddMeasure measure) const
+{
+    return evaluate(makeIddPattern(measure, desc_.spec, desc_.timing));
+}
+
+double
+DramPowerModel::energyPerBit() const
+{
+    return evaluate(makeParetoPattern(desc_.spec, desc_.timing))
+        .energyPerBit;
+}
+
+AreaReport
+DramPowerModel::area() const
+{
+    AreaReport report;
+    report.dieWidth = desc_.floorplan.dieWidth();
+    report.dieHeight = desc_.floorplan.dieHeight();
+    report.dieArea = desc_.floorplan.dieArea();
+    const int banks = desc_.floorplan.arrayBlockCount();
+    report.cellArea = geometry_.bankCellArea * banks;
+    report.arrayBlockArea = geometry_.bankArea * banks;
+    report.arrayEfficiency =
+        report.dieArea > 0 ? report.cellArea / report.dieArea : 0;
+    report.saStripeShare = geometry_.saStripeAreaShare;
+    report.lwdStripeShare = geometry_.lwdStripeAreaShare;
+    return report;
+}
+
+} // namespace vdram

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * DramPowerModel — the paper's primary contribution as a library.
+ *
+ * Construction runs the program flow of Fig. 4: the description is
+ * validated (syntax/consistency check), wire and device capacitances are
+ * computed from the floorplans and the technology, the charge associated
+ * with activate, precharge, read and write is determined, and currents/
+ * power follow for any operation pattern.
+ */
+#ifndef VDRAM_CORE_MODEL_H
+#define VDRAM_CORE_MODEL_H
+
+#include "circuit/column.h"
+#include "circuit/sense_amp.h"
+#include "circuit/wordline.h"
+#include "core/description.h"
+#include "power/op_charges.h"
+#include "power/pattern_power.h"
+#include "protocol/idd.h"
+
+namespace vdram {
+
+/** Area summary of the modeled die. */
+struct AreaReport {
+    double dieWidth = 0;
+    double dieHeight = 0;
+    double dieArea = 0;
+    double cellArea = 0;          ///< all banks, cells only
+    double arrayBlockArea = 0;    ///< all banks including stripes
+    double arrayEfficiency = 0;   ///< cellArea / dieArea
+    double saStripeShare = 0;     ///< SA stripe share of array block area
+    double lwdStripeShare = 0;    ///< LWD stripe share of array block area
+};
+
+/** The analytical DRAM power model. */
+class DramPowerModel {
+  public:
+    /**
+     * Build the model. fatal()s on an invalid description (use
+     * validateDescription() first for recoverable error handling).
+     */
+    explicit DramPowerModel(DramDescription desc);
+
+    const DramDescription& description() const { return desc_; }
+    const ArrayGeometry& geometry() const { return geometry_; }
+    const SenseAmpLoads& senseAmpLoads() const { return senseAmp_; }
+    const LocalWordlineLoads& localWordlineLoads() const { return lwl_; }
+    const MasterWordlineLoads& masterWordlineLoads() const { return mwl_; }
+    const ColumnPathLoads& columnLoads() const { return column_; }
+
+    /** Per-operation charge budgets. */
+    const OperationSet& operations() const { return ops_; }
+
+    /** Evaluate an arbitrary command pattern. */
+    PatternPower evaluate(const Pattern& pattern) const;
+
+    /** Evaluate the description's default pattern. */
+    PatternPower evaluateDefault() const { return evaluate(desc_.pattern); }
+
+    /** Full result of the standard IDD measurement loop. */
+    PatternPower iddPattern(IddMeasure measure) const;
+
+    /** Datasheet-comparable IDD current in amperes. */
+    double idd(IddMeasure measure) const
+    {
+        return iddPattern(measure).externalCurrent;
+    }
+
+    /** Energy per bit of the paper's IDD7-style trend workload. */
+    double energyPerBit() const;
+
+    /** Die geometry and area shares. */
+    AreaReport area() const;
+
+  private:
+    void build();
+    void buildActivatePrecharge();
+    void buildReadWrite();
+    void buildRefresh();
+    void buildBackground();
+    /** Charge of the signal nets with @p role per event, at Vint. */
+    double busChargePerEvent(SignalRole role, double toggles_per_wire) const;
+    /** Add logic blocks with the given activity to an op budget. */
+    void addLogicBlocks(OperationCharges& charges, Activity activity,
+                        double events) const;
+
+    DramDescription desc_;
+    ArrayGeometry geometry_;
+    SenseAmpLoads senseAmp_;
+    LocalWordlineLoads lwl_;
+    MasterWordlineLoads mwl_;
+    ColumnPathLoads column_;
+    OperationSet ops_;
+};
+
+} // namespace vdram
+
+#endif // VDRAM_CORE_MODEL_H

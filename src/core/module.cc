@@ -1,0 +1,70 @@
+#include "core/module.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/model.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace vdram {
+
+ModulePower
+evaluateModule(const ModuleConfig& config)
+{
+    if (config.devicesPerRank <= 0 || config.devicesPerAccess <= 0 ||
+        config.devicesPerRank % config.devicesPerAccess != 0) {
+        fatal("devicesPerAccess must divide devicesPerRank");
+    }
+
+    DramPowerModel model(config.device);
+    const Specification& spec = config.device.spec;
+    const TimingParams& t = config.device.timing;
+
+    const long long line_bits =
+        static_cast<long long>(config.cachelineBytes) * 8;
+    const long long bits_per_device = line_bits / config.devicesPerAccess;
+    if (bits_per_device % spec.bitsPerBurst() != 0) {
+        fatal(strformat("a %d-byte line does not split into %lld-bit "
+                        "bursts over %d devices",
+                        config.cachelineBytes, spec.bitsPerBurst(),
+                        config.devicesPerAccess));
+    }
+    const int bursts = static_cast<int>(
+        bits_per_device / spec.bitsPerBurst());
+
+    // Close-page access window of one participating device: activate,
+    // `bursts` reads, precharge.
+    const int last_read = t.tRcd + (bursts - 1) * t.tCcd;
+    const int pre_at = std::max(t.tRas, last_read + t.tRtp);
+    const int cycles = std::max(t.tRc, pre_at + t.tRp);
+
+    Pattern active;
+    active.loop.assign(static_cast<size_t>(cycles), Op::Nop);
+    active.loop[0] = Op::Act;
+    for (int i = 0; i < bursts; ++i)
+        active.loop[static_cast<size_t>(t.tRcd + i * t.tCcd)] = Op::Rd;
+    active.loop[static_cast<size_t>(pre_at)] = Op::Pre;
+
+    Pattern idle;
+    idle.loop.assign(static_cast<size_t>(cycles),
+                     config.powerDownIdleDevices ? Op::Pdn : Op::Nop);
+
+    PatternPower p_active = model.evaluate(active);
+    PatternPower p_idle = model.evaluate(idle);
+
+    ModulePower result;
+    result.burstsPerDevice = bursts;
+    result.accessWindow = p_active.loopTime;
+    const int idle_devices =
+        config.devicesPerRank - config.devicesPerAccess;
+    result.accessEnergy =
+        config.devicesPerAccess * p_active.power * p_active.loopTime +
+        idle_devices * p_idle.power * p_idle.loopTime;
+    result.energyPerBit =
+        result.accessEnergy / static_cast<double>(line_bits);
+    result.idleRankPower = config.devicesPerRank * p_idle.power;
+    return result;
+}
+
+} // namespace vdram

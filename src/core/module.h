@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Module (rank) level evaluation: several DRAM devices in lockstep on a
+ * channel, with optional mini-rank-style sub-rank access (Zheng et al.,
+ * paper Section V: "breaks the data path width of a DRAM rank in
+ * smaller portions to reduce the number of active DRAMs and allow more
+ * effective usage of low power modes") and threaded-module-style
+ * localized activation (Ware & Hampel).
+ *
+ * A cache-line access touches `devicesPerAccess` of the rank's devices;
+ * each supplies cachelineBits / devicesPerAccess bits. Fewer devices
+ * per access mean fewer activated pages (row energy shrinks) but more
+ * bursts per device (longer occupancy), and the untouched devices can
+ * drop into power-down.
+ */
+#ifndef VDRAM_CORE_MODULE_H
+#define VDRAM_CORE_MODULE_H
+
+#include "core/description.h"
+
+namespace vdram {
+
+/** A rank of identical devices. */
+struct ModuleConfig {
+    DramDescription device;
+    /** Devices soldered to the rank (e.g. 8 x8 parts on 64 bits). */
+    int devicesPerRank = 8;
+    /** Devices participating in one cache-line access (mini-rank /
+     *  threaded module: a divisor of devicesPerRank). */
+    int devicesPerAccess = 8;
+    /** Cache line size. */
+    int cachelineBytes = 64;
+    /** Idle devices enter power-down between accesses. */
+    bool powerDownIdleDevices = false;
+};
+
+/** Module evaluation result (close-page random accesses). */
+struct ModulePower {
+    /** Energy of one cache-line access summed over the rank (J). */
+    double accessEnergy = 0;
+    /** Energy per bit of the access (J). */
+    double energyPerBit = 0;
+    /** Access occupancy window of the participating devices (s). */
+    double accessWindow = 0;
+    /** Bursts each participating device serves per access. */
+    int burstsPerDevice = 0;
+    /** Standby power of the whole idle rank (W). */
+    double idleRankPower = 0;
+};
+
+/**
+ * Evaluate a module configuration. fatal()s when devicesPerAccess does
+ * not divide devicesPerRank or the line does not split evenly into
+ * device bursts.
+ */
+ModulePower evaluateModule(const ModuleConfig& config);
+
+} // namespace vdram
+
+#endif // VDRAM_CORE_MODULE_H

@@ -1,0 +1,118 @@
+#include "core/montecarlo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "core/model.h"
+#include "util/logging.h"
+
+namespace vdram {
+
+namespace {
+
+/** Multiplicative lognormal-ish factor: exp(N(0, sigma)). */
+double
+factorOf(std::mt19937_64& rng, double sigma)
+{
+    std::normal_distribution<double> dist(0.0, sigma);
+    return std::exp(dist(rng));
+}
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0;
+    double index = p * (sorted.size() - 1);
+    size_t lo = static_cast<size_t>(index);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double t = index - lo;
+    return sorted[lo] * (1 - t) + sorted[hi] * t;
+}
+
+} // namespace
+
+DramDescription
+sampleVariant(const DramDescription& nominal,
+              const VariationModel& variation, unsigned seed)
+{
+    std::mt19937_64 rng(seed);
+    DramDescription d = nominal;
+
+    // Technology parameters: independent lognormal factors. Counts and
+    // ratios (NoScaling dimensionless entries) stay put.
+    for (const ParamInfo& info : technologyParamRegistry()) {
+        if (info.dim == Dimension::Dimensionless ||
+            info.dim == Dimension::Fraction) {
+            continue;
+        }
+        double value = getParam(info, d.tech, d.elec);
+        setParam(info, d.tech, d.elec,
+                 value * factorOf(rng, variation.technologySigma));
+    }
+
+    // Internal voltage trims (Vdd is the spec rail, not varied).
+    d.elec.vint *= factorOf(rng, variation.voltageSigma);
+    d.elec.vbl *= factorOf(rng, variation.voltageSigma);
+    d.elec.vpp *= factorOf(rng, variation.voltageSigma);
+    // Keep the ordering constraints intact.
+    d.elec.vbl = std::min(d.elec.vbl, d.elec.vpp * 0.9);
+    d.elec.vpp = std::max(d.elec.vpp, d.elec.vint);
+
+    // Design-style spread: peripheral sizing and generator efficiency.
+    for (LogicBlock& block : d.logicBlocks)
+        block.gateCount *= factorOf(rng, variation.logicSigma);
+    d.elec.efficiencyVint = std::min(
+        1.0, d.elec.efficiencyVint *
+                 factorOf(rng, variation.efficiencySigma));
+    d.elec.efficiencyVbl = std::min(
+        1.0, d.elec.efficiencyVbl *
+                 factorOf(rng, variation.efficiencySigma));
+    d.elec.efficiencyVpp = std::min(
+        1.0, d.elec.efficiencyVpp *
+                 factorOf(rng, variation.efficiencySigma));
+
+    return d;
+}
+
+std::vector<IddDistribution>
+runMonteCarlo(const DramDescription& nominal,
+              const std::vector<IddMeasure>& measures, int samples,
+              const VariationModel& variation, unsigned seed)
+{
+    if (samples <= 0)
+        fatal("Monte-Carlo needs a positive sample count");
+
+    DramPowerModel nominal_model(nominal);
+    std::vector<std::vector<double>> values(measures.size());
+
+    for (int s = 0; s < samples; ++s) {
+        DramDescription variant =
+            sampleVariant(nominal, variation, seed + 977 * s);
+        DramPowerModel model(variant);
+        for (size_t m = 0; m < measures.size(); ++m)
+            values[m].push_back(model.idd(measures[m]));
+    }
+
+    std::vector<IddDistribution> result;
+    for (size_t m = 0; m < measures.size(); ++m) {
+        IddDistribution dist;
+        dist.measure = measures[m];
+        dist.nominal = nominal_model.idd(measures[m]);
+        std::vector<double>& v = values[m];
+        std::sort(v.begin(), v.end());
+        double sum = 0;
+        for (double x : v)
+            sum += x;
+        dist.mean = sum / v.size();
+        dist.minimum = v.front();
+        dist.maximum = v.back();
+        dist.p05 = percentile(v, 0.05);
+        dist.p95 = percentile(v, 0.95);
+        result.push_back(dist);
+    }
+    return result;
+}
+
+} // namespace vdram

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Monte-Carlo study over the technology description.
+ *
+ * The paper's verification (Figs. 8/9) shows "a quite large spread" of
+ * datasheet currents across vendors, attributed to "the different
+ * technologies used to build the DRAMs and differences in the power
+ * efficiencies of the approach used by different DRAM vendors". This
+ * module makes that explanation quantitative: it samples vendor-like
+ * variations of the technology parameters, logic sizing and internal
+ * voltages around the nominal description and reports the resulting
+ * IDD distributions, which can be compared against the encoded
+ * datasheet bands.
+ */
+#ifndef VDRAM_CORE_MONTECARLO_H
+#define VDRAM_CORE_MONTECARLO_H
+
+#include <vector>
+
+#include "core/description.h"
+#include "protocol/idd.h"
+
+namespace vdram {
+
+/** Relative 1-sigma variations applied per sample. */
+struct VariationModel {
+    /** Technology parameters (capacitances, device sizes, oxides). */
+    double technologySigma = 0.08;
+    /** Internal voltage trims (Vint/Vbl/Vpp). */
+    double voltageSigma = 0.03;
+    /** Peripheral logic sizing (gate counts — design-style spread). */
+    double logicSigma = 0.15;
+    /** Generator/pump efficiency spread. */
+    double efficiencySigma = 0.05;
+};
+
+/** Distribution summary of one IDD measure over the samples. */
+struct IddDistribution {
+    IddMeasure measure = IddMeasure::Idd0;
+    double nominal = 0;
+    double mean = 0;
+    double minimum = 0;
+    double maximum = 0;
+    double p05 = 0; ///< 5th percentile
+    double p95 = 0; ///< 95th percentile
+
+    /** Relative width of the 5..95 percentile band. */
+    double relativeSpread() const
+    {
+        return mean > 0 ? (p95 - p05) / mean : 0.0;
+    }
+};
+
+/** Sample one vendor-like variant of a description (deterministic per
+ *  seed). */
+DramDescription sampleVariant(const DramDescription& nominal,
+                              const VariationModel& variation,
+                              unsigned seed);
+
+/**
+ * Run the Monte-Carlo study: @p samples variants, evaluating the given
+ * IDD measures on each.
+ */
+std::vector<IddDistribution>
+runMonteCarlo(const DramDescription& nominal,
+              const std::vector<IddMeasure>& measures, int samples,
+              const VariationModel& variation = {}, unsigned seed = 1);
+
+} // namespace vdram
+
+#endif // VDRAM_CORE_MONTECARLO_H

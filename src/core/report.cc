@@ -1,0 +1,145 @@
+#include "core/report.h"
+
+#include "util/strings.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace vdram {
+
+std::string
+renderBreakdown(const PatternPower& power)
+{
+    Table table({"component", "power", "share"});
+    for (const auto& [component, name] : componentNames()) {
+        auto it = power.componentPower.find(component);
+        if (it == power.componentPower.end() || it->second <= 0)
+            continue;
+        table.addRow({name, formatEng(it->second, "W"),
+                      strformat("%5.1f%%", 100.0 * it->second / power.power)});
+    }
+    table.addSeparator();
+    table.addRow({"total", formatEng(power.power, "W"), "100.0%"});
+    return table.render();
+}
+
+std::string
+renderOperationSplit(const PatternPower& power)
+{
+    Table table({"operation", "power", "share"});
+    for (Op op : {Op::Act, Op::Pre, Op::Rd, Op::Wr, Op::Ref, Op::Nop,
+                  Op::Pdn, Op::Srf}) {
+        auto it = power.operationPower.find(op);
+        if (it == power.operationPower.end() || it->second <= 0)
+            continue;
+        std::string label =
+            op == Op::Nop ? "background" : opName(op);
+        if (op == Op::Pdn)
+            label = "power-down";
+        if (op == Op::Srf)
+            label = "self refresh";
+        table.addRow({label, formatEng(it->second, "W"),
+                      strformat("%5.1f%%", 100.0 * it->second / power.power)});
+    }
+    return table.render();
+}
+
+std::string
+renderDomainSplit(const PatternPower& power)
+{
+    Table table({"domain", "power", "share"});
+    for (int d = 0; d < kDomainCount; ++d) {
+        double watts = power.domainPower[static_cast<size_t>(d)];
+        if (watts <= 0)
+            continue;
+        table.addRow({domainName(static_cast<Domain>(d)),
+                      formatEng(watts, "W"),
+                      strformat("%5.1f%%", 100.0 * watts / power.power)});
+    }
+    return table.render();
+}
+
+std::string
+renderIddTable(const DramPowerModel& model)
+{
+    Table table({"measure", "current", "power"});
+    for (IddMeasure m : {IddMeasure::Idd0, IddMeasure::Idd1,
+                         IddMeasure::Idd2N, IddMeasure::Idd2P,
+                         IddMeasure::Idd4R, IddMeasure::Idd4W,
+                         IddMeasure::Idd5, IddMeasure::Idd6,
+                         IddMeasure::Idd7}) {
+        PatternPower p = model.iddPattern(m);
+        table.addRow({iddName(m), formatEng(p.externalCurrent, "A"),
+                      formatEng(p.power, "W")});
+    }
+    return table.render();
+}
+
+std::string
+renderOperationEnergies(const DramPowerModel& model)
+{
+    const ElectricalParams& elec = model.description().elec;
+    const OperationSet& ops = model.operations();
+    long long burst_bits = model.description().spec.bitsPerBurst();
+
+    Table table({"operation", "external energy", "note"});
+    table.addRow({"activate",
+                  formatEng(ops.activate.externalEnergy(elec), "J"),
+                  strformat("%lld-bit page",
+                            static_cast<long long>(
+                                model.geometry().bitlinesPerActivate))});
+    table.addRow({"precharge",
+                  formatEng(ops.precharge.externalEnergy(elec), "J"),
+                  ""});
+    table.addRow({"read burst",
+                  formatEng(ops.read.externalEnergy(elec), "J"),
+                  strformat("%lld bits", burst_bits)});
+    table.addRow({"write burst",
+                  formatEng(ops.write.externalEnergy(elec), "J"),
+                  strformat("%lld bits", burst_bits)});
+    table.addRow({"refresh command",
+                  formatEng(ops.refresh.externalEnergy(elec), "J"),
+                  strformat("%d banks",
+                            model.description().spec.banks())});
+    table.addRow({"background / cycle",
+                  formatEng(ops.backgroundPerCycle.externalEnergy(elec),
+                            "J"),
+                  strformat("%.2f ns cycle",
+                            model.description().timing.tCkSeconds *
+                                1e9)});
+    return table.render();
+}
+
+std::string
+renderAreaReport(const AreaReport& area)
+{
+    Table table({"quantity", "value"});
+    table.addRow({"die width", formatEng(area.dieWidth, "m")});
+    table.addRow({"die height", formatEng(area.dieHeight, "m")});
+    table.addRow({"die area",
+                  strformat("%.1f mm2", area.dieArea * 1e6)});
+    table.addRow({"cell area",
+                  strformat("%.1f mm2", area.cellArea * 1e6)});
+    table.addRow({"array efficiency",
+                  strformat("%.1f%%", area.arrayEfficiency * 100)});
+    table.addRow({"SA stripe share of array block",
+                  strformat("%.1f%%", area.saStripeShare * 100)});
+    table.addRow({"LWD stripe share of array block",
+                  strformat("%.1f%%", area.lwdStripeShare * 100)});
+    return table.render();
+}
+
+std::string
+renderSummary(const DramPowerModel& model)
+{
+    PatternPower p = model.evaluateDefault();
+    AreaReport area = model.area();
+    return strformat(
+        "%s: die %.1f mm2 (array efficiency %.0f%%), default pattern "
+        "%s / IDD %s, %.1f pJ/bit at %.0f%% bus utilization\n",
+        model.description().name.c_str(), area.dieArea * 1e6,
+        area.arrayEfficiency * 100, formatEng(p.power, "W").c_str(),
+        formatEng(p.externalCurrent, "A").c_str(), p.energyPerBit * 1e12,
+        p.busUtilization * 100);
+}
+
+} // namespace vdram

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Human-readable reports: power breakdowns, IDD summaries, area reports.
+ * Used by the examples and the benchmark harnesses.
+ */
+#ifndef VDRAM_CORE_REPORT_H
+#define VDRAM_CORE_REPORT_H
+
+#include <string>
+
+#include "core/model.h"
+
+namespace vdram {
+
+/** Render the component power breakdown of a pattern evaluation. */
+std::string renderBreakdown(const PatternPower& power);
+
+/** Render the per-operation power split of a pattern evaluation. */
+std::string renderOperationSplit(const PatternPower& power);
+
+/** Render the per-voltage-domain power split (power-system view). */
+std::string renderDomainSplit(const PatternPower& power);
+
+/** Render the per-command external energies (DRAMPower-style view):
+ *  one activate/precharge/read-burst/write-burst/refresh and the
+ *  per-cycle background. */
+std::string renderOperationEnergies(const DramPowerModel& model);
+
+/** Render the standard IDD table of a model. */
+std::string renderIddTable(const DramPowerModel& model);
+
+/** Render the area report. */
+std::string renderAreaReport(const AreaReport& area);
+
+/** One-paragraph summary of a model (name, die, default pattern power). */
+std::string renderSummary(const DramPowerModel& model);
+
+} // namespace vdram
+
+#endif // VDRAM_CORE_REPORT_H

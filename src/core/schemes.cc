@@ -1,0 +1,234 @@
+#include "core/schemes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/model.h"
+#include "util/logging.h"
+
+namespace vdram {
+
+std::string
+schemeName(Scheme scheme)
+{
+    switch (scheme) {
+    case Scheme::Baseline: return "baseline commodity";
+    case Scheme::SelectiveBitlineActivation:
+        return "selective bitline activation";
+    case Scheme::SingleSubarrayAccess: return "single sub-array access";
+    case Scheme::SegmentedDataLines: return "segmented data lines";
+    case Scheme::SmallPage512B: return "512B page (8:1 CSL ratio)";
+    case Scheme::TsvStacking: return "3D TSV stacking";
+    case Scheme::LowVoltage12: return "1.2V low-voltage operation";
+    }
+    return "?";
+}
+
+const std::vector<Scheme>&
+allSchemes()
+{
+    static const std::vector<Scheme> schemes = {
+        Scheme::Baseline,
+        Scheme::SelectiveBitlineActivation,
+        Scheme::SingleSubarrayAccess,
+        Scheme::SegmentedDataLines,
+        Scheme::SmallPage512B,
+        Scheme::TsvStacking,
+        Scheme::LowVoltage12,
+    };
+    return schemes;
+}
+
+SchemeEvaluator::SchemeEvaluator(DramDescription base, int cacheline_bytes)
+    : base_(std::move(base)), cachelineBits_(cacheline_bytes * 8)
+{
+}
+
+DramDescription
+SchemeEvaluator::transformed(Scheme scheme) const
+{
+    DramDescription d = base_;
+    const double page_bits = static_cast<double>(d.spec.pageBits());
+
+    switch (scheme) {
+    case Scheme::Baseline:
+        break;
+
+    case Scheme::SelectiveBitlineActivation: {
+        // The activate is posted until the column address arrives, then
+        // only the sub-wordlines covering the cache line fire (at least
+        // one: the sub-wordline is the activation granule).
+        double wanted = std::max<double>(cachelineBits_,
+                                         d.arch.bitsPerLocalWordline);
+        d.arch.pageActivationFraction =
+            std::min(1.0, wanted / page_bits);
+        break;
+    }
+
+    case Scheme::SingleSubarrayAccess: {
+        // The full cache line comes from one sub-array: sense one
+        // sub-wordline and widen the per-column-select data access to
+        // the whole line.
+        d.arch.pageActivationFraction = std::min(
+            1.0, static_cast<double>(d.arch.bitsPerLocalWordline) /
+                     page_bits);
+        d.tech.bitsPerColumnSelect = cachelineBits_;
+        break;
+    }
+
+    case Scheme::SegmentedDataLines: {
+        // Cut-off switches in the center-stripe data busses limit the
+        // driven length to the segment holding the addressed bank
+        // (roughly half the average length).
+        for (SignalNet& net : d.signals) {
+            if (net.role == SignalRole::ReadData ||
+                net.role == SignalRole::WriteData) {
+                for (Segment& segment : net.segments)
+                    segment.lengthScale = 0.55;
+            }
+        }
+        break;
+    }
+
+    case Scheme::SmallPage512B: {
+        // The paper's own 8:1 CSL:MDQ re-architecture (Section V): the
+        // dense M3 tracks freed from column selects become master data
+        // lines, so a 64 B line needs only a 512 B activated page. The
+        // array tiling is unchanged; the activation narrows to the
+        // sub-wordlines covering 512 B.
+        double target_bits = 512.0 * 8.0;
+        double wanted =
+            std::max<double>(target_bits, d.arch.bitsPerLocalWordline);
+        d.arch.pageActivationFraction = std::min(1.0, wanted / page_bits);
+        break;
+    }
+
+    case Scheme::TsvStacking: {
+        // Kang et al.: TSVs "minimize wire length and provide a buffer
+        // to reduce I/O load" — center-stripe data, address and control
+        // runs collapse to short vertical hops, and the DLL/interface
+        // logic is shared by the stack (the slave die keeps a fraction).
+        for (SignalNet& net : d.signals) {
+            if (net.role == SignalRole::ReadData ||
+                net.role == SignalRole::WriteData ||
+                net.role == SignalRole::RowAddress ||
+                net.role == SignalRole::ColumnAddress ||
+                net.role == SignalRole::Control) {
+                for (Segment& segment : net.segments)
+                    segment.lengthScale = 0.25;
+            }
+        }
+        for (LogicBlock& block : d.logicBlocks) {
+            if (block.activity == Activity::Always)
+                block.gateCount *= 0.5;
+        }
+        break;
+    }
+
+    case Scheme::LowVoltage12: {
+        // Moon et al.: a more advanced (logic-like) process runs the
+        // DDR3 core at 1.2 V with proportionally reduced internal
+        // rails.
+        double scale = 1.2 / d.elec.vdd;
+        d.elec.vdd = 1.2;
+        d.elec.vint *= scale;
+        d.elec.vbl *= scale;
+        d.elec.vpp *= scale;
+        break;
+    }
+    }
+
+    d.name = base_.name + " + " + schemeName(scheme);
+    // Architecture changes move array sizes; let the model re-resolve.
+    d.floorplan.resolveArraySizes(
+        computeArrayGeometry(d.arch, d.spec), d.arch.bitlineVertical);
+    return d;
+}
+
+SchemeResult
+SchemeEvaluator::evaluate(Scheme scheme) const
+{
+    DramDescription desc = transformed(scheme);
+    DramPowerModel model(desc);
+    const Specification& spec = desc.spec;
+    const TimingParams& t = desc.timing;
+
+    // Close-page random access: one cache line per row cycle.
+    int bursts = static_cast<int>(std::ceil(
+        static_cast<double>(cachelineBits_) / spec.bitsPerBurst()));
+    int last_read = t.tRcd + (bursts - 1) * t.tCcd;
+    int pre_at = std::max(t.tRas, last_read + t.tRtp);
+    int cycles = std::max(t.tRc, pre_at + t.tRp);
+
+    Pattern pattern;
+    pattern.loop.assign(static_cast<size_t>(cycles), Op::Nop);
+    pattern.loop[0] = Op::Act;
+    for (int i = 0; i < bursts; ++i)
+        pattern.loop[static_cast<size_t>(t.tRcd + i * t.tCcd)] = Op::Rd;
+    pattern.loop[static_cast<size_t>(pre_at)] = Op::Pre;
+
+    PatternPower power = model.evaluate(pattern);
+
+    SchemeResult result;
+    result.scheme = scheme;
+    result.name = schemeName(scheme);
+    result.energyPerAccess = power.power * power.loopTime;
+    result.energyPerBit = result.energyPerAccess / cachelineBits_;
+    double row_power = 0;
+    auto it = power.operationPower.find(Op::Act);
+    if (it != power.operationPower.end())
+        row_power += it->second;
+    it = power.operationPower.find(Op::Pre);
+    if (it != power.operationPower.end())
+        row_power += it->second;
+    result.rowShare = power.power > 0 ? row_power / power.power : 0;
+    result.dieArea = model.area().dieArea;
+
+    switch (scheme) {
+    case Scheme::Baseline:
+        break;
+    case Scheme::SelectiveBitlineActivation:
+        result.caveat = "needs posted activates and per-sub-wordline "
+                        "select; more master-data-line tracks";
+        break;
+    case Scheme::SingleSubarrayAccess:
+        result.caveat = "requires re-architected array block (dense M3 "
+                        "tracks as data lines); SA stripe area grows";
+        break;
+    case Scheme::SegmentedDataLines:
+        result.caveat = "cut-off switches add latency on far banks";
+        break;
+    case Scheme::SmallPage512B:
+        result.caveat = "8:1 CSL:MDQ ratio uses the dense M3 pitch for "
+                        "differential data lines";
+        break;
+    case Scheme::TsvStacking:
+        result.caveat = "TSV process adder and master/slave die yield "
+                        "loss";
+        break;
+    case Scheme::LowVoltage12:
+        result.caveat = "needs a more expensive (logic-like) transistor "
+                        "process";
+        break;
+    }
+    return result;
+}
+
+std::vector<SchemeResult>
+SchemeEvaluator::evaluateAll() const
+{
+    std::vector<SchemeResult> results;
+    double baseline_energy = 0;
+    for (Scheme scheme : allSchemes()) {
+        SchemeResult r = evaluate(scheme);
+        if (scheme == Scheme::Baseline)
+            baseline_energy = r.energyPerAccess;
+        r.savingsVsBaseline = baseline_energy > 0
+            ? 1.0 - r.energyPerAccess / baseline_energy
+            : 0.0;
+        results.push_back(std::move(r));
+    }
+    return results;
+}
+
+} // namespace vdram

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Evaluation of proposed DRAM power-reduction schemes (paper Section V):
+ * each scheme is expressed as a transformation of a base description and
+ * evaluated on a close-page random-access workload (every cache-line
+ * access pays activate + column + precharge), the access pattern the
+ * proposals target.
+ *
+ * Schemes:
+ *  - Selective bitline activation (Udipi et al.): the activate is posted
+ *    until the column address is known and only the sub-wordlines holding
+ *    the requested cache line fire.
+ *  - Single sub-array access (Udipi et al.): the full cache line comes
+ *    from one sub-array; only that sub-array's bitlines are sensed and
+ *    the column path moves the line in one access.
+ *  - Segmented data lines (Jeong et al.): cut-offs in the center-stripe
+ *    data busses halve the average driven length.
+ *  - Small page / 8:1 CSL re-architecture (paper's own analysis): the
+ *    page shrinks to 512 B so a 64 B line needs only 1/8 of today's
+ *    minimum page.
+ *  - TSV stacking (Kang et al.): through-silicon vias shorten the data
+ *    and control wiring to a fraction and buffer the I/O load.
+ *  - Low-voltage operation (Moon et al.): a more advanced process runs
+ *    the same DDR3 core at 1.2 V external.
+ */
+#ifndef VDRAM_CORE_SCHEMES_H
+#define VDRAM_CORE_SCHEMES_H
+
+#include <string>
+#include <vector>
+
+#include "core/description.h"
+
+namespace vdram {
+
+/** The evaluated power-reduction schemes. */
+enum class Scheme {
+    Baseline,
+    SelectiveBitlineActivation,
+    SingleSubarrayAccess,
+    SegmentedDataLines,
+    SmallPage512B,
+    TsvStacking,
+    LowVoltage12,
+};
+
+/** Name of a scheme. */
+std::string schemeName(Scheme scheme);
+
+/** All schemes including the baseline, in report order. */
+const std::vector<Scheme>& allSchemes();
+
+/** Evaluation result of one scheme. */
+struct SchemeResult {
+    Scheme scheme = Scheme::Baseline;
+    std::string name;
+    /** Energy of one random 64 B cache-line access (J). */
+    double energyPerAccess = 0;
+    /** Energy per bit of that access (J). */
+    double energyPerBit = 0;
+    /** Activate + precharge share of the access energy (0..1). */
+    double rowShare = 0;
+    /** Die area of the transformed device (m^2). */
+    double dieArea = 0;
+    /** Savings vs the baseline (computed by the evaluator; 0 for the
+     *  baseline itself). */
+    double savingsVsBaseline = 0;
+    /** Implementation caveat reported alongside the numbers. */
+    std::string caveat;
+};
+
+/** Evaluator over a base (commodity) description. */
+class SchemeEvaluator {
+  public:
+    explicit SchemeEvaluator(DramDescription base,
+                             int cacheline_bytes = 64);
+
+    /** Transform the base description according to a scheme. */
+    DramDescription transformed(Scheme scheme) const;
+
+    /** Evaluate one scheme. */
+    SchemeResult evaluate(Scheme scheme) const;
+
+    /** Evaluate all schemes (baseline first). */
+    std::vector<SchemeResult> evaluateAll() const;
+
+  private:
+    DramDescription base_;
+    int cachelineBits_;
+};
+
+} // namespace vdram
+
+#endif // VDRAM_CORE_SCHEMES_H

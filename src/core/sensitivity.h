@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Sensitivity analysis of the power model (paper Fig. 10 and Table III):
+ * every model parameter is varied by +/- a relative amount and the change
+ * of the power of the paper's IDD7-like pattern (half reads replaced by
+ * writes) is recorded, producing the power-consumption Pareto.
+ *
+ * Parameters are swept in the paper's grouping: the internal voltages and
+ * efficiencies individually, the technology parameters individually or
+ * grouped ("gate oxide thickness", "specific wire capacitance"), and the
+ * peripheral logic described by aggregate knobs (number of gates, device
+ * widths, layout/wiring density) applied across all logic blocks.
+ */
+#ifndef VDRAM_CORE_SENSITIVITY_H
+#define VDRAM_CORE_SENSITIVITY_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/description.h"
+
+namespace vdram {
+
+/** Result of sweeping one parameter. */
+struct SensitivityResult {
+    std::string name;
+    /** Relative power change at +variation (e.g. +0.12 = +12 %). */
+    double plus = 0;
+    /** Relative power change at -variation. */
+    double minus = 0;
+
+    /** Total variation (the paper's bar length): |plus - minus|. */
+    double spread() const;
+};
+
+/** How to enumerate parameters. */
+enum class SweepMode {
+    Grouped,  ///< Table III grouping (aggregated oxides/wire caps/logic)
+    Detailed, ///< every registered parameter individually
+};
+
+/** One sweepable parameter: a name and a multiplicative mutator. */
+struct SweepParam {
+    std::string name;
+    std::function<void(DramDescription&, double factor)> apply;
+};
+
+/** The sweep list for a mode. */
+std::vector<SweepParam> sweepParameters(SweepMode mode);
+
+/** Sensitivity analyzer over a base description. */
+class SensitivityAnalyzer {
+  public:
+    explicit SensitivityAnalyzer(DramDescription base);
+
+    /**
+     * Sweep all parameters of the mode by +/- variation and return the
+     * results sorted by descending spread.
+     */
+    std::vector<SensitivityResult>
+    analyze(double variation = 0.20, SweepMode mode = SweepMode::Grouped)
+        const;
+
+    /** Power of the base description's pareto pattern (watts). */
+    double basePower() const { return basePower_; }
+
+  private:
+    double patternPowerOf(const DramDescription& desc) const;
+
+    DramDescription base_;
+    double basePower_ = 0;
+};
+
+} // namespace vdram
+
+#endif // VDRAM_CORE_SENSITIVITY_H

@@ -1,0 +1,48 @@
+#include "core/spec.h"
+
+namespace vdram {
+
+std::string
+activityName(Activity activity)
+{
+    switch (activity) {
+    case Activity::Always: return "always";
+    case Activity::RowCommand: return "row";
+    case Activity::ActivateOnly: return "activate";
+    case Activity::PrechargeOnly: return "precharge";
+    case Activity::ColumnCommand: return "column";
+    case Activity::ReadOnly: return "read";
+    case Activity::WriteOnly: return "write";
+    case Activity::PerDataBit: return "databit";
+    }
+    return "?";
+}
+
+std::string
+opName(Op op)
+{
+    switch (op) {
+    case Op::Act: return "act";
+    case Op::Pre: return "pre";
+    case Op::Rd: return "rd";
+    case Op::Wr: return "wrt";
+    case Op::Nop: return "nop";
+    case Op::Ref: return "ref";
+    case Op::Pdn: return "pdn";
+    case Op::Srf: return "srf";
+    }
+    return "?";
+}
+
+int
+Pattern::count(Op op) const
+{
+    int n = 0;
+    for (Op o : loop) {
+        if (o == op)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace vdram

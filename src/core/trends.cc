@@ -1,0 +1,52 @@
+#include "core/trends.h"
+
+#include "core/model.h"
+#include "util/numerics.h"
+
+namespace vdram {
+
+std::vector<TrendPoint>
+computeTrends(const BuilderOptions& options)
+{
+    std::vector<TrendPoint> points;
+    for (const GenerationInfo& gen : generationLadder()) {
+        DramDescription desc = buildCommodityDescription(gen, options);
+        DramPowerModel model(std::move(desc));
+
+        TrendPoint p;
+        p.generation = gen;
+        p.vdd = gen.vdd;
+        p.vint = gen.vint;
+        p.vpp = gen.vpp;
+        p.vbl = gen.vbl;
+        p.dataRatePerPin = gen.dataRatePerPin;
+        p.tRcSeconds = gen.tRcSeconds;
+        p.dieAreaMm2 = model.area().dieArea * 1e6;
+        p.energyPerBit = model.energyPerBit();
+        p.idd0 = model.idd(IddMeasure::Idd0);
+        p.idd4r = model.idd(IddMeasure::Idd4R);
+        p.arrayEfficiency = model.area().arrayEfficiency;
+        points.push_back(std::move(p));
+    }
+    return points;
+}
+
+TrendSummary
+summarizeTrends(const std::vector<TrendPoint>& points)
+{
+    TrendSummary summary;
+    std::vector<double> historical;
+    std::vector<double> forecast;
+    for (const TrendPoint& p : points) {
+        double node = p.generation.featureSize;
+        if (node >= 44e-9 - 0.5e-9)
+            historical.push_back(p.energyPerBit);
+        if (node <= 44e-9 + 0.5e-9)
+            forecast.push_back(p.energyPerBit);
+    }
+    summary.historicalFactorPerGen = averageStepFactor(historical);
+    summary.forecastFactorPerGen = averageStepFactor(forecast);
+    return summary;
+}
+
+} // namespace vdram

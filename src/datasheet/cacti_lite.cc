@@ -1,0 +1,42 @@
+#include "datasheet/cacti_lite.h"
+
+#include "floorplan/array_geometry.h"
+
+namespace vdram {
+
+FlatArrayEstimate
+computeFlatArrayEstimate(const DramDescription& desc)
+{
+    FlatArrayEstimate est;
+    const TechnologyParams& tech = desc.tech;
+    const ElectricalParams& e = desc.elec;
+
+    ArrayGeometry geo = computeArrayGeometry(desc.arch, desc.spec);
+
+    // Without bitline segmentation the bitline spans the full bank
+    // height: scale the per-segment capacitance by the number of
+    // sub-array rows.
+    est.flatBitlineCap = tech.bitlineCap * geo.subarrayRows;
+    // Without wordline segmentation the fired (poly) wordline spans the
+    // full bank width; scale the local wordline cell load by the number
+    // of sub-array columns.
+    double lwl_cells_cap =
+        desc.arch.bitsPerLocalWordline * tech.gateCapCell() +
+        geo.localWordlineLength * tech.wireCapLocalWordline;
+    est.flatWordlineCap = lwl_cells_cap * geo.subarrayColumns;
+
+    const double pairs = static_cast<double>(desc.spec.pageBits());
+    est.activateEnergy =
+        pairs * est.flatBitlineCap * e.vbl / 2.0 * e.vbl +
+        est.flatWordlineCap * e.vpp * e.vpp;
+
+    // Read: the selected bits travel the full bank height on undivided
+    // data lines.
+    const double bits = static_cast<double>(desc.spec.bitsPerBurst());
+    est.readEnergy =
+        bits * geo.bankHeight * tech.wireCapSignal * e.vint * e.vint;
+
+    return est;
+}
+
+} // namespace vdram

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * A deliberately coarse flat-array analytical comparator ("CACTI-lite").
+ *
+ * It models the bank as a monolithic array without the hierarchical
+ * wordline/data-line structure of Section II: bitlines span the full
+ * bank height and the fired wordline spans the full bank width. The
+ * contrast against the hierarchical model quantifies how much of the
+ * energy picture depends on modeling the real sub-array structure — the
+ * paper's argument for a description-driven model over tools with the
+ * architecture baked in.
+ */
+#ifndef VDRAM_DATASHEET_CACTI_LITE_H
+#define VDRAM_DATASHEET_CACTI_LITE_H
+
+#include "core/description.h"
+
+namespace vdram {
+
+/** Flat-array energy estimate. */
+struct FlatArrayEstimate {
+    /** Energy of one activate (J). */
+    double activateEnergy = 0;
+    /** Energy of one read burst (J). */
+    double readEnergy = 0;
+    /** Effective (full-bank) bitline capacitance used (F). */
+    double flatBitlineCap = 0;
+    /** Effective (full-bank) wordline capacitance used (F). */
+    double flatWordlineCap = 0;
+};
+
+/** Compute the flat-array estimate for a description. */
+FlatArrayEstimate computeFlatArrayEstimate(const DramDescription& desc);
+
+} // namespace vdram
+
+#endif // VDRAM_DATASHEET_CACTI_LITE_H

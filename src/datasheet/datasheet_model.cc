@@ -1,0 +1,41 @@
+#include "datasheet/datasheet_model.h"
+
+#include <algorithm>
+
+namespace vdram {
+
+DatasheetPower
+computeDatasheetPower(const DatasheetRatings& r, const UsageProfile& usage)
+{
+    DatasheetPower p;
+
+    // Background: blend of active and precharged standby.
+    double background_current =
+        usage.bankActiveFraction * r.idd3n +
+        (1.0 - usage.bankActiveFraction) * r.idd2n;
+    p.background = background_current * r.vdd;
+
+    // Activate/precharge: IDD0 is measured cycling one bank at tRC with
+    // the rest in active standby; the row surplus is IDD0 minus the
+    // standby blend over the same window.
+    double idd0_background =
+        (r.idd3n * r.tRas + r.idd2n * (r.tRc - r.tRas)) / r.tRc;
+    double act_surplus = std::max(0.0, r.idd0 - idd0_background);
+    p.activate = act_surplus * usage.rowCycleUtilization * r.vdd;
+
+    // Column: IDD4 surpluses over active standby, scaled by achieved bus
+    // utilization.
+    p.read =
+        std::max(0.0, r.idd4r - r.idd3n) * usage.readFraction * r.vdd;
+    p.write =
+        std::max(0.0, r.idd4w - r.idd3n) * usage.writeFraction * r.vdd;
+
+    // Refresh: IDD5 surplus at its duty cycle.
+    p.refresh = std::max(0.0, r.idd5 - r.idd3n) * (r.tRfc / r.tRefi) *
+                r.vdd;
+
+    p.total = p.background + p.activate + p.read + p.write + p.refresh;
+    return p;
+}
+
+} // namespace vdram

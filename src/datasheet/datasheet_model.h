@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The datasheet-based baseline power model (the approach the paper
+ * contrasts with, Section I and references [19], [20]): system power is
+ * computed from measured datasheet IDD values and a usage profile, in
+ * the style of the Micron System Power Calculator.
+ *
+ * This baseline can only describe existing parts — it has no knowledge
+ * of where on the die power is consumed and cannot extrapolate to new
+ * technologies, which is exactly the gap the analytical model fills.
+ * It serves as the comparator in the verification benches.
+ */
+#ifndef VDRAM_DATASHEET_DATASHEET_MODEL_H
+#define VDRAM_DATASHEET_DATASHEET_MODEL_H
+
+namespace vdram {
+
+/** Measured datasheet currents of a part (amperes) and its timing. */
+struct DatasheetRatings {
+    double vdd = 1.5;
+    double idd0 = 0.085;
+    double idd2n = 0.035;
+    double idd3n = 0.045;
+    double idd4r = 0.200;
+    double idd4w = 0.185;
+    double idd5 = 0.180;
+    /** Rated row cycle / refresh timings (seconds). */
+    double tRc = 50e-9;
+    double tRas = 36e-9;
+    double tRfc = 110e-9;
+    double tRefi = 7.8e-6;
+};
+
+/** Usage profile of the part in a system. */
+struct UsageProfile {
+    /** Fraction of time at least one bank is active. */
+    double bankActiveFraction = 1.0;
+    /** Achieved row-cycle rate relative to back-to-back tRC cycling. */
+    double rowCycleUtilization = 0.5;
+    /** Fraction of data-bus cycles carrying reads. */
+    double readFraction = 0.3;
+    /** Fraction of data-bus cycles carrying writes. */
+    double writeFraction = 0.2;
+};
+
+/** Power breakdown of the datasheet model (watts). */
+struct DatasheetPower {
+    double background = 0;
+    double activate = 0;
+    double read = 0;
+    double write = 0;
+    double refresh = 0;
+    double total = 0;
+};
+
+/**
+ * Micron-power-calculator-style evaluation: the activate power is the
+ * IDD0 surplus over background scaled by the achieved row-cycle rate;
+ * read/write powers are the IDD4 surpluses scaled by bus utilization;
+ * refresh is the IDD5 surplus at the tREFI duty cycle.
+ */
+DatasheetPower computeDatasheetPower(const DatasheetRatings& ratings,
+                                     const UsageProfile& usage);
+
+} // namespace vdram
+
+#endif // VDRAM_DATASHEET_DATASHEET_MODEL_H

@@ -1,0 +1,66 @@
+#include "datasheet/reference_data.h"
+
+#include "util/strings.h"
+
+namespace vdram {
+
+std::string
+DatasheetPoint::label() const
+{
+    return strformat("%s %.0f x%d", iddName(measure).c_str(), dataRateMbps,
+                     ioWidth);
+}
+
+namespace {
+
+DatasheetPoint
+point(IddMeasure m, double rate, int width, double min_ma, double max_ma)
+{
+    return DatasheetPoint{m, rate, width, min_ma, max_ma};
+}
+
+} // namespace
+
+const std::vector<DatasheetPoint>&
+ddr2_1gb_datasheet()
+{
+    using I = IddMeasure;
+    // Envelopes over Samsung K4T1G044QQ/084QQ/164QQ, Hynix H5PS1G63EFR,
+    // Micron MT47H64M16, Elpida EDE1116ACBG, Qimonda HYI18T1G160C2
+    // (DDR2-533/667/800 speed grades).
+    static const std::vector<DatasheetPoint> points = {
+        point(I::Idd0, 533, 4, 55, 90),
+        point(I::Idd0, 667, 8, 60, 100),
+        point(I::Idd0, 800, 16, 70, 115),
+        point(I::Idd4R, 533, 4, 95, 150),
+        point(I::Idd4R, 667, 8, 115, 180),
+        point(I::Idd4R, 800, 16, 150, 235),
+        point(I::Idd4W, 533, 4, 90, 140),
+        point(I::Idd4W, 667, 8, 110, 170),
+        point(I::Idd4W, 800, 16, 140, 220),
+    };
+    return points;
+}
+
+const std::vector<DatasheetPoint>&
+ddr3_1gb_datasheet()
+{
+    using I = IddMeasure;
+    // Envelopes over Samsung K4B1G0446D family, Hynix H5TQ1G63AFP,
+    // Micron MT41J64M16, Elpida EDJ1116BBSE, Qimonda IDSH1G-04A1F1C
+    // (DDR3-800/1066/1333 speed grades).
+    static const std::vector<DatasheetPoint> points = {
+        point(I::Idd0, 800, 4, 50, 85),
+        point(I::Idd0, 1066, 8, 55, 90),
+        point(I::Idd0, 1333, 16, 65, 105),
+        point(I::Idd4R, 800, 4, 85, 135),
+        point(I::Idd4R, 1066, 8, 110, 175),
+        point(I::Idd4R, 1333, 16, 145, 235),
+        point(I::Idd4W, 800, 4, 80, 130),
+        point(I::Idd4W, 1066, 8, 105, 165),
+        point(I::Idd4W, 1333, 16, 135, 220),
+    };
+    return points;
+}
+
+} // namespace vdram

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Vendor datasheet IDD reference bands for the verification experiments
+ * (paper Figs. 8 and 9, references [22] and [23]).
+ *
+ * The paper compares the model against datasheet values of 1 Gb DDR2 and
+ * DDR3 parts from Samsung, Hynix, Micron, Elpida and Qimonda and notes
+ * "a quite large spread" across vendors. The bands encoded here are
+ * representative min/max envelopes of those public datasheets; the
+ * verification criterion is that the model lands inside (or very near)
+ * the band with the correct dependency on data rate, I/O width and
+ * operation type.
+ */
+#ifndef VDRAM_DATASHEET_REFERENCE_DATA_H
+#define VDRAM_DATASHEET_REFERENCE_DATA_H
+
+#include <string>
+#include <vector>
+
+#include "protocol/idd.h"
+
+namespace vdram {
+
+/** One verification point: an x-axis label of Fig. 8/9. */
+struct DatasheetPoint {
+    IddMeasure measure = IddMeasure::Idd0;
+    /** Per-pin data rate in Mb/s (533, 667, 800, 1066, 1333...). */
+    double dataRateMbps = 0;
+    /** Device I/O width (4, 8, 16). */
+    int ioWidth = 0;
+    /** Vendor band in milliamperes. */
+    double minMa = 0;
+    double maxMa = 0;
+
+    /** Label in the paper's style, e.g. "Idd4R 800 x16". */
+    std::string label() const;
+};
+
+/** Fig. 8 band set: 1 Gb DDR2. */
+const std::vector<DatasheetPoint>& ddr2_1gb_datasheet();
+
+/** Fig. 9 band set: 1 Gb DDR3. */
+const std::vector<DatasheetPoint>& ddr3_1gb_datasheet();
+
+} // namespace vdram
+
+#endif // VDRAM_DATASHEET_REFERENCE_DATA_H

@@ -1,0 +1,756 @@
+#include "dsl/parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "protocol/idd.h"
+#include "util/strings.h"
+#include "util/units.h"
+
+namespace vdram {
+
+namespace {
+
+enum class Section {
+    None,
+    FloorplanPhysical,
+    FloorplanSignaling,
+    Specification,
+    Technology,
+    Electrical,
+    LogicBlocks,
+    Timing,
+};
+
+struct KeyValue {
+    std::string key;   // lower case
+    std::string value; // verbatim
+    int line = 0;
+};
+
+/** Mutable state of one parse run. */
+struct ParseState {
+    DramDescription desc;
+    // Floorplan assembly.
+    std::vector<std::string> vertical_names;
+    std::vector<std::string> horizontal_names;
+    std::map<std::string, double> block_sizes;
+    // Signal net assembly, keyed by net base name in insertion order.
+    std::vector<std::string> net_order;
+    std::map<std::string, SignalNet> nets;
+    // Timing overrides in seconds (0 = derive).
+    double trc = 0, trcd = 0, trp = 0;
+    bool have_pattern = false;
+    bool have_spec_io = false;
+};
+
+Error
+errAt(int line, std::string message)
+{
+    return Error{std::move(message), line};
+}
+
+/** Split "key=value" at the first '='. */
+bool
+splitKeyValue(const std::string& token, KeyValue& out)
+{
+    size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0)
+        return false;
+    out.key = toLower(token.substr(0, eq));
+    out.value = token.substr(eq + 1);
+    return true;
+}
+
+/** Strip a trailing integer index: "DataW1" -> "DataW". */
+std::string
+stripIndex(const std::string& name)
+{
+    size_t end = name.size();
+    while (end > 0 && std::isdigit(static_cast<unsigned char>(name[end - 1])))
+        --end;
+    return name.substr(0, end);
+}
+
+SignalRole
+inferRole(const std::string& base)
+{
+    std::string b = toLower(base);
+    if (startsWith(b, "dataw") || startsWith(b, "write"))
+        return SignalRole::WriteData;
+    if (startsWith(b, "datar") || startsWith(b, "read"))
+        return SignalRole::ReadData;
+    if (startsWith(b, "clk") || startsWith(b, "clock"))
+        return SignalRole::Clock;
+    if (startsWith(b, "addrrow") || startsWith(b, "rowadd"))
+        return SignalRole::RowAddress;
+    if (startsWith(b, "addrcol") || startsWith(b, "coladd"))
+        return SignalRole::ColumnAddress;
+    return SignalRole::Control;
+}
+
+Result<SignalRole>
+parseRole(const std::string& value, int line)
+{
+    std::string v = toLower(value);
+    if (v == "writedata") return SignalRole::WriteData;
+    if (v == "readdata") return SignalRole::ReadData;
+    if (v == "rowaddress") return SignalRole::RowAddress;
+    if (v == "columnaddress") return SignalRole::ColumnAddress;
+    if (v == "control") return SignalRole::Control;
+    if (v == "clock") return SignalRole::Clock;
+    return errAt(line, "unknown signal role '" + value + "'");
+}
+
+Result<Activity>
+parseActivity(const std::string& value, int line)
+{
+    std::string v = toLower(value);
+    if (v == "always") return Activity::Always;
+    if (v == "row") return Activity::RowCommand;
+    if (v == "activate") return Activity::ActivateOnly;
+    if (v == "precharge") return Activity::PrechargeOnly;
+    if (v == "column") return Activity::ColumnCommand;
+    if (v == "read") return Activity::ReadOnly;
+    if (v == "write") return Activity::WriteOnly;
+    if (v == "databit") return Activity::PerDataBit;
+    return errAt(line, "unknown logic block activity '" + value + "'");
+}
+
+Result<Op>
+parseOp(const std::string& token, int line)
+{
+    std::string t = toLower(token);
+    if (t == "act" || t == "activate") return Op::Act;
+    if (t == "pre" || t == "precharge") return Op::Pre;
+    if (t == "rd" || t == "read") return Op::Rd;
+    if (t == "wrt" || t == "wr" || t == "write") return Op::Wr;
+    if (t == "nop") return Op::Nop;
+    if (t == "ref" || t == "refresh") return Op::Ref;
+    if (t == "pdn" || t == "powerdown") return Op::Pdn;
+    if (t == "srf" || t == "selfrefresh") return Op::Srf;
+    return errAt(line, "unknown pattern operation '" + token + "'");
+}
+
+/** Parse a value with an expected dimension; dimensionless allowed for
+ *  counts and when allow_bare is set. */
+Result<double>
+value(const KeyValue& kv, Dimension dim, bool allow_bare = false)
+{
+    Result<double> r = parseQuantityAs(kv.value, dim, allow_bare);
+    if (!r.ok())
+        return errAt(kv.line, r.error().message);
+    return r;
+}
+
+Result<long long>
+intValue(const KeyValue& kv)
+{
+    Result<long long> r = parseInteger(kv.value);
+    if (!r.ok())
+        return errAt(kv.line, r.error().message);
+    return r;
+}
+
+/** Widths given without a unit are micrometres (paper: "PchW=19.2"). */
+Result<double>
+widthValue(const KeyValue& kv)
+{
+    Result<Quantity> q = parseQuantity(kv.value);
+    if (!q.ok())
+        return errAt(kv.line, q.error().message);
+    if (q.value().dim == Dimension::Length)
+        return q.value().value;
+    if (q.value().dim == Dimension::Dimensionless)
+        return q.value().value * 1e-6;
+    return errAt(kv.line, "expected a width in '" + kv.value + "'");
+}
+
+Status
+handleCellArray(ParseState& st, const std::vector<KeyValue>& kvs)
+{
+    for (const KeyValue& kv : kvs) {
+        if (kv.key == "bl") {
+            st.desc.arch.bitlineVertical = toLower(kv.value) != "h";
+        } else if (kv.key == "bitsperbl") {
+            auto v = intValue(kv);
+            if (!v.ok()) return v.error();
+            st.desc.arch.bitsPerBitline = static_cast<int>(v.value());
+        } else if (kv.key == "bitspersubwl") {
+            auto v = intValue(kv);
+            if (!v.ok()) return v.error();
+            st.desc.arch.bitsPerLocalWordline = static_cast<int>(v.value());
+        } else if (kv.key == "bltype") {
+            std::string t = toLower(kv.value);
+            if (t != "open" && t != "folded")
+                return errAt(kv.line, "BLtype must be open or folded");
+            st.desc.arch.foldedBitline = t == "folded";
+        } else if (kv.key == "wlpitch") {
+            auto v = value(kv, Dimension::Length);
+            if (!v.ok()) return v.error();
+            st.desc.arch.wordlinePitch = v.value();
+        } else if (kv.key == "blpitch") {
+            auto v = value(kv, Dimension::Length);
+            if (!v.ok()) return v.error();
+            st.desc.arch.bitlinePitch = v.value();
+        } else if (kv.key == "sastripe") {
+            auto v = value(kv, Dimension::Length);
+            if (!v.ok()) return v.error();
+            st.desc.arch.saStripeWidth = v.value();
+        } else if (kv.key == "lwdstripe") {
+            auto v = value(kv, Dimension::Length);
+            if (!v.ok()) return v.error();
+            st.desc.arch.lwdStripeWidth = v.value();
+        } else if (kv.key == "blockspercsl") {
+            auto v = intValue(kv);
+            if (!v.ok()) return v.error();
+            st.desc.arch.arrayBlocksPerCsl = static_cast<int>(v.value());
+        } else if (kv.key == "banksplit") {
+            auto v = intValue(kv);
+            if (!v.ok()) return v.error();
+            st.desc.arch.bankSplit = static_cast<int>(v.value());
+        } else if (kv.key == "cellareaf2") {
+            auto v = intValue(kv);
+            if (!v.ok()) return v.error();
+            st.desc.arch.cellAreaFactorF2 = static_cast<int>(v.value());
+        } else if (kv.key == "restoreshare") {
+            auto v = value(kv, Dimension::Fraction);
+            if (!v.ok()) return v.error();
+            st.desc.arch.cellRestoreShare = v.value();
+        } else if (kv.key == "activationfraction") {
+            auto v = value(kv, Dimension::Fraction);
+            if (!v.ok()) return v.error();
+            st.desc.arch.pageActivationFraction = v.value();
+        } else {
+            return errAt(kv.line,
+                         "unknown CellArray attribute '" + kv.key + "'");
+        }
+    }
+    return Status::okStatus();
+}
+
+Status
+handleSizes(ParseState& st, const std::vector<KeyValue>& kvs)
+{
+    for (const KeyValue& kv : kvs) {
+        auto v = value(kv, Dimension::Length);
+        if (!v.ok())
+            return v.error();
+        // Sizes are keyed by (lower-cased) block name.
+        st.block_sizes[kv.key] = v.value();
+    }
+    return Status::okStatus();
+}
+
+Status
+handleSignalSegment(ParseState& st, const std::string& name,
+                    const std::vector<KeyValue>& kvs, int line)
+{
+    std::string base = stripIndex(name);
+    if (base.empty())
+        base = name;
+    auto [it, inserted] = st.nets.try_emplace(base);
+    SignalNet& net = it->second;
+    if (inserted) {
+        st.net_order.push_back(base);
+        net.name = base;
+        net.role = inferRole(base);
+        net.wireCount = 1;
+        net.toggleRate = 0.5;
+    }
+
+    Segment seg;
+    bool have_inside = false, have_start = false, have_end = false;
+    for (const KeyValue& kv : kvs) {
+        if (kv.key == "role") {
+            auto r = parseRole(kv.value, kv.line);
+            if (!r.ok()) return r.error();
+            net.role = r.value();
+        } else if (kv.key == "wires") {
+            auto v = intValue(kv);
+            if (!v.ok()) return v.error();
+            net.wireCount = static_cast<int>(v.value());
+        } else if (kv.key == "toggle") {
+            auto v = value(kv, Dimension::Fraction);
+            if (!v.ok()) return v.error();
+            net.toggleRate = v.value();
+        } else if (kv.key == "inside") {
+            auto r = Floorplan::parseGridRef(kv.value);
+            if (!r.ok()) return errAt(kv.line, r.error().message);
+            seg.inside = r.value();
+            have_inside = true;
+        } else if (kv.key == "fraction") {
+            auto v = value(kv, Dimension::Fraction);
+            if (!v.ok()) return v.error();
+            seg.fraction = v.value();
+        } else if (kv.key == "dir") {
+            seg.horizontal = toLower(kv.value) != "v";
+        } else if (kv.key == "start") {
+            auto r = Floorplan::parseGridRef(kv.value);
+            if (!r.ok()) return errAt(kv.line, r.error().message);
+            seg.from = r.value();
+            have_start = true;
+        } else if (kv.key == "end") {
+            auto r = Floorplan::parseGridRef(kv.value);
+            if (!r.ok()) return errAt(kv.line, r.error().message);
+            seg.to = r.value();
+            have_end = true;
+        } else if (kv.key == "pchw") {
+            auto v = widthValue(kv);
+            if (!v.ok()) return v.error();
+            seg.bufferWidthP = v.value();
+        } else if (kv.key == "nchw") {
+            auto v = widthValue(kv);
+            if (!v.ok()) return v.error();
+            seg.bufferWidthN = v.value();
+        } else if (kv.key == "mux") {
+            auto v = parseRatio(kv.value);
+            if (!v.ok()) return errAt(kv.line, v.error().message);
+            seg.muxFactor = v.value();
+        } else if (kv.key == "scale") {
+            auto v = value(kv, Dimension::Fraction, true);
+            if (!v.ok()) return v.error();
+            seg.lengthScale = v.value();
+        } else {
+            return errAt(kv.line,
+                         "unknown signal attribute '" + kv.key + "'");
+        }
+    }
+    if (have_inside && (have_start || have_end))
+        return errAt(line, "segment cannot be both inside a block and "
+                           "between blocks");
+    if (!have_inside && have_start != have_end)
+        return errAt(line, "segment needs both start= and end=");
+    if (!have_inside && !have_start)
+        return errAt(line, "segment needs inside= or start=/end=");
+    seg.insideBlock = have_inside;
+    net.segments.push_back(seg);
+    return Status::okStatus();
+}
+
+Status
+handleSpecification(ParseState& st, const std::string& keyword,
+                    const std::vector<KeyValue>& kvs, int line)
+{
+    Specification& spec = st.desc.spec;
+    std::string kw = toLower(keyword);
+    if (kw == "io") {
+        for (const KeyValue& kv : kvs) {
+            if (kv.key == "width") {
+                auto v = intValue(kv);
+                if (!v.ok()) return v.error();
+                spec.ioWidth = static_cast<int>(v.value());
+                st.have_spec_io = true;
+            } else if (kv.key == "datarate") {
+                auto v = value(kv, Dimension::DataRate);
+                if (!v.ok()) return v.error();
+                spec.dataRate = v.value();
+            } else {
+                return errAt(kv.line, "unknown IO attribute '" + kv.key +
+                                      "'");
+            }
+        }
+    } else if (kw == "clock") {
+        for (const KeyValue& kv : kvs) {
+            if (kv.key == "number") {
+                auto v = intValue(kv);
+                if (!v.ok()) return v.error();
+                spec.clockWires = static_cast<int>(v.value());
+            } else if (kv.key == "frequency") {
+                auto v = value(kv, Dimension::Frequency);
+                if (!v.ok()) return v.error();
+                spec.dataClockFrequency = v.value();
+            } else {
+                return errAt(kv.line, "unknown Clock attribute '" + kv.key +
+                                      "'");
+            }
+        }
+    } else if (kw == "control") {
+        for (const KeyValue& kv : kvs) {
+            if (kv.key == "frequency") {
+                auto v = value(kv, Dimension::Frequency);
+                if (!v.ok()) return v.error();
+                spec.controlClockFrequency = v.value();
+            } else if (kv.key == "bankadd") {
+                auto v = intValue(kv);
+                if (!v.ok()) return v.error();
+                spec.bankAddressBits = static_cast<int>(v.value());
+            } else if (kv.key == "rowadd") {
+                auto v = intValue(kv);
+                if (!v.ok()) return v.error();
+                spec.rowAddressBits = static_cast<int>(v.value());
+            } else if (kv.key == "coladd") {
+                auto v = intValue(kv);
+                if (!v.ok()) return v.error();
+                spec.columnAddressBits = static_cast<int>(v.value());
+            } else if (kv.key == "misc") {
+                auto v = intValue(kv);
+                if (!v.ok()) return v.error();
+                spec.miscControlSignals = static_cast<int>(v.value());
+            } else {
+                return errAt(kv.line, "unknown Control attribute '" +
+                                      kv.key + "'");
+            }
+        }
+    } else if (kw == "burst") {
+        for (const KeyValue& kv : kvs) {
+            if (kv.key == "length") {
+                auto v = intValue(kv);
+                if (!v.ok()) return v.error();
+                spec.burstLength = static_cast<int>(v.value());
+            } else if (kv.key == "prefetch") {
+                auto v = intValue(kv);
+                if (!v.ok()) return v.error();
+                spec.prefetch = static_cast<int>(v.value());
+            } else {
+                return errAt(kv.line, "unknown Burst attribute '" + kv.key +
+                                      "'");
+            }
+        }
+    } else {
+        return errAt(line, "unknown specification item '" + keyword + "'");
+    }
+    return Status::okStatus();
+}
+
+Status
+handleParams(ParseState& st, const std::vector<KeyValue>& kvs)
+{
+    for (const KeyValue& kv : kvs) {
+        const ParamInfo* info = findParam(kv.key);
+        if (!info)
+            return errAt(kv.line, "unknown parameter '" + kv.key + "'");
+        auto v = value(kv, info->dim, true);
+        if (!v.ok())
+            return v.error();
+        setParam(*info, st.desc.tech, st.desc.elec, v.value());
+    }
+    return Status::okStatus();
+}
+
+Status
+handleLogicBlock(ParseState& st, const std::vector<KeyValue>& kvs)
+{
+    LogicBlock block;
+    for (const KeyValue& kv : kvs) {
+        if (kv.key == "name") {
+            block.name = kv.value;
+        } else if (kv.key == "gates") {
+            auto v = value(kv, Dimension::Dimensionless, true);
+            if (!v.ok()) return v.error();
+            block.gateCount = v.value();
+        } else if (kv.key == "widthn") {
+            auto v = widthValue(kv);
+            if (!v.ok()) return v.error();
+            block.avgWidthN = v.value();
+        } else if (kv.key == "widthp") {
+            auto v = widthValue(kv);
+            if (!v.ok()) return v.error();
+            block.avgWidthP = v.value();
+        } else if (kv.key == "tpg") {
+            auto v = value(kv, Dimension::Dimensionless, true);
+            if (!v.ok()) return v.error();
+            block.transistorsPerGate = v.value();
+        } else if (kv.key == "density") {
+            auto v = value(kv, Dimension::Fraction);
+            if (!v.ok()) return v.error();
+            block.layoutDensity = v.value();
+        } else if (kv.key == "wiring") {
+            auto v = value(kv, Dimension::Fraction);
+            if (!v.ok()) return v.error();
+            block.wiringDensity = v.value();
+        } else if (kv.key == "toggle") {
+            auto v = value(kv, Dimension::Fraction);
+            if (!v.ok()) return v.error();
+            block.toggleRate = v.value();
+        } else if (kv.key == "active") {
+            auto a = parseActivity(kv.value, kv.line);
+            if (!a.ok()) return a.error();
+            block.activity = a.value();
+        } else {
+            return errAt(kv.line,
+                         "unknown logic block attribute '" + kv.key + "'");
+        }
+    }
+    st.desc.logicBlocks.push_back(std::move(block));
+    return Status::okStatus();
+}
+
+Status
+handleTiming(ParseState& st, const std::vector<KeyValue>& kvs)
+{
+    for (const KeyValue& kv : kvs) {
+        auto v = value(kv, Dimension::Time);
+        if (!v.ok())
+            return v.error();
+        if (kv.key == "trc")
+            st.trc = v.value();
+        else if (kv.key == "trcd")
+            st.trcd = v.value();
+        else if (kv.key == "trp")
+            st.trp = v.value();
+        else
+            return errAt(kv.line, "unknown timing '" + kv.key + "'");
+    }
+    return Status::okStatus();
+}
+
+/** Assemble one floorplan axis from names and explicit sizes. */
+Result<std::vector<BlockSpec>>
+assembleAxis(const std::vector<std::string>& names,
+             const std::map<std::string, double>& sizes)
+{
+    std::vector<BlockSpec> blocks;
+    for (const std::string& name : names) {
+        BlockSpec block;
+        block.name = name;
+        bool is_array = !name.empty() &&
+                        (name[0] == 'A' || name[0] == 'a');
+        block.kind = is_array ? BlockKind::Array : BlockKind::Periphery;
+        auto it = sizes.find(toLower(name));
+        block.size = it != sizes.end() ? it->second : 0;
+        if (!is_array && block.size <= 0) {
+            return Error{"periphery block '" + name +
+                         "' has no size (add it to SizeVertical/"
+                         "SizeHorizontal)"};
+        }
+        blocks.push_back(std::move(block));
+    }
+    return blocks;
+}
+
+Status
+finalize(ParseState& st)
+{
+    DramDescription& d = st.desc;
+
+    if (st.vertical_names.empty() || st.horizontal_names.empty())
+        return Error{"floorplan axes missing (Vertical blocks = ... / "
+                     "Horizontal blocks = ...)"};
+    auto vertical = assembleAxis(st.vertical_names, st.block_sizes);
+    if (!vertical.ok())
+        return vertical.error();
+    auto horizontal = assembleAxis(st.horizontal_names, st.block_sizes);
+    if (!horizontal.ok())
+        return horizontal.error();
+    d.floorplan.setVertical(std::move(vertical).value());
+    d.floorplan.setHorizontal(std::move(horizontal).value());
+
+    for (const std::string& base : st.net_order)
+        d.signals.push_back(st.nets[base]);
+
+    if (!st.have_spec_io)
+        return Error{"specification missing (IO width=... datarate=...)"};
+    if (d.spec.controlClockFrequency <= 0)
+        d.spec.controlClockFrequency = d.spec.dataClockFrequency;
+    if (d.spec.dataClockFrequency <= 0)
+        d.spec.dataClockFrequency = d.spec.controlClockFrequency;
+    if (d.spec.controlClockFrequency <= 0)
+        return Error{"control clock frequency missing"};
+
+    // Timing: the ladder entry nearest to the node supplies defaults for
+    // anything the description does not override.
+    GenerationInfo gen = generationNear(d.tech.featureSize);
+    if (st.trc > 0)
+        gen.tRcSeconds = st.trc;
+    if (st.trcd > 0)
+        gen.tRcdSeconds = st.trcd;
+    if (st.trp > 0)
+        gen.tRpSeconds = st.trp;
+    d.timing = timingFromGeneration(gen, d.spec);
+
+    if (!st.have_pattern)
+        d.pattern = makeParetoPattern(d.spec, d.timing);
+
+    return Status::okStatus();
+}
+
+} // namespace
+
+Result<DramDescription>
+parseDescription(const std::string& text)
+{
+    ParseState st;
+    Section section = Section::None;
+
+    std::istringstream stream(text);
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(stream, raw)) {
+        ++line_no;
+        // Strip comments and whitespace.
+        size_t hash = raw.find('#');
+        if (hash != std::string::npos)
+            raw.resize(hash);
+        std::string line = trim(raw);
+        if (line.empty())
+            continue;
+
+        // Normalize " = " so list items tokenize cleanly.
+        std::vector<std::string> tokens = splitWhitespace(line);
+        std::string keyword = tokens[0];
+        std::string kw_lower = toLower(keyword);
+
+        // Section headers.
+        if (kw_lower == "floorplanphysical") {
+            section = Section::FloorplanPhysical;
+            continue;
+        }
+        if (kw_lower == "floorplansignaling") {
+            section = Section::FloorplanSignaling;
+            continue;
+        }
+        if (kw_lower == "specification") {
+            section = Section::Specification;
+            continue;
+        }
+        if (kw_lower == "technology") {
+            section = Section::Technology;
+            continue;
+        }
+        if (kw_lower == "electrical") {
+            section = Section::Electrical;
+            continue;
+        }
+        if (kw_lower == "logicblocks") {
+            section = Section::LogicBlocks;
+            continue;
+        }
+        if (kw_lower == "timing") {
+            section = Section::Timing;
+            continue;
+        }
+
+        // Global items usable anywhere.
+        if (kw_lower == "name") {
+            std::string rest = trim(line.substr(keyword.size()));
+            if (startsWith(rest, "="))
+                rest = trim(rest.substr(1));
+            st.desc.name = rest;
+            continue;
+        }
+        if (kw_lower == "pattern") {
+            // "Pattern loop= act nop ..." — everything after the '='.
+            size_t eq = line.find('=');
+            if (eq == std::string::npos)
+                return errAt(line_no, "Pattern needs 'loop= op op ...'");
+            Pattern pattern;
+            for (const std::string& tok :
+                 splitWhitespace(line.substr(eq + 1))) {
+                auto op = parseOp(tok, line_no);
+                if (!op.ok())
+                    return op.error();
+                pattern.loop.push_back(op.value());
+            }
+            if (pattern.loop.empty())
+                return errAt(line_no, "empty pattern loop");
+            st.desc.pattern = std::move(pattern);
+            st.have_pattern = true;
+            continue;
+        }
+
+        // Axis lists: "Vertical blocks = A1 P1 P2 P1 A1".
+        if ((kw_lower == "vertical" || kw_lower == "horizontal") &&
+            section == Section::FloorplanPhysical) {
+            size_t eq = line.find('=');
+            if (eq == std::string::npos)
+                return errAt(line_no, keyword + " needs 'blocks = ...'");
+            auto names = splitWhitespace(line.substr(eq + 1));
+            if (names.empty())
+                return errAt(line_no, "empty block list");
+            if (kw_lower == "vertical")
+                st.vertical_names = names;
+            else
+                st.horizontal_names = names;
+            continue;
+        }
+
+        // Everything else: keyword + key=value attributes.
+        std::vector<KeyValue> kvs;
+        for (size_t i = 1; i < tokens.size(); ++i) {
+            KeyValue kv;
+            kv.line = line_no;
+            if (!splitKeyValue(tokens[i], kv)) {
+                return errAt(line_no,
+                             "expected key=value, got '" + tokens[i] + "'");
+            }
+            kvs.push_back(std::move(kv));
+        }
+
+        Status status = Status::okStatus();
+        switch (section) {
+        case Section::None:
+            return errAt(line_no, "item '" + keyword +
+                                  "' outside any section");
+        case Section::FloorplanPhysical:
+            if (kw_lower == "cellarray") {
+                status = handleCellArray(st, kvs);
+            } else if (kw_lower == "sizevertical" ||
+                       kw_lower == "sizehorizontal") {
+                status = handleSizes(st, kvs);
+            } else {
+                return errAt(line_no, "unknown floorplan item '" + keyword +
+                                      "'");
+            }
+            break;
+        case Section::FloorplanSignaling:
+            status = handleSignalSegment(st, keyword, kvs, line_no);
+            break;
+        case Section::Specification:
+            status = handleSpecification(st, keyword, kvs, line_no);
+            break;
+        case Section::Technology:
+        case Section::Electrical: {
+            // The keyword itself is a key=value pair in these sections.
+            KeyValue first;
+            first.line = line_no;
+            if (!splitKeyValue(keyword, first)) {
+                return errAt(line_no,
+                             "expected key=value, got '" + keyword + "'");
+            }
+            std::vector<KeyValue> all;
+            all.push_back(std::move(first));
+            all.insert(all.end(), kvs.begin(), kvs.end());
+            status = handleParams(st, all);
+            break;
+        }
+        case Section::LogicBlocks:
+            if (kw_lower != "block")
+                return errAt(line_no, "expected 'Block name=...'");
+            status = handleLogicBlock(st, kvs);
+            break;
+        case Section::Timing: {
+            KeyValue first;
+            first.line = line_no;
+            std::vector<KeyValue> all;
+            if (splitKeyValue(keyword, first))
+                all.push_back(std::move(first));
+            all.insert(all.end(), kvs.begin(), kvs.end());
+            status = handleTiming(st, all);
+            break;
+        }
+        }
+        if (!status.ok())
+            return status.error();
+    }
+
+    Status status = finalize(st);
+    if (!status.ok())
+        return status.error();
+    return std::move(st.desc);
+}
+
+Result<DramDescription>
+parseDescriptionFile(const std::string& path)
+{
+    std::ifstream file(path);
+    if (!file)
+        return Error{"cannot open description file '" + path + "'"};
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return parseDescription(buffer.str());
+}
+
+} // namespace vdram

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Parser for the DRAM description language of the paper (Section III.B).
+ *
+ * The language is line oriented. Section headers introduce the five
+ * description groups; items inside a section are a keyword followed by
+ * key=value attributes with SI unit suffixes. Example (paper excerpts):
+ *
+ *   FloorplanPhysical
+ *     CellArray BL=v BitsPerBL=512 BLtype=open
+ *     CellArray WLpitch=165nm BLpitch=110nm
+ *     Vertical blocks = A1 P1 P2 P1 A1
+ *     SizeVertical A1=3396um P1=200um P2=530um
+ *   FloorplanSignaling
+ *     DataW0 inside=0_2 fraction=25% dir=h mux=1:8
+ *     DataW1 start=0_2 end=3_2 PchW=19.2 NchW=9.6
+ *   Specification
+ *     IO width=16 datarate=1.6Gbps
+ *     Clock number=1 frequency=800MHz
+ *     Control frequency=800MHz
+ *     Control bankadd=3 rowadd=14 coladd=10
+ *   Technology
+ *     bitlinecap=85fF cellcap=24fF ...
+ *   Electrical
+ *     vdd=1.5V vint=1.35V ...
+ *   LogicBlocks
+ *     Block name=dll gates=30000 toggle=15% active=always
+ *   Pattern loop= act nop wrt nop rd nop pre nop
+ *
+ * '#' starts a comment. Signal segments named with a common prefix and a
+ * trailing index (DataW0, DataW1, ...) form one net.
+ *
+ * Parsing performs the "syntax check" stage of the paper's program flow
+ * (Fig. 4): unknown sections, keywords, parameters or malformed values
+ * are reported with their line number.
+ */
+#ifndef VDRAM_DSL_PARSER_H
+#define VDRAM_DSL_PARSER_H
+
+#include <string>
+
+#include "core/description.h"
+#include "util/result.h"
+
+namespace vdram {
+
+/** Parse a description from DSL text. */
+Result<DramDescription> parseDescription(const std::string& text);
+
+/** Parse a description from a file on disk. */
+Result<DramDescription> parseDescriptionFile(const std::string& path);
+
+} // namespace vdram
+
+#endif // VDRAM_DSL_PARSER_H

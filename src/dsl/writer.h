@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Writer emitting a DramDescription back as description-language text.
+ * parse(write(desc)) reproduces the description (round-trip tested),
+ * which also makes the writer a convenient way to inspect programmatic
+ * descriptions.
+ */
+#ifndef VDRAM_DSL_WRITER_H
+#define VDRAM_DSL_WRITER_H
+
+#include <string>
+
+#include "core/description.h"
+
+namespace vdram {
+
+/** Emit the full description-language text of a description. */
+std::string writeDescription(const DramDescription& desc);
+
+} // namespace vdram
+
+#endif // VDRAM_DSL_WRITER_H

@@ -1,0 +1,104 @@
+#include "floorplan/array_geometry.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace vdram {
+
+ArrayGeometry
+computeArrayGeometry(const ArrayArchitecture& arch, const Specification& spec)
+{
+    ArrayGeometry geo;
+
+    // In the folded architecture each sensed pair (true + complement)
+    // occupies the same sub-array: cells sit on every other bitline along
+    // a wordline and at every other wordline along a bitline, so the cell
+    // pitch doubles in both directions relative to the line pitches
+    // (8F^2 with 2f line pitches). In the open architecture every
+    // crossing holds a cell.
+    const double folded = arch.foldedBitline ? 2.0 : 1.0;
+
+    const long long page_bits = spec.pageBits();
+    const long long rows_per_bank = spec.rowsPerBank();
+
+    const int split = std::max(1, arch.bankSplit);
+    // Bits of the page held by one half-bank row.
+    if (page_bits % (static_cast<long long>(split) *
+                     arch.bitsPerLocalWordline) != 0) {
+        fatal(strformat("page of %lld bits is not divisible into %d "
+                        "half-banks of %d-bit sub-wordlines",
+                        page_bits, split, arch.bitsPerLocalWordline));
+    }
+    const long long page_bits_per_half = page_bits / split;
+    const long long rows_per_subarray = static_cast<long long>(
+        arch.bitsPerBitline * folded);
+    if (rows_per_bank % rows_per_subarray != 0) {
+        fatal(strformat("%lld rows per bank are not divisible into "
+                        "sub-arrays of %lld rows",
+                        rows_per_bank, rows_per_subarray));
+    }
+
+    geo.subarrayColumns =
+        static_cast<int>(page_bits_per_half / arch.bitsPerLocalWordline);
+    geo.subarrayRows = static_cast<int>(rows_per_bank / rows_per_subarray);
+
+    geo.subarrayWidth =
+        arch.bitsPerLocalWordline * folded * arch.bitlinePitch;
+    geo.subarrayHeight = arch.bitsPerBitline * folded * arch.wordlinePitch;
+
+    // Half-banks stack vertically: the bank is `split` half-banks tall
+    // and one half-bank row wide.
+    const double half_height =
+        geo.subarrayRows * geo.subarrayHeight +
+        (geo.subarrayRows + 1) * arch.saStripeWidth;
+    geo.bankWidth = geo.subarrayColumns * geo.subarrayWidth +
+                    (geo.subarrayColumns + 1) * arch.lwdStripeWidth;
+    geo.bankHeight = split * half_height;
+    geo.bankArea = geo.bankWidth * geo.bankHeight;
+
+    const double cells_per_bank =
+        static_cast<double>(page_bits) * static_cast<double>(rows_per_bank);
+    geo.bankCellArea =
+        cells_per_bank * folded * arch.bitlinePitch * arch.wordlinePitch;
+
+    geo.localWordlineLength = geo.subarrayWidth;
+    // One master wordline per half-bank, spanning that half's width.
+    geo.masterWordlineLength = geo.bankWidth;
+    geo.masterWordlinesPerActivate = split;
+    // Column selects and master data lines serve one half-bank column.
+    geo.columnSelectLength = half_height * arch.arrayBlocksPerCsl;
+    geo.masterDataLineLength = half_height;
+    geo.localDataLineLength = geo.subarrayWidth;
+
+    const double fraction = arch.pageActivationFraction;
+    if (fraction <= 0.0 || fraction > 1.0)
+        fatal("pageActivationFraction must be in (0, 1]");
+    geo.bitlinesPerActivate = static_cast<long long>(
+        std::llround(static_cast<double>(page_bits) * fraction));
+    // All half-banks fire their share of the row.
+    geo.localWordlinesPerActivate = static_cast<int>(
+        std::ceil(geo.subarrayColumns * split * fraction));
+    // Bitline pairs of one sub-array are sensed in the stripes above and
+    // below it (alternating assignment in both the open and the folded
+    // layout), so two stripe segments participate per fired sub-wordline.
+    geo.saStripesPerActivate = geo.localWordlinesPerActivate * 2;
+    geo.columnSelectsPerColumnOp = 1;
+    // One master wordline selects one of four phase-decoded local
+    // wordline drivers (classic segmented wordline scheme).
+    geo.masterWordlinesPerBank = rows_per_bank / 4;
+
+    const double sa_stripe_area =
+        split * (geo.subarrayRows + 1) * arch.saStripeWidth *
+        geo.bankWidth;
+    const double lwd_stripe_area =
+        (geo.subarrayColumns + 1) * arch.lwdStripeWidth * geo.bankHeight;
+    geo.saStripeAreaShare = sa_stripe_area / geo.bankArea;
+    geo.lwdStripeAreaShare = lwd_stripe_area / geo.bankArea;
+    geo.bankArrayEfficiency = geo.bankCellArea / geo.bankArea;
+
+    return geo;
+}
+
+} // namespace vdram

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Geometry of the hierarchical cell array (paper Section II, Fig. 1):
+ * sub-array sizing from the bitline/wordline pitches and stripe widths,
+ * bank (array block) dimensions, and the line lengths the power model
+ * charges (local/master wordlines, column select lines, master array
+ * data lines).
+ */
+#ifndef VDRAM_FLOORPLAN_ARRAY_GEOMETRY_H
+#define VDRAM_FLOORPLAN_ARRAY_GEOMETRY_H
+
+#include "core/spec.h"
+
+namespace vdram {
+
+/**
+ * Physical architecture of the cell array (Table I, "Physical floorplan"
+ * group plus the cell-architecture consequences of Table II).
+ */
+struct ArrayArchitecture {
+    /** Bitline direction: true = vertical (perpendicular to pad row). */
+    bool bitlineVertical = true;
+    /** Cells per local bitline. */
+    int bitsPerBitline = 512;
+    /** Cells per local (sub-) wordline. */
+    int bitsPerLocalWordline = 512;
+    /** Folded (true) or open (false) bitline architecture. */
+    bool foldedBitline = false;
+    /** Array blocks sharing one column select line. */
+    int arrayBlocksPerCsl = 1;
+    /** Half-bank split: the physical row of one bank is distributed
+     *  over this many stacked sub-blocks, each holding 1/split of the
+     *  page and its own master wordline (2 for the classic folded
+     *  architectures with wide pages; keeps the die aspect sane). */
+    int bankSplit = 1;
+    /** Cell area in f^2 (8 folded, 6/4 open); used for area accounting. */
+    int cellAreaFactorF2 = 6;
+    /** Wordline pitch. */
+    double wordlinePitch = 165e-9;
+    /** Bitline pitch. */
+    double bitlinePitch = 110e-9;
+    /** Width of one bitline sense-amplifier stripe. */
+    double saStripeWidth = 7.0e-6;
+    /** Width of one local (sub-) wordline driver stripe. */
+    double lwdStripeWidth = 1.6e-6;
+    /** Average share of the page whose cells need a full restore after
+     *  sensing (0.5 for random data). */
+    double cellRestoreShare = 0.5;
+    /** Fraction of the page actually sensed per activate (1.0 for a
+     *  commodity DRAM; < 1 models selective bitline activation,
+     *  Section V). */
+    double pageActivationFraction = 1.0;
+};
+
+/** Derived array-block geometry and activity counts. */
+struct ArrayGeometry {
+    // --- sub-array ----------------------------------------------------
+    /** Sub-array width (along the wordline). */
+    double subarrayWidth = 0;
+    /** Sub-array height (along the bitline). */
+    double subarrayHeight = 0;
+    /** Sub-array grid inside one bank. */
+    int subarrayColumns = 0;
+    int subarrayRows = 0;
+
+    // --- bank (array block) -------------------------------------------
+    double bankWidth = 0;   ///< along the wordline direction
+    double bankHeight = 0;  ///< along the bitline direction
+    double bankArea = 0;
+    /** Pure cell area of one bank (cells only, no stripes). */
+    double bankCellArea = 0;
+
+    // --- line lengths ---------------------------------------------------
+    /** Local (sub-) wordline length. */
+    double localWordlineLength = 0;
+    /** Master wordline length (spans the bank width). */
+    double masterWordlineLength = 0;
+    /** Column select line length (spans arrayBlocksPerCsl banks). */
+    double columnSelectLength = 0;
+    /** Master array data line length (spans the bank height). */
+    double masterDataLineLength = 0;
+    /** Local array data line length (spans one sub-array). */
+    double localDataLineLength = 0;
+
+    // --- activity counts per operation -----------------------------------
+    /** Bitline pairs sensed per activate. */
+    long long bitlinesPerActivate = 0;
+    /** Local wordlines fired per activate. */
+    int localWordlinesPerActivate = 0;
+    /** Sense-amplifier stripe segments involved per activate. */
+    int saStripesPerActivate = 0;
+    /** Column select lines toggled per column command. */
+    int columnSelectsPerColumnOp = 1;
+    /** Master wordlines fired per activate (one per half-bank). */
+    int masterWordlinesPerActivate = 1;
+    /** Master wordline decoders per bank (for decoder load accounting). */
+    long long masterWordlinesPerBank = 0;
+
+    // --- area shares (paper Section II sanity anchors) --------------------
+    /** Share of SA stripe area of the bank area (8..15 % typical). */
+    double saStripeAreaShare = 0;
+    /** Share of LWD stripe area of the bank area (5..10 % typical). */
+    double lwdStripeAreaShare = 0;
+    /** Array efficiency of the bank: cell area / bank area. */
+    double bankArrayEfficiency = 0;
+};
+
+/**
+ * Compute the array geometry for a device. fatal()s when the architecture
+ * is inconsistent (page not divisible into sub-wordlines, bank rows not
+ * divisible into bitline segments).
+ *
+ * @param arch  physical array architecture
+ * @param spec  interface specification (page size, rows, banks)
+ */
+ArrayGeometry computeArrayGeometry(const ArrayArchitecture& arch,
+                                   const Specification& spec);
+
+} // namespace vdram
+
+#endif // VDRAM_FLOORPLAN_ARRAY_GEOMETRY_H

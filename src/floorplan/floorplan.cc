@@ -1,0 +1,189 @@
+#include "floorplan/floorplan.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/units.h"
+
+namespace vdram {
+
+void
+Floorplan::setHorizontal(std::vector<BlockSpec> blocks)
+{
+    horizontal_ = std::move(blocks);
+}
+
+void
+Floorplan::setVertical(std::vector<BlockSpec> blocks)
+{
+    vertical_ = std::move(blocks);
+}
+
+void
+Floorplan::resolveArraySizes(const ArrayGeometry& geometry,
+                             bool bitline_vertical)
+{
+    // With vertical bitlines the bank height (bitline direction) lies on
+    // the vertical axis and the bank width on the horizontal axis;
+    // horizontal bitlines swap the two.
+    double horizontal_size =
+        bitline_vertical ? geometry.bankWidth : geometry.bankHeight;
+    double vertical_size =
+        bitline_vertical ? geometry.bankHeight : geometry.bankWidth;
+    for (BlockSpec& block : horizontal_) {
+        if (block.kind == BlockKind::Array)
+            block.size = horizontal_size;
+    }
+    for (BlockSpec& block : vertical_) {
+        if (block.kind == BlockKind::Array)
+            block.size = vertical_size;
+    }
+}
+
+void
+Floorplan::resizeBlock(bool horizontal_axis, int index, double size)
+{
+    std::vector<BlockSpec>& axis =
+        horizontal_axis ? horizontal_ : vertical_;
+    if (index < 0 || index >= static_cast<int>(axis.size()))
+        panic("resizeBlock: index out of range");
+    BlockSpec& block = axis[static_cast<size_t>(index)];
+    if (block.kind == BlockKind::Array)
+        panic("resizeBlock: array sizes are derived from the geometry");
+    if (size <= 0)
+        panic("resizeBlock: size must be positive");
+    block.size = size;
+}
+
+bool
+Floorplan::resolved() const
+{
+    if (horizontal_.empty() || vertical_.empty())
+        return false;
+    for (const BlockSpec& b : horizontal_) {
+        if (b.size <= 0)
+            return false;
+    }
+    for (const BlockSpec& b : vertical_) {
+        if (b.size <= 0)
+            return false;
+    }
+    return true;
+}
+
+const BlockSpec&
+Floorplan::horizontalBlock(int i) const
+{
+    if (i < 0 || i >= columns())
+        panic(strformat("horizontal block index %d out of range", i));
+    return horizontal_[static_cast<size_t>(i)];
+}
+
+const BlockSpec&
+Floorplan::verticalBlock(int j) const
+{
+    if (j < 0 || j >= rows())
+        panic(strformat("vertical block index %d out of range", j));
+    return vertical_[static_cast<size_t>(j)];
+}
+
+bool
+Floorplan::contains(GridRef ref) const
+{
+    return ref.col >= 0 && ref.col < columns() && ref.row >= 0 &&
+           ref.row < rows();
+}
+
+double
+Floorplan::blockWidth(GridRef ref) const
+{
+    return horizontalBlock(ref.col).size;
+}
+
+double
+Floorplan::blockHeight(GridRef ref) const
+{
+    return verticalBlock(ref.row).size;
+}
+
+double
+Floorplan::centerX(GridRef ref) const
+{
+    double x = 0;
+    for (int i = 0; i < ref.col; ++i)
+        x += horizontalBlock(i).size;
+    return x + horizontalBlock(ref.col).size / 2.0;
+}
+
+double
+Floorplan::centerY(GridRef ref) const
+{
+    double y = 0;
+    for (int j = 0; j < ref.row; ++j)
+        y += verticalBlock(j).size;
+    return y + verticalBlock(ref.row).size / 2.0;
+}
+
+double
+Floorplan::manhattanDistance(GridRef a, GridRef b) const
+{
+    if (!contains(a) || !contains(b))
+        panic("manhattanDistance: grid reference out of range");
+    return std::fabs(centerX(a) - centerX(b)) +
+           std::fabs(centerY(a) - centerY(b));
+}
+
+double
+Floorplan::dieWidth() const
+{
+    double w = 0;
+    for (const BlockSpec& b : horizontal_)
+        w += b.size;
+    return w;
+}
+
+double
+Floorplan::dieHeight() const
+{
+    double h = 0;
+    for (const BlockSpec& b : vertical_)
+        h += b.size;
+    return h;
+}
+
+int
+Floorplan::arrayBlockCount() const
+{
+    int h = 0;
+    for (const BlockSpec& b : horizontal_) {
+        if (b.kind == BlockKind::Array)
+            ++h;
+    }
+    int v = 0;
+    for (const BlockSpec& b : vertical_) {
+        if (b.kind == BlockKind::Array)
+            ++v;
+    }
+    return h * v;
+}
+
+Result<GridRef>
+Floorplan::parseGridRef(const std::string& text)
+{
+    auto parts = splitChar(text, '_');
+    if (parts.size() != 2)
+        return Error{"expected grid reference 'col_row' in '" + text + "'"};
+    Result<long long> col = parseInteger(parts[0]);
+    Result<long long> row = parseInteger(parts[1]);
+    if (!col.ok())
+        return col.error();
+    if (!row.ok())
+        return row.error();
+    if (col.value() < 0 || row.value() < 0)
+        return Error{"grid reference must be non-negative in '" + text + "'"};
+    return GridRef{static_cast<int>(col.value()),
+                   static_cast<int>(row.value())};
+}
+
+} // namespace vdram

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The physical block floorplan of the DRAM (paper Fig. 1): two axes of
+ * named blocks establishing a coordinate system, with array blocks sized
+ * from the array geometry and peripheral blocks sized explicitly.
+ *
+ * Block (i, j) is the intersection of horizontal entry i (x direction,
+ * 0-based) and vertical entry j (y direction). In the paper's sample DRAM
+ * the grid is 7 x 5: "the blocks are numbered 0 to 6 in horizontal and
+ * 0 to 4 in vertical direction".
+ */
+#ifndef VDRAM_FLOORPLAN_FLOORPLAN_H
+#define VDRAM_FLOORPLAN_FLOORPLAN_H
+
+#include <string>
+#include <vector>
+
+#include "floorplan/array_geometry.h"
+#include "util/result.h"
+
+namespace vdram {
+
+/** What a floorplan axis entry contains. */
+enum class BlockKind {
+    Array,    ///< cell array (size computed from the array geometry)
+    Periphery ///< row/column logic, center stripe, pads (explicit size)
+};
+
+/** One entry of a floorplan axis. */
+struct BlockSpec {
+    std::string name;   ///< e.g. "A1", "P1"
+    BlockKind kind = BlockKind::Periphery;
+    /** Size along this axis in metres; 0 for Array entries until
+     *  resolve() computes it. */
+    double size = 0;
+};
+
+/** Grid coordinate of a block: column (x) and row (y). */
+struct GridRef {
+    int col = 0;
+    int row = 0;
+
+    bool operator==(const GridRef&) const = default;
+};
+
+/**
+ * The resolved block grid. Array entries receive the bank dimensions from
+ * the array geometry; distances between block centers feed the signaling
+ * model.
+ */
+class Floorplan {
+  public:
+    Floorplan() = default;
+
+    /** Define the horizontal (x) axis, left to right. */
+    void setHorizontal(std::vector<BlockSpec> blocks);
+    /** Define the vertical (y) axis, bottom to top. */
+    void setVertical(std::vector<BlockSpec> blocks);
+
+    /** Assign the bank dimensions to all Array entries. The bank width
+     *  goes to the axis perpendicular to the bitline direction. */
+    void resolveArraySizes(const ArrayGeometry& geometry,
+                           bool bitline_vertical);
+
+    /** Resize one periphery entry (architecture studies: bigger PHY,
+     *  wider row logic). panics on Array entries — those are derived. */
+    void resizeBlock(bool horizontal_axis, int index, double size);
+
+    /** True once every entry has a positive size. */
+    bool resolved() const;
+
+    int columns() const { return static_cast<int>(horizontal_.size()); }
+    int rows() const { return static_cast<int>(vertical_.size()); }
+
+    const BlockSpec& horizontalBlock(int i) const;
+    const BlockSpec& verticalBlock(int j) const;
+
+    /** Validity check for a grid reference. */
+    bool contains(GridRef ref) const;
+
+    /** Size of block (i, j) along x / y. */
+    double blockWidth(GridRef ref) const;
+    double blockHeight(GridRef ref) const;
+
+    /** Center coordinates of a block (die origin at bottom left). */
+    double centerX(GridRef ref) const;
+    double centerY(GridRef ref) const;
+
+    /** Manhattan distance between two block centers (signal segments run
+     *  from block center to block center, paper Section III.B.2). */
+    double manhattanDistance(GridRef a, GridRef b) const;
+
+    double dieWidth() const;
+    double dieHeight() const;
+    double dieArea() const { return dieWidth() * dieHeight(); }
+
+    /** Total cell area over all array blocks (needs the geometry). */
+    int arrayBlockCount() const;
+
+    /** Parse "3_2" into a GridRef (column_row, as in the paper's input
+     *  language). */
+    static Result<GridRef> parseGridRef(const std::string& text);
+
+  private:
+    std::vector<BlockSpec> horizontal_;
+    std::vector<BlockSpec> vertical_;
+};
+
+} // namespace vdram
+
+#endif // VDRAM_FLOORPLAN_FLOORPLAN_H

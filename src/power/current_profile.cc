@@ -1,0 +1,85 @@
+#include "power/current_profile.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace vdram {
+
+CurrentProfile
+computeCurrentProfile(const Pattern& pattern, const OperationSet& ops,
+                      const ElectricalParams& elec,
+                      const TimingParams& timing)
+{
+    CurrentProfile profile;
+    const int cycles = pattern.cycles();
+    if (cycles == 0)
+        fatal("cannot profile an empty pattern");
+    profile.current.assign(static_cast<size_t>(cycles), 0.0);
+
+    const double tck = timing.tCkSeconds;
+
+    auto spreadWindow = [&](Op op) {
+        switch (op) {
+        case Op::Act: return timing.tRcd;
+        case Op::Pre: return timing.tRp;
+        case Op::Rd:
+        case Op::Wr: return timing.burstCycles;
+        case Op::Ref: return timing.tRfc;
+        default: return 1;
+        }
+    };
+
+    // Spread each command's charge over its occupancy window (wrapping
+    // around the loop, which repeats).
+    for (int i = 0; i < cycles; ++i) {
+        Op op = pattern.loop[static_cast<size_t>(i)];
+        const OperationCharges* budget = nullptr;
+        switch (op) {
+        case Op::Nop:
+            budget = &ops.backgroundPerCycle;
+            break;
+        case Op::Pdn:
+            budget = &ops.powerDownPerCycle;
+            break;
+        case Op::Srf:
+            budget = &ops.selfRefreshPerCycle;
+            break;
+        default:
+            budget = &ops.of(op);
+            break;
+        }
+        double q = budget->externalCharge(elec);
+        int window =
+            (op == Op::Nop || op == Op::Pdn || op == Op::Srf)
+                ? 1
+                : std::max(1, std::min(spreadWindow(op), cycles));
+        double per_cycle = q / window / tck;
+        for (int w = 0; w < window; ++w) {
+            profile.current[static_cast<size_t>((i + w) % cycles)] +=
+                per_cycle;
+        }
+        // Command cycles also carry the clocked background.
+        if (op != Op::Nop && op != Op::Pdn && op != Op::Srf) {
+            profile.current[static_cast<size_t>(i)] +=
+                ops.backgroundPerCycle.externalCharge(elec) / tck;
+        }
+    }
+
+    for (double& value : profile.current)
+        value += elec.constantCurrent;
+
+    double sum = 0;
+    for (int i = 0; i < cycles; ++i) {
+        double value = profile.current[static_cast<size_t>(i)];
+        sum += value;
+        if (value > profile.peak) {
+            profile.peak = value;
+            profile.peakCycle = i;
+        }
+    }
+    profile.average = sum / cycles;
+    return profile;
+}
+
+} // namespace vdram

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Cycle-resolved current profile of a command pattern.
+ *
+ * Average currents (the IDD values) size the power budget; the on-die
+ * power system (regulators, pumps, decoupling) is sized by the PEAK
+ * draw, which the charge model can also provide: each operation's
+ * charge is spread over the cycles the operation physically occupies
+ * (an activate draws over the tRCD window, a burst over its data
+ * cycles), the background charge over every cycle.
+ */
+#ifndef VDRAM_POWER_CURRENT_PROFILE_H
+#define VDRAM_POWER_CURRENT_PROFILE_H
+
+#include <vector>
+
+#include "core/spec.h"
+#include "power/op_charges.h"
+#include "protocol/timing.h"
+
+namespace vdram {
+
+/** Cycle-resolved external current of one loop iteration. */
+struct CurrentProfile {
+    /** External current per control cycle (amperes). */
+    std::vector<double> current;
+    double average = 0;
+    double peak = 0;
+    /** Cycle index of the peak. */
+    int peakCycle = 0;
+
+    /** Peak-to-average ratio (1.0 for a flat profile). */
+    double crestFactor() const
+    {
+        return average > 0 ? peak / average : 0.0;
+    }
+};
+
+/**
+ * Compute the cycle-resolved current of a pattern.
+ *
+ * Spreading windows: activate over tRCD cycles, precharge over tRP,
+ * read/write over the burst, refresh over tRFC; the background (and the
+ * constant current) over every cycle. The profile integrates to exactly
+ * the average current of computePatternPower().
+ */
+CurrentProfile computeCurrentProfile(const Pattern& pattern,
+                                     const OperationSet& ops,
+                                     const ElectricalParams& elec,
+                                     const TimingParams& timing);
+
+} // namespace vdram
+
+#endif // VDRAM_POWER_CURRENT_PROFILE_H

@@ -1,0 +1,57 @@
+#include "power/domains.h"
+
+#include "util/logging.h"
+
+namespace vdram {
+
+const char*
+domainName(Domain domain)
+{
+    switch (domain) {
+    case Domain::Vdd: return "Vdd";
+    case Domain::Vint: return "Vint";
+    case Domain::Vbl: return "Vbl";
+    case Domain::Vpp: return "Vpp";
+    }
+    return "?";
+}
+
+double
+domainVoltage(Domain domain, const ElectricalParams& elec)
+{
+    switch (domain) {
+    case Domain::Vdd: return elec.vdd;
+    case Domain::Vint: return elec.vint;
+    case Domain::Vbl: return elec.vbl;
+    case Domain::Vpp: return elec.vpp;
+    }
+    panic("unknown domain");
+}
+
+double
+domainEfficiency(Domain domain, const ElectricalParams& elec)
+{
+    switch (domain) {
+    case Domain::Vdd: return 1.0;
+    case Domain::Vint: return elec.efficiencyVint;
+    case Domain::Vbl: return elec.efficiencyVbl;
+    case Domain::Vpp: return elec.efficiencyVpp;
+    }
+    panic("unknown domain");
+}
+
+double
+DomainCharge::externalCharge(const ElectricalParams& elec) const
+{
+    double total = 0;
+    for (int i = 0; i < kDomainCount; ++i) {
+        Domain domain = static_cast<Domain>(i);
+        double efficiency = domainEfficiency(domain, elec);
+        if (efficiency <= 0)
+            panic("non-positive generator efficiency");
+        total += q[static_cast<size_t>(i)] / efficiency;
+    }
+    return total;
+}
+
+} // namespace vdram

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Voltage domains and charge accounting (paper Section III.A).
+ *
+ * The model accumulates, for every operation, the CHARGE drawn from each
+ * of the four voltage domains (Vdd, Vint, Vbl, Vpp). External current is
+ * obtained by folding each domain's charge through its generator/pump
+ * charge-transfer efficiency, and power is external current times Vdd.
+ *
+ * This charge-based accounting reproduces the paper's sensitivity
+ * structure exactly: power is directly proportional to the external
+ * supply voltage (its Fig. 10 discussion: "this is only the case for
+ * Vdd"), while internal voltages influence power linearly through their
+ * domain's charge share, and the generator efficiencies appear as
+ * independent parameters.
+ */
+#ifndef VDRAM_POWER_DOMAINS_H
+#define VDRAM_POWER_DOMAINS_H
+
+#include <array>
+
+#include "tech/technology.h"
+
+namespace vdram {
+
+/** The four main voltage domains of a DRAM. */
+enum class Domain { Vdd = 0, Vint = 1, Vbl = 2, Vpp = 3 };
+
+inline constexpr int kDomainCount = 4;
+
+/** Short name of a domain ("Vdd", ...). */
+const char* domainName(Domain domain);
+
+/** Domain voltage from the electrical parameters. */
+double domainVoltage(Domain domain, const ElectricalParams& elec);
+
+/** Charge-transfer efficiency of a domain's generator: external charge =
+ *  internal charge / efficiency. Vdd itself has efficiency 1. */
+double domainEfficiency(Domain domain, const ElectricalParams& elec);
+
+/** Per-domain charge vector, in coulombs. */
+struct DomainCharge {
+    std::array<double, kDomainCount> q{};
+
+    void add(Domain domain, double charge)
+    {
+        q[static_cast<size_t>(domain)] += charge;
+    }
+    double at(Domain domain) const
+    {
+        return q[static_cast<size_t>(domain)];
+    }
+
+    DomainCharge& operator+=(const DomainCharge& other)
+    {
+        for (size_t i = 0; i < q.size(); ++i)
+            q[i] += other.q[i];
+        return *this;
+    }
+    DomainCharge operator*(double factor) const
+    {
+        DomainCharge out = *this;
+        for (double& v : out.q)
+            v *= factor;
+        return out;
+    }
+
+    /** Total charge referred to the external supply. */
+    double externalCharge(const ElectricalParams& elec) const;
+
+    /** Energy drawn from the external supply (externalCharge * Vdd). */
+    double externalEnergy(const ElectricalParams& elec) const
+    {
+        return externalCharge(elec) * elec.vdd;
+    }
+};
+
+/** Charge of one full charge/discharge cycle of C at swing V. */
+inline double
+cycleCharge(double capacitance, double swing)
+{
+    return capacitance * swing;
+}
+
+} // namespace vdram
+
+#endif // VDRAM_POWER_DOMAINS_H

@@ -1,0 +1,98 @@
+#include "power/op_charges.h"
+
+#include "util/logging.h"
+
+namespace vdram {
+
+const std::map<Component, std::string>&
+componentNames()
+{
+    static const std::map<Component, std::string> names = {
+        {Component::BitlineSensing, "bitline sensing"},
+        {Component::CellRestore, "cell restore"},
+        {Component::SenseAmpControl, "sense-amp control"},
+        {Component::LocalWordline, "local wordline"},
+        {Component::MasterWordline, "master wordline"},
+        {Component::RowDecoder, "row decoder"},
+        {Component::ColumnSelect, "column select"},
+        {Component::ColumnDecoder, "column decoder"},
+        {Component::ArrayDataPath, "array data path"},
+        {Component::DataBus, "data bus"},
+        {Component::AddressBus, "address bus"},
+        {Component::ControlBus, "control bus"},
+        {Component::Clock, "clock"},
+        {Component::PeripheralLogic, "peripheral logic"},
+        {Component::ConstantCurrent, "constant current"},
+    };
+    return names;
+}
+
+const std::string&
+componentName(Component component)
+{
+    auto it = componentNames().find(component);
+    if (it == componentNames().end())
+        panic("unknown component");
+    return it->second;
+}
+
+void
+OperationCharges::add(Component component, Domain domain, double charge)
+{
+    if (charge < 0)
+        panic("negative charge added to " + componentName(component));
+    parts_[component].add(domain, charge);
+}
+
+DomainCharge
+OperationCharges::total() const
+{
+    DomainCharge sum;
+    for (const auto& [component, charge] : parts_)
+        sum += charge;
+    return sum;
+}
+
+DomainCharge
+OperationCharges::component(Component component) const
+{
+    auto it = parts_.find(component);
+    return it == parts_.end() ? DomainCharge{} : it->second;
+}
+
+OperationCharges&
+OperationCharges::operator+=(const OperationCharges& other)
+{
+    for (const auto& [component, charge] : other.parts_)
+        parts_[component] += charge;
+    return *this;
+}
+
+OperationCharges
+OperationCharges::operator*(double factor) const
+{
+    OperationCharges out;
+    for (const auto& [component, charge] : parts_)
+        out.parts_[component] = charge * factor;
+    return out;
+}
+
+const OperationCharges&
+OperationSet::of(Op op) const
+{
+    static const OperationCharges empty;
+    switch (op) {
+    case Op::Act: return activate;
+    case Op::Pre: return precharge;
+    case Op::Rd: return read;
+    case Op::Wr: return write;
+    case Op::Ref: return refresh;
+    case Op::Nop:
+    case Op::Pdn:
+    case Op::Srf:
+        return empty;
+    }
+    return empty;
+}
+
+} // namespace vdram

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Per-operation charge budgets with a component breakdown. The model
+ * partitions DRAM operation into a large number of charge/discharge
+ * processes (paper Eq. 2); this module holds the result per basic
+ * operation and per physical component so reports can show exactly
+ * when and where power is consumed.
+ */
+#ifndef VDRAM_POWER_OP_CHARGES_H
+#define VDRAM_POWER_OP_CHARGES_H
+
+#include <map>
+#include <string>
+
+#include "core/spec.h"
+#include "power/domains.h"
+
+namespace vdram {
+
+/** Physical components the charge budget is broken down into. */
+enum class Component {
+    BitlineSensing,    ///< bitline swing during sensing
+    CellRestore,       ///< restoring cell capacitors
+    SenseAmpControl,   ///< nset/pset drive, equalize lines
+    LocalWordline,     ///< sub-wordlines and their drivers
+    MasterWordline,    ///< master wordlines
+    RowDecoder,        ///< row pre-decode and decoder switching
+    ColumnSelect,      ///< column select lines and bit switches
+    ColumnDecoder,     ///< column pre-decode and decoder switching
+    ArrayDataPath,     ///< local + master array data lines, secondary SA
+    DataBus,           ///< read/write data busses in the center stripe
+    AddressBus,        ///< row/column/bank address distribution
+    ControlBus,        ///< command and miscellaneous control wiring
+    Clock,             ///< clock wire distribution
+    PeripheralLogic,   ///< miscellaneous logic blocks
+    ConstantCurrent,   ///< reference/regulator standing current
+};
+
+/** Stable ordering of components for reports. */
+const std::map<Component, std::string>& componentNames();
+
+/** Human readable name of a component. */
+const std::string& componentName(Component component);
+
+/** Charge budget of one operation, split by component and domain. */
+class OperationCharges {
+  public:
+    /** Add charge to a component in a domain. */
+    void add(Component component, Domain domain, double charge);
+
+    /** Sum over all components. */
+    DomainCharge total() const;
+
+    /** Charge vector of one component (zero if absent). */
+    DomainCharge component(Component component) const;
+
+    /** All non-zero components. */
+    const std::map<Component, DomainCharge>& parts() const
+    {
+        return parts_;
+    }
+
+    /** External charge of the whole operation. */
+    double externalCharge(const ElectricalParams& elec) const
+    {
+        return total().externalCharge(elec);
+    }
+    /** External energy of the whole operation. */
+    double externalEnergy(const ElectricalParams& elec) const
+    {
+        return total().externalEnergy(elec);
+    }
+
+    OperationCharges& operator+=(const OperationCharges& other);
+    OperationCharges operator*(double factor) const;
+
+  private:
+    std::map<Component, DomainCharge> parts_;
+};
+
+/**
+ * The complete per-operation charge model of a device: one budget per
+ * basic operation plus the per-control-cycle background (clock, always-on
+ * logic). Refresh is expressed per refresh command.
+ */
+struct OperationSet {
+    OperationCharges activate;
+    OperationCharges precharge;
+    OperationCharges read;
+    OperationCharges write;
+    OperationCharges refresh;
+    /** Background charge drawn every control clock cycle (clock tree,
+     *  always-on logic). */
+    OperationCharges backgroundPerCycle;
+    /** Reduced background of one cycle spent in power-down (CKE low:
+     *  clock tree gated, DLL off, input buffers disabled). */
+    OperationCharges powerDownPerCycle;
+    /** Background of one cycle in self refresh: power-down background
+     *  plus the amortized internally generated refresh charge. */
+    OperationCharges selfRefreshPerCycle;
+
+    /** The budget of one op (Nop/Pdn/Srf map to an empty budget; the
+     *  per-cycle backgrounds are accounted separately). */
+    const OperationCharges& of(Op op) const;
+};
+
+} // namespace vdram
+
+#endif // VDRAM_POWER_OP_CHARGES_H

@@ -1,0 +1,99 @@
+#include "power/pattern_power.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace vdram {
+
+PatternPower
+computePatternPower(const Pattern& pattern, const OperationSet& ops,
+                    const ElectricalParams& elec, double tck,
+                    const Specification& spec)
+{
+    PatternPower result;
+    if (pattern.loop.empty())
+        fatal("cannot evaluate an empty pattern");
+    if (tck <= 0)
+        fatal("control clock period must be positive");
+
+    const int cycles = pattern.cycles();
+    result.loopTime = cycles * tck;
+
+    // Charge per loop: commands at their frequency of occurrence plus the
+    // per-cycle background, exactly Eq. 2 of the paper with f expressed
+    // through the loop.
+    double loop_charge = 0;
+    std::map<Component, double> component_charge;
+    std::map<Op, double> op_charge;
+
+    std::array<double, kDomainCount> domain_charge_sum{};
+
+    auto accumulate = [&](const OperationCharges& charges, Op op,
+                          double count) {
+        if (count <= 0)
+            return;
+        for (const auto& [component, domain_charge] : charges.parts()) {
+            double q = domain_charge.externalCharge(elec) * count;
+            component_charge[component] += q;
+            op_charge[op] += q;
+            loop_charge += q;
+            for (int d = 0; d < kDomainCount; ++d) {
+                Domain domain = static_cast<Domain>(d);
+                domain_charge_sum[static_cast<size_t>(d)] +=
+                    domain_charge.at(domain) /
+                    domainEfficiency(domain, elec) * count;
+            }
+        }
+    };
+
+    for (Op op : {Op::Act, Op::Pre, Op::Rd, Op::Wr, Op::Ref})
+        accumulate(ops.of(op), op, pattern.count(op));
+
+    // Background: full for powered cycles, gated for power-down and
+    // self-refresh cycles.
+    const int pdn_cycles = pattern.count(Op::Pdn);
+    const int srf_cycles = pattern.count(Op::Srf);
+    accumulate(ops.backgroundPerCycle, Op::Nop,
+               cycles - pdn_cycles - srf_cycles);
+    accumulate(ops.powerDownPerCycle, Op::Pdn, pdn_cycles);
+    accumulate(ops.selfRefreshPerCycle, Op::Srf, srf_cycles);
+
+    result.externalCurrent =
+        loop_charge / result.loopTime + elec.constantCurrent;
+    result.power = result.externalCurrent * elec.vdd;
+
+    for (const auto& [component, q] : component_charge) {
+        result.componentPower[component] =
+            q / result.loopTime * elec.vdd;
+    }
+    result.componentPower[Component::ConstantCurrent] +=
+        elec.constantCurrent * elec.vdd;
+    for (const auto& [op, q] : op_charge)
+        result.operationPower[op] = q / result.loopTime * elec.vdd;
+    result.operationPower[Op::Nop] += elec.constantCurrent * elec.vdd;
+
+    for (int d = 0; d < kDomainCount; ++d) {
+        result.domainPower[static_cast<size_t>(d)] =
+            domain_charge_sum[static_cast<size_t>(d)] /
+            result.loopTime * elec.vdd;
+    }
+    result.domainPower[static_cast<size_t>(Domain::Vdd)] +=
+        elec.constantCurrent * elec.vdd;
+
+    const double bits_per_burst =
+        static_cast<double>(spec.bitsPerBurst());
+    result.bitsPerLoop =
+        (pattern.count(Op::Rd) + pattern.count(Op::Wr)) * bits_per_burst;
+    if (result.bitsPerLoop > 0) {
+        result.energyPerBit =
+            result.power * result.loopTime / result.bitsPerLoop;
+    }
+    result.busUtilization = std::min(
+        1.0, result.bitsPerLoop /
+                 (spec.bandwidth() * result.loopTime));
+
+    return result;
+}
+
+} // namespace vdram

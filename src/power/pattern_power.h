@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Power of a repeating command pattern (the last stage of the paper's
+ * program flow, Fig. 4): the per-operation charges are combined at their
+ * frequency of occurrence in the loop, the per-cycle background is added,
+ * and the result is expressed as external current (the datasheet IDD),
+ * power and energy per transferred bit.
+ */
+#ifndef VDRAM_POWER_PATTERN_POWER_H
+#define VDRAM_POWER_PATTERN_POWER_H
+
+#include <map>
+
+#include "core/spec.h"
+#include "power/op_charges.h"
+
+namespace vdram {
+
+/** Power result of evaluating a pattern. */
+struct PatternPower {
+    /** External supply current in amperes — comparable to datasheet IDD. */
+    double externalCurrent = 0;
+    /** Power at the external supply in watts. */
+    double power = 0;
+    /** Loop duration in seconds. */
+    double loopTime = 0;
+    /** Data bits transferred per loop iteration (read + write bursts). */
+    double bitsPerLoop = 0;
+    /** Energy per transferred bit in joules (0 when no data moves). */
+    double energyPerBit = 0;
+    /** Average data bus utilization of the loop (0..1). */
+    double busUtilization = 0;
+    /** Power by component, in watts (external). */
+    std::map<Component, double> componentPower;
+    /** Power by supplying voltage domain, in watts at the external
+     *  supply (pump/generator losses included in their domain; the
+     *  constant current counts as Vdd). Useful for sizing the on-die
+     *  power system. */
+    std::array<double, kDomainCount> domainPower{};
+    /** Power by basic operation, in watts (external; Nop holds the
+     *  background). */
+    std::map<Op, double> operationPower;
+};
+
+/**
+ * Evaluate a pattern.
+ *
+ * @param pattern  the repeating command loop
+ * @param ops      per-operation charge budgets
+ * @param elec     electrical parameters (voltages, efficiencies)
+ * @param tck      control clock period in seconds
+ * @param spec     interface specification (for bits per burst)
+ */
+PatternPower computePatternPower(const Pattern& pattern,
+                                 const OperationSet& ops,
+                                 const ElectricalParams& elec, double tck,
+                                 const Specification& spec);
+
+} // namespace vdram
+
+#endif // VDRAM_POWER_PATTERN_POWER_H

@@ -1,0 +1,187 @@
+#include "presets/presets.h"
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace vdram {
+
+namespace {
+
+constexpr double kMb = 1024.0 * 1024.0;
+constexpr double kGb = 1024.0 * kMb;
+
+/** Ladder entry for a node, with interface/density/rate overrides for
+ *  parts built off the mainstream point (e.g. a 65 nm DDR2). */
+GenerationInfo
+customGeneration(double node, Interface iface, double density_bits,
+                 double rate_mbps, int prefetch, int banks, int burst)
+{
+    GenerationInfo g = generationNear(node);
+    g.interface = iface;
+    g.densityBits = density_bits;
+    g.dataRatePerPin = rate_mbps * 1e6;
+    g.prefetch = prefetch;
+    g.banks = banks;
+    g.burstLength = burst;
+    return g;
+}
+
+/** DDR2 voltage set (1.8 V interface) regardless of node. */
+void
+applyDdr2Voltages(GenerationInfo& g)
+{
+    g.vdd = 1.8;
+    g.vint = 1.65;
+    g.vpp = 3.0;
+    g.vbl = 1.3;
+}
+
+/** DDR3 voltage set (1.5 V interface). */
+void
+applyDdr3Voltages(GenerationInfo& g)
+{
+    g.vdd = 1.5;
+    g.vint = 1.38;
+    g.vpp = 2.8;
+    g.vbl = 1.2;
+}
+
+} // namespace
+
+DramDescription
+preset128MbSdr170(int io_width)
+{
+    BuilderOptions options;
+    options.ioWidth = io_width;
+    return buildCommodityDescription(generationAt(170e-9), options);
+}
+
+DramDescription
+preset1GbDdr2(double feature_size, int io_width, double data_rate_mbps)
+{
+    GenerationInfo g = customGeneration(feature_size, Interface::DDR2,
+                                        1 * kGb, data_rate_mbps, 4, 8, 4);
+    applyDdr2Voltages(g);
+    BuilderOptions options;
+    options.ioWidth = io_width;
+    DramDescription d = buildCommodityDescription(g, options);
+    d.name = strformat("1Gb DDR2-%.0f x%d %.0fnm", data_rate_mbps,
+                       io_width, feature_size * 1e9);
+    return d;
+}
+
+DramDescription
+preset1GbDdr3(double feature_size, int io_width, double data_rate_mbps)
+{
+    GenerationInfo g = customGeneration(feature_size, Interface::DDR3,
+                                        1 * kGb, data_rate_mbps, 8, 8, 8);
+    applyDdr3Voltages(g);
+    BuilderOptions options;
+    options.ioWidth = io_width;
+    DramDescription d = buildCommodityDescription(g, options);
+    d.name = strformat("1Gb DDR3-%.0f x%d %.0fnm", data_rate_mbps,
+                       io_width, feature_size * 1e9);
+    return d;
+}
+
+DramDescription
+preset2GbDdr3_55(int io_width)
+{
+    BuilderOptions options;
+    options.ioWidth = io_width;
+    return buildCommodityDescription(generationAt(55e-9), options);
+}
+
+DramDescription
+preset16GbDdr5_18(int io_width)
+{
+    BuilderOptions options;
+    options.ioWidth = io_width;
+    return buildCommodityDescription(generationAt(18e-9), options);
+}
+
+DramDescription
+presetMobileLpddr2(int io_width)
+{
+    GenerationInfo g = customGeneration(65e-9, Interface::DDR2, 1 * kGb,
+                                        800, 4, 8, 4);
+    // LP-DDR2: 1.2 V supply, aggressive internal voltage reduction.
+    g.vdd = 1.2;
+    g.vint = 1.1;
+    g.vpp = 2.5;
+    g.vbl = 1.0;
+    BuilderOptions options;
+    options.ioWidth = io_width;
+    DramDescription d = buildCommodityDescription(g, options);
+    d.name = "1Gb LPDDR2-800 x32 65nm (mobile)";
+    // No DLL: the clock tree block shrinks drastically; that is the main
+    // standby-power optimization of the mobile architecture.
+    for (LogicBlock& block : d.logicBlocks) {
+        if (block.name == "clock tree & DLL") {
+            block.name = "clock tree (no DLL)";
+            block.gateCount *= 0.25;
+        }
+    }
+    // Edge pads: data nets must cross half the die height in addition to
+    // the center-stripe run (paper Section II: mobile DRAMs wire data
+    // from the center stripe to edge pads).
+    for (SignalNet& net : d.signals) {
+        if (net.role == SignalRole::ReadData ||
+            net.role == SignalRole::WriteData) {
+            Segment edge;
+            edge.insideBlock = true;
+            edge.inside = {0, 0};
+            edge.fraction = 0.5;
+            edge.horizontal = false;
+            net.segments.push_back(edge);
+        }
+    }
+    return d;
+}
+
+DramDescription
+presetGraphicsGddr5(int io_width)
+{
+    // GDDR5-style: very high per-pin rate, 16 banks, much more
+    // partitioned array (shorter lines, more blocks — paper Section II:
+    // "32 array blocks instead of 8"), wide-I/O PHY in the center
+    // stripe. The partitioning and interface area are the "higher cost
+    // per bit" the paper attributes to performance optimization.
+    GenerationInfo g = customGeneration(65e-9, Interface::DDR5, 1 * kGb,
+                                        4000, 8, 16, 8);
+    g.vdd = 1.5;
+    g.vint = 1.35;
+    g.vpp = 2.8;
+    g.vbl = 1.2;
+    BuilderOptions options;
+    options.ioWidth = io_width;
+    DramDescription d = buildCommodityDescription(g, options);
+    d.name = "1Gb GDDR5-4000 x32 65nm (graphics)";
+    // Partition each bank into two stacked blocks (32 array blocks).
+    d.arch.bankSplit = 2;
+    // The x32 high-speed PHY roughly triples the center stripe.
+    int center_row = d.floorplan.rows() / 2;
+    d.floorplan.resizeBlock(false, center_row,
+                            3.0 * d.floorplan.verticalBlock(center_row)
+                                      .size);
+    return d;
+}
+
+const std::vector<NamedPreset>&
+namedPresets()
+{
+    static const std::vector<NamedPreset> presets = {
+        {"sdr128m", [] { return preset128MbSdr170(16); }},
+        {"ddr2_1g_75", [] { return preset1GbDdr2(75e-9, 16, 800); }},
+        {"ddr2_1g_65", [] { return preset1GbDdr2(65e-9, 16, 800); }},
+        {"ddr3_1g_65", [] { return preset1GbDdr3(65e-9, 16, 1066); }},
+        {"ddr3_1g_55", [] { return preset1GbDdr3(55e-9, 16, 1333); }},
+        {"ddr3_2g_55", [] { return preset2GbDdr3_55(16); }},
+        {"ddr5_16g_18", [] { return preset16GbDdr5_18(16); }},
+        {"lpddr2", [] { return presetMobileLpddr2(32); }},
+        {"gddr5", [] { return presetGraphicsGddr5(32); }},
+    };
+    return presets;
+}
+
+} // namespace vdram

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ready-made device descriptions: every device used in the paper's
+ * evaluation (the 128 Mb SDR / 2 Gb DDR3 / 16 Gb DDR5 sensitivity trio,
+ * the 1 Gb DDR2/DDR3 verification parts at their typical nodes) plus
+ * mobile and graphics variants illustrating the non-commodity
+ * architectures of Section II.
+ */
+#ifndef VDRAM_PRESETS_PRESETS_H
+#define VDRAM_PRESETS_PRESETS_H
+
+#include <string>
+#include <vector>
+
+#include "core/builder.h"
+#include "core/description.h"
+
+namespace vdram {
+
+/** 128 Mb SDR-133 x16 in 170 nm (paper Table III, year ~2000). */
+DramDescription preset128MbSdr170(int io_width = 16);
+
+/** 1 Gb DDR2 at its typical node (75 or 65 nm) and speed grade.
+ *  Used for the Fig. 8 verification. */
+DramDescription preset1GbDdr2(double feature_size, int io_width,
+                              double data_rate_mbps);
+
+/** 1 Gb DDR3 at its typical node (65 or 55 nm) and speed grade.
+ *  Used for the Fig. 9 verification. */
+DramDescription preset1GbDdr3(double feature_size, int io_width,
+                              double data_rate_mbps);
+
+/** 2 Gb DDR3-1333 x16 in 55 nm (paper Table III / Fig. 10). */
+DramDescription preset2GbDdr3_55(int io_width = 16);
+
+/** Hypothetical 16 Gb DDR5 x16 in 18 nm (paper Table III, ~2017). */
+DramDescription preset16GbDdr5_18(int io_width = 16);
+
+/** Mobile (LP-DDR2-style) variant: commodity-like core, low voltages,
+ *  no DLL, edge pads (longer data path). */
+DramDescription presetMobileLpddr2(int io_width = 32);
+
+/** Graphics (GDDR5-style) variant: heavily partitioned array (banks
+ *  split into more, smaller blocks) for maximum total data rate. */
+DramDescription presetGraphicsGddr5(int io_width = 32);
+
+/** Named preset registry for examples and tools. */
+struct NamedPreset {
+    std::string name;
+    DramDescription (*build)();
+};
+const std::vector<NamedPreset>& namedPresets();
+
+} // namespace vdram
+
+#endif // VDRAM_PRESETS_PRESETS_H

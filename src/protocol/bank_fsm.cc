@@ -1,0 +1,290 @@
+#include "protocol/bank_fsm.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/strings.h"
+
+namespace vdram {
+
+namespace {
+
+void
+report(std::vector<TimingViolation>* violations, long long cycle, Op op,
+       const char* rule, std::string detail)
+{
+    if (violations) {
+        violations->push_back(TimingViolation{
+            static_cast<int>(cycle), op, rule, std::move(detail)});
+    }
+}
+
+} // namespace
+
+void
+BankFsm::activate(long long cycle, const TimingParams& t,
+                  std::vector<TimingViolation>* violations)
+{
+    if (active_) {
+        report(violations, cycle, Op::Act, "state",
+               strformat("bank %d activated while already active", bank_));
+    }
+    if (cycle - last_activate_ < t.tRc) {
+        report(violations, cycle, Op::Act, "tRC",
+               strformat("bank %d: %lld cycles since last activate, "
+                         "tRC=%d", bank_, cycle - last_activate_, t.tRc));
+    }
+    if (cycle - last_precharge_ < t.tRp) {
+        report(violations, cycle, Op::Act, "tRP",
+               strformat("bank %d: %lld cycles since precharge, tRP=%d",
+                         bank_, cycle - last_precharge_, t.tRp));
+    }
+    active_ = true;
+    last_activate_ = cycle;
+}
+
+void
+BankFsm::precharge(long long cycle, const TimingParams& t,
+                   std::vector<TimingViolation>* violations)
+{
+    if (!active_) {
+        // Precharging an idle bank is a harmless NOP in JEDEC devices;
+        // no violation.
+        last_precharge_ = cycle;
+        return;
+    }
+    if (cycle - last_activate_ < t.tRas) {
+        report(violations, cycle, Op::Pre, "tRAS",
+               strformat("bank %d: %lld cycles since activate, tRAS=%d",
+                         bank_, cycle - last_activate_, t.tRas));
+    }
+    if (cycle - last_read_ < t.tRtp) {
+        report(violations, cycle, Op::Pre, "tRTP",
+               strformat("bank %d: %lld cycles since read, tRTP=%d",
+                         bank_, cycle - last_read_, t.tRtp));
+    }
+    if (cycle - last_write_ < t.burstCycles + t.tWr) {
+        report(violations, cycle, Op::Pre, "tWR",
+               strformat("bank %d: %lld cycles since write, tWR=%d",
+                         bank_, cycle - last_write_,
+                         t.burstCycles + t.tWr));
+    }
+    active_ = false;
+    last_precharge_ = cycle;
+}
+
+void
+BankFsm::columnOp(long long cycle, bool is_write, const TimingParams& t,
+                  std::vector<TimingViolation>* violations)
+{
+    Op op = is_write ? Op::Wr : Op::Rd;
+    if (!active_) {
+        report(violations, cycle, op, "state",
+               strformat("column command to idle bank %d", bank_));
+    } else if (cycle - last_activate_ < t.tRcd) {
+        report(violations, cycle, op, "tRCD",
+               strformat("bank %d: %lld cycles since activate, tRCD=%d",
+                         bank_, cycle - last_activate_, t.tRcd));
+    }
+    if (is_write)
+        last_write_ = cycle;
+    else
+        last_read_ = cycle;
+}
+
+bool
+BankFsm::canPrecharge(long long cycle, const TimingParams& t) const
+{
+    return cycle - last_activate_ >= t.tRas &&
+           cycle - last_read_ >= t.tRtp &&
+           cycle - last_write_ >= t.burstCycles + t.tWr;
+}
+
+bool
+BankFsm::canColumnOp(long long cycle, const TimingParams& t) const
+{
+    return active_ && cycle - last_activate_ >= t.tRcd;
+}
+
+std::string
+PatternCheckResult::summary() const
+{
+    if (violations.empty())
+        return "pattern is protocol-clean";
+    std::string out = strformat("%zu violation(s):", violations.size());
+    for (const TimingViolation& v : violations) {
+        out += strformat("\n  cycle %d %s: %s (%s)", v.cycle,
+                         opName(v.op).c_str(), v.rule.c_str(),
+                         v.detail.c_str());
+    }
+    return out;
+}
+
+PatternCheckResult
+checkPattern(const Pattern& pattern, const TimingParams& timing, int banks)
+{
+    PatternCheckResult result;
+    if (pattern.loop.empty() || banks <= 0)
+        return result;
+
+    std::vector<BankFsm> fsms;
+    fsms.reserve(static_cast<size_t>(banks));
+    for (int b = 0; b < banks; ++b)
+        fsms.emplace_back(b);
+
+    // Bank scheduling state: activates rotate round-robin; column
+    // commands go to the bank whose activate is oldest among open banks
+    // (it is the most likely to satisfy tRCD); precharge closes the
+    // oldest open bank.
+    int next_activate_bank = 0;
+    std::deque<int> open_banks;
+
+    // Patterns without activates (IDD4R/IDD4W-style gapless column
+    // streams) assume pages were opened before the measurement window;
+    // bank-state checks are skipped for them.
+    const bool assume_open_pages = pattern.count(Op::Act) == 0;
+
+    // Set while warming up when a column command found no tRCD-eligible
+    // open bank: the controller needs a deeper open-bank queue, so the
+    // next precharge is skipped to let it grow.
+    bool need_deeper_queue = false;
+
+    long long last_column = -1'000'000;
+    std::deque<long long> activate_times; // for tRRD / tFAW
+
+    // Unroll: iterate the loop enough times for every bank to have been
+    // touched, plus one warm-up iteration whose violations are ignored.
+    const int cycles_per_loop = pattern.cycles();
+    // The warm-up must span enough loops for the open-bank queue to
+    // settle at its steady depth (several row cycles across all banks).
+    const int warmup_loops =
+        std::max(2, (banks * timing.tRc) / cycles_per_loop + 2);
+    const int checked_loops = warmup_loops;
+    const int total_loops = warmup_loops + checked_loops;
+
+    for (int iteration = 0; iteration < total_loops; ++iteration) {
+        bool record = iteration >= warmup_loops;
+        for (int i = 0; i < cycles_per_loop; ++i) {
+            long long cycle =
+                static_cast<long long>(iteration) * cycles_per_loop + i;
+            std::vector<TimingViolation>* sink =
+                record ? &result.violations : nullptr;
+            Op op = pattern.loop[static_cast<size_t>(i)];
+            switch (op) {
+            case Op::Nop:
+            case Op::Pdn:
+                break;
+            case Op::Srf:
+                // Self refresh requires all banks precharged.
+                if (!open_banks.empty()) {
+                    report(sink, cycle, Op::Srf, "state",
+                           "self refresh entry with open banks");
+                }
+                break;
+            case Op::Act: {
+                if (!activate_times.empty() &&
+                    cycle - activate_times.back() < timing.tRrd) {
+                    report(sink, cycle, Op::Act, "tRRD",
+                           strformat("%lld cycles since previous activate, "
+                                     "tRRD=%d",
+                                     cycle - activate_times.back(),
+                                     timing.tRrd));
+                }
+                if (activate_times.size() >= 4 &&
+                    cycle - activate_times[activate_times.size() - 4] <
+                        timing.tFaw) {
+                    report(sink, cycle, Op::Act, "tFAW",
+                           strformat("5th activate within tFAW=%d",
+                                     timing.tFaw));
+                }
+                int bank = next_activate_bank;
+                next_activate_bank = (next_activate_bank + 1) % banks;
+                fsms[static_cast<size_t>(bank)].activate(cycle, timing,
+                                                         sink);
+                open_banks.push_back(bank);
+                activate_times.push_back(cycle);
+                if (activate_times.size() > 8)
+                    activate_times.pop_front();
+                break;
+            }
+            case Op::Pre: {
+                if (open_banks.empty()) {
+                    if (record) {
+                        report(sink, cycle, Op::Pre, "state",
+                               "precharge with no open bank");
+                    }
+                    break;
+                }
+                int bank = open_banks.front();
+                // During warm-up, skip precharges that would be illegal
+                // or that would starve the column commands of eligible
+                // banks; the open-bank queue then grows to the depth a
+                // real controller would maintain at steady state, after
+                // which every precharge is legal.
+                if (!record && need_deeper_queue) {
+                    need_deeper_queue = false;
+                    break;
+                }
+                if (!record &&
+                    !fsms[static_cast<size_t>(bank)].canPrecharge(cycle,
+                                                                  timing)) {
+                    break;
+                }
+                open_banks.pop_front();
+                fsms[static_cast<size_t>(bank)].precharge(cycle, timing,
+                                                          sink);
+                break;
+            }
+            case Op::Rd:
+            case Op::Wr: {
+                if (cycle - last_column < timing.tCcd) {
+                    report(sink, cycle, op, "tCCD",
+                           strformat("%lld cycles since previous column "
+                                     "command, tCCD=%d",
+                                     cycle - last_column, timing.tCcd));
+                }
+                last_column = cycle;
+                if (assume_open_pages) {
+                    // Steady open-page stream: no bank-state check.
+                } else if (open_banks.empty()) {
+                    report(sink, cycle, op, "state",
+                           "column command with no open bank");
+                } else {
+                    // A sensible controller addresses the most recently
+                    // opened bank whose tRCD has elapsed — it is the
+                    // farthest from being precharged. Fall back to the
+                    // oldest bank when none is eligible (and report the
+                    // tRCD violation).
+                    int target = open_banks.front();
+                    bool eligible = false;
+                    for (auto it = open_banks.rbegin();
+                         it != open_banks.rend(); ++it) {
+                        if (fsms[static_cast<size_t>(*it)].canColumnOp(
+                                cycle, timing)) {
+                            target = *it;
+                            eligible = true;
+                            break;
+                        }
+                    }
+                    if (!eligible && !record)
+                        need_deeper_queue = true;
+                    fsms[static_cast<size_t>(target)].columnOp(
+                        cycle, op == Op::Wr, timing, sink);
+                }
+                break;
+            }
+            case Op::Ref:
+                // Refresh requires all banks precharged.
+                if (!open_banks.empty()) {
+                    report(sink, cycle, Op::Ref, "state",
+                           "refresh with open banks");
+                }
+                break;
+            }
+        }
+    }
+
+    return result;
+}
+
+} // namespace vdram

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Bank state machine and command-pattern legality checking.
+ *
+ * The paper's patterns are flat command loops without bank fields
+ * ("Pattern loop= act nop wrt nop rd nop pre nop"); at steady state such
+ * a loop is executed interleaved over the device's banks. The checker
+ * therefore assigns commands to banks round-robin (activates rotate,
+ * column commands go to the most recently usable bank, precharges close
+ * the oldest open bank) and verifies the JEDEC-style constraints:
+ * tRC/tRAS/tRP/tRCD per bank, tCCD between column commands, tRRD and
+ * tFAW between activates, read/write-to-precharge recovery.
+ *
+ * The loop is checked in steady state: it is unrolled several times and
+ * violations are only reported from the second iteration on.
+ */
+#ifndef VDRAM_PROTOCOL_BANK_FSM_H
+#define VDRAM_PROTOCOL_BANK_FSM_H
+
+#include <string>
+#include <vector>
+
+#include "core/spec.h"
+#include "protocol/timing.h"
+
+namespace vdram {
+
+/** One detected protocol violation. */
+struct TimingViolation {
+    int cycle = 0;       ///< cycle within the unrolled pattern
+    Op op = Op::Nop;     ///< offending command
+    std::string rule;    ///< violated rule, e.g. "tRC"
+    std::string detail;  ///< human readable description
+};
+
+/** Per-bank protocol state. */
+class BankFsm {
+  public:
+    explicit BankFsm(int bank_index) : bank_(bank_index) {}
+
+    bool isActive() const { return active_; }
+    int bankIndex() const { return bank_; }
+    long long lastActivate() const { return last_activate_; }
+
+    /** True when a precharge at @p cycle would satisfy tRAS/tRTP/tWR. */
+    bool canPrecharge(long long cycle, const TimingParams& t) const;
+    /** True when a column command at @p cycle would satisfy tRCD. */
+    bool canColumnOp(long long cycle, const TimingParams& t) const;
+
+    /** Apply an activate at the given cycle; reports violations. */
+    void activate(long long cycle, const TimingParams& t,
+                  std::vector<TimingViolation>* violations);
+    /** Apply a precharge. */
+    void precharge(long long cycle, const TimingParams& t,
+                   std::vector<TimingViolation>* violations);
+    /** Apply a read or write. */
+    void columnOp(long long cycle, bool is_write, const TimingParams& t,
+                  std::vector<TimingViolation>* violations);
+
+  private:
+    int bank_;
+    bool active_ = false;
+    long long last_activate_ = -1'000'000;
+    long long last_precharge_ = -1'000'000;
+    long long last_read_ = -1'000'000;
+    long long last_write_ = -1'000'000;
+};
+
+/** Result of checking a pattern. */
+struct PatternCheckResult {
+    std::vector<TimingViolation> violations;
+
+    bool ok() const { return violations.empty(); }
+    std::string summary() const;
+};
+
+/**
+ * Check a repeating command loop against the timing parameters on a
+ * device with the given number of banks.
+ */
+PatternCheckResult checkPattern(const Pattern& pattern,
+                                const TimingParams& timing, int banks);
+
+} // namespace vdram
+
+#endif // VDRAM_PROTOCOL_BANK_FSM_H

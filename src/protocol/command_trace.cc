@@ -1,0 +1,98 @@
+#include "protocol/command_trace.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+#include "util/units.h"
+
+namespace vdram {
+
+namespace {
+
+Result<Op>
+opOf(const std::string& token, int line)
+{
+    std::string t = toLower(token);
+    if (t == "act" || t == "activate") return Op::Act;
+    if (t == "pre" || t == "precharge") return Op::Pre;
+    if (t == "rd" || t == "read") return Op::Rd;
+    if (t == "wr" || t == "wrt" || t == "write") return Op::Wr;
+    if (t == "ref" || t == "refresh") return Op::Ref;
+    if (t == "nop") return Op::Nop;
+    if (t == "pdn" || t == "powerdown") return Op::Pdn;
+    if (t == "srf" || t == "selfrefresh") return Op::Srf;
+    return Error{"unknown command '" + token + "'", line};
+}
+
+} // namespace
+
+Result<Pattern>
+parseCommandTrace(const std::string& text)
+{
+    Pattern pattern;
+    std::istringstream stream(text);
+    std::string raw;
+    int line_no = 0;
+    long long last_cycle = -1;
+    while (std::getline(stream, raw)) {
+        ++line_no;
+        size_t hash = raw.find('#');
+        if (hash != std::string::npos)
+            raw.resize(hash);
+        std::vector<std::string> tokens = splitWhitespace(raw);
+        if (tokens.empty())
+            continue;
+        if (tokens.size() != 2)
+            return Error{"expected '<cycle> <command>'", line_no};
+        Result<long long> cycle = parseInteger(tokens[0]);
+        if (!cycle.ok())
+            return Error{cycle.error().message, line_no};
+        if (cycle.value() < 0)
+            return Error{"cycles must be non-negative", line_no};
+        if (cycle.value() <= last_cycle) {
+            return Error{strformat("cycle %lld not after the previous "
+                                   "command at %lld",
+                                   cycle.value(), last_cycle),
+                         line_no};
+        }
+        Result<Op> op = opOf(tokens[1], line_no);
+        if (!op.ok())
+            return op.error();
+        pattern.loop.resize(static_cast<size_t>(cycle.value()), Op::Nop);
+        pattern.loop.push_back(op.value());
+        last_cycle = cycle.value();
+    }
+    if (pattern.loop.empty())
+        return Error{"empty command trace"};
+    return pattern;
+}
+
+Result<Pattern>
+loadCommandTraceFile(const std::string& path)
+{
+    std::ifstream file(path);
+    if (!file)
+        return Error{"cannot open command trace '" + path + "'"};
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return parseCommandTrace(buffer.str());
+}
+
+std::string
+writeCommandTrace(const Pattern& pattern)
+{
+    std::string out = "# vdram command trace: <cycle> <command>\n";
+    long long last_emitted = -1;
+    for (size_t i = 0; i < pattern.loop.size(); ++i) {
+        Op op = pattern.loop[i];
+        if (op == Op::Nop && i + 1 != pattern.loop.size())
+            continue;
+        out += strformat("%zu %s\n", i, opName(op).c_str());
+        last_emitted = static_cast<long long>(i);
+    }
+    (void)last_emitted;
+    return out;
+}
+
+} // namespace vdram

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Command-trace replay: evaluate a raw timed command stream, the format
+ * controller simulators (gem5, DRAMSim, DRAMPower-style frontends)
+ * naturally emit:
+ *
+ *     <cycle> <command>
+ *
+ * with commands `ACT PRE RD WR REF NOP PDN SRF` (case-insensitive),
+ * cycles non-decreasing, '#' comments. Gaps between commands become
+ * NOPs; the result is a Pattern the power model evaluates directly.
+ */
+#ifndef VDRAM_PROTOCOL_COMMAND_TRACE_H
+#define VDRAM_PROTOCOL_COMMAND_TRACE_H
+
+#include <string>
+
+#include "core/spec.h"
+#include "util/result.h"
+
+namespace vdram {
+
+/** Parse a timed command trace into a pattern. Errors carry line
+ *  numbers. The pattern length is the last cycle + 1 (plus any
+ *  trailing NOPs given as a final "<cycle> NOP" marker). */
+Result<Pattern> parseCommandTrace(const std::string& text);
+
+/** Load a command trace from a file. */
+Result<Pattern> loadCommandTraceFile(const std::string& path);
+
+/** Emit a pattern as a command trace (NOP gaps compressed; a trailing
+ *  NOP marker preserves the loop length). */
+std::string writeCommandTrace(const Pattern& pattern);
+
+} // namespace vdram
+
+#endif // VDRAM_PROTOCOL_COMMAND_TRACE_H

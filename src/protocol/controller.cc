@@ -1,0 +1,292 @@
+#include "protocol/controller.h"
+
+#include <algorithm>
+#include <random>
+
+#include "util/logging.h"
+
+namespace vdram {
+
+CommandScheduler::CommandScheduler(const Specification& spec,
+                                   const TimingParams& timing,
+                                   PagePolicy policy)
+    : spec_(spec), timing_(timing), policy_(policy)
+{
+    banks_.resize(static_cast<size_t>(spec.banks()));
+}
+
+void
+CommandScheduler::emit(long long cycle, Op op)
+{
+    if (cycle < static_cast<long long>(stream_.size()))
+        panic("CommandScheduler: emitting into the past");
+    stream_.resize(static_cast<size_t>(cycle), Op::Nop);
+    stream_.push_back(op);
+}
+
+long long
+CommandScheduler::earliestActivate(const BankState& bank) const
+{
+    long long cycle = std::max(bank.lastActivate + timing_.tRc,
+                               bank.lastPrecharge + timing_.tRp);
+    // tRRD against the most recent activate, tFAW against the fourth
+    // most recent.
+    if (!recentActivates_.empty()) {
+        cycle = std::max(cycle, recentActivates_.back() + timing_.tRrd);
+        if (recentActivates_.size() >= 4) {
+            cycle = std::max(
+                cycle,
+                recentActivates_[recentActivates_.size() - 4] +
+                    timing_.tFaw);
+        }
+    }
+    return cycle;
+}
+
+long long
+CommandScheduler::earliestPrecharge(const BankState& bank) const
+{
+    return std::max({bank.lastActivate + timing_.tRas,
+                     bank.lastRead + timing_.tRtp,
+                     bank.lastWrite + timing_.burstCycles + timing_.tWr});
+}
+
+long long
+CommandScheduler::earliestColumn(const BankState& bank) const
+{
+    return std::max(bank.lastActivate + timing_.tRcd,
+                    lastColumn_ + timing_.tCcd);
+}
+
+ScheduledStream
+CommandScheduler::schedule(const std::vector<MemoryAccess>& accesses)
+{
+    stream_.clear();
+    for (BankState& bank : banks_)
+        bank = BankState{};
+    lastColumn_ = -1000000;
+    recentActivates_.clear();
+
+    ScheduleStats stats;
+    long long now = 0;
+
+    for (const MemoryAccess& access : accesses) {
+        if (access.bank < 0 ||
+            access.bank >= static_cast<int>(banks_.size())) {
+            fatal("access addresses a bank outside the device");
+        }
+        BankState& bank = banks_[static_cast<size_t>(access.bank)];
+        ++stats.accesses;
+
+        bool need_activate = false;
+        if (bank.open && bank.row == access.row) {
+            ++stats.rowHits;
+        } else if (bank.open) {
+            ++stats.rowConflicts;
+            long long pre_at = std::max(now, earliestPrecharge(bank));
+            emit(pre_at, Op::Pre);
+            bank.open = false;
+            bank.lastPrecharge = pre_at;
+            now = pre_at + 1;
+            need_activate = true;
+        } else {
+            ++stats.rowMisses;
+            need_activate = true;
+        }
+
+        if (need_activate) {
+            long long act_at = std::max(now, earliestActivate(bank));
+            emit(act_at, Op::Act);
+            bank.open = true;
+            bank.row = access.row;
+            bank.lastActivate = act_at;
+            recentActivates_.push_back(act_at);
+            if (recentActivates_.size() > 8)
+                recentActivates_.erase(recentActivates_.begin());
+            now = act_at + 1;
+        }
+
+        long long col_at = std::max(now, earliestColumn(bank));
+        emit(col_at, access.write ? Op::Wr : Op::Rd);
+        lastColumn_ = col_at;
+        if (access.write)
+            bank.lastWrite = col_at;
+        else
+            bank.lastRead = col_at;
+        now = col_at + 1;
+
+        if (policy_ == PagePolicy::ClosedPage) {
+            long long pre_at = std::max(now, earliestPrecharge(bank));
+            emit(pre_at, Op::Pre);
+            bank.open = false;
+            bank.lastPrecharge = pre_at;
+            now = pre_at + 1;
+        }
+    }
+
+    // Drain: close every open bank and pad one row cycle so the stream
+    // is legal as a repeating loop.
+    for (BankState& bank : banks_) {
+        if (!bank.open)
+            continue;
+        long long pre_at = std::max(now, earliestPrecharge(bank));
+        emit(pre_at, Op::Pre);
+        bank.open = false;
+        bank.lastPrecharge = pre_at;
+        now = pre_at + 1;
+    }
+    stream_.resize(stream_.size() + static_cast<size_t>(timing_.tRc),
+                   Op::Nop);
+
+    ScheduledStream result;
+    result.pattern.loop = std::move(stream_);
+    stats.cycles = result.pattern.cycles();
+    result.stats = stats;
+    stream_.clear();
+    return result;
+}
+
+long long
+applyPowerDownPolicy(Pattern& pattern, int timeout_cycles,
+                     int exit_latency_cycles)
+{
+    if (timeout_cycles < 0 || exit_latency_cycles < 0)
+        fatal("power-down policy latencies must be non-negative");
+    long long converted = 0;
+    const size_t n = pattern.loop.size();
+    size_t i = 0;
+    while (i < n) {
+        if (pattern.loop[i] != Op::Nop) {
+            ++i;
+            continue;
+        }
+        size_t end = i;
+        while (end < n && pattern.loop[end] == Op::Nop)
+            ++end;
+        size_t run = end - i;
+        size_t overhead = static_cast<size_t>(timeout_cycles) +
+                          static_cast<size_t>(exit_latency_cycles);
+        if (run > overhead) {
+            for (size_t k = i + static_cast<size_t>(timeout_cycles);
+                 k < end - static_cast<size_t>(exit_latency_cycles);
+                 ++k) {
+                pattern.loop[k] = Op::Pdn;
+                ++converted;
+            }
+        }
+        i = end;
+    }
+    return converted;
+}
+
+namespace {
+
+struct AddressRanges {
+    int banks;
+    long long rows;
+    long long column_groups;
+};
+
+AddressRanges
+rangesOf(const Specification& spec)
+{
+    AddressRanges r;
+    r.banks = spec.banks();
+    r.rows = spec.rowsPerBank();
+    r.column_groups =
+        std::max<long long>(1, (1LL << spec.columnAddressBits) /
+                                   spec.burstLength);
+    return r;
+}
+
+} // namespace
+
+std::vector<MemoryAccess>
+makeRandomWorkload(const Specification& spec, const WorkloadParams& params)
+{
+    AddressRanges ranges = rangesOf(spec);
+    std::mt19937_64 rng(params.seed);
+    std::uniform_int_distribution<int> bank_dist(0, ranges.banks - 1);
+    std::uniform_int_distribution<long long> row_dist(0, ranges.rows - 1);
+    std::uniform_int_distribution<long long> col_dist(
+        0, ranges.column_groups - 1);
+    std::uniform_real_distribution<double> write_dist(0.0, 1.0);
+
+    std::vector<MemoryAccess> accesses;
+    accesses.reserve(static_cast<size_t>(params.count));
+    for (long long i = 0; i < params.count; ++i) {
+        MemoryAccess a;
+        a.bank = bank_dist(rng);
+        a.row = row_dist(rng);
+        a.column = col_dist(rng);
+        a.write = write_dist(rng) < params.writeFraction;
+        accesses.push_back(a);
+    }
+    return accesses;
+}
+
+std::vector<MemoryAccess>
+makeStreamingWorkload(const Specification& spec,
+                      const WorkloadParams& params)
+{
+    AddressRanges ranges = rangesOf(spec);
+    std::mt19937_64 rng(params.seed);
+    std::uniform_real_distribution<double> write_dist(0.0, 1.0);
+
+    std::vector<MemoryAccess> accesses;
+    accesses.reserve(static_cast<size_t>(params.count));
+    int bank = 0;
+    long long row = 0;
+    long long column = 0;
+    for (long long i = 0; i < params.count; ++i) {
+        MemoryAccess a;
+        a.bank = bank;
+        a.row = row;
+        a.column = column;
+        a.write = write_dist(rng) < params.writeFraction;
+        accesses.push_back(a);
+        if (++column >= ranges.column_groups) {
+            column = 0;
+            bank = (bank + 1) % ranges.banks;
+            if (bank == 0)
+                row = (row + 1) % ranges.rows;
+        }
+    }
+    return accesses;
+}
+
+std::vector<MemoryAccess>
+makeLocalityWorkload(const Specification& spec,
+                     const WorkloadParams& params, double locality)
+{
+    if (locality < 0 || locality > 1)
+        fatal("locality must be in [0, 1]");
+    AddressRanges ranges = rangesOf(spec);
+    std::mt19937_64 rng(params.seed);
+    std::uniform_int_distribution<int> bank_dist(0, ranges.banks - 1);
+    std::uniform_int_distribution<long long> row_dist(0, ranges.rows - 1);
+    std::uniform_int_distribution<long long> col_dist(
+        0, ranges.column_groups - 1);
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+    std::vector<long long> last_row(static_cast<size_t>(ranges.banks),
+                                    -1);
+    std::vector<MemoryAccess> accesses;
+    accesses.reserve(static_cast<size_t>(params.count));
+    for (long long i = 0; i < params.count; ++i) {
+        MemoryAccess a;
+        a.bank = bank_dist(rng);
+        long long& prev = last_row[static_cast<size_t>(a.bank)];
+        if (prev >= 0 && unit(rng) < locality)
+            a.row = prev;
+        else
+            a.row = row_dist(rng);
+        prev = a.row;
+        a.column = col_dist(rng);
+        a.write = unit(rng) < params.writeFraction;
+        accesses.push_back(a);
+    }
+    return accesses;
+}
+
+} // namespace vdram

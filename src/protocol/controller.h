@@ -1,0 +1,139 @@
+/**
+ * @file
+ * A small in-order memory controller: converts a stream of memory
+ * accesses into a protocol-legal command pattern under an open-page or
+ * closed-page row policy. This is the system-side substrate for the
+ * paper's co-design argument (Section V: "a growing need to co-design
+ * the DRAM itself and the memory system using it") — it turns workload
+ * locality into command mixes the power model can evaluate.
+ */
+#ifndef VDRAM_PROTOCOL_CONTROLLER_H
+#define VDRAM_PROTOCOL_CONTROLLER_H
+
+#include <vector>
+
+#include "core/spec.h"
+#include "protocol/timing.h"
+
+namespace vdram {
+
+/** One memory request (burst granularity). */
+struct MemoryAccess {
+    bool write = false;
+    int bank = 0;
+    long long row = 0;
+    long long column = 0; ///< burst-aligned column group
+};
+
+/** Row-buffer management policy. */
+enum class PagePolicy {
+    OpenPage,   ///< keep rows open, precharge only on conflicts
+    ClosedPage, ///< precharge as soon as the access completes
+};
+
+/** Scheduling statistics. */
+struct ScheduleStats {
+    long long accesses = 0;
+    long long rowHits = 0;      ///< open-page hits (no row command)
+    long long rowMisses = 0;    ///< bank idle, activate needed
+    long long rowConflicts = 0; ///< other row open, precharge needed
+    long long cycles = 0;       ///< total schedule length
+
+    double rowHitRate() const
+    {
+        return accesses > 0
+            ? static_cast<double>(rowHits) / accesses
+            : 0.0;
+    }
+};
+
+/** A scheduled command stream plus its statistics. */
+struct ScheduledStream {
+    Pattern pattern;
+    ScheduleStats stats;
+};
+
+/**
+ * In-order greedy scheduler: every access is issued at the earliest
+ * cycle that satisfies tRC/tRAS/tRP/tRCD/tCCD/tRRD/tFAW/tRTP/tWR; idle
+ * cycles are filled with NOPs. The stream is drained at the end (all
+ * banks precharged, one full row cycle of padding) so the resulting
+ * pattern is legal even when evaluated as a repeating loop.
+ */
+class CommandScheduler {
+  public:
+    CommandScheduler(const Specification& spec, const TimingParams& timing,
+                     PagePolicy policy);
+
+    /** Schedule a full access stream. */
+    ScheduledStream schedule(const std::vector<MemoryAccess>& accesses);
+
+  private:
+    struct BankState {
+        bool open = false;
+        long long row = -1;
+        long long lastActivate = -1000000;
+        long long lastPrecharge = -1000000;
+        long long lastRead = -1000000;
+        long long lastWrite = -1000000;
+    };
+
+    /** Emit @p op at @p cycle, growing the stream with NOPs as needed. */
+    void emit(long long cycle, Op op);
+
+    long long earliestActivate(const BankState& bank) const;
+    long long earliestPrecharge(const BankState& bank) const;
+    long long earliestColumn(const BankState& bank) const;
+
+    Specification spec_;
+    TimingParams timing_;
+    PagePolicy policy_;
+
+    std::vector<Op> stream_;
+    std::vector<BankState> banks_;
+    long long lastColumn_ = -1000000;
+    std::vector<long long> recentActivates_;
+};
+
+/** Workload generator parameters. */
+struct WorkloadParams {
+    long long count = 2000;   ///< number of accesses
+    unsigned seed = 1;        ///< deterministic RNG seed
+    double writeFraction = 0.3;
+};
+
+/**
+ * CKE power-down policy: rewrite idle (NOP) stretches of a scheduled
+ * pattern into power-down cycles. A stretch is only gated when it is
+ * longer than @p timeout_cycles (the controller waits that long before
+ * dropping CKE) plus @p exit_latency_cycles (tXP: the wake-up must
+ * complete before the next command). The leading timeout and trailing
+ * exit-latency cycles of each gated stretch stay NOPs.
+ *
+ * Returns the number of cycles converted to power-down.
+ */
+long long applyPowerDownPolicy(Pattern& pattern, int timeout_cycles,
+                               int exit_latency_cycles);
+
+/** Uniformly random accesses over banks/rows/columns. */
+std::vector<MemoryAccess> makeRandomWorkload(const Specification& spec,
+                                             const WorkloadParams& params);
+
+/** Sequential streaming: column-major walk through one row after
+ *  another, rotating banks per row. */
+std::vector<MemoryAccess>
+makeStreamingWorkload(const Specification& spec,
+                      const WorkloadParams& params);
+
+/**
+ * Tunable row locality: with probability @p locality the next access
+ * reuses the previous row of its bank, otherwise it jumps to a random
+ * row.
+ */
+std::vector<MemoryAccess>
+makeLocalityWorkload(const Specification& spec,
+                     const WorkloadParams& params, double locality);
+
+} // namespace vdram
+
+#endif // VDRAM_PROTOCOL_CONTROLLER_H

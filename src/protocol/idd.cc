@@ -1,0 +1,141 @@
+#include "protocol/idd.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace vdram {
+
+std::string
+iddName(IddMeasure measure)
+{
+    switch (measure) {
+    case IddMeasure::Idd0: return "IDD0";
+    case IddMeasure::Idd1: return "IDD1";
+    case IddMeasure::Idd2N: return "IDD2N";
+    case IddMeasure::Idd2P: return "IDD2P";
+    case IddMeasure::Idd3N: return "IDD3N";
+    case IddMeasure::Idd3P: return "IDD3P";
+    case IddMeasure::Idd4R: return "IDD4R";
+    case IddMeasure::Idd4W: return "IDD4W";
+    case IddMeasure::Idd5: return "IDD5";
+    case IddMeasure::Idd6: return "IDD6";
+    case IddMeasure::Idd7: return "IDD7";
+    }
+    return "?";
+}
+
+namespace {
+
+Pattern
+nopLoop(int cycles)
+{
+    Pattern p;
+    p.loop.assign(static_cast<size_t>(std::max(1, cycles)), Op::Nop);
+    return p;
+}
+
+Pattern
+placeOps(int cycles, std::vector<std::pair<int, Op>> ops)
+{
+    Pattern p = nopLoop(cycles);
+    for (auto& [offset, op] : ops) {
+        if (offset < 0 || offset >= cycles)
+            panic("IDD pattern op offset out of range");
+        p.loop[static_cast<size_t>(offset)] = op;
+    }
+    return p;
+}
+
+/**
+ * Window length of the bank-interleaved (IDD7) loop: one activate, one
+ * column burst and one precharge per window, windows spaced so that tRRD
+ * holds, the data bus stays saturated, and the per-bank re-activation
+ * period (banks * window) covers tRC.
+ */
+int
+interleaveWindow(const Specification& spec, const TimingParams& timing)
+{
+    int window = std::max({timing.tRrd, timing.burstCycles,
+                           (timing.tRc + spec.banks() - 1) / spec.banks(),
+                           (timing.tFaw + 3) / 4, timing.tRtp + 2, 4});
+    return window;
+}
+
+} // namespace
+
+Pattern
+makeIddPattern(IddMeasure measure, const Specification& spec,
+               const TimingParams& timing)
+{
+    switch (measure) {
+    case IddMeasure::Idd0:
+        // One-bank row cycling: activate, precharge at tRAS, loop at tRC.
+        return placeOps(timing.tRc, {{0, Op::Act}, {timing.tRas, Op::Pre}});
+    case IddMeasure::Idd1: {
+        int pre_at = std::max(timing.tRas, timing.tRcd + timing.tRtp);
+        int cycles = std::max(timing.tRc, pre_at + 1);
+        return placeOps(cycles, {{0, Op::Act},
+                                 {timing.tRcd, Op::Rd},
+                                 {pre_at, Op::Pre}});
+    }
+    case IddMeasure::Idd2N:
+    case IddMeasure::Idd3N:
+        // Standby with the clock running. The capacitive model does not
+        // distinguish precharged from active standby (no leakage terms).
+        return nopLoop(4);
+    case IddMeasure::Idd2P:
+    case IddMeasure::Idd3P: {
+        // Power-down with CKE low.
+        Pattern p;
+        p.loop.assign(4, Op::Pdn);
+        return p;
+    }
+    case IddMeasure::Idd6: {
+        // Self refresh.
+        Pattern p;
+        p.loop.assign(4, Op::Srf);
+        return p;
+    }
+    case IddMeasure::Idd4R:
+        return placeOps(timing.burstCycles, {{0, Op::Rd}});
+    case IddMeasure::Idd4W:
+        return placeOps(timing.burstCycles, {{0, Op::Wr}});
+    case IddMeasure::Idd5:
+        return placeOps(timing.tRfc, {{0, Op::Ref}});
+    case IddMeasure::Idd7: {
+        int window = interleaveWindow(spec, timing);
+        // [ACT, RD, PRE, NOP...]: the read goes to the youngest eligible
+        // bank, the precharge closes the oldest open bank.
+        return placeOps(window, {{0, Op::Act}, {1, Op::Rd}, {2, Op::Pre}});
+    }
+    }
+    panic("unknown IDD measure");
+}
+
+Pattern
+makeParetoPattern(const Specification& spec, const TimingParams& timing)
+{
+    // Paper Section IV.B: "a pattern with activate and precharge as well
+    // as read and write operation (equivalent to an Idd7 pattern but with
+    // half of the read operations replaced by write operations)" — the
+    // input-language example "Pattern loop= act nop wrt nop rd nop pre
+    // nop" is exactly this shape for a DDR3 burst of 4 control cycles.
+    int burst = timing.burstCycles;
+    int cycles = std::max({2 * burst, 8,
+                           (timing.tRc + spec.banks() - 1) / spec.banks(),
+                           (timing.tFaw + 3) / 4, timing.tRrd});
+    int write_at = 1;
+    int read_at = write_at + std::max(burst, timing.tCcd);
+    int pre_at = cycles - 1;
+    if (read_at >= pre_at) {
+        cycles = read_at + 2;
+        pre_at = cycles - 1;
+    }
+    return placeOps(cycles, {{0, Op::Act},
+                             {write_at, Op::Wr},
+                             {read_at, Op::Rd},
+                             {pre_at, Op::Pre}});
+}
+
+} // namespace vdram

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Generators for the standard JEDEC IDD measurement loops. Datasheet
+ * verification (paper Figs. 8 and 9) compares model output to datasheet
+ * IDD0 (row cycling), IDD4R / IDD4W (gapless reads / writes) and the
+ * trend analysis uses an IDD7-style interleaved pattern (row + column
+ * activity) as its energy-per-bit workload.
+ */
+#ifndef VDRAM_PROTOCOL_IDD_H
+#define VDRAM_PROTOCOL_IDD_H
+
+#include <string>
+
+#include "core/spec.h"
+#include "protocol/timing.h"
+
+namespace vdram {
+
+/** Standard IDD measurement conditions. */
+enum class IddMeasure {
+    Idd0,  ///< one-bank activate-precharge cycling at tRC
+    Idd1,  ///< activate, one read, precharge at tRC
+    Idd2N, ///< precharged standby, clock running
+    Idd2P, ///< precharged power-down (CKE low)
+    Idd3N, ///< active standby, clock running
+    Idd3P, ///< active power-down (CKE low)
+    Idd4R, ///< gapless burst reads
+    Idd4W, ///< gapless burst writes
+    Idd5,  ///< burst refresh
+    Idd6,  ///< self refresh
+    Idd7,  ///< bank-interleaved activate + read (max throughput)
+};
+
+/** Datasheet-style name ("IDD0", "IDD4R", ...). */
+std::string iddName(IddMeasure measure);
+
+/**
+ * Build the command loop realizing an IDD measurement for a device.
+ * The returned loops are steady-state legal for the given timing
+ * (verified by the protocol tests via checkPattern()).
+ */
+Pattern makeIddPattern(IddMeasure measure, const Specification& spec,
+                       const TimingParams& timing);
+
+/**
+ * The paper's sensitivity/trend workload (Section IV.B): an IDD7-like
+ * interleaved pattern in which half of the reads are replaced by writes.
+ */
+Pattern makeParetoPattern(const Specification& spec,
+                          const TimingParams& timing);
+
+} // namespace vdram
+
+#endif // VDRAM_PROTOCOL_IDD_H

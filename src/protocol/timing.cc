@@ -1,0 +1,68 @@
+#include "protocol/timing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace vdram {
+
+namespace {
+
+int
+toCycles(double seconds, double tck)
+{
+    double ratio = seconds / tck;
+    long long nearest = std::llround(ratio);
+    // Snap to the nearest integer when the analog value is within 0.1 %
+    // of it (absorbs rounding in serialized descriptions), otherwise
+    // round up as JEDEC timing conversion requires.
+    if (std::fabs(ratio - static_cast<double>(nearest)) <
+        1e-3 * std::max(1.0, ratio)) {
+        return std::max(1, static_cast<int>(nearest));
+    }
+    return std::max(1, static_cast<int>(std::ceil(ratio)));
+}
+
+} // namespace
+
+TimingParams
+timingFromGeneration(const GenerationInfo& generation,
+                     const Specification& spec)
+{
+    TimingParams t;
+    if (spec.controlClockFrequency <= 0)
+        fatal("control clock frequency must be positive");
+    t.tCkSeconds = 1.0 / spec.controlClockFrequency;
+
+    t.tRc = toCycles(generation.tRcSeconds, t.tCkSeconds);
+    t.tRcd = toCycles(generation.tRcdSeconds, t.tCkSeconds);
+    t.tRp = toCycles(generation.tRpSeconds, t.tCkSeconds);
+    t.tRas = std::max(1, t.tRc - t.tRp);
+
+    // Data beats per control clock: 1 for SDR, 2 for DDR interfaces.
+    double beats_per_clock =
+        spec.dataRate / spec.controlClockFrequency;
+    t.burstCycles = std::max(1, static_cast<int>(std::ceil(
+        spec.burstLength / beats_per_clock - 1e-9)));
+    t.tCcd = t.burstCycles;
+
+    // Bank-to-bank activate spacing: limited by command decode, roughly
+    // 7.5 ns or one burst, whichever is longer.
+    t.tRrd = std::max(t.burstCycles, toCycles(7.5e-9, t.tCkSeconds));
+    t.tFaw = 5 * t.tRrd;
+    t.tWr = toCycles(15e-9, t.tCkSeconds);
+    t.tRtp = std::max(2, t.burstCycles);
+    // Refresh cycle time grows with density: more rows fold into each
+    // refresh command (110 ns at 1 Gb, ~160 ns at 2 Gb, ~350 ns at
+    // 8 Gb — the JEDEC trend, tRFC ~ density^0.55).
+    const double gbit = generation.densityBits / (1024.0 * 1024.0 * 1024.0);
+    const double trfc_ns =
+        std::max(75.0, 110.0 * std::pow(std::max(gbit, 0.125), 0.55));
+    t.tRfc = toCycles(trfc_ns * 1e-9, t.tCkSeconds);
+    t.tRefi = toCycles(7.8e-6, t.tCkSeconds);
+
+    return t;
+}
+
+} // namespace vdram

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * DRAM timing parameters in control-clock cycles, derived from the
+ * generation ladder, plus helpers shared by the pattern generators.
+ */
+#ifndef VDRAM_PROTOCOL_TIMING_H
+#define VDRAM_PROTOCOL_TIMING_H
+
+#include "core/spec.h"
+#include "tech/generations.h"
+
+namespace vdram {
+
+/** Core timing constraints, in integer control-clock cycles. */
+struct TimingParams {
+    /** Control clock period in seconds. */
+    double tCkSeconds = 1.5e-9;
+
+    int tRc = 33;   ///< activate-to-activate, same bank
+    int tRas = 24;  ///< activate-to-precharge, same bank
+    int tRp = 9;    ///< precharge-to-activate, same bank
+    int tRcd = 9;   ///< activate-to-column command, same bank
+    int tCcd = 4;   ///< column-command-to-column-command
+    int tRrd = 4;   ///< activate-to-activate, different banks
+    int tFaw = 20;  ///< four-activate window
+    int tWr = 10;   ///< write recovery
+    int tRtp = 5;   ///< read-to-precharge
+    int tRfc = 72;  ///< refresh cycle time
+    int tRefi = 5200; ///< average refresh interval
+
+    /** Cycles one interface burst occupies on the data bus. */
+    int burstCycles = 4;
+
+    /** Row cycle time in seconds. */
+    double tRcSeconds() const { return tRc * tCkSeconds; }
+};
+
+/**
+ * Derive the timing set for a generation and specification: analog row
+ * timings from the ladder converted to cycles of the control clock, and
+ * column/bus constraints from the interface burst structure.
+ */
+TimingParams timingFromGeneration(const GenerationInfo& generation,
+                                  const Specification& spec);
+
+} // namespace vdram
+
+#endif // VDRAM_PROTOCOL_TIMING_H

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Access-trace text format: one access per line,
+ *
+ *     R <bank> <row> <column>
+ *     W <bank> <row> <column>
+ *
+ * with '#' comments and blank lines ignored. Traces feed the command
+ * scheduler (controller.h) so externally generated workloads — e.g.
+ * from a CPU simulator — can be evaluated by the power model.
+ */
+#ifndef VDRAM_PROTOCOL_TRACE_H
+#define VDRAM_PROTOCOL_TRACE_H
+
+#include <string>
+#include <vector>
+
+#include "protocol/controller.h"
+#include "util/result.h"
+
+namespace vdram {
+
+/** Parse a trace from text. Errors carry the line number. */
+Result<std::vector<MemoryAccess>> parseTrace(const std::string& text);
+
+/** Load a trace from a file. */
+Result<std::vector<MemoryAccess>> loadTraceFile(const std::string& path);
+
+/** Emit a trace as text (round-trips through parseTrace). */
+std::string writeTrace(const std::vector<MemoryAccess>& accesses);
+
+} // namespace vdram
+
+#endif // VDRAM_PROTOCOL_TRACE_H

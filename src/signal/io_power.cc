@@ -1,0 +1,87 @@
+#include "signal/io_power.h"
+
+#include "util/logging.h"
+
+namespace vdram {
+
+double
+IoPower::average(double read_duty, double write_duty) const
+{
+    return read_duty * readDrivePower +
+           write_duty * writeTerminationPower +
+           (read_duty + write_duty) * (strobePower + capacitivePower);
+}
+
+IoPower
+computeIoPower(const IoConfig& config, const Specification& spec)
+{
+    if (config.driverResistance <= 0 ||
+        config.terminationResistance <= 0) {
+        fatal("I/O impedances must be positive");
+    }
+    IoPower power;
+
+    const double r_total =
+        config.driverResistance + config.terminationResistance;
+    // DC current through the termination divider while a line drives:
+    // SSTL terminates to Vddq/2 and sinks current at both levels; POD
+    // terminates to Vddq and only sinks while driving low (half the
+    // time for random data).
+    double dc_per_line;
+    if (config.podTermination) {
+        dc_per_line = 0.5 * config.vddq * config.vddq / r_total;
+    } else {
+        dc_per_line = config.vddq * (config.vddq / 2.0) / r_total;
+    }
+
+    // Data bus inversion: per 8-bit lane, inverting when more than half
+    // the bits drive the costly level caps the expectation of costly
+    // lines at ~3.27 of 8 (vs 4 of 8 random), at the price of one DBI
+    // line per lane which itself drives with ~0.3 duty.
+    double effective_lines = spec.ioWidth;
+    double toggle_rate = config.dataToggleRate;
+    if (config.dataBusInversion) {
+        double lanes = spec.ioWidth / 8.0;
+        effective_lines = spec.ioWidth * (3.27 / 4.0) + lanes * 0.3;
+        toggle_rate *= 0.85; // fewer transitions on the inverted lanes
+    }
+
+    power.readDrivePower = effective_lines * dc_per_line;
+    // During writes the controller drives and this device's ODT sinks
+    // the mirror current.
+    power.writeTerminationPower = effective_lines * dc_per_line;
+
+    // Strobes: differential pairs driven rail-to-rail at the data rate
+    // during every burst (toggle rate 1).
+    const double strobe_lines = 2.0 * config.strobePairs;
+    power.strobePower =
+        strobe_lines * (dc_per_line +
+                        config.lineCapacitance * config.vddq *
+                            config.vddq * spec.dataRate);
+
+    // Data line/pad capacitance at the (DBI-reduced) toggle rate.
+    power.capacitivePower = spec.ioWidth * config.lineCapacitance *
+                            config.vddq * config.vddq * toggle_rate *
+                            spec.dataRate;
+
+    return power;
+}
+
+IoConfig
+defaultIoConfig(double vddq, bool pod_termination)
+{
+    IoConfig config;
+    config.vddq = vddq;
+    config.podTermination = pod_termination;
+    if (pod_termination) {
+        // DDR4/5-style POD: stronger drivers, lighter termination.
+        config.driverResistance = 34.0;
+        config.terminationResistance = 48.0;
+    } else {
+        config.driverResistance = 34.0;
+        config.terminationResistance = 60.0;
+    }
+    return config;
+}
+
+} // namespace vdram

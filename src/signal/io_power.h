@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Interface (Vddq) power: output drivers, on-die termination and strobe
+ * toggling.
+ *
+ * The paper's model deliberately excludes this domain: "the power in
+ * this voltage domain is not included in DRAM datasheet power values
+ * and has to be calculated based on the properties of the link between
+ * DRAM and controller, not based on the DRAM itself" (Section III.A).
+ * System-level totals nevertheless need it — with SSTL-style parallel
+ * termination it rivals the core power — so this module provides the
+ * link-side calculation as an explicit, separately-reported extension.
+ *
+ * Model: an SSTL/POD push-pull driver with on-resistance Ron drives a
+ * line parallel-terminated with Rtt to Vddq/2 (SSTL, DDR2/3) or to
+ * Vddq (POD, DDR4/5). Driving a static level sinks a DC current
+ * through the termination divider; random data halves the duty of the
+ * worst level. The strobe pair toggles continuously during bursts, and
+ * the pad/line capacitance adds CV charge per transition.
+ */
+#ifndef VDRAM_SIGNAL_IO_POWER_H
+#define VDRAM_SIGNAL_IO_POWER_H
+
+#include "core/spec.h"
+
+namespace vdram {
+
+/** Link and driver electricals. */
+struct IoConfig {
+    /** Interface supply Vddq. */
+    double vddq = 1.5;
+    /** Driver on-resistance (RZQ/7 = 34 ohm typical for DDR3). */
+    double driverResistance = 34.0;
+    /** Effective parallel termination at the far end (RTT). */
+    double terminationResistance = 60.0;
+    /** Termination style: SSTL terminates to Vddq/2 (DDR2/3), POD to
+     *  Vddq (DDR4/5: no current when driving high). */
+    bool podTermination = false;
+    /** Pad + line capacitance per signal. */
+    double lineCapacitance = 5e-12;
+    /** Differential strobe pairs accompanying the data (DQS). */
+    int strobePairs = 2;
+    /** Average data toggle rate (random data: 0.5). */
+    double dataToggleRate = 0.5;
+    /** Data bus inversion (DDR4/GDDR5 DBI): each byte lane may invert
+     *  so at most half its lines drive the costly level, cutting the
+     *  termination DC and some toggling at the price of one extra DBI
+     *  line per byte. */
+    bool dataBusInversion = false;
+};
+
+/** The interface power split, in watts at Vddq. */
+struct IoPower {
+    /** While this device drives reads (per active burst time). */
+    double readDrivePower = 0;
+    /** While the controller drives writes into this device's ODT. */
+    double writeTerminationPower = 0;
+    /** Strobe toggling during any burst. */
+    double strobePower = 0;
+    /** Line/pad capacitive charge at the data rate. */
+    double capacitivePower = 0;
+
+    /** Average interface power at the given read/write bus duty
+     *  cycles. */
+    double average(double read_duty, double write_duty) const;
+};
+
+/** Compute the interface power of a device on a terminated link. */
+IoPower computeIoPower(const IoConfig& config, const Specification& spec);
+
+/** Default link configuration for an interface generation's signaling
+ *  style (SSTL vs POD, typical impedances and Vddq). */
+IoConfig defaultIoConfig(double vddq, bool pod_termination);
+
+} // namespace vdram
+
+#endif // VDRAM_SIGNAL_IO_POWER_H

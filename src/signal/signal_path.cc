@@ -1,0 +1,93 @@
+#include "signal/signal_path.h"
+
+#include "util/logging.h"
+
+namespace vdram {
+
+std::string
+signalRoleName(SignalRole role)
+{
+    switch (role) {
+    case SignalRole::WriteData: return "writedata";
+    case SignalRole::ReadData: return "readdata";
+    case SignalRole::RowAddress: return "rowaddress";
+    case SignalRole::ColumnAddress: return "columnaddress";
+    case SignalRole::Control: return "control";
+    case SignalRole::Clock: return "clock";
+    }
+    return "?";
+}
+
+SegmentLoads
+computeSegmentLoads(const Segment& segment, const Floorplan& floorplan,
+                    const TechnologyParams& tech)
+{
+    SegmentLoads loads;
+
+    if (segment.insideBlock) {
+        if (!floorplan.contains(segment.inside))
+            fatal("signal segment references a block outside the floorplan");
+        double dimension = segment.horizontal
+            ? floorplan.blockWidth(segment.inside)
+            : floorplan.blockHeight(segment.inside);
+        loads.length = dimension * segment.fraction;
+    } else {
+        if (!floorplan.contains(segment.from) ||
+            !floorplan.contains(segment.to)) {
+            fatal("signal segment references a block outside the floorplan");
+        }
+        loads.length = floorplan.manhattanDistance(segment.from, segment.to);
+    }
+    loads.length *= segment.lengthScale;
+
+    loads.wireCap = loads.length * tech.wireCapSignal;
+
+    // Buffer at the head of the segment: input gates plus output
+    // junctions of the P/N pair.
+    if (segment.bufferWidthP > 0 || segment.bufferWidthN > 0) {
+        loads.deviceCap +=
+            tech.gateCapLogic(segment.bufferWidthP, tech.minLengthLogic) +
+            tech.gateCapLogic(segment.bufferWidthN, tech.minLengthLogic) +
+            tech.junctionCapOfLogic(segment.bufferWidthP) +
+            tech.junctionCapOfLogic(segment.bufferWidthN);
+    }
+
+    // Multiplexer / (de)serializer: one pass-device junction per branch.
+    if (segment.muxFactor > 1) {
+        double branch_junction =
+            tech.junctionCapOfLogic(tech.minLengthLogic * 8.0);
+        loads.deviceCap += segment.muxFactor * branch_junction;
+    }
+
+    return loads;
+}
+
+double
+signalNetCapPerWire(const SignalNet& net, const Floorplan& floorplan,
+                    const TechnologyParams& tech)
+{
+    double cap = 0;
+    for (const Segment& segment : net.segments)
+        cap += computeSegmentLoads(segment, floorplan, tech).total();
+    return cap;
+}
+
+double
+signalNetLength(const SignalNet& net, const Floorplan& floorplan)
+{
+    double length = 0;
+    for (const Segment& segment : net.segments) {
+        if (segment.insideBlock) {
+            double dimension = segment.horizontal
+                ? floorplan.blockWidth(segment.inside)
+                : floorplan.blockHeight(segment.inside);
+            length += dimension * segment.fraction * segment.lengthScale;
+        } else {
+            length += floorplan.manhattanDistance(segment.from, segment.to) *
+                      segment.lengthScale;
+        }
+    }
+    return length;
+}
+
+} // namespace vdram

@@ -1,0 +1,67 @@
+#include "tech/disruptive.h"
+
+namespace vdram {
+
+const std::vector<DisruptiveChange>&
+disruptiveChanges()
+{
+    static const std::vector<DisruptiveChange> changes = {
+        {250e-9, 110e-9,
+         "Stitched wordline to segmented wordline",
+         "Minimum feature size of aluminum wiring no longer feasible"},
+        {110e-9, 90e-9,
+         "Increase in number of cells per bitline and/or local wordline",
+         "Leads to smaller die size"},
+        {110e-9, 90e-9,
+         "Introduction of dual gate oxide",
+         "Allows lower voltage operation and better logic performance"},
+        {90e-9, 75e-9,
+         "Introduction of p+ gate doping of PMOS transistors",
+         "Buried channel pfet performance not sufficient for high data "
+         "rate DRAMs"},
+        {90e-9, 75e-9,
+         "Introduction of 3-dimensional access transistor",
+         "Planar device length too short for threshold voltage control"},
+        {75e-9, 65e-9,
+         "Cell architecture 8f2 folded bitline to 6f2 open bitline",
+         "Leads to smaller die size"},
+        {55e-9, 44e-9,
+         "Cu metallization",
+         "Lower resistance and/or capacitance in wiring"},
+        {40e-9, 36e-9,
+         "Cell architecture 6f2 to 4f2 with vertical access transistor",
+         "Leads to smaller die size (ITRS forecast)"},
+        {36e-9, 31e-9,
+         "High-k dielectric gate oxide",
+         "Better subthreshold behavior and reduced gate leakage "
+         "(ITRS forecast)"},
+    };
+    return changes;
+}
+
+NodeArchitecture
+nodeArchitecture(double feature_size)
+{
+    NodeArchitecture arch;
+    if (feature_size >= 70e-9) {
+        arch.cellAreaFactorF2 = 8;
+        arch.foldedBitline = true;
+        // Table II: the cells-per-bitline increase came with the
+        // 110 -> 90 nm transition.
+        arch.bitsPerBitline = feature_size > 100e-9 ? 256 : 512;
+        arch.bitsPerLocalWordline = feature_size > 100e-9 ? 256 : 512;
+    } else if (feature_size >= 40e-9) {
+        arch.cellAreaFactorF2 = 6;
+        arch.foldedBitline = false;
+        arch.bitsPerBitline = 512;
+        arch.bitsPerLocalWordline = 512;
+    } else {
+        arch.cellAreaFactorF2 = 4;
+        arch.foldedBitline = false;
+        arch.bitsPerBitline = 512;
+        arch.bitsPerLocalWordline = 512;
+    }
+    return arch;
+}
+
+} // namespace vdram

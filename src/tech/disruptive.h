@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table II of the paper: disruptive technology changes along the DRAM
+ * roadmap, plus the architecture adjustments (cell size factor, bitline
+ * architecture, cells per line) they imply for the preset generator.
+ */
+#ifndef VDRAM_TECH_DISRUPTIVE_H
+#define VDRAM_TECH_DISRUPTIVE_H
+
+#include <string>
+#include <vector>
+
+namespace vdram {
+
+/** One row of Table II. */
+struct DisruptiveChange {
+    double fromNode;        ///< metres (0 when the transition is a range)
+    double toNode;          ///< metres
+    std::string change;     ///< the disruptive change
+    std::string background; ///< why it was made
+};
+
+/** All rows of Table II, in roadmap order. */
+const std::vector<DisruptiveChange>& disruptiveChanges();
+
+/** Architecture consequences of the Table II transitions at a node. */
+struct NodeArchitecture {
+    /** Cell area in units of f^2 (8, 6 or 4). */
+    int cellAreaFactorF2;
+    /** Folded (true) or open (false) bitline architecture. */
+    bool foldedBitline;
+    /** Cells per local bitline. */
+    int bitsPerBitline;
+    /** Cells per local (sub-) wordline. */
+    int bitsPerLocalWordline;
+};
+
+/**
+ * The commodity architecture at a node:
+ *  - >= 75 nm: 8F^2 folded bitline (256 cells per bitline above 110 nm,
+ *    512 from the 90 nm step of Table II);
+ *  - 65-40 nm: 6F^2 open bitline, 512 cells per bitline;
+ *  - <= 36 nm: 4F^2 open bitline with vertical access transistor.
+ */
+NodeArchitecture nodeArchitecture(double feature_size);
+
+} // namespace vdram
+
+#endif // VDRAM_TECH_DISRUPTIVE_H

@@ -1,0 +1,188 @@
+#include "tech/scaling.h"
+
+#include <cmath>
+#include <map>
+
+#include "util/logging.h"
+
+namespace vdram {
+
+namespace {
+
+/** Ladder nodes in metres, ascending (required by Curve). */
+const std::vector<double>&
+nodesAscending()
+{
+    static const std::vector<double> nodes = {
+        16e-9, 18e-9, 22e-9, 26e-9, 31e-9, 36e-9, 44e-9,
+        55e-9, 65e-9, 75e-9, 90e-9, 110e-9, 140e-9, 170e-9,
+    };
+    return nodes;
+}
+
+Curve
+makeCurve(std::vector<double> factors_large_to_small)
+{
+    // Factors are written in ladder order (170 nm first) for readability;
+    // flip to ascending-x order for the Curve.
+    Curve c;
+    c.x = nodesAscending();
+    c.y.assign(factors_large_to_small.rbegin(), factors_large_to_small.rend());
+    if (c.x.size() != c.y.size())
+        panic("scaling curve has wrong number of samples");
+    return c;
+}
+
+/**
+ * Shrink factors relative to 90 nm, ladder order:
+ * {170, 140, 110, 90, 75, 65, 55, 44, 36, 31, 26, 22, 18, 16} nm.
+ */
+const std::map<ScalingCurveId, Curve>&
+curveTable()
+{
+    static const std::map<ScalingCurveId, Curve> table = [] {
+        std::map<ScalingCurveId, Curve> t;
+        // The f-shrink line itself: node / 90 nm.
+        t[ScalingCurveId::FeatureSize] = makeCurve(
+            {1.889, 1.556, 1.222, 1.000, 0.833, 0.722, 0.611, 0.489,
+             0.400, 0.344, 0.289, 0.244, 0.200, 0.178});
+        // Gate oxide thickness: shrinks much more slowly than f; the
+        // 36 nm high-k transition (Table II) allows a further small step.
+        t[ScalingCurveId::GateOxide] = makeCurve(
+            {1.45, 1.30, 1.12, 1.00, 0.92, 0.85, 0.78, 0.72,
+             0.64, 0.61, 0.58, 0.55, 0.52, 0.50});
+        // Minimum channel length: nearly follows f.
+        t[ScalingCurveId::MinLength] = makeCurve(
+            {1.80, 1.50, 1.20, 1.00, 0.85, 0.75, 0.64, 0.53,
+             0.45, 0.40, 0.34, 0.30, 0.26, 0.24});
+        // Junction capacitance per width: slow shrink (doping goes up as
+        // area goes down).
+        t[ScalingCurveId::JunctionCap] = makeCurve(
+            {1.25, 1.17, 1.08, 1.00, 0.94, 0.89, 0.84, 0.79,
+             0.75, 0.72, 0.69, 0.66, 0.63, 0.62});
+        // Cell access transistor L/W: follows f down to 90 nm; the 3D
+        // access transistor (90->75, Table II) and the 4F^2 vertical
+        // transistor (40->36) keep the effective size from shrinking
+        // further.
+        t[ScalingCurveId::AccessTransistor] = makeCurve(
+            {1.70, 1.45, 1.18, 1.00, 0.90, 0.84, 0.78, 0.72,
+             0.68, 0.66, 0.64, 0.62, 0.60, 0.59});
+        // Bitline capacitance: dominated by line-to-line coupling, shrinks
+        // slowly.
+        t[ScalingCurveId::BitlineCap] = makeCurve(
+            {1.30, 1.20, 1.09, 1.00, 0.94, 0.89, 0.84, 0.78,
+             0.74, 0.71, 0.68, 0.65, 0.62, 0.61});
+        // Cell capacitance: held nearly constant by capacitor innovation;
+        // slight decline allowed at the smallest nodes.
+        t[ScalingCurveId::CellCap] = makeCurve(
+            {1.08, 1.05, 1.02, 1.00, 0.995, 0.99, 0.98, 0.96,
+             0.93, 0.91, 0.89, 0.87, 0.85, 0.84});
+        // Specific wire capacitance: almost flat; small step down at the
+        // 44 nm Cu/low-k transition (Table II).
+        t[ScalingCurveId::WireCap] = makeCurve(
+            {1.06, 1.04, 1.02, 1.00, 0.99, 0.98, 0.97, 0.88,
+             0.87, 0.86, 0.85, 0.84, 0.83, 0.82});
+        // Average logic device width: follows f (widths scale with length
+        // to keep W/L constant).
+        t[ScalingCurveId::LogicWidth] = makeCurve(
+            {1.85, 1.53, 1.21, 1.00, 0.84, 0.74, 0.63, 0.51,
+             0.42, 0.37, 0.31, 0.27, 0.23, 0.21});
+        // Sense-amplifier / local wordline driver stripe widths: limited
+        // by on-pitch layout, shrink slower than f.
+        t[ScalingCurveId::StripeWidth] = makeCurve(
+            {1.55, 1.35, 1.15, 1.00, 0.90, 0.82, 0.74, 0.65,
+             0.58, 0.54, 0.50, 0.46, 0.42, 0.40});
+        // Sense-amplifier device sizes (Fig. 7).
+        t[ScalingCurveId::SenseAmpDevice] = makeCurve(
+            {1.60, 1.38, 1.16, 1.00, 0.89, 0.80, 0.71, 0.61,
+             0.54, 0.50, 0.45, 0.41, 0.37, 0.35});
+        // On-pitch row circuit device sizes (Fig. 7).
+        t[ScalingCurveId::RowCoreDevice] = makeCurve(
+            {1.65, 1.41, 1.17, 1.00, 0.88, 0.79, 0.69, 0.59,
+             0.52, 0.47, 0.42, 0.38, 0.34, 0.32});
+        return t;
+    }();
+    return table;
+}
+
+} // namespace
+
+const Curve&
+scalingCurve(ScalingCurveId id)
+{
+    if (id == ScalingCurveId::NoScaling)
+        panic("NoScaling has no curve");
+    auto it = curveTable().find(id);
+    if (it == curveTable().end())
+        panic("unknown scaling curve id");
+    return it->second;
+}
+
+double
+scalingFactor(ScalingCurveId id, double feature_size)
+{
+    if (id == ScalingCurveId::NoScaling)
+        return 1.0;
+    return scalingCurve(id).atLog(feature_size);
+}
+
+double
+scalingFactorBetween(ScalingCurveId id, double from_node, double to_node)
+{
+    if (id == ScalingCurveId::NoScaling)
+        return 1.0;
+    return scalingFactor(id, to_node) / scalingFactor(id, from_node);
+}
+
+TechnologyParams
+scaleTechnology(const TechnologyParams& params, double target_node)
+{
+    TechnologyParams out = params;
+    double from = params.featureSize;
+    ElectricalParams dummy;
+    for (const ParamInfo& info : technologyParamRegistry()) {
+        double factor = scalingFactorBetween(info.curve, from, target_node);
+        double value = getParam(info, params, dummy);
+        ElectricalParams unused;
+        setParam(info, out, unused, value * factor);
+    }
+    out.featureSize = target_node;
+    return out;
+}
+
+const std::vector<ScalingCurveId>&
+allScalingCurves()
+{
+    static const std::vector<ScalingCurveId> ids = {
+        ScalingCurveId::FeatureSize,    ScalingCurveId::GateOxide,
+        ScalingCurveId::MinLength,      ScalingCurveId::JunctionCap,
+        ScalingCurveId::AccessTransistor, ScalingCurveId::BitlineCap,
+        ScalingCurveId::CellCap,        ScalingCurveId::WireCap,
+        ScalingCurveId::LogicWidth,     ScalingCurveId::StripeWidth,
+        ScalingCurveId::SenseAmpDevice, ScalingCurveId::RowCoreDevice,
+    };
+    return ids;
+}
+
+const char*
+scalingCurveName(ScalingCurveId id)
+{
+    switch (id) {
+    case ScalingCurveId::FeatureSize: return "feature size (f-shrink)";
+    case ScalingCurveId::GateOxide: return "gate oxide thickness";
+    case ScalingCurveId::MinLength: return "minimum channel length";
+    case ScalingCurveId::JunctionCap: return "junction capacitance";
+    case ScalingCurveId::AccessTransistor: return "cell access transistor";
+    case ScalingCurveId::BitlineCap: return "bitline capacitance";
+    case ScalingCurveId::CellCap: return "cell capacitance";
+    case ScalingCurveId::WireCap: return "specific wire capacitance";
+    case ScalingCurveId::LogicWidth: return "logic device width";
+    case ScalingCurveId::StripeWidth: return "SA/LWD stripe width";
+    case ScalingCurveId::SenseAmpDevice: return "sense-amplifier devices";
+    case ScalingCurveId::RowCoreDevice: return "row core devices";
+    case ScalingCurveId::NoScaling: return "no scaling";
+    }
+    return "?";
+}
+
+} // namespace vdram

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Technology scaling engine reproducing Figs. 5-7 of the paper.
+ *
+ * Every technology parameter is assigned to one of a small number of
+ * scaling-curve families (ScalingCurveId). Each family is a table of
+ * shrink factors over the generation ladder, normalized to 1.0 at the
+ * 90 nm reference node. Scaling a parameter from node A to node B
+ * multiplies it by curve(B) / curve(A).
+ *
+ * The curves encode the paper's observations: the feature size shrinks by
+ * 16 % per generation on average (the solid "f-shrink" line), most other
+ * parameters shrink more slowly, cell capacitance is held nearly constant,
+ * and specific wire capacitance is almost flat with a small step at the
+ * 44 nm Cu-metallization transition (Table II).
+ */
+#ifndef VDRAM_TECH_SCALING_H
+#define VDRAM_TECH_SCALING_H
+
+#include <vector>
+
+#include "tech/technology.h"
+#include "util/numerics.h"
+
+namespace vdram {
+
+/** The shrink-factor curve for one parameter family (x: node in metres,
+ *  ascending; y: factor relative to the 90 nm node). */
+const Curve& scalingCurve(ScalingCurveId id);
+
+/** Shrink factor of a family at a node, relative to the 90 nm reference. */
+double scalingFactor(ScalingCurveId id, double feature_size);
+
+/** Relative shrink factor between two nodes: curve(to) / curve(from). */
+double scalingFactorBetween(ScalingCurveId id, double from_node,
+                            double to_node);
+
+/**
+ * Scale a full technology parameter set from its current node
+ * (params.featureSize) to the target node. Every registered parameter is
+ * multiplied by its family's relative factor; NoScaling parameters are
+ * copied unchanged; featureSize itself becomes the target node.
+ */
+TechnologyParams scaleTechnology(const TechnologyParams& params,
+                                 double target_node);
+
+/** The list of curve families, for iteration in benches and tests. */
+const std::vector<ScalingCurveId>& allScalingCurves();
+
+/** Human readable family name ("gate oxide", "bitline capacitance"...). */
+const char* scalingCurveName(ScalingCurveId id);
+
+} // namespace vdram
+
+#endif // VDRAM_TECH_SCALING_H

@@ -1,0 +1,243 @@
+#include "tech/technology.h"
+
+#include "util/logging.h"
+
+namespace vdram {
+
+namespace {
+
+/** Permittivity of SiO2: eps0 * 3.9. Gate stacks are specified by their
+ *  equivalent (SiO2) oxide thickness, so this constant applies to high-k
+ *  stacks as well. */
+constexpr double kEpsOxide = 8.854e-12 * 3.9; // F/m
+
+} // namespace
+
+double
+TechnologyParams::gateCapPerArea(double oxide_thickness)
+{
+    if (oxide_thickness <= 0)
+        panic("gateCapPerArea: non-positive oxide thickness");
+    return kEpsOxide / oxide_thickness; // F/m^2
+}
+
+double
+TechnologyParams::gateCapLogic(double width, double length) const
+{
+    return gateCapPerArea(gateOxideLogic) * width * length;
+}
+
+double
+TechnologyParams::gateCapHighVoltage(double width, double length) const
+{
+    return gateCapPerArea(gateOxideHighVoltage) * width * length;
+}
+
+double
+TechnologyParams::gateCapCell() const
+{
+    return gateCapPerArea(gateOxideCell) * widthCellTransistor *
+           lengthCellTransistor;
+}
+
+double
+TechnologyParams::junctionCapOfLogic(double width) const
+{
+    return junctionCapLogic * width;
+}
+
+double
+TechnologyParams::junctionCapOfHighVoltage(double width) const
+{
+    return junctionCapHighVoltage * width;
+}
+
+namespace {
+
+using TP = TechnologyParams;
+using EP = ElectricalParams;
+
+ParamInfo
+tech(const char* name, const char* key, Dimension dim, ScalingCurveId curve,
+     double TP::*member)
+{
+    return ParamInfo{name, key, dim, curve, ParamGroup::Technology, member,
+                     nullptr};
+}
+
+ParamInfo
+elec(const char* name, const char* key, Dimension dim, double EP::*member)
+{
+    return ParamInfo{name,   key,     dim, ScalingCurveId::NoScaling,
+                     ParamGroup::Electrical, nullptr, member};
+}
+
+} // namespace
+
+const std::vector<ParamInfo>&
+technologyParamRegistry()
+{
+    using D = Dimension;
+    using S = ScalingCurveId;
+    static const std::vector<ParamInfo> registry = {
+        tech("Feature size", "featuresize", D::Length, S::FeatureSize,
+             &TP::featureSize),
+        tech("Gate oxide thickness general logic transistors",
+             "gateoxidelogic", D::Length, S::GateOxide, &TP::gateOxideLogic),
+        tech("Gate oxide thickness high voltage transistors",
+             "gateoxidehighvoltage", D::Length, S::GateOxide,
+             &TP::gateOxideHighVoltage),
+        tech("Gate oxide thickness cell access transistor", "gateoxidecell",
+             D::Length, S::GateOxide, &TP::gateOxideCell),
+        tech("Minimum gate length general logic transistors",
+             "minlengthlogic", D::Length, S::MinLength, &TP::minLengthLogic),
+        tech("Junction capacitance general logic transistors",
+             "junctioncaplogic", D::CapacitancePerLength, S::JunctionCap,
+             &TP::junctionCapLogic),
+        tech("Minimum gate length high voltage transistors",
+             "minlengthhighvoltage", D::Length, S::MinLength,
+             &TP::minLengthHighVoltage),
+        tech("Junction capacitance high voltage transistors",
+             "junctioncaphighvoltage", D::CapacitancePerLength,
+             S::JunctionCap, &TP::junctionCapHighVoltage),
+        tech("Gate length cell access transistor", "lengthcelltransistor",
+             D::Length, S::AccessTransistor, &TP::lengthCellTransistor),
+        tech("Gate width cell access transistor", "widthcelltransistor",
+             D::Length, S::AccessTransistor, &TP::widthCellTransistor),
+        tech("Bitline capacitance", "bitlinecap", D::Capacitance,
+             S::BitlineCap, &TP::bitlineCap),
+        tech("Cell capacitance", "cellcap", D::Capacitance, S::CellCap,
+             &TP::cellCap),
+        tech("Share of bitline to wordline capacitance of total bitline "
+             "capacitance", "bitlinetowordlinecapshare", D::Fraction,
+             S::NoScaling, &TP::bitlineToWordlineCapShare),
+        tech("Bits accessed per column select line", "bitspercolumnselect",
+             D::Dimensionless, S::NoScaling, &TP::bitsPerColumnSelect),
+        tech("Specific wire capacitance master wordline",
+             "wirecapmasterwordline", D::CapacitancePerLength, S::WireCap,
+             &TP::wireCapMasterWordline),
+        tech("Pre-decode ratio master wordline", "predecodemasterwordline",
+             D::Dimensionless, S::NoScaling, &TP::predecodeMasterWordline),
+        tech("Gate width master wordline decoder NMOS", "widthmwldecodern",
+             D::Length, S::RowCoreDevice, &TP::widthMwlDecoderN),
+        tech("Gate width master wordline decoder PMOS", "widthmwldecoderp",
+             D::Length, S::RowCoreDevice, &TP::widthMwlDecoderP),
+        tech("Average amount of switching of master wordline decoder",
+             "mwldecoderswitching", D::Fraction, S::NoScaling,
+             &TP::mwlDecoderSwitching),
+        tech("Gate width load NMOS wordline controller",
+             "widthwordlinecontroln", D::Length, S::RowCoreDevice,
+             &TP::widthWordlineControlN),
+        tech("Gate width load PMOS wordline controller",
+             "widthwordlinecontrolp", D::Length, S::RowCoreDevice,
+             &TP::widthWordlineControlP),
+        tech("Gate width sub-wordline driver NMOS", "widthswdn", D::Length,
+             S::RowCoreDevice, &TP::widthSwdN),
+        tech("Gate width sub-wordline driver PMOS", "widthswdp", D::Length,
+             S::RowCoreDevice, &TP::widthSwdP),
+        tech("Gate width sub-wordline driver restore NMOS",
+             "widthswdrestoren", D::Length, S::RowCoreDevice,
+             &TP::widthSwdRestoreN),
+        tech("Specific wire capacitance sub-wordline",
+             "wirecaplocalwordline", D::CapacitancePerLength, S::WireCap,
+             &TP::wireCapLocalWordline),
+        tech("Gate width bitline sense-amplifier NMOS sense pair",
+             "widthsasensen", D::Length, S::SenseAmpDevice,
+             &TP::widthSaSenseN),
+        tech("Gate width bitline sense-amplifier PMOS sense pair",
+             "widthsasensep", D::Length, S::SenseAmpDevice,
+             &TP::widthSaSenseP),
+        tech("Gate length bitline sense-amplifier NMOS sense pair",
+             "lengthsasensen", D::Length, S::SenseAmpDevice,
+             &TP::lengthSaSenseN),
+        tech("Gate length bitline sense-amplifier PMOS sense pair",
+             "lengthsasensep", D::Length, S::SenseAmpDevice,
+             &TP::lengthSaSenseP),
+        tech("Gate width bitline sense-amplifier equalize devices",
+             "widthsaequalize", D::Length, S::SenseAmpDevice,
+             &TP::widthSaEqualize),
+        tech("Gate length bitline sense-amplifier equalize devices",
+             "lengthsaequalize", D::Length, S::SenseAmpDevice,
+             &TP::lengthSaEqualize),
+        tech("Gate width bitline sense-amplifier bit switch devices",
+             "widthsabitswitch", D::Length, S::SenseAmpDevice,
+             &TP::widthSaBitSwitch),
+        tech("Gate length bitline sense-amplifier bit switch devices",
+             "lengthsabitswitch", D::Length, S::SenseAmpDevice,
+             &TP::lengthSaBitSwitch),
+        tech("Gate width bitline sense-amplifier bitline multiplexer "
+             "devices (folded bitline only)", "widthsabitlinemux", D::Length,
+             S::SenseAmpDevice, &TP::widthSaBitlineMux),
+        tech("Gate length bitline sense-amplifier bitline multiplexer "
+             "devices (folded bitline only)", "lengthsabitlinemux",
+             D::Length, S::SenseAmpDevice, &TP::lengthSaBitlineMux),
+        tech("Gate width bitline sense-amplifier NMOS set devices",
+             "widthsasetn", D::Length, S::SenseAmpDevice, &TP::widthSaSetN),
+        tech("Gate length bitline sense-amplifier NMOS set devices",
+             "lengthsasetn", D::Length, S::SenseAmpDevice, &TP::lengthSaSetN),
+        tech("Gate width bitline sense-amplifier PMOS set devices",
+             "widthsasetp", D::Length, S::SenseAmpDevice, &TP::widthSaSetP),
+        tech("Gate length bitline sense-amplifier PMOS set devices",
+             "lengthsasetp", D::Length, S::SenseAmpDevice, &TP::lengthSaSetP),
+        tech("Specific wire capacitance signaling wires", "wirecapsignal",
+             D::CapacitancePerLength, S::WireCap, &TP::wireCapSignal),
+    };
+    return registry;
+}
+
+const std::vector<ParamInfo>&
+electricalParamRegistry()
+{
+    using D = Dimension;
+    static const std::vector<ParamInfo> registry = {
+        elec("External supply voltage", "vdd", D::Voltage, &EP::vdd),
+        elec("Voltage used for general logic", "vint", D::Voltage,
+             &EP::vint),
+        elec("Bitline voltage", "vbl", D::Voltage, &EP::vbl),
+        elec("Wordline voltage", "vpp", D::Voltage, &EP::vpp),
+        elec("Generator efficiency voltage for general logic",
+             "efficiencyvint", D::Fraction, &EP::efficiencyVint),
+        elec("Generator efficiency bitline voltage", "efficiencyvbl",
+             D::Fraction, &EP::efficiencyVbl),
+        elec("Generator efficiency wordline voltage", "efficiencyvpp",
+             D::Fraction, &EP::efficiencyVpp),
+        elec("Constant current sink from Vcc", "constantcurrent",
+             D::Current, &EP::constantCurrent),
+    };
+    return registry;
+}
+
+const ParamInfo*
+findParam(const std::string& key)
+{
+    for (const ParamInfo& info : technologyParamRegistry()) {
+        if (key == info.key)
+            return &info;
+    }
+    for (const ParamInfo& info : electricalParamRegistry()) {
+        if (key == info.key)
+            return &info;
+    }
+    return nullptr;
+}
+
+double
+getParam(const ParamInfo& info, const TechnologyParams& tech,
+         const ElectricalParams& elec)
+{
+    if (info.group == ParamGroup::Technology)
+        return tech.*(info.techMember);
+    return elec.*(info.elecMember);
+}
+
+void
+setParam(const ParamInfo& info, TechnologyParams& tech,
+         ElectricalParams& elec, double value)
+{
+    if (info.group == ParamGroup::Technology)
+        tech.*(info.techMember) = value;
+    else
+        elec.*(info.elecMember) = value;
+}
+
+} // namespace vdram

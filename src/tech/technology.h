@@ -1,0 +1,216 @@
+/**
+ * @file
+ * The technology description of the model: the 39 technology parameters of
+ * Table I of the paper, the electrical (voltage-domain) parameters, and a
+ * registry that exposes every parameter generically for DSL parsing,
+ * technology scaling (Figs. 5-7) and sensitivity analysis (Fig. 10).
+ *
+ * All values are SI: metres, farads, volts, amperes, F/m for specific wire
+ * capacitance and F/m of device width for junction capacitance.
+ */
+#ifndef VDRAM_TECH_TECHNOLOGY_H
+#define VDRAM_TECH_TECHNOLOGY_H
+
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace vdram {
+
+/** Scaling curve family a technology parameter follows (see scaling.h). */
+enum class ScalingCurveId {
+    FeatureSize,     ///< the f-shrink line itself (16 % per generation)
+    GateOxide,       ///< gate oxide thicknesses (Fig. 5, slow shrink)
+    MinLength,       ///< minimum channel lengths (Fig. 5, follows f)
+    JunctionCap,     ///< junction capacitance per width (Fig. 5, slow)
+    AccessTransistor,///< cell access transistor L/W (Fig. 5; 3D at 75 nm)
+    BitlineCap,      ///< bitline capacitance (Fig. 6, slow shrink)
+    CellCap,         ///< cell capacitance (Fig. 6, nearly constant)
+    WireCap,         ///< specific wire capacitance (Fig. 6; Cu step at 44 nm)
+    LogicWidth,      ///< average logic device width (Fig. 6, follows f)
+    StripeWidth,     ///< SA / LWD stripe widths (Fig. 6, slow shrink)
+    SenseAmpDevice,  ///< sense-amplifier device sizes (Fig. 7)
+    RowCoreDevice,   ///< on-pitch row circuit device sizes (Fig. 7)
+    NoScaling,       ///< ratios, counts and shares that do not scale
+};
+
+/**
+ * The 39 technology parameters of Table I.
+ *
+ * Device gate capacitances are computed from gate area and the equivalent
+ * oxide thickness; junction capacitances from device width and the specific
+ * junction capacitance (paper Section III.B.2).
+ */
+struct TechnologyParams {
+    /** Feature size (half pitch) of the node, e.g. 55 nm. Drives scaling. */
+    double featureSize = 55e-9;
+
+    // --- gate stacks -----------------------------------------------------
+    /** Gate oxide thickness, general logic transistors (EOT). */
+    double gateOxideLogic = 4.0e-9;
+    /** Gate oxide thickness, high voltage (wordline-domain) transistors. */
+    double gateOxideHighVoltage = 6.5e-9;
+    /** Gate oxide thickness, cell access transistor. */
+    double gateOxideCell = 6.5e-9;
+
+    // --- logic / high-voltage device basics ------------------------------
+    /** Minimum gate length, general logic transistors. */
+    double minLengthLogic = 90e-9;
+    /** Junction capacitance per device width, general logic transistors. */
+    double junctionCapLogic = 0.8e-9; // F/m == 0.8 fF/um
+    /** Minimum gate length, high voltage transistors. */
+    double minLengthHighVoltage = 180e-9;
+    /** Junction capacitance per device width, high voltage transistors. */
+    double junctionCapHighVoltage = 1.0e-9;
+
+    // --- cell ------------------------------------------------------------
+    /** Gate length of the cell access transistor. */
+    double lengthCellTransistor = 70e-9;
+    /** Gate width of the cell access transistor. */
+    double widthCellTransistor = 55e-9;
+    /** Bitline capacitance (one full local bitline). */
+    double bitlineCap = 85e-15;
+    /** Cell storage capacitance. */
+    double cellCap = 24e-15;
+    /** Share of bitline capacitance that couples to the wordline. */
+    double bitlineToWordlineCapShare = 0.15;
+    /** Bits accessed (transferred) per column select line per column op. */
+    double bitsPerColumnSelect = 128;
+
+    // --- master wordline path --------------------------------------------
+    /** Specific wire capacitance of the master wordline (M2). */
+    double wireCapMasterWordline = 0.20e-9; // F/m == 0.2 fF/um
+    /** Pre-decode fan-in of the master wordline decoder (addresses per
+     *  pre-decode group; 2 gives 1-of-4 groups). */
+    double predecodeMasterWordline = 2.0;
+    /** Gate width, master wordline decoder pull-down NMOS. */
+    double widthMwlDecoderN = 0.6e-6;
+    /** Gate width, master wordline decoder PMOS. */
+    double widthMwlDecoderP = 0.9e-6;
+    /** Average fraction of master wordline decoders whose inputs switch
+     *  per row operation. */
+    double mwlDecoderSwitching = 0.25;
+    /** Gate width, load NMOS of the wordline controller. */
+    double widthWordlineControlN = 0.5e-6;
+    /** Gate width, load PMOS of the wordline controller. */
+    double widthWordlineControlP = 0.8e-6;
+
+    // --- local (sub-) wordline driver (Fig. 3, 3 transistors) -------------
+    /** Gate width, sub-wordline driver NMOS. */
+    double widthSwdN = 0.5e-6;
+    /** Gate width, sub-wordline driver PMOS. */
+    double widthSwdP = 0.7e-6;
+    /** Gate width, sub-wordline driver restore NMOS. */
+    double widthSwdRestoreN = 0.3e-6;
+    /** Specific wire capacitance of the local (sub-) wordline (gate poly). */
+    double wireCapLocalWordline = 0.16e-9;
+
+    // --- bitline sense-amplifier (Fig. 2, 11 transistors per pair) --------
+    /** Gate width, BLSA NMOS sense pair. */
+    double widthSaSenseN = 0.5e-6;
+    /** Gate width, BLSA PMOS sense pair. */
+    double widthSaSenseP = 0.5e-6;
+    /** Gate length, BLSA NMOS sense pair. */
+    double lengthSaSenseN = 0.12e-6;
+    /** Gate length, BLSA PMOS sense pair. */
+    double lengthSaSenseP = 0.12e-6;
+    /** Gate width, BLSA equalize devices (3 per pair). */
+    double widthSaEqualize = 0.3e-6;
+    /** Gate length, BLSA equalize devices. */
+    double lengthSaEqualize = 0.10e-6;
+    /** Gate width, BLSA bit switch devices (2 per pair). */
+    double widthSaBitSwitch = 0.4e-6;
+    /** Gate length, BLSA bit switch devices. */
+    double lengthSaBitSwitch = 0.10e-6;
+    /** Gate width, BLSA bitline multiplexer devices (folded bitline only). */
+    double widthSaBitlineMux = 0.4e-6;
+    /** Gate length, BLSA bitline multiplexer devices. */
+    double lengthSaBitlineMux = 0.10e-6;
+    /** Gate width, BLSA NMOS set (nset drive) devices. */
+    double widthSaSetN = 2.0e-6;
+    /** Gate length, BLSA NMOS set devices. */
+    double lengthSaSetN = 0.15e-6;
+    /** Gate width, BLSA PMOS set (pset drive) devices. */
+    double widthSaSetP = 3.0e-6;
+    /** Gate length, BLSA PMOS set devices. */
+    double lengthSaSetP = 0.15e-6;
+
+    // --- global signaling --------------------------------------------------
+    /** Specific wire capacitance of signaling wires (M3 and center stripe). */
+    double wireCapSignal = 0.21e-9;
+
+    // --- derived helpers ---------------------------------------------------
+    /** Gate capacitance per area for the given equivalent oxide thickness. */
+    static double gateCapPerArea(double oxide_thickness);
+
+    /** Gate capacitance of a W x L device on the logic gate stack. */
+    double gateCapLogic(double width, double length) const;
+    /** Gate capacitance of a W x L device on the high-voltage gate stack. */
+    double gateCapHighVoltage(double width, double length) const;
+    /** Gate capacitance of one cell access transistor. */
+    double gateCapCell() const;
+
+    /** Junction capacitance of a logic device of the given width. */
+    double junctionCapOfLogic(double width) const;
+    /** Junction capacitance of a high-voltage device of the given width. */
+    double junctionCapOfHighVoltage(double width) const;
+};
+
+/** Voltage domains and generator efficiencies (paper Section III.A). */
+struct ElectricalParams {
+    /** External supply voltage Vdd. */
+    double vdd = 1.5;
+    /** Voltage used for general logic (Vint). */
+    double vint = 1.35;
+    /** Bitline (cell storage) voltage Vbl. */
+    double vbl = 1.2;
+    /** Boosted wordline voltage Vpp. */
+    double vpp = 2.8;
+    /** Generator efficiency of the Vint regulator (1.0 when Vint == Vdd). */
+    double efficiencyVint = 0.90;
+    /** Generator efficiency of the Vbl supply. */
+    double efficiencyVbl = 0.85;
+    /** Pump efficiency of the Vpp charge pump. */
+    double efficiencyVpp = 0.40;
+    /** Constant current sink from Vdd (references, regulators). */
+    double constantCurrent = 4e-3;
+};
+
+/** Identifies which struct a registered parameter lives in. */
+enum class ParamGroup { Technology, Electrical };
+
+/**
+ * Registry entry describing one scalar model parameter: its Table I name,
+ * DSL key, dimension, scaling behaviour and storage location.
+ */
+struct ParamInfo {
+    const char* name;  ///< human readable, as in Table I
+    const char* key;   ///< DSL key (lower case, no spaces)
+    Dimension dim;
+    ScalingCurveId curve;
+    ParamGroup group;
+    double TechnologyParams::*techMember;
+    double ElectricalParams::*elecMember;
+};
+
+/** All registered technology parameters (the 39 of Table I). */
+const std::vector<ParamInfo>& technologyParamRegistry();
+
+/** All registered electrical parameters. */
+const std::vector<ParamInfo>& electricalParamRegistry();
+
+/** Look up a parameter by DSL key in both registries; nullptr if absent. */
+const ParamInfo* findParam(const std::string& key);
+
+/** Read a registered parameter. */
+double getParam(const ParamInfo& info, const TechnologyParams& tech,
+                const ElectricalParams& elec);
+
+/** Write a registered parameter. */
+void setParam(const ParamInfo& info, TechnologyParams& tech,
+              ElectricalParams& elec, double value);
+
+} // namespace vdram
+
+#endif // VDRAM_TECH_TECHNOLOGY_H

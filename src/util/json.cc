@@ -1,0 +1,168 @@
+#include "util/json.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace vdram {
+
+std::string
+JsonWriter::escape(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (unsigned char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (c < 0x20)
+                out += strformat("\\u%04x", c);
+            else
+                out += static_cast<char>(c);
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::prepareValue()
+{
+    if (stack_.empty())
+        return;
+    Frame& top = stack_.back();
+    if (top.context == Context::Object) {
+        if (!top.expectValue)
+            panic("JsonWriter: value in object without key()");
+        top.expectValue = false;
+        return;
+    }
+    if (top.hasEntries)
+        out_ += ",";
+    top.hasEntries = true;
+}
+
+JsonWriter&
+JsonWriter::beginObject()
+{
+    prepareValue();
+    out_ += "{";
+    stack_.push_back(Frame{Context::Object});
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endObject()
+{
+    if (stack_.empty() || stack_.back().context != Context::Object ||
+        stack_.back().expectValue) {
+        panic("JsonWriter: unbalanced endObject()");
+    }
+    stack_.pop_back();
+    out_ += "}";
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::beginArray()
+{
+    prepareValue();
+    out_ += "[";
+    stack_.push_back(Frame{Context::Array});
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endArray()
+{
+    if (stack_.empty() || stack_.back().context != Context::Array)
+        panic("JsonWriter: unbalanced endArray()");
+    stack_.pop_back();
+    out_ += "]";
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::key(const std::string& name)
+{
+    if (stack_.empty() || stack_.back().context != Context::Object ||
+        stack_.back().expectValue) {
+        panic("JsonWriter: key() outside object");
+    }
+    Frame& top = stack_.back();
+    if (top.hasEntries)
+        out_ += ",";
+    top.hasEntries = true;
+    top.expectValue = true;
+    out_ += "\"" + escape(name) + "\":";
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(const std::string& text)
+{
+    prepareValue();
+    out_ += "\"" + escape(text) + "\"";
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(const char* text)
+{
+    return value(std::string(text));
+}
+
+JsonWriter&
+JsonWriter::value(double number)
+{
+    prepareValue();
+    if (!std::isfinite(number))
+        out_ += "null";
+    else
+        out_ += strformat("%.9g", number);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(long long number)
+{
+    prepareValue();
+    out_ += strformat("%lld", number);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(int number)
+{
+    return value(static_cast<long long>(number));
+}
+
+JsonWriter&
+JsonWriter::value(bool flag)
+{
+    prepareValue();
+    out_ += flag ? "true" : "false";
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::null()
+{
+    prepareValue();
+    out_ += "null";
+    return *this;
+}
+
+const std::string&
+JsonWriter::str() const
+{
+    if (!stack_.empty())
+        panic("JsonWriter: document not closed");
+    return out_;
+}
+
+} // namespace vdram

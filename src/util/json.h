@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Minimal streaming JSON writer used for machine-readable result export
+ * (no external dependencies, correct string escaping, stable number
+ * formatting).
+ */
+#ifndef VDRAM_UTIL_JSON_H
+#define VDRAM_UTIL_JSON_H
+
+#include <string>
+#include <vector>
+
+namespace vdram {
+
+/**
+ * Streaming JSON writer with a context stack; commas and quoting are
+ * handled automatically.
+ *
+ * @code
+ *   JsonWriter json;
+ *   json.beginObject();
+ *   json.key("idd0").value(0.067);
+ *   json.key("parts").beginArray().value("a").value(2).endArray();
+ *   json.endObject();
+ *   std::string text = json.str();
+ * @endcode
+ */
+class JsonWriter {
+  public:
+    JsonWriter& beginObject();
+    JsonWriter& endObject();
+    JsonWriter& beginArray();
+    JsonWriter& endArray();
+
+    /** Write an object key (must be inside an object). */
+    JsonWriter& key(const std::string& name);
+
+    JsonWriter& value(const std::string& text);
+    JsonWriter& value(const char* text);
+    JsonWriter& value(double number);
+    JsonWriter& value(long long number);
+    JsonWriter& value(int number);
+    JsonWriter& value(bool flag);
+    JsonWriter& null();
+
+    /** The finished document. Precondition: all containers closed. */
+    const std::string& str() const;
+
+    /** Escape a string for inclusion in JSON (without quotes). */
+    static std::string escape(const std::string& text);
+
+  private:
+    void prepareValue();
+
+    enum class Context { Object, Array };
+    struct Frame {
+        Context context;
+        bool hasEntries = false;
+        bool expectValue = false; // object: key already written
+    };
+
+    std::string out_;
+    std::vector<Frame> stack_;
+};
+
+} // namespace vdram
+
+#endif // VDRAM_UTIL_JSON_H

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * gem5-style status reporting: panic() for internal invariant violations,
+ * fatal() for unrecoverable user errors, warn()/inform() for diagnostics.
+ */
+#ifndef VDRAM_UTIL_LOGGING_H
+#define VDRAM_UTIL_LOGGING_H
+
+#include <string>
+
+namespace vdram {
+
+/**
+ * Report an internal bug (a condition that must never happen regardless of
+ * user input) and abort. Maps to gem5's panic().
+ */
+[[noreturn]] void panic(const std::string& message);
+
+/**
+ * Report an unrecoverable user error (bad configuration, invalid input)
+ * and exit(1). Maps to gem5's fatal().
+ */
+[[noreturn]] void fatal(const std::string& message);
+
+/** Non-fatal warning about questionable input or approximations. */
+void warn(const std::string& message);
+
+/** Informative status message. */
+void inform(const std::string& message);
+
+/** Suppress warn()/inform() output (used by tests). */
+void setQuiet(bool quiet);
+
+/** Number of warnings emitted so far (used by tests). */
+int warnCount();
+
+} // namespace vdram
+
+#endif // VDRAM_UTIL_LOGGING_H

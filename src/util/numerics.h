@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Numeric helpers for the scaling engine and trend analysis: piecewise
+ * interpolation over generation tables, least-squares fits of per-generation
+ * factors, and approximate-comparison helpers used by tests.
+ */
+#ifndef VDRAM_UTIL_NUMERICS_H
+#define VDRAM_UTIL_NUMERICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace vdram {
+
+/** A sampled (x, y) curve, x strictly increasing. */
+struct Curve {
+    std::vector<double> x;
+    std::vector<double> y;
+
+    /** Linear interpolation; clamps outside the sampled range. */
+    double at(double xq) const;
+
+    /** Geometric (log-linear) interpolation for scale-factor curves. */
+    double atLog(double xq) const;
+
+    size_t size() const { return x.size(); }
+};
+
+/** Result of a least-squares line fit y = slope * x + intercept. */
+struct LineFit {
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r2 = 0.0;
+};
+
+/** Ordinary least squares on equally weighted points. */
+LineFit fitLine(const std::vector<double>& x, const std::vector<double>& y);
+
+/**
+ * Average per-step ratio of a positive series: the geometric mean of
+ * y[i] / y[i+1]. Used to express "energy per bit improved by a factor of
+ * 1.5 per generation" as in the paper's Fig. 13 discussion.
+ */
+double averageStepFactor(const std::vector<double>& series);
+
+/** Relative difference |a - b| / max(|a|, |b|); 0 when both are 0. */
+double relativeDifference(double a, double b);
+
+/** True when a and b agree within the given relative tolerance. */
+bool approxEqual(double a, double b, double rel_tol = 1e-9);
+
+/** Geometric mean of a positive series. */
+double geometricMean(const std::vector<double>& values);
+
+} // namespace vdram
+
+#endif // VDRAM_UTIL_NUMERICS_H

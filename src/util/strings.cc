@@ -1,0 +1,123 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace vdram {
+
+std::string
+trim(std::string_view s)
+{
+    size_t begin = 0;
+    size_t end = s.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(s[begin])))
+        ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1])))
+        --end;
+    return std::string(s.substr(begin, end - begin));
+}
+
+std::string
+toLower(std::string_view s)
+{
+    std::string out(s);
+    for (char& c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+std::vector<std::string>
+splitWhitespace(std::string_view s)
+{
+    std::vector<std::string> out;
+    size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[i]))) {
+            ++i;
+        }
+        size_t begin = i;
+        while (i < s.size() &&
+               !std::isspace(static_cast<unsigned char>(s[i]))) {
+            ++i;
+        }
+        if (i > begin)
+            out.emplace_back(s.substr(begin, i - begin));
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitChar(std::string_view s, char delim)
+{
+    std::vector<std::string> out;
+    size_t begin = 0;
+    for (size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == delim) {
+            out.emplace_back(s.substr(begin, i - begin));
+            begin = i + 1;
+        }
+    }
+    return out;
+}
+
+bool
+startsWith(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.substr(0, prefix.size()) == prefix;
+}
+
+bool
+endsWith(std::string_view s, std::string_view suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool
+equalsIgnoreCase(std::string_view a, std::string_view b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i]))) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+join(const std::vector<std::string>& parts, std::string_view separator)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0)
+            out += separator;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+strformat(const char* fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out;
+    if (needed > 0) {
+        out.resize(static_cast<size_t>(needed));
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+    }
+    va_end(args_copy);
+    return out;
+}
+
+} // namespace vdram

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Small string utilities used by the DSL front end and report writers.
+ */
+#ifndef VDRAM_UTIL_STRINGS_H
+#define VDRAM_UTIL_STRINGS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vdram {
+
+/** Remove leading and trailing whitespace. */
+std::string trim(std::string_view s);
+
+/** Lower-case ASCII copy. */
+std::string toLower(std::string_view s);
+
+/** Split on any run of whitespace; empty fields are dropped. */
+std::vector<std::string> splitWhitespace(std::string_view s);
+
+/** Split on a single delimiter character; empty fields are kept. */
+std::vector<std::string> splitChar(std::string_view s, char delim);
+
+/** True if @p s begins with @p prefix (case sensitive). */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** True if @p s ends with @p suffix (case sensitive). */
+bool endsWith(std::string_view s, std::string_view suffix);
+
+/** Case-insensitive ASCII equality. */
+bool equalsIgnoreCase(std::string_view a, std::string_view b);
+
+/** Join elements with a separator. */
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/** printf-style formatting into a std::string. */
+std::string strformat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace vdram
+
+#endif // VDRAM_UTIL_STRINGS_H

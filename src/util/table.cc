@@ -1,0 +1,130 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace vdram {
+
+namespace {
+
+bool
+looksNumeric(const std::string& cell)
+{
+    if (cell.empty())
+        return false;
+    const char* begin = cell.c_str();
+    char* end = nullptr;
+    std::strtod(begin, &end);
+    // Allow trailing unit suffixes ("85.0 mA") to count as numeric.
+    return end != begin;
+}
+
+std::string
+csvEscape(const std::string& cell)
+{
+    bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quote)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += "\"";
+    return out;
+}
+
+} // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(Row{std::move(cells), false});
+}
+
+void
+Table::addSeparator()
+{
+    rows_.push_back(Row{{}, true});
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i)
+        widths[i] = headers_[i].size();
+    for (const Row& row : rows_) {
+        if (row.separator)
+            continue;
+        for (size_t i = 0; i < row.cells.size(); ++i)
+            widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+
+    auto renderLine = [&](const std::vector<std::string>& cells,
+                          bool align_numeric) {
+        std::string line = "|";
+        for (size_t i = 0; i < headers_.size(); ++i) {
+            const std::string& cell = i < cells.size() ? cells[i] : "";
+            size_t pad = widths[i] - cell.size();
+            bool right = align_numeric && looksNumeric(cell);
+            line += " ";
+            if (right)
+                line += std::string(pad, ' ') + cell;
+            else
+                line += cell + std::string(pad, ' ');
+            line += " |";
+        }
+        return line + "\n";
+    };
+
+    std::string rule = "+";
+    for (size_t w : widths)
+        rule += std::string(w + 2, '-') + "+";
+    rule += "\n";
+
+    std::string out = rule;
+    out += renderLine(headers_, false);
+    out += rule;
+    for (const Row& row : rows_) {
+        if (row.separator)
+            out += rule;
+        else
+            out += renderLine(row.cells, true);
+    }
+    out += rule;
+    return out;
+}
+
+std::string
+Table::renderCsv() const
+{
+    std::string out;
+    for (size_t i = 0; i < headers_.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        out += csvEscape(headers_[i]);
+    }
+    out += "\n";
+    for (const Row& row : rows_) {
+        if (row.separator)
+            continue;
+        for (size_t i = 0; i < row.cells.size(); ++i) {
+            if (i > 0)
+                out += ",";
+            out += csvEscape(row.cells[i]);
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace vdram

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * ASCII table writer used by the benchmark harnesses to print the
+ * paper-shaped tables and series.
+ */
+#ifndef VDRAM_UTIL_TABLE_H
+#define VDRAM_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace vdram {
+
+/**
+ * Collects rows of string cells and renders an aligned ASCII table.
+ * Numeric-looking cells are right-aligned, text cells left-aligned.
+ */
+class Table {
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; it is padded or truncated to the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    size_t rowCount() const { return rows_.size(); }
+
+    /** Render the table with box-drawing ASCII. */
+    std::string render() const;
+
+    /** Render rows as CSV (headers first). */
+    std::string renderCsv() const;
+
+  private:
+    struct Row {
+        std::vector<std::string> cells;
+        bool separator = false;
+    };
+
+    std::vector<std::string> headers_;
+    std::vector<Row> rows_;
+};
+
+} // namespace vdram
+
+#endif // VDRAM_UTIL_TABLE_H

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Array geometry tests: sub-array sizing, bank dimensions, line lengths
+ * and activity counts for open and folded architectures, including the
+ * hand-checkable 1 Gb DDR3 case.
+ */
+#include <gtest/gtest.h>
+
+#include "floorplan/array_geometry.h"
+
+namespace vdram {
+namespace {
+
+Specification
+ddr3Spec1Gb()
+{
+    Specification spec;
+    spec.ioWidth = 16;
+    spec.bankAddressBits = 3;
+    spec.rowAddressBits = 13;
+    spec.columnAddressBits = 10;
+    return spec;
+}
+
+ArrayArchitecture
+openArch55()
+{
+    ArrayArchitecture arch;
+    arch.bitsPerBitline = 512;
+    arch.bitsPerLocalWordline = 512;
+    arch.foldedBitline = false;
+    arch.wordlinePitch = 165e-9;
+    arch.bitlinePitch = 110e-9;
+    arch.saStripeWidth = 7e-6;
+    arch.lwdStripeWidth = 2e-6;
+    return arch;
+}
+
+TEST(ArrayGeometryTest, Ddr3OpenBitlineHandCheck)
+{
+    // 1 Gb x16, 8 banks: page 16384 bits, 8192 rows per bank.
+    Specification spec = ddr3Spec1Gb();
+    ArrayArchitecture arch = openArch55();
+    ArrayGeometry geo = computeArrayGeometry(arch, spec);
+
+    EXPECT_EQ(spec.pageBits(), 16384);
+    EXPECT_EQ(spec.rowsPerBank(), 8192);
+    EXPECT_EQ(geo.subarrayColumns, 32); // 16384 / 512
+    EXPECT_EQ(geo.subarrayRows, 16);    // 8192 / 512
+
+    // Sub-array: 512 cells x 110 nm wide, 512 cells x 165 nm tall.
+    EXPECT_NEAR(geo.subarrayWidth, 512 * 110e-9, 1e-12);
+    EXPECT_NEAR(geo.subarrayHeight, 512 * 165e-9, 1e-12);
+
+    // Bank width: cells + 33 driver stripes.
+    EXPECT_NEAR(geo.bankWidth, 32 * geo.subarrayWidth + 33 * 2e-6, 1e-9);
+    EXPECT_NEAR(geo.bankHeight, 16 * geo.subarrayHeight + 17 * 7e-6, 1e-9);
+
+    // Cell area: 6F^2 at 55 nm = blPitch * wlPitch per cell.
+    double cells = 16384.0 * 8192.0;
+    EXPECT_NEAR(geo.bankCellArea, cells * 110e-9 * 165e-9,
+                geo.bankCellArea * 1e-9);
+
+    // Activity counts.
+    EXPECT_EQ(geo.bitlinesPerActivate, 16384);
+    EXPECT_EQ(geo.localWordlinesPerActivate, 32);
+    EXPECT_EQ(geo.saStripesPerActivate, 64);
+    EXPECT_EQ(geo.masterWordlinesPerBank, 8192 / 4);
+}
+
+TEST(ArrayGeometryTest, FoldedDoublesBothCellPitches)
+{
+    Specification spec = ddr3Spec1Gb();
+    ArrayArchitecture arch = openArch55();
+    arch.foldedBitline = true;
+    ArrayGeometry geo = computeArrayGeometry(arch, spec);
+
+    // 8F^2: the cell pitch doubles along the wordline AND the bitline.
+    EXPECT_NEAR(geo.subarrayWidth, 512 * 2 * 110e-9, 1e-12);
+    EXPECT_NEAR(geo.subarrayHeight, 512 * 2 * 165e-9, 1e-12);
+    // Sub-array rows halve: each sub-array holds 1024 wordlines.
+    EXPECT_EQ(geo.subarrayRows, 8);
+    // Cell area doubles per cell.
+    double cells = 16384.0 * 8192.0;
+    EXPECT_NEAR(geo.bankCellArea, cells * 2 * 110e-9 * 165e-9,
+                geo.bankCellArea * 1e-9);
+}
+
+TEST(ArrayGeometryTest, LineLengthsFollowStructure)
+{
+    Specification spec = ddr3Spec1Gb();
+    ArrayArchitecture arch = openArch55();
+    ArrayGeometry geo = computeArrayGeometry(arch, spec);
+
+    EXPECT_DOUBLE_EQ(geo.localWordlineLength, geo.subarrayWidth);
+    EXPECT_DOUBLE_EQ(geo.masterWordlineLength, geo.bankWidth);
+    EXPECT_DOUBLE_EQ(geo.masterDataLineLength, geo.bankHeight);
+    EXPECT_DOUBLE_EQ(geo.columnSelectLength, geo.bankHeight);
+
+    arch.arrayBlocksPerCsl = 2;
+    ArrayGeometry geo2 = computeArrayGeometry(arch, spec);
+    EXPECT_NEAR(geo2.columnSelectLength, 2 * geo2.bankHeight, 1e-12);
+}
+
+TEST(ArrayGeometryTest, PartialPageActivation)
+{
+    Specification spec = ddr3Spec1Gb();
+    ArrayArchitecture arch = openArch55();
+    arch.pageActivationFraction = 1.0 / 32.0; // one sub-wordline
+    ArrayGeometry geo = computeArrayGeometry(arch, spec);
+    EXPECT_EQ(geo.bitlinesPerActivate, 512);
+    EXPECT_EQ(geo.localWordlinesPerActivate, 1);
+    EXPECT_EQ(geo.saStripesPerActivate, 2);
+}
+
+TEST(ArrayGeometryTest, StripeSharesInPaperBand)
+{
+    // Paper Section II: SA stripes 8-15 % of die, LWD stripes 5-10 %.
+    // Within the array block the same magnitudes must appear for
+    // realistic stripe widths.
+    Specification spec = ddr3Spec1Gb();
+    ArrayArchitecture arch = openArch55();
+    arch.saStripeWidth = 8e-6;
+    arch.lwdStripeWidth = 3.5e-6;
+    ArrayGeometry geo = computeArrayGeometry(arch, spec);
+    EXPECT_GT(geo.saStripeAreaShare, 0.05);
+    EXPECT_LT(geo.saStripeAreaShare, 0.18);
+    EXPECT_GT(geo.lwdStripeAreaShare, 0.02);
+    EXPECT_LT(geo.lwdStripeAreaShare, 0.12);
+    EXPECT_GT(geo.bankArrayEfficiency, 0.70);
+    EXPECT_LT(geo.bankArrayEfficiency, 0.95);
+}
+
+TEST(ArrayGeometryDeathTest, RejectsIndivisiblePage)
+{
+    Specification spec = ddr3Spec1Gb();
+    ArrayArchitecture arch = openArch55();
+    arch.bitsPerLocalWordline = 500; // 16384 not divisible
+    EXPECT_EXIT(computeArrayGeometry(arch, spec),
+                ::testing::ExitedWithCode(1), "not divisible");
+}
+
+TEST(ArrayGeometryDeathTest, RejectsIndivisibleRows)
+{
+    Specification spec = ddr3Spec1Gb();
+    ArrayArchitecture arch = openArch55();
+    arch.bitsPerBitline = 600;
+    EXPECT_EXIT(computeArrayGeometry(arch, spec),
+                ::testing::ExitedWithCode(1), "not divisible");
+}
+
+TEST(ArrayGeometryDeathTest, RejectsBadActivationFraction)
+{
+    Specification spec = ddr3Spec1Gb();
+    ArrayArchitecture arch = openArch55();
+    arch.pageActivationFraction = 0.0;
+    EXPECT_EXIT(computeArrayGeometry(arch, spec),
+                ::testing::ExitedWithCode(1), "pageActivationFraction");
+}
+
+} // namespace
+} // namespace vdram

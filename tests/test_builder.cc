@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Commodity builder tests: every ladder generation yields a valid,
+ * self-consistent description with the right interface structure.
+ */
+#include <gtest/gtest.h>
+
+#include "core/builder.h"
+#include "core/model.h"
+#include "tech/disruptive.h"
+
+namespace vdram {
+namespace {
+
+TEST(BuilderTest, EveryLadderGenerationValidates)
+{
+    for (const GenerationInfo& gen : generationLadder()) {
+        DramDescription desc = buildCommodityDescription(gen, {});
+        Status status = validateDescription(desc);
+        EXPECT_TRUE(status.ok())
+            << gen.label() << ": "
+            << (status.ok() ? "" : status.error().toString());
+    }
+}
+
+TEST(BuilderTest, DensityMatchesLadder)
+{
+    for (const GenerationInfo& gen : generationLadder()) {
+        DramDescription desc = buildCommodityDescription(gen, {});
+        EXPECT_EQ(static_cast<double>(desc.spec.densityBits()),
+                  gen.densityBits)
+            << gen.label();
+    }
+}
+
+TEST(BuilderTest, TechnologyScaledToNode)
+{
+    DramDescription d55 =
+        buildCommodityDescription(generationAt(55e-9), {});
+    DramDescription d90 =
+        buildCommodityDescription(generationAt(90e-9), {});
+    EXPECT_NEAR(d55.tech.featureSize, 55e-9, 1e-12);
+    EXPECT_LT(d55.tech.bitlineCap, d90.tech.bitlineCap);
+    EXPECT_LT(d55.tech.minLengthLogic, d90.tech.minLengthLogic);
+}
+
+TEST(BuilderTest, ArchitectureFollowsTableII)
+{
+    DramDescription d75 =
+        buildCommodityDescription(generationAt(75e-9), {});
+    EXPECT_TRUE(d75.arch.foldedBitline);
+    EXPECT_EQ(d75.arch.cellAreaFactorF2, 8);
+
+    DramDescription d55 =
+        buildCommodityDescription(generationAt(55e-9), {});
+    EXPECT_FALSE(d55.arch.foldedBitline);
+    EXPECT_EQ(d55.arch.cellAreaFactorF2, 6);
+
+    DramDescription d18 =
+        buildCommodityDescription(generationAt(18e-9), {});
+    EXPECT_EQ(d18.arch.cellAreaFactorF2, 4);
+}
+
+TEST(BuilderTest, CellPitchesEncodeCellArea)
+{
+    // folded * blPitch * wlPitch == cellAreaF2 * f^2
+    for (const GenerationInfo& gen : generationLadder()) {
+        DramDescription d = buildCommodityDescription(gen, {});
+        double folded = d.arch.foldedBitline ? 2.0 : 1.0;
+        double cell_area =
+            folded * d.arch.bitlinePitch * d.arch.wordlinePitch;
+        double expected = d.arch.cellAreaFactorF2 * gen.featureSize *
+                          gen.featureSize;
+        EXPECT_NEAR(cell_area, expected, expected * 1e-9) << gen.label();
+    }
+}
+
+TEST(BuilderTest, PageSizeConventions)
+{
+    // x16 parts: 2 KB page for DDR2+; x4/x8: 1 KB.
+    BuilderOptions x16;
+    x16.ioWidth = 16;
+    DramDescription d16 =
+        buildCommodityDescription(generationAt(55e-9), x16);
+    EXPECT_EQ(d16.spec.pageBits(), 16384);
+
+    BuilderOptions x4;
+    x4.ioWidth = 4;
+    DramDescription d4 =
+        buildCommodityDescription(generationAt(55e-9), x4);
+    EXPECT_EQ(d4.spec.pageBits(), 8192);
+    // Same density, so x4 has more rows.
+    EXPECT_EQ(d4.spec.densityBits(), d16.spec.densityBits());
+    EXPECT_GT(d4.spec.rowAddressBits, d16.spec.rowAddressBits);
+}
+
+TEST(BuilderTest, FloorplanArrayCountMatchesBanks)
+{
+    for (const GenerationInfo& gen : generationLadder()) {
+        DramDescription desc = buildCommodityDescription(gen, {});
+        EXPECT_EQ(desc.floorplan.arrayBlockCount(), gen.banks)
+            << gen.label();
+    }
+}
+
+TEST(BuilderTest, EssentialSignalRolesPresent)
+{
+    DramDescription desc =
+        buildCommodityDescription(generationAt(55e-9), {});
+    int roles[6] = {0, 0, 0, 0, 0, 0};
+    for (const SignalNet& net : desc.signals)
+        roles[static_cast<int>(net.role)]++;
+    EXPECT_EQ(roles[static_cast<int>(SignalRole::WriteData)], 1);
+    EXPECT_EQ(roles[static_cast<int>(SignalRole::ReadData)], 1);
+    EXPECT_EQ(roles[static_cast<int>(SignalRole::RowAddress)], 1);
+    EXPECT_EQ(roles[static_cast<int>(SignalRole::ColumnAddress)], 1);
+    EXPECT_EQ(roles[static_cast<int>(SignalRole::Control)], 1);
+    EXPECT_EQ(roles[static_cast<int>(SignalRole::Clock)], 1);
+}
+
+TEST(BuilderTest, DataBusWidthIsPrefetchTimesIo)
+{
+    DramDescription desc =
+        buildCommodityDescription(generationAt(55e-9), {});
+    for (const SignalNet& net : desc.signals) {
+        if (net.role == SignalRole::WriteData ||
+            net.role == SignalRole::ReadData) {
+            EXPECT_EQ(net.wireCount, 16 * 8);
+        }
+        if (net.role == SignalRole::RowAddress) {
+            EXPECT_EQ(net.wireCount, desc.spec.rowAddressBits +
+                                         desc.spec.bankAddressBits);
+        }
+    }
+}
+
+TEST(BuilderTest, InterfaceComplexityGrows)
+{
+    EXPECT_LT(interfaceComplexity(Interface::SDR),
+              interfaceComplexity(Interface::DDR2));
+    EXPECT_LT(interfaceComplexity(Interface::DDR2),
+              interfaceComplexity(Interface::DDR3));
+    EXPECT_LT(interfaceComplexity(Interface::DDR4),
+              interfaceComplexity(Interface::DDR5));
+}
+
+TEST(BuilderTest, LogicGatesGrowWithInterface)
+{
+    auto total_gates = [](const DramDescription& d) {
+        double gates = 0;
+        for (const LogicBlock& block : d.logicBlocks)
+            gates += block.gateCount;
+        return gates;
+    };
+    DramDescription sdr =
+        buildCommodityDescription(generationAt(170e-9), {});
+    DramDescription ddr5 =
+        buildCommodityDescription(generationAt(16e-9), {});
+    EXPECT_GT(total_gates(ddr5), 3 * total_gates(sdr));
+}
+
+TEST(BuilderTest, DataRateOverride)
+{
+    BuilderOptions options;
+    options.dataRateOverride = 1066e6;
+    DramDescription desc =
+        buildCommodityDescription(generationAt(55e-9), options);
+    EXPECT_DOUBLE_EQ(desc.spec.dataRate, 1066e6);
+    EXPECT_DOUBLE_EQ(desc.spec.controlClockFrequency, 533e6);
+}
+
+TEST(BuilderTest, DieAreaInTargetBand)
+{
+    // Ladder densities are chosen for ~40-60 mm^2 dies (paper
+    // Section IV.C); allow modeling spread.
+    for (const GenerationInfo& gen : generationLadder()) {
+        DramPowerModel model(buildCommodityDescription(gen, {}));
+        double mm2 = model.area().dieArea * 1e6;
+        EXPECT_GT(mm2, 20.0) << gen.label();
+        EXPECT_LT(mm2, 95.0) << gen.label();
+    }
+}
+
+TEST(BuilderDeathTest, NonPowerOfTwoDensityRejected)
+{
+    GenerationInfo gen = generationAt(55e-9);
+    BuilderOptions options;
+    options.densityOverride = 3e9;
+    EXPECT_EXIT(buildCommodityDescription(gen, options),
+                ::testing::ExitedWithCode(1), "power of two");
+}
+
+} // namespace
+} // namespace vdram

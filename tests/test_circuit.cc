@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Circuit model tests: the 11/9-transistor sense-amplifier (Fig. 2), the
+ * 3-transistor local wordline driver (Fig. 3), decoder loads and logic
+ * block energy.
+ */
+#include <gtest/gtest.h>
+
+#include "circuit/column.h"
+#include "circuit/logic_block.h"
+#include "circuit/sense_amp.h"
+#include "circuit/wordline.h"
+#include "core/builder.h"
+
+namespace vdram {
+namespace {
+
+TechnologyParams
+tech90()
+{
+    return referenceTechnology90nm();
+}
+
+TEST(SenseAmpTest, TransistorCountMatchesPaper)
+{
+    // "A typical bitline sense-amplifier stripe has 11 transistors per
+    // bitline pair" (folded); open architecture drops the 2 multiplexers.
+    EXPECT_EQ(computeSenseAmpLoads(tech90(), true).transistorsPerPair, 11);
+    EXPECT_EQ(computeSenseAmpLoads(tech90(), false).transistorsPerPair, 9);
+}
+
+TEST(SenseAmpTest, FoldedLoadsBitlineMore)
+{
+    SenseAmpLoads open = computeSenseAmpLoads(tech90(), false);
+    SenseAmpLoads folded = computeSenseAmpLoads(tech90(), true);
+    EXPECT_GT(folded.bitlineDeviceCap, open.bitlineDeviceCap);
+}
+
+TEST(SenseAmpTest, DeviceLoadIsSmallFractionOfBitline)
+{
+    // The SA device load on the bitline must be a few percent of the
+    // bitline wire capacitance, not comparable to it.
+    TechnologyParams tech = tech90();
+    SenseAmpLoads loads = computeSenseAmpLoads(tech, false);
+    EXPECT_GT(loads.bitlineDeviceCap, 0.01 * tech.bitlineCap);
+    EXPECT_LT(loads.bitlineDeviceCap, 0.25 * tech.bitlineCap);
+}
+
+TEST(SenseAmpTest, LoadsScaleWithDeviceWidths)
+{
+    TechnologyParams tech = tech90();
+    SenseAmpLoads base = computeSenseAmpLoads(tech, false);
+    tech.widthSaEqualize *= 2;
+    SenseAmpLoads wide = computeSenseAmpLoads(tech, false);
+    EXPECT_GT(wide.equalizeGateCapPerPair, base.equalizeGateCapPerPair);
+    EXPECT_NEAR(wide.equalizeGateCapPerPair,
+                2 * base.equalizeGateCapPerPair,
+                base.equalizeGateCapPerPair * 1e-9);
+}
+
+class WordlineTest : public ::testing::Test {
+  protected:
+    WordlineTest()
+    {
+        arch_.bitsPerBitline = 512;
+        arch_.bitsPerLocalWordline = 512;
+        arch_.foldedBitline = false;
+        arch_.wordlinePitch = 3 * 90e-9;
+        arch_.bitlinePitch = 2 * 90e-9;
+        arch_.saStripeWidth = 9e-6;
+        arch_.lwdStripeWidth = 4e-6;
+        spec_.ioWidth = 16;
+        spec_.bankAddressBits = 3;
+        spec_.rowAddressBits = 13;
+        spec_.columnAddressBits = 10;
+        geo_ = computeArrayGeometry(arch_, spec_);
+    }
+
+    ArrayArchitecture arch_;
+    Specification spec_;
+    ArrayGeometry geo_;
+};
+
+TEST_F(WordlineTest, LocalWordlineDominatedByCells)
+{
+    TechnologyParams tech = tech90();
+    LocalWordlineLoads loads =
+        computeLocalWordlineLoads(tech, arch_, geo_);
+    double cell_gates = 512 * tech.gateCapCell();
+    EXPECT_GT(loads.wordlineCap, cell_gates);
+    // Driver junctions are a small part of the total.
+    EXPECT_LT(loads.driverJunctionCap, 0.2 * loads.wordlineCap);
+    EXPECT_GT(loads.driverInputCap, 0);
+}
+
+TEST_F(WordlineTest, CouplingShareRaisesWordlineCap)
+{
+    TechnologyParams tech = tech90();
+    double base =
+        computeLocalWordlineLoads(tech, arch_, geo_).wordlineCap;
+    tech.bitlineToWordlineCapShare *= 2;
+    double coupled =
+        computeLocalWordlineLoads(tech, arch_, geo_).wordlineCap;
+    EXPECT_GT(coupled, base);
+}
+
+TEST_F(WordlineTest, MasterWordlineSpansBank)
+{
+    TechnologyParams tech = tech90();
+    MasterWordlineLoads loads =
+        computeMasterWordlineLoads(tech, arch_, geo_, 13);
+    // Wire alone: bank width x specific cap; the total adds the LWD
+    // inputs along the line.
+    double wire = geo_.masterWordlineLength * tech.wireCapMasterWordline;
+    EXPECT_GT(loads.wordlineCap, wire);
+    EXPECT_LT(loads.wordlineCap, 4 * wire);
+}
+
+TEST_F(WordlineTest, PredecodeWireCount)
+{
+    TechnologyParams tech = tech90();
+    tech.predecodeMasterWordline = 2; // pairs -> 1-of-4 groups
+    MasterWordlineLoads loads =
+        computeMasterWordlineLoads(tech, arch_, geo_, 13);
+    // ceil(13/2) = 7 groups x 4 wires.
+    EXPECT_EQ(loads.predecodeWires, 28);
+    EXPECT_GT(loads.decoderCapPerActivate, 0);
+}
+
+TEST_F(WordlineTest, ColumnPathLoads)
+{
+    TechnologyParams tech = tech90();
+    SenseAmpLoads sa = computeSenseAmpLoads(tech, false);
+    ColumnPathLoads loads =
+        computeColumnPathLoads(tech, arch_, geo_, sa, 10);
+    // CSL: wire over the bank height plus the selected bit switches.
+    double csl_wire = geo_.columnSelectLength * tech.wireCapSignal;
+    EXPECT_GT(loads.columnSelectCap, csl_wire);
+    // Master data line longer (in cap) than local data line.
+    EXPECT_GT(loads.masterDataLineCap, loads.localDataLineCap);
+    EXPECT_GT(loads.secondarySenseAmpCap, 0);
+    EXPECT_GT(loads.decoderCapPerColumnOp, 0);
+}
+
+TEST(LogicBlockTest, EnergyScalesWithGatesAndToggle)
+{
+    TechnologyParams tech = tech90();
+    LogicBlock block;
+    block.gateCount = 10000;
+    block.toggleRate = 0.2;
+    double base = logicBlockChargePerEvent(block, tech, 1.5);
+
+    LogicBlock doubled = block;
+    doubled.gateCount *= 2;
+    EXPECT_NEAR(logicBlockChargePerEvent(doubled, tech, 1.5), 2 * base,
+                base * 1e-9);
+
+    LogicBlock hot = block;
+    hot.toggleRate *= 2;
+    EXPECT_NEAR(logicBlockChargePerEvent(hot, tech, 1.5), 2 * base,
+                base * 1e-9);
+
+    // Charge is linear in voltage (charge-based accounting).
+    EXPECT_NEAR(logicBlockChargePerEvent(block, tech, 3.0), 2 * base,
+                base * 1e-9);
+}
+
+TEST(LogicBlockTest, DenserLayoutShortensWires)
+{
+    TechnologyParams tech = tech90();
+    LogicBlock block;
+    block.gateCount = 10000;
+    LogicBlockLoads sparse = computeLogicBlockLoads(block, tech);
+    block.layoutDensity = 0.6;
+    LogicBlockLoads dense = computeLogicBlockLoads(block, tech);
+    EXPECT_LT(dense.blockArea, sparse.blockArea);
+    EXPECT_LT(dense.wireLengthPerGate, sparse.wireLengthPerGate);
+    EXPECT_LT(dense.capPerEvent, sparse.capPerEvent);
+}
+
+} // namespace
+} // namespace vdram

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Command-trace tests: parsing, NOP gap filling, round trips and power
+ * evaluation of replayed traces.
+ */
+#include <gtest/gtest.h>
+
+#include "core/model.h"
+#include "presets/presets.h"
+#include "protocol/command_trace.h"
+#include "protocol/idd.h"
+
+namespace vdram {
+namespace {
+
+TEST(CommandTraceTest, ParsesAndFillsGaps)
+{
+    const char* text = "# trace\n"
+                       "0 ACT\n"
+                       "10 rd\n"
+                       "24 PRE\n"
+                       "33 nop\n";
+    Result<Pattern> result = parseCommandTrace(text);
+    ASSERT_TRUE(result.ok()) << result.error().toString();
+    const Pattern& p = result.value();
+    EXPECT_EQ(p.cycles(), 34);
+    EXPECT_EQ(p.loop[0], Op::Act);
+    EXPECT_EQ(p.loop[10], Op::Rd);
+    EXPECT_EQ(p.loop[24], Op::Pre);
+    EXPECT_EQ(p.count(Op::Nop), 31);
+}
+
+TEST(CommandTraceTest, RejectsOutOfOrderCycles)
+{
+    Result<Pattern> r = parseCommandTrace("5 ACT\n5 PRE\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().line, 2);
+    EXPECT_NE(r.error().message.find("not after"), std::string::npos);
+}
+
+TEST(CommandTraceTest, RejectsUnknownCommand)
+{
+    Result<Pattern> r = parseCommandTrace("0 FOO\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message.find("FOO"), std::string::npos);
+}
+
+TEST(CommandTraceTest, RejectsEmptyTrace)
+{
+    EXPECT_FALSE(parseCommandTrace("# only comments\n").ok());
+}
+
+TEST(CommandTraceTest, RoundTripPreservesPattern)
+{
+    DramDescription desc = preset1GbDdr3(55e-9, 16, 1333);
+    for (IddMeasure m : {IddMeasure::Idd0, IddMeasure::Idd7,
+                         IddMeasure::Idd2P}) {
+        Pattern original = makeIddPattern(m, desc.spec, desc.timing);
+        Result<Pattern> reparsed =
+            parseCommandTrace(writeCommandTrace(original));
+        ASSERT_TRUE(reparsed.ok()) << iddName(m);
+        ASSERT_EQ(reparsed.value().cycles(), original.cycles())
+            << iddName(m);
+        for (int i = 0; i < original.cycles(); ++i) {
+            EXPECT_EQ(reparsed.value().loop[static_cast<size_t>(i)],
+                      original.loop[static_cast<size_t>(i)])
+                << iddName(m) << " cycle " << i;
+        }
+    }
+}
+
+TEST(CommandTraceTest, ReplayedTraceMatchesDirectEvaluation)
+{
+    DramPowerModel model(preset1GbDdr3(55e-9, 16, 1333));
+    Pattern direct = makeIddPattern(IddMeasure::Idd7,
+                                    model.description().spec,
+                                    model.description().timing);
+    Result<Pattern> replay =
+        parseCommandTrace(writeCommandTrace(direct));
+    ASSERT_TRUE(replay.ok());
+    EXPECT_DOUBLE_EQ(model.evaluate(direct).power,
+                     model.evaluate(replay.value()).power);
+}
+
+TEST(CommandTraceTest, MissingFileReported)
+{
+    EXPECT_FALSE(loadCommandTraceFile("/nonexistent.cmd").ok());
+}
+
+} // namespace
+} // namespace vdram

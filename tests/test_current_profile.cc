@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Current profile tests: integration to the average IDD, peak location
+ * and crest factor behaviour.
+ */
+#include <gtest/gtest.h>
+
+#include "core/model.h"
+#include "power/current_profile.h"
+#include "presets/presets.h"
+#include "protocol/idd.h"
+
+namespace vdram {
+namespace {
+
+class CurrentProfileTest : public ::testing::Test {
+  protected:
+    CurrentProfileTest() : model_(preset1GbDdr3(55e-9, 16, 1333)) {}
+
+    CurrentProfile profileOf(IddMeasure measure)
+    {
+        Pattern pattern = makeIddPattern(measure,
+                                         model_.description().spec,
+                                         model_.description().timing);
+        return computeCurrentProfile(pattern, model_.operations(),
+                                     model_.description().elec,
+                                     model_.description().timing);
+    }
+
+    DramPowerModel model_;
+};
+
+TEST_F(CurrentProfileTest, IntegratesToAverageIdd)
+{
+    for (IddMeasure m : {IddMeasure::Idd0, IddMeasure::Idd4R,
+                         IddMeasure::Idd7, IddMeasure::Idd2N}) {
+        CurrentProfile profile = profileOf(m);
+        double idd = model_.idd(m);
+        EXPECT_NEAR(profile.average, idd, idd * 1e-9) << iddName(m);
+    }
+}
+
+TEST_F(CurrentProfileTest, StandbyIsFlat)
+{
+    CurrentProfile profile = profileOf(IddMeasure::Idd2N);
+    EXPECT_NEAR(profile.crestFactor(), 1.0, 1e-9);
+}
+
+TEST_F(CurrentProfileTest, RowCyclingHasPronouncedPeak)
+{
+    // IDD0: the activate dumps the page charge within tRCD while most
+    // of tRC idles — the crest factor is well above 1.
+    CurrentProfile profile = profileOf(IddMeasure::Idd0);
+    EXPECT_GT(profile.crestFactor(), 1.8);
+    // The peak sits within the activate spreading window.
+    EXPECT_LT(profile.peakCycle, model_.description().timing.tRcd);
+}
+
+TEST_F(CurrentProfileTest, GaplessReadsAreFlatterThanRowCycling)
+{
+    CurrentProfile reads = profileOf(IddMeasure::Idd4R);
+    CurrentProfile rows = profileOf(IddMeasure::Idd0);
+    EXPECT_LT(reads.crestFactor(), rows.crestFactor());
+}
+
+TEST_F(CurrentProfileTest, PeakNeverBelowAverage)
+{
+    for (IddMeasure m : {IddMeasure::Idd0, IddMeasure::Idd1,
+                         IddMeasure::Idd4W, IddMeasure::Idd5}) {
+        CurrentProfile profile = profileOf(m);
+        EXPECT_GE(profile.peak, profile.average) << iddName(m);
+    }
+}
+
+TEST_F(CurrentProfileTest, ProfileLengthMatchesLoop)
+{
+    Pattern pattern = makeIddPattern(IddMeasure::Idd0,
+                                     model_.description().spec,
+                                     model_.description().timing);
+    CurrentProfile profile = computeCurrentProfile(
+        pattern, model_.operations(), model_.description().elec,
+        model_.description().timing);
+    EXPECT_EQ(static_cast<int>(profile.current.size()),
+              pattern.cycles());
+}
+
+} // namespace
+} // namespace vdram

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Per-voltage-domain power split tests: the domain powers decompose the
+ * total exactly, the pump pays its charge-transfer multiplier, and the
+ * split responds to the architecture (array-heavy patterns load Vbl,
+ * interface-heavy patterns load Vint).
+ */
+#include <gtest/gtest.h>
+
+#include "core/model.h"
+#include "core/report.h"
+#include "presets/presets.h"
+
+namespace vdram {
+namespace {
+
+class DomainSplitTest : public ::testing::Test {
+  protected:
+    DomainSplitTest() : model_(preset1GbDdr3(55e-9, 16, 1333)) {}
+    DramPowerModel model_;
+};
+
+TEST_F(DomainSplitTest, DomainPowersSumToTotal)
+{
+    for (IddMeasure m : {IddMeasure::Idd0, IddMeasure::Idd4R,
+                         IddMeasure::Idd7, IddMeasure::Idd2N}) {
+        PatternPower p = model_.iddPattern(m);
+        double sum = 0;
+        for (double w : p.domainPower)
+            sum += w;
+        EXPECT_NEAR(sum, p.power, p.power * 1e-9) << iddName(m);
+    }
+}
+
+TEST_F(DomainSplitTest, RowCyclingLoadsVblHardest)
+{
+    // IDD0 is dominated by bitline sensing and cell restore: Vbl leads
+    // the internal domains.
+    PatternPower p = model_.iddPattern(IddMeasure::Idd0);
+    double vbl = p.domainPower[static_cast<size_t>(Domain::Vbl)];
+    double vpp = p.domainPower[static_cast<size_t>(Domain::Vpp)];
+    EXPECT_GT(vbl, vpp);
+    EXPECT_GT(vbl, 0.1 * p.power);
+}
+
+TEST_F(DomainSplitTest, StreamingLoadsVint)
+{
+    // Gapless reads exercise the logic/wiring domain.
+    PatternPower p = model_.iddPattern(IddMeasure::Idd4R);
+    double vint = p.domainPower[static_cast<size_t>(Domain::Vint)];
+    EXPECT_GT(vint, 0.5 * p.power);
+}
+
+TEST_F(DomainSplitTest, PumpPaysChargeTransferMultiplier)
+{
+    // External Vpp power = internal Vpp charge / efficiency * Vdd.
+    const ElectricalParams& e = model_.description().elec;
+    PatternPower p = model_.iddPattern(IddMeasure::Idd0);
+    Pattern loop = makeIddPattern(IddMeasure::Idd0,
+                                  model_.description().spec,
+                                  model_.description().timing);
+    double q_pp =
+        model_.operations().activate.total().at(Domain::Vpp) +
+        model_.operations().precharge.total().at(Domain::Vpp);
+    double expected =
+        q_pp / e.efficiencyVpp / p.loopTime * e.vdd;
+    double measured = p.domainPower[static_cast<size_t>(Domain::Vpp)];
+    // IDD0 loops contain only one ACT and PRE; background has no Vpp.
+    EXPECT_NEAR(measured, expected, expected * 1e-6);
+}
+
+TEST_F(DomainSplitTest, RenderContainsAllActiveDomains)
+{
+    PatternPower p = model_.iddPattern(IddMeasure::Idd7);
+    std::string text = renderDomainSplit(p);
+    EXPECT_NE(text.find("Vint"), std::string::npos);
+    EXPECT_NE(text.find("Vbl"), std::string::npos);
+    EXPECT_NE(text.find("Vpp"), std::string::npos);
+    EXPECT_NE(text.find("Vdd"), std::string::npos);
+}
+
+TEST_F(DomainSplitTest, HalvingPumpEfficiencyDoublesVppPower)
+{
+    DramDescription desc = model_.description();
+    desc.elec.efficiencyVpp /= 2.0;
+    DramPowerModel degraded(desc);
+    double base =
+        model_.iddPattern(IddMeasure::Idd0)
+            .domainPower[static_cast<size_t>(Domain::Vpp)];
+    double worse =
+        degraded.iddPattern(IddMeasure::Idd0)
+            .domainPower[static_cast<size_t>(Domain::Vpp)];
+    EXPECT_NEAR(worse, 2.0 * base, base * 1e-9);
+}
+
+} // namespace
+} // namespace vdram

@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Description-language tests: the paper's example excerpts parse, the
+ * syntax check reports line-accurate errors, and write -> parse round
+ * trips preserve the description.
+ */
+#include <gtest/gtest.h>
+
+#include "core/model.h"
+#include "dsl/parser.h"
+#include "dsl/writer.h"
+#include "core/schemes.h"
+#include "presets/presets.h"
+#include "util/numerics.h"
+
+namespace vdram {
+namespace {
+
+/** A complete small DDR3-style device in the input language, built from
+ *  the paper's published excerpts. */
+const char* kSampleDescription = R"(
+# sample DRAM modeled after the paper's Fig. 1 device
+Name = sample DDR3
+
+FloorplanPhysical
+  CellArray BL=v BitsPerBL=512 BitsPerSubWL=512 BLtype=open
+  CellArray WLpitch=165nm BLpitch=110nm SAstripe=7um LWDstripe=3um
+  Vertical blocks = A1 P1 P2 P1 A1
+  Horizontal blocks = A1 R1 A1 R1 A1 R1 A1
+  SizeVertical P1=200um P2=530um
+  SizeHorizontal R1=180um
+
+FloorplanSignaling
+  DataW0 role=writedata wires=128 toggle=50% inside=0_2 fraction=25% dir=h mux=1:8
+  DataW1 start=0_2 end=3_2 PchW=19.2 NchW=9.6
+  DataW2 start=3_2 end=3_3 PchW=19.2 NchW=9.6
+  DataR0 role=readdata wires=128 toggle=50% start=3_3 end=0_2 PchW=19.2 NchW=9.6
+  AddrRow0 wires=17 start=0_2 end=3_2
+  AddrCol0 wires=13 start=0_2 end=3_2
+  Ctrl0 role=control wires=9 start=0_2 end=6_2
+  Clk0 role=clock wires=2 toggle=100% start=0_2 end=6_2 PchW=16 NchW=8
+
+Specification
+  IO width=16 datarate=1333Mbps
+  Clock number=2 frequency=666.5MHz
+  Control frequency=666.5MHz bankadd=3 rowadd=13 coladd=10 misc=9
+  Burst length=8 prefetch=8
+
+Technology
+  featuresize=55nm
+  bitlinecap=96fF cellcap=23fF
+  wirecapsignal=0.27fF/um
+
+Electrical
+  vdd=1.5V vint=1.35V vbl=1.2V vpp=2.8V
+  efficiencyvint=95% efficiencyvbl=90% efficiencyvpp=40%
+  constantcurrent=4mA
+
+LogicBlocks
+  Block name=dll gates=35000 widthn=0.3 widthp=0.45 toggle=30% active=always
+  Block name=rowctl gates=130000 toggle=50% active=row
+  Block name=serdes gates=1000 toggle=100% active=databit
+
+Timing
+  trc=50ns trcd=14ns trp=14ns
+
+Pattern loop= act wrt nop nop nop rd nop pre
+)";
+
+TEST(DslParserTest, SampleDescriptionParses)
+{
+    Result<DramDescription> result = parseDescription(kSampleDescription);
+    ASSERT_TRUE(result.ok()) << result.error().toString();
+    const DramDescription& d = result.value();
+
+    EXPECT_EQ(d.name, "sample DDR3");
+    EXPECT_EQ(d.arch.bitsPerBitline, 512);
+    EXPECT_FALSE(d.arch.foldedBitline);
+    EXPECT_NEAR(d.arch.wordlinePitch, 165e-9, 1e-15);
+    EXPECT_EQ(d.floorplan.columns(), 7);
+    EXPECT_EQ(d.floorplan.rows(), 5);
+    EXPECT_EQ(d.floorplan.arrayBlockCount(), 8);
+    EXPECT_EQ(d.spec.ioWidth, 16);
+    EXPECT_NEAR(d.spec.dataRate, 1333e6, 1);
+    EXPECT_EQ(d.spec.rowAddressBits, 13);
+    EXPECT_NEAR(d.tech.bitlineCap, 96e-15, 1e-20);
+    EXPECT_NEAR(d.elec.vpp, 2.8, 1e-12);
+    EXPECT_EQ(d.logicBlocks.size(), 3u);
+    EXPECT_EQ(d.logicBlocks[2].activity, Activity::PerDataBit);
+    EXPECT_EQ(d.pattern.cycles(), 8);
+    EXPECT_EQ(d.pattern.count(Op::Wr), 1);
+    // Timing override: 50 ns at 1.5 ns clock -> 34 cycles.
+    EXPECT_EQ(d.timing.tRc, 34);
+}
+
+TEST(DslParserTest, SignalSegmentsGroupIntoNets)
+{
+    DramDescription d = parseDescription(kSampleDescription).value();
+    const SignalNet* write_net = nullptr;
+    for (const SignalNet& net : d.signals) {
+        if (net.role == SignalRole::WriteData)
+            write_net = &net;
+    }
+    ASSERT_NE(write_net, nullptr);
+    EXPECT_EQ(write_net->name, "DataW");
+    EXPECT_EQ(write_net->segments.size(), 3u);
+    EXPECT_EQ(write_net->wireCount, 128);
+    // The paper's mux=1:8 deserializer.
+    EXPECT_DOUBLE_EQ(write_net->segments[0].muxFactor, 8.0);
+    // Buffer widths are micrometres when unitless.
+    EXPECT_NEAR(write_net->segments[1].bufferWidthP, 19.2e-6, 1e-12);
+}
+
+TEST(DslParserTest, ParsedDescriptionValidatesAndEvaluates)
+{
+    DramDescription d = parseDescription(kSampleDescription).value();
+    Status status = validateDescription(d);
+    ASSERT_TRUE(status.ok()) << status.error().toString();
+    DramPowerModel model(d);
+    // Should produce a plausible DDR3-class IDD0.
+    double idd0 = model.idd(IddMeasure::Idd0);
+    EXPECT_GT(idd0, 0.02);
+    EXPECT_LT(idd0, 0.25);
+}
+
+TEST(DslParserTest, ErrorsCarryLineNumbers)
+{
+    std::string bad = "FloorplanPhysical\n"
+                      "  CellArray BitsPerBL=512\n"
+                      "  CellArray Bogus=1\n";
+    Result<DramDescription> result = parseDescription(bad);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().line, 3);
+    // Keys are case-insensitive; the diagnostic echoes the key in its
+    // canonical lower-case form.
+    EXPECT_NE(result.error().message.find("bogus"), std::string::npos);
+}
+
+TEST(DslParserTest, UnknownSectionItemRejected)
+{
+    Result<DramDescription> r =
+        parseDescription("Specification\n  Widget foo=1\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message.find("Widget"), std::string::npos);
+}
+
+TEST(DslParserTest, UnknownTechnologyParameterRejected)
+{
+    Result<DramDescription> r =
+        parseDescription("Technology\n  fluxcapacitance=1fF\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message.find("fluxcapacitance"),
+              std::string::npos);
+}
+
+TEST(DslParserTest, WrongUnitRejected)
+{
+    Result<DramDescription> r =
+        parseDescription("Technology\n  bitlinecap=85nm\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message.find("capacitance"), std::string::npos);
+}
+
+TEST(DslParserTest, ItemOutsideSectionRejected)
+{
+    Result<DramDescription> r =
+        parseDescription("CellArray BitsPerBL=512\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message.find("outside"), std::string::npos);
+}
+
+TEST(DslParserTest, MissingPeripherySizeRejected)
+{
+    std::string text = R"(
+FloorplanPhysical
+  Vertical blocks = A1 P1 A1
+  Horizontal blocks = A1
+Specification
+  IO width=16 datarate=1333Mbps
+  Control frequency=666MHz
+)";
+    Result<DramDescription> r = parseDescription(text);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message.find("P1"), std::string::npos);
+}
+
+TEST(DslParserTest, BadPatternOpRejected)
+{
+    Result<DramDescription> r =
+        parseDescription("Pattern loop= act foo\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message.find("foo"), std::string::npos);
+}
+
+TEST(DslParserTest, CommentsAndBlankLinesIgnored)
+{
+    std::string text = kSampleDescription;
+    text += "\n# trailing comment\n\n";
+    EXPECT_TRUE(parseDescription(text).ok());
+}
+
+TEST(DslRoundTripTest, WriteParseRoundTripPreservesModel)
+{
+    DramDescription original = preset1GbDdr3(55e-9, 16, 1333);
+    std::string text = writeDescription(original);
+    Result<DramDescription> reparsed = parseDescription(text);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.error().toString();
+
+    DramPowerModel m1(original);
+    DramPowerModel m2(reparsed.value());
+
+    // The round trip preserves the electrical result to float precision
+    // of the emitted text.
+    EXPECT_NEAR(relativeDifference(m1.idd(IddMeasure::Idd0),
+                                   m2.idd(IddMeasure::Idd0)),
+                0.0, 2e-3);
+    EXPECT_NEAR(relativeDifference(m1.idd(IddMeasure::Idd4R),
+                                   m2.idd(IddMeasure::Idd4R)),
+                0.0, 2e-3);
+    EXPECT_NEAR(relativeDifference(m1.area().dieArea,
+                                   m2.area().dieArea),
+                0.0, 2e-3);
+}
+
+TEST(DslRoundTripTest, FoldedSplitBankDeviceRoundTrips)
+{
+    // The DDR2 preset exercises the folded bitline architecture with
+    // the two-way half-bank split; both must survive the round trip.
+    DramDescription original = preset1GbDdr2(75e-9, 16, 800);
+    ASSERT_TRUE(original.arch.foldedBitline);
+    ASSERT_EQ(original.arch.bankSplit, 2);
+    Result<DramDescription> reparsed =
+        parseDescription(writeDescription(original));
+    ASSERT_TRUE(reparsed.ok()) << reparsed.error().toString();
+    EXPECT_TRUE(reparsed.value().arch.foldedBitline);
+    EXPECT_EQ(reparsed.value().arch.bankSplit, 2);
+
+    DramPowerModel m1(original);
+    DramPowerModel m2(reparsed.value());
+    EXPECT_NEAR(relativeDifference(m1.idd(IddMeasure::Idd0),
+                                   m2.idd(IddMeasure::Idd0)),
+                0.0, 2e-3);
+    EXPECT_NEAR(relativeDifference(m1.area().dieArea,
+                                   m2.area().dieArea),
+                0.0, 2e-3);
+}
+
+TEST(DslRoundTripTest, SchemeTransformedDescriptionRoundTrips)
+{
+    // Segment length scales (segmented data lines) and activation
+    // fractions (selective activation) must survive the text form.
+    SchemeEvaluator evaluator(preset2GbDdr3_55(), 64);
+    for (Scheme scheme : {Scheme::SegmentedDataLines,
+                          Scheme::SelectiveBitlineActivation}) {
+        DramDescription original = evaluator.transformed(scheme);
+        Result<DramDescription> reparsed =
+            parseDescription(writeDescription(original));
+        ASSERT_TRUE(reparsed.ok())
+            << schemeName(scheme) << ": "
+            << reparsed.error().toString();
+        DramPowerModel m1(original);
+        DramPowerModel m2(reparsed.value());
+        EXPECT_NEAR(relativeDifference(m1.energyPerBit(),
+                                       m2.energyPerBit()),
+                    0.0, 2e-3)
+            << schemeName(scheme);
+    }
+}
+
+TEST(DslRoundTripTest, WriterEmitsAllSections)
+{
+    std::string text = writeDescription(preset2GbDdr3_55());
+    for (const char* section :
+         {"FloorplanPhysical", "FloorplanSignaling", "Specification",
+          "Technology", "Electrical", "LogicBlocks", "Timing",
+          "Pattern loop="}) {
+        EXPECT_NE(text.find(section), std::string::npos) << section;
+    }
+}
+
+TEST(DslParserTest, LowPowerOpsInPattern)
+{
+    std::string text = kSampleDescription;
+    text += "\nPattern loop= act nop pre nop pdn pdn srf srf\n";
+    Result<DramDescription> r = parseDescription(text);
+    ASSERT_TRUE(r.ok()) << r.error().toString();
+    EXPECT_EQ(r.value().pattern.count(Op::Pdn), 2);
+    EXPECT_EQ(r.value().pattern.count(Op::Srf), 2);
+}
+
+TEST(DslParserTest, SegmentScaleAttribute)
+{
+    std::string text = kSampleDescription;
+    text += "\nFloorplanSignaling\n"
+            "  Extra0 role=control wires=2 start=0_2 end=6_2 scale=55%\n";
+    Result<DramDescription> r = parseDescription(text);
+    ASSERT_TRUE(r.ok()) << r.error().toString();
+    const SignalNet* extra = nullptr;
+    for (const SignalNet& net : r.value().signals) {
+        if (net.name == "Extra")
+            extra = &net;
+    }
+    ASSERT_NE(extra, nullptr);
+    EXPECT_NEAR(extra->segments[0].lengthScale, 0.55, 1e-9);
+}
+
+TEST(DslParserTest, LaterValuesOverrideEarlier)
+{
+    std::string text = kSampleDescription;
+    text += "\nTechnology\n  bitlinecap=123fF\n";
+    Result<DramDescription> r = parseDescription(text);
+    ASSERT_TRUE(r.ok());
+    EXPECT_NEAR(r.value().tech.bitlineCap, 123e-15, 1e-20);
+}
+
+TEST(DslParserTest, MixedSegmentEndpointsRejected)
+{
+    std::string text = "FloorplanSignaling\n"
+                       "  Clk0 inside=0_0 start=0_0 end=1_0\n";
+    Result<DramDescription> r = parseDescription(text);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message.find("both"), std::string::npos);
+}
+
+TEST(DslParserTest, HalfSpecifiedSegmentRejected)
+{
+    std::string text = "FloorplanSignaling\n  Clk0 start=0_0\n";
+    Result<DramDescription> r = parseDescription(text);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message.find("start= and end="),
+              std::string::npos);
+}
+
+TEST(DslParserTest, FileNotFoundReported)
+{
+    Result<DramDescription> r =
+        parseDescriptionFile("/nonexistent/path.dram");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message.find("cannot open"), std::string::npos);
+}
+
+} // namespace
+} // namespace vdram

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Parser robustness: deterministic mutation fuzzing of a valid
+ * description. Every mutation must either parse or return a diagnostic
+ * — never crash, hang or corrupt state. (fatal()/panic() would abort
+ * the test binary, so plain execution of this suite is the assertion.)
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "dsl/parser.h"
+#include "dsl/writer.h"
+#include "presets/presets.h"
+
+namespace vdram {
+namespace {
+
+std::string
+baseText()
+{
+    static const std::string text =
+        writeDescription(preset1GbDdr3(55e-9, 16, 1333));
+    return text;
+}
+
+TEST(DslRobustnessTest, CharacterMutationsNeverCrash)
+{
+    std::string base = baseText();
+    std::mt19937_64 rng(123);
+    std::uniform_int_distribution<size_t> pos_dist(0, base.size() - 1);
+    const char garbage[] = "\0\t =%#:_xX9-";
+    std::uniform_int_distribution<size_t> chr_dist(0,
+                                                   sizeof(garbage) - 2);
+
+    int parsed_ok = 0, parse_error = 0;
+    for (int i = 0; i < 400; ++i) {
+        std::string mutated = base;
+        // Flip 1-3 characters.
+        for (int k = 0; k <= i % 3; ++k)
+            mutated[pos_dist(rng)] = garbage[chr_dist(rng)];
+        Result<DramDescription> result = parseDescription(mutated);
+        if (result.ok())
+            ++parsed_ok;
+        else
+            ++parse_error;
+    }
+    // Both outcomes must occur: some mutations are harmless (comments,
+    // whitespace), many are diagnosed.
+    EXPECT_GT(parsed_ok, 0);
+    EXPECT_GT(parse_error, 0);
+}
+
+TEST(DslRobustnessTest, LineDeletionsNeverCrash)
+{
+    std::string base = baseText();
+    std::vector<std::string> lines;
+    size_t pos = 0;
+    while (pos <= base.size()) {
+        size_t end = base.find('\n', pos);
+        if (end == std::string::npos) {
+            lines.push_back(base.substr(pos));
+            break;
+        }
+        lines.push_back(base.substr(pos, end - pos));
+        pos = end + 1;
+    }
+
+    for (size_t drop = 0; drop < lines.size(); ++drop) {
+        std::string mutated;
+        for (size_t i = 0; i < lines.size(); ++i) {
+            if (i != drop)
+                mutated += lines[i] + "\n";
+        }
+        Result<DramDescription> result = parseDescription(mutated);
+        // Either outcome is fine; the error path must carry a message.
+        if (!result.ok()) {
+            EXPECT_FALSE(result.error().message.empty());
+        }
+    }
+}
+
+TEST(DslRobustnessTest, LineDuplicationsNeverCrash)
+{
+    std::string base = baseText();
+    // Duplicate the whole document: section repetition and re-assignment
+    // must be handled (later values win or are diagnosed).
+    Result<DramDescription> doubled = parseDescription(base + base);
+    if (!doubled.ok()) {
+        EXPECT_FALSE(doubled.error().message.empty());
+    }
+}
+
+TEST(DslRobustnessTest, TruncationsNeverCrash)
+{
+    std::string base = baseText();
+    for (size_t cut = 0; cut < base.size(); cut += 97) {
+        Result<DramDescription> result =
+            parseDescription(base.substr(0, cut));
+        if (!result.ok()) {
+            EXPECT_FALSE(result.error().message.empty());
+        }
+    }
+}
+
+TEST(DslRobustnessTest, BinaryGarbageDiagnosed)
+{
+    std::string garbage = "\x01\x02\xff\xfe lorem ipsum {}[]";
+    Result<DramDescription> result = parseDescription(garbage);
+    EXPECT_FALSE(result.ok());
+}
+
+} // namespace
+} // namespace vdram

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Floorplan grid tests: coordinates, distances, die dimensions, grid
+ * reference parsing — the paper's sample 7x5 DRAM as the fixture.
+ */
+#include <gtest/gtest.h>
+
+#include "floorplan/floorplan.h"
+
+namespace vdram {
+namespace {
+
+/** The Fig. 1 sample: 4 banks wide, 2 high, center stripe in the middle. */
+Floorplan
+sampleFloorplan()
+{
+    Floorplan fp;
+    double bank_w = 1.8e-3, row_w = 0.2e-3;
+    double bank_h = 3.396e-3, col_h = 0.2e-3, center_h = 0.53e-3;
+    fp.setHorizontal({{"A1", BlockKind::Array, bank_w},
+                      {"R1", BlockKind::Periphery, row_w},
+                      {"A1", BlockKind::Array, bank_w},
+                      {"R1", BlockKind::Periphery, row_w},
+                      {"A1", BlockKind::Array, bank_w},
+                      {"R1", BlockKind::Periphery, row_w},
+                      {"A1", BlockKind::Array, bank_w}});
+    fp.setVertical({{"A1", BlockKind::Array, bank_h},
+                    {"P1", BlockKind::Periphery, col_h},
+                    {"P2", BlockKind::Periphery, center_h},
+                    {"P1", BlockKind::Periphery, col_h},
+                    {"A1", BlockKind::Array, bank_h}});
+    return fp;
+}
+
+TEST(FloorplanTest, GridDimensionsMatchPaperExample)
+{
+    Floorplan fp = sampleFloorplan();
+    // "blocks are numbered 0 to 6 in horizontal and 0 to 4 in vertical"
+    EXPECT_EQ(fp.columns(), 7);
+    EXPECT_EQ(fp.rows(), 5);
+    EXPECT_EQ(fp.arrayBlockCount(), 8); // 4 x 2 banks
+    EXPECT_TRUE(fp.resolved());
+}
+
+TEST(FloorplanTest, DieDimensions)
+{
+    Floorplan fp = sampleFloorplan();
+    EXPECT_NEAR(fp.dieWidth(), 4 * 1.8e-3 + 3 * 0.2e-3, 1e-12);
+    EXPECT_NEAR(fp.dieHeight(), 2 * 3.396e-3 + 2 * 0.2e-3 + 0.53e-3,
+                1e-12);
+    EXPECT_NEAR(fp.dieArea(), fp.dieWidth() * fp.dieHeight(), 1e-15);
+}
+
+TEST(FloorplanTest, CentersAccumulate)
+{
+    Floorplan fp = sampleFloorplan();
+    // Block (0,0) center: half its own size.
+    EXPECT_NEAR(fp.centerX({0, 0}), 0.9e-3, 1e-12);
+    EXPECT_NEAR(fp.centerY({0, 0}), 1.698e-3, 1e-12);
+    // Block (2,2) center: bank + row stripe + half bank.
+    EXPECT_NEAR(fp.centerX({2, 2}), 1.8e-3 + 0.2e-3 + 0.9e-3, 1e-12);
+    EXPECT_NEAR(fp.centerY({2, 2}),
+                3.396e-3 + 0.2e-3 + 0.53e-3 / 2, 1e-12);
+}
+
+TEST(FloorplanTest, ManhattanDistanceSymmetric)
+{
+    Floorplan fp = sampleFloorplan();
+    GridRef a{0, 2}, b{6, 2};
+    EXPECT_GT(fp.manhattanDistance(a, b), 0);
+    EXPECT_DOUBLE_EQ(fp.manhattanDistance(a, b),
+                     fp.manhattanDistance(b, a));
+    EXPECT_DOUBLE_EQ(fp.manhattanDistance(a, a), 0.0);
+    // Straight horizontal run along the center stripe.
+    EXPECT_NEAR(fp.manhattanDistance(a, b), 6 * 1e-3, 1e-9);
+}
+
+TEST(FloorplanTest, ResolveArraySizesFillsArrays)
+{
+    Floorplan fp;
+    fp.setHorizontal({{"A", BlockKind::Array, 0},
+                      {"P", BlockKind::Periphery, 1e-4}});
+    fp.setVertical({{"A", BlockKind::Array, 0}});
+    EXPECT_FALSE(fp.resolved());
+    ArrayGeometry geo;
+    geo.bankWidth = 2e-3;
+    geo.bankHeight = 3e-3;
+    fp.resolveArraySizes(geo, /*bitline_vertical=*/true);
+    EXPECT_TRUE(fp.resolved());
+    EXPECT_DOUBLE_EQ(fp.blockWidth({0, 0}), 2e-3);
+    EXPECT_DOUBLE_EQ(fp.blockHeight({0, 0}), 3e-3);
+
+    // With horizontal bitlines, width and height swap.
+    Floorplan fph;
+    fph.setHorizontal({{"A", BlockKind::Array, 0}});
+    fph.setVertical({{"A", BlockKind::Array, 0}});
+    fph.resolveArraySizes(geo, /*bitline_vertical=*/false);
+    EXPECT_DOUBLE_EQ(fph.blockWidth({0, 0}), 3e-3);
+    EXPECT_DOUBLE_EQ(fph.blockHeight({0, 0}), 2e-3);
+}
+
+TEST(FloorplanTest, ContainsChecksBounds)
+{
+    Floorplan fp = sampleFloorplan();
+    EXPECT_TRUE(fp.contains({0, 0}));
+    EXPECT_TRUE(fp.contains({6, 4}));
+    EXPECT_FALSE(fp.contains({7, 0}));
+    EXPECT_FALSE(fp.contains({0, 5}));
+    EXPECT_FALSE(fp.contains({-1, 0}));
+}
+
+TEST(FloorplanTest, ParseGridRef)
+{
+    GridRef ref = Floorplan::parseGridRef("3_2").value();
+    EXPECT_EQ(ref.col, 3);
+    EXPECT_EQ(ref.row, 2);
+    EXPECT_FALSE(Floorplan::parseGridRef("3").ok());
+    EXPECT_FALSE(Floorplan::parseGridRef("a_b").ok());
+    EXPECT_FALSE(Floorplan::parseGridRef("-1_2").ok());
+    EXPECT_FALSE(Floorplan::parseGridRef("1_2_3").ok());
+}
+
+} // namespace
+} // namespace vdram

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Integration tests of DramPowerModel: plausibility of absolute currents
+ * against the datasheet envelope, breakdown consistency, and structural
+ * invariants of the per-operation charge budgets.
+ */
+#include <gtest/gtest.h>
+
+#include "core/model.h"
+#include "core/report.h"
+#include "presets/presets.h"
+
+namespace vdram {
+namespace {
+
+class Ddr3ModelTest : public ::testing::Test {
+  protected:
+    Ddr3ModelTest() : model_(preset1GbDdr3(55e-9, 16, 1333)) {}
+
+    DramPowerModel model_;
+};
+
+TEST_F(Ddr3ModelTest, Idd0InDatasheetRange)
+{
+    double idd0 = model_.idd(IddMeasure::Idd0);
+    EXPECT_GT(idd0, 0.050);
+    EXPECT_LT(idd0, 0.120);
+}
+
+TEST_F(Ddr3ModelTest, Idd4RInDatasheetRange)
+{
+    double idd4r = model_.idd(IddMeasure::Idd4R);
+    EXPECT_GT(idd4r, 0.130);
+    EXPECT_LT(idd4r, 0.260);
+}
+
+TEST_F(Ddr3ModelTest, Idd4WInDatasheetRange)
+{
+    double idd4w = model_.idd(IddMeasure::Idd4W);
+    EXPECT_GT(idd4w, 0.120);
+    EXPECT_LT(idd4w, 0.250);
+}
+
+TEST_F(Ddr3ModelTest, BackgroundInDatasheetRange)
+{
+    double idd2n = model_.idd(IddMeasure::Idd2N);
+    EXPECT_GT(idd2n, 0.015);
+    EXPECT_LT(idd2n, 0.070);
+}
+
+TEST_F(Ddr3ModelTest, OperationOrdering)
+{
+    // Reads and writes cost more than standby; IDD7 is the maximum.
+    double idd2n = model_.idd(IddMeasure::Idd2N);
+    double idd0 = model_.idd(IddMeasure::Idd0);
+    double idd4r = model_.idd(IddMeasure::Idd4R);
+    double idd7 = model_.idd(IddMeasure::Idd7);
+    EXPECT_GT(idd0, idd2n);
+    EXPECT_GT(idd4r, idd0);
+    EXPECT_GT(idd7, idd0);
+}
+
+TEST_F(Ddr3ModelTest, WriteBurstCostsMoreThanReadInTheArray)
+{
+    // A write must flip bitline pairs; per-operation charge of write
+    // exceeds read in the bitline component.
+    const OperationSet& ops = model_.operations();
+    double wr_bl = ops.write.component(Component::BitlineSensing)
+                       .at(Domain::Vbl);
+    double rd_bl = ops.read.component(Component::BitlineSensing)
+                       .at(Domain::Vbl);
+    EXPECT_GT(wr_bl, rd_bl);
+}
+
+TEST_F(Ddr3ModelTest, ActivateDominatedByBitlines)
+{
+    // Sensing a 2 KB page dominates the activate charge budget.
+    const OperationSet& ops = model_.operations();
+    double bitline =
+        ops.activate.component(Component::BitlineSensing).at(Domain::Vbl);
+    double total_vbl = ops.activate.total().at(Domain::Vbl);
+    EXPECT_GT(bitline, 0.4 * total_vbl);
+}
+
+TEST_F(Ddr3ModelTest, ComponentPowersSumToTotal)
+{
+    PatternPower p = model_.iddPattern(IddMeasure::Idd7);
+    double sum = 0;
+    for (const auto& [component, watts] : p.componentPower)
+        sum += watts;
+    EXPECT_NEAR(sum, p.power, p.power * 1e-9);
+}
+
+TEST_F(Ddr3ModelTest, OperationPowersSumToTotal)
+{
+    PatternPower p = model_.iddPattern(IddMeasure::Idd7);
+    double sum = 0;
+    for (const auto& [op, watts] : p.operationPower)
+        sum += watts;
+    EXPECT_NEAR(sum, p.power, p.power * 1e-9);
+}
+
+TEST_F(Ddr3ModelTest, DieAreaInCommodityBand)
+{
+    AreaReport area = model_.area();
+    EXPECT_GT(area.dieArea, 25e-6);  // > 25 mm^2
+    EXPECT_LT(area.dieArea, 90e-6);  // < 90 mm^2
+    EXPECT_GT(area.arrayEfficiency, 0.35);
+    EXPECT_LT(area.arrayEfficiency, 0.75);
+}
+
+TEST_F(Ddr3ModelTest, StripeAreaSharesMatchPaperSectionII)
+{
+    // "The share of bitline sense-amplifier area ... is between 8% and
+    // 15%, the share of local wordline driver area is between 5% and
+    // 10%" — allow a slightly wider modeling band.
+    AreaReport area = model_.area();
+    EXPECT_GT(area.saStripeShare, 0.04);
+    EXPECT_LT(area.saStripeShare, 0.18);
+    EXPECT_GT(area.lwdStripeShare, 0.01);
+    EXPECT_LT(area.lwdStripeShare, 0.12);
+}
+
+TEST_F(Ddr3ModelTest, EnergyPerBitPlausible)
+{
+    // Commodity DDR3 core energy is in the tens of pJ/bit on a random
+    // row-cycling pattern.
+    double epb = model_.energyPerBit();
+    EXPECT_GT(epb, 5e-12);
+    EXPECT_LT(epb, 200e-12);
+}
+
+TEST_F(Ddr3ModelTest, ReportsRender)
+{
+    PatternPower p = model_.evaluateDefault();
+    EXPECT_FALSE(renderBreakdown(p).empty());
+    EXPECT_FALSE(renderOperationSplit(p).empty());
+    EXPECT_FALSE(renderIddTable(model_).empty());
+    EXPECT_FALSE(renderAreaReport(model_.area()).empty());
+    EXPECT_FALSE(renderSummary(model_).empty());
+}
+
+TEST(ModelConsistencyTest, RefreshEqualsBankRowCycles)
+{
+    DramPowerModel model(preset1GbDdr3(55e-9, 16, 1333));
+    const OperationSet& ops = model.operations();
+    double row_cycle = ops.activate.externalCharge(
+                           model.description().elec) +
+                       ops.precharge.externalCharge(
+                           model.description().elec);
+    double refresh = ops.refresh.externalCharge(model.description().elec);
+    int banks = model.description().spec.banks();
+    EXPECT_NEAR(refresh, row_cycle * banks, row_cycle * banks * 1e-9);
+}
+
+TEST(ModelConsistencyTest, HigherDataRateDrawsMoreReadCurrent)
+{
+    DramPowerModel slow(preset1GbDdr3(55e-9, 16, 1066));
+    DramPowerModel fast(preset1GbDdr3(55e-9, 16, 1333));
+    EXPECT_GT(fast.idd(IddMeasure::Idd4R), slow.idd(IddMeasure::Idd4R));
+}
+
+TEST(ModelConsistencyTest, WiderInterfaceDrawsMoreReadCurrent)
+{
+    DramPowerModel narrow(preset1GbDdr3(55e-9, 4, 1333));
+    DramPowerModel wide(preset1GbDdr3(55e-9, 16, 1333));
+    EXPECT_GT(wide.idd(IddMeasure::Idd4R), narrow.idd(IddMeasure::Idd4R));
+}
+
+TEST(ModelConsistencyTest, Ddr2At18VDrawsMoreThanDdr3)
+{
+    DramPowerModel ddr2(preset1GbDdr2(65e-9, 16, 800));
+    DramPowerModel ddr3(preset1GbDdr3(65e-9, 16, 1066));
+    // Same node: the 1.8 V DDR2 spends more energy per bit than the
+    // 1.5 V DDR3 despite the lower data rate.
+    EXPECT_GT(ddr2.energyPerBit(), ddr3.energyPerBit());
+}
+
+} // namespace
+} // namespace vdram

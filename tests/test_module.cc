@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Module (rank) level tests: mini-rank energy mechanics — fewer active
+ * devices per access cut row energy, power-down of idle devices
+ * compounds the savings, full-rank lockstep matches the single-device
+ * model scaled by the device count.
+ */
+#include <gtest/gtest.h>
+
+#include "core/module.h"
+#include "presets/presets.h"
+
+namespace vdram {
+namespace {
+
+ModuleConfig
+x8Rank()
+{
+    ModuleConfig config;
+    config.device = preset1GbDdr3(55e-9, 8, 1333);
+    config.devicesPerRank = 8;
+    config.devicesPerAccess = 8;
+    config.cachelineBytes = 64;
+    return config;
+}
+
+TEST(ModuleTest, FullRankBurstAccounting)
+{
+    // 64 B over 8 x8 devices: 64 bits each = exactly one BL8 burst.
+    ModulePower p = evaluateModule(x8Rank());
+    EXPECT_EQ(p.burstsPerDevice, 1);
+    EXPECT_GT(p.accessEnergy, 0);
+    EXPECT_NEAR(p.energyPerBit, p.accessEnergy / 512.0,
+                p.energyPerBit * 1e-9);
+}
+
+TEST(ModuleTest, MiniRankServesMoreBurstsPerDevice)
+{
+    ModuleConfig half = x8Rank();
+    half.devicesPerAccess = 4;
+    ModulePower p = evaluateModule(half);
+    EXPECT_EQ(p.burstsPerDevice, 2);
+
+    ModuleConfig quarter = x8Rank();
+    quarter.devicesPerAccess = 2;
+    EXPECT_EQ(evaluateModule(quarter).burstsPerDevice, 4);
+}
+
+TEST(ModuleTest, MiniRankCutsAccessEnergy)
+{
+    // Zheng et al.'s premise: half the activated devices, half the
+    // activated pages -> less row energy per line.
+    ModulePower full = evaluateModule(x8Rank());
+    ModuleConfig mini_cfg = x8Rank();
+    mini_cfg.devicesPerAccess = 4;
+    ModulePower mini = evaluateModule(mini_cfg);
+    EXPECT_LT(mini.accessEnergy, full.accessEnergy);
+}
+
+TEST(ModuleTest, PowerDownOfIdleDevicesCompounds)
+{
+    ModuleConfig mini_cfg = x8Rank();
+    mini_cfg.devicesPerAccess = 4;
+    ModulePower awake = evaluateModule(mini_cfg);
+    mini_cfg.powerDownIdleDevices = true;
+    ModulePower gated = evaluateModule(mini_cfg);
+    EXPECT_LT(gated.accessEnergy, awake.accessEnergy);
+    EXPECT_LT(gated.idleRankPower, awake.idleRankPower);
+}
+
+TEST(ModuleTest, PowerDownIrrelevantWhenAllDevicesParticipate)
+{
+    ModuleConfig config = x8Rank();
+    ModulePower awake = evaluateModule(config);
+    config.powerDownIdleDevices = true;
+    ModulePower gated = evaluateModule(config);
+    EXPECT_NEAR(gated.accessEnergy, awake.accessEnergy,
+                awake.accessEnergy * 1e-9);
+}
+
+TEST(ModuleTest, MiniRankLengthensOccupancy)
+{
+    // The trade-off: more bursts per device can stretch the occupancy
+    // window beyond tRC once enough bursts queue up.
+    ModuleConfig config = x8Rank();
+    config.devicesPerAccess = 1; // whole line from one x8 device
+    ModulePower p = evaluateModule(config);
+    EXPECT_EQ(p.burstsPerDevice, 8);
+    ModulePower full = evaluateModule(x8Rank());
+    EXPECT_GE(p.accessWindow, full.accessWindow);
+}
+
+TEST(ModuleDeathTest, RejectsNonDividingAccessWidth)
+{
+    ModuleConfig config = x8Rank();
+    config.devicesPerAccess = 3;
+    EXPECT_EXIT(evaluateModule(config), ::testing::ExitedWithCode(1),
+                "divide");
+}
+
+} // namespace
+} // namespace vdram

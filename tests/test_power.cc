@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Power engine tests: domain charge accounting, generator efficiency
+ * folding, operation charge algebra, and pattern power math.
+ */
+#include <gtest/gtest.h>
+
+#include "power/domains.h"
+#include "power/op_charges.h"
+#include "power/pattern_power.h"
+
+namespace vdram {
+namespace {
+
+ElectricalParams
+simpleElec()
+{
+    ElectricalParams e;
+    e.vdd = 1.5;
+    e.vint = 1.2;
+    e.vbl = 1.0;
+    e.vpp = 2.8;
+    e.efficiencyVint = 1.0;
+    e.efficiencyVbl = 0.5;
+    e.efficiencyVpp = 0.4;
+    e.constantCurrent = 0.0;
+    return e;
+}
+
+TEST(DomainTest, ExternalChargeFoldsEfficiency)
+{
+    ElectricalParams e = simpleElec();
+    DomainCharge q;
+    q.add(Domain::Vdd, 1e-9);
+    q.add(Domain::Vint, 1e-9);
+    q.add(Domain::Vbl, 1e-9);
+    q.add(Domain::Vpp, 1e-9);
+    // 1 + 1/1.0 + 1/0.5 + 1/0.4 = 6.5 nC.
+    EXPECT_NEAR(q.externalCharge(e), 6.5e-9, 1e-18);
+    EXPECT_NEAR(q.externalEnergy(e), 6.5e-9 * 1.5, 1e-18);
+}
+
+TEST(DomainTest, ChargeAlgebra)
+{
+    DomainCharge a, b;
+    a.add(Domain::Vint, 2e-9);
+    b.add(Domain::Vint, 3e-9);
+    b.add(Domain::Vpp, 1e-9);
+    a += b;
+    EXPECT_DOUBLE_EQ(a.at(Domain::Vint), 5e-9);
+    EXPECT_DOUBLE_EQ(a.at(Domain::Vpp), 1e-9);
+    DomainCharge c = a * 2.0;
+    EXPECT_DOUBLE_EQ(c.at(Domain::Vint), 10e-9);
+    EXPECT_DOUBLE_EQ(a.at(Domain::Vint), 5e-9); // a unchanged
+}
+
+TEST(DomainTest, CycleChargeIsCV)
+{
+    EXPECT_DOUBLE_EQ(cycleCharge(100e-15, 1.5), 150e-15);
+}
+
+TEST(DomainTest, NamesAndVoltages)
+{
+    ElectricalParams e = simpleElec();
+    EXPECT_STREQ(domainName(Domain::Vpp), "Vpp");
+    EXPECT_DOUBLE_EQ(domainVoltage(Domain::Vbl, e), 1.0);
+    EXPECT_DOUBLE_EQ(domainEfficiency(Domain::Vdd, e), 1.0);
+}
+
+TEST(OpChargesTest, ComponentBookkeeping)
+{
+    OperationCharges op;
+    op.add(Component::BitlineSensing, Domain::Vbl, 1e-9);
+    op.add(Component::BitlineSensing, Domain::Vbl, 1e-9);
+    op.add(Component::Clock, Domain::Vint, 0.5e-9);
+    EXPECT_DOUBLE_EQ(
+        op.component(Component::BitlineSensing).at(Domain::Vbl), 2e-9);
+    EXPECT_DOUBLE_EQ(op.component(Component::Clock).at(Domain::Vint),
+                     0.5e-9);
+    EXPECT_DOUBLE_EQ(op.component(Component::DataBus).at(Domain::Vint),
+                     0.0);
+    EXPECT_DOUBLE_EQ(op.total().at(Domain::Vbl), 2e-9);
+}
+
+TEST(OpChargesTest, AdditionAndScaling)
+{
+    OperationCharges a, b;
+    a.add(Component::Clock, Domain::Vint, 1e-9);
+    b.add(Component::Clock, Domain::Vint, 2e-9);
+    b.add(Component::DataBus, Domain::Vint, 4e-9);
+    a += b;
+    OperationCharges doubled = a * 2.0;
+    EXPECT_DOUBLE_EQ(doubled.component(Component::Clock).at(Domain::Vint),
+                     6e-9);
+    EXPECT_DOUBLE_EQ(
+        doubled.component(Component::DataBus).at(Domain::Vint), 8e-9);
+}
+
+TEST(OpChargesTest, OperationSetLookup)
+{
+    OperationSet ops;
+    ops.read.add(Component::DataBus, Domain::Vint, 1e-9);
+    EXPECT_DOUBLE_EQ(ops.of(Op::Rd).total().at(Domain::Vint), 1e-9);
+    EXPECT_DOUBLE_EQ(ops.of(Op::Nop).total().at(Domain::Vint), 0.0);
+}
+
+class PatternPowerTest : public ::testing::Test {
+  protected:
+    PatternPowerTest()
+    {
+        elec_ = simpleElec();
+        spec_.ioWidth = 16;
+        spec_.dataRate = 1333e6;
+        spec_.burstLength = 8;
+        spec_.prefetch = 8;
+        // 1 nC external per read, at Vdd so the efficiency is 1.
+        ops_.read.add(Component::DataBus, Domain::Vdd, 1e-9);
+        ops_.backgroundPerCycle.add(Component::Clock, Domain::Vdd,
+                                    0.1e-9);
+    }
+
+    ElectricalParams elec_;
+    Specification spec_;
+    OperationSet ops_;
+};
+
+TEST_F(PatternPowerTest, HandComputableCurrent)
+{
+    Pattern p;
+    p.loop = {Op::Rd, Op::Nop, Op::Nop, Op::Nop};
+    double tck = 1e-9;
+    PatternPower power = computePatternPower(p, ops_, elec_, tck, spec_);
+    // Charge per 4 ns loop: 1 nC (read) + 4 x 0.1 nC (background).
+    EXPECT_NEAR(power.externalCurrent, 1.4e-9 / 4e-9, 1e-9);
+    EXPECT_NEAR(power.power, power.externalCurrent * 1.5, 1e-12);
+    EXPECT_NEAR(power.loopTime, 4e-9, 1e-18);
+}
+
+TEST_F(PatternPowerTest, ConstantCurrentAdds)
+{
+    elec_.constantCurrent = 5e-3;
+    Pattern p;
+    p.loop = {Op::Nop};
+    PatternPower power =
+        computePatternPower(p, ops_, elec_, 1e-9, spec_);
+    EXPECT_NEAR(power.externalCurrent, 0.1 + 5e-3, 1e-9);
+}
+
+TEST_F(PatternPowerTest, EnergyPerBitAndUtilization)
+{
+    Pattern p;
+    p.loop = {Op::Rd, Op::Nop, Op::Nop, Op::Nop};
+    PatternPower power =
+        computePatternPower(p, ops_, elec_, 1.5003e-9, spec_);
+    EXPECT_NEAR(power.bitsPerLoop, 128.0, 1e-9);
+    EXPECT_GT(power.energyPerBit, 0);
+    EXPECT_NEAR(power.energyPerBit,
+                power.power * power.loopTime / 128.0, 1e-18);
+    // 128 bits per 4 x 1.5 ns on a 16 x 1333 Mb/s interface: saturated.
+    EXPECT_NEAR(power.busUtilization, 1.0, 0.01);
+}
+
+TEST_F(PatternPowerTest, NopOnlyLoopHasNoDataEnergy)
+{
+    Pattern p;
+    p.loop = {Op::Nop, Op::Nop};
+    PatternPower power =
+        computePatternPower(p, ops_, elec_, 1e-9, spec_);
+    EXPECT_DOUBLE_EQ(power.bitsPerLoop, 0.0);
+    EXPECT_DOUBLE_EQ(power.energyPerBit, 0.0);
+    EXPECT_DOUBLE_EQ(power.busUtilization, 0.0);
+}
+
+TEST_F(PatternPowerTest, OperationPowerAttribution)
+{
+    Pattern p;
+    p.loop = {Op::Rd, Op::Nop, Op::Nop, Op::Nop};
+    PatternPower power =
+        computePatternPower(p, ops_, elec_, 1e-9, spec_);
+    // Read share: 1 nC of 1.4 nC.
+    EXPECT_NEAR(power.operationPower[Op::Rd] / power.power, 1.0 / 1.4,
+                1e-6);
+    EXPECT_NEAR(power.operationPower[Op::Nop] / power.power, 0.4 / 1.4,
+                1e-6);
+}
+
+} // namespace
+} // namespace vdram

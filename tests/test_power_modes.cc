@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Low-power state tests: power-down (IDD2P/IDD3P) and self refresh
+ * (IDD6) currents, their ordering against the active standby floor, and
+ * mixed patterns with CKE-gated stretches.
+ */
+#include <gtest/gtest.h>
+
+#include "core/model.h"
+#include "presets/presets.h"
+#include "protocol/bank_fsm.h"
+#include "protocol/idd.h"
+
+namespace vdram {
+namespace {
+
+class PowerModeTest : public ::testing::Test {
+  protected:
+    PowerModeTest() : model_(preset1GbDdr3(55e-9, 16, 1333)) {}
+    DramPowerModel model_;
+};
+
+TEST_F(PowerModeTest, PowerDownWellBelowStandby)
+{
+    double idd2n = model_.idd(IddMeasure::Idd2N);
+    double idd2p = model_.idd(IddMeasure::Idd2P);
+    EXPECT_LT(idd2p, 0.5 * idd2n);
+    EXPECT_GT(idd2p, 0.0);
+}
+
+TEST_F(PowerModeTest, PowerDownAboveConstantCurrentFloor)
+{
+    double idd2p = model_.idd(IddMeasure::Idd2P);
+    EXPECT_GT(idd2p, model_.description().elec.constantCurrent);
+}
+
+TEST_F(PowerModeTest, ActiveAndPrechargePowerDownEqualInCapacitiveModel)
+{
+    // No leakage terms: IDD2P == IDD3P (documented model limitation).
+    EXPECT_DOUBLE_EQ(model_.idd(IddMeasure::Idd2P),
+                     model_.idd(IddMeasure::Idd3P));
+}
+
+TEST_F(PowerModeTest, SelfRefreshSlightlyAbovePowerDown)
+{
+    double idd6 = model_.idd(IddMeasure::Idd6);
+    double idd2p = model_.idd(IddMeasure::Idd2P);
+    EXPECT_GT(idd6, idd2p);
+    // The amortized refresh adds little at the tREFI duty cycle.
+    EXPECT_LT(idd6, 3.0 * idd2p);
+}
+
+TEST_F(PowerModeTest, SelfRefreshBelowStandby)
+{
+    EXPECT_LT(model_.idd(IddMeasure::Idd6),
+              model_.idd(IddMeasure::Idd2N));
+}
+
+TEST_F(PowerModeTest, SelfRefreshMagnitudePlausible)
+{
+    // DDR3 datasheet IDD6 is a few mA to ~10 mA.
+    double idd6 = model_.idd(IddMeasure::Idd6);
+    EXPECT_GT(idd6, 1e-3);
+    EXPECT_LT(idd6, 25e-3);
+}
+
+TEST_F(PowerModeTest, MixedPatternInterpolates)
+{
+    // Half the loop powered, half in power-down: the current sits
+    // between IDD2P and IDD2N.
+    Pattern mixed;
+    mixed.loop.assign(8, Op::Nop);
+    for (int i = 4; i < 8; ++i)
+        mixed.loop[static_cast<size_t>(i)] = Op::Pdn;
+    double current = model_.evaluate(mixed).externalCurrent;
+    EXPECT_GT(current, model_.idd(IddMeasure::Idd2P));
+    EXPECT_LT(current, model_.idd(IddMeasure::Idd2N));
+
+    // Exactly the duty-cycled average of the two states.
+    double expected = (model_.idd(IddMeasure::Idd2N) +
+                       model_.idd(IddMeasure::Idd2P)) / 2.0;
+    EXPECT_NEAR(current, expected, expected * 1e-9);
+}
+
+TEST_F(PowerModeTest, PowerDownCyclesAttributedToPdnBucket)
+{
+    Pattern p;
+    p.loop.assign(4, Op::Pdn);
+    PatternPower power = model_.evaluate(p);
+    ASSERT_TRUE(power.operationPower.count(Op::Pdn));
+    EXPECT_GT(power.operationPower[Op::Pdn], 0);
+}
+
+TEST_F(PowerModeTest, SelfRefreshPatternsAreProtocolClean)
+{
+    Pattern p = makeIddPattern(IddMeasure::Idd6,
+                               model_.description().spec,
+                               model_.description().timing);
+    PatternCheckResult result = checkPattern(
+        p, model_.description().timing,
+        model_.description().spec.banks());
+    EXPECT_TRUE(result.ok()) << result.summary();
+}
+
+TEST_F(PowerModeTest, SelfRefreshWithOpenBanksIllegal)
+{
+    TimingParams t = model_.description().timing;
+    Pattern p;
+    p.loop.assign(static_cast<size_t>(2 * t.tRc), Op::Nop);
+    p.loop[0] = Op::Act;
+    p.loop[static_cast<size_t>(t.tRas)] = Op::Srf; // bank still open
+    p.loop[static_cast<size_t>(t.tRas + 1)] = Op::Pre;
+    PatternCheckResult result =
+        checkPattern(p, t, model_.description().spec.banks());
+    bool found = false;
+    for (const TimingViolation& v : result.violations)
+        found |= v.op == Op::Srf;
+    EXPECT_TRUE(found);
+}
+
+TEST(PowerModeLadderTest, MobilePartShinesInSelfRefresh)
+{
+    // The mobile architecture (no DLL, low voltages) was built for
+    // standby: its self-refresh current undercuts the commodity part.
+    DramPowerModel mobile(presetMobileLpddr2(32));
+    DramPowerModel commodity(preset1GbDdr2(65e-9, 16, 800));
+    EXPECT_LT(mobile.idd(IddMeasure::Idd6),
+              commodity.idd(IddMeasure::Idd6));
+}
+
+} // namespace
+} // namespace vdram

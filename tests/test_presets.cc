@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Preset device tests: every named preset validates, builds and produces
+ * currents/areas in its class's plausible range; the mobile and graphics
+ * variants show their architectural signatures.
+ */
+#include <gtest/gtest.h>
+
+#include "core/model.h"
+#include "presets/presets.h"
+
+namespace vdram {
+namespace {
+
+TEST(PresetTest, AllNamedPresetsValidateAndBuild)
+{
+    for (const NamedPreset& preset : namedPresets()) {
+        DramDescription desc = preset.build();
+        Status status = validateDescription(desc);
+        ASSERT_TRUE(status.ok())
+            << preset.name << ": " << status.error().toString();
+        DramPowerModel model(desc);
+        EXPECT_GT(model.idd(IddMeasure::Idd0), 0) << preset.name;
+        EXPECT_GT(model.area().dieArea, 0) << preset.name;
+    }
+}
+
+TEST(PresetTest, RegistryNamesUnique)
+{
+    const auto& presets = namedPresets();
+    for (size_t i = 0; i < presets.size(); ++i) {
+        for (size_t j = i + 1; j < presets.size(); ++j)
+            EXPECT_NE(presets[i].name, presets[j].name);
+    }
+}
+
+TEST(PresetTest, SensitivityTrioMatchesPaperDevices)
+{
+    // The Table III devices.
+    DramDescription sdr = preset128MbSdr170();
+    EXPECT_NEAR(sdr.tech.featureSize, 170e-9, 1e-12);
+    EXPECT_EQ(sdr.spec.densityBits(), 128LL << 20);
+
+    DramDescription ddr3 = preset2GbDdr3_55();
+    EXPECT_NEAR(ddr3.tech.featureSize, 55e-9, 1e-12);
+    EXPECT_EQ(ddr3.spec.densityBits(), 2LL << 30);
+    EXPECT_EQ(ddr3.spec.rowAddressBits, 14); // the paper's rowadd=14
+
+    DramDescription ddr5 = preset16GbDdr5_18();
+    EXPECT_NEAR(ddr5.tech.featureSize, 18e-9, 1e-12);
+    EXPECT_EQ(ddr5.spec.densityBits(), 16LL << 30);
+}
+
+TEST(PresetTest, Ddr2VerificationPartsUse18V)
+{
+    for (double node : {75e-9, 65e-9}) {
+        DramDescription d = preset1GbDdr2(node, 16, 800);
+        EXPECT_DOUBLE_EQ(d.elec.vdd, 1.8);
+        EXPECT_EQ(d.spec.prefetch, 4);
+        EXPECT_EQ(d.spec.burstLength, 4);
+        EXPECT_EQ(d.spec.densityBits(), 1LL << 30);
+        EXPECT_NEAR(d.tech.featureSize, node, 1e-12);
+    }
+}
+
+TEST(PresetTest, Ddr3VerificationPartsUse15V)
+{
+    for (double node : {65e-9, 55e-9}) {
+        DramDescription d = preset1GbDdr3(node, 16, 1066);
+        EXPECT_DOUBLE_EQ(d.elec.vdd, 1.5);
+        EXPECT_EQ(d.spec.prefetch, 8);
+        EXPECT_EQ(d.spec.densityBits(), 1LL << 30);
+    }
+}
+
+TEST(PresetTest, MobilePartHasLowStandbyCurrent)
+{
+    // "Mobile DRAMs are optimized for low standby current": the LPDDR2
+    // variant must idle well below the commodity DDR2 at the same node.
+    DramPowerModel mobile(presetMobileLpddr2(32));
+    DramPowerModel commodity(preset1GbDdr2(65e-9, 16, 800));
+    EXPECT_LT(mobile.idd(IddMeasure::Idd2N),
+              0.75 * commodity.idd(IddMeasure::Idd2N));
+}
+
+TEST(PresetTest, MobilePartRoutesDataToEdgePads)
+{
+    DramDescription mobile = presetMobileLpddr2(32);
+    DramDescription commodity = preset1GbDdr2(65e-9, 32, 800);
+    auto data_segments = [](const DramDescription& d) {
+        size_t segments = 0;
+        for (const SignalNet& net : d.signals) {
+            if (net.role == SignalRole::ReadData ||
+                net.role == SignalRole::WriteData) {
+                segments += net.segments.size();
+            }
+        }
+        return segments;
+    };
+    EXPECT_GT(data_segments(mobile), data_segments(commodity));
+}
+
+TEST(PresetTest, GraphicsPartSustainsHigherBandwidth)
+{
+    DramDescription gfx = presetGraphicsGddr5(32);
+    EXPECT_GE(gfx.spec.bandwidth(), 100e9); // >= 100 Gb/s aggregate
+    EXPECT_EQ(gfx.spec.banks(), 16);
+    DramPowerModel model(gfx);
+    // Graphics parts burn considerably more column power.
+    DramPowerModel commodity(preset1GbDdr3(55e-9, 16, 1333));
+    EXPECT_GT(model.idd(IddMeasure::Idd4R),
+              commodity.idd(IddMeasure::Idd4R));
+}
+
+TEST(PresetTest, EnergyPerBitLadder)
+{
+    // SDR (2000) must be far less efficient than DDR3 (2010), which in
+    // turn beats the hypothetical DDR5 only in the wrong direction —
+    // i.e. DDR5 is the most efficient.
+    DramPowerModel sdr(preset128MbSdr170());
+    DramPowerModel ddr3(preset2GbDdr3_55());
+    DramPowerModel ddr5(preset16GbDdr5_18());
+    EXPECT_GT(sdr.energyPerBit(), 3.0 * ddr3.energyPerBit());
+    EXPECT_GT(ddr3.energyPerBit(), ddr5.energyPerBit());
+}
+
+} // namespace
+} // namespace vdram

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Property-based tests: model-wide invariants swept over parameter
+ * ranges with parameterized gtest — charge-accounting linearity,
+ * monotonicity in capacitances and voltages, activation-fraction
+ * linearity of the row energy, additivity of the pattern evaluation.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/model.h"
+#include "presets/presets.h"
+#include "protocol/idd.h"
+#include "tech/scaling.h"
+
+namespace vdram {
+namespace {
+
+DramDescription
+baseDesc()
+{
+    return preset1GbDdr3(55e-9, 16, 1333);
+}
+
+// ---------------------------------------------------------------------
+// Power is exactly linear in Vdd (charge accounting): P(k*Vdd) = k*P(Vdd)
+// while the IDD current is unchanged.
+class VddLinearityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(VddLinearityTest, PowerLinearCurrentInvariant)
+{
+    double k = GetParam();
+    DramDescription base = baseDesc();
+    DramDescription scaled = base;
+    scaled.elec.vdd *= k;
+
+    DramPowerModel m_base(base);
+    DramPowerModel m_scaled(scaled);
+    PatternPower p_base = m_base.evaluateDefault();
+    PatternPower p_scaled = m_scaled.evaluateDefault();
+
+    EXPECT_NEAR(p_scaled.power, k * p_base.power, p_base.power * 1e-9);
+    EXPECT_NEAR(p_scaled.externalCurrent, p_base.externalCurrent,
+                p_base.externalCurrent * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, VddLinearityTest,
+                         ::testing::Values(0.6, 0.8, 1.1, 1.5, 2.0));
+
+// ---------------------------------------------------------------------
+// Monotonicity: increasing a capacitance parameter never lowers power.
+class CapacitanceMonotonicityTest
+    : public ::testing::TestWithParam<double> {};
+
+TEST_P(CapacitanceMonotonicityTest, BitlineCap)
+{
+    double factor = GetParam();
+    DramDescription a = baseDesc();
+    DramDescription b = a;
+    b.tech.bitlineCap *= factor;
+    double pa = DramPowerModel(a).evaluateDefault().power;
+    double pb = DramPowerModel(b).evaluateDefault().power;
+    if (factor > 1.0)
+        EXPECT_GT(pb, pa);
+    else
+        EXPECT_LT(pb, pa);
+}
+
+TEST_P(CapacitanceMonotonicityTest, WireCap)
+{
+    double factor = GetParam();
+    DramDescription a = baseDesc();
+    DramDescription b = a;
+    b.tech.wireCapSignal *= factor;
+    double pa = DramPowerModel(a).evaluateDefault().power;
+    double pb = DramPowerModel(b).evaluateDefault().power;
+    if (factor > 1.0)
+        EXPECT_GT(pb, pa);
+    else
+        EXPECT_LT(pb, pa);
+}
+
+TEST_P(CapacitanceMonotonicityTest, CellCap)
+{
+    double factor = GetParam();
+    DramDescription a = baseDesc();
+    DramDescription b = a;
+    b.tech.cellCap *= factor;
+    double pa = DramPowerModel(a).evaluateDefault().power;
+    double pb = DramPowerModel(b).evaluateDefault().power;
+    if (factor > 1.0)
+        EXPECT_GT(pb, pa);
+    else
+        EXPECT_LT(pb, pa);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CapacitanceMonotonicityTest,
+                         ::testing::Values(0.5, 0.8, 1.25, 2.0, 4.0));
+
+// ---------------------------------------------------------------------
+// Bitline-related activate charge is linear in the activation fraction.
+class ActivationFractionTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ActivationFractionTest, RowChargeScalesLinearly)
+{
+    double fraction = GetParam();
+    DramDescription full = baseDesc();
+    DramDescription partial = full;
+    partial.arch.pageActivationFraction = fraction;
+
+    DramPowerModel m_full(full);
+    DramPowerModel m_partial(partial);
+    double q_full = m_full.operations()
+                        .activate.component(Component::BitlineSensing)
+                        .at(Domain::Vbl);
+    double q_partial = m_partial.operations()
+                           .activate.component(Component::BitlineSensing)
+                           .at(Domain::Vbl);
+    EXPECT_NEAR(q_partial, fraction * q_full, q_full * 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ActivationFractionTest,
+                         ::testing::Values(0.03125, 0.125, 0.25, 0.5,
+                                           1.0));
+
+// ---------------------------------------------------------------------
+// Generator efficiency: halving an efficiency doubles that domain's
+// external charge contribution.
+TEST(EfficiencyPropertyTest, VppChargeInverseInEfficiency)
+{
+    DramDescription a = baseDesc();
+    DramDescription b = a;
+    b.elec.efficiencyVpp = a.elec.efficiencyVpp / 2.0;
+
+    DramPowerModel ma(a);
+    DramPowerModel mb(b);
+    double qa_pp = ma.operations().activate.total().at(Domain::Vpp) /
+                   a.elec.efficiencyVpp;
+    double qb_pp = mb.operations().activate.total().at(Domain::Vpp) /
+                   b.elec.efficiencyVpp;
+    EXPECT_NEAR(qb_pp, 2.0 * qa_pp, qa_pp * 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// Pattern evaluation additivity: concatenating two loops gives the
+// average of their powers weighted by duration.
+TEST(PatternAdditivityTest, ConcatenationAveragesPower)
+{
+    DramPowerModel model(baseDesc());
+    const auto& timing = model.description().timing;
+    const auto& spec = model.description().spec;
+
+    Pattern a = makeIddPattern(IddMeasure::Idd0, spec, timing);
+    Pattern b = makeIddPattern(IddMeasure::Idd2N, spec, timing);
+    Pattern ab;
+    ab.loop = a.loop;
+    ab.loop.insert(ab.loop.end(), b.loop.begin(), b.loop.end());
+
+    PatternPower pa = model.evaluate(a);
+    PatternPower pb = model.evaluate(b);
+    PatternPower pab = model.evaluate(ab);
+
+    double expected =
+        (pa.power * pa.loopTime + pb.power * pb.loopTime -
+         // constant current would be double counted by summing powers
+         model.description().elec.constantCurrent *
+             model.description().elec.vdd *
+             (pa.loopTime + pb.loopTime)) /
+            (pa.loopTime + pb.loopTime) +
+        model.description().elec.constantCurrent *
+            model.description().elec.vdd;
+    EXPECT_NEAR(pab.power, expected, expected * 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// Padding a loop with NOPs dilutes command power toward the background
+// floor, never below it.
+class NopDilutionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NopDilutionTest, PowerApproachesBackgroundFloor)
+{
+    int pad = GetParam();
+    DramPowerModel model(baseDesc());
+    const auto& timing = model.description().timing;
+    const auto& spec = model.description().spec;
+
+    Pattern busy = makeIddPattern(IddMeasure::Idd0, spec, timing);
+    Pattern padded = busy;
+    padded.loop.insert(padded.loop.end(), static_cast<size_t>(pad),
+                       Op::Nop);
+
+    double busy_power = model.evaluate(busy).power;
+    double padded_power = model.evaluate(padded).power;
+    double floor = model.iddPattern(IddMeasure::Idd2N).power;
+
+    EXPECT_LT(padded_power, busy_power);
+    EXPECT_GT(padded_power, floor * 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NopDilutionTest,
+                         ::testing::Values(8, 32, 128, 1024));
+
+// ---------------------------------------------------------------------
+// Scaling a whole technology to a smaller node lowers the energy per bit
+// (at fixed voltages the capacitances shrink).
+class NodeScalingTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(NodeScalingTest, SmallerNodeLowerEnergy)
+{
+    double node = GetParam();
+    DramDescription base = baseDesc();
+    DramDescription shrunk = base;
+    shrunk.tech = scaleTechnology(base.tech, node);
+    // Pitches scale with the node too.
+    double ratio = node / base.tech.featureSize;
+    shrunk.arch.bitlinePitch *= ratio;
+    shrunk.arch.wordlinePitch *= ratio;
+
+    double e_base = DramPowerModel(base).energyPerBit();
+    double e_shrunk = DramPowerModel(shrunk).energyPerBit();
+    EXPECT_LT(e_shrunk, e_base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NodeScalingTest,
+                         ::testing::Values(44e-9, 36e-9, 26e-9));
+
+} // namespace
+} // namespace vdram

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Protocol substrate tests: timing derivation, bank FSM rules and
+ * steady-state pattern checking.
+ */
+#include <gtest/gtest.h>
+
+#include "protocol/bank_fsm.h"
+#include "protocol/timing.h"
+#include "tech/generations.h"
+
+namespace vdram {
+namespace {
+
+Specification
+ddr3Spec()
+{
+    Specification spec;
+    spec.ioWidth = 16;
+    spec.dataRate = 1333e6;
+    spec.controlClockFrequency = 666.5e6;
+    spec.dataClockFrequency = 666.5e6;
+    spec.bankAddressBits = 3;
+    spec.rowAddressBits = 13;
+    spec.columnAddressBits = 10;
+    spec.prefetch = 8;
+    spec.burstLength = 8;
+    return spec;
+}
+
+TimingParams
+ddr3Timing()
+{
+    return timingFromGeneration(generationAt(55e-9), ddr3Spec());
+}
+
+TEST(TimingTest, Ddr3CyclesMatchHandCalculation)
+{
+    TimingParams t = ddr3Timing();
+    // tCK = 1.5003 ns; tRC = 50 ns -> 34 cycles; tRCD/tRP = 14 ns -> 10.
+    EXPECT_NEAR(t.tCkSeconds, 1.5e-9, 0.01e-9);
+    EXPECT_EQ(t.tRc, 34);
+    EXPECT_EQ(t.tRcd, 10);
+    EXPECT_EQ(t.tRp, 10);
+    EXPECT_EQ(t.tRas, t.tRc - t.tRp);
+    // BL8 at 2 beats/clock -> 4-cycle bursts.
+    EXPECT_EQ(t.burstCycles, 4);
+    EXPECT_EQ(t.tCcd, 4);
+}
+
+TEST(TimingTest, SdrBurstOccupiesOneCyclePerBeat)
+{
+    Specification spec;
+    spec.ioWidth = 16;
+    spec.dataRate = 133e6;
+    spec.controlClockFrequency = 133e6;
+    spec.dataClockFrequency = 133e6;
+    spec.prefetch = 1;
+    spec.burstLength = 1;
+    spec.bankAddressBits = 2;
+    spec.rowAddressBits = 13;
+    spec.columnAddressBits = 8;
+    TimingParams t = timingFromGeneration(generationAt(170e-9), spec);
+    EXPECT_EQ(t.burstCycles, 1);
+    EXPECT_GE(t.tRc, 8); // 65 ns at 7.5 ns clock
+}
+
+TEST(BankFsmTest, TrcViolationDetected)
+{
+    TimingParams t = ddr3Timing();
+    std::vector<TimingViolation> violations;
+    BankFsm bank(0);
+    bank.activate(0, t, &violations);
+    bank.precharge(t.tRas, t, &violations);
+    bank.activate(t.tRas + t.tRp - 1, t, &violations); // 1 cycle early
+    ASSERT_FALSE(violations.empty());
+    bool has_rule = false;
+    for (const auto& v : violations)
+        has_rule |= v.rule == "tRC" || v.rule == "tRP";
+    EXPECT_TRUE(has_rule);
+}
+
+TEST(BankFsmTest, LegalRowCycleClean)
+{
+    TimingParams t = ddr3Timing();
+    std::vector<TimingViolation> violations;
+    BankFsm bank(0);
+    bank.activate(0, t, &violations);
+    bank.columnOp(t.tRcd, false, t, &violations);
+    bank.precharge(t.tRas, t, &violations);
+    bank.activate(t.tRc, t, &violations);
+    EXPECT_TRUE(violations.empty())
+        << violations.front().rule << ": " << violations.front().detail;
+}
+
+TEST(BankFsmTest, EarlyColumnViolatesTrcd)
+{
+    TimingParams t = ddr3Timing();
+    std::vector<TimingViolation> violations;
+    BankFsm bank(0);
+    bank.activate(0, t, &violations);
+    bank.columnOp(t.tRcd - 1, false, t, &violations);
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].rule, "tRCD");
+}
+
+TEST(BankFsmTest, ColumnToIdleBankIllegal)
+{
+    TimingParams t = ddr3Timing();
+    std::vector<TimingViolation> violations;
+    BankFsm bank(0);
+    bank.columnOp(100, true, t, &violations);
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].rule, "state");
+}
+
+TEST(BankFsmTest, WriteRecoveryGuardsPrecharge)
+{
+    TimingParams t = ddr3Timing();
+    std::vector<TimingViolation> violations;
+    BankFsm bank(0);
+    bank.activate(0, t, &violations);
+    bank.columnOp(t.tRcd, true, t, &violations);
+    bank.precharge(t.tRcd + 2, t, &violations); // way too early
+    bool has_twr = false;
+    for (const auto& v : violations)
+        has_twr |= v.rule == "tWR";
+    EXPECT_TRUE(has_twr);
+}
+
+TEST(PatternCheckTest, NopOnlyLoopClean)
+{
+    Pattern p;
+    p.loop = {Op::Nop, Op::Nop, Op::Nop, Op::Nop};
+    PatternCheckResult result = checkPattern(p, ddr3Timing(), 8);
+    EXPECT_TRUE(result.ok()) << result.summary();
+}
+
+TEST(PatternCheckTest, GaplessReadsCleanWithoutActivates)
+{
+    // IDD4R-style: column stream assumes statically open pages.
+    Pattern p;
+    p.loop = {Op::Rd, Op::Nop, Op::Nop, Op::Nop};
+    PatternCheckResult result = checkPattern(p, ddr3Timing(), 8);
+    EXPECT_TRUE(result.ok()) << result.summary();
+}
+
+TEST(PatternCheckTest, TooFastColumnStreamViolatesTccd)
+{
+    Pattern p;
+    p.loop = {Op::Rd, Op::Rd, Op::Nop, Op::Nop};
+    PatternCheckResult result = checkPattern(p, ddr3Timing(), 8);
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.violations.front().rule, "tCCD");
+}
+
+TEST(PatternCheckTest, BackToBackActivatesViolateTrrd)
+{
+    Pattern p;
+    p.loop = {Op::Act, Op::Act, Op::Pre, Op::Pre,
+              Op::Nop, Op::Nop, Op::Nop, Op::Nop};
+    PatternCheckResult result = checkPattern(p, ddr3Timing(), 8);
+    EXPECT_FALSE(result.ok());
+    bool has_trrd = false;
+    for (const auto& v : result.violations)
+        has_trrd |= v.rule == "tRRD";
+    EXPECT_TRUE(has_trrd);
+}
+
+TEST(PatternCheckTest, SingleBankRowCyclingTooFast)
+{
+    // ACT/PRE every 8 cycles on a 4-bank part: bank period 32 < tRC 34.
+    TimingParams t = ddr3Timing();
+    Pattern p;
+    p.loop.assign(8, Op::Nop);
+    p.loop[0] = Op::Act;
+    p.loop[5] = Op::Pre;
+    PatternCheckResult result = checkPattern(p, t, 4);
+    EXPECT_FALSE(result.ok());
+}
+
+TEST(PatternCheckTest, PaperExampleLoopCleanOnEightBanks)
+{
+    // The paper's sample loop shape ("act nop wrt nop rd nop pre nop"),
+    // with the write-to-read spacing stretched to the BL8 burst so the
+    // column commands honor tCCD; steady-state legal on an 8-bank DDR3.
+    Pattern p;
+    p.loop = {Op::Act, Op::Wr, Op::Nop, Op::Nop,
+              Op::Nop, Op::Rd, Op::Nop, Op::Pre};
+    PatternCheckResult result = checkPattern(p, ddr3Timing(), 8);
+    EXPECT_TRUE(result.ok()) << result.summary();
+}
+
+TEST(PatternCheckTest, SummaryListsViolations)
+{
+    Pattern p;
+    p.loop = {Op::Rd, Op::Rd};
+    PatternCheckResult result = checkPattern(p, ddr3Timing(), 8);
+    EXPECT_NE(result.summary().find("tCCD"), std::string::npos);
+    Pattern clean;
+    clean.loop = {Op::Nop};
+    EXPECT_EQ(checkPattern(clean, ddr3Timing(), 8).summary(),
+              "pattern is protocol-clean");
+}
+
+} // namespace
+} // namespace vdram

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * RC timing estimator tests: decade-level agreement with the ladder
+ * timings, the paper's structural claims (sensing dominates first
+ * access, column path limits frequency), and monotonicity in the
+ * sub-array sizing.
+ */
+#include <gtest/gtest.h>
+
+#include "circuit/rc_timing.h"
+#include "core/builder.h"
+#include "presets/presets.h"
+
+namespace vdram {
+namespace {
+
+TEST(RcTimingTest, EstimatesWithinFactorTwoOfLadderTrcd)
+{
+    for (const GenerationInfo& gen : generationLadder()) {
+        DramDescription desc = buildCommodityDescription(gen, {});
+        TimingEstimate t = estimateTiming(desc);
+        double ratio = t.tRcdEstimate / gen.tRcdSeconds;
+        EXPECT_GT(ratio, 0.4) << gen.label();
+        EXPECT_LT(ratio, 2.0) << gen.label();
+    }
+}
+
+TEST(RcTimingTest, RowCycleEstimateInDecade)
+{
+    for (const GenerationInfo& gen : generationLadder()) {
+        DramDescription desc = buildCommodityDescription(gen, {});
+        TimingEstimate t = estimateTiming(desc);
+        double ratio = t.tRcEstimate / gen.tRcSeconds;
+        EXPECT_GT(ratio, 0.25) << gen.label();
+        EXPECT_LT(ratio, 1.5) << gen.label();
+    }
+}
+
+TEST(RcTimingTest, ComponentsOrderedAndPositive)
+{
+    TimingEstimate t = estimateTiming(preset2GbDdr3_55());
+    EXPECT_GT(t.masterWordlineDelay, 0);
+    EXPECT_GT(t.localWordlineDelay, 0);
+    EXPECT_GT(t.signalDevelopment, 0);
+    EXPECT_GT(t.senseTime, 0);
+    EXPECT_GT(t.columnPathDelay, 0);
+    EXPECT_GT(t.prechargeTime, 0);
+    // Composites nest.
+    EXPECT_GT(t.tRasEstimate, t.tRcdEstimate);
+    EXPECT_GT(t.tRcEstimate, t.tRasEstimate);
+}
+
+TEST(RcTimingTest, SensingDominatesFirstAccess)
+{
+    // Paper Section II: "First access to a page is limited by the load
+    // and length of the master and local wordlines and by the speed of
+    // sensing data on the bitlines" — sensing is the single largest
+    // term for a commodity device.
+    TimingEstimate t = estimateTiming(preset2GbDdr3_55());
+    EXPECT_GT(t.senseTime, t.masterWordlineDelay);
+    EXPECT_GT(t.senseTime, t.localWordlineDelay);
+}
+
+TEST(RcTimingTest, LongerBitlinesSenseSlower)
+{
+    DramDescription base = preset2GbDdr3_55();
+    DramDescription longer = base;
+    longer.arch.bitsPerBitline = 1024;
+    longer.tech.bitlineCap *= 2.0; // twice the cells, twice the wire
+    TimingEstimate t_base = estimateTiming(base);
+    TimingEstimate t_long = estimateTiming(longer);
+    EXPECT_GT(t_long.senseTime, t_base.senseTime);
+    EXPECT_GT(t_long.tRcdEstimate, t_base.tRcdEstimate);
+}
+
+TEST(RcTimingTest, LongerSubWordlinesRiseSlower)
+{
+    DramDescription base = preset2GbDdr3_55();
+    DramDescription longer = base;
+    longer.arch.bitsPerLocalWordline = 1024;
+    TimingEstimate t_base = estimateTiming(base);
+    TimingEstimate t_long = estimateTiming(longer);
+    EXPECT_GT(t_long.localWordlineDelay, t_base.localWordlineDelay);
+}
+
+TEST(RcTimingTest, MaxCoreFrequencySupportsTheInterface)
+{
+    // The column path must sustain the core (column) clock of every
+    // ladder device — the paper's premise that the core frequency is
+    // capped near 200 MHz while the interface multiplies the prefetch.
+    for (const GenerationInfo& gen : generationLadder()) {
+        DramDescription desc = buildCommodityDescription(gen, {});
+        TimingEstimate t = estimateTiming(desc);
+        EXPECT_GT(t.maxCoreFrequency, gen.coreFrequency())
+            << gen.label();
+    }
+}
+
+TEST(RcTimingTest, ResistancesGrowAsNodesShrink)
+{
+    ResistanceParams r90 = ResistanceParams::forNode(90e-9);
+    ResistanceParams r18 = ResistanceParams::forNode(18e-9);
+    EXPECT_GT(r18.bitlineResistancePerLength,
+              r90.bitlineResistancePerLength);
+    EXPECT_NEAR(r18.bitlineResistancePerLength /
+                    r90.bitlineResistancePerLength,
+                5.0, 1e-9);
+    // Driver resistances are node independent.
+    EXPECT_DOUBLE_EQ(r18.lwdDriverResistance, r90.lwdDriverResistance);
+}
+
+TEST(RcTimingTest, GuardbandScalesComposites)
+{
+    DramDescription desc = preset2GbDdr3_55();
+    ArrayGeometry geo = computeArrayGeometry(desc.arch, desc.spec);
+    ResistanceParams r =
+        ResistanceParams::forNode(desc.tech.featureSize);
+    TimingEstimate base = estimateTiming(desc, geo, r);
+    r.timingGuardband *= 2.0;
+    TimingEstimate wide = estimateTiming(desc, geo, r);
+    EXPECT_NEAR(wide.tRcdEstimate, 2.0 * base.tRcdEstimate,
+                base.tRcdEstimate * 1e-9);
+    // Raw component delays are unchanged.
+    EXPECT_DOUBLE_EQ(wide.senseTime, base.senseTime);
+}
+
+} // namespace
+} // namespace vdram

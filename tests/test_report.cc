@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Report rendering tests: the human-readable tables carry the right
+ * rows, totals and formats.
+ */
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+#include "presets/presets.h"
+
+namespace vdram {
+namespace {
+
+class ReportTest : public ::testing::Test {
+  protected:
+    ReportTest() : model_(preset1GbDdr3(55e-9, 16, 1333)) {}
+    DramPowerModel model_;
+};
+
+TEST_F(ReportTest, BreakdownListsMajorComponentsAndTotal)
+{
+    std::string text = renderBreakdown(model_.evaluateDefault());
+    for (const char* row :
+         {"bitline sensing", "peripheral logic", "data bus", "clock",
+          "constant current", "total", "100.0%"}) {
+        EXPECT_NE(text.find(row), std::string::npos) << row;
+    }
+}
+
+TEST_F(ReportTest, BreakdownSkipsZeroComponents)
+{
+    // A NOP-only pattern has no bitline sensing.
+    PatternPower p = model_.iddPattern(IddMeasure::Idd2N);
+    std::string text = renderBreakdown(p);
+    EXPECT_EQ(text.find("bitline sensing"), std::string::npos);
+    EXPECT_NE(text.find("clock"), std::string::npos);
+}
+
+TEST_F(ReportTest, OperationSplitNamesOps)
+{
+    std::string text =
+        renderOperationSplit(model_.evaluateDefault());
+    for (const char* row : {"act", "pre", "rd", "wrt", "background"}) {
+        EXPECT_NE(text.find(row), std::string::npos) << row;
+    }
+}
+
+TEST_F(ReportTest, OperationSplitLabelsLowPowerStates)
+{
+    Pattern p;
+    p.loop.assign(4, Op::Pdn);
+    p.loop.resize(8, Op::Srf);
+    std::string text = renderOperationSplit(model_.evaluate(p));
+    EXPECT_NE(text.find("power-down"), std::string::npos);
+    EXPECT_NE(text.find("self refresh"), std::string::npos);
+}
+
+TEST_F(ReportTest, IddTableHasAllRows)
+{
+    std::string text = renderIddTable(model_);
+    for (const char* row : {"IDD0", "IDD1", "IDD2N", "IDD2P", "IDD4R",
+                            "IDD4W", "IDD5", "IDD6", "IDD7"}) {
+        EXPECT_NE(text.find(row), std::string::npos) << row;
+    }
+    EXPECT_NE(text.find("mA"), std::string::npos);
+    EXPECT_NE(text.find("mW"), std::string::npos);
+}
+
+TEST_F(ReportTest, AreaReportQuantities)
+{
+    std::string text = renderAreaReport(model_.area());
+    for (const char* row :
+         {"die area", "mm2", "array efficiency", "SA stripe share",
+          "LWD stripe share"}) {
+        EXPECT_NE(text.find(row), std::string::npos) << row;
+    }
+}
+
+TEST_F(ReportTest, SummaryIsOneLineWithKeyFacts)
+{
+    std::string text = renderSummary(model_);
+    EXPECT_NE(text.find(model_.description().name), std::string::npos);
+    EXPECT_NE(text.find("mm2"), std::string::npos);
+    EXPECT_NE(text.find("pJ/bit"), std::string::npos);
+}
+
+TEST_F(ReportTest, OperationEnergiesTable)
+{
+    std::string text = renderOperationEnergies(model_);
+    for (const char* row : {"activate", "precharge", "read burst",
+                            "write burst", "refresh command",
+                            "background / cycle", "128 bits"}) {
+        EXPECT_NE(text.find(row), std::string::npos) << row;
+    }
+    // Activate energy for a 2 KB page is nJ scale.
+    EXPECT_NE(text.find("nJ"), std::string::npos);
+}
+
+TEST_F(ReportTest, DomainSplitSumsVisually)
+{
+    std::string text = renderDomainSplit(model_.evaluateDefault());
+    EXPECT_NE(text.find("Vint"), std::string::npos);
+    EXPECT_NE(text.find("%"), std::string::npos);
+}
+
+} // namespace
+} // namespace vdram

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Scaling engine tests (Figs. 5-7): monotonicity, the 16 % average
+ * feature shrink, slower-than-f scaling of most parameters, the Cu step
+ * at 44 nm, and full-technology scaling consistency.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tech/generations.h"
+#include "tech/scaling.h"
+
+namespace vdram {
+namespace {
+
+TEST(ScalingTest, AllCurvesMonotonicallyShrink)
+{
+    for (ScalingCurveId id : allScalingCurves()) {
+        const Curve& curve = scalingCurve(id);
+        for (size_t i = 1; i < curve.size(); ++i) {
+            EXPECT_LT(curve.y[i - 1], curve.y[i])
+                << scalingCurveName(id) << " not monotonic at sample "
+                << i;
+        }
+    }
+}
+
+TEST(ScalingTest, NormalizedToOneAt90nm)
+{
+    for (ScalingCurveId id : allScalingCurves()) {
+        EXPECT_NEAR(scalingFactor(id, 90e-9), 1.0, 1e-9)
+            << scalingCurveName(id);
+    }
+}
+
+TEST(ScalingTest, AverageFeatureShrinkIs16Percent)
+{
+    // "The average feature size shrink between generations is 16%."
+    const auto& ladder = generationLadder();
+    double log_sum = 0;
+    int steps = 0;
+    for (size_t i = 1; i < ladder.size(); ++i) {
+        log_sum += std::log(ladder[i].featureSize /
+                            ladder[i - 1].featureSize);
+        ++steps;
+    }
+    double avg_shrink = 1.0 - std::exp(log_sum / steps);
+    EXPECT_NEAR(avg_shrink, 0.16, 0.03);
+}
+
+TEST(ScalingTest, TechnologyShrinksSlowerThanFeatureSize)
+{
+    // "In general technology parameters shrink more slowly than the
+    // feature size" — check at the far end of the roadmap.
+    double f = scalingFactor(ScalingCurveId::FeatureSize, 16e-9);
+    for (ScalingCurveId id : allScalingCurves()) {
+        if (id == ScalingCurveId::FeatureSize)
+            continue;
+        EXPECT_GT(scalingFactor(id, 16e-9), f) << scalingCurveName(id);
+    }
+}
+
+TEST(ScalingTest, CellCapNearlyConstant)
+{
+    double at170 = scalingFactor(ScalingCurveId::CellCap, 170e-9);
+    double at16 = scalingFactor(ScalingCurveId::CellCap, 16e-9);
+    EXPECT_LT(at170 / at16, 1.35);
+}
+
+TEST(ScalingTest, CuMetallizationStepAt44nm)
+{
+    // Table II: Cu at the 55 -> 44 nm transition. The wire-capacitance
+    // curve must drop visibly more between 55 and 44 than between 65
+    // and 55.
+    double step_cu = scalingFactor(ScalingCurveId::WireCap, 55e-9) -
+                     scalingFactor(ScalingCurveId::WireCap, 44e-9);
+    double step_before = scalingFactor(ScalingCurveId::WireCap, 65e-9) -
+                         scalingFactor(ScalingCurveId::WireCap, 55e-9);
+    EXPECT_GT(step_cu, 3.0 * step_before);
+}
+
+TEST(ScalingTest, AccessTransistorFlattensAfter3DTransition)
+{
+    // Table II: 3D access transistor at 90 -> 75 nm keeps the effective
+    // device from shrinking with f.
+    double shrink_75_to_16 =
+        scalingFactor(ScalingCurveId::AccessTransistor, 16e-9) /
+        scalingFactor(ScalingCurveId::AccessTransistor, 75e-9);
+    double f_75_to_16 = scalingFactor(ScalingCurveId::FeatureSize, 16e-9) /
+                        scalingFactor(ScalingCurveId::FeatureSize, 75e-9);
+    EXPECT_GT(shrink_75_to_16, 2.5 * f_75_to_16);
+}
+
+TEST(ScalingTest, ScaleTechnologyMovesEveryScalingParam)
+{
+    TechnologyParams base;
+    base.featureSize = 90e-9;
+    TechnologyParams scaled = scaleTechnology(base, 55e-9);
+    EXPECT_NEAR(scaled.featureSize, 55e-9, 1e-12);
+    EXPECT_LT(scaled.bitlineCap, base.bitlineCap);
+    EXPECT_LT(scaled.gateOxideLogic, base.gateOxideLogic);
+    EXPECT_LT(scaled.widthSaSenseN, base.widthSaSenseN);
+    // Non-scaling ratios are untouched.
+    EXPECT_DOUBLE_EQ(scaled.bitlineToWordlineCapShare,
+                     base.bitlineToWordlineCapShare);
+    EXPECT_DOUBLE_EQ(scaled.predecodeMasterWordline,
+                     base.predecodeMasterWordline);
+}
+
+TEST(ScalingTest, ScalingIsComposable)
+{
+    // Scaling 90 -> 55 -> 31 equals scaling 90 -> 31 directly.
+    TechnologyParams base;
+    base.featureSize = 90e-9;
+    TechnologyParams two_step =
+        scaleTechnology(scaleTechnology(base, 55e-9), 31e-9);
+    TechnologyParams direct = scaleTechnology(base, 31e-9);
+    EXPECT_NEAR(two_step.bitlineCap, direct.bitlineCap,
+                direct.bitlineCap * 1e-9);
+    EXPECT_NEAR(two_step.wireCapSignal, direct.wireCapSignal,
+                direct.wireCapSignal * 1e-9);
+    EXPECT_NEAR(two_step.minLengthLogic, direct.minLengthLogic,
+                direct.minLengthLogic * 1e-9);
+}
+
+TEST(ScalingTest, ScalingUpRecoversOriginal)
+{
+    TechnologyParams base;
+    base.featureSize = 90e-9;
+    TechnologyParams round_trip =
+        scaleTechnology(scaleTechnology(base, 31e-9), 90e-9);
+    EXPECT_NEAR(round_trip.bitlineCap, base.bitlineCap,
+                base.bitlineCap * 1e-9);
+    EXPECT_NEAR(round_trip.widthSwdP, base.widthSwdP,
+                base.widthSwdP * 1e-9);
+}
+
+} // namespace
+} // namespace vdram

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Power-reduction scheme tests (paper Section V): the proposals must
+ * save energy on the close-page random-access workload, with the
+ * expected ordering (sub-array/selective activation >> data-line
+ * segmentation) and sensible side effects.
+ */
+#include <gtest/gtest.h>
+
+#include "core/schemes.h"
+#include "presets/presets.h"
+
+namespace vdram {
+namespace {
+
+class SchemeTest : public ::testing::Test {
+  protected:
+    static void SetUpTestSuite()
+    {
+        evaluator_ = new SchemeEvaluator(preset2GbDdr3_55(), 64);
+        results_ = new std::vector<SchemeResult>(evaluator_->evaluateAll());
+    }
+    static void TearDownTestSuite()
+    {
+        delete evaluator_;
+        delete results_;
+        evaluator_ = nullptr;
+        results_ = nullptr;
+    }
+
+    static const SchemeResult& of(Scheme scheme)
+    {
+        for (const SchemeResult& r : *results_) {
+            if (r.scheme == scheme)
+                return r;
+        }
+        ADD_FAILURE() << "scheme missing";
+        static SchemeResult dummy;
+        return dummy;
+    }
+
+    static SchemeEvaluator* evaluator_;
+    static std::vector<SchemeResult>* results_;
+};
+
+SchemeEvaluator* SchemeTest::evaluator_ = nullptr;
+std::vector<SchemeResult>* SchemeTest::results_ = nullptr;
+
+TEST_F(SchemeTest, BaselineFirstWithZeroSavings)
+{
+    ASSERT_FALSE(results_->empty());
+    EXPECT_EQ(results_->front().scheme, Scheme::Baseline);
+    EXPECT_DOUBLE_EQ(results_->front().savingsVsBaseline, 0.0);
+}
+
+TEST_F(SchemeTest, EverySchemeSavesEnergy)
+{
+    for (const SchemeResult& r : *results_) {
+        if (r.scheme == Scheme::Baseline)
+            continue;
+        EXPECT_GT(r.savingsVsBaseline, 0.0) << r.name;
+        EXPECT_LT(r.energyPerAccess, of(Scheme::Baseline).energyPerAccess)
+            << r.name;
+    }
+}
+
+TEST_F(SchemeTest, RowEnergyIsMajorBaselineShare)
+{
+    // Close-page random access to a 2 KB page that only needs 64 B: the
+    // activate/precharge share is a large single contributor — the
+    // motivation of Udipi et al.'s proposals. (On an x16 die the 64 B
+    // line still takes four bursts, so the column path and background
+    // keep the row share below one half.)
+    EXPECT_GT(of(Scheme::Baseline).rowShare, 0.15);
+    EXPECT_LT(of(Scheme::Baseline).rowShare, 0.60);
+}
+
+TEST_F(SchemeTest, SubarraySchemesBeatSegmentation)
+{
+    // Activation-narrowing attacks the dominant term; bus segmentation
+    // only trims the column path.
+    EXPECT_GT(of(Scheme::SelectiveBitlineActivation).savingsVsBaseline,
+              of(Scheme::SegmentedDataLines).savingsVsBaseline);
+    EXPECT_GT(of(Scheme::SingleSubarrayAccess).savingsVsBaseline,
+              of(Scheme::SegmentedDataLines).savingsVsBaseline);
+}
+
+TEST_F(SchemeTest, SelectiveActivationRemovesMostRowEnergy)
+{
+    // Sensing 1/32 of the page removes nearly the whole row term: the
+    // savings approach the baseline row share.
+    double savings =
+        of(Scheme::SelectiveBitlineActivation).savingsVsBaseline;
+    double row_share = of(Scheme::Baseline).rowShare;
+    EXPECT_GT(savings, 0.5 * row_share);
+    EXPECT_LT(savings, row_share + 0.05);
+}
+
+TEST_F(SchemeTest, SmallPageSavesButLessThanSelective)
+{
+    // 512 B activation (1/4 page) saves a quarter-page worth of row
+    // energy — real but smaller than the 1/32 selective scheme.
+    double small_page = of(Scheme::SmallPage512B).savingsVsBaseline;
+    EXPECT_GT(small_page, 0.03);
+    EXPECT_LT(small_page,
+              of(Scheme::SelectiveBitlineActivation).savingsVsBaseline);
+}
+
+TEST_F(SchemeTest, RowShareShrinksUnderSelectiveActivation)
+{
+    EXPECT_LT(of(Scheme::SelectiveBitlineActivation).rowShare,
+              of(Scheme::Baseline).rowShare);
+}
+
+TEST_F(SchemeTest, CaveatsDocumented)
+{
+    for (const SchemeResult& r : *results_) {
+        if (r.scheme == Scheme::Baseline)
+            continue;
+        EXPECT_FALSE(r.caveat.empty()) << r.name;
+    }
+}
+
+TEST_F(SchemeTest, TransformsPreserveValidity)
+{
+    for (Scheme scheme : allSchemes()) {
+        DramDescription desc = evaluator_->transformed(scheme);
+        Status status = validateDescription(desc);
+        EXPECT_TRUE(status.ok())
+            << schemeName(scheme) << ": "
+            << (status.ok() ? "" : status.error().toString());
+    }
+}
+
+TEST_F(SchemeTest, SmallPageNarrowsActivationTo512B)
+{
+    DramDescription desc =
+        evaluator_->transformed(Scheme::SmallPage512B);
+    // 2 KB page, 512 B activated: fraction 1/4; the array tiling and
+    // density are untouched.
+    EXPECT_NEAR(desc.arch.pageActivationFraction, 0.25, 1e-9);
+    EXPECT_EQ(desc.spec.densityBits(),
+              evaluator_->transformed(Scheme::Baseline)
+                  .spec.densityBits());
+}
+
+TEST(SchemeEnumTest, NamesAndOrder)
+{
+    EXPECT_EQ(allSchemes().size(), 7u);
+    EXPECT_EQ(allSchemes().front(), Scheme::Baseline);
+    EXPECT_EQ(schemeName(Scheme::SingleSubarrayAccess),
+              "single sub-array access");
+}
+
+} // namespace
+} // namespace vdram

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Sensitivity analysis tests (Fig. 10 / Table III): the paper's
+ * structural claims — power exactly proportional to Vdd, Vint the top
+ * internal parameter, the array-to-logic importance shift across
+ * generations — plus sweep mechanics.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/sensitivity.h"
+#include "presets/presets.h"
+
+namespace vdram {
+namespace {
+
+int
+rankOf(const std::vector<SensitivityResult>& results,
+       const std::string& name)
+{
+    for (size_t i = 0; i < results.size(); ++i) {
+        if (results[i].name == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+const SensitivityResult*
+find(const std::vector<SensitivityResult>& results, const std::string& name)
+{
+    for (const auto& r : results) {
+        if (r.name == name)
+            return &r;
+    }
+    return nullptr;
+}
+
+class SensitivityDdr3Test : public ::testing::Test {
+  protected:
+    static void SetUpTestSuite()
+    {
+        analyzer_ = new SensitivityAnalyzer(preset2GbDdr3_55());
+        results_ = new std::vector<SensitivityResult>(
+            analyzer_->analyze(0.20));
+    }
+    static void TearDownTestSuite()
+    {
+        delete analyzer_;
+        delete results_;
+        analyzer_ = nullptr;
+        results_ = nullptr;
+    }
+
+    static SensitivityAnalyzer* analyzer_;
+    static std::vector<SensitivityResult>* results_;
+};
+
+SensitivityAnalyzer* SensitivityDdr3Test::analyzer_ = nullptr;
+std::vector<SensitivityResult>* SensitivityDdr3Test::results_ = nullptr;
+
+TEST_F(SensitivityDdr3Test, PowerDirectlyProportionalToVdd)
+{
+    // "A variation of 40% would mean that the power consumption is
+    // directly proportional to the value of the varied parameter. This
+    // is only the case for the external supply voltage Vdd."
+    const SensitivityResult* vdd =
+        find(*results_, "External supply voltage Vdd");
+    ASSERT_NE(vdd, nullptr);
+    EXPECT_NEAR(vdd->plus, 0.20, 0.01);
+    EXPECT_NEAR(vdd->minus, -0.20, 0.01);
+    EXPECT_NEAR(vdd->spread(), 0.40, 0.02);
+}
+
+TEST_F(SensitivityDdr3Test, VddIsTheLargestSpread)
+{
+    const SensitivityResult* vdd =
+        find(*results_, "External supply voltage Vdd");
+    ASSERT_NE(vdd, nullptr);
+    for (const SensitivityResult& r : *results_) {
+        if (r.name == vdd->name)
+            continue;
+        EXPECT_LE(r.spread(), vdd->spread() + 1e-9) << r.name;
+    }
+}
+
+TEST_F(SensitivityDdr3Test, VintIsTopInternalParameter)
+{
+    // Table III: "Internal voltage Vint" ranks first in every
+    // generation (Vdd is excluded from the chart).
+    int vint = rankOf(*results_, "Internal voltage Vint");
+    ASSERT_GE(vint, 0);
+    for (const SensitivityResult& r : *results_) {
+        if (r.name == "External supply voltage Vdd" ||
+            r.name == "Internal voltage Vint") {
+            continue;
+        }
+        EXPECT_GT(rankOf(*results_, r.name), vint) << r.name;
+    }
+}
+
+TEST_F(SensitivityDdr3Test, Ddr3Top10MatchesTableIII)
+{
+    // Table III, 2G DDR3 55nm column: wire capacitance, bitline voltage,
+    // logic gates, bitline capacitance among the leaders.
+    for (const char* name :
+         {"Specific wire capacitance", "Bitline voltage",
+          "Number of logic gates", "Bitline capacitance"}) {
+        int rank = rankOf(*results_, name);
+        ASSERT_GE(rank, 0) << name;
+        EXPECT_LT(rank, 10) << name << " ranked " << rank;
+    }
+}
+
+TEST_F(SensitivityDdr3Test, ResultsSortedBySpread)
+{
+    for (size_t i = 1; i < results_->size(); ++i)
+        EXPECT_GE((*results_)[i - 1].spread(), (*results_)[i].spread());
+}
+
+TEST_F(SensitivityDdr3Test, OxideThicknessIsInverse)
+{
+    // Thicker oxide -> less gate capacitance -> less power.
+    const SensitivityResult* oxide =
+        find(*results_, "Gate oxide thickness");
+    ASSERT_NE(oxide, nullptr);
+    EXPECT_LT(oxide->plus, 0);
+    EXPECT_GT(oxide->minus, 0);
+}
+
+TEST_F(SensitivityDdr3Test, MostParametersHaveSmallIndividualImpact)
+{
+    // "Most parameters have little individual influence; only their
+    // overall contribution is determining power consumption." — true of
+    // the ungrouped (detailed) parameter census.
+    auto detailed = analyzer_->analyze(0.20, SweepMode::Detailed);
+    int small = 0;
+    for (const SensitivityResult& r : detailed) {
+        if (r.spread() < 0.05)
+            ++small;
+    }
+    EXPECT_GT(small, static_cast<int>(detailed.size()) / 2);
+}
+
+TEST(SensitivityShiftTest, ArrayToLogicShiftAcrossGenerations)
+{
+    // Table III comparison: "a shift from direct array related power
+    // consumption to signal wiring and logic circuitry power
+    // consumption". In the 170 nm SDR device the bitline terms beat the
+    // logic terms; by the 18 nm DDR5 device the order flips.
+    SensitivityAnalyzer sdr(preset128MbSdr170());
+    auto sdr_results = sdr.analyze(0.20);
+    int sdr_bitline = rankOf(sdr_results, "Bitline voltage");
+    int sdr_gates = rankOf(sdr_results, "Number of logic gates");
+    EXPECT_LT(sdr_bitline, sdr_gates);
+
+    SensitivityAnalyzer ddr5(preset16GbDdr5_18());
+    auto ddr5_results = ddr5.analyze(0.20);
+    int ddr5_bitline = rankOf(ddr5_results, "Bitline voltage");
+    int ddr5_wire = rankOf(ddr5_results, "Specific wire capacitance");
+    int ddr5_gates = rankOf(ddr5_results, "Number of logic gates");
+    EXPECT_LT(ddr5_wire, ddr5_bitline);
+    EXPECT_LT(ddr5_gates, ddr5_bitline);
+}
+
+TEST(SensitivitySweepTest, DetailedModeCoversRegistry)
+{
+    auto grouped = sweepParameters(SweepMode::Grouped);
+    auto detailed = sweepParameters(SweepMode::Detailed);
+    EXPECT_GT(detailed.size(), grouped.size());
+    // Detailed mode sweeps all 40 registered technology parameters.
+    EXPECT_GE(detailed.size(), 40u);
+}
+
+TEST(SensitivitySweepTest, ZeroVariationIsNeutral)
+{
+    SensitivityAnalyzer analyzer(preset1GbDdr3(55e-9, 16, 1333));
+    auto results = analyzer.analyze(0.0);
+    for (const SensitivityResult& r : results) {
+        EXPECT_NEAR(r.plus, 0.0, 1e-9) << r.name;
+        EXPECT_NEAR(r.minus, 0.0, 1e-9) << r.name;
+    }
+}
+
+} // namespace
+} // namespace vdram

@@ -1,0 +1,76 @@
+/** @file String utility tests. */
+#include <gtest/gtest.h>
+
+#include "util/strings.h"
+
+namespace vdram {
+namespace {
+
+TEST(StringsTest, Trim)
+{
+    EXPECT_EQ(trim("  abc  "), "abc");
+    EXPECT_EQ(trim("abc"), "abc");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(StringsTest, ToLower)
+{
+    EXPECT_EQ(toLower("FloorplanPhysical"), "floorplanphysical");
+    EXPECT_EQ(toLower("already"), "already");
+    EXPECT_EQ(toLower("MiXeD123"), "mixed123");
+}
+
+TEST(StringsTest, SplitWhitespace)
+{
+    auto parts = splitWhitespace("  a  bb\tccc \n d ");
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[3], "d");
+    EXPECT_TRUE(splitWhitespace("").empty());
+    EXPECT_TRUE(splitWhitespace("   ").empty());
+}
+
+TEST(StringsTest, SplitChar)
+{
+    auto parts = splitChar("a:b::c", ':');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+    // Empty input yields one empty field.
+    EXPECT_EQ(splitChar("", ':').size(), 1u);
+}
+
+TEST(StringsTest, StartsEndsWith)
+{
+    EXPECT_TRUE(startsWith("DataW1", "DataW"));
+    EXPECT_FALSE(startsWith("Data", "DataW"));
+    EXPECT_TRUE(endsWith("file.dram", ".dram"));
+    EXPECT_FALSE(endsWith("dram", ".dram"));
+}
+
+TEST(StringsTest, EqualsIgnoreCase)
+{
+    EXPECT_TRUE(equalsIgnoreCase("fF", "Ff"));
+    EXPECT_FALSE(equalsIgnoreCase("fF", "fFa"));
+    EXPECT_TRUE(equalsIgnoreCase("", ""));
+}
+
+TEST(StringsTest, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ", "), "");
+    EXPECT_EQ(join({"solo"}, ", "), "solo");
+}
+
+TEST(StringsTest, Strformat)
+{
+    EXPECT_EQ(strformat("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(strformat("%.2f", 3.14159), "3.14");
+    EXPECT_EQ(strformat("empty"), "empty");
+}
+
+} // namespace
+} // namespace vdram

@@ -1,0 +1,66 @@
+/** @file ASCII table and CSV rendering tests. */
+#include <gtest/gtest.h>
+
+#include "util/table.h"
+
+namespace vdram {
+namespace {
+
+TEST(TableTest, RendersAlignedTable)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1.5"});
+    t.addRow({"b", "22.75"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    // Numeric cells right-aligned: "22.75" hugs the right border.
+    EXPECT_NE(out.find("22.75 |"), std::string::npos);
+}
+
+TEST(TableTest, PadsShortRows)
+{
+    Table t({"a", "b", "c"});
+    t.addRow({"x"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("x"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 1u);
+}
+
+TEST(TableTest, SeparatorRows)
+{
+    Table t({"h"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    std::string out = t.render();
+    // Header rule + top + bottom + middle separator = 4 rules.
+    size_t rules = 0;
+    for (size_t pos = out.find("+-"); pos != std::string::npos;
+         pos = out.find("+-", pos + 1)) {
+        ++rules;
+    }
+    EXPECT_GE(rules, 4u);
+}
+
+TEST(TableTest, CsvEscaping)
+{
+    Table t({"name", "note"});
+    t.addRow({"a,b", "say \"hi\""});
+    std::string csv = t.renderCsv();
+    EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+    EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableTest, CsvSkipsSeparators)
+{
+    Table t({"h"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    std::string csv = t.renderCsv();
+    EXPECT_EQ(csv, "h\n1\n2\n");
+}
+
+} // namespace
+} // namespace vdram

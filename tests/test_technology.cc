@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Technology parameter tests: the Table I census (39 technology
+ * parameters), registry round-trips, and the derived device capacitance
+ * helpers.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tech/technology.h"
+
+namespace vdram {
+namespace {
+
+TEST(TechnologyTest, RegistryHas39Parameters)
+{
+    // "In total 39 parameters are used in the model to describe the
+    // technology" (paper Section III.B.3). The registry carries the 39
+    // plus the feature size itself.
+    EXPECT_EQ(technologyParamRegistry().size(), 40u);
+}
+
+TEST(TechnologyTest, RegistryKeysAreUnique)
+{
+    std::set<std::string> keys;
+    for (const ParamInfo& info : technologyParamRegistry())
+        EXPECT_TRUE(keys.insert(info.key).second)
+            << "duplicate key " << info.key;
+    for (const ParamInfo& info : electricalParamRegistry())
+        EXPECT_TRUE(keys.insert(info.key).second)
+            << "duplicate key " << info.key;
+}
+
+TEST(TechnologyTest, RegistryRoundTrip)
+{
+    TechnologyParams tech;
+    ElectricalParams elec;
+    double seed = 1.0;
+    for (const ParamInfo& info : technologyParamRegistry()) {
+        setParam(info, tech, elec, seed);
+        EXPECT_DOUBLE_EQ(getParam(info, tech, elec), seed);
+        seed += 1.0;
+    }
+    for (const ParamInfo& info : electricalParamRegistry()) {
+        setParam(info, tech, elec, seed);
+        EXPECT_DOUBLE_EQ(getParam(info, tech, elec), seed);
+        seed += 1.0;
+    }
+}
+
+TEST(TechnologyTest, FindParamByKey)
+{
+    ASSERT_NE(findParam("bitlinecap"), nullptr);
+    EXPECT_EQ(std::string(findParam("bitlinecap")->name),
+              "Bitline capacitance");
+    ASSERT_NE(findParam("vdd"), nullptr);
+    EXPECT_EQ(findParam("vdd")->group, ParamGroup::Electrical);
+    EXPECT_EQ(findParam("no such parameter"), nullptr);
+}
+
+TEST(TechnologyTest, GateCapPerAreaMatchesOxidePhysics)
+{
+    // C/A = eps0 * 3.9 / tox: 5 nm EOT -> ~6.9 fF/um^2.
+    double cpa = TechnologyParams::gateCapPerArea(5e-9);
+    EXPECT_NEAR(cpa, 6.9e-3, 0.1e-3); // F/m^2
+}
+
+TEST(TechnologyTest, DeviceCapsScaleWithGeometry)
+{
+    TechnologyParams tech;
+    double small = tech.gateCapLogic(0.2e-6, 0.1e-6);
+    double wide = tech.gateCapLogic(0.4e-6, 0.1e-6);
+    double long_dev = tech.gateCapLogic(0.2e-6, 0.2e-6);
+    EXPECT_NEAR(wide, 2.0 * small, small * 1e-9);
+    EXPECT_NEAR(long_dev, 2.0 * small, small * 1e-9);
+
+    EXPECT_GT(tech.junctionCapOfLogic(1e-6),
+              tech.junctionCapOfLogic(0.5e-6));
+}
+
+TEST(TechnologyTest, HighVoltageStackIsThicker)
+{
+    TechnologyParams tech; // defaults
+    // Same W x L device: thinner logic oxide -> more capacitance.
+    EXPECT_GT(tech.gateCapLogic(1e-6, 0.1e-6),
+              tech.gateCapHighVoltage(1e-6, 0.1e-6));
+}
+
+TEST(TechnologyTest, AllTechnologyParamsHaveScalingCurves)
+{
+    int no_scaling = 0;
+    for (const ParamInfo& info : technologyParamRegistry()) {
+        if (info.curve == ScalingCurveId::NoScaling)
+            ++no_scaling;
+    }
+    // Only ratios/counts/shares may skip scaling: bitline-to-wordline
+    // share, bits per CSL, pre-decode ratio, decoder switching.
+    EXPECT_EQ(no_scaling, 4);
+}
+
+TEST(TechnologyTest, TableINamesPresent)
+{
+    // Spot-check that the registry carries Table I's vocabulary.
+    std::set<std::string> names;
+    for (const ParamInfo& info : technologyParamRegistry())
+        names.insert(info.name);
+    EXPECT_TRUE(names.count("Cell capacitance"));
+    EXPECT_TRUE(names.count("Gate width sub-wordline driver NMOS"));
+    EXPECT_TRUE(names.count("Specific wire capacitance signaling wires"));
+    EXPECT_TRUE(names.count(
+        "Gate length bitline sense-amplifier PMOS set devices"));
+}
+
+} // namespace
+} // namespace vdram

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit parsing/formatting tests: SI suffixes, dimensions, ratios,
+ * engineering notation.
+ */
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace vdram {
+namespace {
+
+TEST(UnitsTest, ParsesLengths)
+{
+    EXPECT_DOUBLE_EQ(parseQuantity("165nm").value().value, 165e-9);
+    EXPECT_DOUBLE_EQ(parseQuantity("3396um").value().value, 3396e-6);
+    EXPECT_DOUBLE_EQ(parseQuantity("1.8mm").value().value, 1.8e-3);
+    EXPECT_EQ(parseQuantity("165nm").value().dim, Dimension::Length);
+}
+
+TEST(UnitsTest, ParsesCapacitance)
+{
+    EXPECT_DOUBLE_EQ(parseQuantity("85fF").value().value, 85e-15);
+    EXPECT_DOUBLE_EQ(parseQuantity("1.2pF").value().value, 1.2e-12);
+    EXPECT_EQ(parseQuantity("85fF").value().dim, Dimension::Capacitance);
+}
+
+TEST(UnitsTest, ParsesSpecificCapacitance)
+{
+    Quantity q = parseQuantity("0.21fF/um").value();
+    EXPECT_DOUBLE_EQ(q.value, 0.21e-9);
+    EXPECT_EQ(q.dim, Dimension::CapacitancePerLength);
+}
+
+TEST(UnitsTest, ParsesVoltagesCaseSensitively)
+{
+    EXPECT_DOUBLE_EQ(parseQuantity("1.5V").value().value, 1.5);
+    EXPECT_DOUBLE_EQ(parseQuantity("850mV").value().value, 0.85);
+}
+
+TEST(UnitsTest, ParsesFrequencyAndDataRate)
+{
+    EXPECT_DOUBLE_EQ(parseQuantity("800MHz").value().value, 800e6);
+    EXPECT_DOUBLE_EQ(parseQuantity("1.6Gbps").value().value, 1.6e9);
+    EXPECT_EQ(parseQuantity("1.6Gbps").value().dim, Dimension::DataRate);
+}
+
+TEST(UnitsTest, ParsesPercent)
+{
+    Quantity q = parseQuantity("25%").value();
+    EXPECT_DOUBLE_EQ(q.value, 0.25);
+    EXPECT_EQ(q.dim, Dimension::Fraction);
+}
+
+TEST(UnitsTest, ParsesTimeAndEnergy)
+{
+    EXPECT_DOUBLE_EQ(parseQuantity("49ns").value().value, 49e-9);
+    EXPECT_DOUBLE_EQ(parseQuantity("2.5pJ").value().value, 2.5e-12);
+}
+
+TEST(UnitsTest, BareNumberIsDimensionless)
+{
+    Quantity q = parseQuantity("19.2").value();
+    EXPECT_DOUBLE_EQ(q.value, 19.2);
+    EXPECT_EQ(q.dim, Dimension::Dimensionless);
+}
+
+TEST(UnitsTest, WhitespaceBetweenNumberAndUnitAllowed)
+{
+    EXPECT_DOUBLE_EQ(parseQuantity("85 fF").value().value, 85e-15);
+    EXPECT_DOUBLE_EQ(parseQuantity("  1.5 V  ").value().value, 1.5);
+}
+
+TEST(UnitsTest, RejectsGarbage)
+{
+    EXPECT_FALSE(parseQuantity("").ok());
+    EXPECT_FALSE(parseQuantity("abc").ok());
+    EXPECT_FALSE(parseQuantity("12 furlongs").ok());
+}
+
+TEST(UnitsTest, QuantityAsEnforcesDimension)
+{
+    EXPECT_TRUE(parseQuantityAs("165nm", Dimension::Length).ok());
+    EXPECT_FALSE(parseQuantityAs("165nm", Dimension::Voltage).ok());
+    // Bare numbers pass for fractions and when explicitly allowed.
+    EXPECT_TRUE(parseQuantityAs("0.25", Dimension::Fraction).ok());
+    EXPECT_FALSE(parseQuantityAs("42", Dimension::Voltage).ok());
+    EXPECT_TRUE(parseQuantityAs("42", Dimension::Voltage, true).ok());
+}
+
+TEST(UnitsTest, ParsesIntegers)
+{
+    EXPECT_EQ(parseInteger("512").value(), 512);
+    EXPECT_EQ(parseInteger(" -3 ").value(), -3);
+    EXPECT_FALSE(parseInteger("3.5").ok());
+    EXPECT_FALSE(parseInteger("x").ok());
+}
+
+TEST(UnitsTest, ParsesRatios)
+{
+    EXPECT_DOUBLE_EQ(parseRatio("1:8").value(), 8.0);
+    EXPECT_DOUBLE_EQ(parseRatio("2:1").value(), 0.5);
+    EXPECT_FALSE(parseRatio("8").ok());
+    EXPECT_FALSE(parseRatio("0:8").ok());
+}
+
+TEST(UnitsTest, FormatsEngineeringNotation)
+{
+    EXPECT_EQ(formatEng(85e-15, "F"), "85.00 fF");
+    EXPECT_EQ(formatEng(1.5, "V"), "1.50 V");
+    EXPECT_EQ(formatEng(0.2334, "A"), "233.40 mA");
+    EXPECT_EQ(formatEng(21.3e9, "bit/s"), "21.30 Gbit/s");
+}
+
+TEST(UnitsTest, FormatsZeroAndNegative)
+{
+    EXPECT_EQ(formatEng(0.0, "W"), "0.00 W");
+    EXPECT_EQ(formatEng(-1.5e-3, "A"), "-1.50 mA");
+}
+
+TEST(UnitsTest, DimensionNamesAreStable)
+{
+    EXPECT_EQ(dimensionName(Dimension::Length), "length");
+    EXPECT_EQ(dimensionName(Dimension::CapacitancePerLength),
+              "capacitance per length");
+}
+
+} // namespace
+} // namespace vdram

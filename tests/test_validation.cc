@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Failure-injection tests of the description validator: every rule of
+ * validateDescription() is triggered by exactly one corruption of an
+ * otherwise valid description, and the diagnostic names the problem.
+ */
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/description.h"
+#include "presets/presets.h"
+
+namespace vdram {
+namespace {
+
+struct Corruption {
+    const char* name;
+    std::function<void(DramDescription&)> apply;
+    const char* expected_fragment;
+};
+
+class ValidationTest : public ::testing::TestWithParam<Corruption> {};
+
+TEST_P(ValidationTest, CorruptionIsCaught)
+{
+    DramDescription desc = preset1GbDdr3(55e-9, 16, 1333);
+    ASSERT_TRUE(validateDescription(desc).ok());
+
+    GetParam().apply(desc);
+    Status status = validateDescription(desc);
+    ASSERT_FALSE(status.ok()) << GetParam().name;
+    EXPECT_NE(status.error().message.find(GetParam().expected_fragment),
+              std::string::npos)
+        << GetParam().name << ": got '" << status.error().message << "'";
+}
+
+const Corruption kCorruptions[] = {
+    {"negative_bitline_cap",
+     [](DramDescription& d) { d.tech.bitlineCap = -1e-15; },
+     "must be positive"},
+    {"zero_cell_cap", [](DramDescription& d) { d.tech.cellCap = 0; },
+     "must be positive"},
+    {"zero_vdd", [](DramDescription& d) { d.elec.vdd = 0; },
+     "voltages must be positive"},
+    {"vbl_above_vpp",
+     [](DramDescription& d) { d.elec.vbl = d.elec.vpp + 0.1; },
+     "bitline voltage above"},
+    {"vpp_below_vint",
+     [](DramDescription& d) { d.elec.vpp = d.elec.vint - 0.1; },
+     "below the logic voltage"},
+    {"efficiency_above_one",
+     [](DramDescription& d) { d.elec.efficiencyVpp = 1.5; },
+     "efficiencies"},
+    {"efficiency_zero",
+     [](DramDescription& d) { d.elec.efficiencyVbl = 0; },
+     "efficiencies"},
+    {"negative_constant_current",
+     [](DramDescription& d) { d.elec.constantCurrent = -1e-3; },
+     "constant current"},
+    {"zero_cells_per_line",
+     [](DramDescription& d) { d.arch.bitsPerBitline = 0; },
+     "cells per line"},
+    {"zero_pitch", [](DramDescription& d) { d.arch.wordlinePitch = 0; },
+     "pitches"},
+    {"zero_stripe", [](DramDescription& d) { d.arch.saStripeWidth = 0; },
+     "stripe widths"},
+    {"zero_blocks_per_csl",
+     [](DramDescription& d) { d.arch.arrayBlocksPerCsl = 0; },
+     "column select"},
+    {"zero_bank_split",
+     [](DramDescription& d) { d.arch.bankSplit = 0; }, "bank split"},
+    {"activation_fraction_above_one",
+     [](DramDescription& d) { d.arch.pageActivationFraction = 1.5; },
+     "activation fraction"},
+    {"restore_share_above_one",
+     [](DramDescription& d) { d.arch.cellRestoreShare = 1.5; },
+     "restore share"},
+    {"zero_io_width", [](DramDescription& d) { d.spec.ioWidth = 0; },
+     "width and data rate"},
+    {"zero_prefetch", [](DramDescription& d) { d.spec.prefetch = 0; },
+     "prefetch and burst"},
+    {"burst_prefetch_mismatch",
+     [](DramDescription& d) {
+         d.spec.burstLength = 12;
+         d.spec.prefetch = 8;
+     },
+     "divide each other"},
+    {"zero_row_bits",
+     [](DramDescription& d) { d.spec.rowAddressBits = 0; },
+     "address widths"},
+    {"zero_clock",
+     [](DramDescription& d) { d.spec.controlClockFrequency = 0; },
+     "clock frequencies"},
+    {"page_not_divisible",
+     [](DramDescription& d) { d.arch.bitsPerLocalWordline = 500; },
+     "sub-wordlines"},
+    {"rows_not_divisible",
+     [](DramDescription& d) { d.arch.bitsPerBitline = 600; },
+     "sub-arrays"},
+    {"empty_floorplan",
+     [](DramDescription& d) { d.floorplan = Floorplan{}; },
+     "floorplan"},
+    {"no_signals", [](DramDescription& d) { d.signals.clear(); },
+     "signal nets"},
+    {"signal_out_of_grid",
+     [](DramDescription& d) {
+         d.signals.front().segments.front().insideBlock = false;
+         d.signals.front().segments.front().from = {99, 0};
+     },
+     "outside the floorplan"},
+    {"zero_wire_count",
+     [](DramDescription& d) { d.signals.front().wireCount = 0; },
+     "no wires"},
+    {"negative_gate_count",
+     [](DramDescription& d) { d.logicBlocks.front().gateCount = -1; },
+     "negative activity"},
+    {"bad_layout_density",
+     [](DramDescription& d) { d.logicBlocks.front().layoutDensity = 0; },
+     "layout density"},
+    {"empty_pattern",
+     [](DramDescription& d) { d.pattern.loop.clear(); },
+     "pattern is empty"},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRules, ValidationTest, ::testing::ValuesIn(kCorruptions),
+    [](const ::testing::TestParamInfo<Corruption>& info) {
+        return std::string(info.param.name);
+    });
+
+TEST(ValidationTest2, AllPresetsAreValid)
+{
+    for (const NamedPreset& preset : namedPresets()) {
+        Status status = validateDescription(preset.build());
+        EXPECT_TRUE(status.ok())
+            << preset.name << ": "
+            << (status.ok() ? "" : status.error().toString());
+    }
+}
+
+TEST(ValidationTest2, MissingSignalRoleCaught)
+{
+    DramDescription desc = preset1GbDdr3(55e-9, 16, 1333);
+    // Drop only the clock net.
+    std::vector<SignalNet> kept;
+    for (const SignalNet& net : desc.signals) {
+        if (net.role != SignalRole::Clock)
+            kept.push_back(net);
+    }
+    desc.signals = std::move(kept);
+    Status status = validateDescription(desc);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.error().message.find("clock"), std::string::npos);
+}
+
+} // namespace
+} // namespace vdram

@@ -1,0 +1,436 @@
+/**
+ * @file
+ * vdram_cli — command-line front end to the model.
+ *
+ *   vdram_cli list
+ *   vdram_cli describe   <target>
+ *   vdram_cli idd        <target>
+ *   vdram_cli emit       <target>
+ *   vdram_cli pattern    <target> act nop rd ...
+ *   vdram_cli sensitivity <target> [--detailed]
+ *   vdram_cli schemes    <target>
+ *   vdram_cli timing     <target>
+ *   vdram_cli trends     [--csv]
+ *
+ * <target> is either a path to a .dram description file or
+ * "preset:<name>" (see `vdram_cli list`).
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <string>
+#include <vector>
+
+#include "circuit/rc_timing.h"
+#include "core/json_export.h"
+#include "core/model.h"
+#include "core/report.h"
+#include "core/schemes.h"
+#include "core/sensitivity.h"
+#include "core/trends.h"
+#include "dsl/parser.h"
+#include "dsl/writer.h"
+#include "presets/presets.h"
+#include "protocol/bank_fsm.h"
+#include "protocol/controller.h"
+#include "protocol/command_trace.h"
+#include "protocol/trace.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace vdram;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: vdram_cli <command> [args]\n"
+        "  list                      list built-in presets\n"
+        "  describe <target>         summary, IDD table, breakdown, die\n"
+        "  idd <target>              IDD table only\n"
+        "  json <target>             full evaluation as JSON\n"
+        "  emit <target>             emit the description language text\n"
+        "  pattern <target> OP...    evaluate a command loop\n"
+        "  sensitivity <target> [--detailed]\n"
+        "  sweep <target> <parameter> f1 [f2 ...]\n"
+        "                            what-if factors on one parameter\n"
+        "  schemes <target>          Section V power-reduction study\n"
+        "  timing <target>           RC timing estimate\n"
+        "  trends [--csv]            generation ladder trends\n"
+        "  workload <target> <trace> [--closed]\n"
+        "                            schedule an access trace and "
+        "evaluate it\n"
+        "  gen-trace <target> random|stream|local <count>\n"
+        "                            emit a synthetic trace to stdout\n"
+        "  replay <target> <cmdtrace>\n"
+        "                            evaluate a timed command trace\n"
+        "<target> = file.dram | preset:<name>\n");
+    return 2;
+}
+
+bool
+loadTarget(const std::string& target, DramDescription& out)
+{
+    if (startsWith(target, "preset:")) {
+        std::string name = target.substr(7);
+        for (const NamedPreset& preset : namedPresets()) {
+            if (preset.name == name) {
+                out = preset.build();
+                return true;
+            }
+        }
+        std::fprintf(stderr, "unknown preset '%s' (try: vdram_cli list)\n",
+                     name.c_str());
+        return false;
+    }
+    Result<DramDescription> parsed = parseDescriptionFile(target);
+    if (!parsed.ok()) {
+        std::fprintf(stderr, "%s: %s\n", target.c_str(),
+                     parsed.error().toString().c_str());
+        return false;
+    }
+    out = std::move(parsed).value();
+    return true;
+}
+
+int
+cmdList()
+{
+    Table table({"preset", "device"});
+    for (const NamedPreset& preset : namedPresets())
+        table.addRow({preset.name, preset.build().name});
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
+int
+cmdDescribe(const DramDescription& desc)
+{
+    DramPowerModel model(desc);
+    std::printf("%s\n", renderSummary(model).c_str());
+    std::printf("%s\n", renderIddTable(model).c_str());
+    std::printf("%s\n", renderBreakdown(model.evaluateDefault()).c_str());
+    std::printf("%s", renderAreaReport(model.area()).c_str());
+    return 0;
+}
+
+int
+cmdIdd(const DramDescription& desc)
+{
+    DramPowerModel model(desc);
+    std::printf("%s", renderIddTable(model).c_str());
+    return 0;
+}
+
+int
+cmdEmit(const DramDescription& desc)
+{
+    std::printf("%s", writeDescription(desc).c_str());
+    return 0;
+}
+
+int
+cmdPattern(const DramDescription& desc, int argc, char** argv)
+{
+    Pattern pattern;
+    for (int i = 0; i < argc; ++i) {
+        std::string t = toLower(argv[i]);
+        if (t == "act") pattern.loop.push_back(Op::Act);
+        else if (t == "pre") pattern.loop.push_back(Op::Pre);
+        else if (t == "rd" || t == "read") pattern.loop.push_back(Op::Rd);
+        else if (t == "wrt" || t == "wr" || t == "write")
+            pattern.loop.push_back(Op::Wr);
+        else if (t == "nop") pattern.loop.push_back(Op::Nop);
+        else if (t == "ref") pattern.loop.push_back(Op::Ref);
+        else if (t == "pdn") pattern.loop.push_back(Op::Pdn);
+        else if (t == "srf") pattern.loop.push_back(Op::Srf);
+        else {
+            std::fprintf(stderr, "unknown op '%s'\n", argv[i]);
+            return 2;
+        }
+    }
+    if (pattern.loop.empty()) {
+        std::fprintf(stderr, "empty pattern\n");
+        return 2;
+    }
+
+    DramPowerModel model(desc);
+    PatternCheckResult check =
+        checkPattern(pattern, desc.timing, desc.spec.banks());
+    if (!check.ok())
+        std::printf("warning: %s\n\n", check.summary().c_str());
+
+    PatternPower power = model.evaluate(pattern);
+    std::printf("loop: %d cycles (%.1f ns), current %s, power %s\n",
+                pattern.cycles(), power.loopTime * 1e9,
+                formatEng(power.externalCurrent, "A").c_str(),
+                formatEng(power.power, "W").c_str());
+    if (power.bitsPerLoop > 0) {
+        std::printf("data: %.0f bits/loop, %.1f pJ/bit, bus utilization "
+                    "%.0f%%\n", power.bitsPerLoop,
+                    power.energyPerBit * 1e12,
+                    power.busUtilization * 100);
+    }
+    std::printf("\n%s", renderBreakdown(power).c_str());
+    return 0;
+}
+
+int
+cmdSensitivity(const DramDescription& desc, bool detailed)
+{
+    SensitivityAnalyzer analyzer(desc);
+    auto results = analyzer.analyze(
+        0.20, detailed ? SweepMode::Detailed : SweepMode::Grouped);
+    Table table({"parameter", "+20%", "-20%", "spread"});
+    for (const SensitivityResult& r : results) {
+        table.addRow({r.name, strformat("%+.1f%%", r.plus * 100),
+                      strformat("%+.1f%%", r.minus * 100),
+                      strformat("%.1f%%", r.spread() * 100)});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
+int
+cmdSweep(const DramDescription& desc, const std::string& param_name,
+         int argc, char** argv)
+{
+    // Search the grouped sweep list first, then the detailed one.
+    const SweepParam* param = nullptr;
+    static std::vector<SweepParam> all;
+    all = sweepParameters(SweepMode::Grouped);
+    auto detailed = sweepParameters(SweepMode::Detailed);
+    all.insert(all.end(), detailed.begin(), detailed.end());
+    for (const SweepParam& p : all) {
+        if (equalsIgnoreCase(p.name, param_name)) {
+            param = &p;
+            break;
+        }
+    }
+    if (!param) {
+        std::fprintf(stderr,
+                     "unknown parameter '%s'; known parameters:\n",
+                     param_name.c_str());
+        for (const SweepParam& p : sweepParameters(SweepMode::Grouped))
+            std::fprintf(stderr, "  %s\n", p.name.c_str());
+        return 2;
+    }
+
+    Table table({"factor", "pattern power", "IDD0", "IDD4R",
+                 "energy/bit"});
+    for (int i = 0; i < argc; ++i) {
+        double factor = std::atof(argv[i]);
+        if (factor <= 0) {
+            std::fprintf(stderr, "bad factor '%s'\n", argv[i]);
+            return 2;
+        }
+        DramDescription variant = desc;
+        param->apply(variant, factor);
+        DramPowerModel model(variant);
+        PatternPower power = model.evaluateDefault();
+        table.addRow({strformat("%.3g", factor),
+                      formatEng(power.power, "W"),
+                      formatEng(model.idd(IddMeasure::Idd0), "A"),
+                      formatEng(model.idd(IddMeasure::Idd4R), "A"),
+                      strformat("%.1f pJ", power.energyPerBit * 1e12)});
+    }
+    std::printf("sweep of '%s':\n%s", param->name.c_str(),
+                table.render().c_str());
+    return 0;
+}
+
+int
+cmdSchemes(const DramDescription& desc)
+{
+    SchemeEvaluator evaluator(desc, 64);
+    Table table({"scheme", "energy/access", "savings", "caveat"});
+    for (const SchemeResult& r : evaluator.evaluateAll()) {
+        table.addRow({r.name,
+                      strformat("%.2f nJ", r.energyPerAccess * 1e9),
+                      strformat("%.1f%%", r.savingsVsBaseline * 100),
+                      r.caveat});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
+int
+cmdTiming(const DramDescription& desc)
+{
+    TimingEstimate t = estimateTiming(desc);
+    Table table({"quantity", "estimate"});
+    table.addRow({"master wordline rise",
+                  strformat("%.2f ns", t.masterWordlineDelay * 1e9)});
+    table.addRow({"local wordline rise",
+                  strformat("%.2f ns", t.localWordlineDelay * 1e9)});
+    table.addRow({"signal development",
+                  strformat("%.2f ns", t.signalDevelopment * 1e9)});
+    table.addRow({"sense time",
+                  strformat("%.2f ns", t.senseTime * 1e9)});
+    table.addRow({"column path",
+                  strformat("%.2f ns", t.columnPathDelay * 1e9)});
+    table.addRow({"precharge",
+                  strformat("%.2f ns", t.prechargeTime * 1e9)});
+    table.addSeparator();
+    table.addRow({"tRCD estimate",
+                  strformat("%.1f ns", t.tRcdEstimate * 1e9)});
+    table.addRow({"tRC estimate",
+                  strformat("%.1f ns", t.tRcEstimate * 1e9)});
+    table.addRow({"max core frequency",
+                  strformat("%.0f MHz", t.maxCoreFrequency / 1e6)});
+    std::printf("%s", table.render().c_str());
+    std::printf("(device timing inputs: tRCD %.1f ns, tRC %.1f ns)\n",
+                desc.timing.tRcd * desc.timing.tCkSeconds * 1e9,
+                desc.timing.tRcSeconds() * 1e9);
+    return 0;
+}
+
+int
+cmdWorkload(const DramDescription& desc, const std::string& trace_path,
+            bool closed_page)
+{
+    auto trace = loadTraceFile(trace_path);
+    if (!trace.ok()) {
+        std::fprintf(stderr, "%s\n", trace.error().toString().c_str());
+        return 1;
+    }
+    CommandScheduler scheduler(desc.spec, desc.timing,
+                               closed_page ? PagePolicy::ClosedPage
+                                           : PagePolicy::OpenPage);
+    ScheduledStream stream = scheduler.schedule(trace.value());
+    DramPowerModel model(desc);
+    PatternPower power = model.evaluate(stream.pattern);
+
+    std::printf("%lld accesses: %lld hits / %lld misses / %lld "
+                "conflicts (hit rate %.0f%%), %lld cycles\n",
+                stream.stats.accesses, stream.stats.rowHits,
+                stream.stats.rowMisses, stream.stats.rowConflicts,
+                stream.stats.rowHitRate() * 100, stream.stats.cycles);
+    std::printf("power %s, %.1f pJ/bit, bus utilization %.0f%%\n\n",
+                formatEng(power.power, "W").c_str(),
+                power.energyPerBit * 1e12, power.busUtilization * 100);
+    std::printf("%s", renderBreakdown(power).c_str());
+    return 0;
+}
+
+int
+cmdGenTrace(const DramDescription& desc, const std::string& kind,
+            long long count)
+{
+    WorkloadParams params;
+    params.count = count;
+    std::vector<MemoryAccess> accesses;
+    if (kind == "random") {
+        accesses = makeRandomWorkload(desc.spec, params);
+    } else if (kind == "stream") {
+        accesses = makeStreamingWorkload(desc.spec, params);
+    } else if (kind == "local") {
+        accesses = makeLocalityWorkload(desc.spec, params, 0.7);
+    } else {
+        std::fprintf(stderr, "unknown workload kind '%s'\n",
+                     kind.c_str());
+        return 2;
+    }
+    std::printf("%s", writeTrace(accesses).c_str());
+    return 0;
+}
+
+int
+cmdTrends(bool csv)
+{
+    std::vector<TrendPoint> points = computeTrends();
+    Table table({"node", "year", "device", "die mm2", "pJ/bit", "IDD0 mA",
+                 "IDD4R mA"});
+    for (const TrendPoint& p : points) {
+        table.addRow({strformat("%.0f", p.generation.featureSize * 1e9),
+                      strformat("%d", p.generation.year),
+                      p.generation.label(),
+                      strformat("%.1f", p.dieAreaMm2),
+                      strformat("%.1f", p.energyPerBit * 1e12),
+                      strformat("%.0f", p.idd0 * 1e3),
+                      strformat("%.0f", p.idd4r * 1e3)});
+    }
+    std::printf("%s", csv ? table.renderCsv().c_str()
+                          : table.render().c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string command = argv[1];
+
+    if (command == "list")
+        return cmdList();
+    if (command == "trends") {
+        bool csv = argc > 2 && std::strcmp(argv[2], "--csv") == 0;
+        return cmdTrends(csv);
+    }
+
+    if (argc < 3)
+        return usage();
+    DramDescription desc;
+    if (!loadTarget(argv[2], desc))
+        return 1;
+
+    if (command == "describe")
+        return cmdDescribe(desc);
+    if (command == "idd")
+        return cmdIdd(desc);
+    if (command == "json") {
+        DramPowerModel model(desc);
+        std::printf("%s\n", modelToJson(model).c_str());
+        return 0;
+    }
+    if (command == "emit")
+        return cmdEmit(desc);
+    if (command == "pattern")
+        return cmdPattern(desc, argc - 3, argv + 3);
+    if (command == "sensitivity") {
+        bool detailed = argc > 3 &&
+                        std::strcmp(argv[3], "--detailed") == 0;
+        return cmdSensitivity(desc, detailed);
+    }
+    if (command == "sweep" && argc > 4)
+        return cmdSweep(desc, argv[3], argc - 4, argv + 4);
+    if (command == "schemes")
+        return cmdSchemes(desc);
+    if (command == "timing")
+        return cmdTiming(desc);
+    if (command == "workload" && argc > 3) {
+        bool closed = argc > 4 && std::strcmp(argv[4], "--closed") == 0;
+        return cmdWorkload(desc, argv[3], closed);
+    }
+    if (command == "gen-trace" && argc > 3) {
+        long long count = argc > 4 ? std::atoll(argv[4]) : 1000;
+        return cmdGenTrace(desc, argv[3], count);
+    }
+    if (command == "replay" && argc > 3) {
+        Result<Pattern> trace = loadCommandTraceFile(argv[3]);
+        if (!trace.ok()) {
+            std::fprintf(stderr, "%s\n",
+                         trace.error().toString().c_str());
+            return 1;
+        }
+        DramPowerModel model(desc);
+        PatternPower power = model.evaluate(trace.value());
+        std::printf("replayed %d cycles: current %s, power %s, %.1f "
+                    "pJ/bit\n\n%s",
+                    trace.value().cycles(),
+                    formatEng(power.externalCurrent, "A").c_str(),
+                    formatEng(power.power, "W").c_str(),
+                    power.energyPerBit * 1e12,
+                    renderBreakdown(power).c_str());
+        return 0;
+    }
+
+    return usage();
+}
