@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_accounting_ablation.dir/bench_ext_accounting_ablation.cc.o"
+  "CMakeFiles/bench_ext_accounting_ablation.dir/bench_ext_accounting_ablation.cc.o.d"
+  "bench_ext_accounting_ablation"
+  "bench_ext_accounting_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_accounting_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_families.dir/bench_ext_families.cc.o"
+  "CMakeFiles/bench_ext_families.dir/bench_ext_families.cc.o.d"
+  "bench_ext_families"
+  "bench_ext_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_minirank.dir/bench_ext_minirank.cc.o"
+  "CMakeFiles/bench_ext_minirank.dir/bench_ext_minirank.cc.o.d"
+  "bench_ext_minirank"
+  "bench_ext_minirank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_minirank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_page_policy.dir/bench_ext_page_policy.cc.o"
+  "CMakeFiles/bench_ext_page_policy.dir/bench_ext_page_policy.cc.o.d"
+  "bench_ext_page_policy"
+  "bench_ext_page_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_page_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

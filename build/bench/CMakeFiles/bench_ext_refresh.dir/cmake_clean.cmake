@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_refresh.dir/bench_ext_refresh.cc.o"
+  "CMakeFiles/bench_ext_refresh.dir/bench_ext_refresh.cc.o.d"
+  "bench_ext_refresh"
+  "bench_ext_refresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_vendor_spread.dir/bench_ext_vendor_spread.cc.o"
+  "CMakeFiles/bench_ext_vendor_spread.dir/bench_ext_vendor_spread.cc.o.d"
+  "bench_ext_vendor_spread"
+  "bench_ext_vendor_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_vendor_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_scaling_tech.dir/bench_fig5_scaling_tech.cc.o"
+  "CMakeFiles/bench_fig5_scaling_tech.dir/bench_fig5_scaling_tech.cc.o.d"
+  "bench_fig5_scaling_tech"
+  "bench_fig5_scaling_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_scaling_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_scaling_misc.dir/bench_fig6_scaling_misc.cc.o"
+  "CMakeFiles/bench_fig6_scaling_misc.dir/bench_fig6_scaling_misc.cc.o.d"
+  "bench_fig6_scaling_misc"
+  "bench_fig6_scaling_misc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_scaling_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_ddr2_verification.dir/bench_fig8_ddr2_verification.cc.o"
+  "CMakeFiles/bench_fig8_ddr2_verification.dir/bench_fig8_ddr2_verification.cc.o.d"
+  "bench_fig8_ddr2_verification"
+  "bench_fig8_ddr2_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_ddr2_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_ddr3_verification.dir/bench_fig9_ddr3_verification.cc.o"
+  "CMakeFiles/bench_fig9_ddr3_verification.dir/bench_fig9_ddr3_verification.cc.o.d"
+  "bench_fig9_ddr3_verification"
+  "bench_fig9_ddr3_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_ddr3_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_schemes.dir/bench_sec5_schemes.cc.o"
+  "CMakeFiles/bench_sec5_schemes.dir/bench_sec5_schemes.cc.o.d"
+  "bench_sec5_schemes"
+  "bench_sec5_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

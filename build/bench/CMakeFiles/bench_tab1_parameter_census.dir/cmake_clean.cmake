@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_parameter_census.dir/bench_tab1_parameter_census.cc.o"
+  "CMakeFiles/bench_tab1_parameter_census.dir/bench_tab1_parameter_census.cc.o.d"
+  "bench_tab1_parameter_census"
+  "bench_tab1_parameter_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_parameter_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_disruptive_changes.dir/bench_tab2_disruptive_changes.cc.o"
+  "CMakeFiles/bench_tab2_disruptive_changes.dir/bench_tab2_disruptive_changes.cc.o.d"
+  "bench_tab2_disruptive_changes"
+  "bench_tab2_disruptive_changes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_disruptive_changes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

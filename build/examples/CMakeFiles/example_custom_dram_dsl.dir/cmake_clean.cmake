@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_dram_dsl.dir/custom_dram_dsl.cpp.o"
+  "CMakeFiles/example_custom_dram_dsl.dir/custom_dram_dsl.cpp.o.d"
+  "example_custom_dram_dsl"
+  "example_custom_dram_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_dram_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

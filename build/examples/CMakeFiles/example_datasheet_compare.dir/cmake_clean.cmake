@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_datasheet_compare.dir/datasheet_compare.cpp.o"
+  "CMakeFiles/example_datasheet_compare.dir/datasheet_compare.cpp.o.d"
+  "example_datasheet_compare"
+  "example_datasheet_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_datasheet_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ddr5_forecast.dir/ddr5_forecast.cpp.o"
+  "CMakeFiles/example_ddr5_forecast.dir/ddr5_forecast.cpp.o.d"
+  "example_ddr5_forecast"
+  "example_ddr5_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ddr5_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_power_reduction_study.dir/power_reduction_study.cpp.o"
+  "CMakeFiles/example_power_reduction_study.dir/power_reduction_study.cpp.o.d"
+  "example_power_reduction_study"
+  "example_power_reduction_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_power_reduction_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

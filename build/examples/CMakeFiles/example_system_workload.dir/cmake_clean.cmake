@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_system_workload.dir/system_workload.cpp.o"
+  "CMakeFiles/example_system_workload.dir/system_workload.cpp.o.d"
+  "example_system_workload"
+  "example_system_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_system_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/column.cc" "src/CMakeFiles/vdram.dir/circuit/column.cc.o" "gcc" "src/CMakeFiles/vdram.dir/circuit/column.cc.o.d"
+  "/root/repo/src/circuit/logic_block.cc" "src/CMakeFiles/vdram.dir/circuit/logic_block.cc.o" "gcc" "src/CMakeFiles/vdram.dir/circuit/logic_block.cc.o.d"
+  "/root/repo/src/circuit/rc_timing.cc" "src/CMakeFiles/vdram.dir/circuit/rc_timing.cc.o" "gcc" "src/CMakeFiles/vdram.dir/circuit/rc_timing.cc.o.d"
+  "/root/repo/src/circuit/sense_amp.cc" "src/CMakeFiles/vdram.dir/circuit/sense_amp.cc.o" "gcc" "src/CMakeFiles/vdram.dir/circuit/sense_amp.cc.o.d"
+  "/root/repo/src/circuit/wordline.cc" "src/CMakeFiles/vdram.dir/circuit/wordline.cc.o" "gcc" "src/CMakeFiles/vdram.dir/circuit/wordline.cc.o.d"
+  "/root/repo/src/core/builder.cc" "src/CMakeFiles/vdram.dir/core/builder.cc.o" "gcc" "src/CMakeFiles/vdram.dir/core/builder.cc.o.d"
+  "/root/repo/src/core/description.cc" "src/CMakeFiles/vdram.dir/core/description.cc.o" "gcc" "src/CMakeFiles/vdram.dir/core/description.cc.o.d"
+  "/root/repo/src/core/json_export.cc" "src/CMakeFiles/vdram.dir/core/json_export.cc.o" "gcc" "src/CMakeFiles/vdram.dir/core/json_export.cc.o.d"
+  "/root/repo/src/core/model.cc" "src/CMakeFiles/vdram.dir/core/model.cc.o" "gcc" "src/CMakeFiles/vdram.dir/core/model.cc.o.d"
+  "/root/repo/src/core/module.cc" "src/CMakeFiles/vdram.dir/core/module.cc.o" "gcc" "src/CMakeFiles/vdram.dir/core/module.cc.o.d"
+  "/root/repo/src/core/montecarlo.cc" "src/CMakeFiles/vdram.dir/core/montecarlo.cc.o" "gcc" "src/CMakeFiles/vdram.dir/core/montecarlo.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/vdram.dir/core/report.cc.o" "gcc" "src/CMakeFiles/vdram.dir/core/report.cc.o.d"
+  "/root/repo/src/core/schemes.cc" "src/CMakeFiles/vdram.dir/core/schemes.cc.o" "gcc" "src/CMakeFiles/vdram.dir/core/schemes.cc.o.d"
+  "/root/repo/src/core/sensitivity.cc" "src/CMakeFiles/vdram.dir/core/sensitivity.cc.o" "gcc" "src/CMakeFiles/vdram.dir/core/sensitivity.cc.o.d"
+  "/root/repo/src/core/spec.cc" "src/CMakeFiles/vdram.dir/core/spec.cc.o" "gcc" "src/CMakeFiles/vdram.dir/core/spec.cc.o.d"
+  "/root/repo/src/core/trends.cc" "src/CMakeFiles/vdram.dir/core/trends.cc.o" "gcc" "src/CMakeFiles/vdram.dir/core/trends.cc.o.d"
+  "/root/repo/src/datasheet/cacti_lite.cc" "src/CMakeFiles/vdram.dir/datasheet/cacti_lite.cc.o" "gcc" "src/CMakeFiles/vdram.dir/datasheet/cacti_lite.cc.o.d"
+  "/root/repo/src/datasheet/datasheet_model.cc" "src/CMakeFiles/vdram.dir/datasheet/datasheet_model.cc.o" "gcc" "src/CMakeFiles/vdram.dir/datasheet/datasheet_model.cc.o.d"
+  "/root/repo/src/datasheet/reference_data.cc" "src/CMakeFiles/vdram.dir/datasheet/reference_data.cc.o" "gcc" "src/CMakeFiles/vdram.dir/datasheet/reference_data.cc.o.d"
+  "/root/repo/src/dsl/parser.cc" "src/CMakeFiles/vdram.dir/dsl/parser.cc.o" "gcc" "src/CMakeFiles/vdram.dir/dsl/parser.cc.o.d"
+  "/root/repo/src/dsl/writer.cc" "src/CMakeFiles/vdram.dir/dsl/writer.cc.o" "gcc" "src/CMakeFiles/vdram.dir/dsl/writer.cc.o.d"
+  "/root/repo/src/floorplan/array_geometry.cc" "src/CMakeFiles/vdram.dir/floorplan/array_geometry.cc.o" "gcc" "src/CMakeFiles/vdram.dir/floorplan/array_geometry.cc.o.d"
+  "/root/repo/src/floorplan/floorplan.cc" "src/CMakeFiles/vdram.dir/floorplan/floorplan.cc.o" "gcc" "src/CMakeFiles/vdram.dir/floorplan/floorplan.cc.o.d"
+  "/root/repo/src/power/current_profile.cc" "src/CMakeFiles/vdram.dir/power/current_profile.cc.o" "gcc" "src/CMakeFiles/vdram.dir/power/current_profile.cc.o.d"
+  "/root/repo/src/power/domains.cc" "src/CMakeFiles/vdram.dir/power/domains.cc.o" "gcc" "src/CMakeFiles/vdram.dir/power/domains.cc.o.d"
+  "/root/repo/src/power/op_charges.cc" "src/CMakeFiles/vdram.dir/power/op_charges.cc.o" "gcc" "src/CMakeFiles/vdram.dir/power/op_charges.cc.o.d"
+  "/root/repo/src/power/pattern_power.cc" "src/CMakeFiles/vdram.dir/power/pattern_power.cc.o" "gcc" "src/CMakeFiles/vdram.dir/power/pattern_power.cc.o.d"
+  "/root/repo/src/presets/presets.cc" "src/CMakeFiles/vdram.dir/presets/presets.cc.o" "gcc" "src/CMakeFiles/vdram.dir/presets/presets.cc.o.d"
+  "/root/repo/src/protocol/bank_fsm.cc" "src/CMakeFiles/vdram.dir/protocol/bank_fsm.cc.o" "gcc" "src/CMakeFiles/vdram.dir/protocol/bank_fsm.cc.o.d"
+  "/root/repo/src/protocol/command_trace.cc" "src/CMakeFiles/vdram.dir/protocol/command_trace.cc.o" "gcc" "src/CMakeFiles/vdram.dir/protocol/command_trace.cc.o.d"
+  "/root/repo/src/protocol/controller.cc" "src/CMakeFiles/vdram.dir/protocol/controller.cc.o" "gcc" "src/CMakeFiles/vdram.dir/protocol/controller.cc.o.d"
+  "/root/repo/src/protocol/idd.cc" "src/CMakeFiles/vdram.dir/protocol/idd.cc.o" "gcc" "src/CMakeFiles/vdram.dir/protocol/idd.cc.o.d"
+  "/root/repo/src/protocol/timing.cc" "src/CMakeFiles/vdram.dir/protocol/timing.cc.o" "gcc" "src/CMakeFiles/vdram.dir/protocol/timing.cc.o.d"
+  "/root/repo/src/protocol/trace.cc" "src/CMakeFiles/vdram.dir/protocol/trace.cc.o" "gcc" "src/CMakeFiles/vdram.dir/protocol/trace.cc.o.d"
+  "/root/repo/src/signal/io_power.cc" "src/CMakeFiles/vdram.dir/signal/io_power.cc.o" "gcc" "src/CMakeFiles/vdram.dir/signal/io_power.cc.o.d"
+  "/root/repo/src/signal/signal_path.cc" "src/CMakeFiles/vdram.dir/signal/signal_path.cc.o" "gcc" "src/CMakeFiles/vdram.dir/signal/signal_path.cc.o.d"
+  "/root/repo/src/tech/disruptive.cc" "src/CMakeFiles/vdram.dir/tech/disruptive.cc.o" "gcc" "src/CMakeFiles/vdram.dir/tech/disruptive.cc.o.d"
+  "/root/repo/src/tech/generations.cc" "src/CMakeFiles/vdram.dir/tech/generations.cc.o" "gcc" "src/CMakeFiles/vdram.dir/tech/generations.cc.o.d"
+  "/root/repo/src/tech/scaling.cc" "src/CMakeFiles/vdram.dir/tech/scaling.cc.o" "gcc" "src/CMakeFiles/vdram.dir/tech/scaling.cc.o.d"
+  "/root/repo/src/tech/technology.cc" "src/CMakeFiles/vdram.dir/tech/technology.cc.o" "gcc" "src/CMakeFiles/vdram.dir/tech/technology.cc.o.d"
+  "/root/repo/src/util/json.cc" "src/CMakeFiles/vdram.dir/util/json.cc.o" "gcc" "src/CMakeFiles/vdram.dir/util/json.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/vdram.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/vdram.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/numerics.cc" "src/CMakeFiles/vdram.dir/util/numerics.cc.o" "gcc" "src/CMakeFiles/vdram.dir/util/numerics.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/CMakeFiles/vdram.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/vdram.dir/util/strings.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/vdram.dir/util/table.cc.o" "gcc" "src/CMakeFiles/vdram.dir/util/table.cc.o.d"
+  "/root/repo/src/util/units.cc" "src/CMakeFiles/vdram.dir/util/units.cc.o" "gcc" "src/CMakeFiles/vdram.dir/util/units.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_array_geometry.cc" "tests/CMakeFiles/vdram_tests.dir/test_array_geometry.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_array_geometry.cc.o.d"
+  "/root/repo/tests/test_builder.cc" "tests/CMakeFiles/vdram_tests.dir/test_builder.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_builder.cc.o.d"
+  "/root/repo/tests/test_circuit.cc" "tests/CMakeFiles/vdram_tests.dir/test_circuit.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_circuit.cc.o.d"
+  "/root/repo/tests/test_command_trace.cc" "tests/CMakeFiles/vdram_tests.dir/test_command_trace.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_command_trace.cc.o.d"
+  "/root/repo/tests/test_controller.cc" "tests/CMakeFiles/vdram_tests.dir/test_controller.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_controller.cc.o.d"
+  "/root/repo/tests/test_current_profile.cc" "tests/CMakeFiles/vdram_tests.dir/test_current_profile.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_current_profile.cc.o.d"
+  "/root/repo/tests/test_datasheet.cc" "tests/CMakeFiles/vdram_tests.dir/test_datasheet.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_datasheet.cc.o.d"
+  "/root/repo/tests/test_domain_split.cc" "tests/CMakeFiles/vdram_tests.dir/test_domain_split.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_domain_split.cc.o.d"
+  "/root/repo/tests/test_dsl.cc" "tests/CMakeFiles/vdram_tests.dir/test_dsl.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_dsl.cc.o.d"
+  "/root/repo/tests/test_dsl_robustness.cc" "tests/CMakeFiles/vdram_tests.dir/test_dsl_robustness.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_dsl_robustness.cc.o.d"
+  "/root/repo/tests/test_floorplan.cc" "tests/CMakeFiles/vdram_tests.dir/test_floorplan.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_floorplan.cc.o.d"
+  "/root/repo/tests/test_generations.cc" "tests/CMakeFiles/vdram_tests.dir/test_generations.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_generations.cc.o.d"
+  "/root/repo/tests/test_idd_patterns.cc" "tests/CMakeFiles/vdram_tests.dir/test_idd_patterns.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_idd_patterns.cc.o.d"
+  "/root/repo/tests/test_io_power.cc" "tests/CMakeFiles/vdram_tests.dir/test_io_power.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_io_power.cc.o.d"
+  "/root/repo/tests/test_json.cc" "tests/CMakeFiles/vdram_tests.dir/test_json.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_json.cc.o.d"
+  "/root/repo/tests/test_model.cc" "tests/CMakeFiles/vdram_tests.dir/test_model.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_model.cc.o.d"
+  "/root/repo/tests/test_module.cc" "tests/CMakeFiles/vdram_tests.dir/test_module.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_module.cc.o.d"
+  "/root/repo/tests/test_montecarlo.cc" "tests/CMakeFiles/vdram_tests.dir/test_montecarlo.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_montecarlo.cc.o.d"
+  "/root/repo/tests/test_numerics.cc" "tests/CMakeFiles/vdram_tests.dir/test_numerics.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_numerics.cc.o.d"
+  "/root/repo/tests/test_power.cc" "tests/CMakeFiles/vdram_tests.dir/test_power.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_power.cc.o.d"
+  "/root/repo/tests/test_power_modes.cc" "tests/CMakeFiles/vdram_tests.dir/test_power_modes.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_power_modes.cc.o.d"
+  "/root/repo/tests/test_presets.cc" "tests/CMakeFiles/vdram_tests.dir/test_presets.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_presets.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/vdram_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_protocol.cc" "tests/CMakeFiles/vdram_tests.dir/test_protocol.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_protocol.cc.o.d"
+  "/root/repo/tests/test_rc_timing.cc" "tests/CMakeFiles/vdram_tests.dir/test_rc_timing.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_rc_timing.cc.o.d"
+  "/root/repo/tests/test_report.cc" "tests/CMakeFiles/vdram_tests.dir/test_report.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_report.cc.o.d"
+  "/root/repo/tests/test_scaling.cc" "tests/CMakeFiles/vdram_tests.dir/test_scaling.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_scaling.cc.o.d"
+  "/root/repo/tests/test_schemes.cc" "tests/CMakeFiles/vdram_tests.dir/test_schemes.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_schemes.cc.o.d"
+  "/root/repo/tests/test_sensitivity.cc" "tests/CMakeFiles/vdram_tests.dir/test_sensitivity.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_sensitivity.cc.o.d"
+  "/root/repo/tests/test_signal.cc" "tests/CMakeFiles/vdram_tests.dir/test_signal.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_signal.cc.o.d"
+  "/root/repo/tests/test_strings.cc" "tests/CMakeFiles/vdram_tests.dir/test_strings.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_strings.cc.o.d"
+  "/root/repo/tests/test_table.cc" "tests/CMakeFiles/vdram_tests.dir/test_table.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_table.cc.o.d"
+  "/root/repo/tests/test_technology.cc" "tests/CMakeFiles/vdram_tests.dir/test_technology.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_technology.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/vdram_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_trends.cc" "tests/CMakeFiles/vdram_tests.dir/test_trends.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_trends.cc.o.d"
+  "/root/repo/tests/test_units.cc" "tests/CMakeFiles/vdram_tests.dir/test_units.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_units.cc.o.d"
+  "/root/repo/tests/test_validation.cc" "tests/CMakeFiles/vdram_tests.dir/test_validation.cc.o" "gcc" "tests/CMakeFiles/vdram_tests.dir/test_validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdram_cli.dir/vdram_cli.cc.o"
+  "CMakeFiles/vdram_cli.dir/vdram_cli.cc.o.d"
+  "vdram_cli"
+  "vdram_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdram_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
