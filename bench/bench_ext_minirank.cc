@@ -47,9 +47,9 @@ main()
         ModuleConfig cfg = base;
         cfg.devicesPerAccess = devices;
         cfg.powerDownIdleDevices = false;
-        ModulePower awake = evaluateModule(cfg);
+        ModulePower awake = evaluateModule(cfg).value();
         cfg.powerDownIdleDevices = true;
-        ModulePower gated = evaluateModule(cfg);
+        ModulePower gated = evaluateModule(cfg).value();
 
         if (gated.accessEnergy > prev_energy)
             monotone_energy = false;
@@ -70,9 +70,9 @@ main()
     ModuleConfig full = base;
     ModuleConfig mini = base;
     mini.devicesPerAccess = 2;
-    ModulePower full_awake = evaluateModule(full);
+    ModulePower full_awake = evaluateModule(full).value();
     mini.powerDownIdleDevices = true;
-    ModulePower mini_gated = evaluateModule(mini);
+    ModulePower mini_gated = evaluateModule(mini).value();
 
     std::printf("shape: access energy falls monotonically with fewer "
                 "active devices (+PD): %s\n",

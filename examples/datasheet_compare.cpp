@@ -14,6 +14,7 @@
 #include "datasheet/reference_data.h"
 #include "signal/io_power.h"
 #include "presets/presets.h"
+#include "util/logging.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -80,7 +81,11 @@ main()
     // III.A); at SSTL termination it rivals the core.
     IoConfig link = defaultIoConfig(model.description().elec.vdd,
                                     /*pod_termination=*/false);
-    IoPower io = computeIoPower(link, model.description().spec);
+    Result<IoPower> io_result =
+        computeIoPower(link, model.description().spec);
+    if (!io_result.ok())
+        fatal(io_result.error().toString());
+    IoPower io = io_result.value();
     double core_read = model.iddPattern(IddMeasure::Idd4R).power;
     std::printf("link-side (Vddq) power while streaming reads: %s "
                 "(core: %s)\n",

@@ -46,7 +46,10 @@ computeColumnPathLoads(const TechnologyParams& tech,
 
     // Column decoder: same pre-decode structure as the row decoder but
     // across the column logic stripe (bank width).
-    const double group_bits = std::max(1.0, tech.predecodeMasterWordline);
+    // Clamped to the validator's supported range so the 2^n wire
+    // count below cannot overflow even on unvalidated input.
+    const double group_bits =
+        std::min(16.0, std::max(1.0, tech.predecodeMasterWordline));
     const int groups = static_cast<int>(
         std::ceil(column_address_bits / group_bits));
     const double wire_cap = geometry.bankWidth * tech.wireCapSignal;

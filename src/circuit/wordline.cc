@@ -72,7 +72,10 @@ computeMasterWordlineLoads(const TechnologyParams& tech,
 
     // Pre-decode: group the row address predecodeMasterWordline bits at a
     // time; each group produces 2^group one-hot wires.
-    const double group_bits = std::max(1.0, tech.predecodeMasterWordline);
+    // Clamped to the validator's supported range so the 2^n wire
+    // count below cannot overflow even on unvalidated input.
+    const double group_bits =
+        std::min(16.0, std::max(1.0, tech.predecodeMasterWordline));
     const int groups = static_cast<int>(
         std::ceil(row_address_bits / group_bits));
     const int wires_per_group =

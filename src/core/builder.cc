@@ -94,8 +94,10 @@ exactLog2(double value, const char* what)
 {
     double l = std::log2(value);
     long long rounded = std::llround(l);
+    // Internal invariant: the builder only derives sizes from ladder
+    // generations and power-of-two overrides checked by its callers.
     if (std::fabs(l - static_cast<double>(rounded)) > 1e-9)
-        fatal(strformat("%s (%g) is not a power of two", what, value));
+        panic(strformat("%s (%g) is not a power of two", what, value));
     return static_cast<int>(rounded);
 }
 
@@ -109,7 +111,9 @@ bankGrid(int banks, int& cols, int& rows)
     case 16: cols = 4; rows = 4; break;
     case 32: cols = 8; rows = 4; break;
     default:
-        fatal(strformat("unsupported bank count %d", banks));
+        // Internal invariant: generation ladder bank counts are always
+        // one of the grids above.
+        panic(strformat("unsupported bank count %d", banks));
     }
 }
 

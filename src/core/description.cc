@@ -1,139 +1,14 @@
 #include "core/description.h"
 
-#include "util/strings.h"
-
 namespace vdram {
-
-namespace {
-
-Status
-err(std::string message)
-{
-    return Status(Error{std::move(message)});
-}
-
-} // namespace
 
 Status
 validateDescription(const DramDescription& desc)
 {
-    const TechnologyParams& t = desc.tech;
-    const ElectricalParams& e = desc.elec;
-    const ArrayArchitecture& a = desc.arch;
-    const Specification& s = desc.spec;
-
-    // Technology sanity.
-    ElectricalParams dummy;
-    for (const ParamInfo& info : technologyParamRegistry()) {
-        double value = getParam(info, t, dummy);
-        if (value <= 0 && info.dim != Dimension::Fraction) {
-            return err(strformat("technology parameter '%s' must be "
-                                 "positive", info.name));
-        }
-        if (value < 0)
-            return err(strformat("technology parameter '%s' is negative",
-                                 info.name));
-    }
-
-    // Electrical sanity and voltage ordering.
-    if (e.vdd <= 0 || e.vint <= 0 || e.vbl <= 0 || e.vpp <= 0)
-        return err("all voltages must be positive");
-    // Ordering: the bitline level may sit slightly above the logic rail
-    // in hypothetical what-if sweeps, but never above the boosted
-    // wordline voltage (write-back would fail).
-    if (e.vbl > e.vpp)
-        return err("bitline voltage above the boosted wordline voltage");
-    if (e.vpp < e.vint)
-        return err("boosted wordline voltage below the logic voltage");
-    if (e.efficiencyVint <= 0 || e.efficiencyVint > 1 ||
-        e.efficiencyVbl <= 0 || e.efficiencyVbl > 1 ||
-        e.efficiencyVpp <= 0 || e.efficiencyVpp > 1) {
-        return err("generator efficiencies must be in (0, 1]");
-    }
-    if (e.constantCurrent < 0)
-        return err("constant current must be non-negative");
-
-    // Architecture sanity.
-    if (a.bitsPerBitline <= 0 || a.bitsPerLocalWordline <= 0)
-        return err("cells per line must be positive");
-    if (a.wordlinePitch <= 0 || a.bitlinePitch <= 0)
-        return err("cell pitches must be positive");
-    if (a.saStripeWidth <= 0 || a.lwdStripeWidth <= 0)
-        return err("stripe widths must be positive");
-    if (a.arrayBlocksPerCsl < 1)
-        return err("at least one array block must share a column select");
-    if (a.bankSplit < 1)
-        return err("bank split must be at least 1");
-    if (a.pageActivationFraction <= 0 || a.pageActivationFraction > 1)
-        return err("page activation fraction must be in (0, 1]");
-    if (a.cellRestoreShare < 0 || a.cellRestoreShare > 1)
-        return err("cell restore share must be in [0, 1]");
-
-    // Specification sanity.
-    if (s.ioWidth <= 0 || s.dataRate <= 0)
-        return err("interface width and data rate must be positive");
-    if (s.prefetch <= 0 || s.burstLength <= 0)
-        return err("prefetch and burst length must be positive");
-    if (s.burstLength % s.prefetch != 0 && s.prefetch % s.burstLength != 0)
-        return err("burst length and prefetch must divide each other");
-    if (s.bankAddressBits < 0 || s.rowAddressBits <= 0 ||
-        s.columnAddressBits <= 0) {
-        return err("address widths must be positive");
-    }
-    if (s.controlClockFrequency <= 0 || s.dataClockFrequency <= 0)
-        return err("clock frequencies must be positive");
-    const double folded = a.foldedBitline ? 2.0 : 1.0;
-    if (s.pageBits() % (static_cast<long long>(a.bankSplit) *
-                        a.bitsPerLocalWordline) != 0) {
-        return err("page is not divisible into sub-wordlines");
-    }
-    if (s.rowsPerBank() %
-            static_cast<long long>(a.bitsPerBitline * folded) != 0) {
-        return err("rows per bank are not divisible into sub-arrays");
-    }
-
-    // Floorplan.
-    if (desc.floorplan.columns() == 0 || desc.floorplan.rows() == 0)
-        return err("floorplan axes are empty");
-    if (desc.floorplan.arrayBlockCount() == 0)
-        return err("floorplan has no array blocks");
-
-    // Signals reference valid blocks; essential roles present.
-    bool has_read = false, has_write = false, has_clock = false;
-    for (const SignalNet& net : desc.signals) {
-        if (net.wireCount <= 0)
-            return err("signal net '" + net.name + "' has no wires");
-        for (const Segment& seg : net.segments) {
-            GridRef refs[2] = {seg.insideBlock ? seg.inside : seg.from,
-                               seg.insideBlock ? seg.inside : seg.to};
-            for (const GridRef& ref : refs) {
-                if (!desc.floorplan.contains(ref)) {
-                    return err(strformat(
-                        "signal '%s' references block %d_%d outside the "
-                        "floorplan", net.name.c_str(), ref.col, ref.row));
-                }
-            }
-        }
-        has_read |= net.role == SignalRole::ReadData;
-        has_write |= net.role == SignalRole::WriteData;
-        has_clock |= net.role == SignalRole::Clock;
-    }
-    if (!has_read || !has_write || !has_clock)
-        return err("description must define read data, write data and "
-                   "clock signal nets");
-
-    for (const LogicBlock& block : desc.logicBlocks) {
-        if (block.gateCount < 0 || block.toggleRate < 0)
-            return err("logic block '" + block.name + "' has negative "
-                       "activity");
-        if (block.layoutDensity <= 0 || block.layoutDensity > 1)
-            return err("logic block '" + block.name + "' layout density "
-                       "must be in (0, 1]");
-    }
-
-    if (desc.pattern.loop.empty())
-        return err("default pattern is empty");
-
+    DiagnosticEngine diags;
+    validateDescription(desc, diags, nullptr);
+    if (diags.hasErrors())
+        return Status(diags.firstError());
     return Status::okStatus();
 }
 

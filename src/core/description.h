@@ -8,6 +8,8 @@
 #ifndef VDRAM_CORE_DESCRIPTION_H
 #define VDRAM_CORE_DESCRIPTION_H
 
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -16,6 +18,7 @@
 #include "protocol/timing.h"
 #include "signal/signal_path.h"
 #include "tech/technology.h"
+#include "util/diag.h"
 #include "util/result.h"
 
 namespace vdram {
@@ -37,10 +40,60 @@ struct DramDescription {
 };
 
 /**
- * Validate a description: positive physical quantities, resolvable
- * floorplan, page divisibility, voltage ordering (Vbl <= Vint <= Vpp),
- * at least one signal net per essential role. Returns the first error
- * found.
+ * Provenance of a parsed description: which sections and Table I
+ * parameters the input actually provided, and where. The DSL parser
+ * fills one in; the completeness stage of validateDescription() uses it
+ * to distinguish "given" from "defaulted". Programmatic descriptions
+ * (presets, builders) have no source and skip completeness checking.
+ */
+struct DescriptionSource {
+    /** Input file name ("" for in-memory text). */
+    std::string file;
+    /** DSL keys of all registry (Table I) parameters that were given. */
+    std::set<std::string> providedParams;
+    /** Location of each given parameter / attribute, by DSL key. */
+    std::map<std::string, SourceLocation> paramLocations;
+    // Which description groups appeared in the input.
+    bool sawFloorplanPhysical = false;
+    bool sawFloorplanSignaling = false;
+    bool sawSpecification = false;
+    bool sawTechnology = false;
+    bool sawElectrical = false;
+    bool sawLogicBlocks = false;
+    bool sawTiming = false;
+    bool sawPattern = false;
+    bool sawVerticalAxis = false;
+    bool sawHorizontalAxis = false;
+    bool sawIoSpec = false;
+
+    /** Location of @p key if recorded, else a file-only location. */
+    SourceLocation locationOf(const std::string& key) const;
+};
+
+/**
+ * Validate a description: the completeness and consistency stages of
+ * the paper's program flow (Fig. 4). Reports every finding into
+ * @p diags instead of stopping at the first:
+ *
+ *  - completeness (only with a @p source): required sections present,
+ *    all Table I parameters given rather than defaulted, a pattern
+ *    supplied;
+ *  - consistency: finite and physically plausible technology values,
+ *    voltage ordering (Vbl <= Vpp, Vint <= Vpp), page divisibility,
+ *    address-width ranges, floorplan-vs-signaling grid agreement, spec
+ *    data rate vs clock, pattern commands vs bank/timing constraints.
+ *
+ * Never aborts and never exits; a description is usable iff
+ * !diags.hasErrors() afterwards.
+ */
+void validateDescription(const DramDescription& desc,
+                         DiagnosticEngine& diags,
+                         const DescriptionSource* source = nullptr);
+
+/**
+ * Convenience wrapper for callers that only need the first problem:
+ * runs the full validation pass and returns the first error (with its
+ * diagnostic code), or an ok status.
  */
 Status validateDescription(const DramDescription& desc);
 

@@ -19,6 +19,15 @@ constexpr long long kRefreshCommandsPerWindow = 8192;
 
 } // namespace
 
+Result<DramPowerModel>
+DramPowerModel::create(DramDescription desc)
+{
+    Status status = validateDescription(desc);
+    if (!status.ok())
+        return status.error();
+    return DramPowerModel(std::move(desc));
+}
+
 DramPowerModel::DramPowerModel(DramDescription desc) : desc_(std::move(desc))
 {
     build();
@@ -27,10 +36,13 @@ DramPowerModel::DramPowerModel(DramDescription desc) : desc_(std::move(desc))
 void
 DramPowerModel::build()
 {
+    // Internal invariant: callers validate user input (create() or an
+    // explicit validateDescription() pass) before constructing a model.
     Status status = validateDescription(desc_);
     if (!status.ok())
-        fatal("invalid DRAM description '" + desc_.name + "': " +
-              status.error().toString());
+        panic("DramPowerModel built from an invalid description '" +
+              desc_.name + "': " + status.error().toString() +
+              " (validate first, or use DramPowerModel::create())");
 
     geometry_ = computeArrayGeometry(desc_.arch, desc_.spec);
     if (!desc_.floorplan.resolved()) {

@@ -37,8 +37,18 @@ struct AreaReport {
 class DramPowerModel {
   public:
     /**
-     * Build the model. fatal()s on an invalid description (use
-     * validateDescription() first for recoverable error handling).
+     * Validate @p desc and build the model, or return the first
+     * validation error. This is the entry point for descriptions coming
+     * from user input; it never terminates the process.
+     */
+    static Result<DramPowerModel> create(DramDescription desc);
+
+    /**
+     * Build the model from a description that is already known to be
+     * valid (presets, create(), descriptions that passed
+     * validateDescription()). Precondition: the description validates;
+     * construction from an invalid description is an internal invariant
+     * violation and panics.
      */
     explicit DramPowerModel(DramDescription desc);
 

@@ -9,26 +9,39 @@
 
 namespace vdram {
 
-ModulePower
+Result<ModulePower>
 evaluateModule(const ModuleConfig& config)
 {
+    Error e;
+    e.code = "E-MODULE-CONFIG";
     if (config.devicesPerRank <= 0 || config.devicesPerAccess <= 0 ||
         config.devicesPerRank % config.devicesPerAccess != 0) {
-        fatal("devicesPerAccess must divide devicesPerRank");
+        e.message = "devicesPerAccess must divide devicesPerRank";
+        return e;
+    }
+    if (config.cachelineBytes <= 0) {
+        e.message = "cachelineBytes must be positive";
+        return e;
     }
 
-    DramPowerModel model(config.device);
+    Result<DramPowerModel> model_result =
+        DramPowerModel::create(config.device);
+    if (!model_result.ok())
+        return model_result.error();
+    DramPowerModel& model = model_result.value();
     const Specification& spec = config.device.spec;
     const TimingParams& t = config.device.timing;
 
     const long long line_bits =
         static_cast<long long>(config.cachelineBytes) * 8;
     const long long bits_per_device = line_bits / config.devicesPerAccess;
-    if (bits_per_device % spec.bitsPerBurst() != 0) {
-        fatal(strformat("a %d-byte line does not split into %lld-bit "
-                        "bursts over %d devices",
-                        config.cachelineBytes, spec.bitsPerBurst(),
-                        config.devicesPerAccess));
+    if (spec.bitsPerBurst() <= 0 ||
+        bits_per_device % spec.bitsPerBurst() != 0) {
+        e.message = strformat("a %d-byte line does not split into "
+                              "%lld-bit bursts over %d devices",
+                              config.cachelineBytes, spec.bitsPerBurst(),
+                              config.devicesPerAccess);
+        return e;
     }
     const int bursts = static_cast<int>(
         bits_per_device / spec.bitsPerBurst());

@@ -17,6 +17,7 @@
 #define VDRAM_CORE_MODULE_H
 
 #include "core/description.h"
+#include "util/result.h"
 
 namespace vdram {
 
@@ -49,11 +50,12 @@ struct ModulePower {
 };
 
 /**
- * Evaluate a module configuration. fatal()s when devicesPerAccess does
- * not divide devicesPerRank or the line does not split evenly into
- * device bursts.
+ * Evaluate a module configuration. Returns an E-MODULE-CONFIG error
+ * when devicesPerAccess does not divide devicesPerRank, the line does
+ * not split evenly into device bursts, or the device description is
+ * invalid. Never terminates the process.
  */
-ModulePower evaluateModule(const ModuleConfig& config);
+Result<ModulePower> evaluateModule(const ModuleConfig& config);
 
 } // namespace vdram
 

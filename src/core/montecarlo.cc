@@ -6,6 +6,7 @@
 
 #include "core/model.h"
 #include "util/logging.h"
+#include "util/strings.h"
 
 namespace vdram {
 
@@ -81,26 +82,51 @@ runMonteCarlo(const DramDescription& nominal,
               const std::vector<IddMeasure>& measures, int samples,
               const VariationModel& variation, unsigned seed)
 {
-    if (samples <= 0)
-        fatal("Monte-Carlo needs a positive sample count");
+    if (samples <= 0) {
+        warn("Monte-Carlo needs a positive sample count; returning "
+             "no distributions");
+        return {};
+    }
 
-    DramPowerModel nominal_model(nominal);
+    Result<DramPowerModel> nominal_model =
+        DramPowerModel::create(nominal);
+    if (!nominal_model.ok()) {
+        warn("Monte-Carlo nominal description is invalid: " +
+             nominal_model.error().toString());
+        return {};
+    }
     std::vector<std::vector<double>> values(measures.size());
 
+    long long skipped = 0;
     for (int s = 0; s < samples; ++s) {
         DramDescription variant =
             sampleVariant(nominal, variation, seed + 977 * s);
-        DramPowerModel model(variant);
+        // Extreme draws can break divisibility/ordering constraints;
+        // skip those variants rather than aborting the whole run.
+        Result<DramPowerModel> model = DramPowerModel::create(variant);
+        if (!model.ok()) {
+            ++skipped;
+            continue;
+        }
         for (size_t m = 0; m < measures.size(); ++m)
-            values[m].push_back(model.idd(measures[m]));
+            values[m].push_back(model.value().idd(measures[m]));
+    }
+    if (skipped > 0) {
+        warn(strformat("Monte-Carlo skipped %lld of %d variants that "
+                       "failed validation",
+                       skipped, samples));
     }
 
     std::vector<IddDistribution> result;
     for (size_t m = 0; m < measures.size(); ++m) {
         IddDistribution dist;
         dist.measure = measures[m];
-        dist.nominal = nominal_model.idd(measures[m]);
+        dist.nominal = nominal_model.value().idd(measures[m]);
         std::vector<double>& v = values[m];
+        if (v.empty()) {
+            result.push_back(dist);
+            continue;
+        }
         std::sort(v.begin(), v.end());
         double sum = 0;
         for (double x : v)

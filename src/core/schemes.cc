@@ -140,8 +140,14 @@ SchemeEvaluator::transformed(Scheme scheme) const
 
     d.name = base_.name + " + " + schemeName(scheme);
     // Architecture changes move array sizes; let the model re-resolve.
-    d.floorplan.resolveArraySizes(
-        computeArrayGeometry(d.arch, d.spec), d.arch.bitlineVertical);
+    // The checked variant tolerates inconsistent bases (evaluate()
+    // reports them as not evaluable instead of dying here).
+    Result<ArrayGeometry> geometry =
+        computeArrayGeometryChecked(d.arch, d.spec);
+    if (geometry.ok()) {
+        d.floorplan.resolveArraySizes(geometry.value(),
+                                      d.arch.bitlineVertical);
+    }
     return d;
 }
 
@@ -149,9 +155,20 @@ SchemeResult
 SchemeEvaluator::evaluate(Scheme scheme) const
 {
     DramDescription desc = transformed(scheme);
-    DramPowerModel model(desc);
-    const Specification& spec = desc.spec;
-    const TimingParams& t = desc.timing;
+    Result<DramPowerModel> model_result =
+        DramPowerModel::create(std::move(desc));
+    if (!model_result.ok()) {
+        SchemeResult failed;
+        failed.scheme = scheme;
+        failed.name = schemeName(scheme);
+        failed.caveat =
+            "not evaluable: " + model_result.error().toString();
+        return failed;
+    }
+    DramPowerModel& model = model_result.value();
+    const DramDescription& valid = model.description();
+    const Specification& spec = valid.spec;
+    const TimingParams& t = valid.timing;
 
     // Close-page random access: one cache line per row cycle.
     int bursts = static_cast<int>(std::ceil(

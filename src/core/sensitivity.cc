@@ -5,6 +5,7 @@
 
 #include "core/model.h"
 #include "protocol/idd.h"
+#include "util/logging.h"
 
 namespace vdram {
 
@@ -201,33 +202,53 @@ sweepParameters(SweepMode mode)
 SensitivityAnalyzer::SensitivityAnalyzer(DramDescription base)
     : base_(std::move(base))
 {
-    basePower_ = patternPowerOf(base_);
+    Result<double> power = patternPowerOf(base_);
+    if (power.ok()) {
+        basePower_ = power.value();
+    } else {
+        warn("sensitivity base description is invalid: " +
+             power.error().toString());
+    }
 }
 
-double
+Result<double>
 SensitivityAnalyzer::patternPowerOf(const DramDescription& desc) const
 {
-    DramPowerModel model(desc);
+    Result<DramPowerModel> model = DramPowerModel::create(desc);
+    if (!model.ok())
+        return model.error();
     Pattern pattern =
         makeParetoPattern(desc.spec, desc.timing);
-    return model.evaluate(pattern).power;
+    return model.value().evaluate(pattern).power;
 }
 
 std::vector<SensitivityResult>
 SensitivityAnalyzer::analyze(double variation, SweepMode mode) const
 {
     std::vector<SensitivityResult> results;
+    if (!(basePower_ > 0))
+        return results;
     for (const SweepParam& param : sweepParameters(mode)) {
         SensitivityResult r;
         r.name = param.name;
 
         DramDescription up = base_;
         param.apply(up, 1.0 + variation);
-        r.plus = patternPowerOf(up) / basePower_ - 1.0;
-
         DramDescription down = base_;
         param.apply(down, 1.0 - variation);
-        r.minus = patternPowerOf(down) / basePower_ - 1.0;
+
+        Result<double> plus = patternPowerOf(up);
+        Result<double> minus = patternPowerOf(down);
+        // Perturbations that break the description (e.g. a pitch pushed
+        // out of range) are skipped rather than aborting the sweep.
+        if (!plus.ok() || !minus.ok()) {
+            warn("sensitivity sweep skipped '" + param.name +
+                 "': " + (!plus.ok() ? plus.error() : minus.error())
+                            .toString());
+            continue;
+        }
+        r.plus = plus.value() / basePower_ - 1.0;
+        r.minus = minus.value() / basePower_ - 1.0;
 
         results.push_back(std::move(r));
     }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/description.h"
+#include "util/result.h"
 
 namespace vdram {
 
@@ -62,11 +63,13 @@ class SensitivityAnalyzer {
     analyze(double variation = 0.20, SweepMode mode = SweepMode::Grouped)
         const;
 
-    /** Power of the base description's pareto pattern (watts). */
+    /** Power of the base description's pareto pattern (watts); 0 when
+     *  the base description is invalid (analyze() then returns no
+     *  results). */
     double basePower() const { return basePower_; }
 
   private:
-    double patternPowerOf(const DramDescription& desc) const;
+    Result<double> patternPowerOf(const DramDescription& desc) const;
 
     DramDescription base_;
     double basePower_ = 0;

@@ -1,6 +1,8 @@
 #include "dsl/parser.h"
 
+#include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -28,11 +30,42 @@ struct KeyValue {
     std::string key;   // lower case
     std::string value; // verbatim
     int line = 0;
+    int column = 0;    // 1-based column of the token
 };
+
+/** One whitespace-separated token with its 1-based column. */
+struct Token {
+    std::string text;
+    int column = 0;
+};
+
+/** Split a (comment-stripped) line into tokens, tracking columns. */
+std::vector<Token>
+tokenize(const std::string& line, int column_offset = 0)
+{
+    std::vector<Token> tokens;
+    size_t i = 0;
+    while (i < line.size()) {
+        if (std::isspace(static_cast<unsigned char>(line[i]))) {
+            ++i;
+            continue;
+        }
+        size_t start = i;
+        while (i < line.size() &&
+               !std::isspace(static_cast<unsigned char>(line[i]))) {
+            ++i;
+        }
+        tokens.push_back(Token{line.substr(start, i - start),
+                               static_cast<int>(start) + 1 +
+                                   column_offset});
+    }
+    return tokens;
+}
 
 /** Mutable state of one parse run. */
 struct ParseState {
     DramDescription desc;
+    DescriptionSource src;
     // Floorplan assembly.
     std::vector<std::string> vertical_names;
     std::vector<std::string> horizontal_names;
@@ -44,23 +77,51 @@ struct ParseState {
     double trc = 0, trcd = 0, trp = 0;
     bool have_pattern = false;
     bool have_spec_io = false;
+
+    /** Record where a DSL key was given (for validation diagnostics). */
+    void remember(const KeyValue& kv)
+    {
+        src.paramLocations[kv.key] =
+            SourceLocation{"", kv.line, kv.column};
+    }
+
+    /** Record a location under an explicit key. */
+    void rememberAs(const std::string& key, int line, int column = 0)
+    {
+        src.paramLocations[key] = SourceLocation{"", line, column};
+    }
 };
 
 Error
-errAt(int line, std::string message)
+errAt(int line, std::string message,
+      std::string code = "E-SYNTAX-ITEM", int column = 0)
 {
-    return Error{std::move(message), line};
+    Error e;
+    e.message = std::move(message);
+    e.line = line;
+    e.column = column;
+    e.code = std::move(code);
+    return e;
+}
+
+Error
+errAtKv(const KeyValue& kv, std::string message,
+        std::string code = "E-SYNTAX-VALUE")
+{
+    return errAt(kv.line, std::move(message), std::move(code), kv.column);
 }
 
 /** Split "key=value" at the first '='. */
 bool
-splitKeyValue(const std::string& token, KeyValue& out)
+splitKeyValue(const Token& token, int line, KeyValue& out)
 {
-    size_t eq = token.find('=');
+    size_t eq = token.text.find('=');
     if (eq == std::string::npos || eq == 0)
         return false;
-    out.key = toLower(token.substr(0, eq));
-    out.value = token.substr(eq + 1);
+    out.key = toLower(token.text.substr(0, eq));
+    out.value = token.text.substr(eq + 1);
+    out.line = line;
+    out.column = token.column;
     return true;
 }
 
@@ -92,22 +153,23 @@ inferRole(const std::string& base)
 }
 
 Result<SignalRole>
-parseRole(const std::string& value, int line)
+parseRole(const KeyValue& kv)
 {
-    std::string v = toLower(value);
+    std::string v = toLower(kv.value);
     if (v == "writedata") return SignalRole::WriteData;
     if (v == "readdata") return SignalRole::ReadData;
     if (v == "rowaddress") return SignalRole::RowAddress;
     if (v == "columnaddress") return SignalRole::ColumnAddress;
     if (v == "control") return SignalRole::Control;
     if (v == "clock") return SignalRole::Clock;
-    return errAt(line, "unknown signal role '" + value + "'");
+    return errAtKv(kv, "unknown signal role '" + kv.value + "'",
+                   "E-SYNTAX-UNKNOWN");
 }
 
 Result<Activity>
-parseActivity(const std::string& value, int line)
+parseActivity(const KeyValue& kv)
 {
-    std::string v = toLower(value);
+    std::string v = toLower(kv.value);
     if (v == "always") return Activity::Always;
     if (v == "row") return Activity::RowCommand;
     if (v == "activate") return Activity::ActivateOnly;
@@ -116,13 +178,14 @@ parseActivity(const std::string& value, int line)
     if (v == "read") return Activity::ReadOnly;
     if (v == "write") return Activity::WriteOnly;
     if (v == "databit") return Activity::PerDataBit;
-    return errAt(line, "unknown logic block activity '" + value + "'");
+    return errAtKv(kv, "unknown logic block activity '" + kv.value + "'",
+                   "E-SYNTAX-UNKNOWN");
 }
 
 Result<Op>
-parseOp(const std::string& token, int line)
+parseOp(const Token& token, int line)
 {
-    std::string t = toLower(token);
+    std::string t = toLower(token.text);
     if (t == "act" || t == "activate") return Op::Act;
     if (t == "pre" || t == "precharge") return Op::Pre;
     if (t == "rd" || t == "read") return Op::Rd;
@@ -131,17 +194,22 @@ parseOp(const std::string& token, int line)
     if (t == "ref" || t == "refresh") return Op::Ref;
     if (t == "pdn" || t == "powerdown") return Op::Pdn;
     if (t == "srf" || t == "selfrefresh") return Op::Srf;
-    return errAt(line, "unknown pattern operation '" + token + "'");
+    return errAt(line, "unknown pattern operation '" + token.text + "'",
+                 "E-SYNTAX-UNKNOWN", token.column);
 }
 
 /** Parse a value with an expected dimension; dimensionless allowed for
- *  counts and when allow_bare is set. */
+ *  counts and when allow_bare is set. Rejects non-finite values. */
 Result<double>
 value(const KeyValue& kv, Dimension dim, bool allow_bare = false)
 {
     Result<double> r = parseQuantityAs(kv.value, dim, allow_bare);
     if (!r.ok())
-        return errAt(kv.line, r.error().message);
+        return errAtKv(kv, r.error().message);
+    if (!std::isfinite(r.value())) {
+        return errAtKv(kv, "non-finite value '" + kv.value + "' for '" +
+                           kv.key + "'");
+    }
     return r;
 }
 
@@ -150,7 +218,11 @@ intValue(const KeyValue& kv)
 {
     Result<long long> r = parseInteger(kv.value);
     if (!r.ok())
-        return errAt(kv.line, r.error().message);
+        return errAtKv(kv, r.error().message);
+    // Attribute counts are stored in int fields; keep them in range.
+    if (r.value() > 2'000'000'000LL || r.value() < -2'000'000'000LL) {
+        return errAtKv(kv, "integer '" + kv.value + "' is out of range");
+    }
     return r;
 }
 
@@ -160,18 +232,23 @@ widthValue(const KeyValue& kv)
 {
     Result<Quantity> q = parseQuantity(kv.value);
     if (!q.ok())
-        return errAt(kv.line, q.error().message);
+        return errAtKv(kv, q.error().message);
+    if (!std::isfinite(q.value().value)) {
+        return errAtKv(kv, "non-finite value '" + kv.value + "' for '" +
+                           kv.key + "'");
+    }
     if (q.value().dim == Dimension::Length)
         return q.value().value;
     if (q.value().dim == Dimension::Dimensionless)
         return q.value().value * 1e-6;
-    return errAt(kv.line, "expected a width in '" + kv.value + "'");
+    return errAtKv(kv, "expected a width in '" + kv.value + "'");
 }
 
 Status
 handleCellArray(ParseState& st, const std::vector<KeyValue>& kvs)
 {
     for (const KeyValue& kv : kvs) {
+        st.remember(kv);
         if (kv.key == "bl") {
             st.desc.arch.bitlineVertical = toLower(kv.value) != "h";
         } else if (kv.key == "bitsperbl") {
@@ -185,7 +262,7 @@ handleCellArray(ParseState& st, const std::vector<KeyValue>& kvs)
         } else if (kv.key == "bltype") {
             std::string t = toLower(kv.value);
             if (t != "open" && t != "folded")
-                return errAt(kv.line, "BLtype must be open or folded");
+                return errAtKv(kv, "BLtype must be open or folded");
             st.desc.arch.foldedBitline = t == "folded";
         } else if (kv.key == "wlpitch") {
             auto v = value(kv, Dimension::Length);
@@ -224,8 +301,8 @@ handleCellArray(ParseState& st, const std::vector<KeyValue>& kvs)
             if (!v.ok()) return v.error();
             st.desc.arch.pageActivationFraction = v.value();
         } else {
-            return errAt(kv.line,
-                         "unknown CellArray attribute '" + kv.key + "'");
+            return errAtKv(kv, "unknown CellArray attribute '" + kv.key +
+                               "'", "E-SYNTAX-UNKNOWN");
         }
     }
     return Status::okStatus();
@@ -259,13 +336,15 @@ handleSignalSegment(ParseState& st, const std::string& name,
         net.role = inferRole(base);
         net.wireCount = 1;
         net.toggleRate = 0.5;
+        st.rememberAs("net:" + base, line);
     }
 
     Segment seg;
+    seg.sourceLine = line;
     bool have_inside = false, have_start = false, have_end = false;
     for (const KeyValue& kv : kvs) {
         if (kv.key == "role") {
-            auto r = parseRole(kv.value, kv.line);
+            auto r = parseRole(kv);
             if (!r.ok()) return r.error();
             net.role = r.value();
         } else if (kv.key == "wires") {
@@ -278,7 +357,7 @@ handleSignalSegment(ParseState& st, const std::string& name,
             net.toggleRate = v.value();
         } else if (kv.key == "inside") {
             auto r = Floorplan::parseGridRef(kv.value);
-            if (!r.ok()) return errAt(kv.line, r.error().message);
+            if (!r.ok()) return errAtKv(kv, r.error().message);
             seg.inside = r.value();
             have_inside = true;
         } else if (kv.key == "fraction") {
@@ -289,12 +368,12 @@ handleSignalSegment(ParseState& st, const std::string& name,
             seg.horizontal = toLower(kv.value) != "v";
         } else if (kv.key == "start") {
             auto r = Floorplan::parseGridRef(kv.value);
-            if (!r.ok()) return errAt(kv.line, r.error().message);
+            if (!r.ok()) return errAtKv(kv, r.error().message);
             seg.from = r.value();
             have_start = true;
         } else if (kv.key == "end") {
             auto r = Floorplan::parseGridRef(kv.value);
-            if (!r.ok()) return errAt(kv.line, r.error().message);
+            if (!r.ok()) return errAtKv(kv, r.error().message);
             seg.to = r.value();
             have_end = true;
         } else if (kv.key == "pchw") {
@@ -307,24 +386,27 @@ handleSignalSegment(ParseState& st, const std::string& name,
             seg.bufferWidthN = v.value();
         } else if (kv.key == "mux") {
             auto v = parseRatio(kv.value);
-            if (!v.ok()) return errAt(kv.line, v.error().message);
+            if (!v.ok()) return errAtKv(kv, v.error().message);
             seg.muxFactor = v.value();
         } else if (kv.key == "scale") {
             auto v = value(kv, Dimension::Fraction, true);
             if (!v.ok()) return v.error();
             seg.lengthScale = v.value();
         } else {
-            return errAt(kv.line,
-                         "unknown signal attribute '" + kv.key + "'");
+            return errAtKv(kv, "unknown signal attribute '" + kv.key + "'",
+                           "E-SYNTAX-UNKNOWN");
         }
     }
-    if (have_inside && (have_start || have_end))
+    if (have_inside && (have_start || have_end)) {
         return errAt(line, "segment cannot be both inside a block and "
-                           "between blocks");
+                           "between blocks", "E-SYNTAX-SEGMENT");
+    }
     if (!have_inside && have_start != have_end)
-        return errAt(line, "segment needs both start= and end=");
+        return errAt(line, "segment needs both start= and end=",
+                     "E-SYNTAX-SEGMENT");
     if (!have_inside && !have_start)
-        return errAt(line, "segment needs inside= or start=/end=");
+        return errAt(line, "segment needs inside= or start=/end=",
+                     "E-SYNTAX-SEGMENT");
     seg.insideBlock = have_inside;
     net.segments.push_back(seg);
     return Status::okStatus();
@@ -338,22 +420,25 @@ handleSpecification(ParseState& st, const std::string& keyword,
     std::string kw = toLower(keyword);
     if (kw == "io") {
         for (const KeyValue& kv : kvs) {
+            st.remember(kv);
             if (kv.key == "width") {
                 auto v = intValue(kv);
                 if (!v.ok()) return v.error();
                 spec.ioWidth = static_cast<int>(v.value());
                 st.have_spec_io = true;
+                st.src.sawIoSpec = true;
             } else if (kv.key == "datarate") {
                 auto v = value(kv, Dimension::DataRate);
                 if (!v.ok()) return v.error();
                 spec.dataRate = v.value();
             } else {
-                return errAt(kv.line, "unknown IO attribute '" + kv.key +
-                                      "'");
+                return errAtKv(kv, "unknown IO attribute '" + kv.key + "'",
+                               "E-SYNTAX-UNKNOWN");
             }
         }
     } else if (kw == "clock") {
         for (const KeyValue& kv : kvs) {
+            st.remember(kv);
             if (kv.key == "number") {
                 auto v = intValue(kv);
                 if (!v.ok()) return v.error();
@@ -363,12 +448,13 @@ handleSpecification(ParseState& st, const std::string& keyword,
                 if (!v.ok()) return v.error();
                 spec.dataClockFrequency = v.value();
             } else {
-                return errAt(kv.line, "unknown Clock attribute '" + kv.key +
-                                      "'");
+                return errAtKv(kv, "unknown Clock attribute '" + kv.key +
+                                   "'", "E-SYNTAX-UNKNOWN");
             }
         }
     } else if (kw == "control") {
         for (const KeyValue& kv : kvs) {
+            st.remember(kv);
             if (kv.key == "frequency") {
                 auto v = value(kv, Dimension::Frequency);
                 if (!v.ok()) return v.error();
@@ -390,12 +476,13 @@ handleSpecification(ParseState& st, const std::string& keyword,
                 if (!v.ok()) return v.error();
                 spec.miscControlSignals = static_cast<int>(v.value());
             } else {
-                return errAt(kv.line, "unknown Control attribute '" +
-                                      kv.key + "'");
+                return errAtKv(kv, "unknown Control attribute '" + kv.key +
+                                   "'", "E-SYNTAX-UNKNOWN");
             }
         }
     } else if (kw == "burst") {
         for (const KeyValue& kv : kvs) {
+            st.remember(kv);
             if (kv.key == "length") {
                 auto v = intValue(kv);
                 if (!v.ok()) return v.error();
@@ -405,12 +492,13 @@ handleSpecification(ParseState& st, const std::string& keyword,
                 if (!v.ok()) return v.error();
                 spec.prefetch = static_cast<int>(v.value());
             } else {
-                return errAt(kv.line, "unknown Burst attribute '" + kv.key +
-                                      "'");
+                return errAtKv(kv, "unknown Burst attribute '" + kv.key +
+                                   "'", "E-SYNTAX-UNKNOWN");
             }
         }
     } else {
-        return errAt(line, "unknown specification item '" + keyword + "'");
+        return errAt(line, "unknown specification item '" + keyword + "'",
+                     "E-SYNTAX-UNKNOWN");
     }
     return Status::okStatus();
 }
@@ -420,12 +508,16 @@ handleParams(ParseState& st, const std::vector<KeyValue>& kvs)
 {
     for (const KeyValue& kv : kvs) {
         const ParamInfo* info = findParam(kv.key);
-        if (!info)
-            return errAt(kv.line, "unknown parameter '" + kv.key + "'");
+        if (!info) {
+            return errAtKv(kv, "unknown parameter '" + kv.key + "'",
+                           "E-SYNTAX-UNKNOWN");
+        }
         auto v = value(kv, info->dim, true);
         if (!v.ok())
             return v.error();
         setParam(*info, st.desc.tech, st.desc.elec, v.value());
+        st.src.providedParams.insert(kv.key);
+        st.remember(kv);
     }
     return Status::okStatus();
 }
@@ -434,7 +526,9 @@ Status
 handleLogicBlock(ParseState& st, const std::vector<KeyValue>& kvs)
 {
     LogicBlock block;
+    int block_line = 0;
     for (const KeyValue& kv : kvs) {
+        block_line = kv.line;
         if (kv.key == "name") {
             block.name = kv.value;
         } else if (kv.key == "gates") {
@@ -466,14 +560,16 @@ handleLogicBlock(ParseState& st, const std::vector<KeyValue>& kvs)
             if (!v.ok()) return v.error();
             block.toggleRate = v.value();
         } else if (kv.key == "active") {
-            auto a = parseActivity(kv.value, kv.line);
+            auto a = parseActivity(kv);
             if (!a.ok()) return a.error();
             block.activity = a.value();
         } else {
-            return errAt(kv.line,
-                         "unknown logic block attribute '" + kv.key + "'");
+            return errAtKv(kv, "unknown logic block attribute '" + kv.key +
+                               "'", "E-SYNTAX-UNKNOWN");
         }
     }
+    if (!block.name.empty())
+        st.rememberAs("block:" + block.name, block_line);
     st.desc.logicBlocks.push_back(std::move(block));
     return Status::okStatus();
 }
@@ -485,6 +581,7 @@ handleTiming(ParseState& st, const std::vector<KeyValue>& kvs)
         auto v = value(kv, Dimension::Time);
         if (!v.ok())
             return v.error();
+        st.remember(kv);
         if (kv.key == "trc")
             st.trc = v.value();
         else if (kv.key == "trcd")
@@ -492,7 +589,8 @@ handleTiming(ParseState& st, const std::vector<KeyValue>& kvs)
         else if (kv.key == "trp")
             st.trp = v.value();
         else
-            return errAt(kv.line, "unknown timing '" + kv.key + "'");
+            return errAtKv(kv, "unknown timing '" + kv.key + "'",
+                           "E-SYNTAX-UNKNOWN");
     }
     return Status::okStatus();
 }
@@ -512,65 +610,101 @@ assembleAxis(const std::vector<std::string>& names,
         auto it = sizes.find(toLower(name));
         block.size = it != sizes.end() ? it->second : 0;
         if (!is_array && block.size <= 0) {
-            return Error{"periphery block '" + name +
-                         "' has no size (add it to SizeVertical/"
-                         "SizeHorizontal)"};
+            return errAt(0, "periphery block '" + name +
+                            "' has no size (add it to SizeVertical/"
+                            "SizeHorizontal)", "E-COMPLETE-FLOORPLAN");
         }
         blocks.push_back(std::move(block));
     }
     return blocks;
 }
 
-Status
-finalize(ParseState& st)
+/**
+ * The completeness part of finalization: axes and IO specification must
+ * have been given, clocks must be derivable. Reports into @p diags and
+ * leaves the description best-effort. Timing and the default pattern
+ * are only derived when the inputs they need are sane (positive finite
+ * clocks below 100 GHz), since cycle conversion must stay in int range.
+ */
+void
+finalizeDiag(ParseState& st, DiagnosticEngine& diags,
+             const std::string& filename)
 {
     DramDescription& d = st.desc;
+    SourceLocation file_loc;
+    file_loc.file = filename;
 
-    if (st.vertical_names.empty() || st.horizontal_names.empty())
-        return Error{"floorplan axes missing (Vertical blocks = ... / "
-                     "Horizontal blocks = ...)"};
-    auto vertical = assembleAxis(st.vertical_names, st.block_sizes);
-    if (!vertical.ok())
-        return vertical.error();
-    auto horizontal = assembleAxis(st.horizontal_names, st.block_sizes);
-    if (!horizontal.ok())
-        return horizontal.error();
-    d.floorplan.setVertical(std::move(vertical).value());
-    d.floorplan.setHorizontal(std::move(horizontal).value());
+    st.src.file = filename;
+    st.src.sawPattern = st.have_pattern;
+
+    if (st.vertical_names.empty() || st.horizontal_names.empty()) {
+        diags.error("E-COMPLETE-FLOORPLAN",
+                    "floorplan axes missing (Vertical blocks = ... / "
+                    "Horizontal blocks = ...)", file_loc);
+    } else {
+        auto vertical = assembleAxis(st.vertical_names, st.block_sizes);
+        auto horizontal = assembleAxis(st.horizontal_names, st.block_sizes);
+        if (!vertical.ok())
+            diags.reportError(vertical.error(), filename);
+        if (!horizontal.ok())
+            diags.reportError(horizontal.error(), filename);
+        if (vertical.ok() && horizontal.ok()) {
+            d.floorplan.setVertical(std::move(vertical).value());
+            d.floorplan.setHorizontal(std::move(horizontal).value());
+        }
+    }
 
     for (const std::string& base : st.net_order)
         d.signals.push_back(st.nets[base]);
 
-    if (!st.have_spec_io)
-        return Error{"specification missing (IO width=... datarate=...)"};
+    if (!st.have_spec_io) {
+        diags.error("E-COMPLETE-SPEC",
+                    "specification missing (IO width=... datarate=...)",
+                    file_loc);
+    }
     if (d.spec.controlClockFrequency <= 0)
         d.spec.controlClockFrequency = d.spec.dataClockFrequency;
     if (d.spec.dataClockFrequency <= 0)
         d.spec.dataClockFrequency = d.spec.controlClockFrequency;
-    if (d.spec.controlClockFrequency <= 0)
-        return Error{"control clock frequency missing"};
+    if (st.have_spec_io && !(d.spec.controlClockFrequency > 0)) {
+        diags.error("E-COMPLETE-SPEC", "control clock frequency missing",
+                    file_loc);
+    }
 
     // Timing: the ladder entry nearest to the node supplies defaults for
     // anything the description does not override.
-    GenerationInfo gen = generationNear(d.tech.featureSize);
-    if (st.trc > 0)
-        gen.tRcSeconds = st.trc;
-    if (st.trcd > 0)
-        gen.tRcdSeconds = st.trcd;
-    if (st.trp > 0)
-        gen.tRpSeconds = st.trp;
-    d.timing = timingFromGeneration(gen, d.spec);
+    bool clocks_usable =
+        std::isfinite(d.spec.controlClockFrequency) &&
+        d.spec.controlClockFrequency > 0 &&
+        d.spec.controlClockFrequency <= 1e11 &&
+        std::isfinite(d.spec.dataClockFrequency) &&
+        d.spec.dataClockFrequency > 0 && d.spec.dataClockFrequency <= 1e11;
+    bool node_usable = std::isfinite(d.tech.featureSize) &&
+                       d.tech.featureSize > 0;
+    if (clocks_usable && node_usable) {
+        GenerationInfo gen = generationNear(d.tech.featureSize);
+        if (st.trc > 0)
+            gen.tRcSeconds = st.trc;
+        if (st.trcd > 0)
+            gen.tRcdSeconds = st.trcd;
+        if (st.trp > 0)
+            gen.tRpSeconds = st.trp;
+        d.timing = timingFromGeneration(gen, d.spec);
 
-    if (!st.have_pattern)
-        d.pattern = makeParetoPattern(d.spec, d.timing);
-
-    return Status::okStatus();
+        if (!st.have_pattern && d.spec.prefetch > 0 &&
+            d.spec.burstLength > 0 && d.spec.bankAddressBits >= 0 &&
+            d.spec.bankAddressBits <= 8 && d.spec.dataRate > 0 &&
+            std::isfinite(d.spec.dataRate)) {
+            d.pattern = makeParetoPattern(d.spec, d.timing);
+        }
+    }
 }
 
 } // namespace
 
-Result<DramDescription>
-parseDescription(const std::string& text)
+ParsedDescription
+parseDescriptionDiag(const std::string& text, DiagnosticEngine& diags,
+                     const std::string& filename)
 {
     ParseState st;
     Section section = Section::None;
@@ -578,54 +712,63 @@ parseDescription(const std::string& text)
     std::istringstream stream(text);
     std::string raw;
     int line_no = 0;
-    while (std::getline(stream, raw)) {
+    while (std::getline(stream, raw) && !diags.errorLimitReached()) {
         ++line_no;
-        // Strip comments and whitespace.
+        // Strip comments; tokenization skips the whitespace, so columns
+        // refer to the original line.
         size_t hash = raw.find('#');
         if (hash != std::string::npos)
             raw.resize(hash);
-        std::string line = trim(raw);
-        if (line.empty())
+        std::vector<Token> tokens = tokenize(raw);
+        if (tokens.empty())
             continue;
 
-        // Normalize " = " so list items tokenize cleanly.
-        std::vector<std::string> tokens = splitWhitespace(line);
-        std::string keyword = tokens[0];
+        std::string keyword = tokens[0].text;
         std::string kw_lower = toLower(keyword);
 
         // Section headers.
         if (kw_lower == "floorplanphysical") {
             section = Section::FloorplanPhysical;
+            st.src.sawFloorplanPhysical = true;
             continue;
         }
         if (kw_lower == "floorplansignaling") {
             section = Section::FloorplanSignaling;
+            st.src.sawFloorplanSignaling = true;
+            st.rememberAs("floorplansignaling", line_no);
             continue;
         }
         if (kw_lower == "specification") {
             section = Section::Specification;
+            st.src.sawSpecification = true;
             continue;
         }
         if (kw_lower == "technology") {
             section = Section::Technology;
+            st.src.sawTechnology = true;
             continue;
         }
         if (kw_lower == "electrical") {
             section = Section::Electrical;
+            st.src.sawElectrical = true;
             continue;
         }
         if (kw_lower == "logicblocks") {
             section = Section::LogicBlocks;
+            st.src.sawLogicBlocks = true;
             continue;
         }
         if (kw_lower == "timing") {
             section = Section::Timing;
+            st.src.sawTiming = true;
             continue;
         }
 
         // Global items usable anywhere.
         if (kw_lower == "name") {
-            std::string rest = trim(line.substr(keyword.size()));
+            size_t after =
+                static_cast<size_t>(tokens[0].column - 1) + keyword.size();
+            std::string rest = trim(raw.substr(std::min(after, raw.size())));
             if (startsWith(rest, "="))
                 rest = trim(rest.substr(1));
             st.desc.name = rest;
@@ -633,57 +776,94 @@ parseDescription(const std::string& text)
         }
         if (kw_lower == "pattern") {
             // "Pattern loop= act nop ..." — everything after the '='.
-            size_t eq = line.find('=');
-            if (eq == std::string::npos)
-                return errAt(line_no, "Pattern needs 'loop= op op ...'");
+            size_t eq = raw.find('=');
+            if (eq == std::string::npos) {
+                diags.reportError(
+                    errAt(line_no, "Pattern needs 'loop= op op ...'",
+                          "E-SYNTAX-PATTERN", tokens[0].column), filename);
+                continue;
+            }
             Pattern pattern;
-            for (const std::string& tok :
-                 splitWhitespace(line.substr(eq + 1))) {
+            bool ops_ok = true;
+            for (const Token& tok :
+                 tokenize(raw.substr(eq + 1), static_cast<int>(eq) + 1)) {
                 auto op = parseOp(tok, line_no);
-                if (!op.ok())
-                    return op.error();
+                if (!op.ok()) {
+                    diags.reportError(op.error(), filename);
+                    ops_ok = false;
+                    break;
+                }
                 pattern.loop.push_back(op.value());
             }
-            if (pattern.loop.empty())
-                return errAt(line_no, "empty pattern loop");
+            if (!ops_ok)
+                continue;
+            if (pattern.loop.empty()) {
+                diags.reportError(errAt(line_no, "empty pattern loop",
+                                        "E-SYNTAX-PATTERN",
+                                        tokens[0].column), filename);
+                continue;
+            }
             st.desc.pattern = std::move(pattern);
             st.have_pattern = true;
+            st.rememberAs("pattern", line_no, tokens[0].column);
             continue;
         }
 
         // Axis lists: "Vertical blocks = A1 P1 P2 P1 A1".
         if ((kw_lower == "vertical" || kw_lower == "horizontal") &&
             section == Section::FloorplanPhysical) {
-            size_t eq = line.find('=');
-            if (eq == std::string::npos)
-                return errAt(line_no, keyword + " needs 'blocks = ...'");
-            auto names = splitWhitespace(line.substr(eq + 1));
-            if (names.empty())
-                return errAt(line_no, "empty block list");
-            if (kw_lower == "vertical")
+            size_t eq = raw.find('=');
+            if (eq == std::string::npos) {
+                diags.reportError(
+                    errAt(line_no, keyword + " needs 'blocks = ...'",
+                          "E-SYNTAX-ITEM", tokens[0].column), filename);
+                continue;
+            }
+            std::vector<std::string> names;
+            for (const Token& tok : tokenize(raw.substr(eq + 1)))
+                names.push_back(tok.text);
+            if (names.empty()) {
+                diags.reportError(errAt(line_no, "empty block list",
+                                        "E-SYNTAX-ITEM", tokens[0].column),
+                                  filename);
+                continue;
+            }
+            st.rememberAs(kw_lower, line_no, tokens[0].column);
+            if (kw_lower == "vertical") {
                 st.vertical_names = names;
-            else
+                st.src.sawVerticalAxis = true;
+            } else {
                 st.horizontal_names = names;
+                st.src.sawHorizontalAxis = true;
+            }
             continue;
         }
 
         // Everything else: keyword + key=value attributes.
         std::vector<KeyValue> kvs;
+        bool kvs_ok = true;
         for (size_t i = 1; i < tokens.size(); ++i) {
             KeyValue kv;
-            kv.line = line_no;
-            if (!splitKeyValue(tokens[i], kv)) {
-                return errAt(line_no,
-                             "expected key=value, got '" + tokens[i] + "'");
+            if (!splitKeyValue(tokens[i], line_no, kv)) {
+                diags.reportError(
+                    errAt(line_no, "expected key=value, got '" +
+                                   tokens[i].text + "'", "E-SYNTAX-ITEM",
+                          tokens[i].column), filename);
+                kvs_ok = false;
+                break;
             }
             kvs.push_back(std::move(kv));
         }
+        if (!kvs_ok)
+            continue;
 
         Status status = Status::okStatus();
         switch (section) {
         case Section::None:
-            return errAt(line_no, "item '" + keyword +
-                                  "' outside any section");
+            status = errAt(line_no, "item '" + keyword +
+                                    "' outside any section",
+                           "E-SYNTAX-SECTION", tokens[0].column);
+            break;
         case Section::FloorplanPhysical:
             if (kw_lower == "cellarray") {
                 status = handleCellArray(st, kvs);
@@ -691,8 +871,9 @@ parseDescription(const std::string& text)
                        kw_lower == "sizehorizontal") {
                 status = handleSizes(st, kvs);
             } else {
-                return errAt(line_no, "unknown floorplan item '" + keyword +
-                                      "'");
+                status = errAt(line_no, "unknown floorplan item '" +
+                                        keyword + "'", "E-SYNTAX-UNKNOWN",
+                               tokens[0].column);
             }
             break;
         case Section::FloorplanSignaling:
@@ -705,10 +886,11 @@ parseDescription(const std::string& text)
         case Section::Electrical: {
             // The keyword itself is a key=value pair in these sections.
             KeyValue first;
-            first.line = line_no;
-            if (!splitKeyValue(keyword, first)) {
-                return errAt(line_no,
-                             "expected key=value, got '" + keyword + "'");
+            if (!splitKeyValue(tokens[0], line_no, first)) {
+                status = errAt(line_no, "expected key=value, got '" +
+                                        keyword + "'", "E-SYNTAX-ITEM",
+                               tokens[0].column);
+                break;
             }
             std::vector<KeyValue> all;
             all.push_back(std::move(first));
@@ -717,40 +899,68 @@ parseDescription(const std::string& text)
             break;
         }
         case Section::LogicBlocks:
-            if (kw_lower != "block")
-                return errAt(line_no, "expected 'Block name=...'");
-            status = handleLogicBlock(st, kvs);
+            if (kw_lower != "block") {
+                status = errAt(line_no, "expected 'Block name=...'",
+                               "E-SYNTAX-ITEM", tokens[0].column);
+            } else {
+                status = handleLogicBlock(st, kvs);
+            }
             break;
         case Section::Timing: {
             KeyValue first;
-            first.line = line_no;
             std::vector<KeyValue> all;
-            if (splitKeyValue(keyword, first))
+            if (splitKeyValue(tokens[0], line_no, first))
                 all.push_back(std::move(first));
             all.insert(all.end(), kvs.begin(), kvs.end());
             status = handleTiming(st, all);
             break;
         }
         }
+        // Error recovery: report and resynchronize at the next line.
         if (!status.ok())
-            return status.error();
+            diags.reportError(status.error(), filename);
     }
 
-    Status status = finalize(st);
-    if (!status.ok())
-        return status.error();
-    return std::move(st.desc);
+    finalizeDiag(st, diags, filename);
+    return ParsedDescription{std::move(st.desc), std::move(st.src)};
+}
+
+ParsedDescription
+parseDescriptionFileDiag(const std::string& path, DiagnosticEngine& diags)
+{
+    std::ifstream file(path);
+    if (!file) {
+        SourceLocation loc;
+        loc.file = path;
+        diags.error("E-IO-OPEN",
+                    "cannot open description file '" + path + "'", loc);
+        ParsedDescription parsed;
+        parsed.source.file = path;
+        return parsed;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return parseDescriptionDiag(buffer.str(), diags, path);
+}
+
+Result<DramDescription>
+parseDescription(const std::string& text)
+{
+    DiagnosticEngine diags;
+    ParsedDescription parsed = parseDescriptionDiag(text, diags);
+    if (diags.hasErrors())
+        return diags.firstError();
+    return std::move(parsed.description);
 }
 
 Result<DramDescription>
 parseDescriptionFile(const std::string& path)
 {
-    std::ifstream file(path);
-    if (!file)
-        return Error{"cannot open description file '" + path + "'"};
-    std::ostringstream buffer;
-    buffer << file.rdbuf();
-    return parseDescription(buffer.str());
+    DiagnosticEngine diags;
+    ParsedDescription parsed = parseDescriptionFileDiag(path, diags);
+    if (diags.hasErrors())
+        return diags.firstError();
+    return std::move(parsed.description);
 }
 
 } // namespace vdram

@@ -31,8 +31,11 @@
  * trailing index (DataW0, DataW1, ...) form one net.
  *
  * Parsing performs the "syntax check" stage of the paper's program flow
- * (Fig. 4): unknown sections, keywords, parameters or malformed values
- * are reported with their line number.
+ * (Fig. 4). The diagnostic entry points recover from malformed lines:
+ * the offending line is reported (with line and column) and parsing
+ * resynchronizes at the next line, so one run surfaces every problem of
+ * a description (capped by the engine's error limit). The classic
+ * Result entry points wrap them and return the first error.
  */
 #ifndef VDRAM_DSL_PARSER_H
 #define VDRAM_DSL_PARSER_H
@@ -40,14 +43,36 @@
 #include <string>
 
 #include "core/description.h"
+#include "util/diag.h"
 #include "util/result.h"
 
 namespace vdram {
 
-/** Parse a description from DSL text. */
+/** A parsed description plus the provenance the validator needs. */
+struct ParsedDescription {
+    DramDescription description;
+    DescriptionSource source;
+};
+
+/**
+ * Parse DSL text, reporting every syntax problem into @p diags and
+ * recovering at the next line. The returned description is best-effort:
+ * it is only usable when !diags.hasErrors(). @p filename is attached to
+ * all diagnostics ("" for in-memory text).
+ */
+ParsedDescription parseDescriptionDiag(const std::string& text,
+                                       DiagnosticEngine& diags,
+                                       const std::string& filename = "");
+
+/** Parse a description file, reporting into @p diags (E-IO-OPEN when the
+ *  file cannot be read). */
+ParsedDescription parseDescriptionFileDiag(const std::string& path,
+                                           DiagnosticEngine& diags);
+
+/** Parse a description from DSL text; first error only. */
 Result<DramDescription> parseDescription(const std::string& text);
 
-/** Parse a description from a file on disk. */
+/** Parse a description from a file on disk; first error only. */
 Result<DramDescription> parseDescriptionFile(const std::string& path);
 
 } // namespace vdram

@@ -7,6 +7,43 @@
 
 namespace vdram {
 
+Result<ArrayGeometry>
+computeArrayGeometryChecked(const ArrayArchitecture& arch,
+                            const Specification& spec)
+{
+    const double folded = arch.foldedBitline ? 2.0 : 1.0;
+    const int split = std::max(1, arch.bankSplit);
+    Error e;
+    e.code = "E-ARCH-DIVIDE";
+    if (arch.bitsPerLocalWordline <= 0 || arch.bitsPerBitline <= 0) {
+        e.message = "cells per line must be positive";
+        return e;
+    }
+    if (spec.pageBits() % (static_cast<long long>(split) *
+                           arch.bitsPerLocalWordline) != 0) {
+        e.message = strformat("page of %lld bits is not divisible into %d "
+                              "half-banks of %d-bit sub-wordlines",
+                              spec.pageBits(), split,
+                              arch.bitsPerLocalWordline);
+        return e;
+    }
+    const long long rows_per_subarray = static_cast<long long>(
+        arch.bitsPerBitline * folded);
+    if (spec.rowsPerBank() % rows_per_subarray != 0) {
+        e.message = strformat("%lld rows per bank are not divisible into "
+                              "sub-arrays of %lld rows",
+                              spec.rowsPerBank(), rows_per_subarray);
+        return e;
+    }
+    if (!(arch.pageActivationFraction > 0) ||
+        arch.pageActivationFraction > 1) {
+        e.code = "E-ARCH-RANGE";
+        e.message = "pageActivationFraction must be in (0, 1]";
+        return e;
+    }
+    return computeArrayGeometry(arch, spec);
+}
+
 ArrayGeometry
 computeArrayGeometry(const ArrayArchitecture& arch, const Specification& spec)
 {
@@ -24,10 +61,12 @@ computeArrayGeometry(const ArrayArchitecture& arch, const Specification& spec)
     const long long rows_per_bank = spec.rowsPerBank();
 
     const int split = std::max(1, arch.bankSplit);
+    // Internal invariants: callers pass architectures that passed
+    // validateDescription() / computeArrayGeometryChecked().
     // Bits of the page held by one half-bank row.
     if (page_bits % (static_cast<long long>(split) *
                      arch.bitsPerLocalWordline) != 0) {
-        fatal(strformat("page of %lld bits is not divisible into %d "
+        panic(strformat("page of %lld bits is not divisible into %d "
                         "half-banks of %d-bit sub-wordlines",
                         page_bits, split, arch.bitsPerLocalWordline));
     }
@@ -35,7 +74,7 @@ computeArrayGeometry(const ArrayArchitecture& arch, const Specification& spec)
     const long long rows_per_subarray = static_cast<long long>(
         arch.bitsPerBitline * folded);
     if (rows_per_bank % rows_per_subarray != 0) {
-        fatal(strformat("%lld rows per bank are not divisible into "
+        panic(strformat("%lld rows per bank are not divisible into "
                         "sub-arrays of %lld rows",
                         rows_per_bank, rows_per_subarray));
     }
@@ -73,8 +112,9 @@ computeArrayGeometry(const ArrayArchitecture& arch, const Specification& spec)
     geo.localDataLineLength = geo.subarrayWidth;
 
     const double fraction = arch.pageActivationFraction;
-    if (fraction <= 0.0 || fraction > 1.0)
-        fatal("pageActivationFraction must be in (0, 1]");
+    // Internal invariant: range-checked by validateDescription().
+    if (!(fraction > 0.0) || fraction > 1.0)
+        panic("pageActivationFraction must be in (0, 1]");
     geo.bitlinesPerActivate = static_cast<long long>(
         std::llround(static_cast<double>(page_bits) * fraction));
     // All half-banks fire their share of the row.

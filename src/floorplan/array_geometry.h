@@ -10,6 +10,7 @@
 #define VDRAM_FLOORPLAN_ARRAY_GEOMETRY_H
 
 #include "core/spec.h"
+#include "util/result.h"
 
 namespace vdram {
 
@@ -106,15 +107,24 @@ struct ArrayGeometry {
 };
 
 /**
- * Compute the array geometry for a device. fatal()s when the architecture
- * is inconsistent (page not divisible into sub-wordlines, bank rows not
- * divisible into bitline segments).
+ * Compute the array geometry for a device. Precondition: the
+ * architecture is consistent (page divisible into sub-wordlines, bank
+ * rows divisible into bitline segments — what validateDescription()
+ * checks); violating it is an internal invariant failure and panics.
  *
  * @param arch  physical array architecture
  * @param spec  interface specification (page size, rows, banks)
  */
 ArrayGeometry computeArrayGeometry(const ArrayArchitecture& arch,
                                    const Specification& spec);
+
+/**
+ * Checked variant for architectures derived from user input (e.g.
+ * what-if transforms of a valid description): returns an E-ARCH-DIVIDE
+ * error instead of requiring a pre-validated architecture.
+ */
+Result<ArrayGeometry> computeArrayGeometryChecked(
+    const ArrayArchitecture& arch, const Specification& spec);
 
 } // namespace vdram
 

@@ -13,8 +13,13 @@ computeCurrentProfile(const Pattern& pattern, const OperationSet& ops,
 {
     CurrentProfile profile;
     const int cycles = pattern.cycles();
-    if (cycles == 0)
-        fatal("cannot profile an empty pattern");
+    // Empty patterns yield an empty profile; validateDescription()
+    // reports E-PATTERN-EMPTY for them, and library code must never
+    // exit on user input.
+    if (cycles == 0) {
+        warn("cannot profile an empty pattern; returning empty profile");
+        return profile;
+    }
     profile.current.assign(static_cast<size_t>(cycles), 0.0);
 
     const double tck = timing.tCkSeconds;

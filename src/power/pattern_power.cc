@@ -12,10 +12,17 @@ computePatternPower(const Pattern& pattern, const OperationSet& ops,
                     const Specification& spec)
 {
     PatternPower result;
-    if (pattern.loop.empty())
-        fatal("cannot evaluate an empty pattern");
-    if (tck <= 0)
-        fatal("control clock period must be positive");
+    // Degenerate inputs produce a zeroed result instead of terminating:
+    // validateDescription() reports E-PATTERN-EMPTY / E-SPEC-RANGE for
+    // them, and library code must never exit on user input.
+    if (pattern.loop.empty()) {
+        warn("cannot evaluate an empty pattern; returning zero power");
+        return result;
+    }
+    if (!(tck > 0)) {
+        warn("control clock period is not positive; returning zero power");
+        return result;
+    }
 
     const int cycles = pattern.cycles();
     result.loopTime = cycles * tck;

@@ -4,8 +4,44 @@
 #include <random>
 
 #include "util/logging.h"
+#include "util/strings.h"
 
 namespace vdram {
+
+Status
+validateAccesses(const std::vector<MemoryAccess>& accesses,
+                 const Specification& spec)
+{
+    const int banks = spec.banks();
+    const long long rows = spec.rowsPerBank();
+    for (size_t i = 0; i < accesses.size(); ++i) {
+        const MemoryAccess& a = accesses[i];
+        if (a.bank < 0 || a.bank >= banks) {
+            Error e;
+            e.code = "E-TRACE-BANK";
+            e.message = strformat(
+                "access %zu addresses bank %d outside the device "
+                "(%d banks)", i, a.bank, banks);
+            return Status(e);
+        }
+        if (a.row < 0 || a.row >= rows) {
+            Error e;
+            e.code = "E-TRACE-RANGE";
+            e.message = strformat(
+                "access %zu addresses row %lld outside the bank "
+                "(%lld rows)", i, a.row, rows);
+            return Status(e);
+        }
+        if (a.column < 0) {
+            Error e;
+            e.code = "E-TRACE-RANGE";
+            e.message =
+                strformat("access %zu has a negative column", i);
+            return Status(e);
+        }
+    }
+    return Status::okStatus();
+}
 
 CommandScheduler::CommandScheduler(const Specification& spec,
                                    const TimingParams& timing,
@@ -73,7 +109,8 @@ CommandScheduler::schedule(const std::vector<MemoryAccess>& accesses)
     for (const MemoryAccess& access : accesses) {
         if (access.bank < 0 ||
             access.bank >= static_cast<int>(banks_.size())) {
-            fatal("access addresses a bank outside the device");
+            ++stats.dropped;
+            continue;
         }
         BankState& bank = banks_[static_cast<size_t>(access.bank)];
         ++stats.accesses;
@@ -138,6 +175,12 @@ CommandScheduler::schedule(const std::vector<MemoryAccess>& accesses)
     stream_.resize(stream_.size() + static_cast<size_t>(timing_.tRc),
                    Op::Nop);
 
+    if (stats.dropped > 0) {
+        warn(strformat("scheduler dropped %lld accesses addressing "
+                       "banks outside the device",
+                       stats.dropped));
+    }
+
     ScheduledStream result;
     result.pattern.loop = std::move(stream_);
     stats.cycles = result.pattern.cycles();
@@ -150,8 +193,14 @@ long long
 applyPowerDownPolicy(Pattern& pattern, int timeout_cycles,
                      int exit_latency_cycles)
 {
-    if (timeout_cycles < 0 || exit_latency_cycles < 0)
-        fatal("power-down policy latencies must be non-negative");
+    if (timeout_cycles < 0) {
+        warn("power-down timeout is negative; clamping to 0");
+        timeout_cycles = 0;
+    }
+    if (exit_latency_cycles < 0) {
+        warn("power-down exit latency is negative; clamping to 0");
+        exit_latency_cycles = 0;
+    }
     long long converted = 0;
     const size_t n = pattern.loop.size();
     size_t i = 0;
@@ -259,8 +308,15 @@ std::vector<MemoryAccess>
 makeLocalityWorkload(const Specification& spec,
                      const WorkloadParams& params, double locality)
 {
-    if (locality < 0 || locality > 1)
-        fatal("locality must be in [0, 1]");
+    // NaN-safe clamp: treat any locality outside [0, 1] (including NaN)
+    // as the nearest bound rather than terminating.
+    if (!(locality >= 0)) {
+        warn("locality below 0; clamping to 0");
+        locality = 0;
+    } else if (locality > 1) {
+        warn("locality above 1; clamping to 1");
+        locality = 1;
+    }
     AddressRanges ranges = rangesOf(spec);
     std::mt19937_64 rng(params.seed);
     std::uniform_int_distribution<int> bank_dist(0, ranges.banks - 1);

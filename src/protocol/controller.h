@@ -14,6 +14,7 @@
 
 #include "core/spec.h"
 #include "protocol/timing.h"
+#include "util/result.h"
 
 namespace vdram {
 
@@ -37,6 +38,7 @@ struct ScheduleStats {
     long long rowHits = 0;      ///< open-page hits (no row command)
     long long rowMisses = 0;    ///< bank idle, activate needed
     long long rowConflicts = 0; ///< other row open, precharge needed
+    long long dropped = 0;      ///< accesses skipped (bank out of range)
     long long cycles = 0;       ///< total schedule length
 
     double rowHitRate() const
@@ -54,11 +56,25 @@ struct ScheduledStream {
 };
 
 /**
+ * Check an externally supplied access stream (e.g. a replayed trace)
+ * against the device's address ranges. Returns the first offending
+ * access as an E-TRACE-BANK / E-TRACE-RANGE error. The scheduler itself
+ * never terminates on bad addresses — it skips them and counts them in
+ * ScheduleStats::dropped — so callers that want hard rejection should
+ * run this first.
+ */
+Status validateAccesses(const std::vector<MemoryAccess>& accesses,
+                        const Specification& spec);
+
+/**
  * In-order greedy scheduler: every access is issued at the earliest
  * cycle that satisfies tRC/tRAS/tRP/tRCD/tCCD/tRRD/tFAW/tRTP/tWR; idle
  * cycles are filled with NOPs. The stream is drained at the end (all
  * banks precharged, one full row cycle of padding) so the resulting
  * pattern is legal even when evaluated as a repeating loop.
+ *
+ * Accesses addressing a bank outside the device are skipped and counted
+ * in ScheduleStats::dropped (never fatal).
  */
 class CommandScheduler {
   public:

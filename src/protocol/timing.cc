@@ -13,6 +13,14 @@ int
 toCycles(double seconds, double tck)
 {
     double ratio = seconds / tck;
+    // Defensive bounds: derived cycle counts must stay in int range (and
+    // pattern generators allocate loops proportional to them) even for
+    // implausible clock/timing combinations that validation only warns
+    // about.
+    if (!(ratio > 0))
+        return 1;
+    if (ratio > 1e7)
+        return 10'000'000;
     long long nearest = std::llround(ratio);
     // Snap to the nearest integer when the analog value is within 0.1 %
     // of it (absorbs rounding in serialized descriptions), otherwise
@@ -31,8 +39,10 @@ timingFromGeneration(const GenerationInfo& generation,
                      const Specification& spec)
 {
     TimingParams t;
-    if (spec.controlClockFrequency <= 0)
-        fatal("control clock frequency must be positive");
+    // Internal invariant: the parser and validateDescription() reject
+    // non-positive clocks before timing derivation.
+    if (!(spec.controlClockFrequency > 0))
+        panic("control clock frequency must be positive");
     t.tCkSeconds = 1.0 / spec.controlClockFrequency;
 
     t.tRc = toCycles(generation.tRcSeconds, t.tCkSeconds);
@@ -41,10 +51,16 @@ timingFromGeneration(const GenerationInfo& generation,
     t.tRas = std::max(1, t.tRc - t.tRp);
 
     // Data beats per control clock: 1 for SDR, 2 for DDR interfaces.
+    // Bounded like toCycles() so extreme rate/clock ratios cannot push
+    // the cycle count out of int range.
     double beats_per_clock =
         spec.dataRate / spec.controlClockFrequency;
-    t.burstCycles = std::max(1, static_cast<int>(std::ceil(
-        spec.burstLength / beats_per_clock - 1e-9)));
+    double burst_cycles = spec.burstLength / beats_per_clock - 1e-9;
+    if (!(burst_cycles > 0))
+        burst_cycles = 1;
+    if (burst_cycles > 1e7)
+        burst_cycles = 1e7;
+    t.burstCycles = std::max(1, static_cast<int>(std::ceil(burst_cycles)));
     t.tCcd = t.burstCycles;
 
     // Bank-to-bank activate spacing: limited by command decode, roughly

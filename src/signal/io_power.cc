@@ -1,7 +1,5 @@
 #include "signal/io_power.h"
 
-#include "util/logging.h"
-
 namespace vdram {
 
 double
@@ -12,12 +10,15 @@ IoPower::average(double read_duty, double write_duty) const
            (read_duty + write_duty) * (strobePower + capacitivePower);
 }
 
-IoPower
+Result<IoPower>
 computeIoPower(const IoConfig& config, const Specification& spec)
 {
-    if (config.driverResistance <= 0 ||
-        config.terminationResistance <= 0) {
-        fatal("I/O impedances must be positive");
+    if (!(config.driverResistance > 0) ||
+        !(config.terminationResistance > 0)) {
+        Error e;
+        e.message = "I/O impedances must be positive";
+        e.code = "E-IO-RANGE";
+        return e;
     }
     IoPower power;
 

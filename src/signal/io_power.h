@@ -22,6 +22,7 @@
 #define VDRAM_SIGNAL_IO_POWER_H
 
 #include "core/spec.h"
+#include "util/result.h"
 
 namespace vdram {
 
@@ -65,8 +66,13 @@ struct IoPower {
     double average(double read_duty, double write_duty) const;
 };
 
-/** Compute the interface power of a device on a terminated link. */
-IoPower computeIoPower(const IoConfig& config, const Specification& spec);
+/**
+ * Compute the interface power of a device on a terminated link. Returns
+ * an E-IO-RANGE error for non-positive driver or termination impedances
+ * (the link configuration is user input).
+ */
+Result<IoPower> computeIoPower(const IoConfig& config,
+                               const Specification& spec);
 
 /** Default link configuration for an interface generation's signaling
  *  style (SSTL vs POD, typical impedances and Vddq). */

@@ -24,9 +24,12 @@ computeSegmentLoads(const Segment& segment, const Floorplan& floorplan,
 {
     SegmentLoads loads;
 
+    // Internal invariant: validateDescription() rejects segments whose
+    // grid references fall outside the floorplan before any load
+    // computation runs.
     if (segment.insideBlock) {
         if (!floorplan.contains(segment.inside))
-            fatal("signal segment references a block outside the floorplan");
+            panic("signal segment references a block outside the floorplan");
         double dimension = segment.horizontal
             ? floorplan.blockWidth(segment.inside)
             : floorplan.blockHeight(segment.inside);
@@ -34,7 +37,7 @@ computeSegmentLoads(const Segment& segment, const Floorplan& floorplan,
     } else {
         if (!floorplan.contains(segment.from) ||
             !floorplan.contains(segment.to)) {
-            fatal("signal segment references a block outside the floorplan");
+            panic("signal segment references a block outside the floorplan");
         }
         loads.length = floorplan.manhattanDistance(segment.from, segment.to);
     }

@@ -52,6 +52,9 @@ struct Segment {
     /** Length multiplier, used by architecture studies that shorten a
      *  bus without moving blocks (e.g. segmented data lines). */
     double lengthScale = 1.0;
+    /** 1-based DSL line the segment came from; 0 when programmatic.
+     *  Used by validation diagnostics only. */
+    int sourceLine = 0;
 };
 
 /** A named bus: several identical wires following the same segments. */

@@ -123,7 +123,9 @@ generationAt(double feature_size)
         if (std::fabs(g.featureSize - feature_size) < 0.5e-9)
             return g;
     }
-    fatal(strformat("no DRAM generation defined at %.0f nm",
+    // Internal invariant: only called with ladder nodes (presets, trend
+    // sweeps). User-supplied feature sizes go through generationNear().
+    panic(strformat("no DRAM generation defined at %.0f nm",
                     feature_size * 1e9));
 }
 

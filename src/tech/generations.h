@@ -58,7 +58,8 @@ struct GenerationInfo {
 /** The full ladder, ordered from the oldest (170 nm) to the newest node. */
 const std::vector<GenerationInfo>& generationLadder();
 
-/** The ladder entry for the given node; fatal() when the node is unknown. */
+/** The ladder entry for the given node; panics when the node is unknown
+ *  (internal use — user feature sizes go through generationNear()). */
 const GenerationInfo& generationAt(double feature_size);
 
 /** The closest ladder entry at or below the given node size. */

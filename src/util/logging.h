@@ -19,6 +19,12 @@ namespace vdram {
 /**
  * Report an unrecoverable user error (bad configuration, invalid input)
  * and exit(1). Maps to gem5's fatal().
+ *
+ * Only tool entry points (main() in tools/, examples/, bench/) may call
+ * this. Library code under src/ must never terminate the process on user
+ * input: it propagates Result/Status values or reports into a
+ * DiagnosticEngine (util/diag.h) instead, so a long-running service can
+ * survive arbitrary untrusted descriptions.
  */
 [[noreturn]] void fatal(const std::string& message);
 

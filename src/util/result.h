@@ -22,13 +22,39 @@ struct Error {
     std::string message;
     /** 1-based line in the input file; 0 when not applicable. */
     int line = 0;
+    /** 1-based column in the input line; 0 when not applicable. */
+    int column = 0;
+    /** Input file name; empty when not applicable. */
+    std::string file;
+    /** Stable diagnostic code ("E-TECH-RANGE", ...); empty when unset. */
+    std::string code;
 
-    /** Render "line N: message" or just "message". */
+    /**
+     * Render "file:line:col: message" with every absent location part
+     * omitted: "file:line: message", "line N: message" or "message".
+     * A trailing " [CODE]" is appended when a diagnostic code is set.
+     */
     std::string toString() const
     {
-        if (line > 0)
-            return "line " + std::to_string(line) + ": " + message;
-        return message;
+        std::string out;
+        if (!file.empty()) {
+            out = file;
+            if (line > 0) {
+                out += ':' + std::to_string(line);
+                if (column > 0)
+                    out += ':' + std::to_string(column);
+            }
+            out += ": ";
+        } else if (line > 0) {
+            out = "line " + std::to_string(line);
+            if (column > 0)
+                out += ", col " + std::to_string(column);
+            out += ": ";
+        }
+        out += message;
+        if (!code.empty())
+            out += " [" + code + "]";
+        return out;
     }
 };
 

@@ -136,8 +136,11 @@ TEST(ArrayGeometryDeathTest, RejectsIndivisiblePage)
     Specification spec = ddr3Spec1Gb();
     ArrayArchitecture arch = openArch55();
     arch.bitsPerLocalWordline = 500; // 16384 not divisible
-    EXPECT_EXIT(computeArrayGeometry(arch, spec),
-                ::testing::ExitedWithCode(1), "not divisible");
+    EXPECT_DEATH(computeArrayGeometry(arch, spec), "not divisible");
+    Result<ArrayGeometry> checked =
+        computeArrayGeometryChecked(arch, spec);
+    ASSERT_FALSE(checked.ok());
+    EXPECT_EQ(checked.error().code, "E-ARCH-DIVIDE");
 }
 
 TEST(ArrayGeometryDeathTest, RejectsIndivisibleRows)
@@ -145,8 +148,11 @@ TEST(ArrayGeometryDeathTest, RejectsIndivisibleRows)
     Specification spec = ddr3Spec1Gb();
     ArrayArchitecture arch = openArch55();
     arch.bitsPerBitline = 600;
-    EXPECT_EXIT(computeArrayGeometry(arch, spec),
-                ::testing::ExitedWithCode(1), "not divisible");
+    EXPECT_DEATH(computeArrayGeometry(arch, spec), "not divisible");
+    Result<ArrayGeometry> checked =
+        computeArrayGeometryChecked(arch, spec);
+    ASSERT_FALSE(checked.ok());
+    EXPECT_EQ(checked.error().code, "E-ARCH-DIVIDE");
 }
 
 TEST(ArrayGeometryDeathTest, RejectsBadActivationFraction)
@@ -154,8 +160,12 @@ TEST(ArrayGeometryDeathTest, RejectsBadActivationFraction)
     Specification spec = ddr3Spec1Gb();
     ArrayArchitecture arch = openArch55();
     arch.pageActivationFraction = 0.0;
-    EXPECT_EXIT(computeArrayGeometry(arch, spec),
-                ::testing::ExitedWithCode(1), "pageActivationFraction");
+    EXPECT_DEATH(computeArrayGeometry(arch, spec),
+                 "pageActivationFraction");
+    Result<ArrayGeometry> checked =
+        computeArrayGeometryChecked(arch, spec);
+    ASSERT_FALSE(checked.ok());
+    EXPECT_EQ(checked.error().code, "E-ARCH-RANGE");
 }
 
 } // namespace

@@ -186,8 +186,8 @@ TEST(BuilderDeathTest, NonPowerOfTwoDensityRejected)
     GenerationInfo gen = generationAt(55e-9);
     BuilderOptions options;
     options.densityOverride = 3e9;
-    EXPECT_EXIT(buildCommodityDescription(gen, options),
-                ::testing::ExitedWithCode(1), "power of two");
+    EXPECT_DEATH(buildCommodityDescription(gen, options),
+                 "power of two");
 }
 
 } // namespace

@@ -13,6 +13,7 @@
 #include "presets/presets.h"
 #include "protocol/bank_fsm.h"
 #include "protocol/controller.h"
+#include "util/logging.h"
 
 namespace vdram {
 namespace {
@@ -228,12 +229,20 @@ TEST_F(ControllerTest, PowerDownPolicyCutsIdleWorkloadPower)
     EXPECT_LT(with_pd, 0.7 * without);
 }
 
-TEST_F(ControllerTest, BankOutOfRangeIsFatal)
+TEST_F(ControllerTest, BankOutOfRangeIsDroppedNotFatal)
 {
     CommandScheduler scheduler(spec_, timing_, PagePolicy::OpenPage);
-    std::vector<MemoryAccess> bad = {{false, spec_.banks(), 0, 0}};
-    EXPECT_EXIT(scheduler.schedule(bad), ::testing::ExitedWithCode(1),
-                "outside the device");
+    std::vector<MemoryAccess> bad = {{false, spec_.banks(), 0, 0},
+                                     {false, 0, 0, 0}};
+    setQuiet(true);
+    ScheduledStream stream = scheduler.schedule(bad);
+    setQuiet(false);
+    EXPECT_EQ(stream.stats.dropped, 1);
+    EXPECT_EQ(stream.stats.accesses, 1);
+
+    Status status = validateAccesses(bad, spec_);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.error().code, "E-TRACE-BANK");
 }
 
 } // namespace

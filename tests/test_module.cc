@@ -27,7 +27,7 @@ x8Rank()
 TEST(ModuleTest, FullRankBurstAccounting)
 {
     // 64 B over 8 x8 devices: 64 bits each = exactly one BL8 burst.
-    ModulePower p = evaluateModule(x8Rank());
+    ModulePower p = evaluateModule(x8Rank()).value();
     EXPECT_EQ(p.burstsPerDevice, 1);
     EXPECT_GT(p.accessEnergy, 0);
     EXPECT_NEAR(p.energyPerBit, p.accessEnergy / 512.0,
@@ -38,22 +38,22 @@ TEST(ModuleTest, MiniRankServesMoreBurstsPerDevice)
 {
     ModuleConfig half = x8Rank();
     half.devicesPerAccess = 4;
-    ModulePower p = evaluateModule(half);
+    ModulePower p = evaluateModule(half).value();
     EXPECT_EQ(p.burstsPerDevice, 2);
 
     ModuleConfig quarter = x8Rank();
     quarter.devicesPerAccess = 2;
-    EXPECT_EQ(evaluateModule(quarter).burstsPerDevice, 4);
+    EXPECT_EQ(evaluateModule(quarter).value().burstsPerDevice, 4);
 }
 
 TEST(ModuleTest, MiniRankCutsAccessEnergy)
 {
     // Zheng et al.'s premise: half the activated devices, half the
     // activated pages -> less row energy per line.
-    ModulePower full = evaluateModule(x8Rank());
+    ModulePower full = evaluateModule(x8Rank()).value();
     ModuleConfig mini_cfg = x8Rank();
     mini_cfg.devicesPerAccess = 4;
-    ModulePower mini = evaluateModule(mini_cfg);
+    ModulePower mini = evaluateModule(mini_cfg).value();
     EXPECT_LT(mini.accessEnergy, full.accessEnergy);
 }
 
@@ -61,9 +61,9 @@ TEST(ModuleTest, PowerDownOfIdleDevicesCompounds)
 {
     ModuleConfig mini_cfg = x8Rank();
     mini_cfg.devicesPerAccess = 4;
-    ModulePower awake = evaluateModule(mini_cfg);
+    ModulePower awake = evaluateModule(mini_cfg).value();
     mini_cfg.powerDownIdleDevices = true;
-    ModulePower gated = evaluateModule(mini_cfg);
+    ModulePower gated = evaluateModule(mini_cfg).value();
     EXPECT_LT(gated.accessEnergy, awake.accessEnergy);
     EXPECT_LT(gated.idleRankPower, awake.idleRankPower);
 }
@@ -71,9 +71,9 @@ TEST(ModuleTest, PowerDownOfIdleDevicesCompounds)
 TEST(ModuleTest, PowerDownIrrelevantWhenAllDevicesParticipate)
 {
     ModuleConfig config = x8Rank();
-    ModulePower awake = evaluateModule(config);
+    ModulePower awake = evaluateModule(config).value();
     config.powerDownIdleDevices = true;
-    ModulePower gated = evaluateModule(config);
+    ModulePower gated = evaluateModule(config).value();
     EXPECT_NEAR(gated.accessEnergy, awake.accessEnergy,
                 awake.accessEnergy * 1e-9);
 }
@@ -84,18 +84,20 @@ TEST(ModuleTest, MiniRankLengthensOccupancy)
     // window beyond tRC once enough bursts queue up.
     ModuleConfig config = x8Rank();
     config.devicesPerAccess = 1; // whole line from one x8 device
-    ModulePower p = evaluateModule(config);
+    ModulePower p = evaluateModule(config).value();
     EXPECT_EQ(p.burstsPerDevice, 8);
-    ModulePower full = evaluateModule(x8Rank());
+    ModulePower full = evaluateModule(x8Rank()).value();
     EXPECT_GE(p.accessWindow, full.accessWindow);
 }
 
-TEST(ModuleDeathTest, RejectsNonDividingAccessWidth)
+TEST(ModuleTest, RejectsNonDividingAccessWidth)
 {
     ModuleConfig config = x8Rank();
     config.devicesPerAccess = 3;
-    EXPECT_EXIT(evaluateModule(config), ::testing::ExitedWithCode(1),
-                "divide");
+    Result<ModulePower> result = evaluateModule(config);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.error().message.find("divide"), std::string::npos);
+    EXPECT_EQ(result.error().code, "E-MODULE-CONFIG");
 }
 
 } // namespace

@@ -134,13 +134,15 @@ TEST(SignalTest, RoleNamesStable)
 
 TEST(SignalDeathTest, RejectsOutOfRangeBlocks)
 {
+    // Grid mismatches are caught by validateDescription(); reaching the
+    // load computation with one is an internal invariant violation.
     Floorplan fp = grid3x3();
     TechnologyParams tech = referenceTechnology90nm();
     Segment seg;
     seg.from = {0, 0};
     seg.to = {5, 0};
-    EXPECT_EXIT(computeSegmentLoads(seg, fp, tech),
-                ::testing::ExitedWithCode(1), "outside the floorplan");
+    EXPECT_DEATH(computeSegmentLoads(seg, fp, tech),
+                 "outside the floorplan");
 }
 
 } // namespace

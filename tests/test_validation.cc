@@ -6,10 +6,16 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <functional>
+#include <limits>
 
 #include "core/description.h"
+#include "core/model.h"
+#include "dsl/parser.h"
+#include "dsl/writer.h"
 #include "presets/presets.h"
+#include "tech/technology.h"
 
 namespace vdram {
 namespace {
@@ -33,6 +39,8 @@ TEST_P(ValidationTest, CorruptionIsCaught)
     EXPECT_NE(status.error().message.find(GetParam().expected_fragment),
               std::string::npos)
         << GetParam().name << ": got '" << status.error().message << "'";
+    // Every rejection carries a stable diagnostic code.
+    EXPECT_FALSE(status.error().code.empty()) << GetParam().name;
 }
 
 const Corruption kCorruptions[] = {
@@ -152,6 +160,171 @@ TEST(ValidationTest2, MissingSignalRoleCaught)
     Status status = validateDescription(desc);
     ASSERT_FALSE(status.ok());
     EXPECT_NE(status.error().message.find("clock"), std::string::npos);
+}
+
+TEST(ValidationTest2, MultipleDefectsReportedInOneRun)
+{
+    DramDescription desc = preset1GbDdr3(55e-9, 16, 1333);
+    desc.tech.bitlineCap = -1e-15;   // E-TECH-RANGE
+    desc.elec.vdd = 0;               // E-ELEC-RANGE
+    desc.signals.front().wireCount = 0; // E-SIGNAL-RANGE
+
+    DiagnosticEngine diags;
+    validateDescription(desc, diags);
+    EXPECT_GE(diags.errorCount(), 3);
+    bool tech = false, elec = false, signal = false;
+    for (const Diagnostic& d : diags.diagnostics()) {
+        if (d.code == "E-TECH-RANGE") tech = true;
+        if (d.code == "E-ELEC-RANGE") elec = true;
+        if (d.code == "E-SIGNAL-RANGE") signal = true;
+    }
+    EXPECT_TRUE(tech);
+    EXPECT_TRUE(elec);
+    EXPECT_TRUE(signal);
+}
+
+TEST(ValidationTest2, NonFiniteParametersRejected)
+{
+    const double bads[] = {std::nan(""),
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity()};
+    for (double bad : bads) {
+        DramDescription desc = preset1GbDdr3(55e-9, 16, 1333);
+        desc.tech.cellCap = bad;
+        DiagnosticEngine diags;
+        validateDescription(desc, diags);
+        ASSERT_TRUE(diags.hasErrors()) << bad;
+        EXPECT_EQ(diags.firstError().code, "E-TECH-RANGE") << bad;
+    }
+    // NaN must not slip through sign/range comparisons elsewhere either.
+    DramDescription desc = preset1GbDdr3(55e-9, 16, 1333);
+    desc.elec.vdd = std::nan("");
+    DiagnosticEngine diags;
+    validateDescription(desc, diags);
+    EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(ValidationTest2, CompletenessMissingSectionIsSingleError)
+{
+    DramDescription desc = preset1GbDdr3(55e-9, 16, 1333);
+    DescriptionSource source;
+    source.file = "partial.dram";
+    source.sawFloorplanPhysical = true;
+    source.sawFloorplanSignaling = true;
+    source.sawSpecification = true;
+    source.sawElectrical = true;
+    source.sawTechnology = false; // whole section missing
+    for (const ParamInfo& info : electricalParamRegistry())
+        source.providedParams.insert(info.key);
+
+    DiagnosticEngine diags;
+    validateDescription(desc, diags, &source);
+    int complete_errors = 0, per_param_warnings = 0;
+    for (const Diagnostic& d : diags.diagnostics()) {
+        if (d.code == "E-COMPLETE-SECTION")
+            ++complete_errors;
+        if (d.code == "W-COMPLETE-PARAM")
+            ++per_param_warnings;
+    }
+    // One error for the section; no per-parameter warning flood.
+    EXPECT_EQ(complete_errors, 1);
+    EXPECT_EQ(per_param_warnings, 0);
+}
+
+TEST(ValidationTest2, CompletenessMissingParamIsWarning)
+{
+    DramDescription desc = preset1GbDdr3(55e-9, 16, 1333);
+    DescriptionSource source;
+    source.file = "partial.dram";
+    source.sawFloorplanPhysical = true;
+    source.sawFloorplanSignaling = true;
+    source.sawSpecification = true;
+    source.sawTechnology = true;
+    source.sawElectrical = true;
+    // Mark every technology parameter as provided except one.
+    for (const ParamInfo& info : technologyParamRegistry())
+        source.providedParams.insert(info.key);
+    source.providedParams.erase("cellcap");
+    for (const ParamInfo& info : electricalParamRegistry())
+        source.providedParams.insert(info.key);
+
+    DiagnosticEngine diags;
+    validateDescription(desc, diags, &source);
+    bool warned = false;
+    for (const Diagnostic& d : diags.diagnostics()) {
+        if (d.code == "W-COMPLETE-PARAM" &&
+            d.message.find("cellcap") != std::string::npos) {
+            warned = true;
+        }
+    }
+    EXPECT_TRUE(warned);
+    EXPECT_FALSE(diags.hasErrors());
+}
+
+TEST(ValidationDeathTest, ModelBuildFromInvalidDescriptionPanics)
+{
+    // The constructor documents validation as a precondition; violating
+    // it is an internal invariant failure (abort), not exit(1).
+    DramDescription desc = preset1GbDdr3(55e-9, 16, 1333);
+    desc.tech.cellCap = -1;
+    EXPECT_DEATH(DramPowerModel model(desc), "invalid description");
+}
+
+TEST(ValidationTest2, CreateRejectsInvalidDescriptionWithoutDying)
+{
+    DramDescription desc = preset1GbDdr3(55e-9, 16, 1333);
+    desc.tech.cellCap = -1;
+    Result<DramPowerModel> model = DramPowerModel::create(desc);
+    ASSERT_FALSE(model.ok());
+    EXPECT_EQ(model.error().code, "E-TECH-RANGE");
+}
+
+TEST(ValidationTest2, ThreeSeededDefectsAllReportedWithLocations)
+{
+    // The acceptance scenario: a description with one syntax defect,
+    // one range defect and one grid defect produces all three findings
+    // in a single run, each with a code and a location.
+    std::string text;
+    {
+        std::string base = writeDescription(preset1GbDdr3(55e-9, 16, 1333));
+        text = base;
+    }
+    // Seed: corrupt one technology value (syntax), one negative cap
+    // (range) and one out-of-grid segment reference (consistency).
+    size_t p = text.find("cellcap=");
+    ASSERT_NE(p, std::string::npos);
+    size_t eol = text.find('\n', p);
+    ASSERT_NE(eol, std::string::npos);
+    text.replace(p, eol - p, "cellcap=zzzz");
+    p = text.find("bitlinecap=");
+    ASSERT_NE(p, std::string::npos);
+    text.insert(p + std::string("bitlinecap=").size(), "-");
+    p = text.find("start=");
+    ASSERT_NE(p, std::string::npos);
+    size_t ref = p + std::string("start=").size();
+    size_t ref_end = text.find_first_of(" \n", ref);
+    ASSERT_NE(ref_end, std::string::npos);
+    text.replace(ref, ref_end - ref, "9_9");
+
+    DiagnosticEngine diags;
+    ParsedDescription parsed =
+        parseDescriptionDiag(text, diags, "seeded.dram");
+    validateDescription(parsed.description, diags, &parsed.source);
+
+    bool syntax = false, range = false, grid = false;
+    for (const Diagnostic& d : diags.diagnostics()) {
+        if (d.severity != Severity::Error)
+            continue;
+        EXPECT_FALSE(d.code.empty());
+        EXPECT_GT(d.location.line, 0) << d.message;
+        if (d.code == "E-SYNTAX-VALUE") syntax = true;
+        if (d.code == "E-TECH-RANGE") range = true;
+        if (d.code == "E-FLOORPLAN-GRID") grid = true;
+    }
+    EXPECT_TRUE(syntax);
+    EXPECT_TRUE(range);
+    EXPECT_TRUE(grid);
+    EXPECT_GE(diags.errorCount(), 3);
 }
 
 } // namespace

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Full CI sequence: normal build + complete test suite, then an
+# ASan+UBSan build of the robustness surface (parser, validator,
+# diagnostics, CLI lint) and an explicit exit-code check of the
+# three-defect lint fixture. Run from the repository root.
+set -euo pipefail
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== release build + full test suite =="
+cmake -B build -S .
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+echo "== sanitized build (ASan + UBSan) =="
+cmake -B build-asan -S . -DVDRAM_SANITIZE=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-asan -j "$jobs" \
+      --target vdram_robustness_tests vdram_cli
+
+echo "== robustness suite under sanitizers =="
+ctest --test-dir build-asan -L robustness --output-on-failure -j "$jobs"
+
+echo "== lint exit-code contract =="
+# A clean file is exit 0; the seeded-defect fixture must report its
+# findings and exit 3 (parse defect present) — not crash, not abort.
+./build-asan/tools/vdram_cli --lint examples/data/ddr3_1gb.dram
+set +e
+./build-asan/tools/vdram_cli --lint --diag-format=json \
+    tests/data/defective.dram
+status=$?
+set -e
+if [ "$status" -ne 3 ] && [ "$status" -ne 4 ]; then
+    echo "lint on defective.dram exited $status, want 3 or 4" >&2
+    exit 1
+fi
+
+echo "ci.sh: all checks passed"

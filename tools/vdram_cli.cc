@@ -11,9 +11,13 @@
  *   vdram_cli schemes    <target>
  *   vdram_cli timing     <target>
  *   vdram_cli trends     [--csv]
+ *   vdram_cli --lint [--diag-format=text|json] <target>
  *
  * <target> is either a path to a .dram description file or
  * "preset:<name>" (see `vdram_cli list`).
+ *
+ * Exit codes: 0 success, 1 runtime error, 2 usage error, 3 syntax
+ * (parse) error in the description, 4 validation error.
  */
 #include <cstdio>
 #include <cstdlib>
@@ -43,12 +47,26 @@ using namespace vdram;
 
 namespace {
 
+// Exit codes (documented in README and docs/diagnostics.md).
+constexpr int kExitOk = 0;
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitParse = 3;
+constexpr int kExitValidate = 4;
+
+/** Diagnostic output options (global flags). */
+struct DiagOptions {
+    bool lint = false;
+    std::string format = "text";
+};
+
 int
 usage()
 {
     std::fprintf(
         stderr,
-        "usage: vdram_cli <command> [args]\n"
+        "usage: vdram_cli [--lint] [--diag-format=text|json] "
+        "<command> [args]\n"
         "  list                      list built-in presets\n"
         "  describe <target>         summary, IDD table, breakdown, die\n"
         "  idd <target>              IDD table only\n"
@@ -68,33 +86,87 @@ usage()
         "                            emit a synthetic trace to stdout\n"
         "  replay <target> <cmdtrace>\n"
         "                            evaluate a timed command trace\n"
-        "<target> = file.dram | preset:<name>\n");
-    return 2;
+        "flags:\n"
+        "  --lint                    parse + validate the target, report\n"
+        "                            every diagnostic, run no command\n"
+        "  --diag-format=text|json   diagnostic rendering (default text)\n"
+        "<target> = file.dram | preset:<name>\n"
+        "exit codes: 0 ok, 1 runtime, 2 usage, 3 syntax error, "
+        "4 validation error\n");
+    return kExitUsage;
 }
 
-bool
-loadTarget(const std::string& target, DramDescription& out)
+/**
+ * Print accumulated diagnostics. Text goes to stderr (it annotates
+ * whatever the command prints); JSON goes to stdout (it IS the output,
+ * only used in lint mode or when the load failed).
+ */
+void
+printDiagnostics(const DiagnosticEngine& diags, const DiagOptions& opts)
+{
+    if (opts.format == "json") {
+        std::printf("%s\n", diags.renderJson().c_str());
+        return;
+    }
+    if (!diags.diagnostics().empty())
+        std::fprintf(stderr, "%s", diags.renderText().c_str());
+}
+
+/**
+ * Load and validate @p target into @p out.
+ *
+ * Returns kExitOk on success; kExitUsage for an unknown preset;
+ * kExitParse when the description has syntax errors; kExitValidate when
+ * it parses but fails completeness/consistency validation. Parse errors
+ * do NOT stop validation: both stages run so a single invocation
+ * reports every defect it can find.
+ */
+int
+loadTarget(const std::string& target, const DiagOptions& opts,
+           DramDescription& out)
 {
     if (startsWith(target, "preset:")) {
         std::string name = target.substr(7);
         for (const NamedPreset& preset : namedPresets()) {
             if (preset.name == name) {
                 out = preset.build();
-                return true;
+                if (opts.lint) {
+                    DiagnosticEngine diags;
+                    validateDescription(out, diags, nullptr);
+                    printDiagnostics(diags, opts);
+                    if (diags.hasErrors())
+                        return kExitValidate;
+                }
+                return kExitOk;
             }
         }
         std::fprintf(stderr, "unknown preset '%s' (try: vdram_cli list)\n",
                      name.c_str());
-        return false;
+        return kExitUsage;
     }
-    Result<DramDescription> parsed = parseDescriptionFile(target);
-    if (!parsed.ok()) {
-        std::fprintf(stderr, "%s: %s\n", target.c_str(),
-                     parsed.error().toString().c_str());
-        return false;
+
+    DiagnosticEngine diags;
+    ParsedDescription parsed = parseDescriptionFileDiag(target, diags);
+    const bool parse_failed = diags.hasErrors();
+    // An unreadable file yields nothing to validate; reporting
+    // "missing section" for every section would only bury E-IO-OPEN.
+    const bool unopened = parse_failed &&
+                          diags.diagnostics().front().code == "E-IO-OPEN";
+    if (!unopened)
+        validateDescription(parsed.description, diags, &parsed.source);
+    if (opts.lint || diags.hasErrors() ||
+        !diags.diagnostics().empty()) {
+        // In JSON mode only lint/failure runs print (stdout belongs to
+        // the command output otherwise).
+        if (opts.format != "json" || opts.lint || diags.hasErrors())
+            printDiagnostics(diags, opts);
     }
-    out = std::move(parsed).value();
-    return true;
+    if (parse_failed)
+        return kExitParse;
+    if (diags.hasErrors())
+        return kExitValidate;
+    out = std::move(parsed.description);
+    return kExitOk;
 }
 
 int
@@ -230,12 +302,22 @@ cmdSweep(const DramDescription& desc, const std::string& param_name,
         }
         DramDescription variant = desc;
         param->apply(variant, factor);
-        DramPowerModel model(variant);
-        PatternPower power = model.evaluateDefault();
+        // A factor can push the description out of its valid range;
+        // report that row as not evaluable instead of dying.
+        Result<DramPowerModel> model =
+            DramPowerModel::create(std::move(variant));
+        if (!model.ok()) {
+            table.addRow({strformat("%.3g", factor),
+                          "not evaluable: " +
+                              model.error().toString(),
+                          "-", "-", "-"});
+            continue;
+        }
+        PatternPower power = model.value().evaluateDefault();
         table.addRow({strformat("%.3g", factor),
                       formatEng(power.power, "W"),
-                      formatEng(model.idd(IddMeasure::Idd0), "A"),
-                      formatEng(model.idd(IddMeasure::Idd4R), "A"),
+                      formatEng(model.value().idd(IddMeasure::Idd0), "A"),
+                      formatEng(model.value().idd(IddMeasure::Idd4R), "A"),
                       strformat("%.1f pJ", power.energyPerBit * 1e12)});
     }
     std::printf("sweep of '%s':\n%s", param->name.c_str(),
@@ -296,7 +378,13 @@ cmdWorkload(const DramDescription& desc, const std::string& trace_path,
     auto trace = loadTraceFile(trace_path);
     if (!trace.ok()) {
         std::fprintf(stderr, "%s\n", trace.error().toString().c_str());
-        return 1;
+        return kExitRuntime;
+    }
+    Status addresses = validateAccesses(trace.value(), desc.spec);
+    if (!addresses.ok()) {
+        std::fprintf(stderr, "%s: %s\n", trace_path.c_str(),
+                     addresses.error().toString().c_str());
+        return kExitRuntime;
     }
     CommandScheduler scheduler(desc.spec, desc.timing,
                                closed_page ? PagePolicy::ClosedPage
@@ -321,6 +409,12 @@ int
 cmdGenTrace(const DramDescription& desc, const std::string& kind,
             long long count)
 {
+    if (count < 1 || count > 100'000'000) {
+        std::fprintf(stderr,
+                     "trace count must be in [1, 100000000], got %lld\n",
+                     count);
+        return kExitUsage;
+    }
     WorkloadParams params;
     params.count = count;
     std::vector<MemoryAccess> accesses;
@@ -364,6 +458,41 @@ cmdTrends(bool csv)
 int
 main(int argc, char** argv)
 {
+    // Strip the global diagnostic flags (position-independent) before
+    // command dispatch.
+    DiagOptions opts;
+    std::vector<char*> args;
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--lint") {
+            opts.lint = true;
+            continue;
+        }
+        if (startsWith(arg, "--diag-format=")) {
+            opts.format = arg.substr(14);
+            continue;
+        }
+        args.push_back(argv[i]);
+    }
+    if (opts.format != "text" && opts.format != "json") {
+        std::fprintf(stderr,
+                     "unknown diagnostic format '%s' (text|json)\n",
+                     opts.format.c_str());
+        return kExitUsage;
+    }
+    argc = static_cast<int>(args.size());
+    argv = args.data();
+
+    if (opts.lint) {
+        // Lint mode needs only a target: the last argument (so both
+        // "vdram_cli --lint file.dram" and
+        // "vdram_cli describe file.dram --lint" work).
+        if (argc < 2)
+            return usage();
+        DramDescription desc;
+        return loadTarget(argv[argc - 1], opts, desc);
+    }
+
     if (argc < 2)
         return usage();
     std::string command = argv[1];
@@ -378,8 +507,9 @@ main(int argc, char** argv)
     if (argc < 3)
         return usage();
     DramDescription desc;
-    if (!loadTarget(argv[2], desc))
-        return 1;
+    int load_status = loadTarget(argv[2], opts, desc);
+    if (load_status != kExitOk)
+        return load_status;
 
     if (command == "describe")
         return cmdDescribe(desc);
@@ -418,7 +548,12 @@ main(int argc, char** argv)
         if (!trace.ok()) {
             std::fprintf(stderr, "%s\n",
                          trace.error().toString().c_str());
-            return 1;
+            return kExitRuntime;
+        }
+        if (trace.value().loop.empty()) {
+            std::fprintf(stderr, "%s: trace contains no commands\n",
+                         argv[3]);
+            return kExitRuntime;
         }
         DramPowerModel model(desc);
         PatternPower power = model.evaluate(trace.value());
