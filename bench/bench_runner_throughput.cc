@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Batch-runner throughput benchmark: the same Monte-Carlo campaign run
+ * serially and with a worker pool. Emits BENCH_runner.json with the
+ * variants/sec of both runs so CI can track the parallel speedup, and
+ * checks that the parallel aggregate is bit-identical to the serial one
+ * (the runner's ordering guarantee).
+ *
+ * The >=2x speedup gate only applies on machines with at least four
+ * hardware threads; below that the gate is reported as skipped, not
+ * failed.
+ */
+#include <cstdio>
+#include <thread>
+
+#include "presets/presets.h"
+#include "runner/campaign.h"
+#include "util/json.h"
+
+using namespace vdram;
+
+namespace {
+
+constexpr int kSamples = 4000;
+constexpr int kParallelJobs = 4;
+
+Result<MonteCarloCampaign>
+runOnce(const DramDescription& nominal, int jobs)
+{
+    RunnerOptions options;
+    options.jobs = jobs;
+    return runMonteCarloCampaign(
+        nominal, {IddMeasure::Idd0, IddMeasure::Idd4R}, kSamples, {}, 7,
+        options);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== batch runner throughput (serial vs --jobs=%d) ==\n\n",
+                kParallelJobs);
+
+    DramDescription nominal = preset1GbDdr3(55e-9, 16, 1333);
+    Result<MonteCarloCampaign> serial = runOnce(nominal, 1);
+    Result<MonteCarloCampaign> parallel = runOnce(nominal, kParallelJobs);
+    if (!serial.ok() || !parallel.ok()) {
+        std::fprintf(stderr, "campaign failed: %s\n",
+                     (!serial.ok() ? serial : parallel)
+                         .error()
+                         .toString()
+                         .c_str());
+        return 1;
+    }
+
+    const double serial_rate = serial.value().report.tasksPerSecond;
+    const double parallel_rate = parallel.value().report.tasksPerSecond;
+    const double speedup =
+        serial_rate > 0 ? parallel_rate / serial_rate : 0;
+    const unsigned cores = std::thread::hardware_concurrency();
+
+    std::printf("samples:            %d\n", kSamples);
+    std::printf("serial:             %.0f variants/s\n", serial_rate);
+    std::printf("--jobs=%d:           %.0f variants/s\n", kParallelJobs,
+                parallel_rate);
+    std::printf("speedup:            %.2fx (on %u hardware threads)\n\n",
+                speedup, cores);
+
+    bool identical = true;
+    for (size_t m = 0; m < serial.value().distributions.size(); ++m) {
+        const IddDistribution& a = serial.value().distributions[m];
+        const IddDistribution& b = parallel.value().distributions[m];
+        identical &= a.mean == b.mean && a.minimum == b.minimum &&
+                     a.maximum == b.maximum && a.p05 == b.p05 &&
+                     a.p95 == b.p95;
+    }
+    std::printf("shape: parallel aggregate bit-identical to serial: %s\n",
+                identical ? "PASS" : "FAIL");
+
+    bool speedup_checked = cores >= 4;
+    if (speedup_checked) {
+        std::printf("perf: --jobs=%d at least 2x serial variants/s: %s\n",
+                    kParallelJobs, speedup >= 2.0 ? "PASS" : "FAIL");
+    } else {
+        std::printf("perf: speedup gate skipped (%u hardware threads "
+                    "< 4)\n", cores);
+    }
+
+    JsonWriter json;
+    json.beginObject();
+    json.key("benchmark").value("runner_throughput");
+    json.key("samples").value(kSamples);
+    json.key("hardwareThreads").value(static_cast<long long>(cores));
+    json.key("serialVariantsPerSecond").value(serial_rate);
+    json.key("parallelJobs").value(kParallelJobs);
+    json.key("parallelVariantsPerSecond").value(parallel_rate);
+    json.key("speedup").value(speedup);
+    json.key("aggregateIdentical").value(identical);
+    json.key("speedupGateChecked").value(speedup_checked);
+    json.endObject();
+    std::FILE* out = std::fopen("BENCH_runner.json", "w");
+    if (out) {
+        std::fprintf(out, "%s\n", json.str().c_str());
+        std::fclose(out);
+        std::printf("\nwrote BENCH_runner.json\n");
+    } else {
+        std::fprintf(stderr, "could not write BENCH_runner.json\n");
+    }
+
+    return identical ? 0 : 1;
+}

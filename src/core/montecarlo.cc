@@ -5,8 +5,7 @@
 #include <random>
 
 #include "core/model.h"
-#include "util/logging.h"
-#include "util/strings.h"
+#include "util/numerics.h"
 
 namespace vdram {
 
@@ -21,7 +20,7 @@ factorOf(std::mt19937_64& rng, double sigma)
 }
 
 double
-percentile(std::vector<double> sorted, double p)
+percentile(const std::vector<double>& sorted, double p)
 {
     if (sorted.empty())
         return 0;
@@ -34,9 +33,15 @@ percentile(std::vector<double> sorted, double p)
 
 } // namespace
 
+std::uint64_t
+monteCarloSampleSeed(std::uint64_t baseSeed, long long sample)
+{
+    return deriveStreamSeed(baseSeed, static_cast<std::uint64_t>(sample));
+}
+
 DramDescription
 sampleVariant(const DramDescription& nominal,
-              const VariationModel& variation, unsigned seed)
+              const VariationModel& variation, std::uint64_t seed)
 {
     std::mt19937_64 rng(seed);
     DramDescription d = nominal;
@@ -77,56 +82,46 @@ sampleVariant(const DramDescription& nominal,
     return d;
 }
 
-std::vector<IddDistribution>
-runMonteCarlo(const DramDescription& nominal,
-              const std::vector<IddMeasure>& measures, int samples,
-              const VariationModel& variation, unsigned seed)
+Result<std::vector<double>>
+evaluateMonteCarloSample(const DramDescription& nominal,
+                         const VariationModel& variation,
+                         const std::vector<IddMeasure>& measures,
+                         std::uint64_t sampleSeed)
 {
-    if (samples <= 0) {
-        warn("Monte-Carlo needs a positive sample count; returning "
-             "no distributions");
-        return {};
+    DramDescription variant = sampleVariant(nominal, variation,
+                                            sampleSeed);
+    Result<DramPowerModel> model =
+        DramPowerModel::create(std::move(variant));
+    if (!model.ok()) {
+        Error error = model.error();
+        error.code = "E-MC-INVALID";
+        return error;
     }
+    std::vector<double> values;
+    values.reserve(measures.size());
+    for (IddMeasure measure : measures)
+        values.push_back(model.value().idd(measure));
+    return values;
+}
 
-    Result<DramPowerModel> nominal_model =
-        DramPowerModel::create(nominal);
-    if (!nominal_model.ok()) {
-        warn("Monte-Carlo nominal description is invalid: " +
-             nominal_model.error().toString());
-        return {};
-    }
-    std::vector<std::vector<double>> values(measures.size());
-
-    long long skipped = 0;
-    for (int s = 0; s < samples; ++s) {
-        DramDescription variant =
-            sampleVariant(nominal, variation, seed + 977 * s);
-        // Extreme draws can break divisibility/ordering constraints;
-        // skip those variants rather than aborting the whole run.
-        Result<DramPowerModel> model = DramPowerModel::create(variant);
-        if (!model.ok()) {
-            ++skipped;
-            continue;
-        }
-        for (size_t m = 0; m < measures.size(); ++m)
-            values[m].push_back(model.value().idd(measures[m]));
-    }
-    if (skipped > 0) {
-        warn(strformat("Monte-Carlo skipped %lld of %d variants that "
-                       "failed validation",
-                       skipped, samples));
-    }
-
+std::vector<IddDistribution>
+summarizeIddDistributions(const DramPowerModel& nominalModel,
+                          const std::vector<IddMeasure>& measures,
+                          std::vector<std::vector<double>>& values)
+{
     std::vector<IddDistribution> result;
+    result.reserve(measures.size());
     for (size_t m = 0; m < measures.size(); ++m) {
         IddDistribution dist;
         dist.measure = measures[m];
-        dist.nominal = nominal_model.value().idd(measures[m]);
+        dist.nominal = nominalModel.idd(measures[m]);
         std::vector<double>& v = values[m];
         if (v.empty()) {
             result.push_back(dist);
             continue;
         }
+        // Sorting makes the summary (including the mean's summation
+        // order) independent of the order samples completed in.
         std::sort(v.begin(), v.end());
         double sum = 0;
         for (double x : v)

@@ -11,16 +11,26 @@
  * voltages around the nominal description and reports the resulting
  * IDD distributions, which can be compared against the encoded
  * datasheet bands.
+ *
+ * The per-sample primitives (seed derivation, single-sample evaluation,
+ * distribution summary) are exposed so the batch runner
+ * (src/runner/campaign.h) can parallelize and checkpoint a campaign;
+ * runMonteCarlo() itself routes through that runner.
  */
 #ifndef VDRAM_CORE_MONTECARLO_H
 #define VDRAM_CORE_MONTECARLO_H
 
+#include <cstdint>
 #include <vector>
 
 #include "core/description.h"
 #include "protocol/idd.h"
+#include "util/result.h"
 
 namespace vdram {
+
+class DramPowerModel;
+struct RunReport;
 
 /** Relative 1-sigma variations applied per sample. */
 struct VariationModel {
@@ -51,20 +61,56 @@ struct IddDistribution {
     }
 };
 
+/**
+ * Seed of sample @p sample in the stream derived from @p baseSeed.
+ * SplitMix64-style: distinct (base, sample) pairs yield unrelated
+ * seeds. The previous affine derivation (base + 977 * sample) collided
+ * whenever two base seeds differed by a multiple of 977.
+ */
+std::uint64_t monteCarloSampleSeed(std::uint64_t baseSeed,
+                                   long long sample);
+
 /** Sample one vendor-like variant of a description (deterministic per
  *  seed). */
 DramDescription sampleVariant(const DramDescription& nominal,
                               const VariationModel& variation,
-                              unsigned seed);
+                              std::uint64_t seed);
+
+/**
+ * Evaluate one Monte-Carlo sample: draw the variant for @p sampleSeed,
+ * validate it and return one IDD value per measure. Extreme draws can
+ * break divisibility/ordering constraints; those variants return the
+ * validation error (code E-MC-INVALID) instead of aborting anything.
+ */
+Result<std::vector<double>>
+evaluateMonteCarloSample(const DramDescription& nominal,
+                         const VariationModel& variation,
+                         const std::vector<IddMeasure>& measures,
+                         std::uint64_t sampleSeed);
+
+/**
+ * Build the per-measure distribution summaries from raw sample values.
+ * @p values holds one vector per measure (same order as @p measures);
+ * the vectors are sorted in place. Deterministic for a given value
+ * multiset regardless of sampling order.
+ */
+std::vector<IddDistribution>
+summarizeIddDistributions(const DramPowerModel& nominalModel,
+                          const std::vector<IddMeasure>& measures,
+                          std::vector<std::vector<double>>& values);
 
 /**
  * Run the Monte-Carlo study: @p samples variants, evaluating the given
- * IDD measures on each.
+ * IDD measures on each. Routes through the batch runner (serially);
+ * variants that fail validation are quarantined and counted in
+ * @p report when given, instead of aborting the run. Implemented in
+ * src/runner/campaign.cc.
  */
 std::vector<IddDistribution>
 runMonteCarlo(const DramDescription& nominal,
               const std::vector<IddMeasure>& measures, int samples,
-              const VariationModel& variation = {}, unsigned seed = 1);
+              const VariationModel& variation = {},
+              std::uint64_t seed = 1, RunReport* report = nullptr);
 
 } // namespace vdram
 

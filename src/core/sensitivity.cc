@@ -212,7 +212,7 @@ SensitivityAnalyzer::SensitivityAnalyzer(DramDescription base)
 }
 
 Result<double>
-SensitivityAnalyzer::patternPowerOf(const DramDescription& desc) const
+paretoPatternPower(const DramDescription& desc)
 {
     Result<DramPowerModel> model = DramPowerModel::create(desc);
     if (!model.ok())
@@ -220,6 +220,12 @@ SensitivityAnalyzer::patternPowerOf(const DramDescription& desc) const
     Pattern pattern =
         makeParetoPattern(desc.spec, desc.timing);
     return model.value().evaluate(pattern).power;
+}
+
+Result<double>
+SensitivityAnalyzer::patternPowerOf(const DramDescription& desc) const
+{
+    return paretoPatternPower(desc);
 }
 
 std::vector<SensitivityResult>

@@ -50,6 +50,13 @@ struct SweepParam {
 /** The sweep list for a mode. */
 std::vector<SweepParam> sweepParameters(SweepMode mode);
 
+/**
+ * Power of the paper's sensitivity/trend workload (the IDD7-like
+ * pattern with half the reads replaced by writes) for a description;
+ * the validation error when the description is invalid.
+ */
+Result<double> paretoPatternPower(const DramDescription& desc);
+
 /** Sensitivity analyzer over a base description. */
 class SensitivityAnalyzer {
   public:

@@ -5,31 +5,9 @@
 
 namespace vdram {
 
-std::vector<TrendPoint>
-computeTrends(const BuilderOptions& options)
-{
-    std::vector<TrendPoint> points;
-    for (const GenerationInfo& gen : generationLadder()) {
-        DramDescription desc = buildCommodityDescription(gen, options);
-        DramPowerModel model(std::move(desc));
-
-        TrendPoint p;
-        p.generation = gen;
-        p.vdd = gen.vdd;
-        p.vint = gen.vint;
-        p.vpp = gen.vpp;
-        p.vbl = gen.vbl;
-        p.dataRatePerPin = gen.dataRatePerPin;
-        p.tRcSeconds = gen.tRcSeconds;
-        p.dieAreaMm2 = model.area().dieArea * 1e6;
-        p.energyPerBit = model.energyPerBit();
-        p.idd0 = model.idd(IddMeasure::Idd0);
-        p.idd4r = model.idd(IddMeasure::Idd4R);
-        p.arrayEfficiency = model.area().arrayEfficiency;
-        points.push_back(std::move(p));
-    }
-    return points;
-}
+// computeTrends() lives in src/runner/campaign.cc: it is a thin wrapper
+// around runTrendsCampaign() so every ladder evaluation routes through
+// the batch runner (fault isolation, checkpointing, parallelism).
 
 TrendSummary
 summarizeTrends(const std::vector<TrendPoint>& points)

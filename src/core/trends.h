@@ -42,7 +42,11 @@ struct TrendSummary {
     double forecastFactorPerGen = 0;
 };
 
-/** Compute the trend point of every ladder generation. */
+/**
+ * Compute the trend point of every ladder generation. Implemented in
+ * src/runner/campaign.cc as a serial runTrendsCampaign() run, so each
+ * generation is evaluated with batch-runner fault isolation.
+ */
 std::vector<TrendPoint> computeTrends(const BuilderOptions& options = {});
 
 /** Summarize the energy-per-bit improvement factors. */

@@ -1,0 +1,279 @@
+#include "runner/campaign.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "core/model.h"
+#include "tech/generations.h"
+#include "util/logging.h"
+#include "util/numerics.h"
+#include "util/strings.h"
+
+namespace vdram {
+
+std::string
+encodeDoublePayload(const std::vector<double>& values)
+{
+    std::vector<std::string> parts;
+    parts.reserve(values.size());
+    for (double v : values)
+        parts.push_back(strformat("%.17g", v));
+    return join(parts, " ");
+}
+
+Result<std::vector<double>>
+decodeDoublePayload(const std::string& text)
+{
+    std::vector<double> values;
+    for (const std::string& token : splitWhitespace(text)) {
+        char* end = nullptr;
+        double v = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size()) {
+            return Error{"corrupt numeric payload token '" + token + "'",
+                         0, 0, "", "E-CKPT-PAYLOAD"};
+        }
+        values.push_back(v);
+    }
+    return values;
+}
+
+Result<MonteCarloCampaign>
+runMonteCarloCampaign(const DramDescription& nominal,
+                      const std::vector<IddMeasure>& measures,
+                      int samples, const VariationModel& variation,
+                      std::uint64_t seed, const RunnerOptions& options,
+                      DiagnosticEngine* diags)
+{
+    if (samples <= 0) {
+        return Error{"Monte-Carlo needs a positive sample count", 0, 0,
+                     "", "E-MC-SAMPLES"};
+    }
+    Result<DramPowerModel> nominal_model = DramPowerModel::create(nominal);
+    if (!nominal_model.ok()) {
+        Error error = nominal_model.error();
+        error.message =
+            "Monte-Carlo nominal description is invalid: " + error.message;
+        return error;
+    }
+
+    std::vector<TaskSpec> manifest;
+    manifest.reserve(samples);
+    for (int s = 0; s < samples; ++s) {
+        manifest.push_back(TaskSpec{strformat("sample-%d", s),
+                                    monteCarloSampleSeed(seed, s)});
+    }
+
+    BatchRunner runner(
+        std::move(manifest),
+        [&nominal, &variation, &measures](const TaskContext& context)
+            -> Result<std::string> {
+            Result<std::vector<double>> values = evaluateMonteCarloSample(
+                nominal, variation, measures, context.seed);
+            if (!values.ok())
+                return values.error();
+            return encodeDoublePayload(values.value());
+        },
+        options);
+
+    Result<RunReport> report = runner.run(diags);
+    if (!report.ok())
+        return report.error();
+
+    std::vector<std::vector<double>> values(measures.size());
+    for (const TaskResult& task : runner.results()) {
+        if (!task.ok())
+            continue;
+        Result<std::vector<double>> decoded =
+            decodeDoublePayload(task.payload);
+        if (!decoded.ok() || decoded.value().size() != measures.size()) {
+            return Error{strformat("task %lld has a corrupt checkpoint "
+                                   "payload",
+                                   task.index),
+                         0, 0, options.checkpointPath, "E-CKPT-PAYLOAD"};
+        }
+        for (size_t m = 0; m < measures.size(); ++m)
+            values[m].push_back(decoded.value()[m]);
+    }
+
+    MonteCarloCampaign campaign;
+    campaign.report = report.value();
+    campaign.distributions =
+        summarizeIddDistributions(nominal_model.value(), measures, values);
+    return campaign;
+}
+
+std::vector<IddDistribution>
+runMonteCarlo(const DramDescription& nominal,
+              const std::vector<IddMeasure>& measures, int samples,
+              const VariationModel& variation, std::uint64_t seed,
+              RunReport* report)
+{
+    RunnerOptions options; // serial, no checkpoint, no deadline
+    Result<MonteCarloCampaign> campaign = runMonteCarloCampaign(
+        nominal, measures, samples, variation, seed, options);
+    if (!campaign.ok()) {
+        warn(campaign.error().toString() +
+             "; returning no distributions");
+        return {};
+    }
+    if (report)
+        *report = campaign.value().report;
+    return std::move(campaign.value().distributions);
+}
+
+Result<SensitivityCampaign>
+runSensitivityCampaign(const DramDescription& base, double variation,
+                       SweepMode mode, const RunnerOptions& options,
+                       DiagnosticEngine* diags)
+{
+    Result<double> base_power = paretoPatternPower(base);
+    if (!base_power.ok()) {
+        Error error = base_power.error();
+        error.message = "sensitivity base description is invalid: " +
+                        error.message;
+        return error;
+    }
+
+    const std::vector<SweepParam> params = sweepParameters(mode);
+    std::vector<TaskSpec> manifest;
+    manifest.reserve(params.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+        manifest.push_back(
+            TaskSpec{params[i].name, deriveStreamSeed(0x5E45, i)});
+    }
+
+    double basePower = base_power.value();
+    BatchRunner runner(
+        std::move(manifest),
+        [&base, &params, variation, basePower](const TaskContext& context)
+            -> Result<std::string> {
+            const SweepParam& param = params[context.index];
+            DramDescription up = base;
+            param.apply(up, 1.0 + variation);
+            DramDescription down = base;
+            param.apply(down, 1.0 - variation);
+            Result<double> plus = paretoPatternPower(up);
+            if (!plus.ok())
+                return plus.error();
+            Result<double> minus = paretoPatternPower(down);
+            if (!minus.ok())
+                return minus.error();
+            return encodeDoublePayload({plus.value() / basePower - 1.0,
+                                        minus.value() / basePower - 1.0});
+        },
+        options);
+
+    Result<RunReport> report = runner.run(diags);
+    if (!report.ok())
+        return report.error();
+
+    SensitivityCampaign campaign;
+    campaign.report = report.value();
+    for (const TaskResult& task : runner.results()) {
+        if (!task.ok())
+            continue;
+        Result<std::vector<double>> decoded =
+            decodeDoublePayload(task.payload);
+        if (!decoded.ok() || decoded.value().size() != 2) {
+            return Error{strformat("task %lld has a corrupt checkpoint "
+                                   "payload",
+                                   task.index),
+                         0, 0, options.checkpointPath, "E-CKPT-PAYLOAD"};
+        }
+        SensitivityResult r;
+        r.name = task.spec.name;
+        r.plus = decoded.value()[0];
+        r.minus = decoded.value()[1];
+        campaign.results.push_back(std::move(r));
+    }
+    // stable_sort: parameters with equal spread keep manifest order, so
+    // the rendered Pareto is identical across runs and job counts.
+    std::stable_sort(
+        campaign.results.begin(), campaign.results.end(),
+        [](const SensitivityResult& a, const SensitivityResult& b) {
+            return a.spread() > b.spread();
+        });
+    return campaign;
+}
+
+Result<TrendsCampaign>
+runTrendsCampaign(const BuilderOptions& builderOptions,
+                  const RunnerOptions& options, DiagnosticEngine* diags)
+{
+    const std::vector<GenerationInfo> ladder = generationLadder();
+    std::vector<TaskSpec> manifest;
+    manifest.reserve(ladder.size());
+    for (size_t i = 0; i < ladder.size(); ++i) {
+        manifest.push_back(TaskSpec{ladder[i].label(),
+                                    deriveStreamSeed(0x72E7D, i)});
+    }
+
+    BatchRunner runner(
+        std::move(manifest),
+        [&ladder, &builderOptions](const TaskContext& context)
+            -> Result<std::string> {
+            const GenerationInfo& gen = ladder[context.index];
+            DramDescription desc =
+                buildCommodityDescription(gen, builderOptions);
+            Result<DramPowerModel> model =
+                DramPowerModel::create(std::move(desc));
+            if (!model.ok())
+                return model.error();
+            const DramPowerModel& m = model.value();
+            return encodeDoublePayload(
+                {m.area().dieArea * 1e6, m.energyPerBit(),
+                 m.idd(IddMeasure::Idd0), m.idd(IddMeasure::Idd4R),
+                 m.area().arrayEfficiency});
+        },
+        options);
+
+    Result<RunReport> report = runner.run(diags);
+    if (!report.ok())
+        return report.error();
+
+    TrendsCampaign campaign;
+    campaign.report = report.value();
+    for (const TaskResult& task : runner.results()) {
+        if (!task.ok())
+            continue;
+        Result<std::vector<double>> decoded =
+            decodeDoublePayload(task.payload);
+        if (!decoded.ok() || decoded.value().size() != 5) {
+            return Error{strformat("task %lld has a corrupt checkpoint "
+                                   "payload",
+                                   task.index),
+                         0, 0, options.checkpointPath, "E-CKPT-PAYLOAD"};
+        }
+        const GenerationInfo& gen = ladder[task.index];
+        TrendPoint p;
+        p.generation = gen;
+        p.vdd = gen.vdd;
+        p.vint = gen.vint;
+        p.vpp = gen.vpp;
+        p.vbl = gen.vbl;
+        p.dataRatePerPin = gen.dataRatePerPin;
+        p.tRcSeconds = gen.tRcSeconds;
+        p.dieAreaMm2 = decoded.value()[0];
+        p.energyPerBit = decoded.value()[1];
+        p.idd0 = decoded.value()[2];
+        p.idd4r = decoded.value()[3];
+        p.arrayEfficiency = decoded.value()[4];
+        campaign.points.push_back(std::move(p));
+    }
+    return campaign;
+}
+
+std::vector<TrendPoint>
+computeTrends(const BuilderOptions& options)
+{
+    RunnerOptions runner; // serial, no checkpoint, no deadline
+    Result<TrendsCampaign> campaign =
+        runTrendsCampaign(options, runner);
+    if (!campaign.ok()) {
+        warn(campaign.error().toString() + "; returning no trend points");
+        return {};
+    }
+    return std::move(campaign.value().points);
+}
+
+} // namespace vdram

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Campaign adapters: the paper's evaluation studies expressed as batch
+ * runner jobs.
+ *
+ * Each adapter builds a manifest (one task per Monte-Carlo sample,
+ * sensitivity parameter, ladder generation or sweep factor), runs it
+ * through BatchRunner — gaining parallelism, fault isolation, retry,
+ * checkpoint/resume and graceful draining — and aggregates the ok
+ * payloads back into the study's native result type. Aggregation always
+ * walks tasks in manifest order, so a resumed or parallel run produces
+ * a byte-identical aggregate to a serial one.
+ */
+#ifndef VDRAM_RUNNER_CAMPAIGN_H
+#define VDRAM_RUNNER_CAMPAIGN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/builder.h"
+#include "core/montecarlo.h"
+#include "core/sensitivity.h"
+#include "core/trends.h"
+#include "runner/runner.h"
+
+namespace vdram {
+
+/** Monte-Carlo study result plus the run's accounting. */
+struct MonteCarloCampaign {
+    std::vector<IddDistribution> distributions;
+    RunReport report;
+};
+
+/**
+ * Monte-Carlo campaign: one task per sample. Task seeds come from
+ * monteCarloSampleSeed(seed, index); invalid variants are quarantined
+ * (E-MC-INVALID) and excluded from the distributions. Errors are
+ * reserved for campaign-level problems: a non-positive sample count, an
+ * invalid nominal description, an unreadable checkpoint.
+ */
+Result<MonteCarloCampaign>
+runMonteCarloCampaign(const DramDescription& nominal,
+                      const std::vector<IddMeasure>& measures,
+                      int samples, const VariationModel& variation,
+                      std::uint64_t seed, const RunnerOptions& options,
+                      DiagnosticEngine* diags = nullptr);
+
+/** Sensitivity study result plus the run's accounting. */
+struct SensitivityCampaign {
+    /** Sorted by descending spread (the paper's Pareto order). */
+    std::vector<SensitivityResult> results;
+    RunReport report;
+};
+
+/**
+ * Sensitivity campaign: one task per sweep parameter, each evaluating
+ * the +/- variation pair. Perturbations that break the description are
+ * quarantined instead of aborting the sweep.
+ */
+Result<SensitivityCampaign>
+runSensitivityCampaign(const DramDescription& base, double variation,
+                       SweepMode mode, const RunnerOptions& options,
+                       DiagnosticEngine* diags = nullptr);
+
+/** Generation-ladder trend result plus the run's accounting. */
+struct TrendsCampaign {
+    std::vector<TrendPoint> points;
+    RunReport report;
+};
+
+/** Trend campaign: one task per ladder generation. */
+Result<TrendsCampaign>
+runTrendsCampaign(const BuilderOptions& builderOptions,
+                  const RunnerOptions& options,
+                  DiagnosticEngine* diags = nullptr);
+
+/**
+ * Serialize doubles as a space-separated full-precision ("%.17g")
+ * payload that round-trips bit-exactly through the checkpoint.
+ */
+std::string encodeDoublePayload(const std::vector<double>& values);
+
+/** Inverse of encodeDoublePayload(). */
+Result<std::vector<double>> decodeDoublePayload(const std::string& text);
+
+} // namespace vdram
+
+#endif // VDRAM_RUNNER_CAMPAIGN_H

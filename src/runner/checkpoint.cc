@@ -1,0 +1,300 @@
+#include "runner/checkpoint.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/json.h"
+#include "util/strings.h"
+
+namespace vdram {
+
+namespace {
+
+/**
+ * Minimal parser for the flat JSON objects this module itself writes
+ * (string and integer values only). Not a general JSON parser; feeding
+ * it anything else yields an error, never undefined behavior.
+ */
+class RecordParser {
+  public:
+    explicit RecordParser(const std::string& text) : text_(text) {}
+
+    Result<TaskRecord> parse()
+    {
+        TaskRecord record;
+        skipSpace();
+        if (!consume('{'))
+            return fail("expected '{'");
+        skipSpace();
+        if (consume('}'))
+            return record;
+        while (true) {
+            std::string key;
+            if (!parseString(key))
+                return fail("expected key string");
+            skipSpace();
+            if (!consume(':'))
+                return fail("expected ':'");
+            skipSpace();
+            if (peek() == '"') {
+                std::string value;
+                if (!parseString(value))
+                    return fail("bad string value");
+                if (key == "name") record.name = value;
+                else if (key == "status") record.status = value;
+                else if (key == "payload") record.payload = value;
+                else if (key == "error") record.error = value;
+                // Unknown string keys are ignored (forward compat).
+            } else {
+                long long value = 0;
+                if (!parseInteger(value))
+                    return fail("bad numeric value");
+                if (key == "task")
+                    record.task = value;
+                else if (key == "attempts")
+                    record.attempts = static_cast<int>(value);
+            }
+            skipSpace();
+            if (consume(',')) {
+                skipSpace();
+                continue;
+            }
+            if (consume('}'))
+                break;
+            return fail("expected ',' or '}'");
+        }
+        skipSpace();
+        if (pos_ != text_.size())
+            return fail("trailing content after record");
+        if (record.task < 0 || record.status.empty())
+            return fail("record missing task/status");
+        return record;
+    }
+
+  private:
+    Error fail(const std::string& what) const
+    {
+        return Error{"checkpoint record: " + what,
+                     0, static_cast<int>(pos_) + 1, "", "E-CKPT-PARSE"};
+    }
+
+    char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+    bool consume(char c)
+    {
+        if (peek() != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    void skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t'))
+            ++pos_;
+    }
+
+    bool parseString(std::string& out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return false;
+            char esc = text_[pos_++];
+            switch (esc) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return false;
+                char hex[5] = {text_[pos_], text_[pos_ + 1],
+                               text_[pos_ + 2], text_[pos_ + 3], '\0'};
+                char* end = nullptr;
+                long code = std::strtol(hex, &end, 16);
+                if (end != hex + 4 || code < 0 || code > 0xFF)
+                    return false; // the writer only emits \u00xx
+                pos_ += 4;
+                out += static_cast<char>(code);
+                break;
+            }
+            default: return false;
+            }
+        }
+        return false; // unterminated
+    }
+
+    bool parseInteger(long long& out)
+    {
+        size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() && text_[pos_] >= '0' &&
+               text_[pos_] <= '9')
+            ++pos_;
+        if (pos_ == start)
+            return false;
+        out = std::atoll(text_.substr(start, pos_ - start).c_str());
+        return true;
+    }
+
+    const std::string& text_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string
+formatTaskRecord(const TaskRecord& record)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("task").value(record.task);
+    json.key("name").value(record.name);
+    json.key("status").value(record.status);
+    json.key("attempts").value(record.attempts);
+    if (record.ok())
+        json.key("payload").value(record.payload);
+    else
+        json.key("error").value(record.error);
+    json.endObject();
+    return json.str();
+}
+
+Result<TaskRecord>
+parseTaskRecord(const std::string& line)
+{
+    return RecordParser(line).parse();
+}
+
+Result<std::vector<TaskRecord>>
+loadCheckpoint(const std::string& path)
+{
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec))
+        return std::vector<TaskRecord>{}; // first run: no checkpoint yet
+    std::ifstream in(path);
+    if (!in.is_open()) {
+        return Error{"cannot open checkpoint '" + path +
+                         "': " + std::strerror(errno),
+                     0, 0, path, "E-CKPT-OPEN"};
+    }
+    std::vector<TaskRecord> records;
+    std::string line;
+    int line_no = 0;
+    bool pending_error = false;
+    Error error;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (trim(line).empty())
+            continue;
+        // A malformed line is only fatal if another valid line follows:
+        // a crashed writer can truncate the last record, never a middle
+        // one.
+        if (pending_error)
+            return error;
+        Result<TaskRecord> record = parseTaskRecord(line);
+        if (!record.ok()) {
+            pending_error = true;
+            error = record.error();
+            error.file = path;
+            error.line = line_no;
+            continue;
+        }
+        records.push_back(std::move(record).value());
+    }
+    return records;
+}
+
+Status
+consolidateCheckpoint(const std::string& path,
+                      const std::vector<TaskRecord>& records)
+{
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out.is_open()) {
+            return Error{"cannot write checkpoint '" + tmp +
+                             "': " + std::strerror(errno),
+                         0, 0, tmp, "E-CKPT-WRITE"};
+        }
+        for (const TaskRecord& record : records)
+            out << formatTaskRecord(record) << '\n';
+        out.flush();
+        if (!out.good()) {
+            return Error{"short write to checkpoint '" + tmp + "'",
+                         0, 0, tmp, "E-CKPT-WRITE"};
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        return Error{"cannot rename '" + tmp + "' to '" + path +
+                         "': " + std::strerror(errno),
+                     0, 0, path, "E-CKPT-WRITE"};
+    }
+    return Status::okStatus();
+}
+
+CheckpointWriter::~CheckpointWriter()
+{
+    close();
+}
+
+Status
+CheckpointWriter::open(const std::string& path)
+{
+    close();
+    file_ = std::fopen(path.c_str(), "a");
+    if (!file_) {
+        return Error{"cannot open checkpoint '" + path +
+                         "' for appending: " + std::strerror(errno),
+                     0, 0, path, "E-CKPT-OPEN"};
+    }
+    path_ = path;
+    return Status::okStatus();
+}
+
+Status
+CheckpointWriter::append(const TaskRecord& record)
+{
+    if (!file_)
+        return Error{"checkpoint writer is not open", 0, 0, path_,
+                     "E-CKPT-WRITE"};
+    std::string line = formatTaskRecord(record);
+    line += '\n';
+    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+        std::fflush(file_) != 0) {
+        return Error{"short write to checkpoint '" + path_ + "'",
+                     0, 0, path_, "E-CKPT-WRITE"};
+    }
+    return Status::okStatus();
+}
+
+void
+CheckpointWriter::close()
+{
+    if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+} // namespace vdram

@@ -1,0 +1,65 @@
+#include "runner/fault_injection.h"
+
+#include <cstdlib>
+
+#include "util/numerics.h"
+#include "util/strings.h"
+
+namespace vdram {
+
+std::string
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::Error: return "error";
+    case FaultKind::Timeout: return "timeout";
+    case FaultKind::Crash: return "crash";
+    }
+    return "unknown";
+}
+
+bool
+FaultPlan::shouldFault(std::uint64_t taskSeed) const
+{
+    if (!active())
+        return false;
+    // A distinct stream index keeps the fault decision independent of
+    // the random draws the task itself makes with the same seed.
+    return uniformDoubleOf(deriveStreamSeed(taskSeed, 0xFA01Du)) < rate;
+}
+
+Result<FaultPlan>
+parseFaultPlan(const std::string& spec)
+{
+    FaultPlan plan;
+    std::string rate_text = spec;
+    size_t colon = spec.find(':');
+    if (colon != std::string::npos) {
+        rate_text = spec.substr(0, colon);
+        std::string kind = toLower(trim(spec.substr(colon + 1)));
+        if (kind == "error") {
+            plan.kind = FaultKind::Error;
+        } else if (kind == "timeout") {
+            plan.kind = FaultKind::Timeout;
+        } else if (kind == "crash") {
+            plan.kind = FaultKind::Crash;
+        } else {
+            return Error{"unknown fault kind '" + kind +
+                             "' (error|timeout|crash)",
+                         0, 0, "", "E-FAULT-SPEC"};
+        }
+    }
+    rate_text = trim(rate_text);
+    char* end = nullptr;
+    double rate = std::strtod(rate_text.c_str(), &end);
+    if (rate_text.empty() || end != rate_text.c_str() + rate_text.size() ||
+        !(rate >= 0.0) || !(rate <= 1.0)) {
+        return Error{"fault rate '" + rate_text +
+                         "' must be a number in [0, 1]",
+                     0, 0, "", "E-FAULT-SPEC"};
+    }
+    plan.rate = rate;
+    return plan;
+}
+
+} // namespace vdram

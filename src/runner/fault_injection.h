@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Deterministic fault injection for the batch runner.
+ *
+ * Robustness claims ("a bad variant never aborts the campaign",
+ * "--resume loses nothing") are only testable if the error, timeout and
+ * crash paths can be forced on demand. A FaultPlan makes a deterministic
+ * per-task decision from the task seed alone, so the same tasks fault in
+ * every run of the same campaign — which is exactly what checkpoint
+ * resume needs to reproduce a byte-identical aggregate.
+ */
+#ifndef VDRAM_RUNNER_FAULT_INJECTION_H
+#define VDRAM_RUNNER_FAULT_INJECTION_H
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+
+namespace vdram {
+
+/** Which failure path an injected fault exercises. */
+enum class FaultKind {
+    Error,   ///< task returns a transient error Result (retried, then fails)
+    Timeout, ///< task overruns its deadline (cooperatively cancelled)
+    Crash,   ///< task throws (caught and quarantined by the runner)
+};
+
+/** Name of a fault kind ("error", "timeout", "crash"). */
+std::string faultKindName(FaultKind kind);
+
+/** An injection policy: fault a deterministic @p rate share of tasks. */
+struct FaultPlan {
+    /** Probability in [0, 1] that a task faults; 0 disables injection. */
+    double rate = 0.0;
+    FaultKind kind = FaultKind::Error;
+
+    bool active() const { return rate > 0.0; }
+
+    /**
+     * Whether the task with @p taskSeed faults under this plan. Depends
+     * only on the seed (not on attempt, thread or wall clock), so the
+     * decision is stable across retries, runs and resumes.
+     */
+    bool shouldFault(std::uint64_t taskSeed) const;
+};
+
+/**
+ * Parse a `--inject-fault` specification: "RATE" or "RATE:KIND" with
+ * RATE in [0, 1] and KIND one of error|timeout|crash (default error).
+ */
+Result<FaultPlan> parseFaultPlan(const std::string& spec);
+
+} // namespace vdram
+
+#endif // VDRAM_RUNNER_FAULT_INJECTION_H

@@ -1,0 +1,445 @@
+#include "runner/runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "runner/checkpoint.h"
+#include "util/json.h"
+#include "util/strings.h"
+
+namespace vdram {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t
+nowNanos()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now().time_since_epoch())
+        .count();
+}
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+void
+sleepSeconds(double seconds)
+{
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+bool
+isTransientCode(const std::string& code)
+{
+    return startsWith(code, "T-");
+}
+
+std::string
+checkpointStatusOf(TaskOutcome outcome)
+{
+    switch (outcome) {
+    case TaskOutcome::Ok:
+    case TaskOutcome::SkippedResume: return "ok";
+    case TaskOutcome::Failed: return "failed";
+    case TaskOutcome::Quarantined: return "quarantined";
+    case TaskOutcome::TimedOut: return "timeout";
+    case TaskOutcome::NotRun: return "not-run";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+std::string
+taskOutcomeName(TaskOutcome outcome)
+{
+    switch (outcome) {
+    case TaskOutcome::Ok: return "ok";
+    case TaskOutcome::Failed: return "failed";
+    case TaskOutcome::Quarantined: return "quarantined";
+    case TaskOutcome::TimedOut: return "timed-out";
+    case TaskOutcome::SkippedResume: return "resumed";
+    case TaskOutcome::NotRun: return "not-run";
+    }
+    return "unknown";
+}
+
+std::string
+RunReport::renderText() const
+{
+    std::string out = strformat(
+        "run: %lld task(s), %.2f s wall, %.1f tasks/s%s\n",
+        total, wallSeconds, tasksPerSecond,
+        interrupted ? " [PARTIAL: interrupted]" : "");
+    out += strformat(
+        "  ok %lld  failed %lld  quarantined %lld  timed-out %lld  "
+        "retried %lld  resumed %lld  not-run %lld\n",
+        ok, failed, quarantined, timedOut, retried, skippedResume,
+        notRun);
+    return out;
+}
+
+std::string
+RunReport::renderJson() const
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("total").value(total);
+    json.key("ok").value(ok);
+    json.key("failed").value(failed);
+    json.key("quarantined").value(quarantined);
+    json.key("timedOut").value(timedOut);
+    json.key("retried").value(retried);
+    json.key("skippedResume").value(skippedResume);
+    json.key("notRun").value(notRun);
+    json.key("wallSeconds").value(wallSeconds);
+    json.key("tasksPerSecond").value(tasksPerSecond);
+    json.key("interrupted").value(interrupted);
+    json.key("complete").value(complete());
+    json.endObject();
+    return json.str();
+}
+
+int
+effectiveJobCount(int jobs)
+{
+    if (jobs > 0)
+        return jobs;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/** Watchdog view of one worker thread's in-flight task. */
+struct BatchRunner::WorkerSlot {
+    /** Deadline of the current task in steady-clock nanos; 0 = idle or
+     *  no deadline armed. */
+    std::atomic<std::int64_t> deadlineNanos{0};
+    /** Raised by the watchdog when the deadline passes. */
+    std::atomic<bool> cancel{false};
+};
+
+BatchRunner::BatchRunner(std::vector<TaskSpec> manifest, TaskFn fn,
+                         RunnerOptions options)
+    : manifest_(std::move(manifest)), fn_(std::move(fn)),
+      options_(std::move(options))
+{
+}
+
+bool
+BatchRunner::stopRequested() const
+{
+    return options_.stopFlag &&
+           options_.stopFlag->load(std::memory_order_relaxed);
+}
+
+Result<std::string>
+BatchRunner::invokeOnce(const TaskContext& context)
+{
+    if (options_.faultPlan.shouldFault(context.seed)) {
+        switch (options_.faultPlan.kind) {
+        case FaultKind::Error:
+            return Error{strformat("injected transient fault "
+                                   "(task %lld, attempt %d)",
+                                   context.index, context.attempt),
+                         0, 0, "", "T-FAULT-INJECT"};
+        case FaultKind::Crash:
+            throw std::runtime_error(
+                strformat("injected crash (task %lld)", context.index));
+        case FaultKind::Timeout: {
+            // Stall until the watchdog cancels us; bounded so a plan
+            // without an armed deadline cannot hang the campaign.
+            double cap = options_.taskTimeoutSeconds > 0
+                             ? options_.taskTimeoutSeconds * 4
+                             : 0.2;
+            Clock::time_point start = Clock::now();
+            while (!context.cancelled() && secondsSince(start) < cap)
+                sleepSeconds(0.001);
+            return Error{strformat("injected stall (task %lld)",
+                                   context.index),
+                         0, 0, "", "T-FAULT-STALL"};
+        }
+        }
+    }
+    return fn_(context);
+}
+
+TaskResult
+BatchRunner::executeTask(long long index, WorkerSlot& slot)
+{
+    TaskResult result;
+    result.index = index;
+    result.spec = manifest_[index];
+    Clock::time_point start = Clock::now();
+
+    for (int attempt = 1;; ++attempt) {
+        result.attempts = attempt;
+        slot.cancel.store(false, std::memory_order_release);
+        if (options_.taskTimeoutSeconds > 0) {
+            slot.deadlineNanos.store(
+                nowNanos() + static_cast<std::int64_t>(
+                                 options_.taskTimeoutSeconds * 1e9),
+                std::memory_order_release);
+        }
+
+        TaskContext context;
+        context.index = index;
+        context.attempt = attempt;
+        context.seed = result.spec.seed;
+        context.cancelled = [&slot] {
+            return slot.cancel.load(std::memory_order_acquire);
+        };
+
+        Error error;
+        bool threw = false;
+        bool ok = false;
+        std::string payload;
+        try {
+            Result<std::string> r = invokeOnce(context);
+            if (r.ok()) {
+                ok = true;
+                payload = std::move(r).value();
+            } else {
+                error = r.error();
+            }
+        } catch (const std::exception& e) {
+            threw = true;
+            error = Error{std::string("uncaught exception: ") + e.what(),
+                          0, 0, "", "E-RUNNER-CRASH"};
+        } catch (...) {
+            threw = true;
+            error = Error{"uncaught non-standard exception", 0, 0, "",
+                          "E-RUNNER-CRASH"};
+        }
+        slot.deadlineNanos.store(0, std::memory_order_release);
+
+        if (slot.cancel.load(std::memory_order_acquire)) {
+            // The watchdog fired while this attempt ran; whatever the
+            // task returned after its deadline is not trusted.
+            result.outcome = TaskOutcome::TimedOut;
+            result.error = strformat("deadline of %.3f s exceeded",
+                                     options_.taskTimeoutSeconds);
+            break;
+        }
+        if (ok) {
+            result.outcome = TaskOutcome::Ok;
+            result.payload = std::move(payload);
+            break;
+        }
+        if (!threw && isTransientCode(error.code) &&
+            attempt <= options_.maxRetries && !stopRequested()) {
+            sleepSeconds(options_.backoffSeconds *
+                         static_cast<double>(1 << (attempt - 1)));
+            continue;
+        }
+        result.outcome = threw || !isTransientCode(error.code)
+                             ? TaskOutcome::Quarantined
+                             : TaskOutcome::Failed;
+        result.error = error.toString();
+        break;
+    }
+    result.seconds = secondsSince(start);
+    return result;
+}
+
+Result<RunReport>
+BatchRunner::run(DiagnosticEngine* diags)
+{
+    const long long total = static_cast<long long>(manifest_.size());
+    results_.assign(manifest_.size(), TaskResult{});
+    for (long long i = 0; i < total; ++i) {
+        results_[i].index = i;
+        results_[i].spec = manifest_[i];
+    }
+    report_ = RunReport{};
+    report_.total = total;
+
+    // Resume: restore payloads of tasks already completed "ok".
+    if (options_.resume && !options_.checkpointPath.empty()) {
+        Result<std::vector<TaskRecord>> loaded =
+            loadCheckpoint(options_.checkpointPath);
+        if (!loaded.ok())
+            return loaded.error();
+        for (const TaskRecord& record : loaded.value()) {
+            if (!record.ok() || record.task < 0 || record.task >= total)
+                continue;
+            TaskResult& r = results_[record.task];
+            r.outcome = TaskOutcome::SkippedResume;
+            r.attempts = record.attempts;
+            r.payload = record.payload;
+        }
+    }
+
+    CheckpointWriter writer;
+    std::mutex checkpoint_mutex;
+    std::atomic<bool> checkpoint_ok{!options_.checkpointPath.empty()};
+    if (checkpoint_ok.load()) {
+        if (!options_.resume)
+            std::remove(options_.checkpointPath.c_str());
+        Status opened = writer.open(options_.checkpointPath);
+        if (!opened.ok())
+            return opened.error();
+    }
+
+    const int jobs = static_cast<int>(std::max<long long>(
+        1, std::min<long long>(effectiveJobCount(options_.jobs), total)));
+    std::vector<WorkerSlot> slots(jobs);
+    std::atomic<long long> next{0};
+    std::atomic<bool> done{false};
+
+    Clock::time_point start = Clock::now();
+
+    // Per-task deadline watchdog: scans the worker slots and raises the
+    // cancel flag of any task past its deadline.
+    std::thread watchdog;
+    if (options_.taskTimeoutSeconds > 0) {
+        watchdog = std::thread([&slots, &done] {
+            while (!done.load(std::memory_order_acquire)) {
+                std::int64_t now = nowNanos();
+                for (WorkerSlot& slot : slots) {
+                    std::int64_t deadline =
+                        slot.deadlineNanos.load(std::memory_order_acquire);
+                    if (deadline != 0 && now > deadline)
+                        slot.cancel.store(true, std::memory_order_release);
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(2));
+            }
+        });
+    }
+
+    auto worker = [&](int slot_index) {
+        WorkerSlot& slot = slots[slot_index];
+        for (;;) {
+            if (stopRequested())
+                break; // drain: no new task starts
+            long long i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= total)
+                break;
+            if (results_[i].outcome == TaskOutcome::SkippedResume)
+                continue;
+            TaskResult result = executeTask(i, slot);
+            if (checkpoint_ok.load(std::memory_order_acquire)) {
+                TaskRecord record;
+                record.task = i;
+                record.name = result.spec.name;
+                record.status = checkpointStatusOf(result.outcome);
+                record.attempts = result.attempts;
+                record.payload = result.payload;
+                record.error = result.error;
+                std::lock_guard<std::mutex> lock(checkpoint_mutex);
+                // A failing checkpoint disk must not abort the campaign;
+                // the run degrades to non-resumable and says so.
+                if (checkpoint_ok.load(std::memory_order_relaxed) &&
+                    !writer.append(record).ok()) {
+                    checkpoint_ok.store(false, std::memory_order_release);
+                    writer.close();
+                }
+            }
+            results_[i] = std::move(result);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (int w = 0; w < jobs; ++w)
+        pool.emplace_back(worker, w);
+    for (std::thread& t : pool)
+        t.join();
+    done.store(true, std::memory_order_release);
+    if (watchdog.joinable())
+        watchdog.join();
+
+    report_.wallSeconds = secondsSince(start);
+
+    long long executed = 0;
+    for (const TaskResult& r : results_) {
+        switch (r.outcome) {
+        case TaskOutcome::Ok: ++report_.ok; break;
+        case TaskOutcome::Failed: ++report_.failed; break;
+        case TaskOutcome::Quarantined: ++report_.quarantined; break;
+        case TaskOutcome::TimedOut: ++report_.timedOut; break;
+        case TaskOutcome::SkippedResume: ++report_.skippedResume; break;
+        case TaskOutcome::NotRun: ++report_.notRun; break;
+        }
+        if (r.outcome != TaskOutcome::SkippedResume &&
+            r.outcome != TaskOutcome::NotRun) {
+            ++executed;
+            report_.retried += std::max(0, r.attempts - 1);
+        }
+    }
+    report_.interrupted = report_.notRun > 0;
+    if (report_.wallSeconds > 0) {
+        report_.tasksPerSecond =
+            static_cast<double>(executed) / report_.wallSeconds;
+    }
+
+    if (diags) {
+        for (const TaskResult& r : results_) {
+            std::string what =
+                "task " + std::to_string(r.index) + " '" + r.spec.name +
+                "': " + r.error;
+            if (r.outcome == TaskOutcome::Quarantined)
+                diags->error("E-RUNNER-QUARANTINE", what);
+            else if (r.outcome == TaskOutcome::Failed)
+                diags->error("E-RUNNER-FAILED", what);
+            else if (r.outcome == TaskOutcome::TimedOut)
+                diags->error("E-RUNNER-TIMEOUT", what);
+        }
+        if (report_.retried > 0) {
+            diags->warning("W-RUNNER-RETRY",
+                           strformat("%lld transient failure(s) retried",
+                                     report_.retried));
+        }
+        if (report_.skippedResume > 0) {
+            diags->note("N-RUNNER-RESUME",
+                        strformat("%lld task(s) restored from checkpoint",
+                                  report_.skippedResume));
+        }
+        if (!options_.checkpointPath.empty() && !checkpoint_ok) {
+            diags->warning("W-RUNNER-CKPT",
+                           "checkpoint writes failed; this run cannot "
+                           "be resumed");
+        }
+    }
+
+    // Consolidate the checkpoint: one atomic rewrite in task order, so
+    // the file a later --resume reads is canonical even after appends
+    // from many workers or several partial runs.
+    writer.close();
+    if (checkpoint_ok) {
+        std::vector<TaskRecord> records;
+        records.reserve(results_.size());
+        for (const TaskResult& r : results_) {
+            if (r.outcome == TaskOutcome::NotRun)
+                continue;
+            TaskRecord record;
+            record.task = r.index;
+            record.name = r.spec.name;
+            record.status = checkpointStatusOf(r.outcome);
+            record.attempts = r.attempts;
+            record.payload = r.payload;
+            record.error = r.error;
+            records.push_back(std::move(record));
+        }
+        Status status =
+            consolidateCheckpoint(options_.checkpointPath, records);
+        if (!status.ok() && diags) {
+            diags->warning("W-RUNNER-CKPT",
+                           "checkpoint consolidation failed: " +
+                               status.error().toString());
+        }
+    }
+
+    return report_;
+}
+
+} // namespace vdram

@@ -116,4 +116,29 @@ geometricMean(const std::vector<double>& values)
     return std::exp(log_sum / static_cast<double>(values.size()));
 }
 
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+deriveStreamSeed(std::uint64_t base, std::uint64_t stream)
+{
+    // Two avalanche rounds: the first decorrelates the stream index from
+    // the base, the second mixes the combination. An affine combination
+    // alone (base + c * stream) collides whenever two bases differ by a
+    // multiple of c.
+    return splitmix64(base ^ splitmix64(stream));
+}
+
+double
+uniformDoubleOf(std::uint64_t word)
+{
+    return static_cast<double>(word >> 11) * 0x1.0p-53;
+}
+
 } // namespace vdram

@@ -8,6 +8,7 @@
 #define VDRAM_UTIL_NUMERICS_H
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace vdram {
@@ -51,6 +52,28 @@ bool approxEqual(double a, double b, double rel_tol = 1e-9);
 
 /** Geometric mean of a positive series. */
 double geometricMean(const std::vector<double>& values);
+
+/**
+ * SplitMix64 finalizer: a bijective avalanche of the input word. Every
+ * output bit depends on every input bit, so nearby inputs map to
+ * unrelated outputs.
+ */
+std::uint64_t splitmix64(std::uint64_t x);
+
+/**
+ * Seed of the @p stream-th independent random stream derived from
+ * @p base. Unlike affine derivations (base + k * stream), distinct
+ * (base, stream) pairs cannot collide for nearby bases: the stream
+ * index advances by the 64-bit golden-gamma constant before the
+ * avalanche.
+ */
+std::uint64_t deriveStreamSeed(std::uint64_t base, std::uint64_t stream);
+
+/**
+ * Map a 64-bit word to a uniform double in [0, 1) (53 mantissa bits).
+ * Used for deterministic per-task decisions (fault injection).
+ */
+double uniformDoubleOf(std::uint64_t word);
 
 } // namespace vdram
 

@@ -1,0 +1,656 @@
+/**
+ * @file
+ * Batch-runner robustness tests: seed-stream derivation, fault
+ * injection, checkpoint crash tolerance, resume round-trips, retry and
+ * quarantine semantics, deadline watchdog, graceful draining and
+ * parallel determinism. The suite carries the "robustness" ctest label
+ * and CI also runs it under ThreadSanitizer (-DVDRAM_SANITIZE=thread).
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <thread>
+
+#include "presets/presets.h"
+#include "runner/campaign.h"
+#include "runner/checkpoint.h"
+#include "runner/fault_injection.h"
+#include "runner/runner.h"
+#include "core/montecarlo.h"
+#include "util/numerics.h"
+
+namespace vdram {
+namespace {
+
+std::string
+tempPath(const std::string& name)
+{
+    return testing::TempDir() + "vdram_runner_" + name;
+}
+
+std::vector<TaskSpec>
+simpleManifest(int count)
+{
+    std::vector<TaskSpec> manifest;
+    for (int i = 0; i < count; ++i) {
+        manifest.push_back(TaskSpec{"task-" + std::to_string(i),
+                                    deriveStreamSeed(99, i)});
+    }
+    return manifest;
+}
+
+// ---------------------------------------------------------------------
+// Seed streams
+// ---------------------------------------------------------------------
+
+TEST(SeedStreamTest, AffineRegressionNoCollision)
+{
+    // The old derivation (seed + 977 * sample) collided between
+    // (base=1955, sample=0) and (base=1, sample=2) and any other pair
+    // on the same lattice. The splitmix64 stream must not.
+    EXPECT_NE(deriveStreamSeed(1955, 0), deriveStreamSeed(1, 2));
+    EXPECT_NE(deriveStreamSeed(978, 1), deriveStreamSeed(1, 2));
+}
+
+TEST(SeedStreamTest, ManyStreamsDistinct)
+{
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t base = 0; base < 64; ++base)
+        for (std::uint64_t s = 0; s < 64; ++s)
+            seen.insert(deriveStreamSeed(base, s));
+    EXPECT_EQ(seen.size(), 64u * 64u);
+}
+
+TEST(SeedStreamTest, UniformDoubleInUnitInterval)
+{
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        double u = uniformDoubleOf(splitmix64(i));
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(SeedStreamTest, MonteCarloSampleSeedMatchesStream)
+{
+    EXPECT_EQ(monteCarloSampleSeed(7, 3), deriveStreamSeed(7, 3));
+    EXPECT_NE(monteCarloSampleSeed(7, 3), monteCarloSampleSeed(7, 4));
+}
+
+// ---------------------------------------------------------------------
+// Fault plan
+// ---------------------------------------------------------------------
+
+TEST(FaultPlanTest, ParseSpecs)
+{
+    Result<FaultPlan> plain = parseFaultPlan("0.25");
+    ASSERT_TRUE(plain.ok());
+    EXPECT_DOUBLE_EQ(plain.value().rate, 0.25);
+    EXPECT_EQ(plain.value().kind, FaultKind::Error);
+
+    Result<FaultPlan> crash = parseFaultPlan("1:crash");
+    ASSERT_TRUE(crash.ok());
+    EXPECT_EQ(crash.value().kind, FaultKind::Crash);
+
+    Result<FaultPlan> timeout = parseFaultPlan("0.5:timeout");
+    ASSERT_TRUE(timeout.ok());
+    EXPECT_EQ(timeout.value().kind, FaultKind::Timeout);
+
+    EXPECT_FALSE(parseFaultPlan("1.5").ok());
+    EXPECT_FALSE(parseFaultPlan("-0.1").ok());
+    EXPECT_FALSE(parseFaultPlan("abc").ok());
+    EXPECT_FALSE(parseFaultPlan("0.5:explode").ok());
+    EXPECT_FALSE(parseFaultPlan("").ok());
+    EXPECT_EQ(parseFaultPlan("nan").ok(), false);
+}
+
+TEST(FaultPlanTest, DeterministicDecision)
+{
+    FaultPlan plan;
+    plan.rate = 0.3;
+    int faulted = 0;
+    for (std::uint64_t s = 0; s < 500; ++s) {
+        bool a = plan.shouldFault(deriveStreamSeed(11, s));
+        bool b = plan.shouldFault(deriveStreamSeed(11, s));
+        EXPECT_EQ(a, b);
+        faulted += a ? 1 : 0;
+    }
+    // Roughly 30% of 500 — wide tolerance, this is a sanity check.
+    EXPECT_GT(faulted, 100);
+    EXPECT_LT(faulted, 200);
+
+    FaultPlan never;
+    never.rate = 0;
+    FaultPlan always;
+    always.rate = 1.0;
+    for (std::uint64_t s = 0; s < 50; ++s) {
+        EXPECT_FALSE(never.shouldFault(s));
+        EXPECT_TRUE(always.shouldFault(s));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint records
+// ---------------------------------------------------------------------
+
+TEST(CheckpointTest, RecordRoundTrip)
+{
+    TaskRecord record;
+    record.task = 42;
+    record.name = "weird \"name\" \\ with\ttabs\nand newlines";
+    record.status = "ok";
+    record.attempts = 3;
+    record.payload = "1.5 2.25e-300 -0";
+
+    Result<TaskRecord> back = parseTaskRecord(formatTaskRecord(record));
+    ASSERT_TRUE(back.ok()) << back.error().toString();
+    EXPECT_EQ(back.value().task, 42);
+    EXPECT_EQ(back.value().name, record.name);
+    EXPECT_EQ(back.value().status, "ok");
+    EXPECT_EQ(back.value().attempts, 3);
+    EXPECT_EQ(back.value().payload, record.payload);
+}
+
+TEST(CheckpointTest, ErrorRecordRoundTrip)
+{
+    TaskRecord record;
+    record.task = 7;
+    record.name = "bad";
+    record.status = "quarantined";
+    record.error = "boom [E-MC-INVALID]";
+    Result<TaskRecord> back = parseTaskRecord(formatTaskRecord(record));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value().error, record.error);
+    EXPECT_FALSE(back.value().ok());
+}
+
+TEST(CheckpointTest, ParseRejectsGarbage)
+{
+    EXPECT_FALSE(parseTaskRecord("").ok());
+    EXPECT_FALSE(parseTaskRecord("not json").ok());
+    EXPECT_FALSE(parseTaskRecord("{\"task\":1,\"status\"").ok());
+    EXPECT_FALSE(parseTaskRecord("[1,2,3]").ok());
+}
+
+TEST(CheckpointTest, MissingFileIsEmpty)
+{
+    Result<std::vector<TaskRecord>> loaded =
+        loadCheckpoint(tempPath("does_not_exist.jsonl"));
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_TRUE(loaded.value().empty());
+}
+
+TEST(CheckpointTest, TruncatedTrailingLineTolerated)
+{
+    const std::string path = tempPath("truncated.jsonl");
+    TaskRecord a;
+    a.task = 0;
+    a.name = "a";
+    a.status = "ok";
+    a.payload = "1";
+    TaskRecord b = a;
+    b.task = 1;
+    b.name = "b";
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << formatTaskRecord(a) << "\n"
+            << formatTaskRecord(b) << "\n"
+            << "{\"task\":2,\"name\":\"c\",\"sta"; // crash mid-write
+    }
+    Result<std::vector<TaskRecord>> loaded = loadCheckpoint(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.error().toString();
+    EXPECT_EQ(loaded.value().size(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, CorruptMiddleLineIsError)
+{
+    const std::string path = tempPath("corrupt_middle.jsonl");
+    TaskRecord a;
+    a.task = 0;
+    a.name = "a";
+    a.status = "ok";
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << "garbage line\n" << formatTaskRecord(a) << "\n";
+    }
+    EXPECT_FALSE(loadCheckpoint(path).ok());
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, ConsolidateReplacesAtomically)
+{
+    const std::string path = tempPath("consolidate.jsonl");
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << "stale partial content\n";
+    }
+    std::vector<TaskRecord> records(3);
+    for (int i = 0; i < 3; ++i) {
+        records[i].task = i;
+        records[i].name = "t" + std::to_string(i);
+        records[i].status = "ok";
+        records[i].payload = std::to_string(i * 10);
+    }
+    ASSERT_TRUE(consolidateCheckpoint(path, records).ok());
+    Result<std::vector<TaskRecord>> loaded = loadCheckpoint(path);
+    ASSERT_TRUE(loaded.ok());
+    ASSERT_EQ(loaded.value().size(), 3u);
+    EXPECT_EQ(loaded.value()[2].payload, "20");
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Runner semantics
+// ---------------------------------------------------------------------
+
+TEST(BatchRunnerTest, AllOkInManifestOrder)
+{
+    BatchRunner runner(
+        simpleManifest(8),
+        [](const TaskContext& context) -> Result<std::string> {
+            return "p" + std::to_string(context.index);
+        },
+        {});
+    Result<RunReport> report = runner.run();
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report.value().total, 8);
+    EXPECT_EQ(report.value().ok, 8);
+    EXPECT_TRUE(report.value().complete());
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(runner.results()[i].index, i);
+        EXPECT_EQ(runner.results()[i].payload,
+                  "p" + std::to_string(i));
+    }
+}
+
+TEST(BatchRunnerTest, PermanentErrorQuarantinedWithoutRetry)
+{
+    std::atomic<int> calls{0};
+    BatchRunner runner(
+        simpleManifest(3),
+        [&calls](const TaskContext& context) -> Result<std::string> {
+            calls.fetch_add(1);
+            if (context.index == 1)
+                return Error{"bad variant", 0, 0, "", "E-MC-INVALID"};
+            return std::string("ok");
+        },
+        {});
+    DiagnosticEngine diags;
+    Result<RunReport> report = runner.run(&diags);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report.value().ok, 2);
+    EXPECT_EQ(report.value().quarantined, 1);
+    EXPECT_EQ(report.value().retried, 0);
+    EXPECT_EQ(calls.load(), 3); // no retry of the permanent error
+    EXPECT_EQ(runner.results()[1].outcome, TaskOutcome::Quarantined);
+    EXPECT_EQ(runner.results()[1].attempts, 1);
+    bool saw_quarantine = false;
+    for (const Diagnostic& d : diags.diagnostics())
+        saw_quarantine |= d.code == "E-RUNNER-QUARANTINE";
+    EXPECT_TRUE(saw_quarantine);
+}
+
+TEST(BatchRunnerTest, TransientErrorRetriedThenFailed)
+{
+    std::atomic<int> calls{0};
+    RunnerOptions options;
+    options.maxRetries = 2;
+    options.backoffSeconds = 0.0001;
+    BatchRunner runner(
+        simpleManifest(1),
+        [&calls](const TaskContext&) -> Result<std::string> {
+            calls.fetch_add(1);
+            return Error{"flaky", 0, 0, "", "T-TEST-FLAKY"};
+        },
+        options);
+    Result<RunReport> report = runner.run();
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(calls.load(), 3); // initial + 2 retries
+    EXPECT_EQ(report.value().failed, 1);
+    EXPECT_EQ(report.value().retried, 2);
+    EXPECT_EQ(runner.results()[0].outcome, TaskOutcome::Failed);
+}
+
+TEST(BatchRunnerTest, TransientErrorRecoversOnRetry)
+{
+    std::atomic<int> calls{0};
+    RunnerOptions options;
+    options.backoffSeconds = 0.0001;
+    BatchRunner runner(
+        simpleManifest(1),
+        [&calls](const TaskContext& context) -> Result<std::string> {
+            calls.fetch_add(1);
+            if (context.attempt < 2)
+                return Error{"flaky", 0, 0, "", "T-TEST-FLAKY"};
+            return std::string("recovered");
+        },
+        options);
+    Result<RunReport> report = runner.run();
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report.value().ok, 1);
+    EXPECT_EQ(report.value().retried, 1);
+    EXPECT_EQ(runner.results()[0].payload, "recovered");
+    EXPECT_EQ(runner.results()[0].attempts, 2);
+}
+
+TEST(BatchRunnerTest, ThrownExceptionIsQuarantined)
+{
+    BatchRunner runner(
+        simpleManifest(2),
+        [](const TaskContext& context) -> Result<std::string> {
+            if (context.index == 0)
+                throw std::runtime_error("task blew up");
+            return std::string("ok");
+        },
+        {});
+    DiagnosticEngine diags;
+    Result<RunReport> report = runner.run(&diags);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report.value().quarantined, 1);
+    EXPECT_EQ(report.value().ok, 1);
+    // The exception is quarantined; the E-RUNNER-CRASH marker rides in
+    // the diagnostic message so operators can tell crashes from plain
+    // error Results.
+    bool saw_crash = false;
+    for (const Diagnostic& d : diags.diagnostics()) {
+        saw_crash |= d.code == "E-RUNNER-QUARANTINE" &&
+                     d.message.find("E-RUNNER-CRASH") !=
+                         std::string::npos;
+    }
+    EXPECT_TRUE(saw_crash);
+    EXPECT_NE(runner.results()[0].error.find("task blew up"),
+              std::string::npos);
+}
+
+TEST(BatchRunnerTest, DeadlineWatchdogCancelsSlowTask)
+{
+    RunnerOptions options;
+    options.taskTimeoutSeconds = 0.02;
+    BatchRunner runner(
+        simpleManifest(2),
+        [](const TaskContext& context) -> Result<std::string> {
+            if (context.index == 0) {
+                // Busy task that honors cooperative cancellation.
+                auto start = std::chrono::steady_clock::now();
+                while (!context.cancelled()) {
+                    if (std::chrono::steady_clock::now() - start >
+                        std::chrono::seconds(5))
+                        break; // safety net, watchdog should fire first
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(1));
+                }
+                return std::string("late");
+            }
+            return std::string("fast");
+        },
+        options);
+    Result<RunReport> report = runner.run();
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report.value().timedOut, 1);
+    EXPECT_EQ(report.value().ok, 1);
+    EXPECT_EQ(runner.results()[0].outcome, TaskOutcome::TimedOut);
+    // The late result must have been discarded.
+    EXPECT_TRUE(runner.results()[0].payload.empty());
+}
+
+TEST(BatchRunnerTest, StopFlagDrainsRemainingTasks)
+{
+    std::atomic<bool> stop{false};
+    RunnerOptions options;
+    options.stopFlag = &stop;
+    BatchRunner runner(
+        simpleManifest(10),
+        [&stop](const TaskContext& context) -> Result<std::string> {
+            if (context.index == 2)
+                stop.store(true); // "SIGINT" arrives mid-run
+            return std::string("done");
+        },
+        options);
+    Result<RunReport> report = runner.run();
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report.value().interrupted);
+    EXPECT_FALSE(report.value().complete());
+    EXPECT_GE(report.value().notRun, 1);
+    // Tasks that ran before the stop still finished normally.
+    EXPECT_GE(report.value().ok, 3);
+    EXPECT_EQ(report.value().ok + report.value().notRun, 10);
+}
+
+TEST(BatchRunnerTest, FaultInjectionDeterministicSubset)
+{
+    RunnerOptions options;
+    options.faultPlan.rate = 0.4;
+    options.maxRetries = 0;
+    auto run_once = [&options]() {
+        BatchRunner runner(
+            simpleManifest(40),
+            [](const TaskContext&) -> Result<std::string> {
+                return std::string("ok");
+            },
+            options);
+        EXPECT_TRUE(runner.run().ok());
+        std::vector<long long> failed;
+        for (const TaskResult& r : runner.results())
+            if (!r.ok())
+                failed.push_back(r.index);
+        return failed;
+    };
+    std::vector<long long> first = run_once();
+    std::vector<long long> second = run_once();
+    EXPECT_FALSE(first.empty());
+    EXPECT_LT(first.size(), 40u);
+    EXPECT_EQ(first, second); // same variants fault every run
+}
+
+TEST(BatchRunnerTest, EffectiveJobCount)
+{
+    EXPECT_GE(effectiveJobCount(0), 1);
+    EXPECT_EQ(effectiveJobCount(3), 3);
+}
+
+TEST(BatchRunnerTest, ReportRenderJsonHasCounters)
+{
+    BatchRunner runner(
+        simpleManifest(2),
+        [](const TaskContext&) -> Result<std::string> { return std::string("x"); },
+        {});
+    ASSERT_TRUE(runner.run().ok());
+    std::string json = runner.report().renderJson();
+    EXPECT_NE(json.find("\"ok\""), std::string::npos);
+    EXPECT_NE(json.find("\"quarantined\""), std::string::npos);
+    EXPECT_NE(json.find("\"interrupted\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint / resume through the runner
+// ---------------------------------------------------------------------
+
+TEST(BatchRunnerTest, ResumeSkipsCompletedTasksByteIdentically)
+{
+    const std::string path = tempPath("resume.jsonl");
+    std::remove(path.c_str());
+
+    RunnerOptions first_options;
+    first_options.checkpointPath = path;
+    std::atomic<bool> stop{false};
+    first_options.stopFlag = &stop;
+    BatchRunner first(
+        simpleManifest(12),
+        [&stop](const TaskContext& context) -> Result<std::string> {
+            if (context.index == 5)
+                stop.store(true);
+            return encodeDoublePayload(
+                {uniformDoubleOf(context.seed), double(context.index)});
+        },
+        first_options);
+    ASSERT_TRUE(first.run().ok());
+    ASSERT_TRUE(first.report().interrupted);
+    const long long done = first.report().ok;
+    ASSERT_GE(done, 1);
+    ASSERT_LT(done, 12);
+
+    RunnerOptions resume_options;
+    resume_options.checkpointPath = path;
+    resume_options.resume = true;
+    std::atomic<int> fresh_calls{0};
+    BatchRunner second(
+        simpleManifest(12),
+        [&fresh_calls](const TaskContext& context)
+            -> Result<std::string> {
+            fresh_calls.fetch_add(1);
+            return encodeDoublePayload(
+                {uniformDoubleOf(context.seed), double(context.index)});
+        },
+        resume_options);
+    DiagnosticEngine diags;
+    ASSERT_TRUE(second.run(&diags).ok());
+    EXPECT_EQ(second.report().skippedResume, done);
+    EXPECT_EQ(fresh_calls.load(), 12 - done);
+    EXPECT_TRUE(second.report().complete());
+
+    // Reference: one uninterrupted serial run.
+    BatchRunner reference(
+        simpleManifest(12),
+        [](const TaskContext& context) -> Result<std::string> {
+            return encodeDoublePayload(
+                {uniformDoubleOf(context.seed), double(context.index)});
+        },
+        {});
+    ASSERT_TRUE(reference.run().ok());
+    for (int i = 0; i < 12; ++i) {
+        EXPECT_EQ(second.results()[i].payload,
+                  reference.results()[i].payload)
+            << "task " << i << " payload changed across resume";
+    }
+    std::remove(path.c_str());
+}
+
+TEST(BatchRunnerTest, ResumeReexecutesFailedTasks)
+{
+    const std::string path = tempPath("resume_failed.jsonl");
+    std::remove(path.c_str());
+
+    RunnerOptions options;
+    options.checkpointPath = path;
+    options.maxRetries = 0;
+    BatchRunner first(
+        simpleManifest(4),
+        [](const TaskContext& context) -> Result<std::string> {
+            if (context.index == 2)
+                return Error{"bad", 0, 0, "", "E-MC-INVALID"};
+            return std::string("ok");
+        },
+        options);
+    ASSERT_TRUE(first.run().ok());
+    EXPECT_EQ(first.report().quarantined, 1);
+
+    options.resume = true;
+    BatchRunner second(
+        simpleManifest(4),
+        [](const TaskContext&) -> Result<std::string> {
+            return std::string("fixed");
+        },
+        options);
+    ASSERT_TRUE(second.run().ok());
+    // Only the previously-failed task runs again.
+    EXPECT_EQ(second.report().skippedResume, 3);
+    EXPECT_EQ(second.report().ok, 1);
+    EXPECT_EQ(second.results()[2].payload, "fixed");
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Parallel determinism (the TSan target exercises these heavily)
+// ---------------------------------------------------------------------
+
+TEST(BatchRunnerTest, ParallelRunMatchesSerial)
+{
+    auto payloads = [](int jobs) {
+        RunnerOptions options;
+        options.jobs = jobs;
+        BatchRunner runner(
+            simpleManifest(64),
+            [](const TaskContext& context) -> Result<std::string> {
+                return encodeDoublePayload(
+                    {uniformDoubleOf(splitmix64(context.seed))});
+            },
+            options);
+        EXPECT_TRUE(runner.run().ok());
+        std::vector<std::string> result;
+        for (const TaskResult& r : runner.results())
+            result.push_back(r.payload);
+        return result;
+    };
+    EXPECT_EQ(payloads(1), payloads(4));
+    EXPECT_EQ(payloads(1), payloads(0)); // 0 = hardware concurrency
+}
+
+TEST(CampaignTest, MonteCarloParallelMatchesSerial)
+{
+    DramDescription nominal = preset1GbDdr3(55e-9, 16, 1333);
+    const std::vector<IddMeasure> measures = {IddMeasure::Idd0,
+                                              IddMeasure::Idd4R};
+    RunnerOptions serial;
+    RunnerOptions parallel;
+    parallel.jobs = 4;
+    Result<MonteCarloCampaign> a =
+        runMonteCarloCampaign(nominal, measures, 60, {}, 7, serial);
+    Result<MonteCarloCampaign> b =
+        runMonteCarloCampaign(nominal, measures, 60, {}, 7, parallel);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a.value().distributions.size(), 2u);
+    for (size_t m = 0; m < 2; ++m) {
+        EXPECT_DOUBLE_EQ(a.value().distributions[m].mean,
+                         b.value().distributions[m].mean);
+        EXPECT_DOUBLE_EQ(a.value().distributions[m].p95,
+                         b.value().distributions[m].p95);
+    }
+}
+
+TEST(CampaignTest, MonteCarloRejectsBadSampleCount)
+{
+    DramDescription nominal = preset1GbDdr3(55e-9, 16, 1333);
+    Result<MonteCarloCampaign> r =
+        runMonteCarloCampaign(nominal, {IddMeasure::Idd0}, 0, {}, 1, {});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, "E-MC-SAMPLES");
+}
+
+TEST(CampaignTest, FaultInjectedCampaignStillAggregates)
+{
+    DramDescription nominal = preset1GbDdr3(55e-9, 16, 1333);
+    RunnerOptions options;
+    options.faultPlan.rate = 0.3;
+    options.maxRetries = 0;
+    DiagnosticEngine diags;
+    Result<MonteCarloCampaign> r = runMonteCarloCampaign(
+        nominal, {IddMeasure::Idd0}, 50, {}, 7, options, &diags);
+    ASSERT_TRUE(r.ok());
+    EXPECT_GT(r.value().report.failed, 0);
+    EXPECT_GT(r.value().report.ok, 0);
+    EXPECT_EQ(r.value().report.ok + r.value().report.failed, 50);
+    // Distributions come from the surviving samples.
+    ASSERT_EQ(r.value().distributions.size(), 1u);
+    EXPECT_GT(r.value().distributions[0].mean, 0.0);
+}
+
+TEST(CampaignTest, DoublePayloadRoundTripsBitExactly)
+{
+    std::vector<double> values = {0.1, -1.5e300, 3.0,
+                                  0.12345678901234567, -0.0};
+    Result<std::vector<double>> back =
+        decodeDoublePayload(encodeDoublePayload(values));
+    ASSERT_TRUE(back.ok());
+    ASSERT_EQ(back.value().size(), values.size());
+    for (size_t i = 0; i < values.size(); ++i)
+        EXPECT_EQ(back.value()[i], values[i]);
+    EXPECT_FALSE(decodeDoublePayload("1.5 bogus").ok());
+}
+
+} // namespace
+} // namespace vdram

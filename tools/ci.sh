@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Full CI sequence: normal build + complete test suite, then an
 # ASan+UBSan build of the robustness surface (parser, validator,
-# diagnostics, CLI lint) and an explicit exit-code check of the
-# three-defect lint fixture. Run from the repository root.
+# diagnostics, CLI lint), a ThreadSanitizer build of the batch-runner
+# concurrency surface, a fault-injection + resume smoke of the CLI, the
+# runner throughput benchmark (BENCH_runner.json) and an explicit
+# exit-code check of the three-defect lint fixture. Run from the
+# repository root.
 set -euo pipefail
 
 jobs=$(nproc 2>/dev/null || echo 4)
@@ -20,6 +23,35 @@ cmake --build build-asan -j "$jobs" \
 
 echo "== robustness suite under sanitizers =="
 ctest --test-dir build-asan -L robustness --output-on-failure -j "$jobs"
+
+echo "== sanitized build (TSan) =="
+cmake -B build-tsan -S . -DVDRAM_SANITIZE=thread \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-tsan -j "$jobs" \
+      --target vdram_robustness_tests vdram_cli
+
+echo "== robustness suite under ThreadSanitizer =="
+ctest --test-dir build-tsan -L robustness --output-on-failure -j "$jobs"
+
+echo "== fault-injection + resume smoke =="
+# Two fault-injected campaigns sharing one checkpoint: the second run
+# must restore every non-faulted variant and produce the same aggregate.
+smokedir=$(mktemp -d)
+trap 'rm -rf "$smokedir"' EXIT
+cli=$(pwd)/build/tools/vdram_cli
+(
+    cd "$smokedir"
+    "$cli" montecarlo preset:ddr2_1g_75 --samples=100 --seed=7 \
+        --inject-fault=0.2 --resume > first.txt
+    "$cli" montecarlo preset:ddr2_1g_75 --samples=100 --seed=7 \
+        --inject-fault=0.2 --resume > second.txt
+    cmp first.txt second.txt
+    test -s vdram_montecarlo.jsonl
+)
+
+echo "== runner throughput benchmark =="
+(cd build && ./bench/bench_runner_throughput)
+test -s build/BENCH_runner.json
 
 echo "== lint exit-code contract =="
 # A clean file is exit 0; the seeded-defect fixture must report its

@@ -8,6 +8,7 @@
  *   vdram_cli emit       <target>
  *   vdram_cli pattern    <target> act nop rd ...
  *   vdram_cli sensitivity <target> [--detailed]
+ *   vdram_cli montecarlo <target> [--samples=N] [--seed=N] [--json]
  *   vdram_cli schemes    <target>
  *   vdram_cli timing     <target>
  *   vdram_cli trends     [--csv]
@@ -16,9 +17,18 @@
  * <target> is either a path to a .dram description file or
  * "preset:<name>" (see `vdram_cli list`).
  *
+ * Campaign commands (montecarlo, sensitivity, sweep, trends) route
+ * through the resilient batch runner (src/runner/): --jobs=N
+ * parallelism, --task-timeout, --checkpoint/--resume, --inject-fault
+ * and graceful SIGINT draining.
+ *
  * Exit codes: 0 success, 1 runtime error, 2 usage error, 3 syntax
- * (parse) error in the description, 4 validation error.
+ * (parse) error in the description, 4 validation error, 5 interrupted
+ * (partial results; checkpoint flushed).
  */
+#include <atomic>
+#include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +38,9 @@
 
 #include "circuit/rc_timing.h"
 #include "core/json_export.h"
+#include "core/montecarlo.h"
+#include "runner/campaign.h"
+#include "runner/runner.h"
 #include "core/model.h"
 #include "core/report.h"
 #include "core/schemes.h"
@@ -40,6 +53,8 @@
 #include "protocol/controller.h"
 #include "protocol/command_trace.h"
 #include "protocol/trace.h"
+#include "util/json.h"
+#include "util/numerics.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -47,12 +62,16 @@ using namespace vdram;
 
 namespace {
 
-// Exit codes (documented in README and docs/diagnostics.md).
+// Exit codes (documented in README, docs/diagnostics.md and
+// docs/runner.md).
 constexpr int kExitOk = 0;
 constexpr int kExitRuntime = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitParse = 3;
 constexpr int kExitValidate = 4;
+/** A campaign was interrupted (SIGINT drain): partial results were
+ *  reported and the checkpoint, if any, was flushed. */
+constexpr int kExitPartial = 5;
 
 /** Diagnostic output options (global flags). */
 struct DiagOptions {
@@ -60,13 +79,40 @@ struct DiagOptions {
     std::string format = "text";
 };
 
-int
-usage()
+/** Batch-runner options parsed from the global campaign flags. */
+struct CampaignFlags {
+    RunnerOptions runner;
+    /** True when any runner flag was given explicitly (controls
+     *  whether the run report is printed for quiet runs). */
+    bool explicitFlags = false;
+};
+
+/** Raised by the SIGINT handler; polled by the batch runner. */
+std::atomic<bool> g_stop_requested{false};
+
+extern "C" void
+onSigint(int)
+{
+    g_stop_requested.store(true, std::memory_order_relaxed);
+    // A second Ctrl-C kills the process the normal way instead of
+    // re-requesting the drain.
+    std::signal(SIGINT, SIG_DFL);
+}
+
+/** Install the graceful-drain handler (campaign commands only). */
+void
+installDrainHandler(RunnerOptions& options)
+{
+    options.stopFlag = &g_stop_requested;
+    std::signal(SIGINT, onSigint);
+}
+
+void
+printUsage(std::FILE* out)
 {
     std::fprintf(
-        stderr,
-        "usage: vdram_cli [--lint] [--diag-format=text|json] "
-        "<command> [args]\n"
+        out,
+        "usage: vdram_cli [flags] <command> [args]\n"
         "  list                      list built-in presets\n"
         "  describe <target>         summary, IDD table, breakdown, die\n"
         "  idd <target>              IDD table only\n"
@@ -74,6 +120,8 @@ usage()
         "  emit <target>             emit the description language text\n"
         "  pattern <target> OP...    evaluate a command loop\n"
         "  sensitivity <target> [--detailed]\n"
+        "  montecarlo <target> [--samples=N] [--seed=N] [--json]\n"
+        "                            vendor-variation IDD distributions\n"
         "  sweep <target> <parameter> f1 [f2 ...]\n"
         "                            what-if factors on one parameter\n"
         "  schemes <target>          Section V power-reduction study\n"
@@ -86,13 +134,33 @@ usage()
         "                            emit a synthetic trace to stdout\n"
         "  replay <target> <cmdtrace>\n"
         "                            evaluate a timed command trace\n"
+        "  help                      print this text (also --help)\n"
         "flags:\n"
         "  --lint                    parse + validate the target, report\n"
         "                            every diagnostic, run no command\n"
         "  --diag-format=text|json   diagnostic rendering (default text)\n"
+        "campaign flags (montecarlo, sensitivity, sweep, trends):\n"
+        "  --jobs=N                  worker threads (default 1; 0 = all "
+        "cores)\n"
+        "  --task-timeout=SECONDS    per-variant deadline (watchdog)\n"
+        "  --checkpoint=PATH         JSONL checkpoint file\n"
+        "  --resume                  skip variants completed in the\n"
+        "                            checkpoint (default path if none "
+        "given)\n"
+        "  --inject-fault=R[:KIND]   fault a fraction R of variants;\n"
+        "                            KIND = error|timeout|crash (test "
+        "hook)\n"
+        "SIGINT drains a campaign: in-flight variants finish, the\n"
+        "checkpoint is flushed, partial results are reported (exit 5).\n"
         "<target> = file.dram | preset:<name>\n"
-        "exit codes: 0 ok, 1 runtime, 2 usage, 3 syntax error, "
-        "4 validation error\n");
+        "exit codes: 0 ok, 1 runtime, 2 usage, 3 syntax error,\n"
+        "4 validation error, 5 interrupted (partial results)\n");
+}
+
+int
+usage()
+{
+    printUsage(stderr);
     return kExitUsage;
 }
 
@@ -251,25 +319,192 @@ cmdPattern(const DramDescription& desc, int argc, char** argv)
     return 0;
 }
 
-int
-cmdSensitivity(const DramDescription& desc, bool detailed)
+/**
+ * Parse an integer flag value in [min, max]; false on any syntax or
+ * range defect (the caller reports the usage error).
+ */
+bool
+parseCount(const std::string& text, long long min, long long max,
+           long long& out)
 {
-    SensitivityAnalyzer analyzer(desc);
-    auto results = analyzer.analyze(
-        0.20, detailed ? SweepMode::Detailed : SweepMode::Grouped);
+    if (text.empty())
+        return false;
+    char* end = nullptr;
+    long long value = std::strtoll(text.c_str(), &end, 10);
+    if (end != text.c_str() + text.size() || value < min || value > max)
+        return false;
+    out = value;
+    return true;
+}
+
+/** The report is only noise when every task just succeeded first try. */
+bool
+reportIsTrivial(const RunReport& report)
+{
+    return !report.interrupted && report.failed == 0 &&
+           report.quarantined == 0 && report.timedOut == 0 &&
+           report.retried == 0 && report.skippedResume == 0;
+}
+
+/**
+ * Print the campaign accounting to stderr (stdout carries the
+ * aggregate result, which must stay byte-identical across
+ * serial/parallel/resumed runs — wall time and throughput never belong
+ * there).
+ */
+void
+printRunReport(const RunReport& report, const DiagnosticEngine& diags,
+               bool force)
+{
+    if (!diags.diagnostics().empty())
+        std::fprintf(stderr, "%s", diags.renderText().c_str());
+    if (force || !reportIsTrivial(report))
+        std::fprintf(stderr, "%s", report.renderText().c_str());
+}
+
+int
+exitCodeFor(const RunReport& report)
+{
+    return report.interrupted ? kExitPartial : kExitOk;
+}
+
+int
+cmdSensitivity(const DramDescription& desc, CampaignFlags flags,
+               bool detailed)
+{
+    installDrainHandler(flags.runner);
+    DiagnosticEngine diags;
+    Result<SensitivityCampaign> campaign = runSensitivityCampaign(
+        desc, 0.20,
+        detailed ? SweepMode::Detailed : SweepMode::Grouped,
+        flags.runner, &diags);
+    if (!campaign.ok()) {
+        std::fprintf(stderr, "%s\n",
+                     campaign.error().toString().c_str());
+        return kExitRuntime;
+    }
     Table table({"parameter", "+20%", "-20%", "spread"});
-    for (const SensitivityResult& r : results) {
+    for (const SensitivityResult& r : campaign.value().results) {
         table.addRow({r.name, strformat("%+.1f%%", r.plus * 100),
                       strformat("%+.1f%%", r.minus * 100),
                       strformat("%.1f%%", r.spread() * 100)});
     }
     std::printf("%s", table.render().c_str());
-    return 0;
+    printRunReport(campaign.value().report, diags, flags.explicitFlags);
+    return exitCodeFor(campaign.value().report);
 }
 
 int
-cmdSweep(const DramDescription& desc, const std::string& param_name,
-         int argc, char** argv)
+cmdMonteCarlo(const DramDescription& desc, CampaignFlags flags,
+              int argc, char** argv)
+{
+    long long samples = 200;
+    long long seed = 1;
+    bool json_out = false;
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (startsWith(arg, "--samples=")) {
+            if (!parseCount(arg.substr(10), 1, 10'000'000, samples)) {
+                std::fprintf(stderr,
+                             "--samples must be an integer in "
+                             "[1, 10000000], got '%s'\n",
+                             arg.substr(10).c_str());
+                return kExitUsage;
+            }
+        } else if (startsWith(arg, "--seed=")) {
+            if (!parseCount(arg.substr(7), 0, INT64_MAX, seed)) {
+                std::fprintf(stderr,
+                             "--seed must be a non-negative integer, "
+                             "got '%s'\n",
+                             arg.substr(7).c_str());
+                return kExitUsage;
+            }
+        } else if (arg == "--json") {
+            json_out = true;
+        } else {
+            std::fprintf(stderr, "unknown montecarlo argument '%s'\n",
+                         arg.c_str());
+            return kExitUsage;
+        }
+    }
+    // --resume without --checkpoint still needs a file to resume from.
+    if (flags.runner.resume && flags.runner.checkpointPath.empty()) {
+        flags.runner.checkpointPath = "vdram_montecarlo.jsonl";
+        std::fprintf(stderr, "using default checkpoint '%s'\n",
+                     flags.runner.checkpointPath.c_str());
+    }
+    installDrainHandler(flags.runner);
+
+    const std::vector<IddMeasure> measures = {
+        IddMeasure::Idd0, IddMeasure::Idd2N, IddMeasure::Idd4R,
+        IddMeasure::Idd4W, IddMeasure::Idd5};
+    DiagnosticEngine diags;
+    Result<MonteCarloCampaign> campaign = runMonteCarloCampaign(
+        desc, measures, static_cast<int>(samples), {},
+        static_cast<std::uint64_t>(seed), flags.runner, &diags);
+    if (!campaign.ok()) {
+        std::fprintf(stderr, "%s\n",
+                     campaign.error().toString().c_str());
+        return kExitRuntime;
+    }
+    const MonteCarloCampaign& mc = campaign.value();
+
+    if (json_out) {
+        JsonWriter json;
+        json.beginObject();
+        json.key("samples").value(samples);
+        json.key("distributions").beginArray();
+        for (const IddDistribution& d : mc.distributions) {
+            json.beginObject();
+            json.key("measure").value(iddName(d.measure));
+            json.key("nominal").value(d.nominal);
+            json.key("mean").value(d.mean);
+            json.key("min").value(d.minimum);
+            json.key("max").value(d.maximum);
+            json.key("p05").value(d.p05);
+            json.key("p95").value(d.p95);
+            json.key("relativeSpread").value(d.relativeSpread());
+            json.endObject();
+        }
+        json.endArray();
+        json.key("report");
+        // renderJson() yields a complete object; splice its fields by
+        // re-emitting the counters here to keep one valid document.
+        json.beginObject();
+        json.key("total").value(mc.report.total);
+        json.key("ok").value(mc.report.ok);
+        json.key("failed").value(mc.report.failed);
+        json.key("quarantined").value(mc.report.quarantined);
+        json.key("timedOut").value(mc.report.timedOut);
+        json.key("retried").value(mc.report.retried);
+        json.key("skippedResume").value(mc.report.skippedResume);
+        json.key("notRun").value(mc.report.notRun);
+        json.key("interrupted").value(mc.report.interrupted);
+        json.endObject();
+        json.endObject();
+        std::printf("%s\n", json.str().c_str());
+    } else {
+        Table table({"measure", "nominal", "mean", "p05", "p95", "min",
+                     "max", "spread"});
+        for (const IddDistribution& d : mc.distributions) {
+            table.addRow({iddName(d.measure),
+                          strformat("%.1f mA", d.nominal * 1e3),
+                          strformat("%.1f mA", d.mean * 1e3),
+                          strformat("%.1f mA", d.p05 * 1e3),
+                          strformat("%.1f mA", d.p95 * 1e3),
+                          strformat("%.1f mA", d.minimum * 1e3),
+                          strformat("%.1f mA", d.maximum * 1e3),
+                          strformat("%.0f%%", d.relativeSpread() * 100)});
+        }
+        std::printf("%s", table.render().c_str());
+    }
+    printRunReport(mc.report, diags, true);
+    return exitCodeFor(mc.report);
+}
+
+int
+cmdSweep(const DramDescription& desc, CampaignFlags flags,
+         const std::string& param_name, int argc, char** argv)
 {
     // Search the grouped sweep list first, then the detailed one.
     const SweepParam* param = nullptr;
@@ -289,40 +524,77 @@ cmdSweep(const DramDescription& desc, const std::string& param_name,
                      param_name.c_str());
         for (const SweepParam& p : sweepParameters(SweepMode::Grouped))
             std::fprintf(stderr, "  %s\n", p.name.c_str());
-        return 2;
+        return kExitUsage;
     }
 
-    Table table({"factor", "pattern power", "IDD0", "IDD4R",
-                 "energy/bit"});
+    std::vector<double> factors;
+    std::vector<TaskSpec> manifest;
     for (int i = 0; i < argc; ++i) {
         double factor = std::atof(argv[i]);
         if (factor <= 0) {
             std::fprintf(stderr, "bad factor '%s'\n", argv[i]);
-            return 2;
+            return kExitUsage;
         }
-        DramDescription variant = desc;
-        param->apply(variant, factor);
-        // A factor can push the description out of its valid range;
-        // report that row as not evaluable instead of dying.
-        Result<DramPowerModel> model =
-            DramPowerModel::create(std::move(variant));
-        if (!model.ok()) {
-            table.addRow({strformat("%.3g", factor),
-                          "not evaluable: " +
-                              model.error().toString(),
-                          "-", "-", "-"});
-            continue;
+        factors.push_back(factor);
+        manifest.push_back(
+            TaskSpec{strformat("factor-%s", argv[i]),
+                     deriveStreamSeed(0x53EE9, factors.size() - 1)});
+    }
+
+    installDrainHandler(flags.runner);
+    DiagnosticEngine diags;
+    BatchRunner runner(
+        std::move(manifest),
+        [&desc, param, &factors](const TaskContext& context)
+            -> Result<std::string> {
+            DramDescription variant = desc;
+            param->apply(variant, factors[context.index]);
+            // A factor can push the description out of its valid range;
+            // report that row as not evaluable instead of dying.
+            Result<DramPowerModel> model =
+                DramPowerModel::create(std::move(variant));
+            if (!model.ok())
+                return "not evaluable: " + model.error().toString() +
+                       "\t-\t-\t-";
+            PatternPower power = model.value().evaluateDefault();
+            return formatEng(power.power, "W") + "\t" +
+                   formatEng(model.value().idd(IddMeasure::Idd0), "A") +
+                   "\t" +
+                   formatEng(model.value().idd(IddMeasure::Idd4R), "A") +
+                   "\t" +
+                   strformat("%.1f pJ", power.energyPerBit * 1e12);
+        },
+        flags.runner);
+    Result<RunReport> report = runner.run(&diags);
+    if (!report.ok()) {
+        std::fprintf(stderr, "%s\n", report.error().toString().c_str());
+        return kExitRuntime;
+    }
+
+    Table table({"factor", "pattern power", "IDD0", "IDD4R",
+                 "energy/bit"});
+    for (const TaskResult& task : runner.results()) {
+        std::vector<std::string> row = {
+            strformat("%.3g", factors[task.index])};
+        if (task.ok()) {
+            for (const std::string& cell : splitChar(task.payload, '\t'))
+                row.push_back(cell);
+        } else if (task.outcome == TaskOutcome::NotRun) {
+            row.insert(row.end(), {"(not run)", "-", "-", "-"});
+        } else {
+            row.insert(row.end(),
+                       {"failed: " + task.error, "-", "-", "-"});
         }
-        PatternPower power = model.value().evaluateDefault();
-        table.addRow({strformat("%.3g", factor),
-                      formatEng(power.power, "W"),
-                      formatEng(model.value().idd(IddMeasure::Idd0), "A"),
-                      formatEng(model.value().idd(IddMeasure::Idd4R), "A"),
-                      strformat("%.1f pJ", power.energyPerBit * 1e12)});
+        // Quarantined rows may carry fewer cells than the header; the
+        // table renderer pads, but keep the shape regular anyway.
+        while (row.size() < 5)
+            row.push_back("-");
+        table.addRow(row);
     }
     std::printf("sweep of '%s':\n%s", param->name.c_str(),
                 table.render().c_str());
-    return 0;
+    printRunReport(report.value(), diags, flags.explicitFlags);
+    return exitCodeFor(report.value());
 }
 
 int
@@ -434,12 +706,20 @@ cmdGenTrace(const DramDescription& desc, const std::string& kind,
 }
 
 int
-cmdTrends(bool csv)
+cmdTrends(CampaignFlags flags, bool csv)
 {
-    std::vector<TrendPoint> points = computeTrends();
+    installDrainHandler(flags.runner);
+    DiagnosticEngine diags;
+    Result<TrendsCampaign> campaign =
+        runTrendsCampaign({}, flags.runner, &diags);
+    if (!campaign.ok()) {
+        std::fprintf(stderr, "%s\n",
+                     campaign.error().toString().c_str());
+        return kExitRuntime;
+    }
     Table table({"node", "year", "device", "die mm2", "pJ/bit", "IDD0 mA",
                  "IDD4R mA"});
-    for (const TrendPoint& p : points) {
+    for (const TrendPoint& p : campaign.value().points) {
         table.addRow({strformat("%.0f", p.generation.featureSize * 1e9),
                       strformat("%d", p.generation.year),
                       p.generation.label(),
@@ -450,7 +730,30 @@ cmdTrends(bool csv)
     }
     std::printf("%s", csv ? table.renderCsv().c_str()
                           : table.render().c_str());
-    return 0;
+    printRunReport(campaign.value().report, diags, flags.explicitFlags);
+    return exitCodeFor(campaign.value().report);
+}
+
+} // namespace
+
+namespace {
+
+/** True when @p arg is a flag the dispatched @p command consumes
+ *  itself (anything else starting with "--" is a usage error). */
+bool
+commandOwnsFlag(const std::string& command, const std::string& arg)
+{
+    if (command == "sensitivity")
+        return arg == "--detailed";
+    if (command == "trends")
+        return arg == "--csv";
+    if (command == "workload")
+        return arg == "--closed";
+    if (command == "montecarlo") {
+        return startsWith(arg, "--samples=") ||
+               startsWith(arg, "--seed=") || arg == "--json";
+    }
+    return false;
 }
 
 } // namespace
@@ -458,18 +761,80 @@ cmdTrends(bool csv)
 int
 main(int argc, char** argv)
 {
-    // Strip the global diagnostic flags (position-independent) before
-    // command dispatch.
+    // Strip the global flags (position-independent) before command
+    // dispatch. Campaign flags are validated here so a typo exits with
+    // a usage error instead of silently running with defaults.
     DiagOptions opts;
+    CampaignFlags campaign;
     std::vector<char*> args;
     for (int i = 0; i < argc; ++i) {
         std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printUsage(stdout);
+            return kExitOk;
+        }
         if (arg == "--lint") {
             opts.lint = true;
             continue;
         }
         if (startsWith(arg, "--diag-format=")) {
             opts.format = arg.substr(14);
+            continue;
+        }
+        if (startsWith(arg, "--jobs=")) {
+            long long jobs = 0;
+            if (!parseCount(arg.substr(7), 0, 1024, jobs)) {
+                std::fprintf(stderr,
+                             "--jobs must be an integer in [0, 1024] "
+                             "(0 = all cores), got '%s'\n",
+                             arg.substr(7).c_str());
+                return kExitUsage;
+            }
+            campaign.runner.jobs = static_cast<int>(jobs);
+            campaign.explicitFlags = true;
+            continue;
+        }
+        if (startsWith(arg, "--task-timeout=")) {
+            std::string text = arg.substr(15);
+            char* end = nullptr;
+            double seconds = std::strtod(text.c_str(), &end);
+            if (text.empty() || end != text.c_str() + text.size() ||
+                !(seconds > 0)) {
+                std::fprintf(stderr,
+                             "--task-timeout must be a positive number "
+                             "of seconds, got '%s'\n",
+                             text.c_str());
+                return kExitUsage;
+            }
+            campaign.runner.taskTimeoutSeconds = seconds;
+            campaign.explicitFlags = true;
+            continue;
+        }
+        if (startsWith(arg, "--checkpoint=")) {
+            std::string path = arg.substr(13);
+            if (path.empty()) {
+                std::fprintf(stderr,
+                             "--checkpoint needs a file path\n");
+                return kExitUsage;
+            }
+            campaign.runner.checkpointPath = path;
+            campaign.explicitFlags = true;
+            continue;
+        }
+        if (arg == "--resume") {
+            campaign.runner.resume = true;
+            campaign.explicitFlags = true;
+            continue;
+        }
+        if (startsWith(arg, "--inject-fault=")) {
+            Result<FaultPlan> plan = parseFaultPlan(arg.substr(15));
+            if (!plan.ok()) {
+                std::fprintf(stderr, "--inject-fault: %s\n",
+                             plan.error().toString().c_str());
+                return kExitUsage;
+            }
+            campaign.runner.faultPlan = plan.value();
+            campaign.explicitFlags = true;
             continue;
         }
         args.push_back(argv[i]);
@@ -496,12 +861,30 @@ main(int argc, char** argv)
     if (argc < 2)
         return usage();
     std::string command = argv[1];
+    if (command == "help") {
+        printUsage(stdout);
+        return kExitOk;
+    }
+
+    // Reject flags the dispatched command does not understand (the
+    // global ones were stripped above). Silently ignoring a typo like
+    // --sample=100 would run a different experiment than asked for.
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (startsWith(arg, "--") && !commandOwnsFlag(command, arg)) {
+            std::fprintf(stderr,
+                         "unknown flag '%s' for command '%s' "
+                         "(see vdram_cli --help)\n",
+                         arg.c_str(), command.c_str());
+            return kExitUsage;
+        }
+    }
 
     if (command == "list")
         return cmdList();
     if (command == "trends") {
         bool csv = argc > 2 && std::strcmp(argv[2], "--csv") == 0;
-        return cmdTrends(csv);
+        return cmdTrends(campaign, csv);
     }
 
     if (argc < 3)
@@ -527,10 +910,12 @@ main(int argc, char** argv)
     if (command == "sensitivity") {
         bool detailed = argc > 3 &&
                         std::strcmp(argv[3], "--detailed") == 0;
-        return cmdSensitivity(desc, detailed);
+        return cmdSensitivity(desc, campaign, detailed);
     }
+    if (command == "montecarlo")
+        return cmdMonteCarlo(desc, campaign, argc - 3, argv + 3);
     if (command == "sweep" && argc > 4)
-        return cmdSweep(desc, argv[3], argc - 4, argv + 4);
+        return cmdSweep(desc, campaign, argv[3], argc - 4, argv + 4);
     if (command == "schemes")
         return cmdSchemes(desc);
     if (command == "timing")
