@@ -56,9 +56,7 @@ main()
     DramPowerModel ddr3(preset2GbDdr3_55());
     auto share = [](const DramPowerModel& m, Component c) {
         PatternPower p = m.evaluateDefault();
-        auto it = p.componentPower.find(c);
-        double w = it == p.componentPower.end() ? 0.0 : it->second;
-        return 100.0 * w / p.power;
+        return 100.0 * p.componentPower[c] / p.power;
     };
     std::printf("share shift DDR3 55nm -> DDR5 18nm:\n");
     std::printf("  bitline sensing:   %4.1f%% -> %4.1f%%\n",

@@ -97,6 +97,33 @@ void validateDescription(const DramDescription& desc,
  */
 Status validateDescription(const DramDescription& desc);
 
+/**
+ * Bitmask over the description value groups a perturbation can touch.
+ * Drives both the cheap re-validation of a perturbed description
+ * (revalidateDirtyGroups()) and the stage re-derivation of the
+ * delta-evaluation fast path (VariantEvaluator).
+ */
+using DirtyMask = unsigned;
+constexpr DirtyMask kDirtyTechnology = 1u << 0;  ///< TechnologyParams
+constexpr DirtyMask kDirtyElectrical = 1u << 1;  ///< ElectricalParams
+constexpr DirtyMask kDirtyLogicBlocks = 1u << 2; ///< logicBlocks
+constexpr DirtyMask kDirtySignals = 1u << 3;     ///< signal nets
+/** Structural fields (arch, spec, timing, floorplan, pattern): there is
+ *  no cheap subset for these — they fall back to full validation and a
+ *  full stage rebuild. */
+constexpr DirtyMask kDirtyStructure = 1u << 4;
+
+/**
+ * Re-validate only the value groups in @p dirty, for a description that
+ * is a value-only perturbation of an already-validated one. Structural
+ * checks (divisibility, floorplan grid, pattern legality) cannot newly
+ * fail under such a perturbation and are skipped; kDirtyStructure falls
+ * back to the full pass. Returns the same first error (code, message,
+ * location) the full validateDescription() would report.
+ */
+Status revalidateDirtyGroups(const DramDescription& desc,
+                             DirtyMask dirty);
+
 } // namespace vdram
 
 #endif // VDRAM_CORE_DESCRIPTION_H

@@ -17,14 +17,18 @@ writePatternPower(JsonWriter& json, const PatternPower& power)
     json.key("energy_per_bit_j").value(power.energyPerBit);
     json.key("bus_utilization").value(power.busUtilization);
 
+    // Flat enum-indexed arrays: emit every component/op (zeros included)
+    // in the stable report order.
     json.key("components").beginObject();
-    for (const auto& [component, watts] : power.componentPower)
-        json.key(componentName(component)).value(watts);
+    for (const auto& [component, name] : componentNames())
+        json.key(name).value(power.componentPower[component]);
     json.endObject();
 
     json.key("operations").beginObject();
-    for (const auto& [op, watts] : power.operationPower)
-        json.key(opName(op)).value(watts);
+    for (int o = 0; o < kOpCount; ++o) {
+        Op op = static_cast<Op>(o);
+        json.key(opName(op)).value(power.operationPower[op]);
+    }
     json.endObject();
 
     json.key("domains").beginObject();

@@ -1,6 +1,7 @@
 #include "core/model.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "circuit/logic_block.h"
 #include "util/logging.h"
@@ -36,48 +37,95 @@ DramPowerModel::DramPowerModel(DramDescription desc) : desc_(std::move(desc))
 void
 DramPowerModel::build()
 {
-    // Internal invariant: callers validate user input (create() or an
-    // explicit validateDescription() pass) before constructing a model.
-    Status status = validateDescription(desc_);
-    if (!status.ok())
-        panic("DramPowerModel built from an invalid description '" +
-              desc_.name + "': " + status.error().toString() +
-              " (validate first, or use DramPowerModel::create())");
+    // Callers validate before constructing (create() or an explicit
+    // validateDescription() pass); re-validating here doubled the cost
+    // of every construction. Keep a cheap canary on the invariants the
+    // build math divides by.
+    assert(!desc_.pattern.loop.empty() && desc_.timing.tCkSeconds > 0 &&
+           desc_.elec.vdd > 0 &&
+           "internal error: model constructed from an unvalidated "
+           "description; use DramPowerModel::create()");
 
-    geometry_ = computeArrayGeometry(desc_.arch, desc_.spec);
-    if (!desc_.floorplan.resolved()) {
-        desc_.floorplan.resolveArraySizes(geometry_,
-                                          desc_.arch.bitlineVertical);
+    rebuildStages(kStageAll);
+}
+
+void
+DramPowerModel::rebuildStages(StageMask stages)
+{
+    if (stages & kStageGeometry) {
+        geometry_ = computeArrayGeometry(desc_.arch, desc_.spec);
+        // An auto-resolved floorplan tracks the geometry: re-derive the
+        // array block sizes on every geometry rebuild so a perturbed
+        // architecture moves the die the same way a from-scratch build
+        // would. Floorplans sized explicitly before the first build
+        // stay fixed.
+        if (!desc_.floorplan.resolved())
+            floorplanAutoResolved_ = true;
+        if (floorplanAutoResolved_) {
+            desc_.floorplan.resolveArraySizes(geometry_,
+                                              desc_.arch.bitlineVertical);
+        }
+        // The floorplan may have moved: routed signal lengths are stale.
+        segmentLengthsReady_ = false;
     }
 
-    senseAmp_ = computeSenseAmpLoads(desc_.tech, desc_.arch.foldedBitline);
-    lwl_ = computeLocalWordlineLoads(desc_.tech, desc_.arch, geometry_);
-    mwl_ = computeMasterWordlineLoads(desc_.tech, desc_.arch, geometry_,
-                                      desc_.spec.rowAddressBits);
-    column_ = computeColumnPathLoads(desc_.tech, desc_.arch, geometry_,
-                                     senseAmp_,
-                                     desc_.spec.columnAddressBits);
+    if (stages & kStageLoads) {
+        senseAmp_ = computeSenseAmpLoads(desc_.tech,
+                                         desc_.arch.foldedBitline);
+        lwl_ = computeLocalWordlineLoads(desc_.tech, desc_.arch,
+                                         geometry_);
+        mwl_ = computeMasterWordlineLoads(desc_.tech, desc_.arch,
+                                          geometry_,
+                                          desc_.spec.rowAddressBits);
+        column_ = computeColumnPathLoads(desc_.tech, desc_.arch,
+                                         geometry_, senseAmp_,
+                                         desc_.spec.columnAddressBits);
+    }
 
-    ops_ = OperationSet{};
-    buildActivatePrecharge();
-    buildReadWrite();
-    buildRefresh();
-    buildBackground();
+    if (stages & kStageSignalCache) {
+        // Routed lengths depend only on the segments and the floorplan;
+        // caching them lets a technology-only rebuild skip the
+        // floorplan walks and just refold the tech capacitances.
+        if (!segmentLengthsReady_) {
+            segmentLengths_.clear();
+            for (const SignalNet& net : desc_.signals) {
+                for (const Segment& segment : net.segments) {
+                    segmentLengths_.push_back(computeSegmentLength(
+                        segment, desc_.floorplan));
+                }
+            }
+            segmentLengthsReady_ = true;
+        }
+        busCapPerRole_.fill(0.0);
+        size_t k = 0;
+        for (const SignalNet& net : desc_.signals) {
+            double cap = 0;
+            for (const Segment& segment : net.segments) {
+                cap += computeSegmentLoadsAtLength(segment,
+                                                   segmentLengths_[k++],
+                                                   desc_.tech)
+                           .total();
+            }
+            busCapPerRole_[static_cast<size_t>(net.role)] +=
+                cap * net.wireCount * net.toggleRate;
+        }
+    }
+
+    if (stages & kStageCharges) {
+        ops_ = OperationSet{};
+        buildActivatePrecharge();
+        buildReadWrite();
+        buildRefresh();
+        buildBackground();
+    }
 }
 
 double
 DramPowerModel::busChargePerEvent(SignalRole role,
                                   double toggles_per_wire) const
 {
-    double charge = 0;
-    for (const SignalNet& net : desc_.signals) {
-        if (net.role != role)
-            continue;
-        double cap = signalNetCapPerWire(net, desc_.floorplan, desc_.tech);
-        charge += cap * net.wireCount * net.toggleRate * toggles_per_wire *
-                  desc_.elec.vint;
-    }
-    return charge;
+    return busCapPerRole_[static_cast<size_t>(role)] * toggles_per_wire *
+           desc_.elec.vint;
 }
 
 void
@@ -253,14 +301,25 @@ DramPowerModel::buildReadWrite()
     addLogicBlocks(wr, Activity::PerDataBit, bits);
 }
 
+long long
+rowsPerRefreshCommand(long long rows_per_bank)
+{
+    if (rows_per_bank <= 0)
+        return 1;
+    // Ceiling division: every row must be covered within the refresh
+    // window, so a bank with 12K rows folds 2 rows per command, not 1.
+    return (rows_per_bank + kRefreshCommandsPerWindow - 1) /
+           kRefreshCommandsPerWindow;
+}
+
 void
 DramPowerModel::buildRefresh()
 {
     // One refresh command refreshes one (or, for dense parts, several)
     // rows in every bank: internally a full activate/precharge cycle per
     // row without any column activity.
-    const long long rows_per_ref = std::max<long long>(
-        1, desc_.spec.rowsPerBank() / kRefreshCommandsPerWindow);
+    const long long rows_per_ref =
+        rowsPerRefreshCommand(desc_.spec.rowsPerBank());
     const double row_cycles = static_cast<double>(
         rows_per_ref * desc_.spec.banks());
     OperationCharges row_cycle = ops_.activate;

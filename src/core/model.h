@@ -11,6 +11,8 @@
 #ifndef VDRAM_CORE_MODEL_H
 #define VDRAM_CORE_MODEL_H
 
+#include <array>
+
 #include "circuit/column.h"
 #include "circuit/sense_amp.h"
 #include "circuit/wordline.h"
@@ -20,6 +22,26 @@
 #include "protocol/idd.h"
 
 namespace vdram {
+
+/**
+ * Bitmask over the model's cached derivation stages (the Fig. 4 build
+ * pipeline split into its data-dependency layers). The delta-evaluation
+ * fast path (VariantEvaluator) re-derives only the stages a parameter
+ * perturbation dirtied:
+ *
+ *   Geometry -> Loads -> Charges
+ *          \-> SignalCache -/
+ *
+ * Charges reads the loads and the signal cache; Loads and SignalCache
+ * read the geometry (via the resolved floorplan).
+ */
+using StageMask = unsigned;
+constexpr StageMask kStageGeometry = 1u << 0;    ///< array geometry + floorplan
+constexpr StageMask kStageLoads = 1u << 1;       ///< SA/wordline/column loads
+constexpr StageMask kStageSignalCache = 1u << 2; ///< per-role bus capacitance
+constexpr StageMask kStageCharges = 1u << 3;     ///< per-op charge budgets
+constexpr StageMask kStageAll = kStageGeometry | kStageLoads |
+                                kStageSignalCache | kStageCharges;
 
 /** Area summary of the modeled die. */
 struct AreaReport {
@@ -46,9 +68,10 @@ class DramPowerModel {
     /**
      * Build the model from a description that is already known to be
      * valid (presets, create(), descriptions that passed
-     * validateDescription()). Precondition: the description validates;
-     * construction from an invalid description is an internal invariant
-     * violation and panics.
+     * validateDescription()). Precondition: the description validates.
+     * This constructor does NOT re-validate (a debug assert guards the
+     * invariants the build math divides by); route untrusted input
+     * through create().
      */
     explicit DramPowerModel(DramDescription desc);
 
@@ -84,12 +107,22 @@ class DramPowerModel {
     AreaReport area() const;
 
   private:
+    friend class VariantEvaluator;
+
     void build();
+    /**
+     * Re-derive the cached stages selected by @p stages (dependency
+     * order: geometry, loads, signal cache, charges). Precondition: the
+     * description is valid and every stage a selected stage depends on
+     * is either also selected or still current.
+     */
+    void rebuildStages(StageMask stages);
     void buildActivatePrecharge();
     void buildReadWrite();
     void buildRefresh();
     void buildBackground();
-    /** Charge of the signal nets with @p role per event, at Vint. */
+    /** Charge of the signal nets with @p role per event, at Vint
+     *  (served from the memoized per-role capacitance sums). */
     double busChargePerEvent(SignalRole role, double toggles_per_wire) const;
     /** Add logic blocks with the given activity to an op budget. */
     void addLogicBlocks(OperationCharges& charges, Activity activity,
@@ -97,12 +130,37 @@ class DramPowerModel {
 
     DramDescription desc_;
     ArrayGeometry geometry_;
+    /** True once the geometry stage has sized the floorplan's array
+     *  blocks itself (the description arrived unresolved). Such a
+     *  floorplan is re-resolved on every geometry rebuild so it tracks
+     *  architecture perturbations; explicitly sized floorplans are
+     *  never overwritten. */
+    bool floorplanAutoResolved_ = false;
     SenseAmpLoads senseAmp_;
     LocalWordlineLoads lwl_;
     MasterWordlineLoads mwl_;
     ColumnPathLoads column_;
+    /** Memoized per-role sum of cap * wireCount * toggleRate over the
+     *  signal nets (kStageSignalCache); the per-event charge is this
+     *  sum times toggles and Vint. */
+    std::array<double, kSignalRoleCount> busCapPerRole_{};
+    /** Routed length per segment, in net-then-segment order. Lengths
+     *  depend only on the floorplan and the segments, so technology
+     *  perturbations reuse them; the geometry stage (or an edit of the
+     *  signal nets, via invalidateSegmentLengths()) drops them. */
+    std::vector<double> segmentLengths_;
+    bool segmentLengthsReady_ = false;
+    /** Drop the routed-length cache after desc_.signals changed. */
+    void invalidateSegmentLengths() { segmentLengthsReady_ = false; }
     OperationSet ops_;
 };
+
+/**
+ * Rows folded into one refresh command for a bank of @p rows_per_bank
+ * rows under the JEDEC 8192-commands-per-window refresh architecture.
+ * Ceiling division: a 12K-row bank folds 2 rows per command, not 1.
+ */
+long long rowsPerRefreshCommand(long long rows_per_bank);
 
 } // namespace vdram
 

@@ -5,19 +5,66 @@
 #include <random>
 
 #include "core/model.h"
+#include "core/variant_evaluator.h"
 #include "util/numerics.h"
 
 namespace vdram {
 
 namespace {
 
-/** Multiplicative lognormal-ish factor: exp(N(0, sigma)). */
-double
-factorOf(std::mt19937_64& rng, double sigma)
-{
-    std::normal_distribution<double> dist(0.0, sigma);
-    return std::exp(dist(rng));
-}
+/**
+ * Per-sample perturbation RNG: a splitmix64 engine feeding a Marsaglia
+ * polar normal sampler that keeps its spare deviate. A fresh
+ * mt19937_64 per sample spent more time seeding its 312-word state
+ * than the staged model spends re-deriving a variant, and a fresh
+ * std::normal_distribution per draw threw away every second normal.
+ */
+class PerturbationRng {
+  public:
+    explicit PerturbationRng(std::uint64_t seed) : state_(seed) {}
+
+    /** Multiplicative lognormal-ish factor: exp(N(0, sigma)). */
+    double factorOf(double sigma) { return std::exp(sigma * normal()); }
+
+  private:
+    std::uint64_t next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform double in (-1, 1), 53 mantissa bits. */
+    double uniform()
+    {
+        return static_cast<double>(next() >> 11) *
+                   (2.0 / 9007199254740992.0) -
+               1.0;
+    }
+
+    double normal()
+    {
+        if (hasSpare_) {
+            hasSpare_ = false;
+            return spare_;
+        }
+        double u, v, s;
+        do {
+            u = uniform();
+            v = uniform();
+            s = u * u + v * v;
+        } while (s >= 1.0 || s == 0.0);
+        double m = std::sqrt(-2.0 * std::log(s) / s);
+        spare_ = v * m;
+        hasSpare_ = true;
+        return u * m;
+    }
+
+    std::uint64_t state_;
+    double spare_ = 0;
+    bool hasSpare_ = false;
+};
 
 double
 percentile(const std::vector<double>& sorted, double p)
@@ -43,8 +90,17 @@ DramDescription
 sampleVariant(const DramDescription& nominal,
               const VariationModel& variation, std::uint64_t seed)
 {
-    std::mt19937_64 rng(seed);
     DramDescription d = nominal;
+    applyVariantPerturbation(d, variation, seed);
+    return d;
+}
+
+void
+applyVariantPerturbation(DramDescription& d,
+                         const VariationModel& variation,
+                         std::uint64_t seed)
+{
+    PerturbationRng rng(seed);
 
     // Technology parameters: independent lognormal factors. Counts and
     // ratios (NoScaling dimensionless entries) stay put.
@@ -55,31 +111,29 @@ sampleVariant(const DramDescription& nominal,
         }
         double value = getParam(info, d.tech, d.elec);
         setParam(info, d.tech, d.elec,
-                 value * factorOf(rng, variation.technologySigma));
+                 value * rng.factorOf(variation.technologySigma));
     }
 
     // Internal voltage trims (Vdd is the spec rail, not varied).
-    d.elec.vint *= factorOf(rng, variation.voltageSigma);
-    d.elec.vbl *= factorOf(rng, variation.voltageSigma);
-    d.elec.vpp *= factorOf(rng, variation.voltageSigma);
+    d.elec.vint *= rng.factorOf(variation.voltageSigma);
+    d.elec.vbl *= rng.factorOf(variation.voltageSigma);
+    d.elec.vpp *= rng.factorOf(variation.voltageSigma);
     // Keep the ordering constraints intact.
     d.elec.vbl = std::min(d.elec.vbl, d.elec.vpp * 0.9);
     d.elec.vpp = std::max(d.elec.vpp, d.elec.vint);
 
     // Design-style spread: peripheral sizing and generator efficiency.
     for (LogicBlock& block : d.logicBlocks)
-        block.gateCount *= factorOf(rng, variation.logicSigma);
+        block.gateCount *= rng.factorOf(variation.logicSigma);
     d.elec.efficiencyVint = std::min(
         1.0, d.elec.efficiencyVint *
-                 factorOf(rng, variation.efficiencySigma));
+                 rng.factorOf(variation.efficiencySigma));
     d.elec.efficiencyVbl = std::min(
         1.0, d.elec.efficiencyVbl *
-                 factorOf(rng, variation.efficiencySigma));
+                 rng.factorOf(variation.efficiencySigma));
     d.elec.efficiencyVpp = std::min(
         1.0, d.elec.efficiencyVpp *
-                 factorOf(rng, variation.efficiencySigma));
-
-    return d;
+                 rng.factorOf(variation.efficiencySigma));
 }
 
 Result<std::vector<double>>
@@ -101,6 +155,29 @@ evaluateMonteCarloSample(const DramDescription& nominal,
     values.reserve(measures.size());
     for (IddMeasure measure : measures)
         values.push_back(model.value().idd(measure));
+    return values;
+}
+
+Result<std::vector<double>>
+evaluateMonteCarloSampleFast(VariantEvaluator& evaluator,
+                             const VariationModel& variation,
+                             const std::vector<IddMeasure>& measures,
+                             std::uint64_t sampleSeed)
+{
+    Status status = evaluator.applyPerturbation(
+        [&](DramDescription& d) {
+            applyVariantPerturbation(d, variation, sampleSeed);
+        },
+        kMonteCarloDirtyMask);
+    if (!status.ok()) {
+        Error error = status.error();
+        error.code = "E-MC-INVALID";
+        return error;
+    }
+    std::vector<double> values;
+    values.reserve(measures.size());
+    for (IddMeasure measure : measures)
+        values.push_back(evaluator.idd(measure));
     return values;
 }
 

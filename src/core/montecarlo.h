@@ -77,6 +77,21 @@ DramDescription sampleVariant(const DramDescription& nominal,
                               std::uint64_t seed);
 
 /**
+ * Apply the variant perturbation of @p seed to @p d in place — the
+ * draw-for-draw identical mutation sampleVariant() applies to its copy.
+ * Shared by the copying path and the delta-evaluation fast path so both
+ * consume the RNG stream in exactly the same order.
+ */
+void applyVariantPerturbation(DramDescription& d,
+                              const VariationModel& variation,
+                              std::uint64_t seed);
+
+/** Value groups a Monte-Carlo perturbation touches: technology,
+ *  voltages/efficiencies and logic sizing — never the structure. */
+constexpr DirtyMask kMonteCarloDirtyMask =
+    kDirtyTechnology | kDirtyElectrical | kDirtyLogicBlocks;
+
+/**
  * Evaluate one Monte-Carlo sample: draw the variant for @p sampleSeed,
  * validate it and return one IDD value per measure. Extreme draws can
  * break divisibility/ordering constraints; those variants return the
@@ -87,6 +102,20 @@ evaluateMonteCarloSample(const DramDescription& nominal,
                          const VariationModel& variation,
                          const std::vector<IddMeasure>& measures,
                          std::uint64_t sampleSeed);
+
+class VariantEvaluator;
+
+/**
+ * Fast-path equivalent of evaluateMonteCarloSample(): same seed stream,
+ * same quarantine decisions (E-MC-INVALID), bit-identical IDD values —
+ * but the perturbation is applied in place on @p evaluator's nominal
+ * model and only the dirty stages are re-derived.
+ */
+Result<std::vector<double>>
+evaluateMonteCarloSampleFast(VariantEvaluator& evaluator,
+                             const VariationModel& variation,
+                             const std::vector<IddMeasure>& measures,
+                             std::uint64_t sampleSeed);
 
 /**
  * Build the per-measure distribution summaries from raw sample values.

@@ -11,11 +11,11 @@ renderBreakdown(const PatternPower& power)
 {
     Table table({"component", "power", "share"});
     for (const auto& [component, name] : componentNames()) {
-        auto it = power.componentPower.find(component);
-        if (it == power.componentPower.end() || it->second <= 0)
+        double watts = power.componentPower[component];
+        if (watts <= 0)
             continue;
-        table.addRow({name, formatEng(it->second, "W"),
-                      strformat("%5.1f%%", 100.0 * it->second / power.power)});
+        table.addRow({name, formatEng(watts, "W"),
+                      strformat("%5.1f%%", 100.0 * watts / power.power)});
     }
     table.addSeparator();
     table.addRow({"total", formatEng(power.power, "W"), "100.0%"});
@@ -28,8 +28,8 @@ renderOperationSplit(const PatternPower& power)
     Table table({"operation", "power", "share"});
     for (Op op : {Op::Act, Op::Pre, Op::Rd, Op::Wr, Op::Ref, Op::Nop,
                   Op::Pdn, Op::Srf}) {
-        auto it = power.operationPower.find(op);
-        if (it == power.operationPower.end() || it->second <= 0)
+        double watts = power.operationPower[op];
+        if (watts <= 0)
             continue;
         std::string label =
             op == Op::Nop ? "background" : opName(op);
@@ -37,8 +37,8 @@ renderOperationSplit(const PatternPower& power)
             label = "power-down";
         if (op == Op::Srf)
             label = "self refresh";
-        table.addRow({label, formatEng(it->second, "W"),
-                      strformat("%5.1f%%", 100.0 * it->second / power.power)});
+        table.addRow({label, formatEng(watts, "W"),
+                      strformat("%5.1f%%", 100.0 * watts / power.power)});
     }
     return table.render();
 }

@@ -191,13 +191,8 @@ SchemeEvaluator::evaluate(Scheme scheme) const
     result.name = schemeName(scheme);
     result.energyPerAccess = power.power * power.loopTime;
     result.energyPerBit = result.energyPerAccess / cachelineBits_;
-    double row_power = 0;
-    auto it = power.operationPower.find(Op::Act);
-    if (it != power.operationPower.end())
-        row_power += it->second;
-    it = power.operationPower.find(Op::Pre);
-    if (it != power.operationPower.end())
-        row_power += it->second;
+    double row_power =
+        power.operationPower[Op::Act] + power.operationPower[Op::Pre];
     result.rowShare = power.power > 0 ? row_power / power.power : 0;
     result.dieArea = model.area().dieArea;
 

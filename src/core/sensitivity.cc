@@ -127,8 +127,18 @@ std::vector<SweepParam>
 sweepParameters(SweepMode mode)
 {
     std::vector<SweepParam> params;
-    appendElectrical(params);
+    // Tag each block with the value groups its mutators touch so the
+    // campaign fast path re-derives only the stages those groups feed.
+    auto tagFrom = [&params](size_t start, DirtyMask dirty) {
+        for (size_t i = start; i < params.size(); ++i)
+            params[i].dirty = dirty;
+    };
 
+    size_t mark = params.size();
+    appendElectrical(params);
+    tagFrom(mark, kDirtyElectrical);
+
+    mark = params.size();
     if (mode == SweepMode::Detailed) {
         for (const ParamInfo& info : technologyParamRegistry())
             params.push_back(techParam(info));
@@ -193,8 +203,14 @@ sweepParameters(SweepMode mode)
                               d.tech.minLengthLogic *= f;
                           }});
     }
+    tagFrom(mark, kDirtyTechnology);
 
+    mark = params.size();
     appendLogicAggregates(params);
+    tagFrom(mark, kDirtyLogicBlocks);
+
+    // Architecture mutators resize the array structure itself; they keep
+    // the conservative kDirtyStructure default (full validate + rebuild).
     appendArchitecture(params);
     return params;
 }

@@ -45,6 +45,12 @@ enum class SweepMode {
 struct SweepParam {
     std::string name;
     std::function<void(DramDescription&, double factor)> apply;
+    /**
+     * Value groups apply() touches, for the delta-evaluation fast path
+     * (see core/variant_evaluator.h). Defaults to the conservative full
+     * rebuild; sweepParameters() tags each entry precisely.
+     */
+    DirtyMask dirty = kDirtyStructure;
 };
 
 /** The sweep list for a mode. */

@@ -117,6 +117,9 @@ struct LogicBlock {
  */
 enum class Op { Act, Pre, Rd, Wr, Nop, Ref, Pdn, Srf };
 
+/** Number of Op values (for flat enum-indexed arrays). */
+constexpr int kOpCount = 8;
+
 /** Lower-case mnemonic used by the DSL ("act", "pre", "rd", ...). */
 std::string opName(Op op);
 

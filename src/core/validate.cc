@@ -470,13 +470,22 @@ void
 checkLogicBlocks(const DramDescription& desc, Checker& check)
 {
     for (const LogicBlock& block : desc.logicBlocks) {
+        // Build the location key only when a diagnostic is actually
+        // emitted: this check runs per variant on the campaign fast
+        // path, and the happy path must not allocate.
+        const bool activity_bad =
+            !(block.gateCount >= 0) || !(block.toggleRate >= 0);
+        const bool density_bad =
+            !(block.layoutDensity > 0 && block.layoutDensity <= 1);
+        if (!activity_bad && !density_bad)
+            continue;
         SourceLocation loc = check.at("block:" + block.name);
-        if (!(block.gateCount >= 0) || !(block.toggleRate >= 0)) {
+        if (activity_bad) {
             check.error("E-LOGIC-RANGE",
                         "logic block '" + block.name + "' has negative "
                         "activity", loc);
         }
-        if (!(block.layoutDensity > 0 && block.layoutDensity <= 1)) {
+        if (density_bad) {
             check.error("E-LOGIC-RANGE",
                         "logic block '" + block.name + "' layout density "
                         "must be in (0, 1]", loc);
@@ -543,6 +552,29 @@ validateDescription(const DramDescription& desc, DiagnosticEngine& diags,
     checkSignals(desc, check);
     checkLogicBlocks(desc, check);
     checkPatternConsistency(desc, diags, check);
+}
+
+Status
+revalidateDirtyGroups(const DramDescription& desc, DirtyMask dirty)
+{
+    if (dirty & kDirtyStructure)
+        return validateDescription(desc);
+
+    DiagnosticEngine diags;
+    Checker check(diags, nullptr);
+    // Same relative order as validateDescription() so the first error
+    // (the quarantine reason) is identical to the full pass.
+    if (dirty & kDirtyTechnology)
+        checkTechnology(desc, check);
+    if (dirty & kDirtyElectrical)
+        checkElectrical(desc, check);
+    if (dirty & kDirtySignals)
+        checkSignals(desc, check);
+    if (dirty & kDirtyLogicBlocks)
+        checkLogicBlocks(desc, check);
+    if (diags.hasErrors())
+        return Status(diags.firstError());
+    return Status::okStatus();
 }
 
 } // namespace vdram

@@ -1,0 +1,196 @@
+#include "core/variant_evaluator.h"
+
+namespace vdram {
+
+Result<VariantEvaluator>
+VariantEvaluator::create(DramDescription nominal)
+{
+    Result<DramPowerModel> model =
+        DramPowerModel::create(std::move(nominal));
+    if (!model.ok())
+        return model.error();
+    return VariantEvaluator(std::move(model.value()));
+}
+
+VariantEvaluator::VariantEvaluator(DramPowerModel nominalModel)
+    : model_(std::move(nominalModel)),
+      // Snapshot AFTER the build so the floorplan is resolved: restores
+      // then reproduce exactly what a fresh create() would compute.
+      nominal_(model_.description())
+{
+}
+
+StageMask
+VariantEvaluator::stagesFor(DirtyMask dirty)
+{
+    if (dirty & kDirtyStructure)
+        return kStageAll;
+    StageMask stages = 0;
+    if (dirty & kDirtyTechnology) {
+        // Device/wire caps feed every load and the signal cache; the
+        // charges read both.
+        stages |= kStageLoads | kStageSignalCache | kStageCharges;
+    }
+    if (dirty & kDirtyElectrical) {
+        // Voltages/efficiencies only multiply into the charge budgets
+        // (Vint is deliberately kept out of the signal cache).
+        stages |= kStageCharges;
+    }
+    if (dirty & kDirtyLogicBlocks)
+        stages |= kStageCharges;
+    if (dirty & kDirtySignals)
+        stages |= kStageSignalCache | kStageCharges;
+    return stages;
+}
+
+void
+VariantEvaluator::restorePerturbedGroups()
+{
+    if (!perturbed_)
+        return;
+    DramDescription& d = model_.desc_;
+    if (perturbed_ & kDirtyTechnology)
+        d.tech = nominal_.tech;
+    if (perturbed_ & kDirtyElectrical)
+        d.elec = nominal_.elec;
+    if (perturbed_ & kDirtyLogicBlocks)
+        d.logicBlocks = nominal_.logicBlocks;
+    if (perturbed_ & kDirtySignals) {
+        d.signals = nominal_.signals;
+        model_.invalidateSegmentLengths();
+    }
+    if (perturbed_ & kDirtyStructure) {
+        d.name = nominal_.name;
+        d.arch = nominal_.arch;
+        d.spec = nominal_.spec;
+        d.timing = nominal_.timing;
+        d.floorplan = nominal_.floorplan;
+        d.pattern = nominal_.pattern;
+        // Patterns cached while the structure was perturbed were built
+        // from the perturbed spec/timing; drop them with the restore.
+        iddPatternReady_.fill(false);
+        paretoPatternReady_ = false;
+    }
+    stale_ |= stagesFor(perturbed_);
+    perturbed_ = 0;
+}
+
+void
+VariantEvaluator::rebuild(StageMask stages)
+{
+    model_.rebuildStages(stages);
+    if (stages & kStageCharges)
+        chargeTableReady_ = false;
+}
+
+void
+VariantEvaluator::ensureFresh()
+{
+    if (stale_) {
+        rebuild(stale_);
+        stale_ = 0;
+    }
+}
+
+const ChargeTable&
+VariantEvaluator::chargeTable()
+{
+    if (!chargeTableReady_) {
+        chargeTable_ = makeChargeTable(model_.ops_, model_.desc_.elec);
+        chargeTableReady_ = true;
+    }
+    return chargeTable_;
+}
+
+Status
+VariantEvaluator::applyPerturbation(
+    const std::function<void(DramDescription&)>& mutate, DirtyMask dirty)
+{
+    restorePerturbedGroups();
+    mutate(model_.desc_);
+    perturbed_ = dirty;
+    if (dirty & kDirtySignals)
+        model_.invalidateSegmentLengths();
+    if (dirty & kDirtyStructure) {
+        // Structure changes can invalidate the cached measurement
+        // patterns (they derive from spec/timing).
+        iddPatternReady_.fill(false);
+        paretoPatternReady_ = false;
+    }
+
+    Status status = revalidateDirtyGroups(model_.desc_, dirty);
+    if (!status.ok()) {
+        // Roll back so the evaluator stays usable; the stages stay
+        // stale until the next evaluation or perturbation.
+        restorePerturbedGroups();
+        return status;
+    }
+
+    rebuild(stale_ | stagesFor(dirty));
+    stale_ = 0;
+    return Status::okStatus();
+}
+
+void
+VariantEvaluator::reset()
+{
+    restorePerturbedGroups();
+    ensureFresh();
+}
+
+double
+VariantEvaluator::idd(IddMeasure measure)
+{
+    ensureFresh();
+    const size_t i = static_cast<size_t>(measure);
+    if (!iddPatternReady_[i]) {
+        iddPatterns_[i] = makeIddPattern(measure, model_.desc_.spec,
+                                         model_.desc_.timing);
+        iddStats_[i] = makePatternStats(iddPatterns_[i]);
+        iddPatternReady_[i] = true;
+    }
+    return patternExternalCurrent(iddStats_[i], chargeTable(),
+                                  model_.desc_.elec,
+                                  model_.desc_.timing.tCkSeconds);
+}
+
+const Pattern&
+VariantEvaluator::paretoPattern()
+{
+    if (!paretoPatternReady_) {
+        paretoPattern_ =
+            makeParetoPattern(model_.desc_.spec, model_.desc_.timing);
+        paretoStats_ = makePatternStats(paretoPattern_);
+        paretoPatternReady_ = true;
+    }
+    return paretoPattern_;
+}
+
+double
+VariantEvaluator::paretoPower()
+{
+    ensureFresh();
+    paretoPattern(); // fills paretoStats_
+    // power = externalCurrent * vdd, the same multiply
+    // computePatternPower() performs.
+    return patternExternalCurrent(paretoStats_, chargeTable(),
+                                  model_.desc_.elec,
+                                  model_.desc_.timing.tCkSeconds) *
+           model_.desc_.elec.vdd;
+}
+
+double
+VariantEvaluator::energyPerBit()
+{
+    ensureFresh();
+    return model_.evaluate(paretoPattern()).energyPerBit;
+}
+
+PatternPower
+VariantEvaluator::evaluateDefault()
+{
+    ensureFresh();
+    return model_.evaluateDefault();
+}
+
+} // namespace vdram

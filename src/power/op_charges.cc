@@ -41,14 +41,14 @@ OperationCharges::add(Component component, Domain domain, double charge)
 {
     if (charge < 0)
         panic("negative charge added to " + componentName(component));
-    parts_[component].add(domain, charge);
+    parts_[static_cast<size_t>(component)].add(domain, charge);
 }
 
 DomainCharge
 OperationCharges::total() const
 {
     DomainCharge sum;
-    for (const auto& [component, charge] : parts_)
+    for (const DomainCharge& charge : parts_)
         sum += charge;
     return sum;
 }
@@ -56,15 +56,15 @@ OperationCharges::total() const
 DomainCharge
 OperationCharges::component(Component component) const
 {
-    auto it = parts_.find(component);
-    return it == parts_.end() ? DomainCharge{} : it->second;
+    return parts_[static_cast<size_t>(component)];
 }
 
 OperationCharges&
 OperationCharges::operator+=(const OperationCharges& other)
 {
-    for (const auto& [component, charge] : other.parts_)
-        parts_[component] += charge;
+    for (int c = 0; c < kComponentCount; ++c)
+        parts_[static_cast<size_t>(c)] +=
+            other.parts_[static_cast<size_t>(c)];
     return *this;
 }
 
@@ -72,8 +72,9 @@ OperationCharges
 OperationCharges::operator*(double factor) const
 {
     OperationCharges out;
-    for (const auto& [component, charge] : parts_)
-        out.parts_[component] = charge * factor;
+    for (int c = 0; c < kComponentCount; ++c)
+        out.parts_[static_cast<size_t>(c)] =
+            parts_[static_cast<size_t>(c)] * factor;
     return out;
 }
 

@@ -9,6 +9,8 @@
 #ifndef VDRAM_POWER_OP_CHARGES_H
 #define VDRAM_POWER_OP_CHARGES_H
 
+#include <array>
+#include <cstddef>
 #include <map>
 #include <string>
 
@@ -36,6 +38,34 @@ enum class Component {
     ConstantCurrent,   ///< reference/regulator standing current
 };
 
+/** Number of Component values (for flat enum-indexed arrays). */
+constexpr int kComponentCount = 15;
+
+/**
+ * A flat value vector indexed by an enum. Every enumerator has an entry
+ * (absent/inactive ones are zero), so evaluation hot paths accumulate
+ * into contiguous storage instead of allocating map nodes.
+ */
+template <typename Enum, int N>
+struct EnumArray {
+    std::array<double, N> values{};
+
+    double& operator[](Enum e)
+    {
+        return values[static_cast<std::size_t>(e)];
+    }
+    const double& operator[](Enum e) const
+    {
+        return values[static_cast<std::size_t>(e)];
+    }
+    static constexpr int size() { return N; }
+};
+
+/** Per-component values (e.g. watts), all components present. */
+using ComponentValues = EnumArray<Component, kComponentCount>;
+/** Per-operation values (e.g. watts), all operations present. */
+using OpValues = EnumArray<Op, kOpCount>;
+
 /** Stable ordering of components for reports. */
 const std::map<Component, std::string>& componentNames();
 
@@ -54,8 +84,8 @@ class OperationCharges {
     /** Charge vector of one component (zero if absent). */
     DomainCharge component(Component component) const;
 
-    /** All non-zero components. */
-    const std::map<Component, DomainCharge>& parts() const
+    /** All components in enum order (inactive ones hold zero charge). */
+    const std::array<DomainCharge, kComponentCount>& parts() const
     {
         return parts_;
     }
@@ -75,7 +105,7 @@ class OperationCharges {
     OperationCharges operator*(double factor) const;
 
   private:
-    std::map<Component, DomainCharge> parts_;
+    std::array<DomainCharge, kComponentCount> parts_{};
 };
 
 /**

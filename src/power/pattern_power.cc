@@ -31,8 +31,10 @@ computePatternPower(const Pattern& pattern, const OperationSet& ops,
     // per-cycle background, exactly Eq. 2 of the paper with f expressed
     // through the loop.
     double loop_charge = 0;
-    std::map<Component, double> component_charge;
-    std::map<Op, double> op_charge;
+    // Flat enum-indexed accumulators: this runs once per operation per
+    // evaluated pattern — on the campaign hot path — so no map nodes.
+    std::array<double, kComponentCount> component_charge{};
+    std::array<double, kOpCount> op_charge{};
 
     std::array<double, kDomainCount> domain_charge_sum{};
 
@@ -40,10 +42,13 @@ computePatternPower(const Pattern& pattern, const OperationSet& ops,
                           double count) {
         if (count <= 0)
             return;
-        for (const auto& [component, domain_charge] : charges.parts()) {
+        const auto& parts = charges.parts();
+        for (int c = 0; c < kComponentCount; ++c) {
+            const DomainCharge& domain_charge =
+                parts[static_cast<size_t>(c)];
             double q = domain_charge.externalCharge(elec) * count;
-            component_charge[component] += q;
-            op_charge[op] += q;
+            component_charge[static_cast<size_t>(c)] += q;
+            op_charge[static_cast<size_t>(op)] += q;
             loop_charge += q;
             for (int d = 0; d < kDomainCount; ++d) {
                 Domain domain = static_cast<Domain>(d);
@@ -70,14 +75,18 @@ computePatternPower(const Pattern& pattern, const OperationSet& ops,
         loop_charge / result.loopTime + elec.constantCurrent;
     result.power = result.externalCurrent * elec.vdd;
 
-    for (const auto& [component, q] : component_charge) {
-        result.componentPower[component] =
-            q / result.loopTime * elec.vdd;
+    for (int c = 0; c < kComponentCount; ++c) {
+        result.componentPower.values[static_cast<size_t>(c)] =
+            component_charge[static_cast<size_t>(c)] / result.loopTime *
+            elec.vdd;
     }
     result.componentPower[Component::ConstantCurrent] +=
         elec.constantCurrent * elec.vdd;
-    for (const auto& [op, q] : op_charge)
-        result.operationPower[op] = q / result.loopTime * elec.vdd;
+    for (int o = 0; o < kOpCount; ++o) {
+        result.operationPower.values[static_cast<size_t>(o)] =
+            op_charge[static_cast<size_t>(o)] / result.loopTime *
+            elec.vdd;
+    }
     result.operationPower[Op::Nop] += elec.constantCurrent * elec.vdd;
 
     for (int d = 0; d < kDomainCount; ++d) {
@@ -96,11 +105,89 @@ computePatternPower(const Pattern& pattern, const OperationSet& ops,
         result.energyPerBit =
             result.power * result.loopTime / result.bitsPerLoop;
     }
-    result.busUtilization = std::min(
-        1.0, result.bitsPerLoop /
-                 (spec.bandwidth() * result.loopTime));
+    // A zero-bandwidth spec (dataRate or ioWidth zero) would divide by
+    // zero here and report NaN/1.0 utilization into reports and JSON;
+    // validateDescription() rejects such specs, but this function is
+    // callable directly.
+    const double bus_capacity = spec.bandwidth() * result.loopTime;
+    if (bus_capacity > 0) {
+        result.busUtilization =
+            std::min(1.0, result.bitsPerLoop / bus_capacity);
+    } else {
+        if (result.bitsPerLoop > 0) {
+            warn("specification has no interface bandwidth; reporting "
+                 "zero bus utilization");
+        }
+        result.busUtilization = 0;
+    }
 
     return result;
+}
+
+ChargeTable
+makeChargeTable(const OperationSet& ops, const ElectricalParams& elec)
+{
+    // Category order mirrors the accumulate() calls in
+    // computePatternPower(): Act, Pre, Rd, Wr, Ref, background,
+    // power-down, self-refresh.
+    const OperationCharges* categories[kChargeCategoryCount] = {
+        &ops.activate,          &ops.precharge,
+        &ops.read,              &ops.write,
+        &ops.refresh,           &ops.backgroundPerCycle,
+        &ops.powerDownPerCycle, &ops.selfRefreshPerCycle};
+    ChargeTable table;
+    for (int cat = 0; cat < kChargeCategoryCount; ++cat) {
+        const auto& parts = categories[cat]->parts();
+        for (int c = 0; c < kComponentCount; ++c) {
+            table.ext[static_cast<size_t>(cat)][static_cast<size_t>(c)] =
+                parts[static_cast<size_t>(c)].externalCharge(elec);
+        }
+    }
+    return table;
+}
+
+PatternStats
+makePatternStats(const Pattern& pattern)
+{
+    PatternStats stats;
+    stats.cycles = pattern.cycles();
+    stats.count[0] = pattern.count(Op::Act);
+    stats.count[1] = pattern.count(Op::Pre);
+    stats.count[2] = pattern.count(Op::Rd);
+    stats.count[3] = pattern.count(Op::Wr);
+    stats.count[4] = pattern.count(Op::Ref);
+    const int pdn_cycles = pattern.count(Op::Pdn);
+    const int srf_cycles = pattern.count(Op::Srf);
+    stats.count[5] = stats.cycles - pdn_cycles - srf_cycles;
+    stats.count[6] = pdn_cycles;
+    stats.count[7] = srf_cycles;
+    return stats;
+}
+
+double
+patternExternalCurrent(const PatternStats& stats, const ChargeTable& table,
+                       const ElectricalParams& elec, double tck)
+{
+    // computePatternPower() returns a zeroed result for these inputs.
+    if (stats.cycles <= 0 || !(tck > 0))
+        return 0;
+
+    // Same accumulation as computePatternPower()'s loop_charge: per
+    // category (in table order), per component, q = externalCharge *
+    // count, skipping categories that do not occur. The table values
+    // ARE the externalCharge() results the full evaluation computes
+    // inline, so the float stream is identical.
+    double loop_charge = 0;
+    for (int cat = 0; cat < kChargeCategoryCount; ++cat) {
+        const double count = stats.count[static_cast<size_t>(cat)];
+        if (count <= 0)
+            continue;
+        const auto& row = table.ext[static_cast<size_t>(cat)];
+        for (int c = 0; c < kComponentCount; ++c) {
+            loop_charge += row[static_cast<size_t>(c)] * count;
+        }
+    }
+    return loop_charge / (stats.cycles * tck) + elec.constantCurrent;
 }
 
 } // namespace vdram

@@ -9,8 +9,6 @@
 #ifndef VDRAM_POWER_PATTERN_POWER_H
 #define VDRAM_POWER_PATTERN_POWER_H
 
-#include <map>
-
 #include "core/spec.h"
 #include "power/op_charges.h"
 
@@ -30,16 +28,17 @@ struct PatternPower {
     double energyPerBit = 0;
     /** Average data bus utilization of the loop (0..1). */
     double busUtilization = 0;
-    /** Power by component, in watts (external). */
-    std::map<Component, double> componentPower;
+    /** Power by component, in watts (external). Flat enum-indexed
+     *  array: every component has an entry, inactive ones are zero. */
+    ComponentValues componentPower;
     /** Power by supplying voltage domain, in watts at the external
      *  supply (pump/generator losses included in their domain; the
      *  constant current counts as Vdd). Useful for sizing the on-die
      *  power system. */
     std::array<double, kDomainCount> domainPower{};
     /** Power by basic operation, in watts (external; Nop holds the
-     *  background). */
-    std::map<Op, double> operationPower;
+     *  background). Flat enum-indexed array like componentPower. */
+    OpValues operationPower;
 };
 
 /**
@@ -55,6 +54,53 @@ PatternPower computePatternPower(const Pattern& pattern,
                                  const OperationSet& ops,
                                  const ElectricalParams& elec, double tck,
                                  const Specification& spec);
+
+/**
+ * Op-category axis of the memoized external-charge table, in exactly
+ * the order computePatternPower() folds the categories into the loop
+ * charge (commands first, then the per-cycle backgrounds).
+ */
+constexpr int kChargeCategoryCount = 8;
+
+/**
+ * External charge per component for each op category at fixed
+ * electrical parameters. Memoizing this turns a pattern evaluation
+ * into kChargeCategoryCount x kComponentCount multiply-adds — the
+ * delta-evaluation hot path — while reproducing computePatternPower()
+ * bit for bit (the table holds the very externalCharge() values the
+ * full evaluation would compute inline, folded in the same order).
+ */
+struct ChargeTable {
+    std::array<std::array<double, kComponentCount>, kChargeCategoryCount>
+        ext{};
+};
+
+/** Build the memoized external-charge table for @p ops at @p elec. */
+ChargeTable makeChargeTable(const OperationSet& ops,
+                            const ElectricalParams& elec);
+
+/**
+ * Per-category occurrence counts of a pattern, precomputed once per
+ * pattern so repeated evaluations skip the loop scans.
+ */
+struct PatternStats {
+    int cycles = 0;
+    std::array<double, kChargeCategoryCount> count{};
+};
+
+/** Count @p pattern's ops per charge category. */
+PatternStats makePatternStats(const Pattern& pattern);
+
+/**
+ * External supply current of a pattern from its precomputed stats and
+ * charge table. Bit-identical to
+ * computePatternPower(...).externalCurrent: same values, same
+ * accumulation order. Degenerate stats (no cycles, non-positive tck)
+ * return 0 exactly like the full evaluation's zeroed result.
+ */
+double patternExternalCurrent(const PatternStats& stats,
+                              const ChargeTable& table,
+                              const ElectricalParams& elec, double tck);
 
 } // namespace vdram
 

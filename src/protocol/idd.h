@@ -31,6 +31,9 @@ enum class IddMeasure {
     Idd7,  ///< bank-interleaved activate + read (max throughput)
 };
 
+/** Number of IddMeasure values (for flat measure-indexed caches). */
+constexpr int kIddMeasureCount = 11;
+
 /** Datasheet-style name ("IDD0", "IDD4R", ...). */
 std::string iddName(IddMeasure measure);
 

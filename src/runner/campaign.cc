@@ -2,14 +2,84 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
 
 #include "core/model.h"
+#include "core/variant_evaluator.h"
 #include "tech/generations.h"
 #include "util/logging.h"
 #include "util/numerics.h"
 #include "util/strings.h"
 
 namespace vdram {
+
+FastPathMode
+fastPathMode()
+{
+    const char* env = std::getenv("VDRAM_FASTPATH");
+    if (env == nullptr)
+        return FastPathMode::On;
+    if (std::strcmp(env, "off") == 0)
+        return FastPathMode::Off;
+    if (std::strcmp(env, "verify") == 0)
+        return FastPathMode::Verify;
+    return FastPathMode::On;
+}
+
+namespace {
+
+/**
+ * One lazily constructed VariantEvaluator per worker slot, so parallel
+ * campaigns delta-evaluate without locking. The vector is pre-sized to
+ * the worker count; each worker only ever touches its own slot.
+ */
+class WorkerEvaluators {
+  public:
+    WorkerEvaluators(const DramPowerModel& nominal, int jobs)
+        : nominal_(nominal),
+          slots_(static_cast<size_t>(std::max(1, jobs)))
+    {
+    }
+
+    VariantEvaluator& forWorker(int worker)
+    {
+        std::unique_ptr<VariantEvaluator>& slot =
+            slots_[static_cast<size_t>(worker) % slots_.size()];
+        if (!slot)
+            slot = std::make_unique<VariantEvaluator>(nominal_);
+        return *slot;
+    }
+
+  private:
+    const DramPowerModel& nominal_;
+    std::vector<std::unique_ptr<VariantEvaluator>> slots_;
+};
+
+/** Bit-exact comparison of two sample results via the %.17g payload
+ *  encoding; error results compare by diagnostic code. */
+bool
+sampleResultsIdentical(const Result<std::vector<double>>& a,
+                       const Result<std::vector<double>>& b)
+{
+    if (a.ok() != b.ok())
+        return false;
+    if (!a.ok())
+        return a.error().code == b.error().code;
+    return encodeDoublePayload(a.value()) ==
+           encodeDoublePayload(b.value());
+}
+
+Error
+fastPathMismatch(long long index)
+{
+    return Error{strformat("fast-path result of task %lld differs from "
+                           "the full-rebuild result",
+                           index),
+                 0, 0, "", "E-FASTPATH-MISMATCH"};
+}
+
+} // namespace
 
 std::string
 encodeDoublePayload(const std::vector<double>& values)
@@ -63,12 +133,26 @@ runMonteCarloCampaign(const DramDescription& nominal,
                                     monteCarloSampleSeed(seed, s)});
     }
 
+    const FastPathMode fast_path = fastPathMode();
+    WorkerEvaluators evaluators(nominal_model.value(),
+                                effectiveJobCount(options.jobs));
     BatchRunner runner(
         std::move(manifest),
-        [&nominal, &variation, &measures](const TaskContext& context)
-            -> Result<std::string> {
-            Result<std::vector<double>> values = evaluateMonteCarloSample(
-                nominal, variation, measures, context.seed);
+        [&](const TaskContext& context) -> Result<std::string> {
+            Result<std::vector<double>> values =
+                fast_path == FastPathMode::Off
+                    ? evaluateMonteCarloSample(nominal, variation,
+                                               measures, context.seed)
+                    : evaluateMonteCarloSampleFast(
+                          evaluators.forWorker(context.worker), variation,
+                          measures, context.seed);
+            if (fast_path == FastPathMode::Verify) {
+                Result<std::vector<double>> slow =
+                    evaluateMonteCarloSample(nominal, variation, measures,
+                                             context.seed);
+                if (!sampleResultsIdentical(values, slow))
+                    return fastPathMismatch(context.index);
+            }
             if (!values.ok())
                 return values.error();
             return encodeDoublePayload(values.value());
@@ -126,13 +210,17 @@ runSensitivityCampaign(const DramDescription& base, double variation,
                        SweepMode mode, const RunnerOptions& options,
                        DiagnosticEngine* diags)
 {
-    Result<double> base_power = paretoPatternPower(base);
-    if (!base_power.ok()) {
-        Error error = base_power.error();
+    Result<DramPowerModel> base_model = DramPowerModel::create(base);
+    if (!base_model.ok()) {
+        Error error = base_model.error();
         error.message = "sensitivity base description is invalid: " +
                         error.message;
         return error;
     }
+    const double basePower =
+        base_model.value()
+            .evaluate(makeParetoPattern(base.spec, base.timing))
+            .power;
 
     const std::vector<SweepParam> params = sweepParameters(mode);
     std::vector<TaskSpec> manifest;
@@ -142,24 +230,62 @@ runSensitivityCampaign(const DramDescription& base, double variation,
             TaskSpec{params[i].name, deriveStreamSeed(0x5E45, i)});
     }
 
-    double basePower = base_power.value();
+    const FastPathMode fast_path = fastPathMode();
+    WorkerEvaluators evaluators(base_model.value(),
+                                effectiveJobCount(options.jobs));
+    // Both paths evaluate + before -, so a perturbation that breaks the
+    // description surfaces the same (first) error either way.
+    auto slowPair =
+        [&](const TaskContext& context) -> Result<std::vector<double>> {
+        const SweepParam& param = params[context.index];
+        DramDescription up = base;
+        param.apply(up, 1.0 + variation);
+        DramDescription down = base;
+        param.apply(down, 1.0 - variation);
+        Result<double> plus = paretoPatternPower(up);
+        if (!plus.ok())
+            return plus.error();
+        Result<double> minus = paretoPatternPower(down);
+        if (!minus.ok())
+            return minus.error();
+        return std::vector<double>{plus.value() / basePower - 1.0,
+                                   minus.value() / basePower - 1.0};
+    };
+    auto fastPair =
+        [&](const TaskContext& context) -> Result<std::vector<double>> {
+        const SweepParam& param = params[context.index];
+        VariantEvaluator& evaluator =
+            evaluators.forWorker(context.worker);
+        auto sideOf = [&](double factor) -> Result<double> {
+            Status status = evaluator.applyPerturbation(
+                [&](DramDescription& d) { param.apply(d, factor); },
+                param.dirty);
+            if (!status.ok())
+                return status.error();
+            return evaluator.paretoPower();
+        };
+        Result<double> plus = sideOf(1.0 + variation);
+        if (!plus.ok())
+            return plus.error();
+        Result<double> minus = sideOf(1.0 - variation);
+        if (!minus.ok())
+            return minus.error();
+        return std::vector<double>{plus.value() / basePower - 1.0,
+                                   minus.value() / basePower - 1.0};
+    };
     BatchRunner runner(
         std::move(manifest),
-        [&base, &params, variation, basePower](const TaskContext& context)
-            -> Result<std::string> {
-            const SweepParam& param = params[context.index];
-            DramDescription up = base;
-            param.apply(up, 1.0 + variation);
-            DramDescription down = base;
-            param.apply(down, 1.0 - variation);
-            Result<double> plus = paretoPatternPower(up);
-            if (!plus.ok())
-                return plus.error();
-            Result<double> minus = paretoPatternPower(down);
-            if (!minus.ok())
-                return minus.error();
-            return encodeDoublePayload({plus.value() / basePower - 1.0,
-                                        minus.value() / basePower - 1.0});
+        [&](const TaskContext& context) -> Result<std::string> {
+            Result<std::vector<double>> pair =
+                fast_path == FastPathMode::Off ? slowPair(context)
+                                               : fastPair(context);
+            if (fast_path == FastPathMode::Verify &&
+                !sampleResultsIdentical(pair, slowPair(context))) {
+                return fastPathMismatch(context.index);
+            }
+            if (!pair.ok())
+                return pair.error();
+            return encodeDoublePayload(pair.value());
         },
         options);
 
@@ -208,6 +334,10 @@ runTrendsCampaign(const BuilderOptions& builderOptions,
                                     deriveStreamSeed(0x72E7D, i)});
     }
 
+    // Fast-path bypass (see docs/performance.md): every ladder point is
+    // a different description built from scratch, so there is no nominal
+    // model to delta against. The campaign still gains from create()'s
+    // single validation pass.
     BatchRunner runner(
         std::move(manifest),
         [&ladder, &builderOptions](const TaskContext& context)

@@ -26,6 +26,19 @@
 
 namespace vdram {
 
+/**
+ * Which evaluation path the campaigns use per variant (selected by the
+ * VDRAM_FASTPATH environment variable; see docs/performance.md):
+ *  - On (default): delta evaluation via a per-worker VariantEvaluator.
+ *  - Off ("off"): the historical copy + validate + full-rebuild path.
+ *  - Verify ("verify"): run both and quarantine the task with
+ *    E-FASTPATH-MISMATCH unless the results are bit-identical.
+ */
+enum class FastPathMode { On, Off, Verify };
+
+/** The mode selected by the VDRAM_FASTPATH environment variable. */
+FastPathMode fastPathMode();
+
 /** Monte-Carlo study result plus the run's accounting. */
 struct MonteCarloCampaign {
     std::vector<IddDistribution> distributions;

@@ -173,7 +173,8 @@ BatchRunner::invokeOnce(const TaskContext& context)
 }
 
 TaskResult
-BatchRunner::executeTask(long long index, WorkerSlot& slot)
+BatchRunner::executeTask(long long index, int slot_index,
+                         WorkerSlot& slot)
 {
     TaskResult result;
     result.index = index;
@@ -194,6 +195,7 @@ BatchRunner::executeTask(long long index, WorkerSlot& slot)
         context.index = index;
         context.attempt = attempt;
         context.seed = result.spec.seed;
+        context.worker = slot_index;
         context.cancelled = [&slot] {
             return slot.cancel.load(std::memory_order_acquire);
         };
@@ -326,7 +328,7 @@ BatchRunner::run(DiagnosticEngine* diags)
                 break;
             if (results_[i].outcome == TaskOutcome::SkippedResume)
                 continue;
-            TaskResult result = executeTask(i, slot);
+            TaskResult result = executeTask(i, slot_index, slot);
             if (checkpoint_ok.load(std::memory_order_acquire)) {
                 TaskRecord record;
                 record.task = i;

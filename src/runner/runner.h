@@ -52,6 +52,13 @@ struct TaskContext {
     int attempt = 1;
     /** Per-task seed from the manifest. */
     std::uint64_t seed = 0;
+    /**
+     * Index of the worker slot running this task, in
+     * [0, effectiveJobCount(options.jobs)). Tasks use it to index
+     * per-worker scratch state (e.g. a VariantEvaluator) without
+     * locking; it is stable across the retries of one attempt chain.
+     */
+    int worker = 0;
 
     /**
      * True once the task should stop (deadline exceeded or run
@@ -178,7 +185,8 @@ class BatchRunner {
   private:
     struct WorkerSlot;
 
-    TaskResult executeTask(long long index, WorkerSlot& slot);
+    TaskResult executeTask(long long index, int slot_index,
+                           WorkerSlot& slot);
     Result<std::string> invokeOnce(const TaskContext& context);
     bool stopRequested() const;
 

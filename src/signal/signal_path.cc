@@ -18,11 +18,10 @@ signalRoleName(SignalRole role)
     return "?";
 }
 
-SegmentLoads
-computeSegmentLoads(const Segment& segment, const Floorplan& floorplan,
-                    const TechnologyParams& tech)
+double
+computeSegmentLength(const Segment& segment, const Floorplan& floorplan)
 {
-    SegmentLoads loads;
+    double length;
 
     // Internal invariant: validateDescription() rejects segments whose
     // grid references fall outside the floorplan before any load
@@ -33,15 +32,23 @@ computeSegmentLoads(const Segment& segment, const Floorplan& floorplan,
         double dimension = segment.horizontal
             ? floorplan.blockWidth(segment.inside)
             : floorplan.blockHeight(segment.inside);
-        loads.length = dimension * segment.fraction;
+        length = dimension * segment.fraction;
     } else {
         if (!floorplan.contains(segment.from) ||
             !floorplan.contains(segment.to)) {
             panic("signal segment references a block outside the floorplan");
         }
-        loads.length = floorplan.manhattanDistance(segment.from, segment.to);
+        length = floorplan.manhattanDistance(segment.from, segment.to);
     }
-    loads.length *= segment.lengthScale;
+    return length * segment.lengthScale;
+}
+
+SegmentLoads
+computeSegmentLoadsAtLength(const Segment& segment, double length,
+                            const TechnologyParams& tech)
+{
+    SegmentLoads loads;
+    loads.length = length;
 
     loads.wireCap = loads.length * tech.wireCapSignal;
 
@@ -63,6 +70,14 @@ computeSegmentLoads(const Segment& segment, const Floorplan& floorplan,
     }
 
     return loads;
+}
+
+SegmentLoads
+computeSegmentLoads(const Segment& segment, const Floorplan& floorplan,
+                    const TechnologyParams& tech)
+{
+    return computeSegmentLoadsAtLength(
+        segment, computeSegmentLength(segment, floorplan), tech);
 }
 
 double

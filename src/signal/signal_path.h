@@ -28,6 +28,9 @@ enum class SignalRole {
     Clock,         ///< clock distribution
 };
 
+/** Number of SignalRole values (for flat role-indexed caches). */
+constexpr int kSignalRoleCount = 6;
+
 /** Name of a signal role ("writedata", "clock", ...). */
 std::string signalRoleName(SignalRole role);
 
@@ -77,6 +80,19 @@ struct SegmentLoads {
 
     double total() const { return wireCap + deviceCap; }
 };
+
+/** Routed length of one segment on a resolved floorplan (lengthScale
+ *  applied). Depends only on the segment and the floorplan — callers on
+ *  the delta-evaluation fast path cache it across technology-only
+ *  perturbations. */
+double computeSegmentLength(const Segment& segment,
+                            const Floorplan& floorplan);
+
+/** Loads of a segment whose routed length is already known.
+ *  computeSegmentLoads() is exactly this at computeSegmentLength(). */
+SegmentLoads computeSegmentLoadsAtLength(const Segment& segment,
+                                         double length,
+                                         const TechnologyParams& tech);
 
 /** Compute the loads of one segment on a resolved floorplan. */
 SegmentLoads computeSegmentLoads(const Segment& segment,

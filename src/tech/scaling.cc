@@ -3,7 +3,9 @@
 #include <cmath>
 #include <map>
 
+#include "util/diag.h"
 #include "util/logging.h"
+#include "util/strings.h"
 
 namespace vdram {
 
@@ -134,9 +136,51 @@ scalingFactorBetween(ScalingCurveId id, double from_node, double to_node)
     return scalingFactor(id, to_node) / scalingFactor(id, from_node);
 }
 
+bool
+nodeOutsideScalingLadder(double node)
+{
+    // A ladder-end node computed as 170 * 1e-9 sits 1 ulp away from the
+    // 170e-9 table literal; a femtometre of slack keeps either spelling
+    // inside without admitting any real off-ladder node.
+    constexpr double kSlack = 1e-15;
+    const std::vector<double>& nodes = nodesAscending();
+    return node < nodes.front() - kSlack || node > nodes.back() + kSlack;
+}
+
 TechnologyParams
 scaleTechnology(const TechnologyParams& params, double target_node)
 {
+    return scaleTechnology(params, target_node, nullptr);
+}
+
+TechnologyParams
+scaleTechnology(const TechnologyParams& params, double target_node,
+                DiagnosticEngine* diags)
+{
+    if (nodeOutsideScalingLadder(target_node) ||
+        nodeOutsideScalingLadder(params.featureSize)) {
+        const double outside = nodeOutsideScalingLadder(target_node)
+                                   ? target_node
+                                   : params.featureSize;
+        std::string message = strformat(
+            "technology node %.0f nm lies outside the %.0f-%.0f nm "
+            "scaling ladder; shrink factors are clamped to the nearest "
+            "ladder end",
+            outside * 1e9, nodesAscending().front() * 1e9,
+            nodesAscending().back() * 1e9);
+        if (diags != nullptr) {
+            diags->warning("W-SCALE-CLAMP", message);
+        } else {
+            // Library use without an engine (benches, ad-hoc scripts):
+            // say it once per process instead of once per variant.
+            static bool warned = false;
+            if (!warned) {
+                warned = true;
+                warn(message + " [W-SCALE-CLAMP]");
+            }
+        }
+    }
+
     TechnologyParams out = params;
     double from = params.featureSize;
     ElectricalParams dummy;

@@ -24,9 +24,18 @@
 
 namespace vdram {
 
+class DiagnosticEngine;
+
 /** The shrink-factor curve for one parameter family (x: node in metres,
  *  ascending; y: factor relative to the 90 nm node). */
 const Curve& scalingCurve(ScalingCurveId id);
+
+/**
+ * True when @p node lies outside the 16-170 nm ladder the curves are
+ * sampled on. Factors for such nodes are clamped to the nearest ladder
+ * end, so the extrapolation is flat and silently optimistic.
+ */
+bool nodeOutsideScalingLadder(double node);
 
 /** Shrink factor of a family at a node, relative to the 90 nm reference. */
 double scalingFactor(ScalingCurveId id, double feature_size);
@@ -43,6 +52,16 @@ double scalingFactorBetween(ScalingCurveId id, double from_node,
  */
 TechnologyParams scaleTechnology(const TechnologyParams& params,
                                  double target_node);
+
+/**
+ * As above, but reports W-SCALE-CLAMP to @p diags (once per call) when
+ * the target or source node lies outside the curve ladder and the
+ * factors are therefore clamped. Without an engine the two-argument
+ * overload emits the warning through warn(), once per process.
+ */
+TechnologyParams scaleTechnology(const TechnologyParams& params,
+                                 double target_node,
+                                 DiagnosticEngine* diags);
 
 /** The list of curve families, for iteration in benches and tests. */
 const std::vector<ScalingCurveId>& allScalingCurves();

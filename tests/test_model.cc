@@ -86,7 +86,7 @@ TEST_F(Ddr3ModelTest, ComponentPowersSumToTotal)
 {
     PatternPower p = model_.iddPattern(IddMeasure::Idd7);
     double sum = 0;
-    for (const auto& [component, watts] : p.componentPower)
+    for (double watts : p.componentPower.values)
         sum += watts;
     EXPECT_NEAR(sum, p.power, p.power * 1e-9);
 }
@@ -95,7 +95,7 @@ TEST_F(Ddr3ModelTest, OperationPowersSumToTotal)
 {
     PatternPower p = model_.iddPattern(IddMeasure::Idd7);
     double sum = 0;
-    for (const auto& [op, watts] : p.operationPower)
+    for (double watts : p.operationPower.values)
         sum += watts;
     EXPECT_NEAR(sum, p.power, p.power * 1e-9);
 }
@@ -151,6 +151,21 @@ TEST(ModelConsistencyTest, RefreshEqualsBankRowCycles)
     double refresh = ops.refresh.externalCharge(model.description().elec);
     int banks = model.description().spec.banks();
     EXPECT_NEAR(refresh, row_cycle * banks, row_cycle * banks * 1e-9);
+}
+
+TEST(ModelConsistencyTest, RowsPerRefreshCommandCeils)
+{
+    // Truncating division under-refreshed non-power-of-two densities:
+    // a 12K-row bank needs 2 rows folded into each of the 8192 refresh
+    // commands, not 1 (which would leave 4096 rows uncovered).
+    EXPECT_EQ(rowsPerRefreshCommand(12288), 2);
+    EXPECT_EQ(rowsPerRefreshCommand(8192), 1);
+    EXPECT_EQ(rowsPerRefreshCommand(8193), 2);
+    EXPECT_EQ(rowsPerRefreshCommand(16384), 2);
+    EXPECT_EQ(rowsPerRefreshCommand(16385), 3);
+    EXPECT_EQ(rowsPerRefreshCommand(1), 1);
+    // Degenerate bank sizes still refresh something.
+    EXPECT_EQ(rowsPerRefreshCommand(0), 1);
 }
 
 TEST(ModelConsistencyTest, HigherDataRateDrawsMoreReadCurrent)

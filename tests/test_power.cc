@@ -5,6 +5,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "power/domains.h"
 #include "power/op_charges.h"
 #include "power/pattern_power.h"
@@ -169,6 +171,21 @@ TEST_F(PatternPowerTest, NopOnlyLoopHasNoDataEnergy)
     EXPECT_DOUBLE_EQ(power.bitsPerLoop, 0.0);
     EXPECT_DOUBLE_EQ(power.energyPerBit, 0.0);
     EXPECT_DOUBLE_EQ(power.busUtilization, 0.0);
+}
+
+TEST_F(PatternPowerTest, ZeroBandwidthSpecReportsZeroUtilization)
+{
+    // A zero-bandwidth spec used to divide by zero: 0/0 -> NaN, which
+    // std::min turned into a reported utilization of 1.0. The guard
+    // clamps to 0 and warns instead.
+    spec_.dataRate = 0;
+    Pattern p;
+    p.loop = {Op::Rd, Op::Nop, Op::Nop, Op::Nop};
+    PatternPower power =
+        computePatternPower(p, ops_, elec_, 1e-9, spec_);
+    EXPECT_GT(power.bitsPerLoop, 0);
+    EXPECT_DOUBLE_EQ(power.busUtilization, 0.0);
+    EXPECT_FALSE(std::isnan(power.busUtilization));
 }
 
 TEST_F(PatternPowerTest, OperationPowerAttribution)

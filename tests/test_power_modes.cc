@@ -87,7 +87,6 @@ TEST_F(PowerModeTest, PowerDownCyclesAttributedToPdnBucket)
     Pattern p;
     p.loop.assign(4, Op::Pdn);
     PatternPower power = model_.evaluate(p);
-    ASSERT_TRUE(power.operationPower.count(Op::Pdn));
     EXPECT_GT(power.operationPower[Op::Pdn], 0);
 }
 

@@ -10,6 +10,7 @@
 
 #include "tech/generations.h"
 #include "tech/scaling.h"
+#include "util/diag.h"
 
 namespace vdram {
 namespace {
@@ -122,6 +123,45 @@ TEST(ScalingTest, ScalingIsComposable)
                 direct.wireCapSignal * 1e-9);
     EXPECT_NEAR(two_step.minLengthLogic, direct.minLengthLogic,
                 direct.minLengthLogic * 1e-9);
+}
+
+TEST(ScalingTest, TargetOutsideLadderReportsScaleClampOnce)
+{
+    // The curves are sampled on 16-170 nm; extrapolating past either end
+    // clamps the factors flat, which must be surfaced, not silent.
+    TechnologyParams base;
+    base.featureSize = 90e-9;
+    DiagnosticEngine diags;
+    scaleTechnology(base, 14e-9, &diags);
+    int clamps = 0;
+    for (const Diagnostic& d : diags.diagnostics()) {
+        if (d.code == "W-SCALE-CLAMP")
+            ++clamps;
+    }
+    EXPECT_EQ(clamps, 1);
+    EXPECT_FALSE(diags.hasErrors());
+}
+
+TEST(ScalingTest, InLadderScalingReportsNoScaleClamp)
+{
+    TechnologyParams base;
+    base.featureSize = 90e-9;
+    DiagnosticEngine diags;
+    scaleTechnology(base, 55e-9, &diags);
+    for (const Diagnostic& d : diags.diagnostics())
+        EXPECT_NE(d.code, "W-SCALE-CLAMP");
+}
+
+TEST(ScalingTest, LadderBoundaryNodesAreInside)
+{
+    EXPECT_FALSE(nodeOutsideScalingLadder(16e-9));
+    EXPECT_FALSE(nodeOutsideScalingLadder(170e-9));
+    // The generation ladder spells its nodes as N * 1e-9, which can land
+    // 1 ulp off the table literals; both spellings must count as inside.
+    EXPECT_FALSE(nodeOutsideScalingLadder(16 * 1e-9));
+    EXPECT_FALSE(nodeOutsideScalingLadder(170 * 1e-9));
+    EXPECT_TRUE(nodeOutsideScalingLadder(15.9e-9));
+    EXPECT_TRUE(nodeOutsideScalingLadder(171e-9));
 }
 
 TEST(ScalingTest, ScalingUpRecoversOriginal)

@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Delta-evaluation fast path tests: a VariantEvaluator must be
+ * bit-identical to a from-scratch DramPowerModel::create() for every
+ * perturbation shape the campaigns produce — per-parameter, randomized
+ * multi-group (Monte-Carlo) and structural — and the campaign adapters
+ * must aggregate identically through the fast path, the slow path and
+ * the verify mode, serial or parallel, fresh or resumed.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "core/montecarlo.h"
+#include "core/sensitivity.h"
+#include "core/variant_evaluator.h"
+#include "presets/presets.h"
+#include "protocol/idd.h"
+#include "runner/campaign.h"
+#include "util/numerics.h"
+
+namespace vdram {
+namespace {
+
+DramDescription
+nominalDescription()
+{
+    return preset1GbDdr3(55e-9, 16, 1333);
+}
+
+/** From-scratch reference: copy, mutate, create, evaluate. */
+double
+referenceIdd(const DramDescription& nominal,
+             const std::function<void(DramDescription&)>& mutate,
+             IddMeasure measure)
+{
+    DramDescription variant = nominal;
+    mutate(variant);
+    Result<DramPowerModel> model = DramPowerModel::create(variant);
+    EXPECT_TRUE(model.ok()) << model.error().toString();
+    return model.value().idd(measure);
+}
+
+class ScopedFastPathEnv {
+  public:
+    explicit ScopedFastPathEnv(const char* value)
+    {
+        const char* old = std::getenv("VDRAM_FASTPATH");
+        had_old_ = old != nullptr;
+        if (had_old_)
+            old_ = old;
+        if (value != nullptr)
+            setenv("VDRAM_FASTPATH", value, 1);
+        else
+            unsetenv("VDRAM_FASTPATH");
+    }
+    ~ScopedFastPathEnv()
+    {
+        if (had_old_)
+            setenv("VDRAM_FASTPATH", old_.c_str(), 1);
+        else
+            unsetenv("VDRAM_FASTPATH");
+    }
+
+  private:
+    bool had_old_ = false;
+    std::string old_;
+};
+
+std::string
+tempPath(const std::string& name)
+{
+    return testing::TempDir() + "vdram_fastpath_" + name;
+}
+
+// ---------------------------------------------------------------------
+// Single-parameter equivalence
+// ---------------------------------------------------------------------
+
+TEST(VariantEvaluatorTest, EveryTechnologyParamBitIdenticalToRebuild)
+{
+    DramDescription nominal = nominalDescription();
+    Result<VariantEvaluator> evaluator =
+        VariantEvaluator::create(nominal);
+    ASSERT_TRUE(evaluator.ok());
+
+    // One evaluator across ALL parameters: each perturbation must also
+    // fully undo the previous one.
+    for (const ParamInfo& info : technologyParamRegistry()) {
+        Status status = evaluator.value().applyPerturbation(
+            [&info](DramDescription& d) {
+                double value = getParam(info, d.tech, d.elec);
+                setParam(info, d.tech, d.elec, value * 1.07);
+            },
+            kDirtyTechnology);
+        ASSERT_TRUE(status.ok())
+            << info.name << ": " << status.error().toString();
+        for (IddMeasure m : {IddMeasure::Idd0, IddMeasure::Idd4R,
+                             IddMeasure::Idd2N}) {
+            double expected = referenceIdd(
+                nominal,
+                [&info](DramDescription& d) {
+                    double value = getParam(info, d.tech, d.elec);
+                    setParam(info, d.tech, d.elec, value * 1.07);
+                },
+                m);
+            EXPECT_EQ(evaluator.value().idd(m), expected)
+                << info.name << " / " << iddName(m);
+        }
+    }
+}
+
+TEST(VariantEvaluatorTest, ElectricalPerturbationBitIdentical)
+{
+    DramDescription nominal = nominalDescription();
+    Result<VariantEvaluator> evaluator =
+        VariantEvaluator::create(nominal);
+    ASSERT_TRUE(evaluator.ok());
+
+    auto mutate = [](DramDescription& d) {
+        d.elec.vint *= 1.04;
+        d.elec.vpp *= 1.02;
+        d.elec.efficiencyVbl *= 0.95;
+        d.elec.constantCurrent *= 1.5;
+    };
+    ASSERT_TRUE(
+        evaluator.value().applyPerturbation(mutate, kDirtyElectrical).ok());
+    for (IddMeasure m : {IddMeasure::Idd0, IddMeasure::Idd4W,
+                         IddMeasure::Idd6}) {
+        EXPECT_EQ(evaluator.value().idd(m),
+                  referenceIdd(nominal, mutate, m));
+    }
+}
+
+TEST(VariantEvaluatorTest, LogicAndSignalPerturbationsBitIdentical)
+{
+    DramDescription nominal = nominalDescription();
+    Result<VariantEvaluator> evaluator =
+        VariantEvaluator::create(nominal);
+    ASSERT_TRUE(evaluator.ok());
+
+    auto logic = [](DramDescription& d) {
+        for (LogicBlock& block : d.logicBlocks)
+            block.gateCount *= 1.2;
+    };
+    ASSERT_TRUE(
+        evaluator.value().applyPerturbation(logic, kDirtyLogicBlocks).ok());
+    EXPECT_EQ(evaluator.value().idd(IddMeasure::Idd4R),
+              referenceIdd(nominal, logic, IddMeasure::Idd4R));
+
+    auto signals = [](DramDescription& d) {
+        for (SignalNet& net : d.signals)
+            net.toggleRate *= 1.3;
+    };
+    ASSERT_TRUE(
+        evaluator.value().applyPerturbation(signals, kDirtySignals).ok());
+    EXPECT_EQ(evaluator.value().idd(IddMeasure::Idd4R),
+              referenceIdd(nominal, signals, IddMeasure::Idd4R));
+}
+
+TEST(VariantEvaluatorTest, StructurePerturbationFallsBackBitIdentical)
+{
+    DramDescription nominal = nominalDescription();
+    Result<VariantEvaluator> evaluator =
+        VariantEvaluator::create(nominal);
+    ASSERT_TRUE(evaluator.ok());
+
+    auto arch = [](DramDescription& d) { d.arch.saStripeWidth *= 1.15; };
+    ASSERT_TRUE(
+        evaluator.value().applyPerturbation(arch, kDirtyStructure).ok());
+    EXPECT_EQ(evaluator.value().idd(IddMeasure::Idd0),
+              referenceIdd(nominal, arch, IddMeasure::Idd0));
+
+    // Back to a value-only perturbation afterwards: the structure (and
+    // the cached measurement patterns) must return to nominal.
+    auto elec = [](DramDescription& d) { d.elec.vint *= 1.01; };
+    ASSERT_TRUE(
+        evaluator.value().applyPerturbation(elec, kDirtyElectrical).ok());
+    EXPECT_EQ(evaluator.value().idd(IddMeasure::Idd0),
+              referenceIdd(nominal, elec, IddMeasure::Idd0));
+}
+
+TEST(VariantEvaluatorTest, ResetRestoresNominalExactly)
+{
+    DramDescription nominal = nominalDescription();
+    Result<DramPowerModel> model = DramPowerModel::create(nominal);
+    ASSERT_TRUE(model.ok());
+    double nominal_idd0 = model.value().idd(IddMeasure::Idd0);
+
+    Result<VariantEvaluator> evaluator =
+        VariantEvaluator::create(nominal);
+    ASSERT_TRUE(evaluator.ok());
+    ASSERT_TRUE(evaluator.value()
+                    .applyPerturbation(
+                        [](DramDescription& d) { d.tech.cellCap *= 1.3; },
+                        kDirtyTechnology)
+                    .ok());
+    EXPECT_NE(evaluator.value().idd(IddMeasure::Idd0), nominal_idd0);
+    evaluator.value().reset();
+    EXPECT_EQ(evaluator.value().idd(IddMeasure::Idd0), nominal_idd0);
+}
+
+TEST(VariantEvaluatorTest, InvalidPerturbationRollsBackAndMatchesCreate)
+{
+    DramDescription nominal = nominalDescription();
+    Result<VariantEvaluator> evaluator =
+        VariantEvaluator::create(nominal);
+    ASSERT_TRUE(evaluator.ok());
+    double nominal_idd0 = evaluator.value().idd(IddMeasure::Idd0);
+
+    Status status = evaluator.value().applyPerturbation(
+        [](DramDescription& d) { d.tech.cellCap = -1; },
+        kDirtyTechnology);
+    ASSERT_FALSE(status.ok());
+    // Same first error as the from-scratch path would report.
+    DramDescription bad = nominal;
+    bad.tech.cellCap = -1;
+    Result<DramPowerModel> reference = DramPowerModel::create(bad);
+    ASSERT_FALSE(reference.ok());
+    EXPECT_EQ(status.error().code, reference.error().code);
+
+    // The evaluator stays usable and reports nominal values again.
+    EXPECT_EQ(evaluator.value().idd(IddMeasure::Idd0), nominal_idd0);
+}
+
+// ---------------------------------------------------------------------
+// Randomized Monte-Carlo equivalence (the fast path's hot loop)
+// ---------------------------------------------------------------------
+
+TEST(VariantEvaluatorTest, MonteCarloSamplesBitIdenticalAcrossSeeds)
+{
+    DramDescription nominal = nominalDescription();
+    Result<VariantEvaluator> evaluator =
+        VariantEvaluator::create(nominal);
+    ASSERT_TRUE(evaluator.ok());
+    const VariationModel variation;
+    const std::vector<IddMeasure> measures = {
+        IddMeasure::Idd0, IddMeasure::Idd2N, IddMeasure::Idd4R,
+        IddMeasure::Idd4W, IddMeasure::Idd5};
+
+    int evaluated = 0;
+    for (int s = 0; s < 200; ++s) {
+        std::uint64_t seed = monteCarloSampleSeed(21, s);
+        Result<std::vector<double>> slow =
+            evaluateMonteCarloSample(nominal, variation, measures, seed);
+        Result<std::vector<double>> fast = evaluateMonteCarloSampleFast(
+            evaluator.value(), variation, measures, seed);
+        ASSERT_EQ(slow.ok(), fast.ok()) << "sample " << s;
+        if (!slow.ok()) {
+            EXPECT_EQ(slow.error().code, fast.error().code);
+            continue;
+        }
+        ++evaluated;
+        ASSERT_EQ(slow.value().size(), fast.value().size());
+        for (size_t m = 0; m < measures.size(); ++m) {
+            EXPECT_EQ(slow.value()[m], fast.value()[m])
+                << "sample " << s << " measure " << m;
+        }
+    }
+    // The equivalence only means something if most samples evaluated.
+    EXPECT_GT(evaluated, 150);
+}
+
+// ---------------------------------------------------------------------
+// Campaign-level equivalence (runner integration)
+// ---------------------------------------------------------------------
+
+void
+expectSameDistributions(const MonteCarloCampaign& a,
+                        const MonteCarloCampaign& b)
+{
+    ASSERT_EQ(a.distributions.size(), b.distributions.size());
+    for (size_t m = 0; m < a.distributions.size(); ++m) {
+        const IddDistribution& x = a.distributions[m];
+        const IddDistribution& y = b.distributions[m];
+        EXPECT_EQ(x.mean, y.mean);
+        EXPECT_EQ(x.minimum, y.minimum);
+        EXPECT_EQ(x.maximum, y.maximum);
+        EXPECT_EQ(x.p05, y.p05);
+        EXPECT_EQ(x.p95, y.p95);
+    }
+}
+
+TEST(FastPathCampaignTest, MonteCarloAggregatesIdenticalAcrossModes)
+{
+    DramDescription nominal = nominalDescription();
+    const std::vector<IddMeasure> measures = {IddMeasure::Idd0,
+                                              IddMeasure::Idd4R};
+    RunnerOptions parallel;
+    parallel.jobs = 4;
+
+    Result<MonteCarloCampaign> off = [&] {
+        ScopedFastPathEnv env("off");
+        return runMonteCarloCampaign(nominal, measures, 80, {}, 9,
+                                     parallel);
+    }();
+    Result<MonteCarloCampaign> on = [&] {
+        ScopedFastPathEnv env(nullptr); // default = fast path
+        return runMonteCarloCampaign(nominal, measures, 80, {}, 9,
+                                     parallel);
+    }();
+    Result<MonteCarloCampaign> verify = [&] {
+        ScopedFastPathEnv env("verify");
+        return runMonteCarloCampaign(nominal, measures, 80, {}, 9,
+                                     parallel);
+    }();
+    ASSERT_TRUE(off.ok());
+    ASSERT_TRUE(on.ok());
+    ASSERT_TRUE(verify.ok());
+    // Verify mode found no mismatch: same ok/quarantine split as off.
+    EXPECT_EQ(verify.value().report.ok, off.value().report.ok);
+    EXPECT_EQ(verify.value().report.quarantined,
+              off.value().report.quarantined);
+    expectSameDistributions(off.value(), on.value());
+    expectSameDistributions(off.value(), verify.value());
+}
+
+TEST(FastPathCampaignTest, MonteCarloResumeIdenticalThroughFastPath)
+{
+    ScopedFastPathEnv env(nullptr);
+    DramDescription nominal = nominalDescription();
+    const std::vector<IddMeasure> measures = {IddMeasure::Idd0};
+    const std::string checkpoint = tempPath("mc_resume.jsonl");
+    std::remove(checkpoint.c_str());
+
+    RunnerOptions first;
+    first.jobs = 4;
+    first.checkpointPath = checkpoint;
+    Result<MonteCarloCampaign> fresh =
+        runMonteCarloCampaign(nominal, measures, 50, {}, 11, first);
+    ASSERT_TRUE(fresh.ok());
+
+    RunnerOptions second = first;
+    second.resume = true;
+    Result<MonteCarloCampaign> resumed =
+        runMonteCarloCampaign(nominal, measures, 50, {}, 11, second);
+    ASSERT_TRUE(resumed.ok());
+    EXPECT_EQ(resumed.value().report.skippedResume,
+              fresh.value().report.ok);
+    expectSameDistributions(fresh.value(), resumed.value());
+    std::remove(checkpoint.c_str());
+}
+
+TEST(FastPathCampaignTest, SensitivityResultsIdenticalAcrossModes)
+{
+    DramDescription base = nominalDescription();
+    RunnerOptions parallel;
+    parallel.jobs = 4;
+
+    Result<SensitivityCampaign> off = [&] {
+        ScopedFastPathEnv env("off");
+        return runSensitivityCampaign(base, 0.20, SweepMode::Grouped,
+                                      parallel);
+    }();
+    Result<SensitivityCampaign> verify = [&] {
+        ScopedFastPathEnv env("verify");
+        return runSensitivityCampaign(base, 0.20, SweepMode::Grouped,
+                                      parallel);
+    }();
+    ASSERT_TRUE(off.ok());
+    ASSERT_TRUE(verify.ok());
+    ASSERT_EQ(off.value().results.size(), verify.value().results.size());
+    EXPECT_GT(off.value().results.size(), 0u);
+    for (size_t i = 0; i < off.value().results.size(); ++i) {
+        EXPECT_EQ(off.value().results[i].name,
+                  verify.value().results[i].name);
+        EXPECT_EQ(off.value().results[i].plus,
+                  verify.value().results[i].plus);
+        EXPECT_EQ(off.value().results[i].minus,
+                  verify.value().results[i].minus);
+    }
+}
+
+TEST(FastPathCampaignTest, SweepParamDirtyMasksAreTagged)
+{
+    // Every non-architecture sweep parameter must carry a value-group
+    // mask (the fast path falls back to a full rebuild only for
+    // structural mutators).
+    int structural = 0;
+    for (const SweepParam& param : sweepParameters(SweepMode::Grouped)) {
+        if (param.dirty == kDirtyStructure)
+            ++structural;
+        else
+            EXPECT_NE(param.dirty & (kDirtyTechnology | kDirtyElectrical |
+                                     kDirtyLogicBlocks | kDirtySignals),
+                      0u)
+                << param.name;
+    }
+    // The four architecture knobs are the only structural sweeps.
+    EXPECT_EQ(structural, 4);
+}
+
+} // namespace
+} // namespace vdram

@@ -3,9 +3,10 @@
 # ASan+UBSan build of the robustness surface (parser, validator,
 # diagnostics, CLI lint), a ThreadSanitizer build of the batch-runner
 # concurrency surface, a fault-injection + resume smoke of the CLI, the
-# runner throughput benchmark (BENCH_runner.json) and an explicit
-# exit-code check of the three-defect lint fixture. Run from the
-# repository root.
+# runner throughput benchmark (BENCH_runner.json), the model fast-path
+# throughput gate (BENCH_model.json vs the recorded baseline) and an
+# explicit exit-code check of the three-defect lint fixture. Run from
+# the repository root.
 set -euo pipefail
 
 jobs=$(nproc 2>/dev/null || echo 4)
@@ -52,6 +53,13 @@ cli=$(pwd)/build/tools/vdram_cli
 echo "== runner throughput benchmark =="
 (cd build && ./bench/bench_runner_throughput)
 test -s build/BENCH_runner.json
+
+echo "== model fast-path throughput gate =="
+# Fast path must stay bit-identical to the full rebuild and within 20 %
+# of the recorded baseline speedup (bench/BENCH_model_baseline.json).
+(cd build && ./bench/bench_perf_model \
+    --baseline=../bench/BENCH_model_baseline.json)
+test -s build/BENCH_model.json
 
 echo "== lint exit-code contract =="
 # A clean file is exit 0; the seeded-defect fixture must report its

@@ -26,6 +26,7 @@
  * (parse) error in the description, 4 validation error, 5 interrupted
  * (partial results; checkpoint flushed).
  */
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <cstdint>
@@ -33,12 +34,14 @@
 #include <cstdlib>
 #include <cstring>
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "circuit/rc_timing.h"
 #include "core/json_export.h"
 #include "core/montecarlo.h"
+#include "core/variant_evaluator.h"
 #include "runner/campaign.h"
 #include "runner/runner.h"
 #include "core/model.h"
@@ -543,26 +546,78 @@ cmdSweep(const DramDescription& desc, CampaignFlags flags,
 
     installDrainHandler(flags.runner);
     DiagnosticEngine diags;
+
+    // Delta-evaluation fast path: one evaluator per worker slot, lazily
+    // built from the nominal model. An invalid base description falls
+    // back to the copying path, which reports it per row.
+    FastPathMode fast_path = fastPathMode();
+    std::vector<std::unique_ptr<VariantEvaluator>> evaluators(
+        static_cast<size_t>(
+            std::max(1, effectiveJobCount(flags.runner.jobs))));
+    if (fast_path != FastPathMode::Off &&
+        !DramPowerModel::create(desc).ok()) {
+        fast_path = FastPathMode::Off;
+    }
+
+    auto slowRow = [&desc, param, &factors](long long index)
+        -> std::string {
+        DramDescription variant = desc;
+        param->apply(variant, factors[index]);
+        // A factor can push the description out of its valid range;
+        // report that row as not evaluable instead of dying.
+        Result<DramPowerModel> model =
+            DramPowerModel::create(std::move(variant));
+        if (!model.ok())
+            return "not evaluable: " + model.error().toString() +
+                   "\t-\t-\t-";
+        PatternPower power = model.value().evaluateDefault();
+        return formatEng(power.power, "W") + "\t" +
+               formatEng(model.value().idd(IddMeasure::Idd0), "A") +
+               "\t" +
+               formatEng(model.value().idd(IddMeasure::Idd4R), "A") +
+               "\t" +
+               strformat("%.1f pJ", power.energyPerBit * 1e12);
+    };
+    auto fastRow = [&](const TaskContext& context) -> std::string {
+        std::unique_ptr<VariantEvaluator>& slot =
+            evaluators[static_cast<size_t>(context.worker) %
+                       evaluators.size()];
+        if (!slot) {
+            // The base description validated above; build() panics only
+            // on internal invariant violations.
+            slot = std::make_unique<VariantEvaluator>(
+                DramPowerModel(desc));
+        }
+        Status status = slot->applyPerturbation(
+            [&](DramDescription& d) {
+                param->apply(d, factors[context.index]);
+            },
+            param->dirty);
+        if (!status.ok())
+            return "not evaluable: " + status.error().toString() +
+                   "\t-\t-\t-";
+        PatternPower power = slot->evaluateDefault();
+        return formatEng(power.power, "W") + "\t" +
+               formatEng(slot->idd(IddMeasure::Idd0), "A") + "\t" +
+               formatEng(slot->idd(IddMeasure::Idd4R), "A") + "\t" +
+               strformat("%.1f pJ", power.energyPerBit * 1e12);
+    };
+
     BatchRunner runner(
         std::move(manifest),
-        [&desc, param, &factors](const TaskContext& context)
-            -> Result<std::string> {
-            DramDescription variant = desc;
-            param->apply(variant, factors[context.index]);
-            // A factor can push the description out of its valid range;
-            // report that row as not evaluable instead of dying.
-            Result<DramPowerModel> model =
-                DramPowerModel::create(std::move(variant));
-            if (!model.ok())
-                return "not evaluable: " + model.error().toString() +
-                       "\t-\t-\t-";
-            PatternPower power = model.value().evaluateDefault();
-            return formatEng(power.power, "W") + "\t" +
-                   formatEng(model.value().idd(IddMeasure::Idd0), "A") +
-                   "\t" +
-                   formatEng(model.value().idd(IddMeasure::Idd4R), "A") +
-                   "\t" +
-                   strformat("%.1f pJ", power.energyPerBit * 1e12);
+        [&](const TaskContext& context) -> Result<std::string> {
+            std::string row = fast_path == FastPathMode::Off
+                                  ? slowRow(context.index)
+                                  : fastRow(context);
+            if (fast_path == FastPathMode::Verify &&
+                row != slowRow(context.index)) {
+                return Error{strformat("fast-path result of task %lld "
+                                       "differs from the full-rebuild "
+                                       "result",
+                                       context.index),
+                             0, 0, "", "E-FASTPATH-MISMATCH"};
+            }
+            return row;
         },
         flags.runner);
     Result<RunReport> report = runner.run(&diags);
