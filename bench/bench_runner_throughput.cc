@@ -16,6 +16,7 @@
 #include "presets/presets.h"
 #include "runner/campaign.h"
 #include "util/json.h"
+#include "util/metrics.h"
 
 using namespace vdram;
 
@@ -43,6 +44,8 @@ main()
                 kParallelJobs);
 
     DramDescription nominal = preset1GbDdr3(55e-9, 16, 1333);
+    setMetricsEnabled(true);
+    const MetricsSnapshot metrics_start = globalMetrics().snapshot();
     Result<MonteCarloCampaign> serial = runOnce(nominal, 1);
     Result<MonteCarloCampaign> parallel = runOnce(nominal, kParallelJobs);
     if (!serial.ok() || !parallel.ok()) {
@@ -98,6 +101,8 @@ main()
     json.key("speedup").value(speedup);
     json.key("aggregateIdentical").value(identical);
     json.key("speedupGateChecked").value(speedup_checked);
+    json.key("metrics").rawValue(
+        globalMetrics().snapshot().diffSince(metrics_start).renderJson());
     json.endObject();
     std::FILE* out = std::fopen("BENCH_runner.json", "w");
     if (out) {

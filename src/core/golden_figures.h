@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Canonical JSON renderings of the paper's headline figures, used by the
+ * golden-file regression suite (tests/test_golden_figures.cc) and the
+ * regeneration tool (tools/vdram_golden.cc).
+ *
+ * Figures covered:
+ *  - fig8_ddr2_verification / fig9_ddr3_verification: model IDD currents
+ *    against the vendor datasheet bands (Figs. 8 and 9).
+ *  - fig10_sensitivity: the grouped sensitivity Pareto (Fig. 10).
+ *  - fig11_voltage_trends / fig12_timing_trends / fig13_energy_trends:
+ *    the generation-ladder trends (Figs. 11-13).
+ *  - tab3_sensitivity_ranking: the Table III parameter ranking.
+ *  - mc_vendor_spread: a small Monte-Carlo vendor-spread campaign,
+ *    routed through the batch runner so the golden suite also pins the
+ *    delta-evaluation fast path (and its VDRAM_FASTPATH=off twin).
+ *
+ * Every double is rendered with %.17g (round-trip exact), so the files
+ * are bit-identical across runs of the same binary: the regression
+ * tolerance is zero by design. A legitimate model change regenerates
+ * the files with tools/regen_golden.sh and reviews the diff.
+ */
+#ifndef VDRAM_CORE_GOLDEN_FIGURES_H
+#define VDRAM_CORE_GOLDEN_FIGURES_H
+
+#include <string>
+#include <vector>
+
+namespace vdram {
+
+/** One named figure and its canonical JSON document. */
+struct GoldenFigure {
+    std::string name; ///< file stem, e.g. "fig8_ddr2_verification"
+    std::string json; ///< canonical JSON document (no trailing newline)
+};
+
+/** Names of all golden figures, in generation order. */
+std::vector<std::string> goldenFigureNames();
+
+/** Compute every golden figure. Deterministic: equal binaries produce
+ *  byte-equal JSON. */
+std::vector<GoldenFigure> computeGoldenFigures();
+
+} // namespace vdram
+
+#endif // VDRAM_CORE_GOLDEN_FIGURES_H

@@ -5,10 +5,61 @@
 
 #include "circuit/logic_block.h"
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace vdram {
 
 namespace {
+
+/** Per-stage instrumentation of the Fig. 4 build pipeline. References
+ *  resolve once; recording is gated on the runtime metrics switch. */
+struct StageInstruments {
+    Counter& rebuilds;
+    Histogram& nanos;
+    const char* spanName;
+};
+
+enum { kStageIdxGeometry, kStageIdxLoads, kStageIdxSignal, kStageIdxCharges };
+
+StageInstruments&
+stageInstruments(int stage)
+{
+    static StageInstruments instruments[4] = {
+        {globalMetrics().counter("model.stage.geometry.rebuilds"),
+         globalMetrics().histogram("model.stage.geometry.ns"),
+         "stage.geometry"},
+        {globalMetrics().counter("model.stage.loads.rebuilds"),
+         globalMetrics().histogram("model.stage.loads.ns"),
+         "stage.loads"},
+        {globalMetrics().counter("model.stage.signal_cache.rebuilds"),
+         globalMetrics().histogram("model.stage.signal_cache.ns"),
+         "stage.signal_cache"},
+        {globalMetrics().counter("model.stage.charges.rebuilds"),
+         globalMetrics().histogram("model.stage.charges.ns"),
+         "stage.charges"},
+    };
+    return instruments[stage];
+}
+
+/** Counts and times one stage body; no clock reads when observability
+ *  is off. */
+class StageScope {
+  public:
+    explicit StageScope(int stage)
+        : instruments_(stageInstruments(stage)),
+          timer_(metricsEnabled() ? &instruments_.nanos : nullptr),
+          span_(instruments_.spanName, "model")
+    {
+        if (metricsEnabled())
+            instruments_.rebuilds.add();
+    }
+
+  private:
+    StageInstruments& instruments_;
+    ScopedTimerNs timer_;
+    TraceSpan span_;
+};
 
 /** Probability that a written bit flips the sense-amplifier / bitline
  *  pair it lands in (random data). */
@@ -53,6 +104,7 @@ void
 DramPowerModel::rebuildStages(StageMask stages)
 {
     if (stages & kStageGeometry) {
+        StageScope scope(kStageIdxGeometry);
         geometry_ = computeArrayGeometry(desc_.arch, desc_.spec);
         // An auto-resolved floorplan tracks the geometry: re-derive the
         // array block sizes on every geometry rebuild so a perturbed
@@ -70,6 +122,7 @@ DramPowerModel::rebuildStages(StageMask stages)
     }
 
     if (stages & kStageLoads) {
+        StageScope scope(kStageIdxLoads);
         senseAmp_ = computeSenseAmpLoads(desc_.tech,
                                          desc_.arch.foldedBitline);
         lwl_ = computeLocalWordlineLoads(desc_.tech, desc_.arch,
@@ -83,6 +136,7 @@ DramPowerModel::rebuildStages(StageMask stages)
     }
 
     if (stages & kStageSignalCache) {
+        StageScope scope(kStageIdxSignal);
         // Routed lengths depend only on the segments and the floorplan;
         // caching them lets a technology-only rebuild skip the
         // floorplan walks and just refold the tech capacitances.
@@ -112,6 +166,7 @@ DramPowerModel::rebuildStages(StageMask stages)
     }
 
     if (stages & kStageCharges) {
+        StageScope scope(kStageIdxCharges);
         ops_ = OperationSet{};
         buildActivatePrecharge();
         buildReadWrite();

@@ -10,7 +10,9 @@
 #include <cmath>
 
 #include "protocol/bank_fsm.h"
+#include "util/metrics.h"
 #include "util/strings.h"
+#include "util/trace.h"
 
 namespace vdram {
 
@@ -534,6 +536,10 @@ void
 validateDescription(const DramDescription& desc, DiagnosticEngine& diags,
                     const DescriptionSource* source)
 {
+    static Histogram& validateNanos =
+        globalMetrics().histogram("dsl.validate.ns");
+    ScopedTimerNs timer(metricsEnabled() ? &validateNanos : nullptr);
+    TraceSpan span("dsl.validate", "dsl");
     Checker check(diags, source);
 
     // Completeness stage (parsed descriptions only).

@@ -1,6 +1,64 @@
 #include "core/variant_evaluator.h"
 
+#include "util/metrics.h"
+
 namespace vdram {
+
+namespace {
+
+/** Cache-effectiveness counters for the delta-evaluation fast path.
+ *  Resolved once; all recording is gated on the runtime switch. */
+struct EvaluatorInstruments {
+    struct StageCache {
+        Counter& hit;
+        Counter& miss;
+    };
+    StageCache stage[4] = {
+        {globalMetrics().counter("evaluator.cache.geometry.hit"),
+         globalMetrics().counter("evaluator.cache.geometry.miss")},
+        {globalMetrics().counter("evaluator.cache.loads.hit"),
+         globalMetrics().counter("evaluator.cache.loads.miss")},
+        {globalMetrics().counter("evaluator.cache.signal_cache.hit"),
+         globalMetrics().counter("evaluator.cache.signal_cache.miss")},
+        {globalMetrics().counter("evaluator.cache.charges.hit"),
+         globalMetrics().counter("evaluator.cache.charges.miss")},
+    };
+    struct DirtyGroup {
+        DirtyMask bit;
+        Counter& count;
+    };
+    DirtyGroup dirty[5] = {
+        {kDirtyTechnology,
+         globalMetrics().counter("evaluator.dirty.technology")},
+        {kDirtyElectrical,
+         globalMetrics().counter("evaluator.dirty.electrical")},
+        {kDirtyLogicBlocks,
+         globalMetrics().counter("evaluator.dirty.logic_blocks")},
+        {kDirtySignals,
+         globalMetrics().counter("evaluator.dirty.signals")},
+        {kDirtyStructure,
+         globalMetrics().counter("evaluator.dirty.structure")},
+    };
+    Counter& patternHit = globalMetrics().counter("evaluator.pattern.hit");
+    Counter& patternMiss =
+        globalMetrics().counter("evaluator.pattern.miss");
+    Counter& chargeTableHit =
+        globalMetrics().counter("evaluator.charge_table.hit");
+    Counter& chargeTableMiss =
+        globalMetrics().counter("evaluator.charge_table.miss");
+};
+
+EvaluatorInstruments&
+evaluatorInstruments()
+{
+    static EvaluatorInstruments instruments;
+    return instruments;
+}
+
+constexpr StageMask kStageBits[4] = {kStageGeometry, kStageLoads,
+                                     kStageSignalCache, kStageCharges};
+
+} // namespace
 
 Result<VariantEvaluator>
 VariantEvaluator::create(DramDescription nominal)
@@ -78,6 +136,15 @@ VariantEvaluator::restorePerturbedGroups()
 void
 VariantEvaluator::rebuild(StageMask stages)
 {
+    if (metricsEnabled()) {
+        EvaluatorInstruments& m = evaluatorInstruments();
+        for (int i = 0; i < 4; ++i) {
+            if (stages & kStageBits[i])
+                m.stage[i].miss.add();
+            else
+                m.stage[i].hit.add();
+        }
+    }
     model_.rebuildStages(stages);
     if (stages & kStageCharges)
         chargeTableReady_ = false;
@@ -95,6 +162,10 @@ VariantEvaluator::ensureFresh()
 const ChargeTable&
 VariantEvaluator::chargeTable()
 {
+    if (metricsEnabled()) {
+        EvaluatorInstruments& m = evaluatorInstruments();
+        (chargeTableReady_ ? m.chargeTableHit : m.chargeTableMiss).add();
+    }
     if (!chargeTableReady_) {
         chargeTable_ = makeChargeTable(model_.ops_, model_.desc_.elec);
         chargeTableReady_ = true;
@@ -107,6 +178,13 @@ VariantEvaluator::applyPerturbation(
     const std::function<void(DramDescription&)>& mutate, DirtyMask dirty)
 {
     restorePerturbedGroups();
+    if (metricsEnabled()) {
+        EvaluatorInstruments& m = evaluatorInstruments();
+        for (const auto& group : m.dirty) {
+            if (dirty & group.bit)
+                group.count.add();
+        }
+    }
     mutate(model_.desc_);
     perturbed_ = dirty;
     if (dirty & kDirtySignals)
@@ -143,6 +221,10 @@ VariantEvaluator::idd(IddMeasure measure)
 {
     ensureFresh();
     const size_t i = static_cast<size_t>(measure);
+    if (metricsEnabled()) {
+        EvaluatorInstruments& m = evaluatorInstruments();
+        (iddPatternReady_[i] ? m.patternHit : m.patternMiss).add();
+    }
     if (!iddPatternReady_[i]) {
         iddPatterns_[i] = makeIddPattern(measure, model_.desc_.spec,
                                          model_.desc_.timing);

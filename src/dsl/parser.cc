@@ -8,7 +8,9 @@
 #include <sstream>
 
 #include "protocol/idd.h"
+#include "util/metrics.h"
 #include "util/strings.h"
+#include "util/trace.h"
 #include "util/units.h"
 
 namespace vdram {
@@ -706,6 +708,10 @@ ParsedDescription
 parseDescriptionDiag(const std::string& text, DiagnosticEngine& diags,
                      const std::string& filename)
 {
+    static Histogram& parseNanos =
+        globalMetrics().histogram("dsl.parse.ns");
+    ScopedTimerNs timer(metricsEnabled() ? &parseNanos : nullptr);
+    TraceSpan span("dsl.parse", "dsl");
     ParseState st;
     Section section = Section::None;
 

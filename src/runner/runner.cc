@@ -4,12 +4,16 @@
 #include <chrono>
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
 #include "runner/checkpoint.h"
 #include "util/json.h"
+#include "util/metrics.h"
 #include "util/strings.h"
+#include "util/trace.h"
 
 namespace vdram {
 
@@ -55,6 +59,64 @@ checkpointStatusOf(TaskOutcome outcome)
     case TaskOutcome::NotRun: return "not-run";
     }
     return "unknown";
+}
+
+/** Campaign counters; references resolve once, recording is gated on
+ *  the runtime metrics switch. */
+struct RunnerInstruments {
+    Counter& ok = globalMetrics().counter("runner.tasks.ok");
+    Counter& failed = globalMetrics().counter("runner.tasks.failed");
+    Counter& quarantined =
+        globalMetrics().counter("runner.tasks.quarantined");
+    Counter& timeout = globalMetrics().counter("runner.tasks.timeout");
+    Counter& resumed = globalMetrics().counter("runner.tasks.resumed");
+    Counter& retried = globalMetrics().counter("runner.tasks.retried");
+    Counter& faults = globalMetrics().counter("runner.faults.injected");
+    Gauge& queueDepth = globalMetrics().gauge("runner.queue.depth");
+    Histogram& taskNanos = globalMetrics().histogram("runner.task.ns");
+};
+
+RunnerInstruments&
+runnerInstruments()
+{
+    static RunnerInstruments instruments;
+    return instruments;
+}
+
+/** Sidecar next to the JSONL checkpoint holding cumulative campaign
+ *  counters across --resume legs. */
+std::string
+metricsSidecarPathOf(const std::string& checkpointPath)
+{
+    return checkpointPath + ".metrics.json";
+}
+
+bool
+readFileToString(const std::string& path, std::string& out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    out = buffer.str();
+    return true;
+}
+
+bool
+writeFileAtomic(const std::string& path, const std::string& content)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+        if (!out)
+            return false;
+        out << content;
+        out.flush();
+        if (!out)
+            return false;
+    }
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
 }
 
 } // namespace
@@ -145,6 +207,8 @@ Result<std::string>
 BatchRunner::invokeOnce(const TaskContext& context)
 {
     if (options_.faultPlan.shouldFault(context.seed)) {
+        if (metricsEnabled())
+            runnerInstruments().faults.add();
         switch (options_.faultPlan.kind) {
         case FaultKind::Error:
             return Error{strformat("injected transient fault "
@@ -179,6 +243,9 @@ BatchRunner::executeTask(long long index, int slot_index,
     TaskResult result;
     result.index = index;
     result.spec = manifest_[index];
+    TraceSpan span(traceEnabled() ? "task." + result.spec.name
+                                  : std::string(),
+                   "runner");
     Clock::time_point start = Clock::now();
 
     for (int attempt = 1;; ++attempt) {
@@ -249,6 +316,10 @@ BatchRunner::executeTask(long long index, int slot_index,
         break;
     }
     result.seconds = secondsSince(start);
+    if (metricsEnabled()) {
+        runnerInstruments().taskNanos.record(
+            static_cast<std::uint64_t>(result.seconds * 1e9));
+    }
     return result;
 }
 
@@ -263,6 +334,35 @@ BatchRunner::run(DiagnosticEngine* diags)
     }
     report_ = RunReport{};
     report_.total = total;
+
+    // Metrics sidecar: cumulative counters across resume legs. The
+    // global registry outlives individual runs, so the sidecar stores
+    // prior legs' totals plus this run's delta from a start snapshot —
+    // never raw registry values, which would double-count in-process
+    // reruns.
+    const bool sidecarActive =
+        metricsEnabled() && !options_.checkpointPath.empty();
+    MetricsSnapshot sidecarBaseline;
+    MetricsSnapshot runStartSnapshot;
+    if (sidecarActive) {
+        runStartSnapshot = globalMetrics().snapshot();
+        if (options_.resume) {
+            std::string text;
+            if (readFileToString(
+                    metricsSidecarPathOf(options_.checkpointPath),
+                    text)) {
+                Result<MetricsSnapshot> parsed =
+                    parseMetricsSnapshot(text);
+                if (parsed.ok())
+                    sidecarBaseline = std::move(parsed).value();
+                else if (diags) {
+                    diags->warning("W-RUNNER-METRICS",
+                                   "metrics sidecar unreadable; "
+                                   "cumulative counters restart at zero");
+                }
+            }
+        }
+    }
 
     // Resume: restore payloads of tasks already completed "ok".
     if (options_.resume && !options_.checkpointPath.empty()) {
@@ -284,8 +384,11 @@ BatchRunner::run(DiagnosticEngine* diags)
     std::mutex checkpoint_mutex;
     std::atomic<bool> checkpoint_ok{!options_.checkpointPath.empty()};
     if (checkpoint_ok.load()) {
-        if (!options_.resume)
+        if (!options_.resume) {
             std::remove(options_.checkpointPath.c_str());
+            std::remove(
+                metricsSidecarPathOf(options_.checkpointPath).c_str());
+        }
         Status opened = writer.open(options_.checkpointPath);
         if (!opened.ok())
             return opened.error();
@@ -320,15 +423,33 @@ BatchRunner::run(DiagnosticEngine* diags)
 
     auto worker = [&](int slot_index) {
         WorkerSlot& slot = slots[slot_index];
+        const bool instrumented = metricsEnabled();
+        Counter* busyNs = nullptr;
+        Counter* taskCount = nullptr;
+        if (instrumented) {
+            busyNs = &globalMetrics().counter(
+                strformat("runner.worker.%d.busy_ns", slot_index));
+            taskCount = &globalMetrics().counter(
+                strformat("runner.worker.%d.tasks", slot_index));
+        }
         for (;;) {
             if (stopRequested())
                 break; // drain: no new task starts
             long long i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= total)
                 break;
+            if (instrumented) {
+                runnerInstruments().queueDepth.set(
+                    std::max<long long>(0, total - i - 1));
+            }
             if (results_[i].outcome == TaskOutcome::SkippedResume)
                 continue;
             TaskResult result = executeTask(i, slot_index, slot);
+            if (instrumented) {
+                busyNs->add(
+                    static_cast<std::uint64_t>(result.seconds * 1e9));
+                taskCount->add();
+            }
             if (checkpoint_ok.load(std::memory_order_acquire)) {
                 TaskRecord record;
                 record.task = i;
@@ -382,6 +503,18 @@ BatchRunner::run(DiagnosticEngine* diags)
     if (report_.wallSeconds > 0) {
         report_.tasksPerSecond =
             static_cast<double>(executed) / report_.wallSeconds;
+    }
+
+    if (metricsEnabled()) {
+        RunnerInstruments& m = runnerInstruments();
+        m.ok.add(static_cast<std::uint64_t>(report_.ok));
+        m.failed.add(static_cast<std::uint64_t>(report_.failed));
+        m.quarantined.add(
+            static_cast<std::uint64_t>(report_.quarantined));
+        m.timeout.add(static_cast<std::uint64_t>(report_.timedOut));
+        m.resumed.add(static_cast<std::uint64_t>(report_.skippedResume));
+        m.retried.add(static_cast<std::uint64_t>(report_.retried));
+        m.queueDepth.set(0);
     }
 
     if (diags) {
@@ -438,6 +571,19 @@ BatchRunner::run(DiagnosticEngine* diags)
             diags->warning("W-RUNNER-CKPT",
                            "checkpoint consolidation failed: " +
                                status.error().toString());
+        }
+    }
+
+    if (sidecarActive) {
+        MetricsSnapshot cumulative = sidecarBaseline;
+        cumulative.merge(
+            globalMetrics().snapshot().diffSince(runStartSnapshot));
+        if (!writeFileAtomic(
+                metricsSidecarPathOf(options_.checkpointPath),
+                cumulative.renderJson() + "\n") &&
+            diags) {
+            diags->warning("W-RUNNER-METRICS",
+                           "metrics sidecar write failed");
         }
     }
 

@@ -157,6 +157,14 @@ JsonWriter::null()
     return *this;
 }
 
+JsonWriter&
+JsonWriter::rawValue(const std::string& json)
+{
+    prepareValue();
+    out_ += json;
+    return *this;
+}
+
 const std::string&
 JsonWriter::str() const
 {

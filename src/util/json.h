@@ -43,6 +43,10 @@ class JsonWriter {
     JsonWriter& value(bool flag);
     JsonWriter& null();
 
+    /** Splice a pre-rendered JSON value (e.g. a nested document from
+     *  another writer) verbatim. The caller guarantees validity. */
+    JsonWriter& rawValue(const std::string& json);
+
     /** The finished document. Precondition: all containers closed. */
     const std::string& str() const;
 

@@ -1,0 +1,363 @@
+#include "util/metrics.h"
+
+#include <chrono>
+
+#include "util/json.h"
+#include "util/strings.h"
+
+namespace vdram {
+
+std::uint64_t
+monotonicNanos()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+} // namespace
+
+bool
+metricsEnabled()
+{
+    return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void
+setMetricsEnabled(bool enabled)
+{
+    g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+MetricsRegistry&
+globalMetrics()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter&
+MetricsRegistry::counter(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_ptr<Counter>& slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge&
+MetricsRegistry::gauge(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_ptr<Gauge>& slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram&
+MetricsRegistry::histogram(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_ptr<Histogram>& slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    for (const auto& [name, counter] : counters_)
+        snap.counters[name] = counter->value();
+    for (const auto& [name, gauge] : gauges_)
+        snap.gauges[name] = gauge->value();
+    for (const auto& [name, histogram] : histograms_) {
+        HistogramSnapshot h;
+        h.count = histogram->count();
+        h.sum = histogram->sum();
+        for (int b = 0; b < kHistogramBuckets; ++b)
+            h.buckets[b] = histogram->bucket(b);
+        snap.histograms[name] = h;
+    }
+    return snap;
+}
+
+void
+MetricsSnapshot::merge(const MetricsSnapshot& other)
+{
+    for (const auto& [name, value] : other.counters)
+        counters[name] += value;
+    for (const auto& [name, value] : other.gauges)
+        gauges[name] = value;
+    for (const auto& [name, h] : other.histograms) {
+        HistogramSnapshot& mine = histograms[name];
+        mine.count += h.count;
+        mine.sum += h.sum;
+        for (int b = 0; b < kHistogramBuckets; ++b)
+            mine.buckets[b] += h.buckets[b];
+    }
+}
+
+MetricsSnapshot
+MetricsSnapshot::diffSince(const MetricsSnapshot& before) const
+{
+    auto minus = [](std::uint64_t now, std::uint64_t then) {
+        return now > then ? now - then : 0;
+    };
+    MetricsSnapshot delta;
+    for (const auto& [name, value] : counters) {
+        auto it = before.counters.find(name);
+        delta.counters[name] =
+            minus(value, it == before.counters.end() ? 0 : it->second);
+    }
+    delta.gauges = gauges;
+    for (const auto& [name, h] : histograms) {
+        HistogramSnapshot d = h;
+        auto it = before.histograms.find(name);
+        if (it != before.histograms.end()) {
+            d.count = minus(h.count, it->second.count);
+            d.sum = minus(h.sum, it->second.sum);
+            for (int b = 0; b < kHistogramBuckets; ++b)
+                d.buckets[b] = minus(h.buckets[b], it->second.buckets[b]);
+        }
+        delta.histograms[name] = d;
+    }
+    return delta;
+}
+
+std::string
+MetricsSnapshot::renderJson() const
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("counters").beginObject();
+    for (const auto& [name, value] : counters)
+        json.key(name).value(static_cast<long long>(value));
+    json.endObject();
+    json.key("gauges").beginObject();
+    for (const auto& [name, value] : gauges)
+        json.key(name).value(static_cast<long long>(value));
+    json.endObject();
+    json.key("histograms").beginObject();
+    for (const auto& [name, h] : histograms) {
+        json.key(name).beginObject();
+        json.key("count").value(static_cast<long long>(h.count));
+        json.key("sum").value(static_cast<long long>(h.sum));
+        json.key("buckets").beginArray();
+        for (int b = 0; b < kHistogramBuckets; ++b)
+            json.value(static_cast<long long>(h.buckets[b]));
+        json.endArray();
+        json.endObject();
+    }
+    json.endObject();
+    json.endObject();
+    return json.str();
+}
+
+namespace {
+
+/**
+ * Minimal parser for the exact document shape renderJson() emits
+ * (objects of name -> integer, plus the fixed histogram sub-shape).
+ * Anything else is a parse error — the sidecar is machine-written.
+ */
+class SnapshotParser {
+  public:
+    explicit SnapshotParser(const std::string& text) : text_(text) {}
+
+    Result<MetricsSnapshot> parse()
+    {
+        MetricsSnapshot snap;
+        skipSpace();
+        if (!consume('{'))
+            return fail("expected '{'");
+        bool first = true;
+        while (!peekIs('}')) {
+            if (!first && !consume(','))
+                return fail("expected ','");
+            first = false;
+            std::string section;
+            if (!parseString(section) || !consume(':'))
+                return fail("expected section key");
+            if (section == "counters") {
+                if (!parseIntegerMap(snap.counters))
+                    return fail("bad counters section");
+            } else if (section == "gauges") {
+                if (!parseIntegerMap(snap.gauges))
+                    return fail("bad gauges section");
+            } else if (section == "histograms") {
+                if (!parseHistograms(snap.histograms))
+                    return fail("bad histograms section");
+            } else {
+                return fail("unknown section '" + section + "'");
+            }
+        }
+        if (!consume('}'))
+            return fail("expected '}'");
+        skipSpace();
+        if (pos_ != text_.size())
+            return fail("trailing content");
+        return snap;
+    }
+
+  private:
+    Error fail(const std::string& what) const
+    {
+        return Error{"metrics snapshot: " + what, 0, 0, "",
+                     "E-METRICS-PARSE"};
+    }
+
+    void skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool peekIs(char c)
+    {
+        skipSpace();
+        return pos_ < text_.size() && text_[pos_] == c;
+    }
+
+    bool consume(char c)
+    {
+        if (!peekIs(c))
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    bool parseString(std::string& out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            // Names are plain identifiers; no escape handling needed
+            // beyond rejecting what the writer never emits.
+            if (text_[pos_] == '\\')
+                return false;
+            out += text_[pos_++];
+        }
+        return pos_ < text_.size() && text_[pos_++] == '"';
+    }
+
+    bool parseInteger(std::int64_t& out)
+    {
+        skipSpace();
+        size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() && text_[pos_] >= '0' &&
+               text_[pos_] <= '9') {
+            ++pos_;
+        }
+        if (pos_ == start)
+            return false;
+        out = std::strtoll(text_.substr(start, pos_ - start).c_str(),
+                           nullptr, 10);
+        return true;
+    }
+
+    template <class Value>
+    bool parseIntegerMap(std::map<std::string, Value>& out)
+    {
+        if (!consume('{'))
+            return false;
+        bool first = true;
+        while (!peekIs('}')) {
+            if (!first && !consume(','))
+                return false;
+            first = false;
+            std::string name;
+            std::int64_t value = 0;
+            if (!parseString(name) || !consume(':') ||
+                !parseInteger(value)) {
+                return false;
+            }
+            out[name] = static_cast<Value>(value);
+        }
+        return consume('}');
+    }
+
+    bool parseHistograms(std::map<std::string, HistogramSnapshot>& out)
+    {
+        if (!consume('{'))
+            return false;
+        bool first = true;
+        while (!peekIs('}')) {
+            if (!first && !consume(','))
+                return false;
+            first = false;
+            std::string name;
+            if (!parseString(name) || !consume(':') || !consume('{'))
+                return false;
+            HistogramSnapshot h;
+            std::string key;
+            std::int64_t value = 0;
+            if (!parseString(key) || key != "count" || !consume(':') ||
+                !parseInteger(value)) {
+                return false;
+            }
+            h.count = static_cast<std::uint64_t>(value);
+            if (!consume(',') || !parseString(key) || key != "sum" ||
+                !consume(':') || !parseInteger(value)) {
+                return false;
+            }
+            h.sum = static_cast<std::uint64_t>(value);
+            if (!consume(',') || !parseString(key) || key != "buckets" ||
+                !consume(':') || !consume('[')) {
+                return false;
+            }
+            int b = 0;
+            while (!peekIs(']')) {
+                if (b > 0 && !consume(','))
+                    return false;
+                if (b >= kHistogramBuckets || !parseInteger(value))
+                    return false;
+                h.buckets[b++] = static_cast<std::uint64_t>(value);
+            }
+            if (!consume(']') || !consume('}'))
+                return false;
+            out[name] = h;
+        }
+        return consume('}');
+    }
+
+    const std::string& text_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+Result<MetricsSnapshot>
+parseMetricsSnapshot(const std::string& json)
+{
+    return SnapshotParser(json).parse();
+}
+
+ScopedTimerNs::ScopedTimerNs(Histogram* histogram) : histogram_(histogram)
+{
+    if (histogram_)
+        startNanos_ = monotonicNanos();
+}
+
+ScopedTimerNs::~ScopedTimerNs()
+{
+    if (histogram_)
+        histogram_->record(monotonicNanos() - startNanos_);
+}
+
+} // namespace vdram

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Low-overhead metrics registry: counters, gauges and log-2-bucket
+ * histograms, atomic and thread-safe for the batch runner's worker pool.
+ *
+ * Design:
+ *  - Mutation goes through a compile-time *sink* policy. The default
+ *    AtomicMetricsSink performs relaxed atomic updates (a handful of
+ *    nanoseconds); compiling with -DVDRAM_METRICS_DISABLED selects
+ *    NoopMetricsSink, whose instruments are empty classes with empty
+ *    inline methods — every call site compiles away.
+ *  - On top of the compiled-in sink there is a runtime master switch
+ *    (setMetricsEnabled()). Timing instrumentation in hot paths (model
+ *    stage rebuilds, DSL parse/validate) checks it with one relaxed
+ *    load, so a run without --metrics-out never reads the clock.
+ *  - Registry lookups (counter()/gauge()/histogram()) take a mutex and
+ *    are meant to happen once per call site; the returned references
+ *    are stable for the registry's lifetime and mutate lock-free.
+ *  - snapshot() captures every instrument into a plain, deterministic
+ *    (name-sorted) structure that renders to canonical JSON, parses
+ *    back, merges (for --resume cumulative counters) and diffs (to
+ *    isolate one campaign's contribution in a long-lived process).
+ *
+ * Histogram bucketing: bucket 0 counts the value 0; bucket k >= 1
+ * counts values in [2^(k-1), 2^k - 1]; the last bucket absorbs
+ * everything above. Values are dimensionless — by convention the
+ * instrumented code records nanoseconds.
+ */
+#ifndef VDRAM_UTIL_METRICS_H
+#define VDRAM_UTIL_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/result.h"
+
+namespace vdram {
+
+/** Number of log-2 histogram buckets (covers the full uint64 range). */
+constexpr int kHistogramBuckets = 64;
+
+/** Bucket a value falls into: 0 for 0, otherwise floor(log2(v)) + 1,
+ *  clamped to the last bucket. */
+constexpr int
+histogramBucketIndex(std::uint64_t value)
+{
+    const int width = std::bit_width(value);
+    return width < kHistogramBuckets ? width : kHistogramBuckets - 1;
+}
+
+/** Smallest value counted by bucket @p index (0, 1, 2, 4, 8, ...). */
+constexpr std::uint64_t
+histogramBucketLowerBound(int index)
+{
+    return index <= 0 ? 0 : std::uint64_t{1} << (index - 1);
+}
+
+/** Sink policy performing real relaxed-atomic updates. */
+struct AtomicMetricsSink {
+    static constexpr bool enabled = true;
+};
+
+/** Sink policy that discards every update at compile time. */
+struct NoopMetricsSink {
+    static constexpr bool enabled = false;
+};
+
+#ifdef VDRAM_METRICS_DISABLED
+using MetricsSink = NoopMetricsSink;
+#else
+using MetricsSink = AtomicMetricsSink;
+#endif
+
+template <class Sink> class BasicCounter;
+template <class Sink> class BasicGauge;
+template <class Sink> class BasicHistogram;
+
+/** Monotonic counter. */
+template <> class BasicCounter<AtomicMetricsSink> {
+  public:
+    void add(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+template <> class BasicCounter<NoopMetricsSink> {
+  public:
+    void add(std::uint64_t = 1) {}
+    std::uint64_t value() const { return 0; }
+};
+
+/** Last-write-wins signed gauge (e.g. queue depth). */
+template <> class BasicGauge<AtomicMetricsSink> {
+  public:
+    void set(std::int64_t v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+    void add(std::int64_t n)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    /** Raise the gauge to @p v if it is higher (high-water mark). */
+    void max(std::int64_t v)
+    {
+        std::int64_t seen = value_.load(std::memory_order_relaxed);
+        while (v > seen &&
+               !value_.compare_exchange_weak(seen, v,
+                                             std::memory_order_relaxed)) {
+        }
+    }
+    std::int64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+template <> class BasicGauge<NoopMetricsSink> {
+  public:
+    void set(std::int64_t) {}
+    void add(std::int64_t) {}
+    void max(std::int64_t) {}
+    std::int64_t value() const { return 0; }
+};
+
+/** Fixed log-2-bucket histogram with total count and sum. */
+template <> class BasicHistogram<AtomicMetricsSink> {
+  public:
+    void record(std::uint64_t value)
+    {
+        buckets_[histogramBucketIndex(value)].fetch_add(
+            1, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(value, std::memory_order_relaxed);
+    }
+    std::uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t sum() const
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t bucket(int index) const
+    {
+        return buckets_[index].load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+};
+
+template <> class BasicHistogram<NoopMetricsSink> {
+  public:
+    void record(std::uint64_t) {}
+    std::uint64_t count() const { return 0; }
+    std::uint64_t sum() const { return 0; }
+    std::uint64_t bucket(int) const { return 0; }
+};
+
+using Counter = BasicCounter<MetricsSink>;
+using Gauge = BasicGauge<MetricsSink>;
+using Histogram = BasicHistogram<MetricsSink>;
+
+/** Plain capture of one histogram. */
+struct HistogramSnapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::array<std::uint64_t, kHistogramBuckets> buckets{};
+};
+
+/**
+ * Deterministic capture of a registry (or a file written by one).
+ * Counters and histograms merge by addition; gauges are last-write-wins.
+ */
+struct MetricsSnapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, std::int64_t> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+
+    bool empty() const
+    {
+        return counters.empty() && gauges.empty() && histograms.empty();
+    }
+
+    /** Add @p other into this snapshot (counters/histograms sum;
+     *  gauges take the other's value). */
+    void merge(const MetricsSnapshot& other);
+
+    /**
+     * Counters/histograms of this snapshot minus @p before (clamped at
+     * zero); gauges keep this snapshot's value. Isolates the activity
+     * between two snapshot() calls of one long-lived registry.
+     */
+    MetricsSnapshot diffSince(const MetricsSnapshot& before) const;
+
+    /** Canonical JSON (sorted names, stable integer formatting):
+     *  byte-identical for equal snapshots. */
+    std::string renderJson() const;
+};
+
+/** Parse a renderJson() document (e.g. a checkpoint metrics sidecar). */
+Result<MetricsSnapshot> parseMetricsSnapshot(const std::string& json);
+
+/** Named registry of counters, gauges and histograms. */
+class MetricsRegistry {
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /** Find or create; the reference stays valid and lock-free for the
+     *  registry's lifetime. */
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    Histogram& histogram(const std::string& name);
+
+    /** Capture every instrument (deterministic, name-sorted). */
+    MetricsSnapshot snapshot() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/** The process-wide registry all built-in instrumentation reports to. */
+MetricsRegistry& globalMetrics();
+
+/** Runtime master switch for the built-in instrumentation (off by
+ *  default; the CLI raises it for --metrics-out/--trace-out, benches
+ *  raise it to embed snapshots). One relaxed atomic load. */
+bool metricsEnabled();
+void setMetricsEnabled(bool enabled);
+
+/**
+ * Records the elapsed nanoseconds between construction and destruction
+ * into a histogram. Pass nullptr to skip the clock entirely (the usual
+ * pattern: `ScopedTimerNs t(metricsEnabled() ? &hist : nullptr)`).
+ */
+class ScopedTimerNs {
+  public:
+    explicit ScopedTimerNs(Histogram* histogram);
+    ~ScopedTimerNs();
+    ScopedTimerNs(const ScopedTimerNs&) = delete;
+    ScopedTimerNs& operator=(const ScopedTimerNs&) = delete;
+
+  private:
+    Histogram* histogram_;
+    std::uint64_t startNanos_ = 0;
+};
+
+/** Steady-clock nanoseconds (shared by metrics and trace). */
+std::uint64_t monotonicNanos();
+
+} // namespace vdram
+
+#endif // VDRAM_UTIL_METRICS_H

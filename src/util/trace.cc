@@ -1,0 +1,127 @@
+#include "util/trace.h"
+
+#include "util/json.h"
+#include "util/metrics.h"
+#include "util/strings.h"
+
+namespace vdram {
+
+TraceCollector&
+globalTrace()
+{
+    static TraceCollector collector;
+    return collector;
+}
+
+void
+TraceCollector::enable()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+    threadIds_.clear();
+    epochNanos_ = monotonicNanos();
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void
+TraceCollector::disable()
+{
+    enabled_.store(false, std::memory_order_relaxed);
+}
+
+int
+TraceCollector::tidOfCurrentThread()
+{
+    // Caller holds mutex_.
+    auto [it, inserted] = threadIds_.try_emplace(
+        std::this_thread::get_id(),
+        static_cast<int>(threadIds_.size() + 1));
+    (void)inserted;
+    return it->second;
+}
+
+void
+TraceCollector::record(const char* name, const char* category,
+                       std::uint64_t startNanos, std::uint64_t endNanos)
+{
+    record(std::string(name), category, startNanos, endNanos);
+}
+
+void
+TraceCollector::record(const std::string& name, const char* category,
+                       std::uint64_t startNanos, std::uint64_t endNanos)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!enabled_.load(std::memory_order_relaxed))
+        return; // disabled between the span's start and end
+    TraceEvent event;
+    event.name = name;
+    event.category = category;
+    event.tid = tidOfCurrentThread();
+    event.startNanos =
+        startNanos > epochNanos_ ? startNanos - epochNanos_ : 0;
+    event.durationNanos =
+        endNanos > startNanos ? endNanos - startNanos : 0;
+    events_.push_back(std::move(event));
+}
+
+size_t
+TraceCollector::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+std::string
+TraceCollector::renderChromeJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    JsonWriter json;
+    json.beginArray();
+    for (const TraceEvent& event : events_) {
+        json.beginObject();
+        json.key("name").value(event.name);
+        json.key("cat").value(event.category);
+        json.key("ph").value("X");
+        json.key("ts").value(static_cast<double>(event.startNanos) /
+                             1e3);
+        json.key("dur").value(static_cast<double>(event.durationNanos) /
+                              1e3);
+        json.key("pid").value(1);
+        json.key("tid").value(event.tid);
+        json.endObject();
+    }
+    json.endArray();
+    return json.str();
+}
+
+TraceSpan::TraceSpan(const char* name, const char* category)
+    : name_(name), category_(category)
+{
+    if (traceEnabled()) {
+        active_ = true;
+        startNanos_ = monotonicNanos();
+    }
+}
+
+TraceSpan::TraceSpan(const std::string& name, const char* category)
+    : ownedName_(name), category_(category)
+{
+    if (traceEnabled()) {
+        active_ = true;
+        startNanos_ = monotonicNanos();
+    }
+}
+
+TraceSpan::~TraceSpan()
+{
+    if (!active_)
+        return;
+    const std::uint64_t end = monotonicNanos();
+    if (name_)
+        globalTrace().record(name_, category_, startNanos_, end);
+    else
+        globalTrace().record(ownedName_, category_, startNanos_, end);
+}
+
+} // namespace vdram

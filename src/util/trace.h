@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Span-based tracer emitting chrome://tracing-compatible JSON.
+ *
+ * A TraceSpan records one duration event (ph:"X") from construction to
+ * destruction. Collection is off by default: a disabled span costs one
+ * relaxed atomic load and never reads the clock. When enabled (the CLI
+ * raises it for --trace-out), finished spans are appended to the global
+ * collector under a mutex — spans bracket milliseconds of work (model
+ * stage rebuilds, DSL parses, runner tasks), so the lock is far off any
+ * hot path.
+ *
+ * renderChromeJson() emits a plain JSON array of duration events, the
+ * format chrome://tracing and Perfetto load directly:
+ *   [{"name":"stage.charges","cat":"model","ph":"X",
+ *     "ts":12.3,"dur":4.5,"pid":1,"tid":2}, ...]
+ * Timestamps are microseconds relative to the collector's enable time;
+ * thread ids are small integers assigned in first-seen order.
+ */
+#ifndef VDRAM_UTIL_TRACE_H
+#define VDRAM_UTIL_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace vdram {
+
+/** One finished duration event. */
+struct TraceEvent {
+    std::string name;
+    std::string category;
+    int tid = 0;
+    std::uint64_t startNanos = 0; ///< relative to the enable time
+    std::uint64_t durationNanos = 0;
+};
+
+/** Thread-safe collector of finished spans. */
+class TraceCollector {
+  public:
+    TraceCollector() = default;
+    TraceCollector(const TraceCollector&) = delete;
+    TraceCollector& operator=(const TraceCollector&) = delete;
+
+    /** Start collecting; resets previously collected events. */
+    void enable();
+    void disable();
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Append a finished span (absolute steady-clock nanos). */
+    void record(const char* name, const char* category,
+                std::uint64_t startNanos, std::uint64_t endNanos);
+    void record(const std::string& name, const char* category,
+                std::uint64_t startNanos, std::uint64_t endNanos);
+
+    /** Number of collected events. */
+    size_t eventCount() const;
+
+    /** The chrome://tracing JSON array of everything collected. */
+    std::string renderChromeJson() const;
+
+  private:
+    int tidOfCurrentThread();
+
+    std::atomic<bool> enabled_{false};
+    std::uint64_t epochNanos_ = 0;
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> events_;
+    std::map<std::thread::id, int> threadIds_;
+};
+
+/** The process-wide collector all built-in spans report to. */
+TraceCollector& globalTrace();
+
+/** True when the global collector is recording (one relaxed load). */
+inline bool
+traceEnabled()
+{
+    return globalTrace().enabled();
+}
+
+/**
+ * RAII span against the global collector. The name/category pointers
+ * must outlive the span (string literals at every built-in call site);
+ * the string overload copies immediately.
+ */
+class TraceSpan {
+  public:
+    TraceSpan(const char* name, const char* category);
+    /** For dynamic names (e.g. runner task names). */
+    TraceSpan(const std::string& name, const char* category);
+    ~TraceSpan();
+    TraceSpan(const TraceSpan&) = delete;
+    TraceSpan& operator=(const TraceSpan&) = delete;
+
+  private:
+    const char* name_ = nullptr;
+    std::string ownedName_;
+    const char* category_ = nullptr;
+    std::uint64_t startNanos_ = 0;
+    bool active_ = false;
+};
+
+} // namespace vdram
+
+#endif // VDRAM_UTIL_TRACE_H

@@ -25,11 +25,27 @@ FLAGS="--samples=80 --seed=3 --inject-fault=0.5:timeout"
 FLAGS="$FLAGS --task-timeout=0.05"
 
 "$CLI" montecarlo preset:ddr2_1g_75 $FLAGS --jobs=2 \
-    --checkpoint="$CKPT" \
+    --checkpoint="$CKPT" --ready-marker \
     > "$DIR/partial.txt" 2> "$DIR/partial.err" &
 PID=$!
 
-# Wait for the first checkpoint record so the interrupt is mid-run.
+# Wait for the drain handler to be armed (the CLI prints VDRAM-READY to
+# stderr right after installing it). Signalling earlier would hit the
+# default SIGINT disposition and kill the process (exit 130) instead of
+# draining it — the startup race this marker closes.
+i=0
+while ! grep -q "VDRAM-READY" "$DIR/partial.err" 2>/dev/null &&
+      [ $i -lt 200 ]; do
+    sleep 0.05
+    i=$((i + 1))
+done
+if ! grep -q "VDRAM-READY" "$DIR/partial.err" 2>/dev/null; then
+    echo "FAIL: CLI never printed the ready marker" >&2
+    cat "$DIR/partial.err" >&2
+    exit 1
+fi
+
+# Then wait for the first checkpoint record so the interrupt is mid-run.
 i=0
 while [ ! -s "$CKPT" ] && [ $i -lt 200 ]; do
     sleep 0.05

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Metrics and trace layer tests: histogram bucket edges, atomic
+ * counting under a worker-pool-style thread barrage (the reason this
+ * file is in the robustness suite, which CI also runs under TSan),
+ * snapshot determinism / merge / diff / JSON round-trip, the
+ * compile-time no-op sink, and the chrome://tracing span collector.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "util/metrics.h"
+#include "util/trace.h"
+
+using namespace vdram;
+
+// The no-op sink must cost nothing: its instruments are empty classes
+// (no state to update) and the sink is compile-time disabled, so every
+// add()/record() call inlines to an empty body.
+static_assert(std::is_empty_v<BasicCounter<NoopMetricsSink>>);
+static_assert(std::is_empty_v<BasicGauge<NoopMetricsSink>>);
+static_assert(std::is_empty_v<BasicHistogram<NoopMetricsSink>>);
+static_assert(!NoopMetricsSink::enabled);
+static_assert(AtomicMetricsSink::enabled);
+
+TEST(HistogramBuckets, EdgesFollowLog2Rule)
+{
+    // Bucket 0 counts the value 0; bucket k >= 1 counts
+    // [2^(k-1), 2^k - 1].
+    EXPECT_EQ(histogramBucketIndex(0), 0);
+    EXPECT_EQ(histogramBucketIndex(1), 1);
+    EXPECT_EQ(histogramBucketIndex(2), 2);
+    EXPECT_EQ(histogramBucketIndex(3), 2);
+    EXPECT_EQ(histogramBucketIndex(4), 3);
+    EXPECT_EQ(histogramBucketIndex(7), 3);
+    EXPECT_EQ(histogramBucketIndex(8), 4);
+    for (int k = 1; k < kHistogramBuckets - 1; ++k) {
+        const std::uint64_t low = std::uint64_t{1} << (k - 1);
+        const std::uint64_t high = (std::uint64_t{1} << k) - 1;
+        EXPECT_EQ(histogramBucketIndex(low), k) << "k=" << k;
+        EXPECT_EQ(histogramBucketIndex(high), k) << "k=" << k;
+    }
+    // The last bucket absorbs the top of the range.
+    EXPECT_EQ(histogramBucketIndex(~std::uint64_t{0}),
+              kHistogramBuckets - 1);
+}
+
+TEST(HistogramBuckets, LowerBoundsInvertTheIndex)
+{
+    EXPECT_EQ(histogramBucketLowerBound(0), 0u);
+    EXPECT_EQ(histogramBucketLowerBound(1), 1u);
+    EXPECT_EQ(histogramBucketLowerBound(2), 2u);
+    EXPECT_EQ(histogramBucketLowerBound(3), 4u);
+    for (int k = 1; k < kHistogramBuckets - 1; ++k) {
+        EXPECT_EQ(histogramBucketIndex(histogramBucketLowerBound(k)), k);
+    }
+}
+
+TEST(MetricsRegistry, ReturnsStableReferences)
+{
+    MetricsRegistry registry;
+    Counter& a = registry.counter("x");
+    Counter& b = registry.counter("x");
+    EXPECT_EQ(&a, &b);
+    a.add(3);
+    EXPECT_EQ(b.value(), 3u);
+    EXPECT_NE(&registry.counter("y"), &a);
+}
+
+TEST(MetricsRegistry, CountersSurviveThreadBarrage)
+{
+    // The worker-pool usage pattern: many threads hammering the same
+    // instruments. Totals must be exact (relaxed atomics, no torn
+    // updates); TSan (robustness CI preset) checks the absence of
+    // races.
+    MetricsRegistry registry;
+    Counter& counter = registry.counter("barrage.count");
+    Gauge& gauge = registry.gauge("barrage.gauge");
+    Histogram& histogram = registry.histogram("barrage.hist");
+
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 10000;
+    std::atomic<bool> go{false};
+    std::vector<std::thread> pool;
+    pool.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&, t] {
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            for (int i = 0; i < kPerThread; ++i) {
+                counter.add();
+                gauge.set(t);
+                gauge.max(t);
+                histogram.record(
+                    static_cast<std::uint64_t>(i % 1024));
+            }
+        });
+    }
+    go.store(true, std::memory_order_release);
+    for (std::thread& t : pool)
+        t.join();
+
+    EXPECT_EQ(counter.value(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    EXPECT_EQ(histogram.count(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    std::uint64_t bucket_total = 0;
+    for (int b = 0; b < kHistogramBuckets; ++b)
+        bucket_total += histogram.bucket(b);
+    EXPECT_EQ(bucket_total, histogram.count());
+    EXPECT_GE(gauge.value(), 0);
+    EXPECT_LT(gauge.value(), kThreads);
+}
+
+TEST(MetricsSnapshot, RenderIsDeterministicAndRoundTrips)
+{
+    MetricsRegistry registry;
+    registry.counter("b.count").add(7);
+    registry.counter("a.count").add(1);
+    registry.gauge("depth").set(-3);
+    registry.histogram("lat.ns").record(0);
+    registry.histogram("lat.ns").record(5);
+    registry.histogram("lat.ns").record(1u << 20);
+
+    MetricsSnapshot snap = registry.snapshot();
+    const std::string json = snap.renderJson();
+    EXPECT_EQ(json, registry.snapshot().renderJson());
+
+    Result<MetricsSnapshot> parsed = parseMetricsSnapshot(json);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().toString();
+    EXPECT_EQ(parsed.value().renderJson(), json);
+    EXPECT_EQ(parsed.value().counters.at("b.count"), 7u);
+    EXPECT_EQ(parsed.value().gauges.at("depth"), -3);
+    EXPECT_EQ(parsed.value().histograms.at("lat.ns").count, 3u);
+}
+
+TEST(MetricsSnapshot, ParserRejectsGarbage)
+{
+    EXPECT_FALSE(parseMetricsSnapshot("").ok());
+    EXPECT_FALSE(parseMetricsSnapshot("not json").ok());
+    EXPECT_FALSE(parseMetricsSnapshot("{\"counters\":").ok());
+    EXPECT_FALSE(parseMetricsSnapshot("[1,2,3]").ok());
+}
+
+TEST(MetricsSnapshot, MergeSumsCountersAndKeepsLastGauge)
+{
+    MetricsRegistry a_reg, b_reg;
+    a_reg.counter("tasks").add(10);
+    a_reg.gauge("depth").set(5);
+    a_reg.histogram("lat").record(3);
+    b_reg.counter("tasks").add(4);
+    b_reg.counter("faults").add(1);
+    b_reg.gauge("depth").set(2);
+    b_reg.histogram("lat").record(100);
+
+    MetricsSnapshot merged = a_reg.snapshot();
+    merged.merge(b_reg.snapshot());
+    EXPECT_EQ(merged.counters.at("tasks"), 14u);
+    EXPECT_EQ(merged.counters.at("faults"), 1u);
+    EXPECT_EQ(merged.gauges.at("depth"), 2);
+    EXPECT_EQ(merged.histograms.at("lat").count, 2u);
+    EXPECT_EQ(merged.histograms.at("lat").sum, 103u);
+}
+
+TEST(MetricsSnapshot, DiffIsolatesOneRunsActivity)
+{
+    MetricsRegistry registry;
+    registry.counter("tasks").add(10);
+    MetricsSnapshot before = registry.snapshot();
+    registry.counter("tasks").add(5);
+    registry.histogram("lat").record(7);
+    MetricsSnapshot delta = registry.snapshot().diffSince(before);
+    EXPECT_EQ(delta.counters.at("tasks"), 5u);
+    EXPECT_EQ(delta.histograms.at("lat").count, 1u);
+    // Clamped: a shrinking counter (only possible across unrelated
+    // registries) must not wrap around.
+    MetricsSnapshot empty;
+    MetricsSnapshot clamped = empty.diffSince(before);
+    EXPECT_TRUE(clamped.counters.empty() ||
+                clamped.counters.at("tasks") == 0u);
+}
+
+TEST(MetricsRuntime, MasterSwitchDefaultsOff)
+{
+    // The CLI turns it on for --metrics-out; nothing in the test binary
+    // did, so hot paths skip their clock reads.
+    EXPECT_FALSE(metricsEnabled());
+    setMetricsEnabled(true);
+    EXPECT_TRUE(metricsEnabled());
+    setMetricsEnabled(false);
+    EXPECT_FALSE(metricsEnabled());
+}
+
+TEST(MetricsRuntime, ScopedTimerRecordsIntoHistogram)
+{
+    MetricsRegistry registry;
+    Histogram& hist = registry.histogram("scoped.ns");
+    {
+        ScopedTimerNs timer(&hist);
+    }
+    EXPECT_EQ(hist.count(), 1u);
+    {
+        ScopedTimerNs skipped(nullptr); // disabled path: no clock read
+    }
+    EXPECT_EQ(hist.count(), 1u);
+}
+
+TEST(TraceCollector, RecordsSpansWhenEnabled)
+{
+    TraceCollector& trace = globalTrace();
+    trace.enable();
+    {
+        TraceSpan span("unit.span", "test");
+    }
+    {
+        TraceSpan span(std::string("unit.span.named"), "test");
+    }
+    trace.disable();
+    EXPECT_EQ(trace.eventCount(), 2u);
+
+    const std::string json = trace.renderChromeJson();
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(json.back(), ']');
+    EXPECT_NE(json.find("\"name\":\"unit.span\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+}
+
+TEST(TraceCollector, DisabledCollectorStaysEmpty)
+{
+    TraceCollector& trace = globalTrace();
+    trace.enable();
+    trace.disable();
+    {
+        TraceSpan span("after.disable", "test");
+    }
+    EXPECT_EQ(trace.eventCount(), 0u);
+    EXPECT_EQ(trace.renderChromeJson(), "[]");
+}
+
+TEST(TraceCollector, EnableResetsEvents)
+{
+    TraceCollector& trace = globalTrace();
+    trace.enable();
+    {
+        TraceSpan span("first", "test");
+    }
+    EXPECT_EQ(trace.eventCount(), 1u);
+    trace.enable(); // re-enable starts a fresh capture
+    EXPECT_EQ(trace.eventCount(), 0u);
+    trace.disable();
+}

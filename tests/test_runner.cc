@@ -10,9 +10,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <set>
+#include <sstream>
 #include <thread>
 
 #include "presets/presets.h"
@@ -21,6 +24,7 @@
 #include "runner/fault_injection.h"
 #include "runner/runner.h"
 #include "core/montecarlo.h"
+#include "util/metrics.h"
 #include "util/numerics.h"
 
 namespace vdram {
@@ -637,6 +641,120 @@ TEST(CampaignTest, FaultInjectedCampaignStillAggregates)
     // Distributions come from the surviving samples.
     ASSERT_EQ(r.value().distributions.size(), 1u);
     EXPECT_GT(r.value().distributions[0].mean, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Metrics sidecar continuity across interrupt + resume
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** The deterministic campaign counters of a checkpoint's metrics
+ *  sidecar (scheduling-dependent ones — queue depth, per-worker load —
+ *  are deliberately excluded from the comparison). */
+std::map<std::string, std::uint64_t>
+sidecarTaskCounters(const std::string& checkpoint_path)
+{
+    std::ifstream in(checkpoint_path + ".metrics.json",
+                     std::ios::binary);
+    EXPECT_TRUE(in.good()) << "metrics sidecar missing for "
+                           << checkpoint_path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    Result<MetricsSnapshot> snapshot =
+        parseMetricsSnapshot(buffer.str());
+    EXPECT_TRUE(snapshot.ok());
+    std::map<std::string, std::uint64_t> counters;
+    if (!snapshot.ok())
+        return counters;
+    for (const char* name :
+         {"runner.tasks.ok", "runner.tasks.failed",
+          "runner.tasks.quarantined", "runner.tasks.timeout",
+          "runner.tasks.retried"}) {
+        auto it = snapshot.value().counters.find(name);
+        counters[name] =
+            it != snapshot.value().counters.end() ? it->second : 0;
+    }
+    return counters;
+}
+
+/** Fails transiently on the first attempt of every third task: unlike
+ *  FaultPlan (whose faults repeat on every attempt, so a failed record
+ *  fails again when resume re-executes it), this converges — exactly
+ *  what the cumulative-counter identity needs. */
+Result<std::string>
+firstAttemptFlakyTask(const TaskContext& context)
+{
+    if (context.index % 3 == 0 && context.attempt == 1)
+        return Error{"flaky once", 0, 0, "", "T-TEST-FLAKY"};
+    return encodeDoublePayload(
+        {uniformDoubleOf(context.seed), double(context.index)});
+}
+
+} // namespace
+
+TEST(BatchRunnerTest, ResumedCampaignMetricsMatchUninterruptedRun)
+{
+    const std::string interrupted_path =
+        tempPath("metrics_interrupted.jsonl");
+    const std::string reference_path =
+        tempPath("metrics_reference.jsonl");
+    for (const std::string& p : {interrupted_path, reference_path}) {
+        std::remove(p.c_str());
+        std::remove((p + ".metrics.json").c_str());
+    }
+    setMetricsEnabled(true);
+
+    RunnerOptions common;
+    common.backoffSeconds = 0; // retries need no pacing in tests
+
+    // Uninterrupted reference campaign.
+    RunnerOptions reference_options = common;
+    reference_options.checkpointPath = reference_path;
+    BatchRunner reference(simpleManifest(12), firstAttemptFlakyTask,
+                          reference_options);
+    ASSERT_TRUE(reference.run().ok());
+    ASSERT_TRUE(reference.report().complete());
+    ASSERT_GT(reference.report().retried, 0);
+
+    // Same campaign, interrupted at task 5 (not a retrying index, so
+    // the drain never races a retry decision)...
+    RunnerOptions first_options = common;
+    first_options.checkpointPath = interrupted_path;
+    std::atomic<bool> stop{false};
+    first_options.stopFlag = &stop;
+    BatchRunner first(
+        simpleManifest(12),
+        [&stop](const TaskContext& context) -> Result<std::string> {
+            if (context.index == 5)
+                stop.store(true);
+            return firstAttemptFlakyTask(context);
+        },
+        first_options);
+    ASSERT_TRUE(first.run().ok());
+    ASSERT_TRUE(first.report().interrupted);
+    ASSERT_GT(first.report().notRun, 0);
+
+    // ... then resumed to completion.
+    RunnerOptions resume_options = common;
+    resume_options.checkpointPath = interrupted_path;
+    resume_options.resume = true;
+    BatchRunner second(simpleManifest(12), firstAttemptFlakyTask,
+                       resume_options);
+    ASSERT_TRUE(second.run().ok());
+    ASSERT_TRUE(second.report().complete());
+    EXPECT_EQ(second.report().skippedResume, first.report().ok);
+
+    // The cumulative sidecar of the interrupted+resumed campaign must
+    // equal the uninterrupted run's counters exactly.
+    EXPECT_EQ(sidecarTaskCounters(interrupted_path),
+              sidecarTaskCounters(reference_path));
+
+    setMetricsEnabled(false);
+    for (const std::string& p : {interrupted_path, reference_path}) {
+        std::remove(p.c_str());
+        std::remove((p + ".metrics.json").c_str());
+    }
 }
 
 TEST(CampaignTest, DoublePayloadRoundTripsBitExactly)

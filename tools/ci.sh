@@ -61,6 +61,11 @@ echo "== model fast-path throughput gate =="
     --baseline=../bench/BENCH_model_baseline.json)
 test -s build/BENCH_model.json
 
+echo "== line-coverage gate =="
+# gcov-instrumented build + full suite; per-directory table in the log,
+# total gated against tools/coverage_baseline.txt (see tools/coverage.sh).
+bash tools/coverage.sh build-coverage
+
 echo "== lint exit-code contract =="
 # A clean file is exit 0; the seeded-defect fixture must report its
 # findings and exit 3 (parse defect present) — not crash, not abort.

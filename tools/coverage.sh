@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Line-coverage job: builds with VDRAM_COVERAGE=ON (gcov
+# instrumentation, -O0 so inlining does not distort counts), runs the
+# full ctest suite, aggregates raw `gcov -n` output per source
+# directory, and fails if total line coverage of src/*.cc drops more
+# than the allowed slack below the recorded baseline
+# (tools/coverage_baseline.txt).
+#
+# usage: tools/coverage.sh [build-dir]        (default: build-coverage)
+# env:   VDRAM_COVERAGE_RECORD=1  rewrite the baseline instead of gating
+set -euo pipefail
+
+repo_root=$(cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-coverage"}
+baseline_file="$repo_root/tools/coverage_baseline.txt"
+# A run may be at most this many percentage points below the baseline.
+slack=2.0
+jobs=$(nproc 2>/dev/null || echo 4)
+
+cmake -B "$build_dir" -S "$repo_root" -DVDRAM_COVERAGE=ON \
+      -DCMAKE_BUILD_TYPE=Debug
+cmake --build "$build_dir" -j "$jobs"
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+
+# Raw gcov (no gcovr in the image): every .gcda, resolved relative to
+# the repo root, no .gcov files written (-n). The output is pairs of
+#   File 'src/core/model.cc'
+#   Lines executed:95.00% of 200
+cd "$build_dir"
+gcda_list=$(find . -name '*.gcda')
+if [ -z "$gcda_list" ]; then
+    echo "coverage: no .gcda files produced" >&2
+    exit 1
+fi
+gcov -n -r -s "$repo_root" $gcda_list 2>/dev/null > gcov_raw.txt
+
+# Aggregate per directory over the library's own translation units.
+# Headers and test files are excluded: headers are attributed to every
+# including TU (double counting), tests measure themselves.
+awk '
+/^File / {
+    f = $0
+    sub(/^File .\.?\/?/, "", f)
+    sub(/.$/, "", f)
+}
+/^Lines executed:/ {
+    if (f ~ /^src\/.*\.cc$/) {
+        pct = $0
+        sub(/^Lines executed:/, "", pct)
+        sub(/%.*/, "", pct)
+        n = $0
+        sub(/.* of /, "", n)
+        covered[f] = pct * n / 100.0
+        total[f] = n
+    }
+    f = ""
+}
+END {
+    printf "%-18s %10s %10s %9s\n", "directory", "lines", "covered", "cover"
+    all_c = 0; all_t = 0
+    for (f in total) {
+        split(f, parts, "/")
+        dir = parts[1] "/" parts[2]
+        dir_c[dir] += covered[f]
+        dir_t[dir] += total[f]
+        all_c += covered[f]
+        all_t += total[f]
+    }
+    # Portable sort (mawk has no asorti): insertion sort on dir names.
+    n = 0
+    for (dir in dir_t) dirs[++n] = dir
+    for (i = 2; i <= n; i++) {
+        v = dirs[i]
+        for (j = i - 1; j >= 1 && dirs[j] > v; j--) dirs[j + 1] = dirs[j]
+        dirs[j + 1] = v
+    }
+    for (i = 1; i <= n; i++) {
+        dir = dirs[i]
+        printf "%-18s %10d %10d %8.2f%%\n", dir, dir_t[dir],
+               dir_c[dir], 100.0 * dir_c[dir] / dir_t[dir]
+    }
+    printf "%-18s %10d %10d %8.2f%%\n", "TOTAL", all_t, all_c,
+           100.0 * all_c / all_t
+    printf "%.2f\n", 100.0 * all_c / all_t > "coverage_total.txt"
+}' gcov_raw.txt | tee coverage_table.txt
+
+total=$(cat coverage_total.txt)
+
+if [ "${VDRAM_COVERAGE_RECORD:-0}" = "1" ] || [ ! -f "$baseline_file" ]; then
+    echo "$total" > "$baseline_file"
+    echo "coverage: recorded baseline $total% in $baseline_file"
+    exit 0
+fi
+
+baseline=$(cat "$baseline_file")
+pass=$(awk -v t="$total" -v b="$baseline" -v s="$slack" \
+           'BEGIN { print (t + s >= b) ? 1 : 0 }')
+echo "coverage: total $total% (baseline $baseline%, slack $slack)"
+if [ "$pass" != 1 ]; then
+    echo "FAIL: line coverage dropped more than $slack points below" \
+         "the baseline; investigate or re-record with" \
+         "VDRAM_COVERAGE_RECORD=1 tools/coverage.sh" >&2
+    exit 1
+fi
+echo "coverage: gate passed"

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Regenerate the golden figure files (tests/data/golden/*.json) and show
+# what changed. The regression suite compares bit-identically, so any
+# intentional model change lands here first; review the diff before
+# committing it.
+#
+# usage: tools/regen_golden.sh [build-dir]     (default: build)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+golden_bin="$build_dir/tools/vdram_golden"
+golden_dir="$repo_root/tests/data/golden"
+
+if [ ! -x "$golden_bin" ]; then
+    echo "error: $golden_bin not built (cmake --build $build_dir)" >&2
+    exit 1
+fi
+
+mkdir -p "$golden_dir"
+"$golden_bin" --out="$golden_dir"
+
+echo
+echo "== golden diff =="
+if git -C "$repo_root" diff --stat --exit-code -- tests/data/golden; then
+    echo "golden figures unchanged"
+else
+    echo
+    git -C "$repo_root" diff -- tests/data/golden | head -200
+    echo
+    echo "review the diff above, then commit tests/data/golden"
+fi

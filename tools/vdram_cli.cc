@@ -34,6 +34,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -57,9 +58,11 @@
 #include "protocol/command_trace.h"
 #include "protocol/trace.h"
 #include "util/json.h"
+#include "util/metrics.h"
 #include "util/numerics.h"
 #include "util/strings.h"
 #include "util/table.h"
+#include "util/trace.h"
 
 using namespace vdram;
 
@@ -90,6 +93,17 @@ struct CampaignFlags {
     bool explicitFlags = false;
 };
 
+/** Observability outputs (--metrics-out / --trace-out); written by
+ *  main() after command dispatch, whatever the exit path. */
+std::string g_metrics_out;
+std::string g_trace_out;
+
+/** --ready-marker: announce on stderr when the SIGINT drain handler is
+ *  armed, so scripted tests know when a signal drains instead of
+ *  killing (default disposition). */
+bool g_ready_marker = false;
+constexpr const char* kReadyMarker = "VDRAM-READY";
+
 /** Raised by the SIGINT handler; polled by the batch runner. */
 std::atomic<bool> g_stop_requested{false};
 
@@ -108,6 +122,11 @@ installDrainHandler(RunnerOptions& options)
 {
     options.stopFlag = &g_stop_requested;
     std::signal(SIGINT, onSigint);
+    if (g_ready_marker) {
+        std::fprintf(stderr, "%s\n", kReadyMarker);
+        std::fflush(stderr);
+        g_ready_marker = false; // once per process
+    }
 }
 
 void
@@ -142,6 +161,13 @@ printUsage(std::FILE* out)
         "  --lint                    parse + validate the target, report\n"
         "                            every diagnostic, run no command\n"
         "  --diag-format=text|json   diagnostic rendering (default text)\n"
+        "  --metrics-out FILE        write a metrics snapshot (JSON) on\n"
+        "                            exit; also enables the counters\n"
+        "  --trace-out FILE          write a chrome://tracing JSON file\n"
+        "                            on exit\n"
+        "  --ready-marker            print VDRAM-READY to stderr once a\n"
+        "                            campaign's SIGINT drain handler is\n"
+        "                            armed (test hook)\n"
         "campaign flags (montecarlo, sensitivity, sweep, trends):\n"
         "  --jobs=N                  worker threads (default 1; 0 = all "
         "cores)\n"
@@ -811,10 +837,52 @@ commandOwnsFlag(const std::string& command, const std::string& arg)
     return false;
 }
 
-} // namespace
+/** Flag value of "--name value" or "--name=value"; advances @p i for
+ *  the two-token form. False when the value is missing or empty. */
+bool
+takeFlagValue(const std::string& name, int argc, char** argv, int& i,
+              std::string& value)
+{
+    std::string arg = argv[i];
+    if (arg == name) {
+        if (i + 1 >= argc)
+            return false;
+        value = argv[++i];
+        return !value.empty();
+    }
+    value = arg.substr(name.size() + 1);
+    return !value.empty();
+}
+
+/** Flush the --metrics-out / --trace-out files. Runs after dispatch on
+ *  every exit path of runCli() (including usage and load errors), so a
+ *  partial campaign still leaves its observability data behind. */
+void
+writeObservabilityOutputs()
+{
+    if (!g_metrics_out.empty()) {
+        std::ofstream out(g_metrics_out, std::ios::trunc);
+        if (out)
+            out << globalMetrics().snapshot().renderJson() << "\n";
+        if (!out) {
+            std::fprintf(stderr, "warning: cannot write metrics to %s\n",
+                         g_metrics_out.c_str());
+        }
+    }
+    if (!g_trace_out.empty()) {
+        globalTrace().disable();
+        std::ofstream out(g_trace_out, std::ios::trunc);
+        if (out)
+            out << globalTrace().renderChromeJson() << "\n";
+        if (!out) {
+            std::fprintf(stderr, "warning: cannot write trace to %s\n",
+                         g_trace_out.c_str());
+        }
+    }
+}
 
 int
-main(int argc, char** argv)
+runCli(int argc, char** argv)
 {
     // Strip the global flags (position-independent) before command
     // dispatch. Campaign flags are validated here so a typo exits with
@@ -834,6 +902,29 @@ main(int argc, char** argv)
         }
         if (startsWith(arg, "--diag-format=")) {
             opts.format = arg.substr(14);
+            continue;
+        }
+        if (arg == "--metrics-out" || startsWith(arg, "--metrics-out=")) {
+            if (!takeFlagValue("--metrics-out", argc, argv, i,
+                               g_metrics_out)) {
+                std::fprintf(stderr, "--metrics-out needs a file path\n");
+                return kExitUsage;
+            }
+            setMetricsEnabled(true);
+            continue;
+        }
+        if (arg == "--trace-out" || startsWith(arg, "--trace-out=")) {
+            if (!takeFlagValue("--trace-out", argc, argv, i,
+                               g_trace_out)) {
+                std::fprintf(stderr, "--trace-out needs a file path\n");
+                return kExitUsage;
+            }
+            setMetricsEnabled(true);
+            globalTrace().enable();
+            continue;
+        }
+        if (arg == "--ready-marker") {
+            g_ready_marker = true;
             continue;
         }
         if (startsWith(arg, "--jobs=")) {
@@ -1008,4 +1099,14 @@ main(int argc, char** argv)
     }
 
     return usage();
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    int code = runCli(argc, argv);
+    writeObservabilityOutputs();
+    return code;
 }

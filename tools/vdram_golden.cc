@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Golden-figure writer: computes the canonical figure JSON documents
+ * (src/core/golden_figures.h) and either prints them to stdout or
+ * writes one <name>.json per figure into --out=DIR. Used by
+ * tools/regen_golden.sh and available for ad-hoc inspection.
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/golden_figures.h"
+
+using namespace vdram;
+
+int
+main(int argc, char** argv)
+{
+    std::string out_dir;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--out=", 6) == 0) {
+            out_dir = argv[i] + 6;
+        } else {
+            std::fprintf(stderr,
+                         "usage: vdram_golden [--out=DIR]\n"
+                         "  no --out: print every figure to stdout\n");
+            return 2;
+        }
+    }
+
+    for (const GoldenFigure& figure : computeGoldenFigures()) {
+        if (out_dir.empty()) {
+            std::printf("// %s\n%s\n", figure.name.c_str(),
+                        figure.json.c_str());
+            continue;
+        }
+        const std::string path = out_dir + "/" + figure.name + ".json";
+        std::ofstream out(path, std::ios::trunc);
+        if (out)
+            out << figure.json << "\n";
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", path.c_str());
+    }
+    return 0;
+}
