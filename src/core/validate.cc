@@ -524,7 +524,7 @@ checkPatternConsistency(const DramDescription& desc,
             break;
         }
         check.warning("W-PATTERN-TIMING",
-                      strformat("pattern violates %s at cycle %d: %s",
+                      strformat("pattern violates %s at cycle %lld: %s",
                                 v.rule.c_str(), v.cycle,
                                 v.detail.c_str()), check.at("pattern"));
     }

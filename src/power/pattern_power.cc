@@ -11,11 +11,25 @@ computePatternPower(const Pattern& pattern, const OperationSet& ops,
                     const ElectricalParams& elec, double tck,
                     const Specification& spec)
 {
-    PatternPower result;
     // Degenerate inputs produce a zeroed result instead of terminating:
     // validateDescription() reports E-PATTERN-EMPTY / E-SPEC-RANGE for
     // them, and library code must never exit on user input.
     if (pattern.loop.empty()) {
+        warn("cannot evaluate an empty pattern; returning zero power");
+        return PatternPower{};
+    }
+    return computePatternPowerFromStats(makePatternStats(pattern), ops,
+                                        elec, tck, spec);
+}
+
+PatternPower
+computePatternPowerFromStats(const PatternStats& stats,
+                             const OperationSet& ops,
+                             const ElectricalParams& elec, double tck,
+                             const Specification& spec)
+{
+    PatternPower result;
+    if (stats.cycles <= 0) {
         warn("cannot evaluate an empty pattern; returning zero power");
         return result;
     }
@@ -24,7 +38,7 @@ computePatternPower(const Pattern& pattern, const OperationSet& ops,
         return result;
     }
 
-    const int cycles = pattern.cycles();
+    const long long cycles = stats.cycles;
     result.loopTime = cycles * tck;
 
     // Charge per loop: commands at their frequency of occurrence plus the
@@ -59,17 +73,22 @@ computePatternPower(const Pattern& pattern, const OperationSet& ops,
         }
     };
 
-    for (Op op : {Op::Act, Op::Pre, Op::Rd, Op::Wr, Op::Ref})
-        accumulate(ops.of(op), op, pattern.count(op));
-
-    // Background: full for powered cycles, gated for power-down and
-    // self-refresh cycles.
-    const int pdn_cycles = pattern.count(Op::Pdn);
-    const int srf_cycles = pattern.count(Op::Srf);
-    accumulate(ops.backgroundPerCycle, Op::Nop,
-               cycles - pdn_cycles - srf_cycles);
-    accumulate(ops.powerDownPerCycle, Op::Pdn, pdn_cycles);
-    accumulate(ops.selfRefreshPerCycle, Op::Srf, srf_cycles);
+    // Commands at their frequency of occurrence, then the per-cycle
+    // backgrounds (full for powered cycles, gated for power-down and
+    // self-refresh cycles). Category order matches makePatternStats()
+    // and makeChargeTable().
+    const OperationCharges* categories[kChargeCategoryCount] = {
+        &ops.activate,          &ops.precharge,
+        &ops.read,              &ops.write,
+        &ops.refresh,           &ops.backgroundPerCycle,
+        &ops.powerDownPerCycle, &ops.selfRefreshPerCycle};
+    const Op category_op[kChargeCategoryCount] = {
+        Op::Act, Op::Pre, Op::Rd, Op::Wr,
+        Op::Ref, Op::Nop, Op::Pdn, Op::Srf};
+    for (int cat = 0; cat < kChargeCategoryCount; ++cat) {
+        accumulate(*categories[cat], category_op[cat],
+                   stats.count[static_cast<size_t>(cat)]);
+    }
 
     result.externalCurrent =
         loop_charge / result.loopTime + elec.constantCurrent;
@@ -99,8 +118,7 @@ computePatternPower(const Pattern& pattern, const OperationSet& ops,
 
     const double bits_per_burst =
         static_cast<double>(spec.bitsPerBurst());
-    result.bitsPerLoop =
-        (pattern.count(Op::Rd) + pattern.count(Op::Wr)) * bits_per_burst;
+    result.bitsPerLoop = (stats.count[2] + stats.count[3]) * bits_per_burst;
     if (result.bitsPerLoop > 0) {
         result.energyPerBit =
             result.power * result.loopTime / result.bitsPerLoop;

@@ -81,15 +81,33 @@ ChargeTable makeChargeTable(const OperationSet& ops,
 
 /**
  * Per-category occurrence counts of a pattern, precomputed once per
- * pattern so repeated evaluations skip the loop scans.
+ * pattern so repeated evaluations skip the loop scans. The streaming
+ * trace engine accumulates the same shape incrementally, so the cycle
+ * counter is wide enough for multi-billion-cycle traces that never
+ * materialize as a Pattern (the counts are integers stored as doubles;
+ * exact up to 2^53).
  */
 struct PatternStats {
-    int cycles = 0;
+    long long cycles = 0;
     std::array<double, kChargeCategoryCount> count{};
 };
 
 /** Count @p pattern's ops per charge category. */
 PatternStats makePatternStats(const Pattern& pattern);
+
+/**
+ * Evaluate a pattern given only its per-category counts. This is the
+ * evaluation half of computePatternPower() — the dense path counts the
+ * loop and delegates here, so a streaming evaluation that accumulates
+ * identical counts produces a bit-identical PatternPower without ever
+ * materializing the loop. Degenerate stats (no cycles, non-positive
+ * tck) return a zeroed result exactly like the dense path.
+ */
+PatternPower computePatternPowerFromStats(const PatternStats& stats,
+                                          const OperationSet& ops,
+                                          const ElectricalParams& elec,
+                                          double tck,
+                                          const Specification& spec);
 
 /**
  * External supply current of a pattern from its precomputed stats and

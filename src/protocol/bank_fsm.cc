@@ -14,8 +14,8 @@ report(std::vector<TimingViolation>* violations, long long cycle, Op op,
        const char* rule, std::string detail)
 {
     if (violations) {
-        violations->push_back(TimingViolation{
-            static_cast<int>(cycle), op, rule, std::move(detail)});
+        violations->push_back(
+            TimingViolation{cycle, op, rule, std::move(detail)});
     }
 }
 
@@ -113,7 +113,7 @@ PatternCheckResult::summary() const
         return "pattern is protocol-clean";
     std::string out = strformat("%zu violation(s):", violations.size());
     for (const TimingViolation& v : violations) {
-        out += strformat("\n  cycle %d %s: %s (%s)", v.cycle,
+        out += strformat("\n  cycle %lld %s: %s (%s)", v.cycle,
                          opName(v.op).c_str(), v.rule.c_str(),
                          v.detail.c_str());
     }

@@ -27,7 +27,7 @@ namespace vdram {
 
 /** One detected protocol violation. */
 struct TimingViolation {
-    int cycle = 0;       ///< cycle within the unrolled pattern
+    long long cycle = 0; ///< cycle within the unrolled pattern / trace
     Op op = Op::Nop;     ///< offending command
     std::string rule;    ///< violated rule, e.g. "tRC"
     std::string detail;  ///< human readable description

@@ -28,7 +28,7 @@ opOf(const std::string& token, int line)
 } // namespace
 
 Result<Pattern>
-parseCommandTrace(const std::string& text)
+parseCommandTrace(const std::string& text, long long maxCycles)
 {
     Pattern pattern;
     std::istringstream stream(text);
@@ -59,6 +59,17 @@ parseCommandTrace(const std::string& text)
         Result<Op> op = opOf(tokens[1], line_no);
         if (!op.ok())
             return op.error();
+        // The dense expansion allocates one Op per cycle up to the last
+        // record — a single large cycle number would allocate gigabytes
+        // before any evaluation happens.
+        if (maxCycles > 0 && cycle.value() >= maxCycles) {
+            return Error{strformat("trace expands to %lld cycles, over "
+                                   "the dense replay cap of %lld; use "
+                                   "the streaming path (vdram trace) "
+                                   "for long traces",
+                                   cycle.value() + 1, maxCycles),
+                         line_no, 0, "", "E-TRACE-TOO-LONG"};
+        }
         pattern.loop.resize(static_cast<size_t>(cycle.value()), Op::Nop);
         pattern.loop.push_back(op.value());
         last_cycle = cycle.value();
@@ -69,14 +80,14 @@ parseCommandTrace(const std::string& text)
 }
 
 Result<Pattern>
-loadCommandTraceFile(const std::string& path)
+loadCommandTraceFile(const std::string& path, long long maxCycles)
 {
     std::ifstream file(path);
     if (!file)
         return Error{"cannot open command trace '" + path + "'"};
     std::ostringstream buffer;
     buffer << file.rdbuf();
-    return parseCommandTrace(buffer.str());
+    return parseCommandTrace(buffer.str(), maxCycles);
 }
 
 std::string

@@ -20,13 +20,26 @@
 
 namespace vdram {
 
+/**
+ * Default cap on the dense expansion, in cycles. Replay materializes
+ * one Op per cycle, so the allocation is bounded by this cap (64 Mi
+ * cycles ≈ 256 MiB of ops); longer traces belong on the streaming
+ * path (`vdram trace`, protocol/trace_stream.h), which never
+ * materializes the loop.
+ */
+constexpr long long kDefaultTraceCycleCap = 64LL * 1024 * 1024;
+
 /** Parse a timed command trace into a pattern. Errors carry line
  *  numbers. The pattern length is the last cycle + 1 (plus any
- *  trailing NOPs given as a final "<cycle> NOP" marker). */
-Result<Pattern> parseCommandTrace(const std::string& text);
+ *  trailing NOPs given as a final "<cycle> NOP" marker). Traces whose
+ *  dense expansion exceeds @p maxCycles are rejected with
+ *  E-TRACE-TOO-LONG. */
+Result<Pattern> parseCommandTrace(
+    const std::string& text, long long maxCycles = kDefaultTraceCycleCap);
 
 /** Load a command trace from a file. */
-Result<Pattern> loadCommandTraceFile(const std::string& path);
+Result<Pattern> loadCommandTraceFile(
+    const std::string& path, long long maxCycles = kDefaultTraceCycleCap);
 
 /** Emit a pattern as a command trace (NOP gaps compressed; a trailing
  *  NOP marker preserves the loop length). */

@@ -1,0 +1,515 @@
+#include "protocol/trace_stream.h"
+
+#include <charconv>
+#include <climits>
+#include <cstring>
+
+#include <fstream>
+
+#include "util/metrics.h"
+#include "util/strings.h"
+#include "util/trace.h"
+
+namespace vdram {
+
+namespace {
+
+/** Streaming-engine instruments (recording gated on the runtime
+ *  switch; resolved once). */
+struct StreamInstruments {
+    Counter& evaluations =
+        globalMetrics().counter("trace.stream.evaluations");
+    Counter& commands = globalMetrics().counter("trace.stream.commands");
+    Counter& cycles = globalMetrics().counter("trace.stream.cycles");
+    Counter& chunks = globalMetrics().counter("trace.stream.chunks");
+    Counter& violations =
+        globalMetrics().counter("trace.stream.violations");
+    Histogram& parseNs =
+        globalMetrics().histogram("trace.stream.parse_ns");
+};
+
+StreamInstruments&
+streamInstruments()
+{
+    static StreamInstruments instruments;
+    return instruments;
+}
+
+bool
+isLineSpace(char c)
+{
+    return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+}
+
+/** Case-insensitive comparison of [begin, end) against a lower-case
+ *  literal, without allocating. */
+bool
+tokenEquals(const char* begin, const char* end, const char* lower)
+{
+    for (; begin != end && *lower != '\0'; ++begin, ++lower) {
+        char c = *begin;
+        if (c >= 'A' && c <= 'Z')
+            c = static_cast<char>(c - 'A' + 'a');
+        if (c != *lower)
+            return false;
+    }
+    return begin == end && *lower == '\0';
+}
+
+/** Command mnemonic lookup; same aliases as the dense parser. */
+bool
+opOfToken(const char* begin, const char* end, Op& op)
+{
+    if (tokenEquals(begin, end, "act") ||
+        tokenEquals(begin, end, "activate")) {
+        op = Op::Act;
+    } else if (tokenEquals(begin, end, "pre") ||
+               tokenEquals(begin, end, "precharge")) {
+        op = Op::Pre;
+    } else if (tokenEquals(begin, end, "rd") ||
+               tokenEquals(begin, end, "read")) {
+        op = Op::Rd;
+    } else if (tokenEquals(begin, end, "wr") ||
+               tokenEquals(begin, end, "wrt") ||
+               tokenEquals(begin, end, "write")) {
+        op = Op::Wr;
+    } else if (tokenEquals(begin, end, "ref") ||
+               tokenEquals(begin, end, "refresh")) {
+        op = Op::Ref;
+    } else if (tokenEquals(begin, end, "nop")) {
+        op = Op::Nop;
+    } else if (tokenEquals(begin, end, "pdn") ||
+               tokenEquals(begin, end, "powerdown")) {
+        op = Op::Pdn;
+    } else if (tokenEquals(begin, end, "srf") ||
+               tokenEquals(begin, end, "selfrefresh")) {
+        op = Op::Srf;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/** Exact conversion of integer op counts into the per-category stats
+ *  the evaluation half of computePatternPower() consumes. Mirrors
+ *  makePatternStats(): Act..Ref, background, power-down, self-refresh
+ *  (counts are integers well below 2^53, so the doubles are exact). */
+PatternStats
+statsFromCounts(const OpCounts& ops, long long cycles)
+{
+    PatternStats stats;
+    stats.cycles = cycles;
+    stats.count[0] =
+        static_cast<double>(ops.n[static_cast<size_t>(Op::Act)]);
+    stats.count[1] =
+        static_cast<double>(ops.n[static_cast<size_t>(Op::Pre)]);
+    stats.count[2] =
+        static_cast<double>(ops.n[static_cast<size_t>(Op::Rd)]);
+    stats.count[3] =
+        static_cast<double>(ops.n[static_cast<size_t>(Op::Wr)]);
+    stats.count[4] =
+        static_cast<double>(ops.n[static_cast<size_t>(Op::Ref)]);
+    const long long pdn = ops.n[static_cast<size_t>(Op::Pdn)];
+    const long long srf = ops.n[static_cast<size_t>(Op::Srf)];
+    stats.count[5] = static_cast<double>(cycles - pdn - srf);
+    stats.count[6] = static_cast<double>(pdn);
+    stats.count[7] = static_cast<double>(srf);
+    return stats;
+}
+
+int
+clampLine(long long line)
+{
+    return line > INT_MAX ? INT_MAX : static_cast<int>(line);
+}
+
+} // namespace
+
+Result<bool>
+parseTraceLine(const char* begin, const char* end, long long& cycle,
+               Op& op)
+{
+    if (const void* hash = std::memchr(begin, '#',
+                                       static_cast<size_t>(end - begin)))
+        end = static_cast<const char*>(hash);
+    while (begin != end && isLineSpace(*begin))
+        ++begin;
+    while (end != begin && isLineSpace(end[-1]))
+        --end;
+    if (begin == end)
+        return false;
+
+    auto [ptr, ec] = std::from_chars(begin, end, cycle);
+    if (ec == std::errc::result_out_of_range)
+        return Error{"cycle number out of range", 0, 0, "",
+                     "E-TRACE-PARSE"};
+    if (ec != std::errc{} || ptr == begin || ptr == end ||
+        !isLineSpace(*ptr)) {
+        return Error{"expected '<cycle> <command>'", 0, 0, "",
+                     "E-TRACE-PARSE"};
+    }
+    const char* token = ptr;
+    while (token != end && isLineSpace(*token))
+        ++token;
+    const char* token_end = token;
+    while (token_end != end && !isLineSpace(*token_end))
+        ++token_end;
+    const char* rest = token_end;
+    while (rest != end && isLineSpace(*rest))
+        ++rest;
+    if (token == token_end || rest != end)
+        return Error{"expected '<cycle> <command>'", 0, 0, "",
+                     "E-TRACE-PARSE"};
+    if (!opOfToken(token, token_end, op)) {
+        return Error{"unknown command '" +
+                         std::string(token, token_end) + "'",
+                     0, 0, "", "E-TRACE-PARSE"};
+    }
+    return true;
+}
+
+Status
+TraceCounter::feed(long long cycle, Op op, long long line)
+{
+    if (cycle < 0) {
+        return Error{"cycles must be non-negative", clampLine(line), 0,
+                     "", "E-TRACE-PARSE"};
+    }
+    if (cycle <= counts_.lastCycle) {
+        return Error{strformat("cycle %lld not after the previous "
+                               "command at %lld",
+                               cycle, counts_.lastCycle),
+                     clampLine(line), 0, "", "E-TRACE-ORDER"};
+    }
+    if (counts_.firstCycle < 0)
+        counts_.firstCycle = cycle;
+    ++counts_.commands;
+    counts_.total.add(op);
+    if (windowCycles_ > 0) {
+        const long long index = cycle / windowCycles_;
+        if (counts_.windows.empty() ||
+            counts_.windows.back().index != index)
+            counts_.windows.push_back(WindowCounts{index, {}});
+        counts_.windows.back().ops.add(op);
+    }
+    counts_.lastCycle = cycle;
+    return Status::okStatus();
+}
+
+Result<TraceStreamResult>
+mergeTraceSlices(const std::vector<TraceSliceCounts>& slices,
+                 long long windowCycles)
+{
+    TraceStreamResult result;
+    OpCounts total;
+    long long prev_last = -1;
+    bool any = false;
+    for (const TraceSliceCounts& slice : slices) {
+        if (slice.firstCycle < 0)
+            continue; // a slice may contain only comments/blank lines
+        if (slice.firstCycle <= prev_last) {
+            return Error{strformat("trace slice starting at cycle %lld "
+                                   "overlaps the previous slice ending "
+                                   "at %lld",
+                                   slice.firstCycle, prev_last),
+                         0, 0, "", "E-TRACE-ORDER"};
+        }
+        prev_last = slice.lastCycle;
+        total.merge(slice.total);
+        result.commands += slice.commands;
+        any = true;
+    }
+    if (!any)
+        return Error{"empty command trace", 0, 0, "", "E-TRACE-EMPTY"};
+    result.cycles = prev_last + 1;
+    result.stats = statsFromCounts(total, result.cycles);
+
+    if (windowCycles > 0) {
+        const long long window_count =
+            (result.cycles + windowCycles - 1) / windowCycles;
+        // The timeline is held in memory; a window size far below the
+        // trace length asks for an unbounded allocation, which is
+        // exactly what streaming is here to avoid.
+        constexpr long long kMaxWindows = 1'000'000;
+        if (window_count > kMaxWindows) {
+            return Error{strformat("window of %lld cycles yields %lld "
+                                   "timeline windows (max %lld); choose "
+                                   "a coarser window",
+                                   windowCycles, window_count,
+                                   kMaxWindows),
+                         0, 0, "", "E-TRACE-WINDOW"};
+        }
+        std::vector<OpCounts> per_window(
+            static_cast<size_t>(window_count));
+        for (const TraceSliceCounts& slice : slices) {
+            for (const WindowCounts& w : slice.windows)
+                per_window[static_cast<size_t>(w.index)].merge(w.ops);
+        }
+        result.windows.resize(static_cast<size_t>(window_count));
+        for (long long i = 0; i < window_count; ++i) {
+            TraceWindow& window =
+                result.windows[static_cast<size_t>(i)];
+            window.startCycle = i * windowCycles;
+            window.cycles = std::min(windowCycles,
+                                     result.cycles - window.startCycle);
+            window.stats = statsFromCounts(
+                per_window[static_cast<size_t>(i)], window.cycles);
+        }
+    }
+    return result;
+}
+
+// ---------------------------------------------------------------------
+// Linear protocol checking.
+
+StreamChecker::StreamChecker(const TimingParams& timing, int banks,
+                             size_t maxViolations)
+    : timing_(timing), maxViolations_(maxViolations)
+{
+    if (banks < 1)
+        banks = 1;
+    fsms_.reserve(static_cast<size_t>(banks));
+    for (int b = 0; b < banks; ++b)
+        fsms_.emplace_back(b);
+}
+
+void
+StreamChecker::report(long long cycle, Op op, const char* rule,
+                      std::string detail)
+{
+    ++violationCount_;
+    if (violations_.size() < maxViolations_) {
+        violations_.push_back(
+            TimingViolation{cycle, op, rule, std::move(detail)});
+    }
+}
+
+void
+StreamChecker::apply(long long cycle, Op op)
+{
+    // Bank-FSM methods append into a scratch sink so the checker can
+    // count every violation while retaining only the first few.
+    std::vector<TimingViolation> scratch;
+    auto drain = [&] {
+        for (TimingViolation& v : scratch)
+            report(v.cycle, v.op, v.rule.c_str(), std::move(v.detail));
+        scratch.clear();
+    };
+
+    switch (op) {
+    case Op::Nop:
+    case Op::Pdn:
+        break;
+    case Op::Srf:
+        if (!openBanks_.empty()) {
+            report(cycle, Op::Srf, "state",
+                   "self refresh entry with open banks");
+        }
+        break;
+    case Op::Act: {
+        if (!activateTimes_.empty() &&
+            cycle - activateTimes_.back() < timing_.tRrd) {
+            report(cycle, Op::Act, "tRRD",
+                   strformat("%lld cycles since previous activate, "
+                             "tRRD=%d",
+                             cycle - activateTimes_.back(),
+                             timing_.tRrd));
+        }
+        if (activateTimes_.size() >= 4 &&
+            cycle - activateTimes_[activateTimes_.size() - 4] <
+                timing_.tFaw) {
+            report(cycle, Op::Act, "tFAW",
+                   strformat("5th activate within tFAW=%d",
+                             timing_.tFaw));
+        }
+        const int bank = nextActivateBank_;
+        nextActivateBank_ =
+            (nextActivateBank_ + 1) % static_cast<int>(fsms_.size());
+        fsms_[static_cast<size_t>(bank)].activate(cycle, timing_,
+                                                  &scratch);
+        drain();
+        openBanks_.push_back(bank);
+        activateTimes_.push_back(cycle);
+        if (activateTimes_.size() > 8)
+            activateTimes_.erase(activateTimes_.begin());
+        break;
+    }
+    case Op::Pre: {
+        if (openBanks_.empty()) {
+            report(cycle, Op::Pre, "state",
+                   "precharge with no open bank");
+            break;
+        }
+        const int bank = openBanks_.front();
+        openBanks_.erase(openBanks_.begin());
+        fsms_[static_cast<size_t>(bank)].precharge(cycle, timing_,
+                                                   &scratch);
+        drain();
+        break;
+    }
+    case Op::Rd:
+    case Op::Wr: {
+        if (cycle - lastColumn_ < timing_.tCcd) {
+            report(cycle, op, "tCCD",
+                   strformat("%lld cycles since previous column "
+                             "command, tCCD=%d",
+                             cycle - lastColumn_, timing_.tCcd));
+        }
+        lastColumn_ = cycle;
+        if (openBanks_.empty()) {
+            report(cycle, op, "state",
+                   "column command with no open bank");
+            break;
+        }
+        // Address the most recently opened bank whose tRCD has
+        // elapsed (it is farthest from being precharged); fall back to
+        // the oldest bank when none is eligible and report the tRCD
+        // violation.
+        int target = openBanks_.front();
+        for (auto it = openBanks_.rbegin(); it != openBanks_.rend();
+             ++it) {
+            if (fsms_[static_cast<size_t>(*it)].canColumnOp(cycle,
+                                                            timing_)) {
+                target = *it;
+                break;
+            }
+        }
+        fsms_[static_cast<size_t>(target)].columnOp(
+            cycle, op == Op::Wr, timing_, &scratch);
+        drain();
+        break;
+    }
+    case Op::Ref:
+        if (!openBanks_.empty()) {
+            report(cycle, Op::Ref, "state", "refresh with open banks");
+        }
+        break;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chunked stream reader.
+
+Result<TraceStreamResult>
+evaluateTraceStream(std::istream& in, const TraceStreamOptions& options)
+{
+    TraceSpan span("trace.stream.evaluate", "trace");
+    const bool metrics = metricsEnabled();
+    ScopedTimerNs timer(metrics ? &streamInstruments().parseNs
+                                : nullptr);
+
+    TraceCounter counter(options.windowCycles);
+    StreamChecker checker(options.timing, options.banks,
+                          options.maxViolations);
+
+    const size_t chunk_bytes =
+        options.chunkBytes > 0 ? options.chunkBytes : 1;
+    std::vector<char> buffer(chunk_bytes);
+    std::string carry;
+    long long line_no = 0;
+    long long chunk_count = 0;
+    Status failure = Status::okStatus();
+
+    auto process_line = [&](const char* begin,
+                            const char* end) -> Status {
+        ++line_no;
+        long long cycle = 0;
+        Op op = Op::Nop;
+        Result<bool> record = parseTraceLine(begin, end, cycle, op);
+        if (!record.ok()) {
+            Error error = record.error();
+            error.line = clampLine(line_no);
+            return error;
+        }
+        if (!record.value())
+            return Status::okStatus();
+        Status fed = counter.feed(cycle, op, line_no);
+        if (!fed.ok())
+            return fed;
+        if (options.check)
+            checker.apply(cycle, op);
+        return Status::okStatus();
+    };
+
+    while (failure.ok() && in.good()) {
+        in.read(buffer.data(),
+                static_cast<std::streamsize>(buffer.size()));
+        const std::streamsize got = in.gcount();
+        if (got <= 0)
+            break;
+        ++chunk_count;
+        const char* data = buffer.data();
+        size_t len = static_cast<size_t>(got);
+        size_t pos = 0;
+        if (!carry.empty()) {
+            const void* nl = std::memchr(data, '\n', len);
+            if (!nl) {
+                carry.append(data, len);
+                continue;
+            }
+            const size_t n =
+                static_cast<size_t>(static_cast<const char*>(nl) - data);
+            carry.append(data, n);
+            failure = process_line(carry.data(),
+                                   carry.data() + carry.size());
+            carry.clear();
+            pos = n + 1;
+        }
+        while (failure.ok() && pos < len) {
+            const void* nl = std::memchr(data + pos, '\n', len - pos);
+            if (!nl) {
+                carry.assign(data + pos, len - pos);
+                break;
+            }
+            const char* line_end = static_cast<const char*>(nl);
+            failure = process_line(data + pos, line_end);
+            pos = static_cast<size_t>(line_end - data) + 1;
+        }
+    }
+    if (failure.ok() && !carry.empty())
+        failure = process_line(carry.data(), carry.data() + carry.size());
+    if (!failure.ok())
+        return failure.error();
+
+    Result<TraceStreamResult> merged =
+        mergeTraceSlices({counter.takeCounts()}, options.windowCycles);
+    if (!merged.ok())
+        return merged.error();
+    TraceStreamResult result = std::move(merged).value();
+    if (options.check) {
+        result.violations = checker.violations();
+        result.violationCount = checker.violationCount();
+    }
+    if (metrics) {
+        StreamInstruments& m = streamInstruments();
+        m.evaluations.add();
+        m.commands.add(static_cast<std::uint64_t>(result.commands));
+        m.cycles.add(static_cast<std::uint64_t>(result.cycles));
+        m.chunks.add(static_cast<std::uint64_t>(chunk_count));
+        m.violations.add(
+            static_cast<std::uint64_t>(result.violationCount));
+    }
+    return result;
+}
+
+Result<TraceStreamResult>
+evaluateTraceStreamFile(const std::string& path,
+                        const TraceStreamOptions& options)
+{
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+        return Error{"cannot open command trace '" + path + "'", 0, 0,
+                     path, "E-IO-OPEN"};
+    }
+    Result<TraceStreamResult> result =
+        evaluateTraceStream(file, options);
+    if (!result.ok()) {
+        Error error = result.error();
+        if (error.file.empty())
+            error.file = path;
+        return error;
+    }
+    return result;
+}
+
+} // namespace vdram

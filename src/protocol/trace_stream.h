@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Streaming command-trace evaluation.
+ *
+ * The dense replay path (protocol/command_trace.h) materializes one Op
+ * per cycle, so a trace whose last cycle is in the billions allocates
+ * gigabytes before the first charge is summed. Controller simulators
+ * (gem5, DRAMSim, DRAMPower frontends) routinely emit such traces. This
+ * module parses the same `<cycle> <command>` format incrementally —
+ * fixed-size chunks, partial lines carried across chunk boundaries —
+ * and accumulates per-op integer counts directly. The counts feed
+ * computePatternPowerFromStats(), the evaluation half of the dense
+ * path, so the result is bit-for-bit identical to parsing the whole
+ * trace into a Pattern and evaluating it, in O(chunk) memory.
+ *
+ * Optional extras carried across chunk boundaries:
+ *  - a per-window timeline (windowCycles > 0): op counts per fixed
+ *    cycle window, for phase-resolved power output,
+ *  - a linear bank-FSM protocol check (check = true): the per-bank
+ *    state machines of protocol/bank_fsm.h driven once over the trace
+ *    (no steady-state unrolling — a trace is a transcript, not a loop).
+ *
+ * The parallel driver (runner/trace_campaign.h) evaluates byte slices
+ * of a trace file concurrently with this module's TraceCounter and
+ * merges the slices deterministically.
+ */
+#ifndef VDRAM_PROTOCOL_TRACE_STREAM_H
+#define VDRAM_PROTOCOL_TRACE_STREAM_H
+
+#include <array>
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "core/spec.h"
+#include "power/pattern_power.h"
+#include "protocol/bank_fsm.h"
+#include "protocol/timing.h"
+#include "util/result.h"
+
+namespace vdram {
+
+/** Streaming evaluation options. */
+struct TraceStreamOptions {
+    /** Timeline window length in cycles; 0 disables the timeline. */
+    long long windowCycles = 0;
+    /** Reader chunk size in bytes (test hook; boundaries may split
+     *  lines and records arbitrarily). */
+    size_t chunkBytes = 256 * 1024;
+    /** Drive the bank FSMs over the trace and report violations. */
+    bool check = false;
+    /** Number of banks for the protocol check. */
+    int banks = 8;
+    /** Timing parameters for the protocol check. */
+    TimingParams timing;
+    /** Retain at most this many violations (all are counted). */
+    size_t maxViolations = 32;
+};
+
+/** Exact per-op occurrence counts (Op::Nop cycles are implicit). */
+struct OpCounts {
+    std::array<long long, kOpCount> n{};
+
+    void add(Op op) { ++n[static_cast<size_t>(op)]; }
+    void merge(const OpCounts& other)
+    {
+        for (int i = 0; i < kOpCount; ++i)
+            n[static_cast<size_t>(i)] += other.n[static_cast<size_t>(i)];
+    }
+    long long commandCycles() const
+    {
+        long long sum = 0;
+        for (int i = 0; i < kOpCount; ++i)
+            sum += n[static_cast<size_t>(i)];
+        return sum;
+    }
+};
+
+/** Op counts of one absolute timeline window. */
+struct WindowCounts {
+    /** Window index: cycle / windowCycles. */
+    long long index = 0;
+    OpCounts ops;
+};
+
+/**
+ * Counts accumulated over one contiguous cycle range of a trace (the
+ * whole trace in serial mode, one byte slice in parallel mode).
+ */
+struct TraceSliceCounts {
+    /** Cycle of the first / last record; -1 when the slice is empty. */
+    long long firstCycle = -1;
+    long long lastCycle = -1;
+    /** Command records consumed (including NOP markers). */
+    long long commands = 0;
+    OpCounts total;
+    /** Ascending window index; only windows a record landed in. */
+    std::vector<WindowCounts> windows;
+};
+
+/** One window of the phase-resolved timeline. */
+struct TraceWindow {
+    long long startCycle = 0;
+    /** Window length (windowCycles except for the final window). */
+    long long cycles = 0;
+    /** Per-window stats; feeds computePatternPowerFromStats(). */
+    PatternStats stats;
+};
+
+/** Result of a streaming trace evaluation. */
+struct TraceStreamResult {
+    /** Trace length in cycles (last record's cycle + 1). */
+    long long cycles = 0;
+    /** Command records consumed. */
+    long long commands = 0;
+    /** Whole-trace stats; feeds computePatternPowerFromStats(). */
+    PatternStats stats;
+    /** Timeline (empty unless options.windowCycles > 0). */
+    std::vector<TraceWindow> windows;
+    /** First maxViolations protocol violations (options.check). */
+    std::vector<TimingViolation> violations;
+    /** Total violations detected (may exceed violations.size()). */
+    long long violationCount = 0;
+};
+
+/**
+ * Incremental record counter: feed strictly increasing (cycle, op)
+ * records; the gap before each record is implicit NOP cycles. Used by
+ * the serial reader and by every parallel slice task.
+ */
+class TraceCounter {
+  public:
+    explicit TraceCounter(long long windowCycles = 0)
+        : windowCycles_(windowCycles)
+    {
+    }
+
+    /** Consume one record. @p line is for the error message only (pass
+     *  0 when unknown, e.g. in a byte-sliced parallel task). */
+    Status feed(long long cycle, Op op, long long line = 0);
+
+    const TraceSliceCounts& counts() const { return counts_; }
+    TraceSliceCounts takeCounts() { return std::move(counts_); }
+
+  private:
+    long long windowCycles_;
+    TraceSliceCounts counts_;
+};
+
+/**
+ * Merge per-slice counts (ascending, non-overlapping cycle ranges, in
+ * trace order) into the final result. Verifies cycle monotonicity
+ * across slice boundaries; window stats and NOP counts are derived
+ * from the merged geometry, so the merge is deterministic and exact —
+ * serial and parallel evaluation produce identical bits.
+ */
+Result<TraceStreamResult> mergeTraceSlices(
+    const std::vector<TraceSliceCounts>& slices, long long windowCycles);
+
+/**
+ * Parse one trace line (comments stripped, tokens case-insensitive).
+ * Returns true and fills @p cycle / @p op for a record, false for a
+ * blank/comment line; a syntax defect is an error. Allocation-free.
+ */
+Result<bool> parseTraceLine(const char* begin, const char* end,
+                            long long& cycle, Op& op);
+
+/** Evaluate a command-trace stream incrementally. */
+Result<TraceStreamResult> evaluateTraceStream(
+    std::istream& in, const TraceStreamOptions& options);
+
+/** Evaluate a command-trace file incrementally. */
+Result<TraceStreamResult> evaluateTraceStreamFile(
+    const std::string& path, const TraceStreamOptions& options);
+
+/**
+ * Linear protocol checker: the bank FSMs of checkPattern() driven once
+ * over a transcript (no unrolling, no warm-up forgiveness). State —
+ * open banks, rolling activate window, per-bank timers — persists
+ * across feed() calls, so chunk boundaries never reset it.
+ */
+class StreamChecker {
+  public:
+    StreamChecker(const TimingParams& timing, int banks,
+                  size_t maxViolations);
+
+    /** Apply one record (gaps are idle cycles; call in trace order). */
+    void apply(long long cycle, Op op);
+
+    const std::vector<TimingViolation>& violations() const
+    {
+        return violations_;
+    }
+    long long violationCount() const { return violationCount_; }
+
+  private:
+    void report(long long cycle, Op op, const char* rule,
+                std::string detail);
+
+    TimingParams timing_;
+    size_t maxViolations_;
+    std::vector<BankFsm> fsms_;
+    std::vector<int> openBanks_; // FIFO of open bank indices
+    std::vector<long long> activateTimes_; // rolling last-8 window
+    int nextActivateBank_ = 0;
+    long long lastColumn_ = -1'000'000;
+    std::vector<TimingViolation> violations_;
+    long long violationCount_ = 0;
+};
+
+} // namespace vdram
+
+#endif // VDRAM_PROTOCOL_TRACE_STREAM_H

@@ -7,12 +7,65 @@
 #include <filesystem>
 #include <fstream>
 
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "util/json.h"
 #include "util/strings.h"
 
 namespace vdram {
 
 namespace {
+
+/**
+ * Flush @p path (a file or its containing directory) to stable
+ * storage. An atomic-rename checkpoint needs BOTH: fsync of the temp
+ * file so the renamed file has its contents after power loss, and
+ * fsync of the directory so the rename itself is durable — otherwise
+ * the "crash-safe" checkpoint can come back empty or truncated.
+ */
+Status
+syncPath(const std::string& path, bool directory)
+{
+#if defined(_WIN32)
+    (void)path;
+    (void)directory;
+    return Status::okStatus();
+#else
+    int flags = O_RDONLY;
+#if defined(O_DIRECTORY)
+    if (directory)
+        flags |= O_DIRECTORY;
+#else
+    (void)directory;
+#endif
+    int fd = ::open(path.c_str(), flags);
+    if (fd < 0) {
+        return Error{"cannot open '" + path +
+                         "' for fsync: " + std::strerror(errno),
+                     0, 0, path, "E-CKPT-WRITE"};
+    }
+    Status status = Status::okStatus();
+    if (::fsync(fd) != 0) {
+        status = Error{"cannot fsync '" + path +
+                           "': " + std::strerror(errno),
+                       0, 0, path, "E-CKPT-WRITE"};
+    }
+    ::close(fd);
+    return status;
+#endif
+}
+
+/** Containing directory of @p path ("." when it has none). */
+std::string
+parentDirectory(const std::string& path)
+{
+    std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    return parent.empty() ? std::string(".") : parent.string();
+}
 
 /**
  * Minimal parser for the flat JSON objects this module itself writes
@@ -245,12 +298,17 @@ consolidateCheckpoint(const std::string& path,
                          0, 0, tmp, "E-CKPT-WRITE"};
         }
     }
+    // Contents must be durable before the rename publishes the file,
+    // and the rename must be durable before we report success.
+    Status synced = syncPath(tmp, false);
+    if (!synced.ok())
+        return synced;
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         return Error{"cannot rename '" + tmp + "' to '" + path +
                          "': " + std::strerror(errno),
                      0, 0, path, "E-CKPT-WRITE"};
     }
-    return Status::okStatus();
+    return syncPath(parentDirectory(path), true);
 }
 
 CheckpointWriter::~CheckpointWriter()
@@ -292,6 +350,13 @@ void
 CheckpointWriter::close()
 {
     if (file_) {
+        // Records already hit the OS on every append (fflush); push
+        // them to stable storage before releasing the handle so a
+        // completed run's checkpoint survives power loss.
+        std::fflush(file_);
+#if !defined(_WIN32)
+        ::fsync(::fileno(file_));
+#endif
         std::fclose(file_);
         file_ = nullptr;
     }

@@ -1,5 +1,7 @@
 #include "util/units.h"
 
+#include <charconv>
+#include <clocale>
 #include <cmath>
 #include <cstdlib>
 #include <map>
@@ -9,6 +11,42 @@
 namespace vdram {
 
 namespace {
+
+/**
+ * Parse a double at [begin, end) independent of LC_NUMERIC: strtod
+ * honors the locale's decimal separator, so under a comma-decimal
+ * locale (de_DE et al.) it stops at the '.' in "1.5ns" and every
+ * description value silently loses its fraction. std::from_chars is
+ * locale-independent by specification. Returns the end of the number,
+ * or nullptr when no number was parsed.
+ */
+const char*
+parseLocaleIndependentDouble(const char* begin, const char* end,
+                             double& value)
+{
+    const char* p = begin;
+    if (p != end && *p == '+')
+        ++p; // from_chars rejects the leading '+' strtod accepted
+#if defined(__cpp_lib_to_chars)
+    auto [ptr, ec] = std::from_chars(p, end, value);
+    if ((ec != std::errc{} && ec != std::errc::result_out_of_range) ||
+        ptr == p)
+        return nullptr;
+    return ptr;
+#else
+    // Toolchains without floating-point from_chars fall back to strtod,
+    // which is only correct under a '.'-decimal locale — refuse to
+    // misparse rather than guess under anything else.
+    const char* dp = std::localeconv()->decimal_point;
+    if (dp == nullptr || dp[0] != '.' || dp[1] != '\0')
+        return nullptr;
+    char* num_end = nullptr;
+    value = std::strtod(p, &num_end);
+    if (num_end == p)
+        return nullptr;
+    return num_end;
+#endif
+}
 
 struct UnitInfo {
     double scale;
@@ -137,12 +175,14 @@ parseQuantity(std::string_view text)
         return Error{"empty quantity"};
 
     const char* begin = s.c_str();
-    char* end = nullptr;
-    double value = std::strtod(begin, &end);
-    if (end == begin)
+    const char* s_end = begin + s.size();
+    double value = 0;
+    const char* end = parseLocaleIndependentDouble(begin, s_end, value);
+    if (end == nullptr)
         return Error{"expected a number in '" + s + "'"};
 
-    std::string suffix = trim(std::string_view(end));
+    std::string suffix = trim(
+        std::string_view(end, static_cast<size_t>(s_end - end)));
     if (suffix.empty())
         return Quantity{value, Dimension::Dimensionless};
 

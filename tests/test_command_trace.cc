@@ -87,5 +87,23 @@ TEST(CommandTraceTest, MissingFileReported)
     EXPECT_FALSE(loadCommandTraceFile("/nonexistent.cmd").ok());
 }
 
+TEST(CommandTraceTest, RejectsDenseExpansionOverCap)
+{
+    // Dense replay allocates one Op per cycle up to the last record; a
+    // single huge cycle number used to allocate gigabytes. It must be
+    // rejected with a diagnostic pointing at the streaming path.
+    Result<Pattern> r = parseCommandTrace("0 ACT\n9999999999 PRE\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, "E-TRACE-TOO-LONG");
+    EXPECT_EQ(r.error().line, 2);
+    EXPECT_NE(r.error().message.find("vdram trace"), std::string::npos);
+
+    // A custom cap applies, and records under it still parse.
+    EXPECT_FALSE(parseCommandTrace("100 ACT\n", 100).ok());
+    EXPECT_TRUE(parseCommandTrace("99 ACT\n", 100).ok());
+    // Cap 0 disables the guard (library callers that pre-validate).
+    EXPECT_TRUE(parseCommandTrace("200 ACT\n", 0).ok());
+}
+
 } // namespace
 } // namespace vdram

@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <set>
@@ -245,6 +246,39 @@ TEST(CheckpointTest, ConsolidateReplacesAtomically)
     ASSERT_EQ(loaded.value().size(), 3u);
     EXPECT_EQ(loaded.value()[2].payload, "20");
     std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, ConsolidateSyncsAndRemovesTempFile)
+{
+    // The atomic-rename protocol fsyncs the temp file and its
+    // directory; functionally, success must leave the final file in
+    // place and no ".tmp" behind, including for paths inside a
+    // subdirectory (the directory-fsync path).
+    const std::string dir = tempPath("ckpt_subdir");
+    std::filesystem::create_directories(dir);
+    const std::string path = dir + "/consolidated.jsonl";
+    std::vector<TaskRecord> records(1);
+    records[0].task = 0;
+    records[0].name = "t0";
+    records[0].status = "ok";
+    records[0].payload = "42";
+    ASSERT_TRUE(consolidateCheckpoint(path, records).ok());
+    EXPECT_TRUE(std::filesystem::exists(path));
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+    Result<std::vector<TaskRecord>> loaded = loadCheckpoint(path);
+    ASSERT_TRUE(loaded.ok());
+    ASSERT_EQ(loaded.value().size(), 1u);
+    EXPECT_EQ(loaded.value()[0].payload, "42");
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointTest, ConsolidateIntoMissingDirectoryFails)
+{
+    std::vector<TaskRecord> records;
+    Status status = consolidateCheckpoint(
+        tempPath("no_such_dir") + "/x/y/ckpt.jsonl", records);
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.error().code, "E-CKPT-WRITE");
 }
 
 // ---------------------------------------------------------------------

@@ -5,6 +5,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <string>
+
 #include "util/units.h"
 
 namespace vdram {
@@ -102,6 +105,46 @@ TEST(UnitsTest, ParsesRatios)
     EXPECT_DOUBLE_EQ(parseRatio("2:1").value(), 0.5);
     EXPECT_FALSE(parseRatio("8").ok());
     EXPECT_FALSE(parseRatio("0:8").ok());
+}
+
+TEST(UnitsTest, ParsingIsLocaleIndependent)
+{
+    // strtod honors LC_NUMERIC: under a comma-decimal locale it stops
+    // at the '.' in "1.5ns" and every fractional description value
+    // silently loses its fraction. Quantity parsing must not care.
+    // Containers often ship only the C locale, so try several
+    // comma-decimal candidates and skip the locale-dependent half of
+    // the assertion when none is installed.
+    const char* candidates[] = {"de_DE.UTF-8", "de_DE.utf8", "de_DE",
+                                "fr_FR.UTF-8", "fr_FR.utf8", "fr_FR",
+                                "nl_NL.UTF-8", "pt_BR.UTF-8"};
+    const std::string saved = std::setlocale(LC_NUMERIC, nullptr);
+    const char* active = nullptr;
+    for (const char* name : candidates) {
+        if (std::setlocale(LC_NUMERIC, name) != nullptr &&
+            std::localeconv()->decimal_point[0] == ',') {
+            active = name;
+            break;
+        }
+    }
+    if (active == nullptr) {
+        std::setlocale(LC_NUMERIC, saved.c_str());
+        GTEST_SKIP() << "no comma-decimal locale installed";
+    }
+    Result<Quantity> q = parseQuantity("1.5ns");
+    Result<Quantity> bare = parseQuantity("19.25");
+    std::setlocale(LC_NUMERIC, saved.c_str());
+    ASSERT_TRUE(q.ok()) << q.error().toString() << " under " << active;
+    EXPECT_DOUBLE_EQ(q.value().value, 1.5e-9);
+    ASSERT_TRUE(bare.ok());
+    EXPECT_DOUBLE_EQ(bare.value().value, 19.25);
+}
+
+TEST(UnitsTest, AcceptsExplicitPlusSign)
+{
+    // strtod accepted a leading '+'; the from_chars replacement must
+    // keep doing so.
+    EXPECT_DOUBLE_EQ(parseQuantity("+1.5V").value().value, 1.5);
 }
 
 TEST(UnitsTest, FormatsEngineeringNotation)

@@ -61,6 +61,29 @@ echo "== model fast-path throughput gate =="
     --baseline=../bench/BENCH_model_baseline.json)
 test -s build/BENCH_model.json
 
+echo "== streaming trace throughput gate =="
+# Serial and parallel streaming must stay bit-identical to dense replay
+# and within 20 % of the recorded baseline throughput
+# (bench/BENCH_trace_baseline.json, see docs/traces.md).
+(cd build && ./bench/bench_trace_throughput \
+    --baseline=../bench/BENCH_trace_baseline.json)
+test -s build/BENCH_trace.json
+
+echo "== streaming bounded-memory smoke (100M-cycle trace) =="
+# Dense replay of this trace would need a ~400 MB Op vector and is
+# rejected (E-TRACE-TOO-LONG); the streamer must evaluate it inside a
+# 256 MiB address-space limit.
+awk 'BEGIN {
+    for (i = 0; i < 199999; ++i) printf "%d ACT\n%d PRE\n", i*500, i*500+20
+    print "99999999 NOP"
+}' > "$smokedir/long.trace"
+(
+    ulimit -v 262144
+    "$cli" trace preset:ddr3_1g_55 "$smokedir/long.trace" --serial \
+        > "$smokedir/long.txt"
+)
+grep -q "streamed 100000000 cycles" "$smokedir/long.txt"
+
 echo "== line-coverage gate =="
 # gcov-instrumented build + full suite; per-directory table in the log,
 # total gated against tools/coverage_baseline.txt (see tools/coverage.sh).

@@ -57,6 +57,8 @@
 #include "protocol/controller.h"
 #include "protocol/command_trace.h"
 #include "protocol/trace.h"
+#include "protocol/trace_stream.h"
+#include "runner/trace_campaign.h"
 #include "util/json.h"
 #include "util/metrics.h"
 #include "util/numerics.h"
@@ -156,6 +158,16 @@ printUsage(std::FILE* out)
         "                            emit a synthetic trace to stdout\n"
         "  replay <target> <cmdtrace>\n"
         "                            evaluate a timed command trace\n"
+        "                            (dense; capped — see trace)\n"
+        "  trace <target> <cmdtrace> [--window=N] "
+        "[--format=text|csv|json]\n"
+        "                            [--check] [--serial]\n"
+        "                            stream a timed command trace in\n"
+        "                            bounded memory; --jobs=N counts\n"
+        "                            slices in parallel; --window=N\n"
+        "                            adds a per-window power timeline;\n"
+        "                            --check runs the protocol check\n"
+        "                            (serial)\n"
         "  help                      print this text (also --help)\n"
         "flags:\n"
         "  --lint                    parse + validate the target, report\n"
@@ -786,6 +798,196 @@ cmdGenTrace(const DramDescription& desc, const std::string& kind,
     return 0;
 }
 
+/**
+ * `vdram trace`: streaming command-trace evaluation. Serial by default
+ * (and always serial with --check: bank-FSM state threads through the
+ * whole trace); --jobs=0/N routes line-aligned byte slices through the
+ * batch runner and merges the integer counts, bit-identical to the
+ * serial result.
+ */
+int
+cmdTrace(const DramDescription& desc, CampaignFlags flags, int argc,
+         char** argv)
+{
+    const std::string path = argv[0];
+    long long window = 0;
+    std::string format = "text";
+    bool check = false;
+    bool serial = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (startsWith(arg, "--window=")) {
+            if (!parseCount(arg.substr(9), 1, 1LL << 62, window)) {
+                std::fprintf(stderr,
+                             "--window must be a positive cycle count, "
+                             "got '%s'\n",
+                             arg.substr(9).c_str());
+                return kExitUsage;
+            }
+        } else if (startsWith(arg, "--format=")) {
+            format = arg.substr(9);
+        } else if (arg == "--check") {
+            check = true;
+        } else if (arg == "--serial") {
+            serial = true;
+        } else {
+            std::fprintf(stderr, "unknown argument '%s' for trace\n",
+                         arg.c_str());
+            return kExitUsage;
+        }
+    }
+    if (format != "text" && format != "csv" && format != "json") {
+        std::fprintf(stderr, "unknown trace format '%s' (text|csv|json)\n",
+                     format.c_str());
+        return kExitUsage;
+    }
+    if (format == "csv" && window <= 0) {
+        std::fprintf(stderr,
+                     "--format=csv emits the per-window timeline and "
+                     "needs --window=N\n");
+        return kExitUsage;
+    }
+
+    installDrainHandler(flags.runner);
+
+    const bool parallel = !serial && !check && flags.runner.jobs != 1;
+    DiagnosticEngine diags;
+    TraceStreamResult result;
+    RunReport report;
+    bool have_report = false;
+    if (parallel) {
+        TraceCampaignOptions options;
+        options.windowCycles = window;
+        options.jobs = flags.runner.jobs;
+        options.stopFlag = flags.runner.stopFlag;
+        Result<TraceCampaignResult> campaign =
+            evaluateTraceFileParallel(path, options, &diags);
+        if (!campaign.ok()) {
+            printDiagnostics(diags, DiagOptions{});
+            std::fprintf(stderr, "%s\n",
+                         campaign.error().toString().c_str());
+            return campaign.error().code == "E-RUNNER-STOP"
+                       ? kExitPartial
+                       : kExitRuntime;
+        }
+        result = std::move(campaign.value().trace);
+        report = campaign.value().report;
+        have_report = true;
+    } else {
+        TraceStreamOptions options;
+        options.windowCycles = window;
+        options.check = check;
+        options.banks = desc.spec.banks();
+        options.timing = desc.timing;
+        Result<TraceStreamResult> streamed =
+            evaluateTraceStreamFile(path, options);
+        if (!streamed.ok()) {
+            std::fprintf(stderr, "%s\n",
+                         streamed.error().toString().c_str());
+            return kExitRuntime;
+        }
+        result = std::move(streamed).value();
+    }
+
+    DramPowerModel model(desc);
+    const double tck = desc.timing.tCkSeconds;
+    PatternPower power = computePatternPowerFromStats(
+        result.stats, model.operations(), desc.elec, tck, desc.spec);
+
+    if (check) {
+        if (result.violationCount == 0) {
+            std::fprintf(stderr, "trace is protocol-clean\n");
+        } else {
+            std::fprintf(stderr, "%lld protocol violation(s):\n",
+                         result.violationCount);
+            for (const TimingViolation& v : result.violations) {
+                std::fprintf(stderr, "  cycle %lld %s: %s (%s)\n",
+                             v.cycle, opName(v.op).c_str(),
+                             v.rule.c_str(), v.detail.c_str());
+            }
+            const long long shown =
+                static_cast<long long>(result.violations.size());
+            if (shown < result.violationCount) {
+                std::fprintf(stderr, "  ... and %lld more\n",
+                             result.violationCount - shown);
+            }
+        }
+    }
+
+    auto window_power = [&](const TraceWindow& w) {
+        return computePatternPowerFromStats(
+            w.stats, model.operations(), desc.elec, tck, desc.spec);
+    };
+
+    if (format == "json") {
+        JsonWriter json;
+        json.beginObject();
+        json.key("cycles").value(result.cycles);
+        json.key("commands").value(result.commands);
+        json.key("loop_time_s").value(power.loopTime);
+        json.key("external_current_a").value(power.externalCurrent);
+        json.key("power_w").value(power.power);
+        json.key("energy_per_bit_j").value(power.energyPerBit);
+        json.key("bus_utilization").value(power.busUtilization);
+        if (check)
+            json.key("violations").value(result.violationCount);
+        if (window > 0) {
+            json.key("window_cycles").value(window);
+            json.key("windows").beginArray();
+            for (const TraceWindow& w : result.windows) {
+                PatternPower wp = window_power(w);
+                json.beginObject();
+                json.key("start_cycle").value(w.startCycle);
+                json.key("cycles").value(w.cycles);
+                json.key("external_current_a").value(wp.externalCurrent);
+                json.key("power_w").value(wp.power);
+                json.key("energy_j").value(wp.power * wp.loopTime);
+                json.endObject();
+            }
+            json.endArray();
+        }
+        json.endObject();
+        std::printf("%s\n", json.str().c_str());
+    } else if (format == "csv") {
+        std::printf("window,start_cycle,cycles,current_a,power_w,"
+                    "energy_j\n");
+        for (size_t i = 0; i < result.windows.size(); ++i) {
+            const TraceWindow& w = result.windows[i];
+            PatternPower wp = window_power(w);
+            std::printf("%zu,%lld,%lld,%.9g,%.9g,%.9g\n", i,
+                        w.startCycle, w.cycles, wp.externalCurrent,
+                        wp.power, wp.power * wp.loopTime);
+        }
+    } else {
+        std::printf("streamed %lld cycles (%lld commands): current %s, "
+                    "power %s, %.1f pJ/bit\n\n%s",
+                    result.cycles, result.commands,
+                    formatEng(power.externalCurrent, "A").c_str(),
+                    formatEng(power.power, "W").c_str(),
+                    power.energyPerBit * 1e12,
+                    renderBreakdown(power).c_str());
+        if (window > 0 && !result.windows.empty()) {
+            Table table({"window", "start cycle", "cycles", "current",
+                         "power"});
+            for (size_t i = 0; i < result.windows.size(); ++i) {
+                const TraceWindow& w = result.windows[i];
+                PatternPower wp = window_power(w);
+                table.addRow(
+                    {strformat("%zu", i), strformat("%lld", w.startCycle),
+                     strformat("%lld", w.cycles),
+                     formatEng(wp.externalCurrent, "A"),
+                     formatEng(wp.power, "W")});
+            }
+            std::printf("\n%s", table.render().c_str());
+        }
+    }
+    if (have_report) {
+        printRunReport(report, diags, flags.explicitFlags);
+        return exitCodeFor(report);
+    }
+    return kExitOk;
+}
+
 int
 cmdTrends(CampaignFlags flags, bool csv)
 {
@@ -830,6 +1032,11 @@ commandOwnsFlag(const std::string& command, const std::string& arg)
         return arg == "--csv";
     if (command == "workload")
         return arg == "--closed";
+    if (command == "trace") {
+        return startsWith(arg, "--window=") ||
+               startsWith(arg, "--format=") || arg == "--check" ||
+               arg == "--serial";
+    }
     if (command == "montecarlo") {
         return startsWith(arg, "--samples=") ||
                startsWith(arg, "--seed=") || arg == "--json";
@@ -1074,6 +1281,8 @@ runCli(int argc, char** argv)
         long long count = argc > 4 ? std::atoll(argv[4]) : 1000;
         return cmdGenTrace(desc, argv[3], count);
     }
+    if (command == "trace" && argc > 3)
+        return cmdTrace(desc, campaign, argc - 3, argv + 3);
     if (command == "replay" && argc > 3) {
         Result<Pattern> trace = loadCommandTraceFile(argv[3]);
         if (!trace.ok()) {
