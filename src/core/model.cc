@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <stdexcept>
 
 #include "circuit/logic_block.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -103,6 +106,19 @@ DramPowerModel::build()
 void
 DramPowerModel::rebuildStages(StageMask stages)
 {
+    // Failpoint `model.rebuild` — a "poisoned model". The only failure
+    // channel of a stage rebuild is an exception, so both Error and
+    // Crash throw; callers (runner quarantine, serve request isolation)
+    // must contain it without dying.
+    FailpointHit hit = failpointHit("model.rebuild");
+    if (hit.action == FailpointAction::Error ||
+        hit.action == FailpointAction::Crash) {
+        throw std::runtime_error(
+            "injected failure at failpoint 'model.rebuild'");
+    }
+    if (hit.action == FailpointAction::Abort)
+        std::abort();
+
     if (stages & kStageGeometry) {
         StageScope scope(kStageIdxGeometry);
         geometry_ = computeArrayGeometry(desc_.arch, desc_.spec);

@@ -2,10 +2,13 @@
 
 #include <charconv>
 #include <climits>
+#include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 
 #include <fstream>
 
+#include "util/failpoint.h"
 #include "util/metrics.h"
 #include "util/strings.h"
 #include "util/trace.h"
@@ -432,6 +435,25 @@ evaluateTraceStream(std::istream& in, const TraceStreamOptions& options)
     };
 
     while (failure.ok() && in.good()) {
+        // Failpoint `trace.stream`: PartialWrite simulates a mid-stream
+        // read failure (the bad-stream check after the loop reports it).
+        FailpointHit hit = failpointHit("trace.stream");
+        if (hit.action == FailpointAction::Error) {
+            failure = Error{"injected read failure at failpoint "
+                            "'trace.stream'",
+                            0, 0, "", "E-IO-READ"};
+            break;
+        }
+        if (hit.action == FailpointAction::Crash) {
+            throw std::runtime_error(
+                "injected crash at failpoint 'trace.stream'");
+        }
+        if (hit.action == FailpointAction::Abort)
+            std::abort();
+        if (hit.action == FailpointAction::PartialWrite) {
+            in.setstate(std::ios::badbit); // injected device failure
+            break;
+        }
         in.read(buffer.data(),
                 static_cast<std::streamsize>(buffer.size()));
         const std::streamsize got = in.gcount();
@@ -465,6 +487,14 @@ evaluateTraceStream(std::istream& in, const TraceStreamOptions& options)
             failure = process_line(data + pos, line_end);
             pos = static_cast<size_t>(line_end - data) + 1;
         }
+    }
+    // A loop exit without reaching end-of-stream is a device-level read
+    // failure; counting what arrived as a complete trace would silently
+    // underestimate every energy figure derived from it.
+    if (failure.ok() && in.bad()) {
+        failure = Error{"command trace stream failed mid-read after " +
+                            std::to_string(chunk_count) + " chunk(s)",
+                        0, 0, "", "E-IO-READ"};
     }
     if (failure.ok() && !carry.empty())
         failure = process_line(carry.data(), carry.data() + carry.size());

@@ -6,12 +6,14 @@
 
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
 
 #if !defined(_WIN32)
 #include <fcntl.h>
 #include <unistd.h>
 #endif
 
+#include "util/failpoint.h"
 #include "util/json.h"
 #include "util/strings.h"
 
@@ -282,19 +284,60 @@ Status
 consolidateCheckpoint(const std::string& path,
                       const std::vector<TaskRecord>& records)
 {
+    // Failpoint `ckpt.consolidate`: Error fails before anything is
+    // written, PartialWrite tears the temp file (the short-write check
+    // below must catch it), Abort kills the process after the temp file
+    // is durable but before the rename publishes it — the worst instant
+    // for a kill -9, which the prior checkpoint must survive.
+    FailpointHit hit = failpointHit("ckpt.consolidate");
+    if (hit.action == FailpointAction::Error) {
+        return Error{"injected consolidation failure at failpoint "
+                     "'ckpt.consolidate'",
+                     0, 0, path, "E-CKPT-WRITE"};
+    }
+    if (hit.action == FailpointAction::Crash) {
+        throw std::runtime_error(
+            "injected crash at failpoint 'ckpt.consolidate'");
+    }
+
+    std::string content;
+    for (const TaskRecord& record : records) {
+        content += formatTaskRecord(record);
+        content += '\n';
+    }
+
     std::string tmp = path + ".tmp";
     {
-        std::ofstream out(tmp, std::ios::trunc);
+        std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
         if (!out.is_open()) {
             return Error{"cannot write checkpoint '" + tmp +
                              "': " + std::strerror(errno),
                          0, 0, tmp, "E-CKPT-WRITE"};
         }
-        for (const TaskRecord& record : records)
-            out << formatTaskRecord(record) << '\n';
+        std::size_t to_write = content.size();
+        if (hit.action == FailpointAction::PartialWrite)
+            to_write /= 2; // injected torn temp file
+        errno = 0;
+        out.write(content.data(),
+                  static_cast<std::streamsize>(to_write));
         out.flush();
-        if (!out.good()) {
-            return Error{"short write to checkpoint '" + tmp + "'",
+        // A full disk (ENOSPC) or failing device shows up either as a
+        // bad stream or as a short position; both must fail loudly —
+        // renaming a truncated temp file over a good checkpoint would
+        // destroy resumability silently.
+        long long written =
+            out.good() ? static_cast<long long>(out.tellp()) : -1;
+        if (written != static_cast<long long>(content.size())) {
+            int err = errno;
+            std::remove(tmp.c_str());
+            return Error{"short write to checkpoint '" + tmp + "' (" +
+                             std::to_string(written < 0 ? 0 : written) +
+                             " of " + std::to_string(content.size()) +
+                             " bytes" +
+                             (err ? std::string(": ") +
+                                        std::strerror(err)
+                                  : std::string()) +
+                             ")",
                          0, 0, tmp, "E-CKPT-WRITE"};
         }
     }
@@ -303,6 +346,8 @@ consolidateCheckpoint(const std::string& path,
     Status synced = syncPath(tmp, false);
     if (!synced.ok())
         return synced;
+    if (hit.action == FailpointAction::Abort)
+        std::abort(); // kill -9 between temp durability and publish
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         return Error{"cannot rename '" + tmp + "' to '" + path +
                          "': " + std::strerror(errno),
@@ -338,9 +383,46 @@ CheckpointWriter::append(const TaskRecord& record)
                      "E-CKPT-WRITE"};
     std::string line = formatTaskRecord(record);
     line += '\n';
-    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
-        std::fflush(file_) != 0) {
-        return Error{"short write to checkpoint '" + path_ + "'",
+    // Failpoint `ckpt.append`, evaluated mid-record: Abort leaves a
+    // genuinely torn trailing line (what a kill -9 here does, and what
+    // loadCheckpoint's truncation tolerance must absorb); PartialWrite
+    // is the same tear but the process lives, so the caller must see
+    // the short write reported, not a silent half-record.
+    FailpointHit hit = failpointHit("ckpt.append");
+    if (hit.action == FailpointAction::Error) {
+        return Error{"injected write failure at failpoint 'ckpt.append'",
+                     0, 0, path_, "E-CKPT-WRITE"};
+    }
+    if (hit.action == FailpointAction::Crash) {
+        throw std::runtime_error(
+            "injected crash at failpoint 'ckpt.append'");
+    }
+    if (hit.action == FailpointAction::Abort ||
+        hit.action == FailpointAction::PartialWrite) {
+        std::size_t half = line.size() / 2;
+        std::fwrite(line.data(), 1, half, file_);
+        std::fflush(file_);
+        if (hit.action == FailpointAction::Abort)
+            std::abort(); // kill -9 mid-record
+        return Error{"short write to checkpoint '" + path_ + "' (" +
+                         std::to_string(half) + " of " +
+                         std::to_string(line.size()) +
+                         " bytes, injected)",
+                     0, 0, path_, "E-CKPT-WRITE"};
+    }
+    errno = 0;
+    std::size_t written =
+        std::fwrite(line.data(), 1, line.size(), file_);
+    if (written != line.size() || std::fflush(file_) != 0) {
+        // ENOSPC and friends surface here; the runner degrades the
+        // campaign to non-resumable instead of silently truncating.
+        int err = errno;
+        return Error{"short write to checkpoint '" + path_ + "' (" +
+                         std::to_string(written) + " of " +
+                         std::to_string(line.size()) + " bytes" +
+                         (err ? std::string(": ") + std::strerror(err)
+                              : std::string()) +
+                         ")",
                      0, 0, path_, "E-CKPT-WRITE"};
     }
     return Status::okStatus();

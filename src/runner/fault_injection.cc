@@ -1,7 +1,6 @@
 #include "runner/fault_injection.h"
 
-#include <cstdlib>
-
+#include "util/failpoint.h"
 #include "util/numerics.h"
 #include "util/strings.h"
 
@@ -31,18 +30,29 @@ FaultPlan::shouldFault(std::uint64_t taskSeed) const
 Result<FaultPlan>
 parseFaultPlan(const std::string& spec)
 {
+    // DEPRECATED alias: `--inject-fault=RATE[:KIND]` is legacy surface
+    // for the named failpoint framework (util/failpoint.h). The spec is
+    // translated to the equivalent `runner.task=ACTION@RATE` entry and
+    // validated by the framework's parser, so both syntaxes accept the
+    // same rates; the seed-deterministic per-task decision
+    // (FaultPlan::shouldFault) is unchanged, keeping existing campaigns
+    // byte-identical. New scripts should set VDRAM_FAILPOINTS instead.
     FaultPlan plan;
     std::string rate_text = spec;
+    std::string action = "error";
     size_t colon = spec.find(':');
     if (colon != std::string::npos) {
         rate_text = spec.substr(0, colon);
         std::string kind = toLower(trim(spec.substr(colon + 1)));
         if (kind == "error") {
             plan.kind = FaultKind::Error;
+            action = "error";
         } else if (kind == "timeout") {
             plan.kind = FaultKind::Timeout;
+            action = "stall";
         } else if (kind == "crash") {
             plan.kind = FaultKind::Crash;
+            action = "crash";
         } else {
             return Error{"unknown fault kind '" + kind +
                              "' (error|timeout|crash)",
@@ -50,15 +60,14 @@ parseFaultPlan(const std::string& spec)
         }
     }
     rate_text = trim(rate_text);
-    char* end = nullptr;
-    double rate = std::strtod(rate_text.c_str(), &end);
-    if (rate_text.empty() || end != rate_text.c_str() + rate_text.size() ||
-        !(rate >= 0.0) || !(rate <= 1.0)) {
+    Result<std::vector<FailpointConfig>> parsed =
+        parseFailpointSpec("runner.task=" + action + "@" + rate_text);
+    if (!parsed.ok() || parsed.value().size() != 1) {
         return Error{"fault rate '" + rate_text +
                          "' must be a number in [0, 1]",
                      0, 0, "", "E-FAULT-SPEC"};
     }
-    plan.rate = rate;
+    plan.rate = parsed.value()[0].rate;
     return plan;
 }
 

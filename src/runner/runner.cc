@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <fstream>
 #include <mutex>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
 #include "runner/checkpoint.h"
+#include "util/failpoint.h"
 #include "util/json.h"
 #include "util/metrics.h"
 #include "util/strings.h"
@@ -20,14 +23,6 @@ namespace vdram {
 namespace {
 
 using Clock = std::chrono::steady_clock;
-
-std::int64_t
-nowNanos()
-{
-    return std::chrono::duration_cast<std::chrono::nanoseconds>(
-               Clock::now().time_since_epoch())
-        .count();
-}
 
 double
 secondsSince(Clock::time_point start)
@@ -180,15 +175,6 @@ effectiveJobCount(int jobs)
     return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
-/** Watchdog view of one worker thread's in-flight task. */
-struct BatchRunner::WorkerSlot {
-    /** Deadline of the current task in steady-clock nanos; 0 = idle or
-     *  no deadline armed. */
-    std::atomic<std::int64_t> deadlineNanos{0};
-    /** Raised by the watchdog when the deadline passes. */
-    std::atomic<bool> cancel{false};
-};
-
 BatchRunner::BatchRunner(std::vector<TaskSpec> manifest, TaskFn fn,
                          RunnerOptions options)
     : manifest_(std::move(manifest)), fn_(std::move(fn)),
@@ -206,6 +192,38 @@ BatchRunner::stopRequested() const
 Result<std::string>
 BatchRunner::invokeOnce(const TaskContext& context)
 {
+    // The named-failpoint site for task invocation. Error is reported
+    // transient (exercises the retry ladder like the legacy FaultPlan);
+    // Stall blocks until the watchdog cancels, bounded like the
+    // FaultKind::Timeout path below.
+    FailpointHit hit = failpointHit("runner.task", context.seed);
+    if (hit.fired()) {
+        if (metricsEnabled())
+            runnerInstruments().faults.add();
+        switch (hit.action) {
+        case FailpointAction::Error:
+            return Error{strformat("injected failpoint fault "
+                                   "(task %lld, attempt %d)",
+                                   context.index, context.attempt),
+                         0, 0, "", "T-FAULT-INJECT"};
+        case FailpointAction::Crash:
+            throw std::runtime_error(strformat(
+                "injected failpoint crash (task %lld)", context.index));
+        case FailpointAction::Stall: {
+            double cap = options_.taskTimeoutSeconds > 0
+                             ? options_.taskTimeoutSeconds * 4
+                             : 0.2;
+            Clock::time_point start = Clock::now();
+            while (!context.cancelled() && secondsSince(start) < cap)
+                sleepSeconds(0.001);
+            return Error{strformat("injected failpoint stall (task %lld)",
+                                   context.index),
+                         0, 0, "", "T-FAULT-STALL"};
+        }
+        case FailpointAction::Abort: std::abort();
+        default: break; // Delay already slept; PartialWrite is n/a here
+        }
+    }
     if (options_.faultPlan.shouldFault(context.seed)) {
         if (metricsEnabled())
             runnerInstruments().faults.add();
@@ -237,8 +255,7 @@ BatchRunner::invokeOnce(const TaskContext& context)
 }
 
 TaskResult
-BatchRunner::executeTask(long long index, int slot_index,
-                         WorkerSlot& slot)
+BatchRunner::executeTask(long long index, WorkerPool::JobContext& job)
 {
     TaskResult result;
     result.index = index;
@@ -250,22 +267,16 @@ BatchRunner::executeTask(long long index, int slot_index,
 
     for (int attempt = 1;; ++attempt) {
         result.attempts = attempt;
-        slot.cancel.store(false, std::memory_order_release);
-        if (options_.taskTimeoutSeconds > 0) {
-            slot.deadlineNanos.store(
-                nowNanos() + static_cast<std::int64_t>(
-                                 options_.taskTimeoutSeconds * 1e9),
-                std::memory_order_release);
-        }
+        // Re-arm per attempt: clears a previous cancellation and starts
+        // a fresh deadline against the pool's watchdog.
+        job.armDeadline(options_.taskTimeoutSeconds);
 
         TaskContext context;
         context.index = index;
         context.attempt = attempt;
         context.seed = result.spec.seed;
-        context.worker = slot_index;
-        context.cancelled = [&slot] {
-            return slot.cancel.load(std::memory_order_acquire);
-        };
+        context.worker = job.worker();
+        context.cancelled = [&job] { return job.cancelled(); };
 
         Error error;
         bool threw = false;
@@ -288,9 +299,9 @@ BatchRunner::executeTask(long long index, int slot_index,
             error = Error{"uncaught non-standard exception", 0, 0, "",
                           "E-RUNNER-CRASH"};
         }
-        slot.deadlineNanos.store(0, std::memory_order_release);
+        job.clearDeadline();
 
-        if (slot.cancel.load(std::memory_order_acquire)) {
+        if (job.cancelled()) {
             // The watchdog fired while this attempt ran; whatever the
             // task returned after its deadline is not trusted.
             result.outcome = TaskOutcome::TimedOut;
@@ -396,59 +407,35 @@ BatchRunner::run(DiagnosticEngine* diags)
 
     const int jobs = static_cast<int>(std::max<long long>(
         1, std::min<long long>(effectiveJobCount(options_.jobs), total)));
-    std::vector<WorkerSlot> slots(jobs);
-    std::atomic<long long> next{0};
-    std::atomic<bool> done{false};
 
     Clock::time_point start = Clock::now();
 
-    // Per-task deadline watchdog: scans the worker slots and raises the
-    // cancel flag of any task past its deadline.
-    std::thread watchdog;
-    if (options_.taskTimeoutSeconds > 0) {
-        watchdog = std::thread([&slots, &done] {
-            while (!done.load(std::memory_order_acquire)) {
-                std::int64_t now = nowNanos();
-                for (WorkerSlot& slot : slots) {
-                    std::int64_t deadline =
-                        slot.deadlineNanos.load(std::memory_order_acquire);
-                    if (deadline != 0 && now > deadline)
-                        slot.cancel.store(true, std::memory_order_release);
-                }
-                std::this_thread::sleep_for(
-                    std::chrono::milliseconds(2));
-            }
-        });
-    }
-
-    auto worker = [&](int slot_index) {
-        WorkerSlot& slot = slots[slot_index];
-        const bool instrumented = metricsEnabled();
-        Counter* busyNs = nullptr;
-        Counter* taskCount = nullptr;
-        if (instrumented) {
-            busyNs = &globalMetrics().counter(
-                strformat("runner.worker.%d.busy_ns", slot_index));
-            taskCount = &globalMetrics().counter(
-                strformat("runner.worker.%d.tasks", slot_index));
-        }
-        for (;;) {
+    // One job per manifest task on the shared pool (FIFO dispatch, same
+    // assignment order as the old per-runner thread loop). A job that
+    // observes the stop flag returns immediately, leaving its task
+    // NotRun — that IS the graceful drain.
+    WorkerPool pool(WorkerPool::Options{jobs, 0});
+    for (long long i = 0; i < total; ++i) {
+        if (results_[i].outcome == TaskOutcome::SkippedResume)
+            continue;
+        pool.submit([this, i, &pool, &writer, &checkpoint_mutex,
+                     &checkpoint_ok](WorkerPool::JobContext& job) {
             if (stopRequested())
-                break; // drain: no new task starts
-            long long i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= total)
-                break;
+                return; // drain: no new task starts
+            const bool instrumented = metricsEnabled();
+            if (instrumented)
+                runnerInstruments().queueDepth.set(pool.queueDepth());
+            TaskResult result = executeTask(i, job);
             if (instrumented) {
-                runnerInstruments().queueDepth.set(
-                    std::max<long long>(0, total - i - 1));
-            }
-            if (results_[i].outcome == TaskOutcome::SkippedResume)
-                continue;
-            TaskResult result = executeTask(i, slot_index, slot);
-            if (instrumented) {
-                busyNs->add(
-                    static_cast<std::uint64_t>(result.seconds * 1e9));
-                taskCount->add();
+                globalMetrics()
+                    .counter(strformat("runner.worker.%d.busy_ns",
+                                       job.worker()))
+                    .add(static_cast<std::uint64_t>(result.seconds *
+                                                    1e9));
+                globalMetrics()
+                    .counter(
+                        strformat("runner.worker.%d.tasks", job.worker()))
+                    .add();
             }
             if (checkpoint_ok.load(std::memory_order_acquire)) {
                 TaskRecord record;
@@ -468,18 +455,10 @@ BatchRunner::run(DiagnosticEngine* diags)
                 }
             }
             results_[i] = std::move(result);
-        }
-    };
-
-    std::vector<std::thread> pool;
-    pool.reserve(jobs);
-    for (int w = 0; w < jobs; ++w)
-        pool.emplace_back(worker, w);
-    for (std::thread& t : pool)
-        t.join();
-    done.store(true, std::memory_order_release);
-    if (watchdog.joinable())
-        watchdog.join();
+        });
+    }
+    pool.drain();
+    pool.shutdown();
 
     report_.wallSeconds = secondsSince(start);
 

@@ -9,7 +9,8 @@
  * already done. BatchRunner provides the shared discipline:
  *
  *  - a job manifest with a deterministic seed per task,
- *  - a worker pool (std::thread) with per-task fault isolation: a task
+ *  - a shared WorkerPool (worker_pool.h, also the substrate of the
+ *    `vdram serve` daemon) with per-task fault isolation: a task
  *    that returns an error Result or throws is quarantined with its
  *    diagnostics attached, never aborting the run,
  *  - bounded retry with exponential backoff for transient errors
@@ -31,6 +32,7 @@
 #include <vector>
 
 #include "runner/fault_injection.h"
+#include "runner/worker_pool.h"
 #include "util/diag.h"
 #include "util/result.h"
 
@@ -183,10 +185,8 @@ class BatchRunner {
     const RunReport& report() const { return report_; }
 
   private:
-    struct WorkerSlot;
-
-    TaskResult executeTask(long long index, int slot_index,
-                           WorkerSlot& slot);
+    TaskResult executeTask(long long index,
+                           WorkerPool::JobContext& job);
     Result<std::string> invokeOnce(const TaskContext& context);
     bool stopRequested() const;
 

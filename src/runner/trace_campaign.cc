@@ -1,11 +1,14 @@
 #include "runner/trace_campaign.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
+#include <stdexcept>
 
 #include <fstream>
 
+#include "util/failpoint.h"
 #include "util/metrics.h"
 #include "util/strings.h"
 #include "util/trace.h"
@@ -86,6 +89,23 @@ countSlice(const std::string& path, long long begin, long long end,
     while (failure.ok() && remaining > 0 && file.good()) {
         if (cancelled && cancelled())
             return Error{"trace slice cancelled", 0, 0, "", "E-RUNNER-STOP"};
+        // Failpoint `trace.slice`: PartialWrite simulates a short read
+        // (the truncation check after the loop must report it).
+        FailpointHit hit = failpointHit("trace.slice");
+        if (hit.action == FailpointAction::Error) {
+            failure = Error{"injected read failure at failpoint "
+                            "'trace.slice'",
+                            0, 0, path, "E-IO-READ"};
+            break;
+        }
+        if (hit.action == FailpointAction::Crash) {
+            throw std::runtime_error(
+                "injected crash at failpoint 'trace.slice'");
+        }
+        if (hit.action == FailpointAction::Abort)
+            std::abort();
+        if (hit.action == FailpointAction::PartialWrite)
+            break; // injected short read
         const std::streamsize want = static_cast<std::streamsize>(
             std::min<long long>(remaining,
                                 static_cast<long long>(buffer.size())));
@@ -121,6 +141,17 @@ countSlice(const std::string& path, long long begin, long long end,
             failure = process_line(data + pos, line_end);
             pos = static_cast<size_t>(line_end - data) + 1;
         }
+    }
+    // The slice bounds came from the file's own size, so exhausting the
+    // stream with bytes still owed means a mid-read I/O failure or a
+    // concurrently truncated file. Reporting a partial count as a
+    // complete slice would silently corrupt the campaign aggregate.
+    if (failure.ok() && remaining > 0) {
+        failure = Error{
+            "short read of command trace '" + path + "' (" +
+                std::to_string(end - begin - remaining) + " of " +
+                std::to_string(end - begin) + " bytes of slice)",
+            0, 0, path, "E-IO-READ"};
     }
     if (failure.ok() && !carry.empty())
         failure = process_line(carry.data(), carry.data() + carry.size());

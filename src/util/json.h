@@ -1,14 +1,19 @@
 /**
  * @file
- * Minimal streaming JSON writer used for machine-readable result export
- * (no external dependencies, correct string escaping, stable number
- * formatting).
+ * Minimal JSON support used for machine-readable result export and the
+ * serve protocol: a streaming writer (no external dependencies, correct
+ * string escaping, stable number formatting) and a defensive value
+ * parser for untrusted request documents (depth-capped, UTF-8 passed
+ * through, every malformed input an Error rather than UB).
  */
 #ifndef VDRAM_UTIL_JSON_H
 #define VDRAM_UTIL_JSON_H
 
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "util/result.h"
 
 namespace vdram {
 
@@ -66,6 +71,53 @@ class JsonWriter {
     std::string out_;
     std::vector<Frame> stack_;
 };
+
+/**
+ * One parsed JSON value. A plain tagged struct rather than a class
+ * hierarchy: the serve protocol only ever walks small request
+ * documents, so simplicity and bounded behavior beat generality.
+ */
+struct JsonValue {
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string text;
+    std::vector<JsonValue> items;
+    /** Object members in document order (later duplicates win in
+     *  member()). */
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Member of an object by key; nullptr when absent or not an
+     *  object. */
+    const JsonValue* member(const std::string& key) const;
+
+    /** String content of a string member ("" when absent/not a
+     *  string). */
+    std::string memberString(const std::string& key) const;
+
+    /** Numeric content of a number member (@p fallback otherwise). */
+    double memberNumber(const std::string& key, double fallback) const;
+};
+
+/** Nesting depth cap for parseJson (hostile inputs must not overflow
+ *  the stack). */
+constexpr int kJsonMaxDepth = 48;
+
+/**
+ * Parse one complete JSON document. Trailing non-whitespace content,
+ * exceeded depth, bad escapes and malformed numbers are all errors
+ * (code E-JSON-PARSE, column set to the failing offset + 1).
+ */
+Result<JsonValue> parseJson(const std::string& text);
 
 } // namespace vdram
 

@@ -120,4 +120,16 @@ strformat(const char* fmt, ...)
     return out;
 }
 
+
+std::uint64_t
+fnv1a64(std::string_view s)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (unsigned char c : s) {
+        hash ^= c;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
 } // namespace vdram

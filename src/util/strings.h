@@ -5,6 +5,7 @@
 #ifndef VDRAM_UTIL_STRINGS_H
 #define VDRAM_UTIL_STRINGS_H
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -39,6 +40,10 @@ std::string join(const std::vector<std::string>& parts,
 /** printf-style formatting into a std::string. */
 std::string strformat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/** FNV-1a 64-bit hash (stable across platforms/runs; used as a content
+ *  key, e.g. the serve model cache over canonical description text). */
+std::uint64_t fnv1a64(std::string_view s);
 
 } // namespace vdram
 

@@ -1,0 +1,124 @@
+#!/bin/sh
+# End-to-end graceful-drain test for the serve daemon.
+#
+# Starts `vdram serve` on a unix socket, floods it with request batches
+# from several concurrent clients, sends SIGINT mid-load, and checks:
+#   - the daemon exits with the standard drain code 5,
+#   - the final stats line upholds the accounting invariant
+#     accepted == written + failed (no in-flight request is lost),
+#   - the --metrics-out snapshot agrees with the stats line.
+#
+# Usage: cli_serve_drain_test.sh <path-to-vdram_cli>
+set -e
+
+CLI="$1"
+if [ -z "$CLI" ] || [ ! -x "$CLI" ]; then
+    echo "usage: $0 <path-to-vdram_cli>" >&2
+    exit 1
+fi
+
+DIR=$(mktemp -d)
+SOCK="$DIR/serve.sock"
+trap 'rm -rf "$DIR"' EXIT
+
+"$CLI" serve --socket="$SOCK" --jobs=2 --queue=64 --ready-marker \
+    --metrics-out "$DIR/metrics.json" \
+    2> "$DIR/serve.err" &
+PID=$!
+
+# Wait for the listener (the CLI prints VDRAM-READY once accepting).
+i=0
+while ! grep -q "VDRAM-READY" "$DIR/serve.err" 2>/dev/null &&
+      [ $i -lt 200 ]; do
+    sleep 0.05
+    i=$((i + 1))
+done
+if ! grep -q "VDRAM-READY" "$DIR/serve.err" 2>/dev/null; then
+    echo "FAIL: serve never printed the ready marker" >&2
+    cat "$DIR/serve.err" >&2
+    exit 1
+fi
+
+# Build one batch of requests: a load, evaluations and perturbations.
+BATCH="$DIR/batch.txt"
+{
+    printf '{"id":1,"op":"load","preset":"ddr3_2g_55"}\n'
+    n=2
+    while [ $n -le 20 ]; do
+        printf '{"id":%d,"op":"evaluate"}\n' "$n"
+        printf '{"id":%d,"op":"perturb","param":"Cell capacitance","factor":1.1}\n' "$((n + 1))"
+        n=$((n + 2))
+    done
+} > "$BATCH"
+
+# Flood: several clients in parallel, in a loop, while the signal lands.
+for c in 1 2 3; do
+    (
+        k=0
+        while [ $k -lt 10 ]; do
+            "$CLI" serve-send --socket="$SOCK" < "$BATCH" \
+                >> "$DIR/client$c.out" 2>> "$DIR/client$c.err" || break
+            k=$((k + 1))
+        done
+    ) &
+done
+
+# Let some load build up, then drain mid-flight.
+sleep 0.4
+kill -INT "$PID" 2>/dev/null || true
+set +e
+wait "$PID"
+STATUS=$?
+set -e
+wait || true
+
+if [ "$STATUS" != 5 ]; then
+    echo "FAIL: drained daemon exited $STATUS (want 5)" >&2
+    cat "$DIR/serve.err" >&2
+    exit 1
+fi
+
+STATS=$(grep '^serve: ' "$DIR/serve.err" | tail -1)
+if [ -z "$STATS" ]; then
+    echo "FAIL: no final stats line on stderr" >&2
+    cat "$DIR/serve.err" >&2
+    exit 1
+fi
+
+field() {
+    printf '%s\n' "$STATS" |
+        sed -n "s/.*\"$1\":\\([0-9][0-9]*\\).*/\\1/p"
+}
+ACCEPTED=$(field requestsAccepted)
+WRITTEN=$(field responsesWritten)
+FAILED=$(field responsesFailed)
+if [ -z "$ACCEPTED" ] || [ -z "$WRITTEN" ] || [ -z "$FAILED" ]; then
+    echo "FAIL: could not parse stats line: $STATS" >&2
+    exit 1
+fi
+if [ "$ACCEPTED" != "$((WRITTEN + FAILED))" ]; then
+    echo "FAIL: accounting broken: accepted=$ACCEPTED" \
+         "written=$WRITTEN failed=$FAILED" >&2
+    exit 1
+fi
+if [ "$ACCEPTED" -lt 21 ]; then
+    echo "FAIL: daemon answered only $ACCEPTED requests under flood" >&2
+    exit 1
+fi
+
+# The metrics snapshot must repeat the same accounting.
+if [ ! -s "$DIR/metrics.json" ]; then
+    echo "FAIL: --metrics-out wrote no snapshot" >&2
+    exit 1
+fi
+mfield() {
+    sed -n "s/.*\"$1\":\\([0-9][0-9]*\\).*/\\1/p" "$DIR/metrics.json"
+}
+M_ACCEPTED=$(mfield "serve\\.requests\\.accepted")
+if [ -n "$M_ACCEPTED" ] && [ "$M_ACCEPTED" != "$ACCEPTED" ]; then
+    echo "FAIL: metrics accepted=$M_ACCEPTED != stats $ACCEPTED" >&2
+    exit 1
+fi
+
+echo "ok: drained under flood (exit 5)," \
+     "accepted=$ACCEPTED written=$WRITTEN failed=$FAILED"

@@ -2,7 +2,9 @@
 # Full CI sequence: normal build + complete test suite, then an
 # ASan+UBSan build of the robustness surface (parser, validator,
 # diagnostics, CLI lint), a ThreadSanitizer build of the batch-runner
-# concurrency surface, a fault-injection + resume smoke of the CLI, the
+# and serve-daemon concurrency surface, failpoint chaos smokes (kill -9
+# mid-checkpoint + resume byte-identity; a serve daemon under injected
+# request crashes), a fault-injection + resume smoke of the CLI, the
 # runner throughput benchmark (BENCH_runner.json), the model fast-path
 # throughput gate (BENCH_model.json vs the recorded baseline) and an
 # explicit exit-code check of the three-defect lint fixture. Run from
@@ -32,13 +34,78 @@ cmake --build build-tsan -j "$jobs" \
       --target vdram_robustness_tests vdram_cli
 
 echo "== robustness suite under ThreadSanitizer =="
+# Includes the serve-daemon tests and the flood + SIGINT drain script
+# (cli_serve_drain), so the daemon's accept loop, worker pool and
+# session teardown are raced under TSan every run.
 ctest --test-dir build-tsan -L robustness --output-on-failure -j "$jobs"
+
+echo "== chaos smoke: kill -9 mid-checkpoint, resume byte-identity =="
+# VDRAM_FAILPOINTS=ckpt.append=abort:K aborts the process half-way
+# through writing the K-th checkpoint record — a deterministic kill -9
+# at the worst instant, leaving a torn trailing line. The resumed run
+# must drop the torn record, recompute only what was lost and produce
+# an aggregate byte-identical to an undisturbed run.
+chaosdir=$(mktemp -d)
+trap 'rm -rf "$chaosdir"' EXIT
+cli=$(pwd)/build/tools/vdram_cli
+(
+    cd "$chaosdir"
+    "$cli" montecarlo preset:ddr2_1g_75 --samples=60 --seed=11 \
+        > expected.txt
+    for k in 3 17 41; do
+        rm -f chaos.jsonl
+        set +e
+        VDRAM_FAILPOINTS="ckpt.append=abort:$k" \
+            "$cli" montecarlo preset:ddr2_1g_75 --samples=60 --seed=11 \
+            --checkpoint=chaos.jsonl > /dev/null 2> /dev/null
+        status=$?
+        set -e
+        if [ "$status" -eq 0 ]; then
+            echo "FAIL: ckpt.append=abort:$k never fired" >&2
+            exit 1
+        fi
+        "$cli" montecarlo preset:ddr2_1g_75 --samples=60 --seed=11 \
+            --checkpoint=chaos.jsonl --resume > "resumed_$k.txt" \
+            2> /dev/null
+        cmp expected.txt "resumed_$k.txt"
+    done
+)
+
+echo "== chaos smoke: serve daemon survives injected request chaos =="
+# A daemon with every 3rd-ish request crashing or stalling internally
+# must keep answering, then drain cleanly on SIGINT (exit 5).
+(
+    cd "$chaosdir"
+    VDRAM_FAILPOINTS="serve.request=crash@0.3" \
+        "$cli" serve --socket=serve.sock --jobs=2 --ready-marker \
+        2> serve.err &
+    pid=$!
+    i=0
+    while ! grep -q VDRAM-READY serve.err 2>/dev/null &&
+          [ $i -lt 200 ]; do
+        sleep 0.05; i=$((i + 1))
+    done
+    for n in 1 2 3 4 5 6 7 8; do
+        printf '{"id":%d,"op":"ping"}\n' "$n"
+    done | "$cli" serve-send --socket=serve.sock > chaos_replies.txt
+    test "$(wc -l < chaos_replies.txt)" -eq 8
+    kill -INT "$pid"
+    set +e
+    wait "$pid"
+    status=$?
+    set -e
+    if [ "$status" -ne 5 ]; then
+        echo "FAIL: chaotic serve daemon exited $status, want 5" >&2
+        cat serve.err >&2
+        exit 1
+    fi
+)
 
 echo "== fault-injection + resume smoke =="
 # Two fault-injected campaigns sharing one checkpoint: the second run
 # must restore every non-faulted variant and produce the same aggregate.
 smokedir=$(mktemp -d)
-trap 'rm -rf "$smokedir"' EXIT
+trap 'rm -rf "$smokedir" "$chaosdir"' EXIT
 cli=$(pwd)/build/tools/vdram_cli
 (
     cd "$smokedir"

@@ -59,6 +59,8 @@
 #include "protocol/trace.h"
 #include "protocol/trace_stream.h"
 #include "runner/trace_campaign.h"
+#include "serve/server.h"
+#include "util/failpoint.h"
 #include "util/json.h"
 #include "util/metrics.h"
 #include "util/numerics.h"
@@ -80,6 +82,33 @@ constexpr int kExitValidate = 4;
 /** A campaign was interrupted (SIGINT drain): partial results were
  *  reported and the checkpoint, if any, was flushed. */
 constexpr int kExitPartial = 5;
+/** An input or checkpoint file could not be opened or read (distinct
+ *  from 3/4: the file is unreadable, not wrong). */
+constexpr int kExitIo = 6;
+
+/**
+ * Map a diagnostic code onto the documented exit codes, so scripts can
+ * distinguish "the trace file is unreadable" (6) from "the trace file
+ * is malformed" (3), "the trace content is invalid" (4) and "the run
+ * was drained" (5) without parsing stderr.
+ */
+int
+exitCodeForError(const Error& error)
+{
+    const std::string& code = error.code;
+    if (code == "E-RUNNER-STOP")
+        return kExitPartial;
+    if (code == "E-IO-OPEN" || code == "E-IO-READ" ||
+        code == "E-CKPT-OPEN" || code == "E-CKPT-WRITE")
+        return kExitIo;
+    if (code == "E-TRACE-PARSE" || code == "E-CKPT-PARSE" ||
+        code == "E-JSON-PARSE" || code == "E-METRICS-PARSE" ||
+        startsWith(code, "E-SYNTAX-"))
+        return kExitParse;
+    if (startsWith(code, "E-TRACE-"))
+        return kExitValidate;
+    return kExitRuntime;
+}
 
 /** Diagnostic output options (global flags). */
 struct DiagOptions {
@@ -116,6 +145,13 @@ onSigint(int)
     // A second Ctrl-C kills the process the normal way instead of
     // re-requesting the drain.
     std::signal(SIGINT, SIG_DFL);
+}
+
+extern "C" void
+onSigterm(int)
+{
+    g_stop_requested.store(true, std::memory_order_relaxed);
+    std::signal(SIGTERM, SIG_DFL);
 }
 
 /** Install the graceful-drain handler (campaign commands only). */
@@ -159,6 +195,17 @@ printUsage(std::FILE* out)
         "  replay <target> <cmdtrace>\n"
         "                            evaluate a timed command trace\n"
         "                            (dense; capped — see trace)\n"
+        "  serve [--socket=PATH|--port=N]\n"
+        "                            long-running JSON evaluation daemon\n"
+        "                            (one JSON request per line; see\n"
+        "                            docs/serve.md); SIGINT/SIGTERM\n"
+        "                            drains (exit 5); --jobs=N sets the\n"
+        "                            worker threads; also --queue=N,\n"
+        "                            --deadline=S, --max-deadline=S,\n"
+        "                            --idle-timeout=S, --cache=N\n"
+        "  serve-send [--socket=PATH|--port=N]\n"
+        "                            send stdin lines to a serve daemon\n"
+        "                            and print the responses\n"
         "  trace <target> <cmdtrace> [--window=N] "
         "[--format=text|csv|json]\n"
         "                            [--check] [--serial]\n"
@@ -191,11 +238,20 @@ printUsage(std::FILE* out)
         "  --inject-fault=R[:KIND]   fault a fraction R of variants;\n"
         "                            KIND = error|timeout|crash (test "
         "hook)\n"
+        "                            DEPRECATED alias for the failpoint\n"
+        "                            framework; prefer VDRAM_FAILPOINTS=\n"
+        "                            runner.task=ACTION@R (see "
+        "docs/runner.md)\n"
+        "env:\n"
+        "  VDRAM_FAILPOINTS=name=action[:arg][@rate][,...]\n"
+        "                            deterministic fault injection at\n"
+        "                            named sites (test/chaos hook)\n"
         "SIGINT drains a campaign: in-flight variants finish, the\n"
         "checkpoint is flushed, partial results are reported (exit 5).\n"
         "<target> = file.dram | preset:<name>\n"
         "exit codes: 0 ok, 1 runtime, 2 usage, 3 syntax error,\n"
-        "4 validation error, 5 interrupted (partial results)\n");
+        "4 validation error, 5 interrupted (partial results),\n"
+        "6 unreadable input/checkpoint file\n");
 }
 
 int
@@ -486,7 +542,7 @@ cmdMonteCarlo(const DramDescription& desc, CampaignFlags flags,
     if (!campaign.ok()) {
         std::fprintf(stderr, "%s\n",
                      campaign.error().toString().c_str());
-        return kExitRuntime;
+        return exitCodeForError(campaign.error());
     }
     const MonteCarloCampaign& mc = campaign.value();
 
@@ -743,13 +799,13 @@ cmdWorkload(const DramDescription& desc, const std::string& trace_path,
     auto trace = loadTraceFile(trace_path);
     if (!trace.ok()) {
         std::fprintf(stderr, "%s\n", trace.error().toString().c_str());
-        return kExitRuntime;
+        return exitCodeForError(trace.error());
     }
     Status addresses = validateAccesses(trace.value(), desc.spec);
     if (!addresses.ok()) {
         std::fprintf(stderr, "%s: %s\n", trace_path.c_str(),
                      addresses.error().toString().c_str());
-        return kExitRuntime;
+        return exitCodeForError(addresses.error());
     }
     CommandScheduler scheduler(desc.spec, desc.timing,
                                closed_page ? PagePolicy::ClosedPage
@@ -866,9 +922,7 @@ cmdTrace(const DramDescription& desc, CampaignFlags flags, int argc,
             printDiagnostics(diags, DiagOptions{});
             std::fprintf(stderr, "%s\n",
                          campaign.error().toString().c_str());
-            return campaign.error().code == "E-RUNNER-STOP"
-                       ? kExitPartial
-                       : kExitRuntime;
+            return exitCodeForError(campaign.error());
         }
         result = std::move(campaign.value().trace);
         report = campaign.value().report;
@@ -884,7 +938,7 @@ cmdTrace(const DramDescription& desc, CampaignFlags flags, int argc,
         if (!streamed.ok()) {
             std::fprintf(stderr, "%s\n",
                          streamed.error().toString().c_str());
-            return kExitRuntime;
+            return exitCodeForError(streamed.error());
         }
         result = std::move(streamed).value();
     }
@@ -1017,6 +1071,156 @@ cmdTrends(CampaignFlags flags, bool csv)
     return exitCodeFor(campaign.value().report);
 }
 
+/**
+ * `vdram serve`: the long-running evaluation daemon (src/serve).
+ * SIGINT and SIGTERM both drain: already-read requests are answered,
+ * then the process exits with the standard drain code 5.
+ */
+int
+cmdServe(CampaignFlags flags, int argc, char** argv)
+{
+    ServeOptions options;
+    options.threads = flags.runner.jobs;
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (startsWith(arg, "--socket=")) {
+            options.socketPath = arg.substr(9);
+        } else if (startsWith(arg, "--port=")) {
+            long long port = 0;
+            if (!parseCount(arg.substr(7), 1, 65535, port)) {
+                std::fprintf(stderr,
+                             "--port must be in [1, 65535], got '%s'\n",
+                             arg.substr(7).c_str());
+                return kExitUsage;
+            }
+            options.port = static_cast<int>(port);
+        } else if (startsWith(arg, "--queue=")) {
+            long long queue = 0;
+            if (!parseCount(arg.substr(8), 1, 1 << 20, queue)) {
+                std::fprintf(stderr,
+                             "--queue must be a positive request count, "
+                             "got '%s'\n",
+                             arg.substr(8).c_str());
+                return kExitUsage;
+            }
+            options.queueCapacity = queue;
+        } else if (startsWith(arg, "--deadline=")) {
+            options.deadlineSeconds = std::atof(arg.substr(11).c_str());
+            if (options.deadlineSeconds < 0) {
+                std::fprintf(stderr, "--deadline must be >= 0 seconds\n");
+                return kExitUsage;
+            }
+        } else if (startsWith(arg, "--max-deadline=")) {
+            options.maxDeadlineSeconds =
+                std::atof(arg.substr(15).c_str());
+            if (!(options.maxDeadlineSeconds > 0)) {
+                std::fprintf(stderr,
+                             "--max-deadline must be > 0 seconds\n");
+                return kExitUsage;
+            }
+        } else if (startsWith(arg, "--idle-timeout=")) {
+            options.idleSessionSeconds =
+                std::atof(arg.substr(15).c_str());
+            if (options.idleSessionSeconds < 0) {
+                std::fprintf(stderr,
+                             "--idle-timeout must be >= 0 seconds\n");
+                return kExitUsage;
+            }
+        } else if (startsWith(arg, "--cache=")) {
+            long long cache = 0;
+            if (!parseCount(arg.substr(8), 1, 4096, cache)) {
+                std::fprintf(stderr,
+                             "--cache must be in [1, 4096], got '%s'\n",
+                             arg.substr(8).c_str());
+                return kExitUsage;
+            }
+            options.cacheCapacity = static_cast<std::size_t>(cache);
+        } else {
+            std::fprintf(stderr, "unknown argument '%s' for serve\n",
+                         arg.c_str());
+            return kExitUsage;
+        }
+    }
+    if (options.socketPath.empty() && options.port == 0) {
+        std::fprintf(stderr,
+                     "serve needs --socket=PATH or --port=N\n");
+        return kExitUsage;
+    }
+
+    options.stopFlag = &g_stop_requested;
+    std::signal(SIGINT, onSigint);
+    std::signal(SIGTERM, onSigterm);
+    options.onReady = [] {
+        if (g_ready_marker) {
+            std::fprintf(stderr, "%s\n", kReadyMarker);
+            std::fflush(stderr);
+            g_ready_marker = false;
+        }
+    };
+
+    Result<ServeStats> stats = runServeServer(options);
+    if (!stats.ok()) {
+        std::fprintf(stderr, "%s\n", stats.error().toString().c_str());
+        return kExitRuntime;
+    }
+    std::fprintf(stderr, "serve: %s\n",
+                 stats.value().renderJson().c_str());
+    return stats.value().drained ? kExitPartial : kExitOk;
+}
+
+/** `vdram serve-send`: pipe stdin request lines to a daemon. */
+int
+cmdServeSend(int argc, char** argv)
+{
+    std::string socket_path;
+    int port = 0;
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (startsWith(arg, "--socket=")) {
+            socket_path = arg.substr(9);
+        } else if (startsWith(arg, "--port=")) {
+            long long value = 0;
+            if (!parseCount(arg.substr(7), 1, 65535, value)) {
+                std::fprintf(stderr,
+                             "--port must be in [1, 65535], got '%s'\n",
+                             arg.substr(7).c_str());
+                return kExitUsage;
+            }
+            port = static_cast<int>(value);
+        } else {
+            std::fprintf(stderr,
+                         "unknown argument '%s' for serve-send\n",
+                         arg.c_str());
+            return kExitUsage;
+        }
+    }
+    if (socket_path.empty() && port == 0) {
+        std::fprintf(stderr,
+                     "serve-send needs --socket=PATH or --port=N\n");
+        return kExitUsage;
+    }
+
+    std::string input;
+    char chunk[4096];
+    size_t got;
+    while ((got = std::fread(chunk, 1, sizeof chunk, stdin)) > 0)
+        input.append(chunk, got);
+    if (trim(input).empty()) {
+        std::fprintf(stderr, "serve-send: no requests on stdin\n");
+        return kExitUsage;
+    }
+
+    Result<std::string> responses = serveSendLines(socket_path, port,
+                                                   input);
+    if (!responses.ok()) {
+        std::fprintf(stderr, "%s\n",
+                     responses.error().toString().c_str());
+        return kExitRuntime;
+    }
+    std::fputs(responses.value().c_str(), stdout);
+    return kExitOk;
+}
+
 } // namespace
 
 namespace {
@@ -1040,6 +1244,19 @@ commandOwnsFlag(const std::string& command, const std::string& arg)
     if (command == "montecarlo") {
         return startsWith(arg, "--samples=") ||
                startsWith(arg, "--seed=") || arg == "--json";
+    }
+    if (command == "serve") {
+        return startsWith(arg, "--socket=") ||
+               startsWith(arg, "--port=") ||
+               startsWith(arg, "--queue=") ||
+               startsWith(arg, "--deadline=") ||
+               startsWith(arg, "--max-deadline=") ||
+               startsWith(arg, "--idle-timeout=") ||
+               startsWith(arg, "--cache=");
+    }
+    if (command == "serve-send") {
+        return startsWith(arg, "--socket=") ||
+               startsWith(arg, "--port=");
     }
     return false;
 }
@@ -1091,6 +1308,15 @@ writeObservabilityOutputs()
 int
 runCli(int argc, char** argv)
 {
+    // A malformed VDRAM_FAILPOINTS spec is a usage error up front;
+    // silently ignoring it would run chaos tests without any chaos.
+    Status failpoints = initFailpointsFromEnv();
+    if (!failpoints.ok()) {
+        std::fprintf(stderr, "VDRAM_FAILPOINTS: %s\n",
+                     failpoints.error().toString().c_str());
+        return kExitUsage;
+    }
+
     // Strip the global flags (position-independent) before command
     // dispatch. Campaign flags are validated here so a typo exits with
     // a usage error instead of silently running with defaults.
@@ -1235,6 +1461,10 @@ runCli(int argc, char** argv)
 
     if (command == "list")
         return cmdList();
+    if (command == "serve")
+        return cmdServe(campaign, argc - 2, argv + 2);
+    if (command == "serve-send")
+        return cmdServeSend(argc - 2, argv + 2);
     if (command == "trends") {
         bool csv = argc > 2 && std::strcmp(argv[2], "--csv") == 0;
         return cmdTrends(campaign, csv);
@@ -1288,7 +1518,7 @@ runCli(int argc, char** argv)
         if (!trace.ok()) {
             std::fprintf(stderr, "%s\n",
                          trace.error().toString().c_str());
-            return kExitRuntime;
+            return exitCodeForError(trace.error());
         }
         if (trace.value().loop.empty()) {
             std::fprintf(stderr, "%s: trace contains no commands\n",
