@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "runner/checkpoint.h"
+#include "util/backoff.h"
 #include "util/failpoint.h"
 #include "util/json.h"
 #include "util/metrics.h"
@@ -316,8 +317,11 @@ BatchRunner::executeTask(long long index, WorkerPool::JobContext& job)
         }
         if (!threw && isTransientCode(error.code) &&
             attempt <= options_.maxRetries && !stopRequested()) {
-            sleepSeconds(options_.backoffSeconds *
-                         static_cast<double>(1 << (attempt - 1)));
+            // Shared backoff curve (util/backoff.h): same doubling
+            // schedule the serve client and fleet supervisor pace by.
+            BackoffPolicy backoff;
+            backoff.baseSeconds = options_.backoffSeconds;
+            sleepSeconds(backoffDelaySeconds(backoff, attempt));
             continue;
         }
         result.outcome = threw || !isTransientCode(error.code)

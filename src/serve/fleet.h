@@ -1,0 +1,93 @@
+/**
+ * @file
+ * `vdram fleet`: a supervised multi-process serve fleet behind one
+ * front socket.
+ *
+ * Topology: one supervisor (src/serve/supervisor.h) owns N `vdram
+ * serve` worker daemons on private sockets under `socketDir`; one
+ * router (src/serve/router.h) accepts client sessions on the front
+ * socket and shards them across the workers by canonical-description
+ * hash. runFleet() wires the two together: the supervisor control
+ * loop runs on a background thread, the router runs on the calling
+ * thread until the stop flag rises, then the fleet drains — router
+ * first (every accepted request answered), workers second (SIGTERM,
+ * each exits 5 per the serve drain contract).
+ *
+ * Exit semantics for the CLI: a drain is clean — exit code 5 — only
+ * when the stop flag caused the shutdown, the router's summed
+ * invariant `requestsAccepted == responsesWritten + responsesFailed`
+ * holds, and every worker drained to exit code 5.
+ */
+#ifndef VDRAM_SERVE_FLEET_H
+#define VDRAM_SERVE_FLEET_H
+
+#include <atomic>
+#include <functional>
+#include <string>
+
+#include "serve/router.h"
+#include "serve/supervisor.h"
+#include "util/result.h"
+
+namespace vdram {
+
+struct FleetOptions {
+    /** vdram binary to exec for workers (resolved by the CLI). */
+    std::string exePath;
+    /** Front listener: unix socket path, or loopback TCP port. */
+    std::string socketPath;
+    int port = 0;
+    /** Directory for worker sockets + stderr logs (created). */
+    std::string socketDir;
+    int workers = 3;
+    double heartbeatSeconds = 0.25;
+    double heartbeatDeadlineSeconds = 2.0;
+    double readySeconds = 10.0;
+    int restartBudget = 5;
+    double restartBaseSeconds = 0.05;
+    double restartMaxSeconds = 2.0;
+    /** Worker-drain budget before SIGKILL escalation. */
+    double drainTimeoutSeconds = 10.0;
+    double failoverWaitSeconds = 2.0;
+    int maxReplay = 64;
+    double idleSessionSeconds = 300;
+    /** Per-worker serve options (queue, deadline, cache, jobs). */
+    WorkerServeOptions serve;
+    /** Cooperative stop (SIGINT/SIGTERM drain). */
+    std::atomic<bool>* stopFlag = nullptr;
+    /** Invoked once the front listener is accepting. */
+    std::function<void()> onReady;
+    /** Supervision events for the fleet log (worker spawns, restarts,
+     *  E-FLEET-DEAD, drain progress). */
+    std::function<void(const std::string&)> onEvent;
+};
+
+struct FleetStats {
+    int workers = 0;
+    SupervisorStats supervisor;
+    RouterStats router;
+    /** The shutdown was a commanded drain (stop flag). */
+    bool drained = false;
+    /** Every worker drained to exit code 5. */
+    bool workersDrained = false;
+
+    /** The fleet-wide accounting identity. */
+    bool invariantHolds() const
+    {
+        return router.requestsAccepted ==
+               router.responsesWritten + router.responsesFailed;
+    }
+    /** Clean drain: stop-flag shutdown + invariant + worker drains. */
+    bool cleanDrain() const
+    {
+        return drained && invariantHolds() && workersDrained;
+    }
+    std::string renderJson() const;
+};
+
+/** Run the fleet until the stop flag rises; see the file comment. */
+Result<FleetStats> runFleet(const FleetOptions& options);
+
+} // namespace vdram
+
+#endif // VDRAM_SERVE_FLEET_H

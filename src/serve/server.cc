@@ -31,7 +31,9 @@
 #include "runner/worker_pool.h"
 #include "serve/model_cache.h"
 #include "serve/protocol.h"
+#include "util/backoff.h"
 #include "util/failpoint.h"
+#include "util/numerics.h"
 #include "util/json.h"
 #include "util/metrics.h"
 #include "util/strings.h"
@@ -410,8 +412,12 @@ Server::handleLine(int fd, Session& session, const std::string& line)
                 std::lock_guard<std::mutex> lock(pending.mutex);
                 pending.body = std::move(body);
                 pending.done = true;
+                // Notify under the lock: `pending` lives on the
+                // session thread's stack and is destroyed the moment
+                // the waiter sees done — an unlocked notify could
+                // touch a dead condition_variable.
+                pending.cv.notify_one();
             }
-            pending.cv.notify_one();
         });
     if (metricsEnabled()) {
         globalMetrics().gauge("serve.queue.depth").set(
@@ -802,9 +808,15 @@ serveSendLines(const std::string& socketPath, int port,
                      sizeof(addr.sun_path) - 1);
         if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
                       sizeof(addr)) != 0) {
+            // ECONNREFUSED/ENOENT mean no request reached a daemon —
+            // the one connect failure a client may safely retry.
+            const char* code = (errno == ECONNREFUSED ||
+                                errno == ENOENT)
+                                   ? "E-SERVE-REFUSED"
+                                   : "E-SERVE-SOCKET";
             Error error{"cannot connect to '" + socketPath +
                             "': " + std::strerror(errno),
-                        0, 0, socketPath, "E-SERVE-SOCKET"};
+                        0, 0, socketPath, code};
             ::close(fd);
             return error;
         }
@@ -821,10 +833,13 @@ serveSendLines(const std::string& socketPath, int port,
         addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
         if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
                       sizeof(addr)) != 0) {
+            const char* code = errno == ECONNREFUSED
+                                   ? "E-SERVE-REFUSED"
+                                   : "E-SERVE-SOCKET";
             Error error{"cannot connect to loopback port " +
                             std::to_string(port) + ": " +
                             std::strerror(errno),
-                        0, 0, "", "E-SERVE-SOCKET"};
+                        0, 0, "", code};
             ::close(fd);
             return error;
         }
@@ -875,5 +890,96 @@ serveSendLines(const std::string& socketPath, int port,
 }
 
 #endif // !defined(_WIN32)
+
+Result<std::string>
+serveSendLinesRetry(const ServeSendOptions& options,
+                    const std::string& input)
+{
+    std::vector<std::string> requests;
+    for (const std::string& line : splitChar(input, '\n')) {
+        if (!trim(line).empty())
+            requests.push_back(line);
+    }
+    if (requests.empty())
+        return std::string();
+
+    // Jittered exponential backoff: all retrying clients of one daemon
+    // must not re-arrive in lockstep after an overload wave.
+    BackoffPolicy policy;
+    policy.baseSeconds = options.retryBaseSeconds;
+    policy.maxSeconds = 5.0;
+    policy.jitter = 0.25;
+#if !defined(_WIN32)
+    const std::uint64_t seedBase =
+        static_cast<std::uint64_t>(::getpid());
+#else
+    const std::uint64_t seedBase = 1;
+#endif
+
+    std::vector<std::string> responses(requests.size());
+    std::vector<size_t> pending(requests.size());
+    for (size_t i = 0; i < pending.size(); ++i)
+        pending[i] = i;
+
+    int attempt = 0;
+    for (;;) {
+        std::string batch;
+        for (size_t index : pending) {
+            batch += requests[index];
+            batch += '\n';
+        }
+        Result<std::string> sent =
+            serveSendLines(options.socketPath, options.port, batch);
+        if (!sent.ok()) {
+            // Only a refused connect is known-undelivered and safe to
+            // retry wholesale; a mid-session failure is not replayed
+            // (requests may have executed).
+            if (sent.error().code == "E-SERVE-REFUSED" &&
+                attempt < options.retries) {
+                ++attempt;
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(backoffDelaySeconds(
+                        policy, attempt,
+                        deriveStreamSeed(seedBase, attempt))));
+                continue;
+            }
+            return sent.error();
+        }
+
+        std::vector<std::string> lines;
+        for (const std::string& line : splitChar(sent.value(), '\n')) {
+            if (!trim(line).empty())
+                lines.push_back(line);
+        }
+        if (lines.size() < pending.size()) {
+            return Error{strformat("daemon answered %zu of %zu "
+                                   "requests before closing",
+                                   lines.size(), pending.size()),
+                         0, 0, "", "E-SERVE-SOCKET"};
+        }
+        // Responses arrive in request order; remap onto the original
+        // positions and collect the shed ones for the next attempt.
+        std::vector<size_t> shed;
+        for (size_t i = 0; i < pending.size(); ++i) {
+            responses[pending[i]] = lines[i];
+            if (lines[i].find("E-SERVE-OVERLOAD") != std::string::npos)
+                shed.push_back(pending[i]);
+        }
+        if (shed.empty() || attempt >= options.retries)
+            break;
+        pending = std::move(shed);
+        ++attempt;
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            backoffDelaySeconds(policy, attempt,
+                                deriveStreamSeed(seedBase, attempt))));
+    }
+
+    std::string out;
+    for (const std::string& response : responses) {
+        out += response;
+        out += '\n';
+    }
+    return out;
+}
 
 } // namespace vdram

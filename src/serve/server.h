@@ -98,6 +98,28 @@ Result<ServeStats> runServeServer(const ServeOptions& options);
 Result<std::string> serveSendLines(const std::string& socketPath,
                                    int port, const std::string& input);
 
+/** serveSendLinesRetry knobs (CLI: --retries / --retry-base-ms). */
+struct ServeSendOptions {
+    std::string socketPath;
+    int port = 0;
+    /** Retry attempts after the first try. */
+    int retries = 3;
+    /** Backoff base; grows exponentially with ±25% jitter. */
+    double retryBaseSeconds = 0.05;
+};
+
+/**
+ * serveSendLines with client-side retries for the two transient
+ * failures a daemon advertises: a refused connect (daemon not up yet,
+ * or a fleet worker mid-restart — nothing was delivered, the whole
+ * batch is resent) and `E-SERVE-OVERLOAD` responses (only the shed
+ * lines are resent; answered lines are never re-executed). Responses
+ * are returned in the original request order. Each attempt is a fresh
+ * connection, i.e. a fresh daemon session.
+ */
+Result<std::string> serveSendLinesRetry(const ServeSendOptions& options,
+                                        const std::string& input);
+
 } // namespace vdram
 
 #endif // VDRAM_SERVE_SERVER_H

@@ -1,0 +1,35 @@
+#include "util/backoff.h"
+
+#include <algorithm>
+
+#include "util/numerics.h"
+
+namespace vdram {
+
+double
+backoffDelaySeconds(const BackoffPolicy& policy, int attempt,
+                    std::uint64_t seed)
+{
+    if (attempt < 1)
+        attempt = 1;
+    double delay = policy.baseSeconds;
+    // Iterative growth with an early cap: 2^60 attempts must not
+    // overflow the double before the cap is applied.
+    for (int i = 1; i < attempt; ++i) {
+        delay *= policy.multiplier;
+        if (policy.maxSeconds > 0 && delay >= policy.maxSeconds)
+            break;
+    }
+    if (policy.maxSeconds > 0)
+        delay = std::min(delay, policy.maxSeconds);
+    if (policy.jitter > 0 && seed != kBackoffNoJitter) {
+        // Deterministic per (seed, attempt): the same client retries
+        // with the same pacing, distinct clients spread out.
+        const double u = uniformDoubleOf(
+            deriveStreamSeed(seed, static_cast<std::uint64_t>(attempt)));
+        delay *= 1.0 + policy.jitter * (2.0 * u - 1.0);
+    }
+    return std::max(delay, 0.0);
+}
+
+} // namespace vdram

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared exponential-backoff policy.
+ *
+ * Three subsystems pace retries: the batch runner (transient task
+ * failures), the serve-send client (riding out worker restarts and
+ * overload shedding) and the fleet supervisor (respawning crashed
+ * workers). They used to each hand-roll `base * 2^(attempt-1)`; this
+ * header is the one shared definition, with an optional cap and
+ * deterministic jitter so coordinated clients do not retry in
+ * lockstep (the classic thundering-herd failure of un-jittered
+ * backoff).
+ */
+#ifndef VDRAM_UTIL_BACKOFF_H
+#define VDRAM_UTIL_BACKOFF_H
+
+#include <cstdint>
+
+namespace vdram {
+
+/** Sentinel: no jitter seed — the delay is the deterministic curve. */
+constexpr std::uint64_t kBackoffNoJitter = ~std::uint64_t{0};
+
+/**
+ * Delay schedule: `base * multiplier^(attempt-1)`, capped at
+ * maxSeconds (0 = uncapped). With a jitter seed the delay is scaled by
+ * a deterministic factor in [1 - jitter, 1 + jitter]; the factor is a
+ * pure function of (seed, attempt), so retries are reproducible per
+ * logical client but spread across clients.
+ */
+struct BackoffPolicy {
+    /** Delay before the first retry, in seconds. */
+    double baseSeconds = 0.005;
+    /** Growth factor per attempt (>= 1). */
+    double multiplier = 2.0;
+    /** Upper bound per delay in seconds; 0 disables the cap. */
+    double maxSeconds = 0;
+    /** Jitter half-width as a fraction of the delay, in [0, 1]. */
+    double jitter = 0;
+};
+
+/**
+ * Delay before retry @p attempt (1-based: attempt 1 is the first
+ * retry). @p seed selects the jitter stream; kBackoffNoJitter (or
+ * policy.jitter == 0) yields the exact deterministic curve.
+ */
+double backoffDelaySeconds(const BackoffPolicy& policy, int attempt,
+                           std::uint64_t seed = kBackoffNoJitter);
+
+} // namespace vdram
+
+#endif // VDRAM_UTIL_BACKOFF_H

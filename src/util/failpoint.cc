@@ -27,6 +27,9 @@ namespace {
 constexpr const char* kFailpointNames[] = {
     "ckpt.append",      // CheckpointWriter::append, mid-record
     "ckpt.consolidate", // consolidateCheckpoint, before the rename
+    "fleet.heartbeat",  // supervisor liveness probe of a worker
+    "fleet.route",      // router worker-selection for a request
+    "fleet.spawn",      // supervisor worker process spawn
     "model.rebuild",    // DramPowerModel::build stage rebuild
     "runner.task",      // BatchRunner task invocation (FaultPlan site)
     "serve.request",    // serve request evaluation

@@ -28,6 +28,7 @@
 #include "runner/fault_injection.h"
 #include "runner/runner.h"
 #include "runner/trace_campaign.h"
+#include "serve/supervisor.h"
 #include "util/failpoint.h"
 #include "util/numerics.h"
 
@@ -212,9 +213,10 @@ coveredSites()
 {
     static const std::set<std::string>* covered =
         new std::set<std::string>{
-            "ckpt.append",   "ckpt.consolidate", "model.rebuild",
-            "runner.task",   "serve.request",    "serve.response",
-            "trace.slice",   "trace.stream",
+            "ckpt.append",     "ckpt.consolidate", "fleet.heartbeat",
+            "fleet.route",     "fleet.spawn",      "model.rebuild",
+            "runner.task",     "serve.request",    "serve.response",
+            "trace.slice",     "trace.stream",
         };
     return *covered;
 }
@@ -401,8 +403,44 @@ TEST(SiteMatrixTest, TraceStreamErrorBecomesIoDiagnostic)
     EXPECT_EQ(result.error().code, "E-IO-READ");
 }
 
-// serve.request / serve.response are exercised end-to-end (through real
-// sockets, the worker pool and the daemon's quarantine) in
+TEST(SiteMatrixTest, FleetSpawnErrorTripsTheRestartCircuitBreaker)
+{
+    FailpointGuard guard;
+    activate("fleet.spawn=error");
+    SupervisorOptions options;
+    options.socketDir = testing::TempDir() + "vdram_fleet_spawn_fp";
+    options.workers = 2;
+    options.restartBudget = 0; // first failure exhausts the budget
+    options.workerArgvOverride = {"/bin/true"};
+    Supervisor supervisor(std::move(options));
+    // Every spawn is struck; with no restart budget every slot goes
+    // Dead and start() reports the injected diagnostic.
+    Status started = supervisor.start();
+    ASSERT_FALSE(started.ok());
+    EXPECT_EQ(started.error().code, "E-FLEET-SPAWN");
+    EXPECT_TRUE(supervisor.allDead());
+    EXPECT_EQ(supervisor.stats().workersDead, 2);
+}
+
+TEST(SiteMatrixTest, FleetHeartbeatErrorAndCrashAtTheProbe)
+{
+    FailpointGuard guard;
+    activate("fleet.heartbeat=error");
+    Result<double> probe =
+        probeServeWorker("/nonexistent/worker.sock", 0.05);
+    ASSERT_FALSE(probe.ok());
+    EXPECT_EQ(probe.error().code, "E-FLEET-HEARTBEAT");
+
+    activate("fleet.heartbeat=crash");
+    EXPECT_THROW(
+        (void)probeServeWorker("/nonexistent/worker.sock", 0.05),
+        std::runtime_error);
+}
+
+// fleet.route fires inside a router session, which needs a live fleet
+// around it: the end-to-end exercise (structured E-FLEET-ROUTE shed
+// response on a real front socket) lives in tests/test_fleet.cc.
+// serve.request / serve.response are likewise exercised end-to-end in
 // tests/test_serve.cc; the registry coverage check above keeps this
 // matrix honest about where each entry lives.
 

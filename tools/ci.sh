@@ -4,7 +4,8 @@
 # diagnostics, CLI lint), a ThreadSanitizer build of the batch-runner
 # and serve-daemon concurrency surface, failpoint chaos smokes (kill -9
 # mid-checkpoint + resume byte-identity; a serve daemon under injected
-# request crashes), a fault-injection + resume smoke of the CLI, the
+# request crashes; a fleet that self-heals a wedged worker and a
+# kill -9), a fault-injection + resume smoke of the CLI, the
 # runner throughput benchmark (BENCH_runner.json), the model fast-path
 # throughput gate (BENCH_model.json vs the recorded baseline) and an
 # explicit exit-code check of the three-defect lint fixture. Run from
@@ -99,6 +100,59 @@ echo "== chaos smoke: serve daemon survives injected request chaos =="
         cat serve.err >&2
         exit 1
     fi
+)
+
+echo "== chaos smoke: fleet self-heals a wedged worker =="
+# fleet.heartbeat=stall:5 wedges the 5th liveness probe past the
+# deadline: the supervisor must SIGKILL the "wedged" worker and respawn
+# it. A direct kill -9 of a live worker must heal the same way. The
+# healed fleet still answers, then drains to exit 5 with the summed
+# accounting invariant intact.
+(
+    cd "$chaosdir"
+    VDRAM_FAILPOINTS="fleet.heartbeat=stall:5" \
+        "$cli" fleet --socket=fleet.sock --workers=2 --heartbeat=0.1 \
+        --heartbeat-deadline=0.4 --restart-base-ms=20 --ready-marker \
+        2> fleet.err &
+    pid=$!
+    i=0
+    while ! grep -q VDRAM-READY fleet.err 2>/dev/null &&
+          [ $i -lt 200 ]; do
+        sleep 0.05; i=$((i + 1))
+    done
+    i=0
+    while ! grep -q "respawned (gen 2)" fleet.err 2>/dev/null &&
+          [ $i -lt 200 ]; do
+        sleep 0.05; i=$((i + 1))
+    done
+    grep -q "heartbeat deadline exceeded" fleet.err
+    grep -q "respawned (gen 2)" fleet.err
+    # Direct kill -9 of the most recently (re)spawned worker.
+    wpid=$(sed -n 's/^fleet: worker [0-9]* pid \([0-9]*\) .*spawned.*/\1/p' \
+        fleet.err | tail -1)
+    kill -9 "$wpid"
+    i=0
+    while [ "$(grep -c respawned fleet.err)" -lt 2 ] &&
+          [ $i -lt 200 ]; do
+        sleep 0.05; i=$((i + 1))
+    done
+    test "$(grep -c respawned fleet.err)" -ge 2
+    printf '{"id":1,"op":"ping"}\n' |
+        "$cli" serve-send --socket=fleet.sock > fleet_ping.txt
+    grep -q '"pong":true' fleet_ping.txt
+    kill -INT "$pid"
+    set +e
+    wait "$pid"
+    status=$?
+    set -e
+    if [ "$status" -ne 5 ]; then
+        echo "FAIL: drained fleet exited $status, want 5" >&2
+        cat fleet.err >&2
+        exit 1
+    fi
+    stats=$(grep '^fleet: {' fleet.err | tail -1)
+    echo "$stats" | grep -q '"invariantHolds":true'
+    echo "$stats" | grep -q '"workersDrained":true'
 )
 
 echo "== fault-injection + resume smoke =="

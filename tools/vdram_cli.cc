@@ -39,6 +39,10 @@
 #include <string>
 #include <vector>
 
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
 #include "circuit/rc_timing.h"
 #include "core/json_export.h"
 #include "core/montecarlo.h"
@@ -59,6 +63,7 @@
 #include "protocol/trace.h"
 #include "protocol/trace_stream.h"
 #include "runner/trace_campaign.h"
+#include "serve/fleet.h"
 #include "serve/server.h"
 #include "util/failpoint.h"
 #include "util/json.h"
@@ -138,6 +143,38 @@ constexpr const char* kReadyMarker = "VDRAM-READY";
 /** Raised by the SIGINT handler; polled by the batch runner. */
 std::atomic<bool> g_stop_requested{false};
 
+/** argv[0], kept for the fleet's worker re-exec fallback. */
+std::string g_argv0;
+
+/** Path of this binary, for `fleet` to exec `<self> serve` workers.
+ *  /proc/self/exe survives PATH-relative invocation and chdir;
+ *  argv[0] is the portable fallback. */
+std::string
+resolveSelfExe()
+{
+#if !defined(_WIN32)
+    char buffer[4096];
+    ssize_t got =
+        ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+    if (got > 0) {
+        buffer[got] = '\0';
+        return std::string(buffer);
+    }
+#endif
+    return g_argv0;
+}
+
+/** Daemon mode writes to sockets whose peer may vanish any time; a
+ *  dying client must surface as EPIPE on that one session's write
+ *  (handled, session closes), never as process-killing SIGPIPE. */
+void
+ignoreSigpipe()
+{
+#if !defined(_WIN32)
+    std::signal(SIGPIPE, SIG_IGN);
+#endif
+}
+
 extern "C" void
 onSigint(int)
 {
@@ -203,9 +240,29 @@ printUsage(std::FILE* out)
         "                            worker threads; also --queue=N,\n"
         "                            --deadline=S, --max-deadline=S,\n"
         "                            --idle-timeout=S, --cache=N\n"
-        "  serve-send [--socket=PATH|--port=N]\n"
+        "  serve-send [--socket=PATH|--port=N] [--retries=N]\n"
+        "             [--retry-base-ms=MS]\n"
         "                            send stdin lines to a serve daemon\n"
-        "                            and print the responses\n"
+        "                            and print the responses; retries\n"
+        "                            refused connects and shed\n"
+        "                            (E-SERVE-OVERLOAD) lines with\n"
+        "                            jittered exponential backoff\n"
+        "                            (default 3 retries, 50 ms base)\n"
+        "  fleet [--socket=PATH|--port=N] [--workers=N]\n"
+        "        [--worker-dir=DIR] [--heartbeat=S]\n"
+        "        [--heartbeat-deadline=S] [--restart-budget=N]\n"
+        "        [--restart-base-ms=MS] [--drain-timeout=S]\n"
+        "        [--failover-wait=S]\n"
+        "                            supervised multi-process serve\n"
+        "                            fleet: N workers on private\n"
+        "                            sockets behind one front socket;\n"
+        "                            crashed workers restart with\n"
+        "                            backoff, sessions fail over,\n"
+        "                            SIGINT/SIGTERM drains the fleet\n"
+        "                            (exit 5); worker passthrough:\n"
+        "                            --jobs, --queue, --deadline,\n"
+        "                            --max-deadline, --idle-timeout,\n"
+        "                            --cache (see docs/serve.md)\n"
         "  trace <target> <cmdtrace> [--window=N] "
         "[--format=text|csv|json]\n"
         "                            [--check] [--serial]\n"
@@ -1148,6 +1205,7 @@ cmdServe(CampaignFlags flags, int argc, char** argv)
     }
 
     options.stopFlag = &g_stop_requested;
+    ignoreSigpipe();
     std::signal(SIGINT, onSigint);
     std::signal(SIGTERM, onSigterm);
     options.onReady = [] {
@@ -1168,16 +1226,212 @@ cmdServe(CampaignFlags flags, int argc, char** argv)
     return stats.value().drained ? kExitPartial : kExitOk;
 }
 
+/**
+ * `vdram fleet`: N supervised `vdram serve` workers behind one front
+ * socket (src/serve/fleet.h). SIGINT/SIGTERM drain the whole fleet;
+ * exit 5 certifies the summed accounting invariant held and every
+ * worker drained cleanly.
+ */
+int
+cmdFleet(CampaignFlags flags, int argc, char** argv)
+{
+    FleetOptions options;
+    options.serve.threads = flags.runner.jobs;
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (startsWith(arg, "--socket=")) {
+            options.socketPath = arg.substr(9);
+        } else if (startsWith(arg, "--port=")) {
+            long long port = 0;
+            if (!parseCount(arg.substr(7), 1, 65535, port)) {
+                std::fprintf(stderr,
+                             "--port must be in [1, 65535], got '%s'\n",
+                             arg.substr(7).c_str());
+                return kExitUsage;
+            }
+            options.port = static_cast<int>(port);
+        } else if (startsWith(arg, "--workers=")) {
+            long long workers = 0;
+            if (!parseCount(arg.substr(10), 1, 64, workers)) {
+                std::fprintf(stderr,
+                             "--workers must be in [1, 64], got '%s'\n",
+                             arg.substr(10).c_str());
+                return kExitUsage;
+            }
+            options.workers = static_cast<int>(workers);
+        } else if (startsWith(arg, "--worker-dir=")) {
+            options.socketDir = arg.substr(13);
+        } else if (startsWith(arg, "--heartbeat=")) {
+            options.heartbeatSeconds =
+                std::atof(arg.substr(12).c_str());
+            if (!(options.heartbeatSeconds > 0)) {
+                std::fprintf(stderr,
+                             "--heartbeat must be > 0 seconds\n");
+                return kExitUsage;
+            }
+        } else if (startsWith(arg, "--heartbeat-deadline=")) {
+            options.heartbeatDeadlineSeconds =
+                std::atof(arg.substr(21).c_str());
+            if (!(options.heartbeatDeadlineSeconds > 0)) {
+                std::fprintf(
+                    stderr,
+                    "--heartbeat-deadline must be > 0 seconds\n");
+                return kExitUsage;
+            }
+        } else if (startsWith(arg, "--restart-budget=")) {
+            long long budget = 0;
+            if (!parseCount(arg.substr(17), 0, 1000, budget)) {
+                std::fprintf(
+                    stderr,
+                    "--restart-budget must be in [0, 1000], got "
+                    "'%s'\n",
+                    arg.substr(17).c_str());
+                return kExitUsage;
+            }
+            options.restartBudget = static_cast<int>(budget);
+        } else if (startsWith(arg, "--restart-base-ms=")) {
+            long long base = 0;
+            if (!parseCount(arg.substr(18), 1, 60'000, base)) {
+                std::fprintf(stderr,
+                             "--restart-base-ms must be in [1, 60000], "
+                             "got '%s'\n",
+                             arg.substr(18).c_str());
+                return kExitUsage;
+            }
+            options.restartBaseSeconds =
+                static_cast<double>(base) / 1000.0;
+        } else if (startsWith(arg, "--drain-timeout=")) {
+            options.drainTimeoutSeconds =
+                std::atof(arg.substr(16).c_str());
+            if (!(options.drainTimeoutSeconds > 0)) {
+                std::fprintf(stderr,
+                             "--drain-timeout must be > 0 seconds\n");
+                return kExitUsage;
+            }
+        } else if (startsWith(arg, "--failover-wait=")) {
+            options.failoverWaitSeconds =
+                std::atof(arg.substr(16).c_str());
+            if (!(options.failoverWaitSeconds > 0)) {
+                std::fprintf(stderr,
+                             "--failover-wait must be > 0 seconds\n");
+                return kExitUsage;
+            }
+        } else if (startsWith(arg, "--queue=")) {
+            long long queue = 0;
+            if (!parseCount(arg.substr(8), 1, 1 << 20, queue)) {
+                std::fprintf(stderr,
+                             "--queue must be a positive request "
+                             "count, got '%s'\n",
+                             arg.substr(8).c_str());
+                return kExitUsage;
+            }
+            options.serve.queueCapacity = queue;
+        } else if (startsWith(arg, "--deadline=")) {
+            options.serve.deadlineSeconds =
+                std::atof(arg.substr(11).c_str());
+            if (options.serve.deadlineSeconds < 0) {
+                std::fprintf(stderr,
+                             "--deadline must be >= 0 seconds\n");
+                return kExitUsage;
+            }
+        } else if (startsWith(arg, "--max-deadline=")) {
+            options.serve.maxDeadlineSeconds =
+                std::atof(arg.substr(15).c_str());
+            if (!(options.serve.maxDeadlineSeconds > 0)) {
+                std::fprintf(stderr,
+                             "--max-deadline must be > 0 seconds\n");
+                return kExitUsage;
+            }
+        } else if (startsWith(arg, "--idle-timeout=")) {
+            options.idleSessionSeconds =
+                std::atof(arg.substr(15).c_str());
+            if (options.idleSessionSeconds < 0) {
+                std::fprintf(stderr,
+                             "--idle-timeout must be >= 0 seconds\n");
+                return kExitUsage;
+            }
+            options.serve.idleSessionSeconds =
+                options.idleSessionSeconds;
+        } else if (startsWith(arg, "--cache=")) {
+            long long cache = 0;
+            if (!parseCount(arg.substr(8), 1, 4096, cache)) {
+                std::fprintf(stderr,
+                             "--cache must be in [1, 4096], got '%s'\n",
+                             arg.substr(8).c_str());
+                return kExitUsage;
+            }
+            options.serve.cacheCapacity = cache;
+        } else {
+            std::fprintf(stderr, "unknown argument '%s' for fleet\n",
+                         arg.c_str());
+            return kExitUsage;
+        }
+    }
+    if (options.socketPath.empty() && options.port == 0) {
+        std::fprintf(stderr, "fleet needs --socket=PATH or --port=N\n");
+        return kExitUsage;
+    }
+    if (options.socketDir.empty()) {
+        if (options.socketPath.empty()) {
+            std::fprintf(stderr,
+                         "fleet with --port needs --worker-dir=DIR "
+                         "for the worker sockets\n");
+            return kExitUsage;
+        }
+        options.socketDir = options.socketPath + ".d";
+    }
+    options.exePath = resolveSelfExe();
+    if (options.exePath.empty()) {
+        std::fprintf(stderr,
+                     "fleet cannot resolve its own binary path\n");
+        return kExitRuntime;
+    }
+
+    options.stopFlag = &g_stop_requested;
+    ignoreSigpipe();
+    std::signal(SIGINT, onSigint);
+    std::signal(SIGTERM, onSigterm);
+    options.onReady = [] {
+        if (g_ready_marker) {
+            std::fprintf(stderr, "%s\n", kReadyMarker);
+            std::fflush(stderr);
+            g_ready_marker = false;
+        }
+    };
+    options.onEvent = [](const std::string& event) {
+        // One supervision event per line; scripted tests parse the
+        // "worker N pid P" lines to aim their kill -9.
+        std::fprintf(stderr, "fleet: %s\n", event.c_str());
+        std::fflush(stderr);
+    };
+
+    Result<FleetStats> stats = runFleet(options);
+    if (!stats.ok()) {
+        std::fprintf(stderr, "%s\n", stats.error().toString().c_str());
+        return kExitRuntime;
+    }
+    std::fprintf(stderr, "fleet: %s\n",
+                 stats.value().renderJson().c_str());
+    if (stats.value().cleanDrain())
+        return kExitPartial;
+    if (stats.value().drained) {
+        // Drain commanded but the accounting did not close: a worker
+        // was killed hard or a response went missing. Scripts must not
+        // read this as a clean drain.
+        return kExitRuntime;
+    }
+    return kExitOk;
+}
+
 /** `vdram serve-send`: pipe stdin request lines to a daemon. */
 int
 cmdServeSend(int argc, char** argv)
 {
-    std::string socket_path;
-    int port = 0;
+    ServeSendOptions options;
     for (int i = 0; i < argc; ++i) {
         std::string arg = argv[i];
         if (startsWith(arg, "--socket=")) {
-            socket_path = arg.substr(9);
+            options.socketPath = arg.substr(9);
         } else if (startsWith(arg, "--port=")) {
             long long value = 0;
             if (!parseCount(arg.substr(7), 1, 65535, value)) {
@@ -1186,7 +1440,28 @@ cmdServeSend(int argc, char** argv)
                              arg.substr(7).c_str());
                 return kExitUsage;
             }
-            port = static_cast<int>(value);
+            options.port = static_cast<int>(value);
+        } else if (startsWith(arg, "--retries=")) {
+            long long retries = 0;
+            if (!parseCount(arg.substr(10), 0, 100, retries)) {
+                std::fprintf(stderr,
+                             "--retries must be in [0, 100], got "
+                             "'%s'\n",
+                             arg.substr(10).c_str());
+                return kExitUsage;
+            }
+            options.retries = static_cast<int>(retries);
+        } else if (startsWith(arg, "--retry-base-ms=")) {
+            long long base = 0;
+            if (!parseCount(arg.substr(16), 1, 60'000, base)) {
+                std::fprintf(stderr,
+                             "--retry-base-ms must be in [1, 60000], "
+                             "got '%s'\n",
+                             arg.substr(16).c_str());
+                return kExitUsage;
+            }
+            options.retryBaseSeconds =
+                static_cast<double>(base) / 1000.0;
         } else {
             std::fprintf(stderr,
                          "unknown argument '%s' for serve-send\n",
@@ -1194,7 +1469,7 @@ cmdServeSend(int argc, char** argv)
             return kExitUsage;
         }
     }
-    if (socket_path.empty() && port == 0) {
+    if (options.socketPath.empty() && options.port == 0) {
         std::fprintf(stderr,
                      "serve-send needs --socket=PATH or --port=N\n");
         return kExitUsage;
@@ -1210,8 +1485,7 @@ cmdServeSend(int argc, char** argv)
         return kExitUsage;
     }
 
-    Result<std::string> responses = serveSendLines(socket_path, port,
-                                                   input);
+    Result<std::string> responses = serveSendLinesRetry(options, input);
     if (!responses.ok()) {
         std::fprintf(stderr, "%s\n",
                      responses.error().toString().c_str());
@@ -1256,7 +1530,26 @@ commandOwnsFlag(const std::string& command, const std::string& arg)
     }
     if (command == "serve-send") {
         return startsWith(arg, "--socket=") ||
-               startsWith(arg, "--port=");
+               startsWith(arg, "--port=") ||
+               startsWith(arg, "--retries=") ||
+               startsWith(arg, "--retry-base-ms=");
+    }
+    if (command == "fleet") {
+        return startsWith(arg, "--socket=") ||
+               startsWith(arg, "--port=") ||
+               startsWith(arg, "--workers=") ||
+               startsWith(arg, "--worker-dir=") ||
+               startsWith(arg, "--heartbeat=") ||
+               startsWith(arg, "--heartbeat-deadline=") ||
+               startsWith(arg, "--restart-budget=") ||
+               startsWith(arg, "--restart-base-ms=") ||
+               startsWith(arg, "--drain-timeout=") ||
+               startsWith(arg, "--failover-wait=") ||
+               startsWith(arg, "--queue=") ||
+               startsWith(arg, "--deadline=") ||
+               startsWith(arg, "--max-deadline=") ||
+               startsWith(arg, "--idle-timeout=") ||
+               startsWith(arg, "--cache=");
     }
     return false;
 }
@@ -1463,6 +1756,8 @@ runCli(int argc, char** argv)
         return cmdList();
     if (command == "serve")
         return cmdServe(campaign, argc - 2, argv + 2);
+    if (command == "fleet")
+        return cmdFleet(campaign, argc - 2, argv + 2);
     if (command == "serve-send")
         return cmdServeSend(argc - 2, argv + 2);
     if (command == "trends") {
@@ -1545,6 +1840,8 @@ runCli(int argc, char** argv)
 int
 main(int argc, char** argv)
 {
+    if (argc > 0 && argv[0])
+        g_argv0 = argv[0];
     int code = runCli(argc, argv);
     writeObservabilityOutputs();
     return code;
