@@ -163,8 +163,8 @@ BM_ControllerScheduling(benchmark::State& state)
     for (auto _ : state) {
         CommandScheduler scheduler(desc.spec, desc.timing,
                                    PagePolicy::OpenPage);
-        ScheduledStream stream = scheduler.schedule(accesses);
-        benchmark::DoNotOptimize(stream.stats.rowHits);
+        Result<ScheduledStream> stream = scheduler.schedule(accesses);
+        benchmark::DoNotOptimize(stream.value().stats.rowHits);
     }
     state.SetItemsProcessed(state.iterations() * params.count);
 }

@@ -47,7 +47,8 @@ main()
         for (PagePolicy policy :
              {PagePolicy::OpenPage, PagePolicy::ClosedPage}) {
             CommandScheduler scheduler(desc.spec, desc.timing, policy);
-            ScheduledStream stream = scheduler.schedule(c.accesses);
+            ScheduledStream stream =
+                scheduler.schedule(c.accesses).value();
             PatternPower power = model.evaluate(stream.pattern);
             table.addRow({c.name,
                           policy == PagePolicy::OpenPage ? "open"

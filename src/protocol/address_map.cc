@@ -1,0 +1,122 @@
+#include "protocol/address_map.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace vdram {
+
+std::string
+mapSchemeName(MapScheme scheme)
+{
+    switch (scheme) {
+    case MapScheme::RowBankCol:
+        return "row-bank-col";
+    case MapScheme::BankRowCol:
+        return "bank-row-col";
+    case MapScheme::XorBankRowCol:
+        return "xor-bank-row-col";
+    }
+    panic("unknown map scheme");
+}
+
+Result<MapScheme>
+parseMapScheme(const std::string& name)
+{
+    if (name == "row-bank-col")
+        return MapScheme::RowBankCol;
+    if (name == "bank-row-col")
+        return MapScheme::BankRowCol;
+    if (name == "xor-bank-row-col" || name == "xor")
+        return MapScheme::XorBankRowCol;
+    Error e;
+    e.code = "E-SCHED-MAP";
+    e.message = strformat(
+        "unknown address-map scheme '%s' (expected row-bank-col, "
+        "bank-row-col or xor-bank-row-col)", name.c_str());
+    return e;
+}
+
+std::vector<MapScheme>
+allMapSchemes()
+{
+    return {MapScheme::RowBankCol, MapScheme::BankRowCol,
+            MapScheme::XorBankRowCol};
+}
+
+AddressMap::AddressMap(const Specification& spec, MapScheme scheme)
+    : scheme_(scheme), banks_(spec.banks()), rows_(spec.rowsPerBank())
+{
+    columnGroups_ = std::max<long long>(
+        1, (1LL << spec.columnAddressBits) / spec.burstLength);
+    capacity_ = static_cast<long long>(banks_) * rows_ * columnGroups_;
+}
+
+MemoryAccess
+AddressMap::decode(long long address, bool write) const
+{
+    long long a = address % capacity_;
+    if (a < 0)
+        a += capacity_;
+
+    MemoryAccess access;
+    access.write = write;
+    access.column = a % columnGroups_;
+    a /= columnGroups_;
+    switch (scheme_) {
+    case MapScheme::RowBankCol:
+        access.bank = static_cast<int>(a % banks_);
+        access.row = a / banks_;
+        break;
+    case MapScheme::BankRowCol:
+        access.row = a % rows_;
+        access.bank = static_cast<int>(a / rows_);
+        break;
+    case MapScheme::XorBankRowCol:
+        access.bank = static_cast<int>(a % banks_);
+        access.row = a / banks_;
+        access.bank = static_cast<int>(
+            (access.bank ^ (access.row % banks_)) % banks_);
+        break;
+    }
+    return access;
+}
+
+long long
+AddressMap::encode(const MemoryAccess& access) const
+{
+    long long bank = access.bank;
+    long long mid = 0;
+    switch (scheme_) {
+    case MapScheme::RowBankCol:
+        mid = access.row * banks_ + bank;
+        break;
+    case MapScheme::BankRowCol:
+        mid = bank * rows_ + access.row;
+        break;
+    case MapScheme::XorBankRowCol:
+        // The XOR hash is an involution at fixed row.
+        bank = (bank ^ (access.row % banks_)) % banks_;
+        mid = access.row * banks_ + bank;
+        break;
+    }
+    return mid * columnGroups_ + access.column;
+}
+
+std::vector<MemoryAccess>
+remapAccesses(const std::vector<MemoryAccess>& accesses,
+              const Specification& spec, MapScheme target)
+{
+    AddressMap canonical(spec, MapScheme::RowBankCol);
+    AddressMap mapped(spec, target);
+    std::vector<MemoryAccess> out;
+    out.reserve(accesses.size());
+    for (const MemoryAccess& access : accesses) {
+        out.push_back(
+            mapped.decode(canonical.encode(access), access.write));
+    }
+    return out;
+}
+
+} // namespace vdram

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Configurable linear-address → bank/row/column mapping.
+ *
+ * Controller simulators differ in how they spread a flat physical
+ * address over the DRAM geometry; the interleave scheme decides which
+ * banks a streaming workload touches and where row-buffer conflicts
+ * land. Three named schemes are provided, mirroring the options found
+ * in ramulator-style memory models (`bank_remap`):
+ *
+ *  - row-bank-col: row in the high bits, bank in the middle, column
+ *    group in the low bits. Sequential addresses walk a row's columns,
+ *    then move to the same row of the next bank — the classic
+ *    bank-interleaved layout.
+ *  - bank-row-col: bank in the high bits — a sequential stream stays
+ *    inside one bank and walks its rows, minimizing bank parallelism
+ *    (the worst case that makes the contrast measurable).
+ *  - xor-bank-row-col: row-bank-col with the bank index XOR-hashed
+ *    with the low row bits (permutation-based interleaving). Hot rows
+ *    that would collide in one bank are spread across all of them.
+ *
+ * Addresses are in burst-group units: one linear address names one
+ * burst-aligned column group, so capacity() == banks * rows * column
+ * groups. encode() and decode() are exact inverses for every scheme.
+ */
+#ifndef VDRAM_PROTOCOL_ADDRESS_MAP_H
+#define VDRAM_PROTOCOL_ADDRESS_MAP_H
+
+#include <string>
+#include <vector>
+
+#include "core/spec.h"
+#include "util/result.h"
+
+namespace vdram {
+
+/** One memory request (burst granularity). */
+struct MemoryAccess {
+    bool write = false;
+    int bank = 0;
+    long long row = 0;
+    long long column = 0; ///< burst-aligned column group
+};
+
+/** Named interleave scheme. */
+enum class MapScheme {
+    RowBankCol,    ///< row | bank | column (bank-interleaved)
+    BankRowCol,    ///< bank | row | column (bank-linear)
+    XorBankRowCol, ///< row-bank-col with XOR-hashed bank index
+};
+
+/** Scheme name as accepted by parseMapScheme ("row-bank-col", ...). */
+std::string mapSchemeName(MapScheme scheme);
+
+/** Parse a scheme name; E-SCHED-MAP on an unknown name. */
+Result<MapScheme> parseMapScheme(const std::string& name);
+
+/** All schemes, in a stable order (for sweeps and tests). */
+std::vector<MapScheme> allMapSchemes();
+
+/**
+ * Address decomposition for one device geometry under one scheme.
+ * Built from a Specification; field ranges match the scheduler's
+ * validateAccesses() so decoded accesses are always in range.
+ */
+class AddressMap {
+  public:
+    AddressMap(const Specification& spec, MapScheme scheme);
+
+    MapScheme scheme() const { return scheme_; }
+    int banks() const { return banks_; }
+    long long rows() const { return rows_; }
+    long long columnGroups() const { return columnGroups_; }
+
+    /** Total burst-group addresses: banks * rows * columnGroups. */
+    long long capacity() const { return capacity_; }
+
+    /** Decode a linear address (taken modulo capacity()). */
+    MemoryAccess decode(long long address, bool write) const;
+
+    /** Inverse of decode(); fields must be in range. */
+    long long encode(const MemoryAccess& access) const;
+
+  private:
+    MapScheme scheme_;
+    int banks_;
+    long long rows_;
+    long long columnGroups_;
+    long long capacity_;
+};
+
+/**
+ * Re-express an access stream under a different interleave scheme:
+ * every access is encoded through the canonical row-bank-col map and
+ * decoded through @p target, so the linear reference stream is
+ * unchanged while its placement on the device follows the scheme.
+ */
+std::vector<MemoryAccess> remapAccesses(
+    const std::vector<MemoryAccess>& accesses,
+    const Specification& spec, MapScheme target);
+
+} // namespace vdram
+
+#endif // VDRAM_PROTOCOL_ADDRESS_MAP_H

@@ -150,6 +150,7 @@ checkPattern(const Pattern& pattern, const TimingParams& timing, int banks)
     bool need_deeper_queue = false;
 
     long long last_column = -1'000'000;
+    long long last_write = -1'000'000; // rank-wide, for tWTR
     std::deque<long long> activate_times; // for tRRD / tFAW
 
     // Unroll: iterate the loop enough times for every bank to have been
@@ -243,7 +244,20 @@ checkPattern(const Pattern& pattern, const TimingParams& timing, int banks)
                                      "command, tCCD=%d",
                                      cycle - last_column, timing.tCcd));
                 }
+                // Write-to-read turnaround is rank-wide: the write
+                // burst plus tWTR must elapse before any read.
+                if (op == Op::Rd &&
+                    cycle - last_write <
+                        timing.burstCycles + timing.tWtr) {
+                    report(sink, cycle, op, "tWTR",
+                           strformat("%lld cycles since previous write, "
+                                     "tWTR=%d",
+                                     cycle - last_write,
+                                     timing.burstCycles + timing.tWtr));
+                }
                 last_column = cycle;
+                if (op == Op::Wr)
+                    last_write = cycle;
                 if (assume_open_pages) {
                     // Steady open-page stream: no bank-state check.
                 } else if (open_banks.empty()) {

@@ -9,7 +9,8 @@
  * column commands go to the most recently usable bank, precharges close
  * the oldest open bank) and verifies the JEDEC-style constraints:
  * tRC/tRAS/tRP/tRCD per bank, tCCD between column commands, tRRD and
- * tFAW between activates, read/write-to-precharge recovery.
+ * tFAW between activates, read/write-to-precharge recovery, and the
+ * rank-wide tWTR write-to-read turnaround.
  *
  * The loop is checked in steady state: it is unrolled several times and
  * violations are only reported from the second iteration on.

@@ -1,12 +1,65 @@
 #include "protocol/controller.h"
 
 #include <algorithm>
-#include <random>
 
 #include "util/logging.h"
 #include "util/strings.h"
 
 namespace vdram {
+
+std::string
+pagePolicyName(PagePolicy policy)
+{
+    switch (policy) {
+    case PagePolicy::OpenPage:
+        return "open";
+    case PagePolicy::ClosedPage:
+        return "closed";
+    }
+    panic("unknown page policy");
+}
+
+Result<PagePolicy>
+parsePagePolicy(const std::string& name)
+{
+    if (name == "open")
+        return PagePolicy::OpenPage;
+    if (name == "closed")
+        return PagePolicy::ClosedPage;
+    Error e;
+    e.code = "E-SCHED-PAGE";
+    e.message = strformat(
+        "unknown page policy '%s' (expected open or closed)",
+        name.c_str());
+    return e;
+}
+
+std::string
+schedPolicyName(SchedPolicy policy)
+{
+    switch (policy) {
+    case SchedPolicy::InOrder:
+        return "inorder";
+    case SchedPolicy::FrFcfs:
+        return "frfcfs";
+    }
+    panic("unknown scheduling policy");
+}
+
+Result<SchedPolicy>
+parseSchedPolicy(const std::string& name)
+{
+    if (name == "inorder" || name == "fcfs")
+        return SchedPolicy::InOrder;
+    if (name == "frfcfs" || name == "fr-fcfs")
+        return SchedPolicy::FrFcfs;
+    Error e;
+    e.code = "E-SCHED-POLICY";
+    e.message = strformat(
+        "unknown scheduling policy '%s' (expected inorder or frfcfs)",
+        name.c_str());
+    return e;
+}
 
 Status
 validateAccesses(const std::vector<MemoryAccess>& accesses,
@@ -14,6 +67,8 @@ validateAccesses(const std::vector<MemoryAccess>& accesses,
 {
     const int banks = spec.banks();
     const long long rows = spec.rowsPerBank();
+    const long long columns = std::max<long long>(
+        1, (1LL << spec.columnAddressBits) / spec.burstLength);
     for (size_t i = 0; i < accesses.size(); ++i) {
         const MemoryAccess& a = accesses[i];
         if (a.bank < 0 || a.bank >= banks) {
@@ -32,11 +87,12 @@ validateAccesses(const std::vector<MemoryAccess>& accesses,
                 "(%lld rows)", i, a.row, rows);
             return Status(e);
         }
-        if (a.column < 0) {
+        if (a.column < 0 || a.column >= columns) {
             Error e;
             e.code = "E-TRACE-RANGE";
-            e.message =
-                strformat("access %zu has a negative column", i);
+            e.message = strformat(
+                "access %zu addresses column group %lld outside the "
+                "row (%lld groups)", i, a.column, columns);
             return Status(e);
         }
     }
@@ -46,9 +102,22 @@ validateAccesses(const std::vector<MemoryAccess>& accesses,
 CommandScheduler::CommandScheduler(const Specification& spec,
                                    const TimingParams& timing,
                                    PagePolicy policy)
-    : spec_(spec), timing_(timing), policy_(policy)
+    : CommandScheduler(spec, timing,
+                       SchedulerOptions{policy, SchedPolicy::InOrder, 1})
 {
+}
+
+CommandScheduler::CommandScheduler(const Specification& spec,
+                                   const TimingParams& timing,
+                                   const SchedulerOptions& options)
+    : spec_(spec), timing_(timing), options_(options)
+{
+    if (options_.windowSize < 1) {
+        warn("scheduler window below 1; clamping to 1");
+        options_.windowSize = 1;
+    }
     banks_.resize(static_cast<size_t>(spec.banks()));
+    bankQueues_.resize(banks_.size());
 }
 
 void
@@ -88,77 +157,144 @@ CommandScheduler::earliestPrecharge(const BankState& bank) const
 }
 
 long long
-CommandScheduler::earliestColumn(const BankState& bank) const
+CommandScheduler::earliestColumn(const BankState& bank,
+                                 bool is_write) const
 {
-    return std::max(bank.lastActivate + timing_.tRcd,
-                    lastColumn_ + timing_.tCcd);
+    long long cycle = std::max(bank.lastActivate + timing_.tRcd,
+                               lastColumn_ + timing_.tCcd);
+    // Write-to-read turnaround is rank-wide: the write burst must clear
+    // the data bus plus tWTR before any read command.
+    if (!is_write) {
+        cycle = std::max(cycle, lastWriteBurst_ + timing_.burstCycles +
+                                    timing_.tWtr);
+    }
+    return cycle;
 }
 
-ScheduledStream
+long long
+CommandScheduler::issue(const MemoryAccess& access, long long now,
+                        ScheduleStats& stats)
+{
+    BankState& bank = banks_[static_cast<size_t>(access.bank)];
+    ++stats.accesses;
+
+    bool need_activate = false;
+    if (bank.open && bank.row == access.row) {
+        ++stats.rowHits;
+    } else if (bank.open) {
+        ++stats.rowConflicts;
+        long long pre_at = std::max(now, earliestPrecharge(bank));
+        emit(pre_at, Op::Pre);
+        bank.open = false;
+        bank.lastPrecharge = pre_at;
+        now = pre_at + 1;
+        need_activate = true;
+    } else {
+        ++stats.rowMisses;
+        need_activate = true;
+    }
+
+    if (need_activate) {
+        long long act_at = std::max(now, earliestActivate(bank));
+        emit(act_at, Op::Act);
+        bank.open = true;
+        bank.row = access.row;
+        bank.lastActivate = act_at;
+        recentActivates_.push_back(act_at);
+        if (recentActivates_.size() > 8)
+            recentActivates_.erase(recentActivates_.begin());
+        now = act_at + 1;
+    }
+
+    long long col_at =
+        std::max(now, earliestColumn(bank, access.write));
+    emit(col_at, access.write ? Op::Wr : Op::Rd);
+    lastColumn_ = col_at;
+    if (access.write) {
+        bank.lastWrite = col_at;
+        lastWriteBurst_ = col_at;
+    } else {
+        bank.lastRead = col_at;
+    }
+    now = col_at + 1;
+
+    if (options_.pagePolicy == PagePolicy::ClosedPage) {
+        long long pre_at = std::max(now, earliestPrecharge(bank));
+        emit(pre_at, Op::Pre);
+        bank.open = false;
+        bank.lastPrecharge = pre_at;
+        now = pre_at + 1;
+    }
+    return now;
+}
+
+Result<ScheduledStream>
 CommandScheduler::schedule(const std::vector<MemoryAccess>& accesses)
 {
+    Status valid = validateAccesses(accesses, spec_);
+    if (!valid.ok())
+        return valid.error();
+
     stream_.clear();
     for (BankState& bank : banks_)
         bank = BankState{};
     lastColumn_ = -1000000;
+    lastWriteBurst_ = -1000000;
     recentActivates_.clear();
+    for (std::deque<size_t>& queue : bankQueues_)
+        queue.clear();
 
     ScheduleStats stats;
     long long now = 0;
 
-    for (const MemoryAccess& access : accesses) {
-        if (access.bank < 0 ||
-            access.bank >= static_cast<int>(banks_.size())) {
-            ++stats.dropped;
-            continue;
-        }
-        BankState& bank = banks_[static_cast<size_t>(access.bank)];
-        ++stats.accesses;
+    const size_t window_size = options_.policy == SchedPolicy::InOrder
+        ? 1
+        : static_cast<size_t>(options_.windowSize);
 
-        bool need_activate = false;
-        if (bank.open && bank.row == access.row) {
-            ++stats.rowHits;
-        } else if (bank.open) {
-            ++stats.rowConflicts;
-            long long pre_at = std::max(now, earliestPrecharge(bank));
-            emit(pre_at, Op::Pre);
-            bank.open = false;
-            bank.lastPrecharge = pre_at;
-            now = pre_at + 1;
-            need_activate = true;
-        } else {
-            ++stats.rowMisses;
-            need_activate = true;
+    // Arrival-ordered reorder window; bankQueues_ index the same
+    // entries per bank for the row-hit scan.
+    std::deque<size_t> window;
+    size_t next = 0;
+
+    while (next < accesses.size() || !window.empty()) {
+        while (window.size() < window_size && next < accesses.size()) {
+            window.push_back(next);
+            bankQueues_[static_cast<size_t>(accesses[next].bank)]
+                .push_back(next);
+            ++next;
         }
 
-        if (need_activate) {
-            long long act_at = std::max(now, earliestActivate(bank));
-            emit(act_at, Op::Act);
-            bank.open = true;
-            bank.row = access.row;
-            bank.lastActivate = act_at;
-            recentActivates_.push_back(act_at);
-            if (recentActivates_.size() > 8)
-                recentActivates_.erase(recentActivates_.begin());
-            now = act_at + 1;
+        // FR-FCFS: the oldest pending row hit wins; with no hit in the
+        // window, fall back to the globally oldest request (FCFS).
+        // Scanning each bank queue in arrival order keeps same-row
+        // requests of one bank in arrival order, so same-address
+        // dependencies are never reordered.
+        size_t chosen = window.front();
+        if (options_.policy == SchedPolicy::FrFcfs) {
+            size_t best = SIZE_MAX;
+            for (size_t b = 0; b < banks_.size(); ++b) {
+                const BankState& bank = banks_[b];
+                if (!bank.open)
+                    continue;
+                for (size_t idx : bankQueues_[b]) {
+                    if (accesses[idx].row == bank.row) {
+                        best = std::min(best, idx);
+                        break;
+                    }
+                }
+            }
+            if (best != SIZE_MAX)
+                chosen = best;
         }
+        if (chosen != window.front())
+            ++stats.reordered;
 
-        long long col_at = std::max(now, earliestColumn(bank));
-        emit(col_at, access.write ? Op::Wr : Op::Rd);
-        lastColumn_ = col_at;
-        if (access.write)
-            bank.lastWrite = col_at;
-        else
-            bank.lastRead = col_at;
-        now = col_at + 1;
+        now = issue(accesses[chosen], now, stats);
 
-        if (policy_ == PagePolicy::ClosedPage) {
-            long long pre_at = std::max(now, earliestPrecharge(bank));
-            emit(pre_at, Op::Pre);
-            bank.open = false;
-            bank.lastPrecharge = pre_at;
-            now = pre_at + 1;
-        }
+        window.erase(std::find(window.begin(), window.end(), chosen));
+        std::deque<size_t>& queue =
+            bankQueues_[static_cast<size_t>(accesses[chosen].bank)];
+        queue.erase(std::find(queue.begin(), queue.end(), chosen));
     }
 
     // Drain: close every open bank and pad one row cycle so the stream
@@ -174,12 +310,6 @@ CommandScheduler::schedule(const std::vector<MemoryAccess>& accesses)
     }
     stream_.resize(stream_.size() + static_cast<size_t>(timing_.tRc),
                    Op::Nop);
-
-    if (stats.dropped > 0) {
-        warn(strformat("scheduler dropped %lld accesses addressing "
-                       "banks outside the device",
-                       stats.dropped));
-    }
 
     ScheduledStream result;
     result.pattern.loop = std::move(stream_);
@@ -201,148 +331,53 @@ applyPowerDownPolicy(Pattern& pattern, int timeout_cycles,
         warn("power-down exit latency is negative; clamping to 0");
         exit_latency_cycles = 0;
     }
-    long long converted = 0;
     const size_t n = pattern.loop.size();
-    size_t i = 0;
-    while (i < n) {
-        if (pattern.loop[i] != Op::Nop) {
-            ++i;
-            continue;
+    if (n == 0)
+        return 0;
+    const size_t overhead = static_cast<size_t>(timeout_cycles) +
+                            static_cast<size_t>(exit_latency_cycles);
+
+    long long converted = 0;
+    auto gate_run = [&](size_t start, size_t run) {
+        // Convert the middle of one idle run; start/length may wrap
+        // past the end of the loop.
+        if (run <= overhead)
+            return;
+        for (size_t k = static_cast<size_t>(timeout_cycles);
+             k < run - static_cast<size_t>(exit_latency_cycles); ++k) {
+            pattern.loop[(start + k) % n] = Op::Pdn;
+            ++converted;
         }
-        size_t end = i;
-        while (end < n && pattern.loop[end] == Op::Nop)
-            ++end;
-        size_t run = end - i;
-        size_t overhead = static_cast<size_t>(timeout_cycles) +
-                          static_cast<size_t>(exit_latency_cycles);
-        if (run > overhead) {
-            for (size_t k = i + static_cast<size_t>(timeout_cycles);
-                 k < end - static_cast<size_t>(exit_latency_cycles);
-                 ++k) {
-                pattern.loop[k] = Op::Pdn;
-                ++converted;
-            }
-        }
-        i = end;
+    };
+
+    // The pattern repeats, so idle runs are circular: a trailing NOP
+    // run continues into a leading one. Anchor the scan at the first
+    // command; the run that wraps past the loop boundary is collected
+    // in one piece.
+    size_t anchor = 0;
+    while (anchor < n && pattern.loop[anchor] == Op::Nop)
+        ++anchor;
+    if (anchor == n) {
+        // All-idle loop: one run covering the whole pattern.
+        gate_run(0, n);
+        return converted;
     }
+
+    size_t run_start = 0;
+    size_t run = 0;
+    for (size_t j = 1; j <= n; ++j) {
+        const size_t idx = (anchor + j) % n;
+        if (pattern.loop[idx] == Op::Nop) {
+            if (run == 0)
+                run_start = idx;
+            ++run;
+        } else {
+            gate_run(run_start, run);
+            run = 0;
+        }
+    }
+    gate_run(run_start, run);
     return converted;
-}
-
-namespace {
-
-struct AddressRanges {
-    int banks;
-    long long rows;
-    long long column_groups;
-};
-
-AddressRanges
-rangesOf(const Specification& spec)
-{
-    AddressRanges r;
-    r.banks = spec.banks();
-    r.rows = spec.rowsPerBank();
-    r.column_groups =
-        std::max<long long>(1, (1LL << spec.columnAddressBits) /
-                                   spec.burstLength);
-    return r;
-}
-
-} // namespace
-
-std::vector<MemoryAccess>
-makeRandomWorkload(const Specification& spec, const WorkloadParams& params)
-{
-    AddressRanges ranges = rangesOf(spec);
-    std::mt19937_64 rng(params.seed);
-    std::uniform_int_distribution<int> bank_dist(0, ranges.banks - 1);
-    std::uniform_int_distribution<long long> row_dist(0, ranges.rows - 1);
-    std::uniform_int_distribution<long long> col_dist(
-        0, ranges.column_groups - 1);
-    std::uniform_real_distribution<double> write_dist(0.0, 1.0);
-
-    std::vector<MemoryAccess> accesses;
-    accesses.reserve(static_cast<size_t>(params.count));
-    for (long long i = 0; i < params.count; ++i) {
-        MemoryAccess a;
-        a.bank = bank_dist(rng);
-        a.row = row_dist(rng);
-        a.column = col_dist(rng);
-        a.write = write_dist(rng) < params.writeFraction;
-        accesses.push_back(a);
-    }
-    return accesses;
-}
-
-std::vector<MemoryAccess>
-makeStreamingWorkload(const Specification& spec,
-                      const WorkloadParams& params)
-{
-    AddressRanges ranges = rangesOf(spec);
-    std::mt19937_64 rng(params.seed);
-    std::uniform_real_distribution<double> write_dist(0.0, 1.0);
-
-    std::vector<MemoryAccess> accesses;
-    accesses.reserve(static_cast<size_t>(params.count));
-    int bank = 0;
-    long long row = 0;
-    long long column = 0;
-    for (long long i = 0; i < params.count; ++i) {
-        MemoryAccess a;
-        a.bank = bank;
-        a.row = row;
-        a.column = column;
-        a.write = write_dist(rng) < params.writeFraction;
-        accesses.push_back(a);
-        if (++column >= ranges.column_groups) {
-            column = 0;
-            bank = (bank + 1) % ranges.banks;
-            if (bank == 0)
-                row = (row + 1) % ranges.rows;
-        }
-    }
-    return accesses;
-}
-
-std::vector<MemoryAccess>
-makeLocalityWorkload(const Specification& spec,
-                     const WorkloadParams& params, double locality)
-{
-    // NaN-safe clamp: treat any locality outside [0, 1] (including NaN)
-    // as the nearest bound rather than terminating.
-    if (!(locality >= 0)) {
-        warn("locality below 0; clamping to 0");
-        locality = 0;
-    } else if (locality > 1) {
-        warn("locality above 1; clamping to 1");
-        locality = 1;
-    }
-    AddressRanges ranges = rangesOf(spec);
-    std::mt19937_64 rng(params.seed);
-    std::uniform_int_distribution<int> bank_dist(0, ranges.banks - 1);
-    std::uniform_int_distribution<long long> row_dist(0, ranges.rows - 1);
-    std::uniform_int_distribution<long long> col_dist(
-        0, ranges.column_groups - 1);
-    std::uniform_real_distribution<double> unit(0.0, 1.0);
-
-    std::vector<long long> last_row(static_cast<size_t>(ranges.banks),
-                                    -1);
-    std::vector<MemoryAccess> accesses;
-    accesses.reserve(static_cast<size_t>(params.count));
-    for (long long i = 0; i < params.count; ++i) {
-        MemoryAccess a;
-        a.bank = bank_dist(rng);
-        long long& prev = last_row[static_cast<size_t>(a.bank)];
-        if (prev >= 0 && unit(rng) < locality)
-            a.row = prev;
-        else
-            a.row = row_dist(rng);
-        prev = a.row;
-        a.column = col_dist(rng);
-        a.write = unit(rng) < params.writeFraction;
-        accesses.push_back(a);
-    }
-    return accesses;
 }
 
 } // namespace vdram

@@ -1,35 +1,63 @@
 /**
  * @file
- * A small in-order memory controller: converts a stream of memory
+ * Memory-controller command scheduling: converts a stream of memory
  * accesses into a protocol-legal command pattern under an open-page or
- * closed-page row policy. This is the system-side substrate for the
- * paper's co-design argument (Section V: "a growing need to co-design
- * the DRAM itself and the memory system using it") — it turns workload
- * locality into command mixes the power model can evaluate.
+ * closed-page row policy, issued either strictly in order or via
+ * FR-FCFS (first-ready, first-come-first-served) reordering within a
+ * bounded window. This is the system-side substrate for the paper's
+ * co-design argument (Section V: "a growing need to co-design the DRAM
+ * itself and the memory system using it") — it turns workload locality
+ * into command mixes the power model can evaluate.
  */
 #ifndef VDRAM_PROTOCOL_CONTROLLER_H
 #define VDRAM_PROTOCOL_CONTROLLER_H
 
+#include <deque>
 #include <vector>
 
 #include "core/spec.h"
+#include "protocol/address_map.h"
 #include "protocol/timing.h"
+#include "protocol/workload.h"
 #include "util/result.h"
 
 namespace vdram {
-
-/** One memory request (burst granularity). */
-struct MemoryAccess {
-    bool write = false;
-    int bank = 0;
-    long long row = 0;
-    long long column = 0; ///< burst-aligned column group
-};
 
 /** Row-buffer management policy. */
 enum class PagePolicy {
     OpenPage,   ///< keep rows open, precharge only on conflicts
     ClosedPage, ///< precharge as soon as the access completes
+};
+
+/** Policy name ("open" / "closed"). */
+std::string pagePolicyName(PagePolicy policy);
+
+/** Parse a page-policy name; E-SCHED-PAGE on an unknown name. */
+Result<PagePolicy> parsePagePolicy(const std::string& name);
+
+/** Request-ordering policy. */
+enum class SchedPolicy {
+    InOrder, ///< issue strictly in arrival order
+    FrFcfs,  ///< row-hit-first within a bounded reorder window
+};
+
+/** Policy name ("inorder" / "frfcfs"). */
+std::string schedPolicyName(SchedPolicy policy);
+
+/** Parse a policy name; E-SCHED-POLICY on an unknown name. */
+Result<SchedPolicy> parseSchedPolicy(const std::string& name);
+
+/** Scheduler configuration. */
+struct SchedulerOptions {
+    PagePolicy pagePolicy = PagePolicy::OpenPage;
+    SchedPolicy policy = SchedPolicy::InOrder;
+    /**
+     * FR-FCFS reorder window: how many pending requests the scheduler
+     * may look past the oldest one. 1 degenerates to in-order; larger
+     * windows find more row hits but delay old misses longer (the
+     * bound is what keeps FR-FCFS starvation-free).
+     */
+    int windowSize = 16;
 };
 
 /** Scheduling statistics. */
@@ -38,7 +66,7 @@ struct ScheduleStats {
     long long rowHits = 0;      ///< open-page hits (no row command)
     long long rowMisses = 0;    ///< bank idle, activate needed
     long long rowConflicts = 0; ///< other row open, precharge needed
-    long long dropped = 0;      ///< accesses skipped (bank out of range)
+    long long reordered = 0;    ///< issued ahead of an older request
     long long cycles = 0;       ///< total schedule length
 
     double rowHitRate() const
@@ -56,33 +84,39 @@ struct ScheduledStream {
 };
 
 /**
- * Check an externally supplied access stream (e.g. a replayed trace)
- * against the device's address ranges. Returns the first offending
- * access as an E-TRACE-BANK / E-TRACE-RANGE error. The scheduler itself
- * never terminates on bad addresses — it skips them and counts them in
- * ScheduleStats::dropped — so callers that want hard rejection should
- * run this first.
+ * Check an access stream against the device's address ranges. Returns
+ * the first offending access as an E-TRACE-BANK / E-TRACE-RANGE error.
+ * CommandScheduler::schedule() runs this itself and fails with the
+ * same diagnostics, so a stream that schedules is always in range.
  */
 Status validateAccesses(const std::vector<MemoryAccess>& accesses,
                         const Specification& spec);
 
 /**
- * In-order greedy scheduler: every access is issued at the earliest
- * cycle that satisfies tRC/tRAS/tRP/tRCD/tCCD/tRRD/tFAW/tRTP/tWR; idle
- * cycles are filled with NOPs. The stream is drained at the end (all
+ * Greedy cycle-accurate scheduler: every command is issued at the
+ * earliest cycle that satisfies
+ * tRC/tRAS/tRP/tRCD/tCCD/tRRD/tFAW/tRTP/tWR/tWTR; idle cycles are
+ * filled with NOPs. Under FR-FCFS the next request is chosen
+ * row-hit-first from a bounded arrival window (per-bank queues, oldest
+ * hit wins, FCFS fallback to the globally oldest request); requests to
+ * the same bank and row always issue in arrival order, so same-address
+ * dependencies are preserved. The stream is drained at the end (all
  * banks precharged, one full row cycle of padding) so the resulting
  * pattern is legal even when evaluated as a repeating loop.
  *
- * Accesses addressing a bank outside the device are skipped and counted
- * in ScheduleStats::dropped (never fatal).
+ * Accesses outside the device's address ranges fail the whole schedule
+ * with E-TRACE-BANK / E-TRACE-RANGE (see validateAccesses()).
  */
 class CommandScheduler {
   public:
     CommandScheduler(const Specification& spec, const TimingParams& timing,
                      PagePolicy policy);
+    CommandScheduler(const Specification& spec, const TimingParams& timing,
+                     const SchedulerOptions& options);
 
     /** Schedule a full access stream. */
-    ScheduledStream schedule(const std::vector<MemoryAccess>& accesses);
+    Result<ScheduledStream> schedule(
+        const std::vector<MemoryAccess>& accesses);
 
   private:
     struct BankState {
@@ -97,25 +131,26 @@ class CommandScheduler {
     /** Emit @p op at @p cycle, growing the stream with NOPs as needed. */
     void emit(long long cycle, Op op);
 
+    /** Issue one access at/after @p now; returns the next free cycle. */
+    long long issue(const MemoryAccess& access, long long now,
+                    ScheduleStats& stats);
+
     long long earliestActivate(const BankState& bank) const;
     long long earliestPrecharge(const BankState& bank) const;
-    long long earliestColumn(const BankState& bank) const;
+    long long earliestColumn(const BankState& bank, bool is_write) const;
 
     Specification spec_;
     TimingParams timing_;
-    PagePolicy policy_;
+    SchedulerOptions options_;
 
     std::vector<Op> stream_;
     std::vector<BankState> banks_;
     long long lastColumn_ = -1000000;
+    long long lastWriteBurst_ = -1000000; ///< rank-wide, for tWTR
     std::vector<long long> recentActivates_;
-};
-
-/** Workload generator parameters. */
-struct WorkloadParams {
-    long long count = 2000;   ///< number of accesses
-    unsigned seed = 1;        ///< deterministic RNG seed
-    double writeFraction = 0.3;
+    /** Per-bank FIFO of pending window entries (indices into the
+     *  access stream, which is arrival order). */
+    std::vector<std::deque<size_t>> bankQueues_;
 };
 
 /**
@@ -126,29 +161,13 @@ struct WorkloadParams {
  * complete before the next command). The leading timeout and trailing
  * exit-latency cycles of each gated stretch stay NOPs.
  *
+ * The pattern is a repeating loop, so a trailing NOP run and a leading
+ * one form a single wrap-spanning idle stretch and are gated as one.
+ *
  * Returns the number of cycles converted to power-down.
  */
 long long applyPowerDownPolicy(Pattern& pattern, int timeout_cycles,
                                int exit_latency_cycles);
-
-/** Uniformly random accesses over banks/rows/columns. */
-std::vector<MemoryAccess> makeRandomWorkload(const Specification& spec,
-                                             const WorkloadParams& params);
-
-/** Sequential streaming: column-major walk through one row after
- *  another, rotating banks per row. */
-std::vector<MemoryAccess>
-makeStreamingWorkload(const Specification& spec,
-                      const WorkloadParams& params);
-
-/**
- * Tunable row locality: with probability @p locality the next access
- * reuses the previous row of its bank, otherwise it jumps to a random
- * row.
- */
-std::vector<MemoryAccess>
-makeLocalityWorkload(const Specification& spec,
-                     const WorkloadParams& params, double locality);
 
 } // namespace vdram
 

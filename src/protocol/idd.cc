@@ -126,7 +126,12 @@ makeParetoPattern(const Specification& spec, const TimingParams& timing)
                            (timing.tRc + spec.banks() - 1) / spec.banks(),
                            (timing.tFaw + 3) / 4, timing.tRrd});
     int write_at = 1;
-    int read_at = write_at + std::max(burst, timing.tCcd);
+    // The read must clear both tCCD and the rank-wide write-to-read
+    // turnaround (write burst + tWTR).
+    int read_at = write_at + std::max({burst, timing.tCcd,
+                                       burst + timing.tWtr});
+    // The next iteration's write must clear tCCD after this read.
+    cycles = std::max(cycles, read_at - write_at + timing.tCcd);
     int pre_at = cycles - 1;
     if (read_at >= pre_at) {
         cycles = read_at + 2;

@@ -68,6 +68,10 @@ timingFromGeneration(const GenerationInfo& generation,
     t.tRrd = std::max(t.burstCycles, toCycles(7.5e-9, t.tCkSeconds));
     t.tFaw = 5 * t.tRrd;
     t.tWr = toCycles(15e-9, t.tCkSeconds);
+    // Write-to-read turnaround, measured from the end of the write
+    // burst: the write data must traverse the I/O gating before a read
+    // can reuse it — max(4 nCK, 7.5 ns), the JEDEC rule of thumb.
+    t.tWtr = std::max(4, toCycles(7.5e-9, t.tCkSeconds));
     t.tRtp = std::max(2, t.burstCycles);
     // Refresh cycle time grows with density: more rows fold into each
     // refresh command (110 ns at 1 Gb, ~160 ns at 2 Gb, ~350 ns at

@@ -24,6 +24,7 @@ struct TimingParams {
     int tRrd = 4;   ///< activate-to-activate, different banks
     int tFaw = 20;  ///< four-activate window
     int tWr = 10;   ///< write recovery
+    int tWtr = 5;   ///< write-to-read turnaround (after the burst)
     int tRtp = 5;   ///< read-to-precharge
     int tRfc = 72;  ///< refresh cycle time
     int tRefi = 5200; ///< average refresh interval

@@ -358,7 +358,18 @@ StreamChecker::apply(long long cycle, Op op)
                              "command, tCCD=%d",
                              cycle - lastColumn_, timing_.tCcd));
         }
-        lastColumn_ = cycle;
+        // Write-to-read turnaround is rank-wide: the write burst plus
+        // tWTR must elapse before any read.
+        if (op == Op::Rd &&
+            cycle - lastWrite_ < timing_.burstCycles + timing_.tWtr) {
+            report(cycle, op, "tWTR",
+                   strformat("%lld cycles since previous write, "
+                             "tWTR=%d",
+                             cycle - lastWrite_,
+                             timing_.burstCycles + timing_.tWtr));
+        }
+        if (op == Op::Wr)
+            lastWrite_ = cycle;
         if (openBanks_.empty()) {
             report(cycle, op, "state",
                    "column command with no open bank");

@@ -204,6 +204,7 @@ class StreamChecker {
     std::vector<long long> activateTimes_; // rolling last-8 window
     int nextActivateBank_ = 0;
     long long lastColumn_ = -1'000'000;
+    long long lastWrite_ = -1'000'000; // rank-wide, for tWTR
     std::vector<TimingViolation> violations_;
     long long violationCount_ = 0;
 };

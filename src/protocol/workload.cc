@@ -1,0 +1,326 @@
+#include "protocol/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace vdram {
+
+namespace {
+
+struct AddressRanges {
+    int banks;
+    long long rows;
+    long long column_groups;
+};
+
+AddressRanges
+rangesOf(const Specification& spec)
+{
+    AddressRanges r;
+    r.banks = spec.banks();
+    r.rows = spec.rowsPerBank();
+    r.column_groups =
+        std::max<long long>(1, (1LL << spec.columnAddressBits) /
+                                   spec.burstLength);
+    return r;
+}
+
+} // namespace
+
+std::string
+workloadKindName(WorkloadKind kind)
+{
+    switch (kind) {
+    case WorkloadKind::Random:
+        return "random";
+    case WorkloadKind::Stream:
+        return "stream";
+    case WorkloadKind::Local:
+        return "local";
+    case WorkloadKind::Zipf:
+        return "zipf";
+    case WorkloadKind::Chase:
+        return "chase";
+    case WorkloadKind::Mixed:
+        return "mixed";
+    }
+    panic("unknown workload kind");
+}
+
+Result<WorkloadKind>
+parseWorkloadKind(const std::string& name)
+{
+    for (WorkloadKind kind : allWorkloadKinds()) {
+        if (name == workloadKindName(kind))
+            return kind;
+    }
+    Error e;
+    e.code = "E-SCHED-WORKLOAD";
+    e.message = strformat(
+        "unknown workload '%s' (expected random, stream, local, zipf, "
+        "chase or mixed)", name.c_str());
+    return e;
+}
+
+std::vector<WorkloadKind>
+allWorkloadKinds()
+{
+    return {WorkloadKind::Random, WorkloadKind::Stream,
+            WorkloadKind::Local,  WorkloadKind::Zipf,
+            WorkloadKind::Chase,  WorkloadKind::Mixed};
+}
+
+std::vector<MemoryAccess>
+makeRandomWorkload(const Specification& spec, const WorkloadParams& params)
+{
+    AddressRanges ranges = rangesOf(spec);
+    std::mt19937_64 rng(params.seed);
+    std::uniform_int_distribution<int> bank_dist(0, ranges.banks - 1);
+    std::uniform_int_distribution<long long> row_dist(0, ranges.rows - 1);
+    std::uniform_int_distribution<long long> col_dist(
+        0, ranges.column_groups - 1);
+    std::uniform_real_distribution<double> write_dist(0.0, 1.0);
+
+    std::vector<MemoryAccess> accesses;
+    accesses.reserve(static_cast<size_t>(params.count));
+    for (long long i = 0; i < params.count; ++i) {
+        MemoryAccess a;
+        a.bank = bank_dist(rng);
+        a.row = row_dist(rng);
+        a.column = col_dist(rng);
+        a.write = write_dist(rng) < params.writeFraction;
+        accesses.push_back(a);
+    }
+    return accesses;
+}
+
+std::vector<MemoryAccess>
+makeStreamingWorkload(const Specification& spec,
+                      const WorkloadParams& params)
+{
+    AddressRanges ranges = rangesOf(spec);
+    std::mt19937_64 rng(params.seed);
+    std::uniform_real_distribution<double> write_dist(0.0, 1.0);
+
+    std::vector<MemoryAccess> accesses;
+    accesses.reserve(static_cast<size_t>(params.count));
+    int bank = 0;
+    long long row = 0;
+    long long column = 0;
+    for (long long i = 0; i < params.count; ++i) {
+        MemoryAccess a;
+        a.bank = bank;
+        a.row = row;
+        a.column = column;
+        a.write = write_dist(rng) < params.writeFraction;
+        accesses.push_back(a);
+        if (++column >= ranges.column_groups) {
+            column = 0;
+            bank = (bank + 1) % ranges.banks;
+            if (bank == 0)
+                row = (row + 1) % ranges.rows;
+        }
+    }
+    return accesses;
+}
+
+std::vector<MemoryAccess>
+makeLocalityWorkload(const Specification& spec,
+                     const WorkloadParams& params, double locality)
+{
+    // NaN-safe clamp: treat any locality outside [0, 1] (including NaN)
+    // as the nearest bound rather than terminating.
+    if (!(locality >= 0)) {
+        warn("locality below 0; clamping to 0");
+        locality = 0;
+    } else if (locality > 1) {
+        warn("locality above 1; clamping to 1");
+        locality = 1;
+    }
+    AddressRanges ranges = rangesOf(spec);
+    std::mt19937_64 rng(params.seed);
+    std::uniform_int_distribution<int> bank_dist(0, ranges.banks - 1);
+    std::uniform_int_distribution<long long> row_dist(0, ranges.rows - 1);
+    std::uniform_int_distribution<long long> col_dist(
+        0, ranges.column_groups - 1);
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+    std::vector<long long> last_row(static_cast<size_t>(ranges.banks),
+                                    -1);
+    std::vector<MemoryAccess> accesses;
+    accesses.reserve(static_cast<size_t>(params.count));
+    for (long long i = 0; i < params.count; ++i) {
+        MemoryAccess a;
+        a.bank = bank_dist(rng);
+        long long& prev = last_row[static_cast<size_t>(a.bank)];
+        if (prev >= 0 && unit(rng) < locality)
+            a.row = prev;
+        else
+            a.row = row_dist(rng);
+        prev = a.row;
+        a.column = col_dist(rng);
+        a.write = unit(rng) < params.writeFraction;
+        accesses.push_back(a);
+    }
+    return accesses;
+}
+
+std::vector<MemoryAccess>
+makeZipfWorkload(const AddressMap& map, const WorkloadParams& params)
+{
+    double exponent = params.zipfExponent;
+    if (!(exponent >= 0)) {
+        warn("zipf exponent below 0; clamping to 0");
+        exponent = 0;
+    } else if (exponent > 4) {
+        warn("zipf exponent above 4; clamping to 4");
+        exponent = 4;
+    }
+
+    // Zipf over row-buffer pages (bank × row pairs). The cumulative
+    // weight table is capped; devices larger than the cap fold the tail
+    // ranks onto the table modulo its size, which only flattens the
+    // extreme tail.
+    const long long pages = map.banks() * map.rows();
+    const long long table_size =
+        std::min<long long>(pages, 1LL << 20);
+    std::vector<double> cumulative(static_cast<size_t>(table_size));
+    double total = 0;
+    for (long long i = 0; i < table_size; ++i) {
+        total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+        cumulative[static_cast<size_t>(i)] = total;
+    }
+
+    std::mt19937_64 rng(params.seed);
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    std::uniform_int_distribution<long long> col_dist(
+        0, map.columnGroups() - 1);
+
+    // Scatter popularity ranks over the page space with an odd-constant
+    // multiply so the hot set is not a contiguous address range (which
+    // would make every scheme look alike).
+    const long long scatter = 2654435761LL % pages == 0
+        ? 1
+        : 2654435761LL;
+
+    std::vector<MemoryAccess> accesses;
+    accesses.reserve(static_cast<size_t>(params.count));
+    for (long long i = 0; i < params.count; ++i) {
+        double u = unit(rng) * total;
+        auto it = std::lower_bound(cumulative.begin(), cumulative.end(),
+                                   u);
+        long long rank = it == cumulative.end()
+            ? table_size - 1
+            : static_cast<long long>(it - cumulative.begin());
+        long long page = (rank * scatter) % pages;
+        long long address =
+            page * map.columnGroups() + col_dist(rng);
+        accesses.push_back(
+            map.decode(address, unit(rng) < params.writeFraction));
+    }
+    return accesses;
+}
+
+std::vector<MemoryAccess>
+makePointerChaseWorkload(const AddressMap& map,
+                         const WorkloadParams& params)
+{
+    const long long capacity = map.capacity();
+    std::mt19937_64 rng(params.seed);
+
+    // Affine permutation a' = (a * step + offset) mod capacity with
+    // gcd(step, capacity) == 1: a full-period walk, so the chase never
+    // revisits an address before exhausting the space.
+    long long step = 1'000'003 % capacity;
+    if (step <= 0)
+        step = 1;
+    while (std::gcd(step, capacity) != 1)
+        ++step;
+    const long long offset =
+        static_cast<long long>(rng() % static_cast<unsigned long long>(
+                                           capacity));
+    long long cursor = static_cast<long long>(
+        rng() % static_cast<unsigned long long>(capacity));
+
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    std::vector<MemoryAccess> accesses;
+    accesses.reserve(static_cast<size_t>(params.count));
+    for (long long i = 0; i < params.count; ++i) {
+        accesses.push_back(
+            map.decode(cursor, unit(rng) < params.writeFraction));
+        cursor = (cursor * step + offset) % capacity;
+    }
+    return accesses;
+}
+
+std::vector<MemoryAccess>
+makeMixedWorkload(const AddressMap& map, const WorkloadParams& params)
+{
+    const long long capacity = map.capacity();
+    const int run_length = std::max(1, params.runLength);
+    double jump = params.jumpFraction;
+    if (!(jump >= 0))
+        jump = 0;
+    else if (jump > 1)
+        jump = 1;
+
+    std::mt19937_64 rng(params.seed);
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    auto random_address = [&] {
+        return static_cast<long long>(
+            rng() % static_cast<unsigned long long>(capacity));
+    };
+
+    long long cursor = random_address();
+    int run = 0;
+    std::vector<MemoryAccess> accesses;
+    accesses.reserve(static_cast<size_t>(params.count));
+    for (long long i = 0; i < params.count; ++i) {
+        const bool write = unit(rng) < params.writeFraction;
+        if (write) {
+            // Writeback-like: writes scatter over the whole space.
+            accesses.push_back(map.decode(random_address(), true));
+            continue;
+        }
+        if (run >= run_length || unit(rng) < jump) {
+            cursor = random_address();
+            run = 0;
+        }
+        accesses.push_back(map.decode(cursor, false));
+        cursor = (cursor + 1) % capacity;
+        ++run;
+    }
+    return accesses;
+}
+
+std::vector<MemoryAccess>
+makeWorkload(const Specification& spec, const AddressMap& map,
+             WorkloadKind kind, const WorkloadParams& params)
+{
+    switch (kind) {
+    case WorkloadKind::Random:
+        return remapAccesses(makeRandomWorkload(spec, params), spec,
+                             map.scheme());
+    case WorkloadKind::Stream:
+        return remapAccesses(makeStreamingWorkload(spec, params), spec,
+                             map.scheme());
+    case WorkloadKind::Local:
+        return remapAccesses(
+            makeLocalityWorkload(spec, params, params.locality), spec,
+            map.scheme());
+    case WorkloadKind::Zipf:
+        return makeZipfWorkload(map, params);
+    case WorkloadKind::Chase:
+        return makePointerChaseWorkload(map, params);
+    case WorkloadKind::Mixed:
+        return makeMixedWorkload(map, params);
+    }
+    panic("unknown workload kind");
+}
+
+} // namespace vdram

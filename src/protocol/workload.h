@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Parameterized synthetic access generators.
+ *
+ * The three classic generators (uniform random, sequential streaming,
+ * tunable row locality) moved here out of controller.cc, joined by
+ * three address-stream generators in the style of controller-simulator
+ * workload suites:
+ *
+ *  - zipf: row-buffer pages drawn from a Zipf distribution — a few hot
+ *    pages absorb most accesses, the tail is cold. The skew knob spans
+ *    uniform (0) to heavily skewed (>1).
+ *  - chase: a pointer chase — a full-period affine permutation walk of
+ *    the linear address space, the classic dependent-load pattern with
+ *    near-zero row locality.
+ *  - mixed: sequential read runs with writeback-like random writes
+ *    interleaved, with knobs for write intensity, run length and
+ *    jump probability.
+ *
+ * The new generators produce linear addresses and decode them through
+ * an AddressMap, so the same reference stream can be replayed under
+ * every interleave scheme. All generators are deterministic in
+ * WorkloadParams::seed.
+ */
+#ifndef VDRAM_PROTOCOL_WORKLOAD_H
+#define VDRAM_PROTOCOL_WORKLOAD_H
+
+#include <string>
+#include <vector>
+
+#include "core/spec.h"
+#include "protocol/address_map.h"
+#include "util/result.h"
+
+namespace vdram {
+
+/** Workload generator parameters. */
+struct WorkloadParams {
+    long long count = 2000;   ///< number of accesses
+    unsigned seed = 1;        ///< deterministic RNG seed
+    double writeFraction = 0.3;
+
+    /** Row-reuse probability for the locality workload. */
+    double locality = 0.7;
+    /** Zipf skew exponent (0 = uniform) for the zipf workload. */
+    double zipfExponent = 0.8;
+    /** Sequential run length between jumps for the mixed workload. */
+    int runLength = 16;
+    /** Probability of a random jump per access (mixed workload). */
+    double jumpFraction = 0.05;
+};
+
+/** Named generator kinds reachable from `vdram sched`. */
+enum class WorkloadKind {
+    Random,
+    Stream,
+    Local,
+    Zipf,
+    Chase,
+    Mixed,
+};
+
+/** Kind name as accepted by parseWorkloadKind ("random", ...). */
+std::string workloadKindName(WorkloadKind kind);
+
+/** Parse a kind name; E-SCHED-WORKLOAD on an unknown name. */
+Result<WorkloadKind> parseWorkloadKind(const std::string& name);
+
+/** All kinds, in a stable order (for sweeps and tests). */
+std::vector<WorkloadKind> allWorkloadKinds();
+
+/** Uniformly random accesses over banks/rows/columns. */
+std::vector<MemoryAccess> makeRandomWorkload(const Specification& spec,
+                                             const WorkloadParams& params);
+
+/** Sequential streaming: column-major walk through one row after
+ *  another, rotating banks per row. */
+std::vector<MemoryAccess>
+makeStreamingWorkload(const Specification& spec,
+                      const WorkloadParams& params);
+
+/**
+ * Tunable row locality: with probability @p locality the next access
+ * reuses the previous row of its bank, otherwise it jumps to a random
+ * row.
+ */
+std::vector<MemoryAccess>
+makeLocalityWorkload(const Specification& spec,
+                     const WorkloadParams& params, double locality);
+
+/** Zipf-distributed pages through @p map (params.zipfExponent). */
+std::vector<MemoryAccess> makeZipfWorkload(const AddressMap& map,
+                                           const WorkloadParams& params);
+
+/** Pointer chase: affine-permutation walk of the linear space. */
+std::vector<MemoryAccess>
+makePointerChaseWorkload(const AddressMap& map,
+                         const WorkloadParams& params);
+
+/** Mixed read/write intensity: sequential read runs, random writes. */
+std::vector<MemoryAccess> makeMixedWorkload(const AddressMap& map,
+                                            const WorkloadParams& params);
+
+/**
+ * Generate a workload of the named kind. The classic generators emit
+ * canonical bank/row/column fields which are re-expressed under
+ * @p map's scheme via remapAccesses(); the address-stream generators
+ * decode through @p map directly.
+ */
+std::vector<MemoryAccess> makeWorkload(const Specification& spec,
+                                       const AddressMap& map,
+                                       WorkloadKind kind,
+                                       const WorkloadParams& params);
+
+} // namespace vdram
+
+#endif // VDRAM_PROTOCOL_WORKLOAD_H

@@ -30,6 +30,18 @@ class ControllerTest : public ::testing::Test {
     DramDescription desc_;
     Specification spec_;
     TimingParams timing_;
+
+    static ScheduledStream mustSchedule(
+        CommandScheduler& scheduler,
+        const std::vector<MemoryAccess>& accesses)
+    {
+        Result<ScheduledStream> result = scheduler.schedule(accesses);
+        if (!result.ok()) {
+            ADD_FAILURE() << result.error().toString();
+            return ScheduledStream{};
+        }
+        return std::move(result).value();
+    }
 };
 
 TEST_F(ControllerTest, ClassifiesHitsMissesConflicts)
@@ -42,7 +54,7 @@ TEST_F(ControllerTest, ClassifiesHitsMissesConflicts)
         {false, 0, 11, 0}, // conflict (other row open)
         {false, 1, 5, 0},  // miss (other bank idle)
     };
-    ScheduledStream stream = scheduler.schedule(accesses);
+    ScheduledStream stream = mustSchedule(scheduler, accesses);
     EXPECT_EQ(stream.stats.accesses, 5);
     EXPECT_EQ(stream.stats.rowHits, 2);
     EXPECT_EQ(stream.stats.rowMisses, 2);
@@ -54,7 +66,7 @@ TEST_F(ControllerTest, ClosedPageNeverHits)
     CommandScheduler scheduler(spec_, timing_, PagePolicy::ClosedPage);
     std::vector<MemoryAccess> accesses = {
         {false, 0, 10, 0}, {false, 0, 10, 1}, {false, 0, 10, 2}};
-    ScheduledStream stream = scheduler.schedule(accesses);
+    ScheduledStream stream = mustSchedule(scheduler, accesses);
     EXPECT_EQ(stream.stats.rowHits, 0);
     EXPECT_EQ(stream.stats.rowMisses, 3);
     // One ACT and one PRE per access.
@@ -67,7 +79,7 @@ TEST_F(ControllerTest, OpenPageKeepsRowOpen)
     CommandScheduler scheduler(spec_, timing_, PagePolicy::OpenPage);
     std::vector<MemoryAccess> accesses = {
         {false, 0, 10, 0}, {false, 0, 10, 1}, {false, 0, 10, 2}};
-    ScheduledStream stream = scheduler.schedule(accesses);
+    ScheduledStream stream = mustSchedule(scheduler, accesses);
     // One ACT; the drain adds the single PRE.
     EXPECT_EQ(stream.pattern.count(Op::Act), 1);
     EXPECT_EQ(stream.pattern.count(Op::Pre), 1);
@@ -81,7 +93,7 @@ TEST_F(ControllerTest, CommandCountsMatchAccesses)
     params.count = 500;
     params.writeFraction = 0.4;
     auto accesses = makeRandomWorkload(spec_, params);
-    ScheduledStream stream = scheduler.schedule(accesses);
+    ScheduledStream stream = mustSchedule(scheduler, accesses);
     EXPECT_EQ(stream.pattern.count(Op::Rd) + stream.pattern.count(Op::Wr),
               500);
     EXPECT_EQ(stream.pattern.count(Op::Act),
@@ -100,7 +112,7 @@ TEST_F(ControllerTest, ScheduledStreamsAreProtocolClean)
         params.count = 300;
         params.seed = 7;
         auto accesses = makeLocalityWorkload(spec_, params, 0.5);
-        ScheduledStream stream = scheduler.schedule(accesses);
+        ScheduledStream stream = mustSchedule(scheduler, accesses);
         PatternCheckResult result =
             checkPattern(stream.pattern, timing_, spec_.banks());
         EXPECT_TRUE(result.ok())
@@ -117,7 +129,7 @@ TEST_F(ControllerTest, LocalityRaisesHitRate)
     double prev_hit_rate = -1;
     for (double locality : {0.0, 0.5, 0.9}) {
         auto accesses = makeLocalityWorkload(spec_, params, locality);
-        ScheduledStream stream = scheduler.schedule(accesses);
+        ScheduledStream stream = mustSchedule(scheduler, accesses);
         EXPECT_GT(stream.stats.rowHitRate(), prev_hit_rate);
         prev_hit_rate = stream.stats.rowHitRate();
     }
@@ -130,7 +142,7 @@ TEST_F(ControllerTest, StreamingWorkloadIsNearlyAllHits)
     WorkloadParams params;
     params.count = 2000;
     auto accesses = makeStreamingWorkload(spec_, params);
-    ScheduledStream stream = scheduler.schedule(accesses);
+    ScheduledStream stream = mustSchedule(scheduler, accesses);
     EXPECT_GT(stream.stats.rowHitRate(), 0.9);
 }
 
@@ -140,10 +152,10 @@ TEST_F(ControllerTest, HigherLocalityLowersOpenPagePower)
     CommandScheduler scheduler(spec_, timing_, PagePolicy::OpenPage);
     WorkloadParams params;
     params.count = 1000;
-    auto low = scheduler.schedule(
-        makeLocalityWorkload(spec_, params, 0.0));
-    auto high = scheduler.schedule(
-        makeLocalityWorkload(spec_, params, 0.9));
+    auto low = mustSchedule(scheduler,
+                            makeLocalityWorkload(spec_, params, 0.0));
+    auto high = mustSchedule(scheduler,
+                             makeLocalityWorkload(spec_, params, 0.9));
     double e_low = model.evaluate(low.pattern).energyPerBit;
     double e_high = model.evaluate(high.pattern).energyPerBit;
     EXPECT_LT(e_high, e_low);
@@ -217,7 +229,7 @@ TEST_F(ControllerTest, PowerDownPolicyCutsIdleWorkloadPower)
     WorkloadParams params;
     params.count = 50;
     ScheduledStream stream =
-        scheduler.schedule(makeRandomWorkload(spec_, params));
+        mustSchedule(scheduler, makeRandomWorkload(spec_, params));
     // Pad heavy idleness at the end.
     stream.pattern.loop.insert(stream.pattern.loop.end(), 4000, Op::Nop);
 
@@ -229,20 +241,82 @@ TEST_F(ControllerTest, PowerDownPolicyCutsIdleWorkloadPower)
     EXPECT_LT(with_pd, 0.7 * without);
 }
 
-TEST_F(ControllerTest, BankOutOfRangeIsDroppedNotFatal)
+TEST_F(ControllerTest, OutOfRangeAccessFailsSchedule)
 {
     CommandScheduler scheduler(spec_, timing_, PagePolicy::OpenPage);
-    std::vector<MemoryAccess> bad = {{false, spec_.banks(), 0, 0},
-                                     {false, 0, 0, 0}};
-    setQuiet(true);
-    ScheduledStream stream = scheduler.schedule(bad);
-    setQuiet(false);
-    EXPECT_EQ(stream.stats.dropped, 1);
-    EXPECT_EQ(stream.stats.accesses, 1);
 
-    Status status = validateAccesses(bad, spec_);
+    std::vector<MemoryAccess> bad_bank = {{false, spec_.banks(), 0, 0},
+                                          {false, 0, 0, 0}};
+    Result<ScheduledStream> r = scheduler.schedule(bad_bank);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, "E-TRACE-BANK");
+
+    std::vector<MemoryAccess> bad_row = {
+        {false, 0, spec_.rowsPerBank(), 0}};
+    r = scheduler.schedule(bad_row);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, "E-TRACE-RANGE");
+
+    // A failed schedule does not poison the scheduler.
+    std::vector<MemoryAccess> good = {{false, 0, 0, 0}};
+    r = scheduler.schedule(good);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().stats.accesses, 1);
+
+    Status status = validateAccesses(bad_bank, spec_);
     ASSERT_FALSE(status.ok());
     EXPECT_EQ(status.error().code, "E-TRACE-BANK");
+}
+
+TEST_F(ControllerTest, PowerDownPolicyMergesWrapSpanningIdleRun)
+{
+    // The pattern repeats: 3 trailing + 3 leading NOPs form one 6-cycle
+    // idle stretch across the loop boundary. With timeout 2 + exit 2
+    // neither run qualifies alone, merged it gates 2 cycles.
+    Pattern p;
+    p.loop = {Op::Nop, Op::Nop, Op::Nop, Op::Act, Op::Rd,
+              Op::Pre, Op::Nop, Op::Nop, Op::Nop};
+    long long converted = applyPowerDownPolicy(p, 2, 2);
+    EXPECT_EQ(converted, 2);
+    // timeout cycles 8, 0 stay NOP; gated 1, 2... the run starts at
+    // index 6, so indices 8 and 0 gate and 1, 2 are the exit tail.
+    EXPECT_EQ(p.loop[6], Op::Nop);
+    EXPECT_EQ(p.loop[7], Op::Nop);
+    EXPECT_EQ(p.loop[8], Op::Pdn);
+    EXPECT_EQ(p.loop[0], Op::Pdn);
+    EXPECT_EQ(p.loop[1], Op::Nop);
+    EXPECT_EQ(p.loop[2], Op::Nop);
+}
+
+TEST_F(ControllerTest, PowerDownPolicyGatesAllIdleLoop)
+{
+    Pattern p;
+    p.loop.assign(10, Op::Nop);
+    EXPECT_EQ(applyPowerDownPolicy(p, 2, 3), 5);
+    EXPECT_EQ(p.count(Op::Pdn), 5);
+    EXPECT_EQ(p.loop[0], Op::Nop);
+    EXPECT_EQ(p.loop[1], Op::Nop);
+    EXPECT_EQ(p.loop[2], Op::Pdn);
+    EXPECT_EQ(p.loop[6], Op::Pdn);
+    EXPECT_EQ(p.loop[7], Op::Nop);
+}
+
+TEST_F(ControllerTest, SchedulerEnforcesWriteToReadTurnaround)
+{
+    CommandScheduler scheduler(spec_, timing_, PagePolicy::OpenPage);
+    std::vector<MemoryAccess> accesses = {{true, 0, 10, 0},
+                                          {false, 0, 10, 1}};
+    ScheduledStream stream = mustSchedule(scheduler, accesses);
+    long long wr_at = -1, rd_at = -1;
+    for (size_t i = 0; i < stream.pattern.loop.size(); ++i) {
+        if (stream.pattern.loop[i] == Op::Wr)
+            wr_at = static_cast<long long>(i);
+        if (stream.pattern.loop[i] == Op::Rd)
+            rd_at = static_cast<long long>(i);
+    }
+    ASSERT_GE(wr_at, 0);
+    ASSERT_GE(rd_at, 0);
+    EXPECT_GE(rd_at - wr_at, timing_.burstCycles + timing_.tWtr);
 }
 
 } // namespace

@@ -182,13 +182,35 @@ TEST(PatternCheckTest, SingleBankRowCyclingTooFast)
 TEST(PatternCheckTest, PaperExampleLoopCleanOnEightBanks)
 {
     // The paper's sample loop shape ("act nop wrt nop rd nop pre nop"),
-    // with the write-to-read spacing stretched to the BL8 burst so the
-    // column commands honor tCCD; steady-state legal on an 8-bank DDR3.
+    // with the write-to-read spacing stretched to the write burst plus
+    // tWTR (4 + 5 cycles) and the precharge past tRTP and tWR;
+    // steady-state legal on an 8-bank DDR3.
     Pattern p;
-    p.loop = {Op::Act, Op::Wr, Op::Nop, Op::Nop,
-              Op::Nop, Op::Rd, Op::Nop, Op::Pre};
+    p.loop.assign(16, Op::Nop);
+    p.loop[0] = Op::Act;
+    p.loop[1] = Op::Wr;
+    p.loop[10] = Op::Rd;
+    p.loop[15] = Op::Pre;
     PatternCheckResult result = checkPattern(p, ddr3Timing(), 8);
     EXPECT_TRUE(result.ok()) << result.summary();
+}
+
+TEST(PatternCheckTest, WriteToReadTurnaroundViolationIsReported)
+{
+    // Same shape with the read squeezed against the write: the rank
+    // needs burstCycles + tWTR (9 cycles here) of turnaround.
+    Pattern p;
+    p.loop.assign(16, Op::Nop);
+    p.loop[0] = Op::Act;
+    p.loop[1] = Op::Wr;
+    p.loop[5] = Op::Rd;
+    p.loop[15] = Op::Pre;
+    PatternCheckResult result = checkPattern(p, ddr3Timing(), 8);
+    EXPECT_FALSE(result.ok());
+    bool has_twtr = false;
+    for (const auto& v : result.violations)
+        has_twtr |= v.rule == "tWTR";
+    EXPECT_TRUE(has_twtr) << result.summary();
 }
 
 TEST(PatternCheckTest, SummaryListsViolations)

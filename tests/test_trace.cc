@@ -75,7 +75,9 @@ TEST(TraceTest, TraceToPowerPipeline)
     ASSERT_TRUE(trace.ok());
     CommandScheduler scheduler(desc.spec, desc.timing,
                                PagePolicy::OpenPage);
-    ScheduledStream stream = scheduler.schedule(trace.value());
+    Result<ScheduledStream> scheduled = scheduler.schedule(trace.value());
+    ASSERT_TRUE(scheduled.ok()) << scheduled.error().toString();
+    ScheduledStream stream = std::move(scheduled).value();
     EXPECT_EQ(stream.stats.rowHits, 1);     // second access to row 7
     EXPECT_EQ(stream.stats.rowConflicts, 1); // row 8 after row 7
     DramPowerModel model(desc);

@@ -7,9 +7,10 @@
 # request crashes; a fleet that self-heals a wedged worker and a
 # kill -9), a fault-injection + resume smoke of the CLI, the
 # runner throughput benchmark (BENCH_runner.json), the model fast-path
-# throughput gate (BENCH_model.json vs the recorded baseline) and an
-# explicit exit-code check of the three-defect lint fixture. Run from
-# the repository root.
+# throughput gate (BENCH_model.json vs the recorded baseline), a
+# scheduler pipe smoke (`vdram sched | vdram trace --check` plus the
+# matrix campaign) and an explicit exit-code check of the three-defect
+# lint fixture. Run from the repository root.
 set -euo pipefail
 
 jobs=$(nproc 2>/dev/null || echo 4)
@@ -204,6 +205,23 @@ awk 'BEGIN {
         > "$smokedir/long.txt"
 )
 grep -q "streamed 100000000 cycles" "$smokedir/long.txt"
+
+echo "== scheduler pipe smoke: sched | trace --check =="
+# The FR-FCFS front end must emit command traces the streaming checker
+# replays with zero violations, for the reordering policy and mapping
+# scheme most likely to disturb timing (XOR hashing + a hot-page mix).
+"$cli" sched preset:ddr3_2g_55 --workload=zipf --zipf=1.2 \
+    --policy=frfcfs --map=xor --count=3000 \
+    > "$smokedir/sched.trace" 2> "$smokedir/sched.stats"
+grep -q "frfcfs" "$smokedir/sched.stats"
+"$cli" trace preset:ddr3_2g_55 "$smokedir/sched.trace" --check \
+    > "$smokedir/sched.txt" 2>&1
+grep -q "protocol-clean" "$smokedir/sched.txt"
+# The matrix campaign must complete every cell violation-free (a
+# protocol violation in any cell exits 4).
+"$cli" sched preset:ddr3_2g_55 --matrix --count=400 --jobs="$jobs" \
+    > "$smokedir/sched_matrix.txt"
+test -s "$smokedir/sched_matrix.txt"
 
 echo "== line-coverage gate =="
 # gcov-instrumented build + full suite; per-directory table in the log,

@@ -62,6 +62,7 @@
 #include "protocol/command_trace.h"
 #include "protocol/trace.h"
 #include "protocol/trace_stream.h"
+#include "runner/sched_campaign.h"
 #include "runner/trace_campaign.h"
 #include "serve/fleet.h"
 #include "serve/server.h"
@@ -227,8 +228,22 @@ printUsage(std::FILE* out)
         "  workload <target> <trace> [--closed]\n"
         "                            schedule an access trace and "
         "evaluate it\n"
-        "  gen-trace <target> random|stream|local <count>\n"
-        "                            emit a synthetic trace to stdout\n"
+        "  gen-trace <target> <workload> <count>\n"
+        "                            emit a synthetic access trace to\n"
+        "                            stdout (workloads: random, stream,\n"
+        "                            local, zipf, chase, mixed)\n"
+        "  sched <target> [--workload=K] [--count=N] [--seed=N]\n"
+        "        [--policy=inorder|frfcfs] [--page=open|closed]\n"
+        "        [--map=row-bank-col|bank-row-col|xor-bank-row-col]\n"
+        "        [--window=N] [--write-frac=F] [--locality=F]\n"
+        "        [--zipf=F] [--run-length=N] [--jump=F] [--matrix]\n"
+        "                            schedule a synthetic workload and\n"
+        "                            emit the timed command trace to\n"
+        "                            stdout (stats on stderr) — pipe\n"
+        "                            into `vdram trace --check`;\n"
+        "                            --matrix runs the full workload x\n"
+        "                            mapping x policy campaign (exit 4\n"
+        "                            on any protocol violation)\n"
         "  replay <target> <cmdtrace>\n"
         "                            evaluate a timed command trace\n"
         "                            (dense; capped — see trace)\n"
@@ -284,7 +299,8 @@ printUsage(std::FILE* out)
         "  --ready-marker            print VDRAM-READY to stderr once a\n"
         "                            campaign's SIGINT drain handler is\n"
         "                            armed (test hook)\n"
-        "campaign flags (montecarlo, sensitivity, sweep, trends):\n"
+        "campaign flags (montecarlo, sensitivity, sweep, trends,\n"
+        "                trace, sched --matrix):\n"
         "  --jobs=N                  worker threads (default 1; 0 = all "
         "cores)\n"
         "  --task-timeout=SECONDS    per-variant deadline (watchdog)\n"
@@ -486,6 +502,22 @@ parseCount(const std::string& text, long long min, long long max,
     char* end = nullptr;
     long long value = std::strtoll(text.c_str(), &end, 10);
     if (end != text.c_str() + text.size() || value < min || value > max)
+        return false;
+    out = value;
+    return true;
+}
+
+/** Parse a floating-point flag value in [min, max]; false on any
+ *  syntax or range defect (the caller reports the usage error). */
+bool
+parseReal(const std::string& text, double min, double max, double& out)
+{
+    if (text.empty())
+        return false;
+    char* end = nullptr;
+    double value = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size() || !(value >= min) ||
+        !(value <= max))
         return false;
     out = value;
     return true;
@@ -867,7 +899,13 @@ cmdWorkload(const DramDescription& desc, const std::string& trace_path,
     CommandScheduler scheduler(desc.spec, desc.timing,
                                closed_page ? PagePolicy::ClosedPage
                                            : PagePolicy::OpenPage);
-    ScheduledStream stream = scheduler.schedule(trace.value());
+    Result<ScheduledStream> scheduled = scheduler.schedule(trace.value());
+    if (!scheduled.ok()) {
+        std::fprintf(stderr, "%s: %s\n", trace_path.c_str(),
+                     scheduled.error().toString().c_str());
+        return exitCodeForError(scheduled.error());
+    }
+    ScheduledStream stream = std::move(scheduled).value();
     DramPowerModel model(desc);
     PatternPower power = model.evaluate(stream.pattern);
 
@@ -895,19 +933,225 @@ cmdGenTrace(const DramDescription& desc, const std::string& kind,
     }
     WorkloadParams params;
     params.count = count;
-    std::vector<MemoryAccess> accesses;
-    if (kind == "random") {
-        accesses = makeRandomWorkload(desc.spec, params);
-    } else if (kind == "stream") {
-        accesses = makeStreamingWorkload(desc.spec, params);
-    } else if (kind == "local") {
-        accesses = makeLocalityWorkload(desc.spec, params, 0.7);
-    } else {
-        std::fprintf(stderr, "unknown workload kind '%s'\n",
-                     kind.c_str());
-        return 2;
+    Result<WorkloadKind> parsed = parseWorkloadKind(kind);
+    if (!parsed.ok()) {
+        std::fprintf(stderr, "%s\n", parsed.error().toString().c_str());
+        return kExitUsage;
     }
+    AddressMap map(desc.spec, MapScheme::RowBankCol);
+    std::vector<MemoryAccess> accesses =
+        makeWorkload(desc.spec, map, parsed.value(), params);
     std::printf("%s", writeTrace(accesses).c_str());
+    return 0;
+}
+
+/**
+ * `vdram sched`: generate a synthetic workload, schedule it under the
+ * configured scheduling policy / page policy / address mapping, and
+ * emit the scheduled `<cycle> <command>` trace to stdout — the format
+ * `vdram trace` consumes, so `vdram sched T | vdram trace T /dev/stdin
+ * --check` replays the schedule through the streaming checker. The
+ * stream statistics go to stderr. --matrix instead runs the full
+ * workload × mapping × policy × page-policy campaign through the batch
+ * runner (checkpointable, parallel, drainable) and renders one table;
+ * any protocol violation in any cell fails the run (exit 4).
+ */
+int
+cmdSched(const DramDescription& desc, CampaignFlags flags, int argc,
+         char** argv)
+{
+    WorkloadParams params;
+    WorkloadKind kind = WorkloadKind::Local;
+    SchedulerOptions sched;
+    sched.policy = SchedPolicy::FrFcfs;
+    MapScheme scheme = MapScheme::RowBankCol;
+    bool matrix = false;
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        long long count = 0;
+        if (startsWith(arg, "--workload=")) {
+            Result<WorkloadKind> parsed =
+                parseWorkloadKind(arg.substr(11));
+            if (!parsed.ok()) {
+                std::fprintf(stderr, "%s\n",
+                             parsed.error().toString().c_str());
+                return kExitUsage;
+            }
+            kind = parsed.value();
+        } else if (startsWith(arg, "--map=")) {
+            Result<MapScheme> parsed = parseMapScheme(arg.substr(6));
+            if (!parsed.ok()) {
+                std::fprintf(stderr, "%s\n",
+                             parsed.error().toString().c_str());
+                return kExitUsage;
+            }
+            scheme = parsed.value();
+        } else if (startsWith(arg, "--policy=")) {
+            Result<SchedPolicy> parsed = parseSchedPolicy(arg.substr(9));
+            if (!parsed.ok()) {
+                std::fprintf(stderr, "%s\n",
+                             parsed.error().toString().c_str());
+                return kExitUsage;
+            }
+            sched.policy = parsed.value();
+        } else if (startsWith(arg, "--page=")) {
+            Result<PagePolicy> parsed = parsePagePolicy(arg.substr(7));
+            if (!parsed.ok()) {
+                std::fprintf(stderr, "%s\n",
+                             parsed.error().toString().c_str());
+                return kExitUsage;
+            }
+            sched.pagePolicy = parsed.value();
+        } else if (startsWith(arg, "--count=")) {
+            if (!parseCount(arg.substr(8), 1, 10'000'000, count)) {
+                std::fprintf(stderr,
+                             "--count must be an integer in "
+                             "[1, 10000000], got '%s'\n",
+                             arg.substr(8).c_str());
+                return kExitUsage;
+            }
+            params.count = count;
+        } else if (startsWith(arg, "--seed=")) {
+            if (!parseCount(arg.substr(7), 0, UINT32_MAX, count)) {
+                std::fprintf(stderr,
+                             "--seed must be an integer in [0, 2^32), "
+                             "got '%s'\n",
+                             arg.substr(7).c_str());
+                return kExitUsage;
+            }
+            params.seed = static_cast<unsigned>(count);
+        } else if (startsWith(arg, "--window=")) {
+            if (!parseCount(arg.substr(9), 1, 4096, count)) {
+                std::fprintf(stderr,
+                             "--window must be an integer in [1, 4096], "
+                             "got '%s'\n",
+                             arg.substr(9).c_str());
+                return kExitUsage;
+            }
+            sched.windowSize = static_cast<int>(count);
+        } else if (startsWith(arg, "--run-length=")) {
+            if (!parseCount(arg.substr(13), 1, 1'000'000, count)) {
+                std::fprintf(stderr,
+                             "--run-length must be an integer in "
+                             "[1, 1000000], got '%s'\n",
+                             arg.substr(13).c_str());
+                return kExitUsage;
+            }
+            params.runLength = static_cast<int>(count);
+        } else if (startsWith(arg, "--write-frac=")) {
+            if (!parseReal(arg.substr(13), 0, 1, params.writeFraction)) {
+                std::fprintf(stderr,
+                             "--write-frac must be in [0, 1], got '%s'\n",
+                             arg.substr(13).c_str());
+                return kExitUsage;
+            }
+        } else if (startsWith(arg, "--locality=")) {
+            if (!parseReal(arg.substr(11), 0, 1, params.locality)) {
+                std::fprintf(stderr,
+                             "--locality must be in [0, 1], got '%s'\n",
+                             arg.substr(11).c_str());
+                return kExitUsage;
+            }
+        } else if (startsWith(arg, "--zipf=")) {
+            if (!parseReal(arg.substr(7), 0, 4, params.zipfExponent)) {
+                std::fprintf(stderr,
+                             "--zipf must be in [0, 4], got '%s'\n",
+                             arg.substr(7).c_str());
+                return kExitUsage;
+            }
+        } else if (startsWith(arg, "--jump=")) {
+            if (!parseReal(arg.substr(7), 0, 1, params.jumpFraction)) {
+                std::fprintf(stderr,
+                             "--jump must be in [0, 1], got '%s'\n",
+                             arg.substr(7).c_str());
+                return kExitUsage;
+            }
+        } else if (arg == "--matrix") {
+            matrix = true;
+        } else {
+            std::fprintf(stderr, "unknown argument '%s' for sched\n",
+                         arg.c_str());
+            return kExitUsage;
+        }
+    }
+
+    if (matrix) {
+        installDrainHandler(flags.runner);
+        SchedMatrixOptions options;
+        options.workloads = allWorkloadKinds();
+        options.schemes = allMapSchemes();
+        options.policies = {SchedPolicy::InOrder, SchedPolicy::FrFcfs};
+        options.pagePolicies = {PagePolicy::OpenPage,
+                                PagePolicy::ClosedPage};
+        options.params = params;
+        options.windowSize = sched.windowSize;
+        DiagnosticEngine diags;
+        Result<SchedMatrixCampaign> campaign =
+            runSchedMatrixCampaign(desc, options, flags.runner, &diags);
+        if (!campaign.ok()) {
+            std::fprintf(stderr, "%s\n",
+                         campaign.error().toString().c_str());
+            return exitCodeForError(campaign.error());
+        }
+        Table table({"workload", "map", "policy", "page", "hit rate",
+                     "reordered", "violations", "pJ/bit"});
+        long long violations = 0;
+        for (const SchedMatrixCell& cell : campaign.value().cells) {
+            if (!cell.ok) {
+                table.addRow({workloadKindName(cell.workload),
+                              mapSchemeName(cell.scheme),
+                              schedPolicyName(cell.policy),
+                              pagePolicyName(cell.pagePolicy), "-", "-",
+                              "-", "-"});
+                continue;
+            }
+            violations += cell.violations;
+            table.addRow(
+                {workloadKindName(cell.workload),
+                 mapSchemeName(cell.scheme),
+                 schedPolicyName(cell.policy),
+                 pagePolicyName(cell.pagePolicy),
+                 strformat("%.0f%%", cell.stats.rowHitRate() * 100),
+                 strformat("%lld", cell.stats.reordered),
+                 strformat("%lld", cell.violations),
+                 strformat("%.1f", cell.energyPerBit * 1e12)});
+        }
+        std::printf("%s", table.render().c_str());
+        printRunReport(campaign.value().report, diags,
+                       flags.explicitFlags);
+        if (violations > 0) {
+            std::fprintf(stderr,
+                         "scheduler matrix: %lld protocol violations\n",
+                         violations);
+            return kExitValidate;
+        }
+        return exitCodeFor(campaign.value().report);
+    }
+
+    AddressMap map(desc.spec, scheme);
+    std::vector<MemoryAccess> accesses =
+        makeWorkload(desc.spec, map, kind, params);
+    CommandScheduler scheduler(desc.spec, desc.timing, sched);
+    Result<ScheduledStream> scheduled = scheduler.schedule(accesses);
+    if (!scheduled.ok()) {
+        std::fprintf(stderr, "%s\n",
+                     scheduled.error().toString().c_str());
+        return exitCodeForError(scheduled.error());
+    }
+    const ScheduledStream& stream = scheduled.value();
+    std::fprintf(stderr,
+                 "%lld accesses (%s/%s/%s/%s): %lld hits / %lld misses "
+                 "/ %lld conflicts (hit rate %.0f%%), %lld reordered, "
+                 "%lld cycles\n",
+                 stream.stats.accesses, workloadKindName(kind).c_str(),
+                 mapSchemeName(scheme).c_str(),
+                 schedPolicyName(sched.policy).c_str(),
+                 pagePolicyName(sched.pagePolicy).c_str(),
+                 stream.stats.rowHits, stream.stats.rowMisses,
+                 stream.stats.rowConflicts,
+                 stream.stats.rowHitRate() * 100, stream.stats.reordered,
+                 stream.stats.cycles);
+    std::printf("%s", writeCommandTrace(stream.pattern).c_str());
     return 0;
 }
 
@@ -1510,6 +1754,20 @@ commandOwnsFlag(const std::string& command, const std::string& arg)
         return arg == "--csv";
     if (command == "workload")
         return arg == "--closed";
+    if (command == "sched") {
+        return startsWith(arg, "--workload=") ||
+               startsWith(arg, "--count=") ||
+               startsWith(arg, "--seed=") ||
+               startsWith(arg, "--policy=") ||
+               startsWith(arg, "--page=") ||
+               startsWith(arg, "--map=") ||
+               startsWith(arg, "--window=") ||
+               startsWith(arg, "--write-frac=") ||
+               startsWith(arg, "--locality=") ||
+               startsWith(arg, "--zipf=") ||
+               startsWith(arg, "--run-length=") ||
+               startsWith(arg, "--jump=") || arg == "--matrix";
+    }
     if (command == "trace") {
         return startsWith(arg, "--window=") ||
                startsWith(arg, "--format=") || arg == "--check" ||
@@ -1806,6 +2064,8 @@ runCli(int argc, char** argv)
         long long count = argc > 4 ? std::atoll(argv[4]) : 1000;
         return cmdGenTrace(desc, argv[3], count);
     }
+    if (command == "sched")
+        return cmdSched(desc, campaign, argc - 3, argv + 3);
     if (command == "trace" && argc > 3)
         return cmdTrace(desc, campaign, argc - 3, argv + 3);
     if (command == "replay" && argc > 3) {
