@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Fit-convergence benchmark and regression gate.
+ *
+ * Runs the differential calibration workload (targets synthesized from
+ * a known parameter perturbation, so a true optimum exists inside the
+ * bounds) with pinned options and measures both search efficiency and
+ * throughput:
+ *
+ *   - the search must converge, and its evaluation count, accepted
+ *     steps and final objective are fully deterministic — any change is
+ *     a search-efficiency regression, gated exactly against the
+ *     committed baseline (bench/BENCH_fit_baseline.json);
+ *   - candidate evaluations/second may be at most 20 % below the
+ *     recorded baseline throughput.
+ *
+ * Writes BENCH_fit.json next to the binary. --baseline=PATH enables
+ * the gates (exit 1 on regression), as ci.sh runs it.
+ */
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "core/sensitivity.h"
+#include "fit/fit_engine.h"
+#include "fit/target_spec.h"
+#include "presets/presets.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace vdram;
+
+/** The hidden perturbation the benchmark fit has to recover. */
+struct Hidden {
+    const char* name;
+    double factor;
+};
+constexpr Hidden kHidden[] = {
+    {"Constant current adder", 0.75},
+    {"Bitline capacitance", 1.20},
+    {"Cell capacitance", 1.15},
+};
+
+/** A run may be at most 20 % slower than the recorded baseline. */
+constexpr double kBaselineTolerance = 0.8;
+
+void
+applyByName(DramDescription& desc, const std::string& name,
+            double factor)
+{
+    for (const SweepParam& param : fitParameterVocabulary()) {
+        if (param.name == name) {
+            param.apply(desc, factor);
+            return;
+        }
+    }
+}
+
+/** Minimal extraction of a numeric field from a one-object JSON file. */
+bool
+readJsonNumber(const std::string& text, const std::string& key,
+               double* out)
+{
+    std::string needle = "\"" + key + "\":";
+    size_t pos = text.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    *out = std::strtod(text.c_str() + pos + needle.size(), nullptr);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string baseline_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--baseline=", 11) == 0)
+            baseline_path = argv[i] + 11;
+    }
+
+    const DramDescription nominal = preset1GbDdr3(55e-9, 16, 1333);
+    DramDescription truth = nominal;
+    for (const Hidden& hidden : kHidden)
+        applyByName(truth, hidden.name, hidden.factor);
+    Result<DramPowerModel> truthModel = DramPowerModel::create(truth);
+    if (!truthModel.ok()) {
+        std::fprintf(stderr, "perturbed description invalid: %s\n",
+                     truthModel.error().toString().c_str());
+        return 1;
+    }
+
+    FitTargetSpec spec;
+    spec.name = "bench-convergence";
+    for (IddMeasure measure :
+         {IddMeasure::Idd0, IddMeasure::Idd2N, IddMeasure::Idd4R,
+          IddMeasure::Idd4W}) {
+        FitTarget target;
+        target.measure = measure;
+        target.amps = truthModel.value().idd(measure);
+        target.tolerance = 0.02;
+        spec.targets.push_back(target);
+    }
+    for (const Hidden& hidden : kHidden)
+        spec.parameters.push_back(hidden.name);
+
+    FitOptions fit;
+    fit.starts = 2;
+    fit.seed = 11;
+    RunnerOptions runner;
+    runner.jobs = 2;
+
+    std::printf("== fit convergence: %d starts, %zu parameters, "
+                "%zu targets (seed %llu) ==\n\n",
+                fit.starts, spec.parameters.size(), spec.targets.size(),
+                static_cast<unsigned long long>(fit.seed));
+
+    const auto start = std::chrono::steady_clock::now();
+    Result<FitResult> fitted =
+        runFitCampaign(nominal, spec, fit, runner);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (!fitted.ok()) {
+        std::fprintf(stderr, "fit failed: %s\n",
+                     fitted.error().toString().c_str());
+        return 1;
+    }
+    const FitResult& result = fitted.value();
+    long long accepted = 0;
+    for (const FitStep& step : result.history)
+        accepted += step.accepted ? 1 : 0;
+    const double rate =
+        seconds > 0 ? static_cast<double>(result.evaluations) / seconds
+                    : 0;
+
+    std::printf("converged:            %s\n",
+                result.converged ? "yes" : "NO");
+    std::printf("evaluations:          %lld\n", result.evaluations);
+    std::printf("accepted steps:       %lld\n", accepted);
+    std::printf("final objective:      %.9g\n", result.objective);
+    std::printf("wall:                 %.3f s\n", seconds);
+    std::printf("throughput:           %.0f evaluations/s\n\n", rate);
+
+    bool ok = result.converged;
+    if (!result.converged)
+        std::fprintf(stderr, "FAIL: benchmark fit did not converge\n");
+
+    double baseline_rate = 0;
+    double baseline_evaluations = 0;
+    if (!baseline_path.empty()) {
+        std::FILE* in = std::fopen(baseline_path.c_str(), "r");
+        if (!in) {
+            std::fprintf(stderr, "cannot open baseline '%s'\n",
+                         baseline_path.c_str());
+            return 1;
+        }
+        std::string text;
+        char buf[4096];
+        size_t n;
+        while ((n = std::fread(buf, 1, sizeof buf, in)) > 0)
+            text.append(buf, n);
+        std::fclose(in);
+        if (!readJsonNumber(text, "evaluationsPerSecond",
+                            &baseline_rate) ||
+            !readJsonNumber(text, "evaluations",
+                            &baseline_evaluations)) {
+            std::fprintf(stderr,
+                         "baseline '%s' is missing gate fields\n",
+                         baseline_path.c_str());
+            return 1;
+        }
+        // Search efficiency is deterministic: the evaluation count must
+        // match the committed baseline exactly.
+        const bool efficiency_ok =
+            static_cast<double>(result.evaluations) ==
+            baseline_evaluations;
+        const bool rate_ok = rate >= kBaselineTolerance * baseline_rate;
+        std::printf("gate: evaluation count matches baseline %.0f: %s\n",
+                    baseline_evaluations,
+                    efficiency_ok ? "PASS" : "FAIL");
+        std::printf(
+            "gate: throughput within 20%% of baseline %.0f/s: %s\n",
+            baseline_rate, rate_ok ? "PASS" : "FAIL");
+        ok = ok && efficiency_ok && rate_ok;
+    }
+
+    JsonWriter json;
+    json.beginObject();
+    json.key("benchmark").value("fit_convergence");
+    json.key("starts").value(fit.starts);
+    json.key("seed").value(static_cast<long long>(fit.seed));
+    json.key("converged").value(result.converged);
+    json.key("evaluations").value(result.evaluations);
+    json.key("acceptedSteps").value(accepted);
+    json.key("finalObjective").value(result.objective);
+    json.key("wallSeconds").value(seconds);
+    json.key("evaluationsPerSecond").value(rate);
+    if (!baseline_path.empty()) {
+        json.key("baselineEvaluations").value(baseline_evaluations);
+        json.key("baselineEvaluationsPerSecond").value(baseline_rate);
+    }
+    json.endObject();
+    std::FILE* out = std::fopen("BENCH_fit.json", "w");
+    if (out) {
+        std::fprintf(out, "%s\n", json.str().c_str());
+        std::fclose(out);
+        std::printf("\nwrote BENCH_fit.json\n");
+    } else {
+        std::fprintf(stderr, "could not write BENCH_fit.json\n");
+        return 1;
+    }
+    return ok ? 0 : 1;
+}

@@ -63,4 +63,37 @@ ddr3_1gb_datasheet()
     return points;
 }
 
+Result<DatasheetPoint>
+lookupDatasheetPoint(const std::vector<DatasheetPoint>& bands,
+                     IddMeasure measure, double dataRateMbps, int ioWidth)
+{
+    for (const DatasheetPoint& band : bands) {
+        if (band.measure == measure &&
+            band.dataRateMbps == dataRateMbps && band.ioWidth == ioWidth)
+            return band;
+    }
+    return Error{strformat("no datasheet band for %s %.0f Mb/s x%d",
+                           iddName(measure).c_str(), dataRateMbps,
+                           ioWidth),
+                 0, 0, "", "E-DATASHEET-MISS"};
+}
+
+Result<double>
+bandTargetMa(const DatasheetPoint& band, double edge)
+{
+    if (!(band.minMa > 0) || !(band.maxMa >= band.minMa)) {
+        return Error{strformat("malformed datasheet band %s: "
+                               "[%g, %g] mA",
+                               band.label().c_str(), band.minMa,
+                               band.maxMa),
+                     0, 0, "", "E-DATASHEET-BAND"};
+    }
+    if (!(edge >= 0) || !(edge <= 1)) {
+        return Error{strformat("band edge must be in [0, 1], got %g",
+                               edge),
+                     0, 0, "", "E-DATASHEET-BAND"};
+    }
+    return band.minMa + edge * (band.maxMa - band.minMa);
+}
+
 } // namespace vdram

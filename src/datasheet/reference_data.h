@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "protocol/idd.h"
+#include "util/result.h"
 
 namespace vdram {
 
@@ -41,6 +42,26 @@ const std::vector<DatasheetPoint>& ddr2_1gb_datasheet();
 
 /** Fig. 9 band set: 1 Gb DDR3. */
 const std::vector<DatasheetPoint>& ddr3_1gb_datasheet();
+
+/**
+ * The band of @p measure at exactly @p dataRateMbps / @p ioWidth.
+ * A row the set does not carry (e.g. IDD6, which the public datasheets
+ * bin by temperature grade instead of speed grade) is E-DATASHEET-MISS —
+ * callers must not silently substitute a neighbouring row.
+ */
+Result<DatasheetPoint>
+lookupDatasheetPoint(const std::vector<DatasheetPoint>& bands,
+                     IddMeasure measure, double dataRateMbps,
+                     int ioWidth);
+
+/**
+ * Current (mA) at position @p edge inside a band: 0 = minimum,
+ * 0.5 = midpoint, 1 = maximum. Zero-width (min == max) rows are valid
+ * and return the single value. A malformed band (min > max or
+ * non-positive currents) or an @p edge outside [0, 1] is
+ * E-DATASHEET-BAND — reported, never silently clamped.
+ */
+Result<double> bandTargetMa(const DatasheetPoint& band, double edge);
 
 } // namespace vdram
 

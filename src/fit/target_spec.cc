@@ -1,0 +1,396 @@
+#include "fit/target_spec.h"
+
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "fit/fit_engine.h"
+#include "util/json.h"
+#include "util/strings.h"
+
+namespace vdram {
+
+namespace {
+
+SourceLocation
+fileLocation(const std::string& file)
+{
+    SourceLocation location;
+    location.file = file;
+    return location;
+}
+
+/** A finite, usable JSON number member; reports into @p diags and
+ *  returns false otherwise. */
+bool
+takeNumber(const JsonValue& object, const std::string& key,
+           const std::string& what, const std::string& code,
+           DiagnosticEngine& diags, const SourceLocation& where,
+           double& out)
+{
+    const JsonValue* member = object.member(key);
+    if (member == nullptr)
+        return false;
+    if (!member->isNumber()) {
+        diags.error("E-FIT-SCHEMA",
+                    what + " \"" + key + "\" must be a number", where);
+        return false;
+    }
+    if (!std::isfinite(member->number)) {
+        diags.error(code, what + " \"" + key + "\" is not finite",
+                    where);
+        return false;
+    }
+    out = member->number;
+    return true;
+}
+
+bool
+validTolerance(double tolerance)
+{
+    return std::isfinite(tolerance) && tolerance > 0 && tolerance < 1;
+}
+
+void
+checkUnknownKeys(const JsonValue& object,
+                 const std::set<std::string>& known,
+                 const std::string& what, DiagnosticEngine& diags,
+                 const SourceLocation& where)
+{
+    for (const auto& [key, value] : object.members) {
+        if (!known.count(key)) {
+            diags.error("E-FIT-SCHEMA",
+                        what + " has unknown key \"" + key + "\"",
+                        where);
+        }
+    }
+}
+
+void
+parseTargetEntry(const JsonValue& entry, double defaultTolerance,
+                 DiagnosticEngine& diags, const SourceLocation& where,
+                 std::vector<FitTarget>& out)
+{
+    if (!entry.isObject()) {
+        diags.error("E-FIT-SCHEMA",
+                    "every \"targets\" entry must be an object", where);
+        return;
+    }
+    checkUnknownKeys(entry, {"measure", "ma", "weight", "tolerance"},
+                     "target", diags, where);
+
+    FitTarget target;
+    target.tolerance = defaultTolerance;
+
+    const JsonValue* measure = entry.member("measure");
+    if (measure == nullptr || !measure->isString()) {
+        diags.error("E-FIT-SCHEMA",
+                    "target needs a string \"measure\"", where);
+        return;
+    }
+    Result<IddMeasure> parsed = parseIddMeasureName(measure->text);
+    if (!parsed.ok()) {
+        diags.error("E-FIT-MEASURE",
+                    "unknown IDD measure \"" + measure->text + "\"",
+                    where);
+        return;
+    }
+    target.measure = parsed.value();
+
+    if (entry.member("ma") == nullptr) {
+        diags.error("E-FIT-SCHEMA",
+                    "target " + iddName(target.measure) +
+                        " needs a numeric \"ma\" (milliamperes)",
+                    where);
+        return;
+    }
+    double ma = 0;
+    if (!takeNumber(entry, "ma", "target", "E-FIT-TARGET", diags, where,
+                    ma))
+        return;
+    if (!(ma > 0)) {
+        diags.error("E-FIT-TARGET",
+                    strformat("target %s current must be positive, got "
+                              "%g mA",
+                              iddName(target.measure).c_str(), ma),
+                    where);
+        return;
+    }
+    target.amps = ma * 1e-3;
+
+    double weight = target.weight;
+    if (entry.member("weight") != nullptr) {
+        if (!takeNumber(entry, "weight", "target", "E-FIT-TARGET", diags,
+                        where, weight))
+            return;
+        if (!(weight >= 0)) {
+            diags.error("E-FIT-TARGET",
+                        strformat("target %s weight must be >= 0, got %g",
+                                  iddName(target.measure).c_str(),
+                                  weight),
+                        where);
+            return;
+        }
+        target.weight = weight;
+    }
+
+    if (entry.member("tolerance") != nullptr) {
+        double tolerance = 0;
+        if (!takeNumber(entry, "tolerance", "target", "E-FIT-TARGET",
+                        diags, where, tolerance))
+            return;
+        if (!validTolerance(tolerance)) {
+            diags.error("E-FIT-TARGET",
+                        strformat("target %s tolerance must be in "
+                                  "(0, 1), got %g",
+                                  iddName(target.measure).c_str(),
+                                  tolerance),
+                        where);
+            return;
+        }
+        target.tolerance = tolerance;
+    }
+
+    for (const FitTarget& existing : out) {
+        if (existing.measure == target.measure) {
+            diags.error("E-FIT-TARGET",
+                        "duplicate target for " +
+                            iddName(target.measure),
+                        where);
+            return;
+        }
+    }
+    out.push_back(target);
+}
+
+} // namespace
+
+Result<IddMeasure>
+parseIddMeasureName(const std::string& name)
+{
+    for (int i = 0; i < kIddMeasureCount; ++i) {
+        IddMeasure measure = static_cast<IddMeasure>(i);
+        if (equalsIgnoreCase(name, iddName(measure)))
+            return measure;
+    }
+    return Error{"unknown IDD measure '" + name + "'", 0, 0, "",
+                 "E-FIT-MEASURE"};
+}
+
+Result<FitTargetSpec>
+parseFitTargetSpec(const std::string& text, DiagnosticEngine& diags,
+                   const std::string& file)
+{
+    // Collect locally so the returned error is the first defect of THIS
+    // spec even when the caller's engine already carries diagnostics.
+    DiagnosticEngine local;
+    const SourceLocation where = fileLocation(file);
+
+    FitTargetSpec spec;
+    Result<JsonValue> parsed = parseJson(text);
+    if (!parsed.ok()) {
+        Error error = parsed.error();
+        SourceLocation location = where;
+        location.line = error.line;
+        location.column = error.column;
+        local.error("E-FIT-PARSE",
+                    "target spec is not valid JSON: " + error.message,
+                    location);
+    } else if (!parsed.value().isObject()) {
+        local.error("E-FIT-SCHEMA",
+                    "target spec must be a JSON object", where);
+    } else {
+        const JsonValue& root = parsed.value();
+        checkUnknownKeys(root,
+                         {"name", "tolerance", "bounds", "parameters",
+                          "targets"},
+                         "target spec", local, where);
+
+        const JsonValue* name = root.member("name");
+        if (name != nullptr) {
+            if (name->isString() && !name->text.empty())
+                spec.name = name->text;
+            else
+                local.error("E-FIT-SCHEMA",
+                            "\"name\" must be a non-empty string",
+                            where);
+        }
+
+        double defaultTolerance = kFitDefaultTolerance;
+        if (root.member("tolerance") != nullptr) {
+            double tolerance = 0;
+            if (takeNumber(root, "tolerance", "target spec",
+                           "E-FIT-TARGET", local, where, tolerance)) {
+                if (validTolerance(tolerance)) {
+                    defaultTolerance = tolerance;
+                } else {
+                    local.error("E-FIT-TARGET",
+                                strformat("default tolerance must be "
+                                          "in (0, 1), got %g",
+                                          tolerance),
+                                where);
+                }
+            }
+        }
+
+        const JsonValue* bounds = root.member("bounds");
+        if (bounds != nullptr) {
+            if (!bounds->isObject()) {
+                local.error("E-FIT-BOUNDS",
+                            "\"bounds\" must be an object with \"min\" "
+                            "and \"max\"",
+                            where);
+            } else {
+                checkUnknownKeys(*bounds, {"min", "max"}, "bounds",
+                                 local, where);
+                double value = 0;
+                if (takeNumber(*bounds, "min", "bounds", "E-FIT-BOUNDS",
+                               local, where, value))
+                    spec.bounds.minFactor = value;
+                if (takeNumber(*bounds, "max", "bounds", "E-FIT-BOUNDS",
+                               local, where, value))
+                    spec.bounds.maxFactor = value;
+                if (!(spec.bounds.minFactor > 0) ||
+                    !(spec.bounds.maxFactor >= spec.bounds.minFactor) ||
+                    !std::isfinite(spec.bounds.minFactor) ||
+                    !std::isfinite(spec.bounds.maxFactor)) {
+                    local.error(
+                        "E-FIT-BOUNDS",
+                        strformat("bounds must satisfy 0 < min <= max, "
+                                  "got [%g, %g]",
+                                  spec.bounds.minFactor,
+                                  spec.bounds.maxFactor),
+                        where);
+                }
+            }
+        }
+
+        const JsonValue* parameters = root.member("parameters");
+        if (parameters != nullptr) {
+            if (!parameters->isArray()) {
+                local.error("E-FIT-SCHEMA",
+                            "\"parameters\" must be an array of sweep "
+                            "parameter names",
+                            where);
+            } else {
+                for (const JsonValue& entry : parameters->items) {
+                    if (!entry.isString()) {
+                        local.error("E-FIT-SCHEMA",
+                                    "every \"parameters\" entry must "
+                                    "be a string",
+                                    where);
+                        continue;
+                    }
+                    if (!isFitParameterName(entry.text)) {
+                        local.error("E-FIT-PARAM",
+                                    "unknown fit parameter \"" +
+                                        entry.text +
+                                        "\" (see `vdram fit --list-"
+                                        "parameters`)",
+                                    where);
+                        continue;
+                    }
+                    bool duplicate = false;
+                    for (const std::string& seen : spec.parameters)
+                        duplicate = duplicate || seen == entry.text;
+                    if (duplicate) {
+                        local.error("E-FIT-PARAM",
+                                    "duplicate fit parameter \"" +
+                                        entry.text + "\"",
+                                    where);
+                        continue;
+                    }
+                    spec.parameters.push_back(entry.text);
+                }
+            }
+        }
+
+        const JsonValue* targets = root.member("targets");
+        if (targets == nullptr || !targets->isArray()) {
+            local.error("E-FIT-SCHEMA",
+                        "target spec needs a \"targets\" array", where);
+        } else {
+            for (const JsonValue& entry : targets->items) {
+                parseTargetEntry(entry, defaultTolerance, local, where,
+                                 spec.targets);
+            }
+        }
+        if (targets != nullptr && targets->isArray() &&
+            spec.targets.empty() && !local.hasErrors()) {
+            local.error("E-FIT-EMPTY",
+                        "target spec has no targets to fit", where);
+        }
+    }
+    // Weight-zero everything would make the objective identically zero.
+    if (!local.hasErrors()) {
+        double totalWeight = 0;
+        for (const FitTarget& target : spec.targets)
+            totalWeight += target.weight;
+        if (!(totalWeight > 0)) {
+            local.error("E-FIT-TARGET",
+                        "at least one target needs a positive weight",
+                        where);
+        }
+    }
+
+    for (const Diagnostic& diagnostic : local.diagnostics())
+        diags.report(diagnostic);
+    if (local.hasErrors())
+        return local.firstError();
+    return spec;
+}
+
+Result<FitTargetSpec>
+loadFitTargetSpec(const std::string& path, DiagnosticEngine& diags)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        Error error{"cannot open target spec '" + path + "'", 0, 0, path,
+                    "E-IO-OPEN"};
+        diags.reportError(error);
+        return error;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad()) {
+        Error error{"cannot read target spec '" + path + "'", 0, 0,
+                    path, "E-IO-READ"};
+        diags.reportError(error);
+        return error;
+    }
+    return parseFitTargetSpec(buffer.str(), diags, path);
+}
+
+Result<FitTargetSpec>
+specFromDatasheet(const std::vector<DatasheetPoint>& bands,
+                  double dataRateMbps, int ioWidth, double edge,
+                  const std::string& name)
+{
+    FitTargetSpec spec;
+    spec.name = name;
+    for (const DatasheetPoint& band : bands) {
+        if (band.dataRateMbps != dataRateMbps || band.ioWidth != ioWidth)
+            continue;
+        Result<double> targetMa = bandTargetMa(band, edge);
+        if (!targetMa.ok())
+            return targetMa.error();
+        FitTarget target;
+        target.measure = band.measure;
+        target.amps = targetMa.value() * 1e-3;
+        // Half the band width, relative to the target, is the natural
+        // acceptance region; zero-width (min == max) rows keep the
+        // floor instead of demanding an exact FP match.
+        double half = (band.maxMa - band.minMa) / 2 / targetMa.value();
+        target.tolerance = std::max(kFitToleranceFloor, half);
+        spec.targets.push_back(target);
+    }
+    if (spec.targets.empty()) {
+        return Error{strformat("no datasheet rows match %.0f Mb/s x%d",
+                               dataRateMbps, ioWidth),
+                     0, 0, "", "E-FIT-EMPTY"};
+    }
+    return spec;
+}
+
+} // namespace vdram

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * IDD-target specification for the calibration fitting engine.
+ *
+ * A target spec names the datasheet/measured currents a device must
+ * reproduce and which technology parameters the search may move to get
+ * there. It is a small JSON document:
+ *
+ *   {
+ *     "name": "vendor-ddr3-1333",
+ *     "tolerance": 0.05,
+ *     "bounds": {"min": 0.5, "max": 2.0},
+ *     "parameters": ["Bitline capacitance", "Cell capacitance"],
+ *     "targets": [
+ *       {"measure": "IDD0",  "ma": 75.0, "weight": 1.0},
+ *       {"measure": "IDD4R", "ma": 190.0, "tolerance": 0.03}
+ *     ]
+ *   }
+ *
+ * Parsing goes through the defensive JSON parser and the diagnostics
+ * engine: every defect is reported as a structured E-FIT-* diagnostic
+ * (unknown keys, unknown measures or parameters, non-finite or
+ * non-positive currents, empty target sets) and parsing never crashes
+ * on hostile input — verified by tests/test_fit_spec.cc under
+ * ASan/UBSan.
+ */
+#ifndef VDRAM_FIT_TARGET_SPEC_H
+#define VDRAM_FIT_TARGET_SPEC_H
+
+#include <string>
+#include <vector>
+
+#include "datasheet/reference_data.h"
+#include "protocol/idd.h"
+#include "util/diag.h"
+#include "util/result.h"
+
+namespace vdram {
+
+/** One IDD current the calibrated model must reproduce. */
+struct FitTarget {
+    IddMeasure measure = IddMeasure::Idd0;
+    /** Target current in amperes (the JSON spec gives milliamperes). */
+    double amps = 0;
+    /** Relative weight in the objective (default 1). */
+    double weight = 1.0;
+    /** Acceptance band: |fitted/target - 1| <= tolerance. */
+    double tolerance = 0.05;
+};
+
+/** Multiplicative search bounds applied to every free parameter. */
+struct FitBounds {
+    double minFactor = 0.5;
+    double maxFactor = 2.0;
+};
+
+/** A parsed target specification. */
+struct FitTargetSpec {
+    /** Spec name (labels presets, reports and checkpoints). */
+    std::string name = "unnamed fit";
+    std::vector<FitTarget> targets;
+    /**
+     * Names of the sweep parameters the search may move (the
+     * fitParameterNames() vocabulary). Empty selects the default
+     * electrical + charge-dominant technology set of
+     * defaultFitParameters().
+     */
+    std::vector<std::string> parameters;
+    FitBounds bounds;
+};
+
+/** Default relative tolerance when the spec gives none. */
+constexpr double kFitDefaultTolerance = 0.05;
+
+/** Tolerance floor for targets derived from zero-width datasheet
+ *  bands (min == max rows must not demand an exact FP match). */
+constexpr double kFitToleranceFloor = 0.01;
+
+/** Parse a datasheet-style measure name ("IDD0", "idd4r", ...). */
+Result<IddMeasure> parseIddMeasureName(const std::string& name);
+
+/**
+ * Parse a target spec from JSON text. Every finding is reported into
+ * @p diags with an E-FIT-* code and the location column pointing at
+ * the failing JSON offset where known; the returned error is the first
+ * one. @p file labels diagnostics ("" for in-memory text).
+ */
+Result<FitTargetSpec> parseFitTargetSpec(const std::string& text,
+                                         DiagnosticEngine& diags,
+                                         const std::string& file = "");
+
+/**
+ * Read and parse a target spec file. An unreadable file is E-IO-OPEN
+ * (CLI exit 6); parse and semantic defects report as in
+ * parseFitTargetSpec().
+ */
+Result<FitTargetSpec> loadFitTargetSpec(const std::string& path,
+                                        DiagnosticEngine& diags);
+
+/**
+ * Build a target spec from datasheet reference bands: one target per
+ * band row matching @p dataRateMbps and @p ioWidth, aimed at the band
+ * edge selected by @p edge (0 = band minimum, 0.5 = midpoint,
+ * 1 = maximum) with the tolerance spanning half the band width (never
+ * below kFitToleranceFloor, so min == max rows stay satisfiable).
+ * No matching rows is E-FIT-EMPTY.
+ */
+Result<FitTargetSpec>
+specFromDatasheet(const std::vector<DatasheetPoint>& bands,
+                  double dataRateMbps, int ioWidth, double edge,
+                  const std::string& name);
+
+} // namespace vdram
+
+#endif // VDRAM_FIT_TARGET_SPEC_H

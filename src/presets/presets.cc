@@ -1,5 +1,6 @@
 #include "presets/presets.h"
 
+#include "core/sensitivity.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -167,6 +168,64 @@ presetGraphicsGddr5(int io_width)
     return d;
 }
 
+namespace {
+
+/** One calibrated parameter: a fit-vocabulary name and the factor the
+ *  search settled on (from the committed golden fit report). */
+struct CalibratedFactor {
+    const char* name;
+    double factor;
+};
+
+/** Apply a fit result to a base description through the same detailed
+ *  sweep vocabulary `vdram fit` searches. Factors come verbatim from a
+ *  committed golden report, so the preset reproduces the calibrated
+ *  currents exactly (tests/test_fit.cc re-checks the residuals). */
+DramDescription
+calibrated(DramDescription base, const char* name,
+           std::initializer_list<CalibratedFactor> factors)
+{
+    static const std::vector<SweepParam> vocabulary =
+        sweepParameters(SweepMode::Detailed);
+    for (const CalibratedFactor& entry : factors) {
+        for (const SweepParam& param : vocabulary) {
+            if (param.name == entry.name) {
+                param.apply(base, entry.factor);
+                break;
+            }
+        }
+    }
+    base.name = name;
+    return base;
+}
+
+} // namespace
+
+DramDescription
+presetDdr3VendorLow()
+{
+    // tests/data/golden/fit_ddr3_vendor_low.json (seed 1, 2 starts).
+    return calibrated(preset1GbDdr3(55e-9, 16, 1333),
+                      "1Gb DDR3-1333 x16 55nm (vendor low band)",
+                      {{"Constant current adder", 0.512627626},
+                       {"Bitline capacitance", 1.18880841},
+                       {"Cell capacitance", 1.30538407},
+                       {"Number of logic gates", 0.99378882}});
+}
+
+DramDescription
+presetDdr3VendorHigh()
+{
+    // tests/data/golden/fit_ddr3_vendor_high.json (seed 1, 2 starts).
+    return calibrated(preset1GbDdr3(55e-9, 16, 1333),
+                      "1Gb DDR3-1333 x16 55nm (vendor high band)",
+                      {{"Constant current adder", 1.6190807},
+                       {"Generator efficiency Vint", 0.833333333},
+                       {"Bitline capacitance", 1.49144314},
+                       {"Cell capacitance", 0.980101641},
+                       {"Number of logic gates", 1.05}});
+}
+
 const std::vector<NamedPreset>&
 namedPresets()
 {
@@ -176,6 +235,8 @@ namedPresets()
         {"ddr2_1g_65", [] { return preset1GbDdr2(65e-9, 16, 800); }},
         {"ddr3_1g_65", [] { return preset1GbDdr3(65e-9, 16, 1066); }},
         {"ddr3_1g_55", [] { return preset1GbDdr3(55e-9, 16, 1333); }},
+        {"ddr3_1g_vlow", [] { return presetDdr3VendorLow(); }},
+        {"ddr3_1g_vhigh", [] { return presetDdr3VendorHigh(); }},
         {"ddr3_2g_55", [] { return preset2GbDdr3_55(16); }},
         {"ddr5_16g_18", [] { return preset16GbDdr5_18(16); }},
         {"lpddr2", [] { return presetMobileLpddr2(32); }},

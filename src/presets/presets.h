@@ -44,6 +44,18 @@ DramDescription presetMobileLpddr2(int io_width = 32);
  *  split into more, smaller blocks) for maximum total data rate. */
 DramDescription presetGraphicsGddr5(int io_width = 32);
 
+/**
+ * 1 Gb DDR3-1333 x16 calibrated to the low edge of the vendor IDD
+ * envelope (`vdram fit` against examples/data/fit_ddr3_vendor_low.json;
+ * report committed as tests/data/golden/fit_ddr3_vendor_low.json).
+ * Every weighted IDD residual is inside its tolerance band.
+ */
+DramDescription presetDdr3VendorLow();
+
+/** As presetDdr3VendorLow(), calibrated to the high band edge
+ *  (examples/data/fit_ddr3_vendor_high.json). */
+DramDescription presetDdr3VendorHigh();
+
 /** Named preset registry for examples and tools. */
 struct NamedPreset {
     std::string name;

@@ -27,6 +27,8 @@ namespace {
 constexpr const char* kFailpointNames[] = {
     "ckpt.append",      // CheckpointWriter::append, mid-record
     "ckpt.consolidate", // consolidateCheckpoint, before the rename
+    "fit.checkpoint",   // fit trajectory append, before the record
+    "fit.step",         // fit generation start
     "fleet.heartbeat",  // supervisor liveness probe of a worker
     "fleet.route",      // router worker-selection for a request
     "fleet.spawn",      // supervisor worker process spawn

@@ -1,0 +1,101 @@
+#!/bin/sh
+# Crash/resume test of the fitting engine against the real CLI binary.
+#
+# VDRAM_FAILPOINTS=fit.checkpoint=abort:K aborts the process (a
+# deterministic kill -9) right before the K-th trajectory record is
+# appended. The resumed fit must replay the surviving generations
+# without re-evaluating them and produce a calibrated description and
+# a fit report byte-identical to an undisturbed run with the same
+# flags.
+#
+# Usage: cli_fit_resume_test.sh <path-to-vdram_cli>
+set -e
+
+CLI="$1"
+if [ -z "$CLI" ] || [ ! -x "$CLI" ]; then
+    echo "usage: $0 <path-to-vdram_cli>" >&2
+    exit 1
+fi
+
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+
+cat > "$DIR/targets.json" <<'EOF'
+{
+  "name": "resume-chaos",
+  "parameters": ["Constant current adder", "Bitline capacitance",
+                 "Cell capacitance"],
+  "targets": [
+    {"measure": "IDD0", "ma": 80.0},
+    {"measure": "IDD4R", "ma": 190.0}
+  ]
+}
+EOF
+
+FLAGS="--targets=$DIR/targets.json --seed=3 --max-generations=12"
+FLAGS="$FLAGS --jobs=2"
+
+# Reference: the undisturbed run.
+set +e
+"$CLI" fit preset:ddr3_1g_55 $FLAGS \
+    --report="$DIR/expected_report.json" \
+    > "$DIR/expected.dram" 2> /dev/null
+REF_STATUS=$?
+set -e
+# 0 = converged, 1 = finished outside tolerance: both are complete
+# runs the resumed leg must reproduce exactly.
+if [ "$REF_STATUS" != 0 ] && [ "$REF_STATUS" != 1 ]; then
+    echo "FAIL: reference fit exited $REF_STATUS (want 0 or 1)" >&2
+    exit 1
+fi
+
+for K in 3 9; do
+    rm -f "$DIR/ckpt.jsonl"
+    set +e
+    VDRAM_FAILPOINTS="fit.checkpoint=abort:$K" \
+        "$CLI" fit preset:ddr3_1g_55 $FLAGS \
+        --checkpoint="$DIR/ckpt.jsonl" \
+        > /dev/null 2> /dev/null
+    STATUS=$?
+    set -e
+    if [ "$STATUS" = 0 ] || [ "$STATUS" = 1 ]; then
+        echo "FAIL: fit.checkpoint=abort:$K never fired" >&2
+        exit 1
+    fi
+    if [ ! -s "$DIR/ckpt.jsonl" ]; then
+        echo "FAIL: no surviving checkpoint records before abort $K" >&2
+        exit 1
+    fi
+
+    set +e
+    "$CLI" fit preset:ddr3_1g_55 $FLAGS \
+        --checkpoint="$DIR/ckpt.jsonl" --resume \
+        --report="$DIR/resumed_report_$K.json" \
+        > "$DIR/resumed_$K.dram" 2> "$DIR/resumed_$K.err"
+    STATUS=$?
+    set -e
+    if [ "$STATUS" != "$REF_STATUS" ]; then
+        echo "FAIL: resumed fit (abort $K) exited $STATUS," \
+             "reference exited $REF_STATUS" >&2
+        cat "$DIR/resumed_$K.err" >&2
+        exit 1
+    fi
+    if ! cmp -s "$DIR/expected.dram" "$DIR/resumed_$K.dram"; then
+        echo "FAIL: calibrated description differs after abort $K" >&2
+        exit 1
+    fi
+    if ! cmp -s "$DIR/expected_report.json" \
+               "$DIR/resumed_report_$K.json"; then
+        echo "FAIL: fit report differs after abort $K" >&2
+        diff "$DIR/expected_report.json" \
+             "$DIR/resumed_report_$K.json" >&2 || true
+        exit 1
+    fi
+    if grep -q " 0 restored" "$DIR/resumed_$K.err"; then
+        echo "FAIL: resumed run (abort $K) restored nothing" >&2
+        cat "$DIR/resumed_$K.err" >&2
+        exit 1
+    fi
+done
+
+echo "ok: kill -9 mid-fit at both abort points, resume byte-identical"

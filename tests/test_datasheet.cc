@@ -29,6 +29,57 @@ TEST(ReferenceDataTest, BandsAreWellFormed)
     }
 }
 
+TEST(ReferenceDataTest, LookupFindsExactRowsOnly)
+{
+    Result<DatasheetPoint> hit = lookupDatasheetPoint(
+        ddr3_1gb_datasheet(), IddMeasure::Idd0, 1333, 16);
+    ASSERT_TRUE(hit.ok()) << hit.error().toString();
+    EXPECT_DOUBLE_EQ(hit.value().minMa, 65);
+    EXPECT_DOUBLE_EQ(hit.value().maxMa, 105);
+
+    // IDD6 is binned by temperature grade, not speed grade: the row is
+    // absent and must come back as a diagnostic, never a neighbour.
+    Result<DatasheetPoint> idd6 = lookupDatasheetPoint(
+        ddr3_1gb_datasheet(), IddMeasure::Idd6, 1333, 16);
+    ASSERT_FALSE(idd6.ok());
+    EXPECT_EQ(idd6.error().code, "E-DATASHEET-MISS");
+
+    // Near-miss on rate or width is a miss too (no silent clamping).
+    Result<DatasheetPoint> rate = lookupDatasheetPoint(
+        ddr3_1gb_datasheet(), IddMeasure::Idd0, 1334, 16);
+    ASSERT_FALSE(rate.ok());
+    EXPECT_EQ(rate.error().code, "E-DATASHEET-MISS");
+}
+
+TEST(ReferenceDataTest, BandTargetInterpolatesAndRejectsBadInput)
+{
+    const DatasheetPoint band{IddMeasure::Idd4R, 1333, 16, 145, 235};
+    EXPECT_DOUBLE_EQ(bandTargetMa(band, 0.0).value(), 145);
+    EXPECT_DOUBLE_EQ(bandTargetMa(band, 0.5).value(), 190);
+    EXPECT_DOUBLE_EQ(bandTargetMa(band, 1.0).value(), 235);
+
+    // A zero-width (min == max) row is a legitimate single-vendor
+    // measurement: every edge returns the one value.
+    const DatasheetPoint pin{IddMeasure::Idd0, 800, 8, 90, 90};
+    EXPECT_DOUBLE_EQ(bandTargetMa(pin, 0.0).value(), 90);
+    EXPECT_DOUBLE_EQ(bandTargetMa(pin, 1.0).value(), 90);
+
+    // Malformed bands and out-of-range edges are diagnostics, not
+    // clamps.
+    const DatasheetPoint inverted{IddMeasure::Idd0, 800, 8, 105, 65};
+    Result<double> bad = bandTargetMa(inverted, 0.5);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code, "E-DATASHEET-BAND");
+
+    const DatasheetPoint negative{IddMeasure::Idd0, 800, 8, -5, 10};
+    ASSERT_FALSE(bandTargetMa(negative, 0.5).ok());
+
+    ASSERT_FALSE(bandTargetMa(band, -0.1).ok());
+    Result<double> outside = bandTargetMa(band, 1.1);
+    ASSERT_FALSE(outside.ok());
+    EXPECT_EQ(outside.error().code, "E-DATASHEET-BAND");
+}
+
 TEST(ReferenceDataTest, CurrentsGrowWithRateAndWidth)
 {
     // Within each measure the encoded points go x4 -> x8 -> x16 with

@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "core/variant_evaluator.h"
+#include "fit/fit_engine.h"
+#include "fit/target_spec.h"
 #include "presets/presets.h"
 #include "protocol/trace_stream.h"
 #include "runner/checkpoint.h"
@@ -213,10 +215,11 @@ coveredSites()
 {
     static const std::set<std::string>* covered =
         new std::set<std::string>{
-            "ckpt.append",     "ckpt.consolidate", "fleet.heartbeat",
-            "fleet.route",     "fleet.spawn",      "model.rebuild",
-            "runner.task",     "serve.request",    "serve.response",
-            "trace.slice",     "trace.stream",
+            "ckpt.append",     "ckpt.consolidate", "fit.checkpoint",
+            "fit.step",        "fleet.heartbeat",  "fleet.route",
+            "fleet.spawn",     "model.rebuild",    "runner.task",
+            "serve.request",   "serve.response",   "trace.slice",
+            "trace.stream",
         };
     return *covered;
 }
@@ -435,6 +438,77 @@ TEST(SiteMatrixTest, FleetHeartbeatErrorAndCrashAtTheProbe)
     EXPECT_THROW(
         (void)probeServeWorker("/nonexistent/worker.sock", 0.05),
         std::runtime_error);
+}
+
+/** A minimal single-parameter fit configuration the fit.* matrix
+ *  entries share: one target, two generations, a handful of
+ *  evaluations. */
+FitTargetSpec
+tinyFitSpec()
+{
+    DiagnosticEngine diags;
+    Result<FitTargetSpec> spec = parseFitTargetSpec(
+        R"({"name": "failpoint-fit", "parameters": )"
+        R"(["Constant current adder"], "targets": )"
+        R"([{"measure": "IDD0", "ma": 80.0}]})",
+        diags);
+    EXPECT_TRUE(spec.ok());
+    return spec.ok() ? spec.value() : FitTargetSpec{};
+}
+
+FitOptions
+tinyFitOptions()
+{
+    FitOptions fit;
+    fit.starts = 1;
+    fit.maxGenerations = 2;
+    fit.seed = 9;
+    return fit;
+}
+
+TEST(SiteMatrixTest, FitStepErrorAbortsTheFitWithDiagnostic)
+{
+    FailpointGuard guard;
+    activate("fit.step=error");
+    Result<FitResult> result = runFitCampaign(
+        preset2GbDdr3_55(), tinyFitSpec(), tinyFitOptions(), {});
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, "E-FIT-STEP");
+}
+
+TEST(SiteMatrixTest, FitStepCrashIsContainedAsDiagnostic)
+{
+    FailpointGuard guard;
+    activate("fit.step=crash");
+    // The injected exception must not escape runFitCampaign: the
+    // engine contains it and reports the same structured diagnostic.
+    Result<FitResult> result = runFitCampaign(
+        preset2GbDdr3_55(), tinyFitSpec(), tinyFitOptions(), {});
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, "E-FIT-STEP");
+}
+
+TEST(SiteMatrixTest, FitCheckpointErrorDegradesToUncheckpointedRun)
+{
+    FailpointGuard guard;
+    const std::string path = tempPath("fit_ckpt_error.jsonl");
+    std::remove(path.c_str());
+    activate("fit.checkpoint=error");
+    RunnerOptions runner;
+    runner.checkpointPath = path;
+    DiagnosticEngine diags;
+    // A failing trajectory append must not fail the fit: the run
+    // degrades to un-checkpointed with a W-FIT-CKPT warning.
+    Result<FitResult> result =
+        runFitCampaign(preset2GbDdr3_55(), tinyFitSpec(),
+                       tinyFitOptions(), runner, &diags);
+    clearFailpoints();
+    ASSERT_TRUE(result.ok()) << result.error().toString();
+    bool warned = false;
+    for (const Diagnostic& diag : diags.diagnostics())
+        warned = warned || diag.code == "W-FIT-CKPT";
+    EXPECT_TRUE(warned);
+    std::remove(path.c_str());
 }
 
 // fleet.route fires inside a router session, which needs a live fleet

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Target-spec parser robustness: malformed JSON, non-finite and
+ * non-positive currents, unknown measures/parameters/keys, hostile
+ * bounds, empty target sets and random byte mutations must all come
+ * back as structured E-FIT-* diagnostics — never a crash, never a
+ * silently wrong spec. Runs in the "robustness" ctest label, so CI
+ * repeats it under ASan/UBSan.
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "datasheet/reference_data.h"
+#include "fit/fit_engine.h"
+#include "fit/target_spec.h"
+#include "util/diag.h"
+
+namespace vdram {
+namespace {
+
+const char kValidSpec[] = R"({
+  "name": "vendor-ddr3-1333",
+  "tolerance": 0.05,
+  "bounds": {"min": 0.5, "max": 2.0},
+  "parameters": ["Bitline capacitance", "Cell capacitance"],
+  "targets": [
+    {"measure": "IDD0", "ma": 75.0, "weight": 1.0},
+    {"measure": "IDD4R", "ma": 190.0, "tolerance": 0.03}
+  ]
+})";
+
+Result<FitTargetSpec>
+parse(const std::string& text, DiagnosticEngine& diags)
+{
+    return parseFitTargetSpec(text, diags, "spec.json");
+}
+
+TEST(FitSpecTest, ParsesTheDocumentedExample)
+{
+    DiagnosticEngine diags;
+    Result<FitTargetSpec> spec = parse(kValidSpec, diags);
+    ASSERT_TRUE(spec.ok()) << spec.error().toString();
+    EXPECT_EQ(spec.value().name, "vendor-ddr3-1333");
+    ASSERT_EQ(spec.value().targets.size(), 2u);
+    EXPECT_EQ(spec.value().targets[0].measure, IddMeasure::Idd0);
+    EXPECT_DOUBLE_EQ(spec.value().targets[0].amps, 0.075);
+    EXPECT_DOUBLE_EQ(spec.value().targets[0].tolerance, 0.05);
+    EXPECT_DOUBLE_EQ(spec.value().targets[1].tolerance, 0.03);
+    ASSERT_EQ(spec.value().parameters.size(), 2u);
+    EXPECT_DOUBLE_EQ(spec.value().bounds.minFactor, 0.5);
+    EXPECT_DOUBLE_EQ(spec.value().bounds.maxFactor, 2.0);
+    EXPECT_FALSE(diags.hasErrors());
+}
+
+TEST(FitSpecTest, DefaultsFillInWhenOmitted)
+{
+    DiagnosticEngine diags;
+    Result<FitTargetSpec> spec = parse(
+        R"({"targets": [{"measure": "idd0", "ma": 60}]})", diags);
+    ASSERT_TRUE(spec.ok()) << spec.error().toString();
+    EXPECT_EQ(spec.value().name, "unnamed fit");
+    EXPECT_TRUE(spec.value().parameters.empty());
+    EXPECT_DOUBLE_EQ(spec.value().targets[0].tolerance,
+                     kFitDefaultTolerance);
+    EXPECT_DOUBLE_EQ(spec.value().bounds.minFactor, 0.5);
+    EXPECT_DOUBLE_EQ(spec.value().bounds.maxFactor, 2.0);
+}
+
+/** Every hostile input maps to its documented diagnostic code. */
+struct BadSpec {
+    const char* text;
+    const char* code;
+};
+
+TEST(FitSpecTest, HostileInputsBecomeStructuredDiagnostics)
+{
+    const BadSpec cases[] = {
+        // Malformed JSON.
+        {"", "E-FIT-PARSE"},
+        {"{", "E-FIT-PARSE"},
+        {"not json at all", "E-FIT-PARSE"},
+        {R"({"targets": [}]})", "E-FIT-PARSE"},
+        // Wrong shapes.
+        {"[1, 2, 3]", "E-FIT-SCHEMA"},
+        {"42", "E-FIT-SCHEMA"},
+        {R"({"bogus": 1, "targets": [{"measure": "IDD0", "ma": 60}]})",
+         "E-FIT-SCHEMA"},
+        {R"({"name": 7, "targets": [{"measure": "IDD0", "ma": 60}]})",
+         "E-FIT-SCHEMA"},
+        {R"({"name": "x"})", "E-FIT-SCHEMA"},
+        {R"({"targets": "IDD0"})", "E-FIT-SCHEMA"},
+        {R"({"targets": [17]})", "E-FIT-SCHEMA"},
+        {R"({"targets": [{"ma": 60}]})", "E-FIT-SCHEMA"},
+        {R"({"targets": [{"measure": "IDD0"}]})", "E-FIT-SCHEMA"},
+        {R"({"targets": [{"measure": "IDD0", "ma": "60"}]})",
+         "E-FIT-SCHEMA"},
+        // Bad measures.
+        {R"({"targets": [{"measure": "IDD9", "ma": 60}]})",
+         "E-FIT-MEASURE"},
+        // Bad currents, weights and tolerances. JSON cannot spell NaN
+        // or Inf, and the defensive parser already rejects overflow
+        // literals at the lexical layer (takeNumber's isfinite guard
+        // stays as defense in depth).
+        {R"({"targets": [{"measure": "IDD0", "ma": 0}]})",
+         "E-FIT-TARGET"},
+        {R"({"targets": [{"measure": "IDD0", "ma": -75}]})",
+         "E-FIT-TARGET"},
+        {R"({"targets": [{"measure": "IDD0", "ma": 1e999}]})",
+         "E-FIT-PARSE"},
+        {R"({"targets": [{"measure": "IDD0", "ma": 60,
+            "weight": -1}]})",
+         "E-FIT-TARGET"},
+        {R"({"targets": [{"measure": "IDD0", "ma": 60,
+            "tolerance": 0}]})",
+         "E-FIT-TARGET"},
+        {R"({"targets": [{"measure": "IDD0", "ma": 60,
+            "tolerance": 1.5}]})",
+         "E-FIT-TARGET"},
+        {R"({"tolerance": -0.1,
+            "targets": [{"measure": "IDD0", "ma": 60}]})",
+         "E-FIT-TARGET"},
+        {R"({"targets": [{"measure": "IDD0", "ma": 60},
+                         {"measure": "idd0", "ma": 61}]})",
+         "E-FIT-TARGET"},
+        {R"({"targets": [{"measure": "IDD0", "ma": 60, "weight": 0}]})",
+         "E-FIT-TARGET"},
+        // Bad parameter lists.
+        {R"({"parameters": "Cell capacitance",
+            "targets": [{"measure": "IDD0", "ma": 60}]})",
+         "E-FIT-SCHEMA"},
+        {R"({"parameters": ["no such knob"],
+            "targets": [{"measure": "IDD0", "ma": 60}]})",
+         "E-FIT-PARAM"},
+        {R"({"parameters": ["Cell capacitance", "Cell capacitance"],
+            "targets": [{"measure": "IDD0", "ma": 60}]})",
+         "E-FIT-PARAM"},
+        // Bad bounds.
+        {R"({"bounds": 2,
+            "targets": [{"measure": "IDD0", "ma": 60}]})",
+         "E-FIT-BOUNDS"},
+        {R"({"bounds": {"min": 0, "max": 2},
+            "targets": [{"measure": "IDD0", "ma": 60}]})",
+         "E-FIT-BOUNDS"},
+        {R"({"bounds": {"min": 2, "max": 0.5},
+            "targets": [{"measure": "IDD0", "ma": 60}]})",
+         "E-FIT-BOUNDS"},
+        {R"({"bounds": {"min": 0.5, "max": 1e999},
+            "targets": [{"measure": "IDD0", "ma": 60}]})",
+         "E-FIT-PARSE"},
+        // Nothing to fit.
+        {R"({"targets": []})", "E-FIT-EMPTY"},
+    };
+    for (const BadSpec& bad : cases) {
+        DiagnosticEngine diags;
+        Result<FitTargetSpec> spec = parse(bad.text, diags);
+        ASSERT_FALSE(spec.ok()) << "accepted: " << bad.text;
+        EXPECT_EQ(spec.error().code, bad.code) << bad.text;
+        EXPECT_TRUE(diags.hasErrors()) << bad.text;
+    }
+}
+
+TEST(FitSpecTest, EveryDefectIsReportedNotJustTheFirst)
+{
+    DiagnosticEngine diags;
+    Result<FitTargetSpec> spec = parse(
+        R"({"targets": [{"measure": "IDD9", "ma": 60},
+                        {"measure": "IDD0", "ma": -1},
+                        {"measure": "IDD4R", "ma": 100}]})",
+        diags);
+    EXPECT_FALSE(spec.ok());
+    // Both independent defects must surface in one pass.
+    EXPECT_GE(diags.errorCount(), 2);
+}
+
+TEST(FitSpecTest, RandomByteMutationsNeverCrashTheParser)
+{
+    const std::string base = kValidSpec;
+    std::mt19937_64 rng(20260808);
+    std::uniform_int_distribution<size_t> pos_dist(0, base.size() - 1);
+    const char garbage[] = "{}[]\",:0.eE+-\\x7f\x01\xff nul";
+    std::uniform_int_distribution<size_t> chr_dist(0,
+                                                   sizeof(garbage) - 2);
+    for (int round = 0; round < 600; ++round) {
+        std::string mutated = base;
+        const int edits = 1 + static_cast<int>(rng() % 8);
+        for (int e = 0; e < edits; ++e)
+            mutated[pos_dist(rng)] = garbage[chr_dist(rng)];
+        if (round % 3 == 0)
+            mutated.resize(pos_dist(rng)); // torn file
+        DiagnosticEngine diags;
+        Result<FitTargetSpec> spec = parse(mutated, diags);
+        if (!spec.ok()) {
+            // Structured code, and the engine heard about it.
+            EXPECT_EQ(spec.error().code.rfind("E-", 0), 0u);
+            EXPECT_TRUE(diags.hasErrors());
+        } else {
+            // A mutation that stayed valid must still be a usable spec.
+            EXPECT_FALSE(spec.value().targets.empty());
+        }
+    }
+}
+
+TEST(FitSpecTest, MissingFileIsIoOpen)
+{
+    DiagnosticEngine diags;
+    Result<FitTargetSpec> spec =
+        loadFitTargetSpec("/nonexistent/fit_targets.json", diags);
+    ASSERT_FALSE(spec.ok());
+    EXPECT_EQ(spec.error().code, "E-IO-OPEN");
+}
+
+TEST(FitSpecTest, MeasureNamesParseCaseInsensitively)
+{
+    EXPECT_TRUE(parseIddMeasureName("IDD4R").ok());
+    EXPECT_TRUE(parseIddMeasureName("idd4r").ok());
+    EXPECT_TRUE(parseIddMeasureName("Idd0").ok());
+    Result<IddMeasure> bad = parseIddMeasureName("IDD99");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code, "E-FIT-MEASURE");
+}
+
+// ---------------------------------------------------------------------
+// Datasheet-derived specs
+// ---------------------------------------------------------------------
+
+TEST(FitSpecDatasheetTest, BuildsOneTargetPerMatchingBand)
+{
+    Result<FitTargetSpec> spec = specFromDatasheet(
+        ddr3_1gb_datasheet(), 1333, 16, 0.5, "ddr3-mid");
+    ASSERT_TRUE(spec.ok()) << spec.error().toString();
+    EXPECT_EQ(spec.value().targets.size(), 3u);
+    for (const FitTarget& target : spec.value().targets) {
+        EXPECT_GT(target.amps, 0);
+        EXPECT_GE(target.tolerance, kFitToleranceFloor);
+    }
+}
+
+TEST(FitSpecDatasheetTest, NoMatchingRowsIsEmpty)
+{
+    Result<FitTargetSpec> spec = specFromDatasheet(
+        ddr3_1gb_datasheet(), 2133, 16, 0.5, "nope");
+    ASSERT_FALSE(spec.ok());
+    EXPECT_EQ(spec.error().code, "E-FIT-EMPTY");
+}
+
+TEST(FitSpecDatasheetTest, BadEdgePropagatesTheBandDiagnostic)
+{
+    Result<FitTargetSpec> spec = specFromDatasheet(
+        ddr3_1gb_datasheet(), 1333, 16, 1.5, "edge");
+    ASSERT_FALSE(spec.ok());
+    EXPECT_EQ(spec.error().code, "E-DATASHEET-BAND");
+}
+
+TEST(FitSpecDatasheetTest, ZeroWidthBandKeepsTheToleranceFloor)
+{
+    const std::vector<DatasheetPoint> bands = {
+        {IddMeasure::Idd0, 800, 8, 90, 90}};
+    Result<FitTargetSpec> spec =
+        specFromDatasheet(bands, 800, 8, 1.0, "pinpoint");
+    ASSERT_TRUE(spec.ok()) << spec.error().toString();
+    ASSERT_EQ(spec.value().targets.size(), 1u);
+    EXPECT_DOUBLE_EQ(spec.value().targets[0].amps, 0.090);
+    EXPECT_DOUBLE_EQ(spec.value().targets[0].tolerance,
+                     kFitToleranceFloor);
+}
+
+} // namespace
+} // namespace vdram

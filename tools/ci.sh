@@ -7,10 +7,12 @@
 # request crashes; a fleet that self-heals a wedged worker and a
 # kill -9), a fault-injection + resume smoke of the CLI, the
 # runner throughput benchmark (BENCH_runner.json), the model fast-path
-# throughput gate (BENCH_model.json vs the recorded baseline), a
-# scheduler pipe smoke (`vdram sched | vdram trace --check` plus the
-# matrix campaign) and an explicit exit-code check of the three-defect
-# lint fixture. Run from the repository root.
+# throughput gate (BENCH_model.json vs the recorded baseline), a fit
+# calibration smoke (converge on the committed vendor targets + resume
+# byte-identity) with its convergence gate (BENCH_fit.json vs the
+# recorded baseline), a scheduler pipe smoke (`vdram sched | vdram
+# trace --check` plus the matrix campaign) and an explicit exit-code
+# check of the three-defect lint fixture. Run from the repository root.
 set -euo pipefail
 
 jobs=$(nproc 2>/dev/null || echo 4)
@@ -190,6 +192,35 @@ echo "== streaming trace throughput gate =="
 (cd build && ./bench/bench_trace_throughput \
     --baseline=../bench/BENCH_trace_baseline.json)
 test -s build/BENCH_trace.json
+
+echo "== fit calibration smoke: converge + resume identity =="
+# A tiny calibration against the committed vendor targets must converge
+# (every weighted residual inside its tolerance band, exit 0) on 2
+# workers. Re-running with --resume against the completed trajectory
+# checkpoint must restore every generation and reproduce the calibrated
+# description and fit report byte-for-byte.
+(
+    cd "$smokedir"
+    fitflags="--targets=$OLDPWD/examples/data/fit_ddr3_vendor_low.json"
+    fitflags="$fitflags --starts=2 --seed=1 --jobs=2"
+    "$cli" fit preset:ddr3_1g_55 $fitflags \
+        --checkpoint=fit_smoke.jsonl --report=fit_first.json \
+        > fit_first.dram 2> /dev/null
+    "$cli" fit preset:ddr3_1g_55 $fitflags \
+        --checkpoint=fit_smoke.jsonl --resume --report=fit_second.json \
+        > fit_second.dram 2> /dev/null
+    cmp fit_first.dram fit_second.dram
+    cmp fit_first.json fit_second.json
+    test -s fit_smoke.jsonl
+)
+
+echo "== fit convergence gate =="
+# The benchmark fit's evaluation count is deterministic and must match
+# the committed baseline exactly; throughput may be at most 20 % below
+# it (bench/BENCH_fit_baseline.json, see docs/calibration.md).
+(cd build && ./bench/bench_fit_convergence \
+    --baseline=../bench/BENCH_fit_baseline.json)
+test -s build/BENCH_fit.json
 
 echo "== streaming bounded-memory smoke (100M-cycle trace) =="
 # Dense replay of this trace would need a ~400 MB Op vector and is

@@ -54,8 +54,11 @@
 #include "core/schemes.h"
 #include "core/sensitivity.h"
 #include "core/trends.h"
+#include "datasheet/reference_data.h"
 #include "dsl/parser.h"
 #include "dsl/writer.h"
+#include "fit/fit_engine.h"
+#include "fit/target_spec.h"
 #include "presets/presets.h"
 #include "protocol/bank_fsm.h"
 #include "protocol/controller.h"
@@ -109,9 +112,10 @@ exitCodeForError(const Error& error)
         return kExitIo;
     if (code == "E-TRACE-PARSE" || code == "E-CKPT-PARSE" ||
         code == "E-JSON-PARSE" || code == "E-METRICS-PARSE" ||
-        startsWith(code, "E-SYNTAX-"))
+        code == "E-FIT-PARSE" || startsWith(code, "E-SYNTAX-"))
         return kExitParse;
-    if (startsWith(code, "E-TRACE-"))
+    if (startsWith(code, "E-TRACE-") || startsWith(code, "E-FIT-") ||
+        startsWith(code, "E-DATASHEET-"))
         return kExitValidate;
     return kExitRuntime;
 }
@@ -222,6 +226,18 @@ printUsage(std::FILE* out)
         "                            vendor-variation IDD distributions\n"
         "  sweep <target> <parameter> f1 [f2 ...]\n"
         "                            what-if factors on one parameter\n"
+        "  fit <target> (--targets=FILE | --datasheet=ddr2|ddr3\n"
+        "               --rate=MBPS --width=BITS [--edge=F])\n"
+        "      [--starts=N] [--max-generations=N] [--step=F]\n"
+        "      [--shrink=F] [--min-step=F] [--spread=F] [--seed=N]\n"
+        "      [--report=FILE] [--json] [--list-parameters]\n"
+        "                            calibrate the model to IDD targets\n"
+        "                            (docs/calibration.md): calibrated\n"
+        "                            description DSL on stdout, residual\n"
+        "                            report on stderr; --report writes\n"
+        "                            the JSON fit report, --json prints\n"
+        "                            it to stdout instead of the DSL;\n"
+        "                            exit 1 when outside tolerance\n"
         "  schemes <target>          Section V power-reduction study\n"
         "  timing <target>           RC timing estimate\n"
         "  trends [--csv]            generation ladder trends\n"
@@ -300,7 +316,7 @@ printUsage(std::FILE* out)
         "                            campaign's SIGINT drain handler is\n"
         "                            armed (test hook)\n"
         "campaign flags (montecarlo, sensitivity, sweep, trends,\n"
-        "                trace, sched --matrix):\n"
+        "                trace, sched --matrix, fit):\n"
         "  --jobs=N                  worker threads (default 1; 0 = all "
         "cores)\n"
         "  --task-timeout=SECONDS    per-variant deadline (watchdog)\n"
@@ -686,6 +702,203 @@ cmdMonteCarlo(const DramDescription& desc, CampaignFlags flags,
     }
     printRunReport(mc.report, diags, true);
     return exitCodeFor(mc.report);
+}
+
+int
+cmdFit(const DramDescription& desc, CampaignFlags flags, int argc,
+       char** argv)
+{
+    std::string targetsPath;
+    std::string datasheet;
+    std::string reportPath;
+    double rate = 0;
+    long long width = 0;
+    double edge = 0.5;
+    bool json_out = false;
+    FitOptions fit;
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        long long count = 0;
+        double real = 0;
+        if (startsWith(arg, "--targets=")) {
+            targetsPath = arg.substr(10);
+        } else if (startsWith(arg, "--datasheet=")) {
+            datasheet = arg.substr(12);
+            if (datasheet != "ddr2" && datasheet != "ddr3") {
+                std::fprintf(stderr,
+                             "--datasheet must be ddr2 or ddr3, got "
+                             "'%s'\n",
+                             datasheet.c_str());
+                return kExitUsage;
+            }
+        } else if (startsWith(arg, "--rate=")) {
+            if (!parseReal(arg.substr(7), 1, 1e6, rate)) {
+                std::fprintf(stderr, "--rate must be Mb/s in [1, 1e6], "
+                                     "got '%s'\n",
+                             arg.substr(7).c_str());
+                return kExitUsage;
+            }
+        } else if (startsWith(arg, "--width=")) {
+            if (!parseCount(arg.substr(8), 1, 128, width)) {
+                std::fprintf(stderr, "--width must be an integer in "
+                                     "[1, 128], got '%s'\n",
+                             arg.substr(8).c_str());
+                return kExitUsage;
+            }
+        } else if (startsWith(arg, "--edge=")) {
+            if (!parseReal(arg.substr(7), 0, 1, edge)) {
+                std::fprintf(stderr, "--edge must be in [0, 1], got "
+                                     "'%s'\n",
+                             arg.substr(7).c_str());
+                return kExitUsage;
+            }
+        } else if (startsWith(arg, "--starts=")) {
+            if (!parseCount(arg.substr(9), 1, 64, count)) {
+                std::fprintf(stderr, "--starts must be an integer in "
+                                     "[1, 64], got '%s'\n",
+                             arg.substr(9).c_str());
+                return kExitUsage;
+            }
+            fit.starts = static_cast<int>(count);
+        } else if (startsWith(arg, "--max-generations=")) {
+            if (!parseCount(arg.substr(18), 1, 100000, count)) {
+                std::fprintf(stderr,
+                             "--max-generations must be an integer in "
+                             "[1, 100000], got '%s'\n",
+                             arg.substr(18).c_str());
+                return kExitUsage;
+            }
+            fit.maxGenerations = static_cast<int>(count);
+        } else if (startsWith(arg, "--step=")) {
+            if (!parseReal(arg.substr(7), 1e-9, 10, real)) {
+                std::fprintf(stderr, "--step must be in (0, 10], got "
+                                     "'%s'\n",
+                             arg.substr(7).c_str());
+                return kExitUsage;
+            }
+            fit.initialStep = real;
+        } else if (startsWith(arg, "--shrink=")) {
+            if (!parseReal(arg.substr(9), 1e-9, 0.999, real)) {
+                std::fprintf(stderr, "--shrink must be in (0, 1), got "
+                                     "'%s'\n",
+                             arg.substr(9).c_str());
+                return kExitUsage;
+            }
+            fit.stepShrink = real;
+        } else if (startsWith(arg, "--min-step=")) {
+            if (!parseReal(arg.substr(11), 1e-12, 1, real)) {
+                std::fprintf(stderr, "--min-step must be in (0, 1], "
+                                     "got '%s'\n",
+                             arg.substr(11).c_str());
+                return kExitUsage;
+            }
+            fit.minStep = real;
+        } else if (startsWith(arg, "--spread=")) {
+            if (!parseReal(arg.substr(9), 0, 10, real)) {
+                std::fprintf(stderr, "--spread must be in [0, 10], got "
+                                     "'%s'\n",
+                             arg.substr(9).c_str());
+                return kExitUsage;
+            }
+            fit.restartSpread = real;
+        } else if (startsWith(arg, "--seed=")) {
+            if (!parseCount(arg.substr(7), 0, INT64_MAX, count)) {
+                std::fprintf(stderr,
+                             "--seed must be a non-negative integer, "
+                             "got '%s'\n",
+                             arg.substr(7).c_str());
+                return kExitUsage;
+            }
+            fit.seed = static_cast<std::uint64_t>(count);
+        } else if (startsWith(arg, "--report=")) {
+            reportPath = arg.substr(9);
+        } else if (arg == "--json") {
+            json_out = true;
+        } else if (arg == "--list-parameters") {
+            for (const std::string& name : fitParameterNames())
+                std::printf("%s\n", name.c_str());
+            return kExitOk;
+        } else {
+            std::fprintf(stderr, "unknown fit argument '%s'\n",
+                         arg.c_str());
+            return kExitUsage;
+        }
+    }
+
+    DiagnosticEngine diags;
+    Result<FitTargetSpec> spec = Error{"", 0, 0, "", ""};
+    if (!targetsPath.empty()) {
+        spec = loadFitTargetSpec(targetsPath, diags);
+    } else if (!datasheet.empty()) {
+        if (!(rate > 0) || width <= 0) {
+            std::fprintf(stderr, "--datasheet needs --rate=MBPS and "
+                                 "--width=BITS\n");
+            return kExitUsage;
+        }
+        spec = specFromDatasheet(datasheet == "ddr2"
+                                     ? ddr2_1gb_datasheet()
+                                     : ddr3_1gb_datasheet(),
+                                 rate, static_cast<int>(width), edge,
+                                 strformat("%s-%.0f-x%lld",
+                                           datasheet.c_str(), rate,
+                                           width));
+    } else {
+        std::fprintf(stderr, "fit needs --targets=FILE or "
+                             "--datasheet=ddr2|ddr3 (see --help)\n");
+        return kExitUsage;
+    }
+    if (!spec.ok()) {
+        if (!diags.diagnostics().empty())
+            std::fprintf(stderr, "%s", diags.renderText().c_str());
+        else
+            std::fprintf(stderr, "%s\n",
+                         spec.error().toString().c_str());
+        return exitCodeForError(spec.error());
+    }
+
+    // --resume without --checkpoint still needs a file to resume from.
+    if (flags.runner.resume && flags.runner.checkpointPath.empty()) {
+        flags.runner.checkpointPath = "vdram_fit.jsonl";
+        std::fprintf(stderr, "using default checkpoint '%s'\n",
+                     flags.runner.checkpointPath.c_str());
+    }
+    installDrainHandler(flags.runner);
+
+    Result<FitResult> fitted =
+        runFitCampaign(desc, spec.value(), fit, flags.runner, &diags);
+    if (!fitted.ok()) {
+        if (!diags.diagnostics().empty())
+            std::fprintf(stderr, "%s", diags.renderText().c_str());
+        std::fprintf(stderr, "%s\n", fitted.error().toString().c_str());
+        return exitCodeForError(fitted.error());
+    }
+    const FitResult& result = fitted.value();
+
+    const std::string reportJson =
+        renderFitReportJson(result, spec.value());
+    if (!reportPath.empty()) {
+        std::ofstream out(reportPath, std::ios::trunc);
+        if (out)
+            out << reportJson << "\n";
+        if (!out) {
+            std::fprintf(stderr, "cannot write fit report to %s\n",
+                         reportPath.c_str());
+            return kExitIo;
+        }
+    }
+    std::fprintf(stderr, "%s",
+                 renderFitReportText(result, spec.value()).c_str());
+    printRunReport(result.report, diags, flags.explicitFlags);
+    if (result.interrupted) {
+        std::fprintf(stderr, "fit interrupted; continue with --resume "
+                             "--checkpoint=PATH\n");
+        return kExitPartial;
+    }
+    if (json_out)
+        std::printf("%s\n", reportJson.c_str());
+    else
+        std::printf("%s", writeDescription(result.calibrated).c_str());
+    return result.converged ? kExitOk : kExitRuntime;
 }
 
 int
@@ -1777,6 +1990,22 @@ commandOwnsFlag(const std::string& command, const std::string& arg)
         return startsWith(arg, "--samples=") ||
                startsWith(arg, "--seed=") || arg == "--json";
     }
+    if (command == "fit") {
+        return startsWith(arg, "--targets=") ||
+               startsWith(arg, "--datasheet=") ||
+               startsWith(arg, "--rate=") ||
+               startsWith(arg, "--width=") ||
+               startsWith(arg, "--edge=") ||
+               startsWith(arg, "--starts=") ||
+               startsWith(arg, "--max-generations=") ||
+               startsWith(arg, "--step=") ||
+               startsWith(arg, "--shrink=") ||
+               startsWith(arg, "--min-step=") ||
+               startsWith(arg, "--spread=") ||
+               startsWith(arg, "--seed=") ||
+               startsWith(arg, "--report=") || arg == "--json" ||
+               arg == "--list-parameters";
+    }
     if (command == "serve") {
         return startsWith(arg, "--socket=") ||
                startsWith(arg, "--port=") ||
@@ -2023,6 +2252,14 @@ runCli(int argc, char** argv)
         return cmdTrends(campaign, csv);
     }
 
+    // `fit --list-parameters` needs no target.
+    if (command == "fit" && argc == 3 &&
+        std::strcmp(argv[2], "--list-parameters") == 0) {
+        for (const std::string& name : fitParameterNames())
+            std::printf("%s\n", name.c_str());
+        return kExitOk;
+    }
+
     if (argc < 3)
         return usage();
     DramDescription desc;
@@ -2050,6 +2287,8 @@ runCli(int argc, char** argv)
     }
     if (command == "montecarlo")
         return cmdMonteCarlo(desc, campaign, argc - 3, argv + 3);
+    if (command == "fit")
+        return cmdFit(desc, campaign, argc - 3, argv + 3);
     if (command == "sweep" && argc > 4)
         return cmdSweep(desc, campaign, argv[3], argc - 4, argv + 4);
     if (command == "schemes")
