@@ -174,11 +174,26 @@ evaluateMonteCarloSampleFast(VariantEvaluator& evaluator,
         error.code = "E-MC-INVALID";
         return error;
     }
-    std::vector<double> values;
-    values.reserve(measures.size());
-    for (IddMeasure measure : measures)
-        values.push_back(evaluator.idd(measure));
+    // One batched pass: all measures as lanes of the SIMD dot-product
+    // kernel, bit-identical to per-measure idd() calls.
+    std::vector<double> values(measures.size());
+    evaluator.iddBatch(measures.data(), measures.size(), values.data());
     return values;
+}
+
+std::vector<Result<std::vector<double>>>
+evaluateMonteCarloBatchFast(VariantEvaluator& evaluator,
+                            const VariationModel& variation,
+                            const std::vector<IddMeasure>& measures,
+                            const std::uint64_t* seeds, size_t n)
+{
+    std::vector<Result<std::vector<double>>> results;
+    results.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        results.push_back(evaluateMonteCarloSampleFast(
+            evaluator, variation, measures, seeds[i]));
+    }
+    return results;
 }
 
 std::vector<IddDistribution>

@@ -118,6 +118,23 @@ evaluateMonteCarloSampleFast(VariantEvaluator& evaluator,
                              std::uint64_t sampleSeed);
 
 /**
+ * Evaluate @p n Monte-Carlo samples (seeds[0..n)) on one evaluator and
+ * return one result per seed, in order. Each entry is exactly what
+ * evaluateMonteCarloSampleFast() returns for that seed — same
+ * quarantine decisions, bit-identical values — but the loop stays
+ * inside the library, feeding every sample's full measure set through
+ * VariantEvaluator::iddBatch() in one vectorized pass. This is the
+ * per-worker batch shape of a campaign inner loop: one perturbation +
+ * one batched dot-product pass per sample, no per-measure call
+ * overhead.
+ */
+std::vector<Result<std::vector<double>>>
+evaluateMonteCarloBatchFast(VariantEvaluator& evaluator,
+                            const VariationModel& variation,
+                            const std::vector<IddMeasure>& measures,
+                            const std::uint64_t* seeds, size_t n);
+
+/**
  * Build the per-measure distribution summaries from raw sample values.
  * @p values holds one vector per measure (same order as @p measures);
  * the vectors are sorted in place. Deterministic for a given value

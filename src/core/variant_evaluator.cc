@@ -1,5 +1,7 @@
 #include "core/variant_evaluator.h"
 
+#include <algorithm>
+
 #include "util/metrics.h"
 
 namespace vdram {
@@ -216,24 +218,59 @@ VariantEvaluator::reset()
     ensureFresh();
 }
 
+void
+VariantEvaluator::ensureIddPattern(size_t index)
+{
+    if (metricsEnabled()) {
+        EvaluatorInstruments& m = evaluatorInstruments();
+        (iddPatternReady_[index] ? m.patternHit : m.patternMiss).add();
+    }
+    if (!iddPatternReady_[index]) {
+        iddPatterns_[index] =
+            makeIddPattern(static_cast<IddMeasure>(index),
+                           model_.desc_.spec, model_.desc_.timing);
+        iddStats_[index] = makePatternStats(iddPatterns_[index]);
+        iddPatternReady_[index] = true;
+    }
+}
+
 double
 VariantEvaluator::idd(IddMeasure measure)
 {
     ensureFresh();
     const size_t i = static_cast<size_t>(measure);
-    if (metricsEnabled()) {
-        EvaluatorInstruments& m = evaluatorInstruments();
-        (iddPatternReady_[i] ? m.patternHit : m.patternMiss).add();
-    }
-    if (!iddPatternReady_[i]) {
-        iddPatterns_[i] = makeIddPattern(measure, model_.desc_.spec,
-                                         model_.desc_.timing);
-        iddStats_[i] = makePatternStats(iddPatterns_[i]);
-        iddPatternReady_[i] = true;
-    }
+    ensureIddPattern(i);
     return patternExternalCurrent(iddStats_[i], chargeTable(),
                                   model_.desc_.elec,
                                   model_.desc_.timing.tCkSeconds);
+}
+
+void
+VariantEvaluator::iddBatch(const IddMeasure* measures, size_t n,
+                           double* out)
+{
+    if (n == 0)
+        return;
+    ensureFresh();
+    const ChargeTable& table = chargeTable();
+    // Chunked so the lane pointers live on the stack: a chunk is the
+    // full datasheet (kIddMeasureCount measures) — the common n.
+    const PatternStats* stats[kIddMeasureCount];
+    size_t done = 0;
+    while (done < n) {
+        const size_t chunk = std::min(
+            n - done, static_cast<size_t>(kIddMeasureCount));
+        for (size_t j = 0; j < chunk; ++j) {
+            const size_t i = static_cast<size_t>(measures[done + j]);
+            ensureIddPattern(i);
+            stats[j] = &iddStats_[i];
+        }
+        patternExternalCurrentBatch(stats, static_cast<int>(chunk),
+                                    table, model_.desc_.elec,
+                                    model_.desc_.timing.tCkSeconds,
+                                    out + done);
+        done += chunk;
+    }
 }
 
 const Pattern&

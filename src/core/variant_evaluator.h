@@ -80,6 +80,16 @@ class VariantEvaluator {
      *  pattern is cached across variants. */
     double idd(IddMeasure measure);
 
+    /**
+     * Batched idd(): out[i] receives idd(measures[i]) for n measures,
+     * bit-identical to n separate calls. The stages are freshened and
+     * the charge table is resolved once, then all measures run through
+     * one patternExternalCurrentBatch() call — the SIMD kernel's lanes
+     * are the measures, so a full datasheet characterization is a
+     * single pass over the charge table.
+     */
+    void iddBatch(const IddMeasure* measures, size_t n, double* out);
+
     /** Power of the paper's pareto (sensitivity/trend) workload. */
     double paretoPower();
 
@@ -101,6 +111,9 @@ class VariantEvaluator {
     void ensureFresh();
 
     const Pattern& paretoPattern();
+
+    /** Build (or reuse) the cached pattern + stats of one IDD measure. */
+    void ensureIddPattern(size_t index);
 
     /** Rebuild model stages and drop caches they feed. */
     void rebuild(StageMask stages);

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "power/pattern_power_simd.h"
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace vdram {
 
@@ -154,6 +156,14 @@ makeChargeTable(const OperationSet& ops, const ElectricalParams& elec)
         &ops.refresh,           &ops.backgroundPerCycle,
         &ops.powerDownPerCycle, &ops.selfRefreshPerCycle};
     ChargeTable table;
+    // Vector build: lanes are components, the per-domain fold order is
+    // the scalar one, so the table bits match either way. The kernel
+    // declines degenerate efficiencies (externalCharge() owns that
+    // panic) and non-AVX2 hosts.
+    if (simdEnabled() && cpuSupportsAvx2() &&
+        detail::chargeTableAvx2(categories, elec, table)) {
+        return table;
+    }
     for (int cat = 0; cat < kChargeCategoryCount; ++cat) {
         const auto& parts = categories[cat]->parts();
         for (int c = 0; c < kComponentCount; ++c) {
@@ -206,6 +216,28 @@ patternExternalCurrent(const PatternStats& stats, const ChargeTable& table,
         }
     }
     return loop_charge / (stats.cycles * tck) + elec.constantCurrent;
+}
+
+void
+patternExternalCurrentBatch(const PatternStats* const* stats, int n,
+                            const ChargeTable& table,
+                            const ElectricalParams& elec, double tck,
+                            double* out)
+{
+    if (n <= 0)
+        return;
+    if (!(tck > 0)) {
+        // Every scalar call returns the degenerate 0 for this tck.
+        std::fill(out, out + n, 0.0);
+        return;
+    }
+    if (simdEnabled() && cpuSupportsAvx2() &&
+        detail::patternCurrentBatchAvx2(stats, n, table,
+                                        elec.constantCurrent, tck, out)) {
+        return;
+    }
+    for (int i = 0; i < n; ++i)
+        out[i] = patternExternalCurrent(*stats[i], table, elec, tck);
 }
 
 } // namespace vdram

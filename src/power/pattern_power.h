@@ -120,6 +120,21 @@ double patternExternalCurrent(const PatternStats& stats,
                               const ChargeTable& table,
                               const ElectricalParams& elec, double tck);
 
+/**
+ * Batched patternExternalCurrent(): out[i] receives the external
+ * current of *stats[i] (n entries), bit-identical to n independent
+ * scalar calls — each measure is one lane of the vector kernel, an
+ * unshared accumulation chain folded in the scalar order. Dispatches
+ * under the VDRAM_SIMD policy (util/simd.h); VDRAM_SIMD=off and
+ * non-AVX2 hosts run the scalar reference per entry. This is the
+ * variant-evaluation hot path: one charge table, kIddMeasureCount
+ * dot products per Monte-Carlo sample.
+ */
+void patternExternalCurrentBatch(const PatternStats* const* stats, int n,
+                                 const ChargeTable& table,
+                                 const ElectricalParams& elec, double tck,
+                                 double* out);
+
 } // namespace vdram
 
 #endif // VDRAM_POWER_PATTERN_POWER_H

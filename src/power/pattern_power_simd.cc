@@ -1,0 +1,175 @@
+#include "power/pattern_power_simd.h"
+
+#include "power/op_charges.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define VDRAM_SIMD_X86 1
+#else
+#define VDRAM_SIMD_X86 0
+#endif
+
+namespace vdram {
+namespace detail {
+
+#if VDRAM_SIMD_X86
+
+namespace {
+
+/**
+ * Four measures per vector. The scalar reference skips a category when
+ * its count satisfies `count <= 0`; the kernel reproduces that skip per
+ * lane with a blend of the *accumulator* (not a multiply by zero, which
+ * could flip a -0.0 accumulator to +0.0), under the exact complement
+ * predicate `!(count <= 0)` so an unordered count behaves identically.
+ */
+__attribute__((target("avx2"))) void
+currentBatch4(const PatternStats* const* stats, int n,
+              const ChargeTable& table, double constantCurrent,
+              double tck, double* out)
+{
+    const __m256d zero = _mm256_setzero_pd();
+    const __m256d tckv = _mm256_set1_pd(tck);
+    const __m256d constv = _mm256_set1_pd(constantCurrent);
+    int i = 0;
+    for (; i + 4 <= n; i += 4) {
+        // Transpose the four AoS stats into SoA scratch rows so each
+        // category is one contiguous 4-lane load.
+        alignas(32) double counts_t[kChargeCategoryCount][4];
+        alignas(32) double cycles_t[4];
+        for (int lane = 0; lane < 4; ++lane) {
+            const PatternStats& s = *stats[i + lane];
+            cycles_t[lane] = static_cast<double>(s.cycles);
+            for (int cat = 0; cat < kChargeCategoryCount; ++cat)
+                counts_t[cat][lane] = s.count[static_cast<size_t>(cat)];
+        }
+        __m256d acc = zero;
+        for (int cat = 0; cat < kChargeCategoryCount; ++cat) {
+            const __m256d countv = _mm256_load_pd(counts_t[cat]);
+            // Accumulate where NOT (count <= 0) — the scalar skip's
+            // exact complement (unordered compares as "accumulate").
+            const __m256d active =
+                _mm256_cmp_pd(countv, zero, _CMP_NLE_UQ);
+            if (_mm256_movemask_pd(active) == 0)
+                continue; // whole category skipped in every lane
+            const double* row = table.ext[static_cast<size_t>(cat)].data();
+            for (int c = 0; c < kComponentCount; ++c) {
+                const __m256d q = _mm256_mul_pd(
+                    _mm256_set1_pd(row[c]), countv);
+                acc = _mm256_blendv_pd(acc, _mm256_add_pd(acc, q),
+                                       active);
+            }
+        }
+        // current = loop_charge / (cycles * tck) + constantCurrent,
+        // one IEEE divide per lane like the scalar return expression;
+        // lanes with cycles <= 0 are overwritten with the scalar
+        // path's literal 0 (their divide result is discarded).
+        const __m256d cyclesv = _mm256_load_pd(cycles_t);
+        const __m256d current = _mm256_add_pd(
+            _mm256_div_pd(acc, _mm256_mul_pd(cyclesv, tckv)), constv);
+        const __m256d valid = _mm256_cmp_pd(cyclesv, zero, _CMP_GT_OQ);
+        _mm256_storeu_pd(out + i, _mm256_and_pd(current, valid));
+    }
+    for (; i < n; ++i) {
+        // Scalar tail: literally the reference accumulation.
+        const PatternStats& s = *stats[i];
+        if (s.cycles <= 0) {
+            out[i] = 0;
+            continue;
+        }
+        double loop_charge = 0;
+        for (int cat = 0; cat < kChargeCategoryCount; ++cat) {
+            const double count = s.count[static_cast<size_t>(cat)];
+            if (count <= 0)
+                continue;
+            const auto& row = table.ext[static_cast<size_t>(cat)];
+            for (int c = 0; c < kComponentCount; ++c)
+                loop_charge += row[static_cast<size_t>(c)] * count;
+        }
+        out[i] = loop_charge / (s.cycles * tck) + constantCurrent;
+    }
+}
+
+/**
+ * One charge-table row (15 components of one category): lanes are
+ * components, each folding q[0..3] through eff[0..3] in domain order —
+ * the same divide-then-add chain DomainCharge::externalCharge() runs.
+ */
+__attribute__((target("avx2"))) void
+tableRow(const DomainCharge* parts, const double eff[kDomainCount],
+         double* out)
+{
+    int c = 0;
+    for (; c + 4 <= kComponentCount; c += 4) {
+        __m256d acc = _mm256_setzero_pd();
+        for (int d = 0; d < kDomainCount; ++d) {
+            const __m256d q = _mm256_set_pd(
+                parts[c + 3].q[static_cast<size_t>(d)],
+                parts[c + 2].q[static_cast<size_t>(d)],
+                parts[c + 1].q[static_cast<size_t>(d)],
+                parts[c + 0].q[static_cast<size_t>(d)]);
+            acc = _mm256_add_pd(
+                acc, _mm256_div_pd(q, _mm256_set1_pd(eff[d])));
+        }
+        _mm256_storeu_pd(out + c, acc);
+    }
+    for (; c < kComponentCount; ++c) {
+        double total = 0;
+        for (int d = 0; d < kDomainCount; ++d)
+            total += parts[c].q[static_cast<size_t>(d)] / eff[d];
+        out[c] = total;
+    }
+}
+
+} // namespace
+
+bool
+patternCurrentBatchAvx2(const PatternStats* const* stats, int n,
+                        const ChargeTable& table, double constantCurrent,
+                        double tck, double* out)
+{
+    currentBatch4(stats, n, table, constantCurrent, tck, out);
+    return true;
+}
+
+bool
+chargeTableAvx2(
+    const OperationCharges* const categories[kChargeCategoryCount],
+    const ElectricalParams& elec, ChargeTable& table)
+{
+    // domainEfficiency() order: Vdd (identity), Vint, Vbl, Vpp. A
+    // non-positive efficiency must take the scalar path for its panic.
+    const double eff[kDomainCount] = {1.0, elec.efficiencyVint,
+                                      elec.efficiencyVbl,
+                                      elec.efficiencyVpp};
+    for (int d = 0; d < kDomainCount; ++d) {
+        if (!(eff[d] > 0))
+            return false;
+    }
+    for (int cat = 0; cat < kChargeCategoryCount; ++cat) {
+        tableRow(categories[cat]->parts().data(), eff,
+                 table.ext[static_cast<size_t>(cat)].data());
+    }
+    return true;
+}
+
+#else // !VDRAM_SIMD_X86
+
+bool
+patternCurrentBatchAvx2(const PatternStats* const*, int,
+                        const ChargeTable&, double, double, double*)
+{
+    return false;
+}
+
+bool
+chargeTableAvx2(const OperationCharges* const[kChargeCategoryCount],
+                const ElectricalParams&, ChargeTable&)
+{
+    return false;
+}
+
+#endif // VDRAM_SIMD_X86
+
+} // namespace detail
+} // namespace vdram

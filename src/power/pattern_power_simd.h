@@ -1,0 +1,53 @@
+/**
+ * @file
+ * AVX2 kernels behind the pattern-power batch entry points (internal).
+ *
+ * Bit-identity contract (see util/simd.h): every lane of these kernels
+ * is one independent scalar accumulation chain — a different measure or
+ * a different charge-table cell — evaluated with exactly the scalar
+ * code's operations in exactly the scalar code's order. No chain is
+ * reassociated, no divide is turned into a reciprocal multiply, and the
+ * kernels are compiled without FMA so multiplies and adds round exactly
+ * like the portable build. Each kernel returns false when it cannot
+ * uphold the contract (non-x86 build, degenerate electrical parameters
+ * that the scalar path must diagnose); the caller then runs the scalar
+ * reference.
+ */
+#ifndef VDRAM_POWER_PATTERN_POWER_SIMD_H
+#define VDRAM_POWER_PATTERN_POWER_SIMD_H
+
+#include "power/pattern_power.h"
+
+namespace vdram {
+
+class OperationCharges;
+
+namespace detail {
+
+/**
+ * AVX2 batch of patternExternalCurrent(): lanes are measures. Caller
+ * guarantees cpuSupportsAvx2() and tck > 0. Returns false when the
+ * build has no AVX2 kernels (non-x86 toolchain).
+ */
+bool patternCurrentBatchAvx2(const PatternStats* const* stats, int n,
+                             const ChargeTable& table,
+                             double constantCurrent, double tck,
+                             double* out);
+
+/**
+ * AVX2 charge-table build: lanes are components; each lane folds its
+ * DomainCharge through the domain efficiencies in domain order, exactly
+ * like DomainCharge::externalCharge(). Caller guarantees
+ * cpuSupportsAvx2(). Returns false when a generator efficiency is not
+ * strictly positive (the scalar path owns that panic) or the build has
+ * no AVX2 kernels.
+ */
+bool chargeTableAvx2(
+    const OperationCharges* const categories[kChargeCategoryCount],
+    const ElectricalParams& elec, ChargeTable& table);
+
+} // namespace detail
+
+} // namespace vdram
+
+#endif // VDRAM_POWER_PATTERN_POWER_SIMD_H

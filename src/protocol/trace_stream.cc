@@ -8,8 +8,14 @@
 
 #include <fstream>
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include "util/failpoint.h"
 #include "util/metrics.h"
+#include "util/simd.h"
 #include "util/strings.h"
 #include "util/trace.h"
 
@@ -126,7 +132,246 @@ clampLine(long long line)
     return line > INT_MAX ? INT_MAX : static_cast<int>(line);
 }
 
+/** Pack a `' ' + mnemonic` tail (at most eight bytes) into the
+ *  little-endian word a bounded load of the line tail produces, with
+ *  0x20 padding in the unused high bytes — the same padding the OR in
+ *  parseTraceLineFast() applies. */
+constexpr std::uint64_t
+packTail(const char* s)
+{
+    std::uint64_t v = 0;
+    int i = 0;
+    for (; s[i] != '\0'; ++i) {
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(s[i]))
+             << (8 * i);
+    }
+    for (; i < 8; ++i)
+        v |= 0x20ull << (8 * i);
+    return v;
+}
+
+constexpr std::uint64_t kTailAct = packTail(" act");
+constexpr std::uint64_t kTailPre = packTail(" pre");
+constexpr std::uint64_t kTailPdn = packTail(" pdn");
+constexpr std::uint64_t kTailRd = packTail(" rd");
+constexpr std::uint64_t kTailRead = packTail(" read");
+constexpr std::uint64_t kTailRef = packTail(" ref");
+constexpr std::uint64_t kTailRefresh = packTail(" refresh");
+constexpr std::uint64_t kTailWr = packTail(" wr");
+constexpr std::uint64_t kTailWrt = packTail(" wrt");
+constexpr std::uint64_t kTailWrite = packTail(" write");
+constexpr std::uint64_t kTailNop = packTail(" nop");
+constexpr std::uint64_t kTailSrf = packTail(" srf");
+
 } // namespace
+
+int
+parseTraceLineFast(const char* begin, const char* end, long long& cycle,
+                   Op& op)
+{
+    // Trailing blanks and DOS CR (the scalar trim also strips \v \f —
+    // lines carrying those fall back below when they get in the way).
+    while (end != begin) {
+        const char c = end[-1];
+        if (c != ' ' && c != '\r' && c != '\t')
+            break;
+        --end;
+    }
+    const char* p = begin;
+    while (p != end && *p == ' ')
+        ++p;
+    if (p == end)
+        return 0; // spaces only: the scalar path trims this to blank
+    const char* digits = p;
+    unsigned long long value = 0;
+    if (end - p >= 8) {
+        // SWAR gather of up to eight leading digits: one 8-byte load,
+        // locate the first non-digit byte, then collapse the digit
+        // bytes with the two-multiply reduction. Bounded by the line
+        // end, so the load never crosses the caller's buffer.
+        std::uint64_t chunk;
+        std::memcpy(&chunk, p, 8);
+        const std::uint64_t t = chunk ^ 0x3030303030303030ull;
+        // Byte flag for "not a decimal digit": value >= 0x80, or
+        // value + 0x76 carries into bit 7 (value >= 10). Cross-byte
+        // carries can only set flags above an already-flagged byte, so
+        // the lowest flag — the only one used — is exact.
+        const std::uint64_t nondigit =
+            ((t + 0x7676767676767676ull) | t) & 0x8080808080808080ull;
+        const unsigned k =
+            nondigit
+                ? static_cast<unsigned>(__builtin_ctzll(nondigit)) / 8
+                : 8u;
+        if (k > 0) {
+            // Left-align the k digit bytes; vacated low bytes become
+            // leading zeros of the 8-digit reduction.
+            std::uint64_t v =
+                k == 8 ? t
+                       : (t & ((1ull << (8 * k)) - 1)) << (8 * (8 - k));
+            v = v * 10 + (v >> 8);
+            constexpr std::uint64_t kPairMask = 0x000000FF000000FFull;
+            constexpr std::uint64_t kMulA = 0x000F424000000064ull;
+            constexpr std::uint64_t kMulB = 0x0000271000000001ull;
+            value = ((v & kPairMask) * kMulA +
+                     ((v >> 16) & kPairMask) * kMulB) >>
+                    32;
+            p += k;
+        }
+    }
+    while (p != end && static_cast<unsigned char>(*p - '0') < 10u) {
+        value = value * 10u +
+                static_cast<unsigned long long>(*p - '0');
+        ++p;
+    }
+    if (p == digits || p - digits > 18 || p == end || *p != ' ')
+        return -1;
+    // Short-mnemonic fast tail: when the rest of the line is at most
+    // eight bytes, one load bounded by the line itself (end - 8 >=
+    // begin) plus a case-folding OR turns `' ' + mnemonic` into a
+    // single integer compare — no token scan, no per-byte folding.
+    // 0x20 maps A-Z onto a-z and no other byte onto a letter, and the
+    // space and the padding are 0x20-invariant, so equality here is
+    // exactly the general match below. Multi-space tails and the long
+    // aliases fall through to it.
+    if (end - p <= 8 && end - begin >= 8) {
+        std::uint64_t word;
+        std::memcpy(&word, end - 8, 8);
+        const std::uint64_t tail =
+            (word >> ((8 - (end - p)) * 8)) | 0x2020202020202020ull;
+        Op matched = Op::Nop;
+        bool hit = true;
+        switch ((tail >> 8) & 0xFF) {
+        case 'a':
+            hit = tail == kTailAct;
+            matched = Op::Act;
+            break;
+        case 'p':
+            if (tail == kTailPre)
+                matched = Op::Pre;
+            else if (tail == kTailPdn)
+                matched = Op::Pdn;
+            else
+                hit = false;
+            break;
+        case 'r':
+            if (tail == kTailRd || tail == kTailRead)
+                matched = Op::Rd;
+            else if (tail == kTailRef || tail == kTailRefresh)
+                matched = Op::Ref;
+            else
+                hit = false;
+            break;
+        case 'w':
+            if (tail == kTailWr || tail == kTailWrt ||
+                tail == kTailWrite)
+                matched = Op::Wr;
+            else
+                hit = false;
+            break;
+        case 'n':
+            hit = tail == kTailNop;
+            break;
+        case 's':
+            hit = tail == kTailSrf;
+            matched = Op::Srf;
+            break;
+        default:
+            hit = false;
+            break;
+        }
+        if (hit) {
+            op = matched;
+            cycle = static_cast<long long>(value);
+            return 1;
+        }
+    }
+    while (p != end && *p == ' ')
+        ++p;
+    const char* token = p;
+    while (p != end && *p != ' ')
+        ++p;
+    const char* token_end = p;
+    while (p != end && *p == ' ')
+        ++p;
+    if (p != end || token == token_end)
+        return -1;
+
+    // Case-insensitive mnemonic match without a lowercase copy:
+    // c | 0x20 maps A-Z onto a-z and maps no other byte onto a letter,
+    // so comparing OR-ed bytes against the lower-case alias is exactly
+    // tokenEquals(). First char plus length picks the candidate.
+    const size_t n = static_cast<size_t>(token_end - token);
+    const auto eq = [token](const char* lower, size_t count) {
+        for (size_t i = 1; i < count; ++i) {
+            if ((token[i] | 0x20) != lower[i])
+                return false;
+        }
+        return true;
+    };
+    switch (token[0] | 0x20) {
+    case 'a':
+        if (n == 3 && eq("act", 3))
+            op = Op::Act;
+        else if (n == 8 && eq("activate", 8))
+            op = Op::Act;
+        else
+            return -1;
+        break;
+    case 'p':
+        if (n == 3 && eq("pre", 3))
+            op = Op::Pre;
+        else if (n == 3 && eq("pdn", 3))
+            op = Op::Pdn;
+        else if (n == 9 && eq("precharge", 9))
+            op = Op::Pre;
+        else if (n == 9 && eq("powerdown", 9))
+            op = Op::Pdn;
+        else
+            return -1;
+        break;
+    case 'r':
+        if (n == 2 && eq("rd", 2))
+            op = Op::Rd;
+        else if (n == 3 && eq("ref", 3))
+            op = Op::Ref;
+        else if (n == 4 && eq("read", 4))
+            op = Op::Rd;
+        else if (n == 7 && eq("refresh", 7))
+            op = Op::Ref;
+        else
+            return -1;
+        break;
+    case 'w':
+        if (n == 2 && eq("wr", 2))
+            op = Op::Wr;
+        else if (n == 3 && eq("wrt", 3))
+            op = Op::Wr;
+        else if (n == 5 && eq("write", 5))
+            op = Op::Wr;
+        else
+            return -1;
+        break;
+    case 'n':
+        if (n == 3 && eq("nop", 3))
+            op = Op::Nop;
+        else
+            return -1;
+        break;
+    case 's':
+        if (n == 3 && eq("srf", 3))
+            op = Op::Srf;
+        else if (n == 11 && eq("selfrefresh", 11))
+            op = Op::Srf;
+        else
+            return -1;
+        break;
+    default:
+        return -1;
+    }
+    cycle = static_cast<long long>(value);
+    return 1;
+}
 
 Result<bool>
 parseTraceLine(const char* begin, const char* end, long long& cycle,
@@ -171,31 +416,58 @@ parseTraceLine(const char* begin, const char* end, long long& cycle,
     return true;
 }
 
+Result<bool>
+parseTraceLineDispatch(const char* begin, const char* end,
+                       long long& cycle, Op& op)
+{
+    if (simdEnabled()) {
+        const int kind = parseTraceLineFast(begin, end, cycle, op);
+        if (kind >= 0)
+            return kind > 0;
+    }
+    return parseTraceLine(begin, end, cycle, op);
+}
+
 Status
-TraceCounter::feed(long long cycle, Op op, long long line)
+TraceCounter::feedError(long long cycle, long long line) const
 {
     if (cycle < 0) {
         return Error{"cycles must be non-negative", clampLine(line), 0,
                      "", "E-TRACE-PARSE"};
     }
-    if (cycle <= counts_.lastCycle) {
-        return Error{strformat("cycle %lld not after the previous "
-                               "command at %lld",
-                               cycle, counts_.lastCycle),
-                     clampLine(line), 0, "", "E-TRACE-ORDER"};
+    return Error{strformat("cycle %lld not after the previous "
+                           "command at %lld",
+                           cycle, counts_.lastCycle),
+                 clampLine(line), 0, "", "E-TRACE-ORDER"};
+}
+
+void
+TraceCounter::startWindow(long long cycle)
+{
+    const long long index = cycle / windowCycles_;
+    if (counts_.windows.empty() ||
+        counts_.windows.back().index != index)
+        counts_.windows.push_back(WindowCounts{index, {}});
+    nextWindowBoundary_ = index + 1 > LLONG_MAX / windowCycles_
+                              ? LLONG_MAX
+                              : (index + 1) * windowCycles_;
+}
+
+Status
+validateTraceWindow(long long windowCycles)
+{
+    if (windowCycles < 0) {
+        return Error{strformat("window of %lld cycles is negative; use "
+                               "0 to disable the timeline",
+                               windowCycles),
+                     0, 0, "", "E-TRACE-WINDOW"};
     }
-    if (counts_.firstCycle < 0)
-        counts_.firstCycle = cycle;
-    ++counts_.commands;
-    counts_.total.add(op);
-    if (windowCycles_ > 0) {
-        const long long index = cycle / windowCycles_;
-        if (counts_.windows.empty() ||
-            counts_.windows.back().index != index)
-            counts_.windows.push_back(WindowCounts{index, {}});
-        counts_.windows.back().ops.add(op);
+    if (windowCycles > kMaxWindowCycles) {
+        return Error{strformat("window of %lld cycles exceeds the "
+                               "maximum of %lld",
+                               windowCycles, kMaxWindowCycles),
+                     0, 0, "", "E-TRACE-WINDOW"};
     }
-    counts_.lastCycle = cycle;
     return Status::okStatus();
 }
 
@@ -203,6 +475,9 @@ Result<TraceStreamResult>
 mergeTraceSlices(const std::vector<TraceSliceCounts>& slices,
                  long long windowCycles)
 {
+    Status window_ok = validateTraceWindow(windowCycles);
+    if (!window_ok.ok())
+        return window_ok.error();
     TraceStreamResult result;
     OpCounts total;
     long long prev_last = -1;
@@ -228,8 +503,10 @@ mergeTraceSlices(const std::vector<TraceSliceCounts>& slices,
     result.stats = statsFromCounts(total, result.cycles);
 
     if (windowCycles > 0) {
+        // result.cycles >= 1 here; the subtract-first form cannot
+        // overflow for any windowCycles up to kMaxWindowCycles.
         const long long window_count =
-            (result.cycles + windowCycles - 1) / windowCycles;
+            (result.cycles - 1) / windowCycles + 1;
         // The timeline is held in memory; a window size far below the
         // trace length asks for an unbounded allocation, which is
         // exactly what streaming is here to avoid.
@@ -404,6 +681,38 @@ StreamChecker::apply(long long cycle, Op op)
 // ---------------------------------------------------------------------
 // Chunked stream reader.
 
+namespace {
+
+/** Merge the accumulated counts into the final result and record the
+ *  engine metrics; shared tail of the istream and buffer readers. */
+Result<TraceStreamResult>
+finishStreamEvaluation(TraceCounter& counter, StreamChecker& checker,
+                       const TraceStreamOptions& options,
+                       long long chunk_count, bool metrics)
+{
+    Result<TraceStreamResult> merged =
+        mergeTraceSlices({counter.takeCounts()}, options.windowCycles);
+    if (!merged.ok())
+        return merged.error();
+    TraceStreamResult result = std::move(merged).value();
+    if (options.check) {
+        result.violations = checker.violations();
+        result.violationCount = checker.violationCount();
+    }
+    if (metrics) {
+        StreamInstruments& m = streamInstruments();
+        m.evaluations.add();
+        m.commands.add(static_cast<std::uint64_t>(result.commands));
+        m.cycles.add(static_cast<std::uint64_t>(result.cycles));
+        m.chunks.add(static_cast<std::uint64_t>(chunk_count));
+        m.violations.add(
+            static_cast<std::uint64_t>(result.violationCount));
+    }
+    return result;
+}
+
+} // namespace
+
 Result<TraceStreamResult>
 evaluateTraceStream(std::istream& in, const TraceStreamOptions& options)
 {
@@ -419,6 +728,7 @@ evaluateTraceStream(std::istream& in, const TraceStreamOptions& options)
     const size_t chunk_bytes =
         options.chunkBytes > 0 ? options.chunkBytes : 1;
     std::vector<char> buffer(chunk_bytes);
+    std::vector<std::uint32_t> newlines(chunk_bytes); // worst case
     std::string carry;
     long long line_no = 0;
     long long chunk_count = 0;
@@ -429,7 +739,8 @@ evaluateTraceStream(std::istream& in, const TraceStreamOptions& options)
         ++line_no;
         long long cycle = 0;
         Op op = Op::Nop;
-        Result<bool> record = parseTraceLine(begin, end, cycle, op);
+        Result<bool> record =
+            parseTraceLineDispatch(begin, end, cycle, op);
         if (!record.ok()) {
             Error error = record.error();
             error.line = clampLine(line_no);
@@ -445,6 +756,8 @@ evaluateTraceStream(std::istream& in, const TraceStreamOptions& options)
         return Status::okStatus();
     };
 
+    const bool fast = simdEnabled();
+    const bool do_check = options.check;
     while (failure.ok() && in.good()) {
         // Failpoint `trace.stream`: PartialWrite simulates a mid-stream
         // read failure (the bad-stream check after the loop reports it).
@@ -472,32 +785,57 @@ evaluateTraceStream(std::istream& in, const TraceStreamOptions& options)
             break;
         ++chunk_count;
         const char* data = buffer.data();
-        size_t len = static_cast<size_t>(got);
+        const size_t len = static_cast<size_t>(got);
+        // One batched scan finds every line break in the chunk before
+        // any parsing; the parse loop then walks precomputed offsets
+        // instead of calling memchr once per line.
+        const size_t n_newlines = findNewlines(data, len,
+                                               newlines.data());
         size_t pos = 0;
+        size_t next = 0;
         if (!carry.empty()) {
-            const void* nl = std::memchr(data, '\n', len);
-            if (!nl) {
+            if (n_newlines == 0) {
                 carry.append(data, len);
                 continue;
             }
-            const size_t n =
-                static_cast<size_t>(static_cast<const char*>(nl) - data);
+            const size_t n = newlines[0];
             carry.append(data, n);
             failure = process_line(carry.data(),
                                    carry.data() + carry.size());
             carry.clear();
             pos = n + 1;
+            next = 1;
         }
-        while (failure.ok() && pos < len) {
-            const void* nl = std::memchr(data + pos, '\n', len - pos);
-            if (!nl) {
-                carry.assign(data + pos, len - pos);
-                break;
+        while (failure.ok() && next < n_newlines) {
+            const size_t nl = newlines[next++];
+            const char* b = data + pos;
+            const char* e = data + nl;
+            pos = nl + 1;
+            // Hot path: the fused parser feeds the counter directly,
+            // skipping the Result plumbing of the generic line handler;
+            // any line it rejects goes through process_line unchanged.
+            if (fast) {
+                long long cycle = 0;
+                Op op = Op::Nop;
+                const int kind = parseTraceLineFast(b, e, cycle, op);
+                if (kind >= 0) {
+                    ++line_no;
+                    if (kind > 0) {
+                        if (!counter.tryFeed(cycle, op)) [[unlikely]] {
+                            failure =
+                                counter.feed(cycle, op, line_no);
+                            break;
+                        }
+                        if (do_check)
+                            checker.apply(cycle, op);
+                    }
+                    continue;
+                }
             }
-            const char* line_end = static_cast<const char*>(nl);
-            failure = process_line(data + pos, line_end);
-            pos = static_cast<size_t>(line_end - data) + 1;
+            failure = process_line(b, e);
         }
+        if (failure.ok() && pos < len)
+            carry.assign(data + pos, len - pos);
     }
     // A loop exit without reaching end-of-stream is a device-level read
     // failure; counting what arrived as a complete trace would silently
@@ -512,31 +850,217 @@ evaluateTraceStream(std::istream& in, const TraceStreamOptions& options)
     if (!failure.ok())
         return failure.error();
 
-    Result<TraceStreamResult> merged =
-        mergeTraceSlices({counter.takeCounts()}, options.windowCycles);
-    if (!merged.ok())
-        return merged.error();
-    TraceStreamResult result = std::move(merged).value();
-    if (options.check) {
-        result.violations = checker.violations();
-        result.violationCount = checker.violationCount();
-    }
-    if (metrics) {
-        StreamInstruments& m = streamInstruments();
-        m.evaluations.add();
-        m.commands.add(static_cast<std::uint64_t>(result.commands));
-        m.cycles.add(static_cast<std::uint64_t>(result.cycles));
-        m.chunks.add(static_cast<std::uint64_t>(chunk_count));
-        m.violations.add(
-            static_cast<std::uint64_t>(result.violationCount));
-    }
-    return result;
+    return finishStreamEvaluation(counter, checker, options, chunk_count,
+                                  metrics);
 }
+
+Result<TraceStreamResult>
+evaluateTraceBuffer(const char* data, size_t len,
+                    const TraceStreamOptions& options)
+{
+    TraceSpan span("trace.stream.evaluate", "trace");
+    const bool metrics = metricsEnabled();
+    ScopedTimerNs timer(metrics ? &streamInstruments().parseNs
+                                : nullptr);
+
+    TraceCounter counter(options.windowCycles);
+    StreamChecker checker(options.timing, options.banks,
+                          options.maxViolations);
+
+    const size_t chunk_bytes =
+        options.chunkBytes > 0 ? options.chunkBytes : 1;
+    std::vector<std::uint32_t> newlines(
+        std::min(chunk_bytes, len > 0 ? len : 1)); // worst case
+    long long line_no = 0;
+    long long chunk_count = 0;
+    Status failure = Status::okStatus();
+    bool io_failed = false;
+
+    auto process_line = [&](const char* begin,
+                            const char* end) -> Status {
+        ++line_no;
+        long long cycle = 0;
+        Op op = Op::Nop;
+        Result<bool> record =
+            parseTraceLineDispatch(begin, end, cycle, op);
+        if (!record.ok()) {
+            Error error = record.error();
+            error.line = clampLine(line_no);
+            return error;
+        }
+        if (!record.value())
+            return Status::okStatus();
+        Status fed = counter.feed(cycle, op, line_no);
+        if (!fed.ok())
+            return fed;
+        if (options.check)
+            checker.apply(cycle, op);
+        return Status::okStatus();
+    };
+
+    // The windowed walk mirrors the istream reader chunk for chunk: the
+    // failpoint probe runs once per window, plus once more for the
+    // end-of-input probe a full final window incurs there (a short
+    // final window sets eofbit in the istream reader, ending its loop
+    // without another probe — the short-window break below matches it).
+    // Only the current window's bytes are scanned, so a line spanning
+    // many windows is scanned once, never re-scanned per window.
+    const bool fast = simdEnabled();
+    const bool do_check = options.check;
+    size_t pos = 0;
+    size_t line_start = 0;
+    while (failure.ok()) {
+        FailpointHit hit = failpointHit("trace.stream");
+        if (hit.action == FailpointAction::Error) {
+            failure = Error{"injected read failure at failpoint "
+                            "'trace.stream'",
+                            0, 0, "", "E-IO-READ"};
+            break;
+        }
+        if (hit.action == FailpointAction::Crash) {
+            throw std::runtime_error(
+                "injected crash at failpoint 'trace.stream'");
+        }
+        if (hit.action == FailpointAction::Abort)
+            std::abort();
+        if (hit.action == FailpointAction::PartialWrite) {
+            io_failed = true; // injected device failure
+            break;
+        }
+        if (pos >= len)
+            break;
+        const size_t window_end = std::min(pos + chunk_bytes, len);
+        ++chunk_count;
+        const size_t n_newlines =
+            findNewlines(data + pos, window_end - pos, newlines.data());
+        for (size_t i = 0; i < n_newlines; ++i) {
+            const size_t nl = pos + newlines[i];
+            const char* b = data + line_start;
+            const char* e = data + nl;
+            line_start = nl + 1;
+            // Hot path: the fused parser feeds the counter directly;
+            // rejected lines go through process_line unchanged.
+            if (fast) {
+                long long cycle = 0;
+                Op op = Op::Nop;
+                const int kind = parseTraceLineFast(b, e, cycle, op);
+                if (kind >= 0) {
+                    ++line_no;
+                    if (kind > 0) {
+                        if (!counter.tryFeed(cycle, op)) [[unlikely]] {
+                            failure =
+                                counter.feed(cycle, op, line_no);
+                            break;
+                        }
+                        if (do_check)
+                            checker.apply(cycle, op);
+                    }
+                    continue;
+                }
+            }
+            failure = process_line(b, e);
+            if (!failure.ok()) [[unlikely]]
+                break;
+        }
+        const bool short_window = window_end - pos < chunk_bytes;
+        pos = window_end;
+        if (short_window)
+            break;
+    }
+    if (failure.ok() && io_failed) {
+        failure = Error{"command trace stream failed mid-read after " +
+                            std::to_string(chunk_count) + " chunk(s)",
+                        0, 0, "", "E-IO-READ"};
+    }
+    // A final line without a trailing newline is evaluated exactly once
+    // here; line_start == len when the buffer ended on a newline.
+    if (failure.ok() && line_start < len)
+        failure = process_line(data + line_start, data + len);
+    if (!failure.ok())
+        return failure.error();
+
+    return finishStreamEvaluation(counter, checker, options, chunk_count,
+                                  metrics);
+}
+
+namespace {
+
+/** RAII mapping so error returns and injected crash failpoints cannot
+ *  leak the descriptor or the mapping. */
+struct MappedFile {
+    void* map = nullptr;
+    size_t len = 0;
+    int fd = -1;
+
+    ~MappedFile()
+    {
+        if (map)
+            ::munmap(map, len);
+        if (fd >= 0)
+            ::close(fd);
+    }
+};
+
+} // namespace
 
 Result<TraceStreamResult>
 evaluateTraceStreamFile(const std::string& path,
                         const TraceStreamOptions& options)
 {
+    // Regular files are evaluated in place from a read-only mapping
+    // under VDRAM_SIMD=on — no chunk copies, no carry strings. Pipes,
+    // devices and VDRAM_SIMD=off take the chunked istream reader; both
+    // produce bit-identical results over the same bytes.
+    if (simdEnabled()) {
+        MappedFile file;
+        file.fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+        if (file.fd < 0) {
+            return Error{"cannot open command trace '" + path + "'", 0,
+                         0, path, "E-IO-OPEN"};
+        }
+        struct stat st;
+        std::memset(&st, 0, sizeof st);
+        if (::fstat(file.fd, &st) == 0 && S_ISREG(st.st_mode)) {
+            file.len = static_cast<size_t>(st.st_size);
+            bool mapped = file.len == 0;
+            if (file.len > 0) {
+                // MAP_POPULATE prefaults the whole file in one batch —
+                // far cheaper than one page fault per 4 KiB during the
+                // parse. Fall back to a plain mapping where refused.
+#ifdef MAP_POPULATE
+                void* map = ::mmap(nullptr, file.len, PROT_READ,
+                                   MAP_PRIVATE | MAP_POPULATE, file.fd,
+                                   0);
+                if (map == MAP_FAILED) {
+                    map = ::mmap(nullptr, file.len, PROT_READ,
+                                 MAP_PRIVATE, file.fd, 0);
+                }
+#else
+                void* map = ::mmap(nullptr, file.len, PROT_READ,
+                                   MAP_PRIVATE, file.fd, 0);
+#endif
+                if (map != MAP_FAILED) {
+                    file.map = map;
+                    mapped = true;
+                    ::madvise(map, file.len, MADV_SEQUENTIAL);
+                }
+            }
+            if (mapped) {
+                const char* data =
+                    file.map ? static_cast<const char*>(file.map) : "";
+                Result<TraceStreamResult> result =
+                    evaluateTraceBuffer(data, file.len, options);
+                if (!result.ok()) {
+                    Error error = result.error();
+                    if (error.file.empty())
+                        error.file = path;
+                    return error;
+                }
+                return result;
+            }
+        }
+        // Non-regular file or mmap refusal: chunked reader below.
+    }
     std::ifstream file(path, std::ios::binary);
     if (!file) {
         return Error{"cannot open command trace '" + path + "'", 0, 0,

@@ -40,6 +40,19 @@
 
 namespace vdram {
 
+/** Widest accepted timeline window (guards the window arithmetic from
+ *  signed overflow; anything wider is meaningless for real traces). */
+constexpr long long kMaxWindowCycles = 1LL << 62;
+
+/**
+ * Validate a timeline window length: 0 (timeline disabled) or a
+ * positive count up to kMaxWindowCycles. Anything else — negative, or
+ * wide enough to overflow the window index math — is a structured
+ * E-TRACE-WINDOW error, the same code the merge uses when a window
+ * would allocate an unbounded timeline.
+ */
+Status validateTraceWindow(long long windowCycles);
+
 /** Streaming evaluation options. */
 struct TraceStreamOptions {
     /** Timeline window length in cycles; 0 disables the timeline. */
@@ -135,15 +148,56 @@ class TraceCounter {
     {
     }
 
+    /** Hot-loop variant of feed(): consume the record and return true,
+     *  or leave the counter untouched and return false on a violation
+     *  (call feed() with the same record for the structured error).
+     *  Returning a bare bool keeps the per-record cost to the counter
+     *  update itself — no Status object on the happy path. */
+    bool tryFeed(long long cycle, Op op)
+    {
+        if (cycle < 0 || cycle <= counts_.lastCycle) [[unlikely]]
+            return false;
+        if (counts_.firstCycle < 0) [[unlikely]]
+            counts_.firstCycle = cycle;
+        ++counts_.commands;
+        counts_.total.add(op);
+        if (windowCycles_ > 0) {
+            // Division-free window tracking: records are strictly
+            // increasing, so the current window is a boundary compare;
+            // the divide happens only when a record crosses into a new
+            // window (bit-identical indices either way).
+            if (counts_.windows.empty() ||
+                cycle >= nextWindowBoundary_) [[unlikely]]
+                startWindow(cycle);
+            counts_.windows.back().ops.add(op);
+        }
+        counts_.lastCycle = cycle;
+        return true;
+    }
+
     /** Consume one record. @p line is for the error message only (pass
      *  0 when unknown, e.g. in a byte-sliced parallel task). */
-    Status feed(long long cycle, Op op, long long line = 0);
+    Status feed(long long cycle, Op op, long long line = 0)
+    {
+        if (!tryFeed(cycle, op)) [[unlikely]]
+            return feedError(cycle, line);
+        return Status::okStatus();
+    }
 
     const TraceSliceCounts& counts() const { return counts_; }
-    TraceSliceCounts takeCounts() { return std::move(counts_); }
+    TraceSliceCounts takeCounts()
+    {
+        nextWindowBoundary_ = 0;
+        return std::move(counts_);
+    }
 
   private:
+    Status feedError(long long cycle, long long line) const;
+    void startWindow(long long cycle);
+
     long long windowCycles_;
+    /** First cycle past the newest window (0 forces a window start). */
+    long long nextWindowBoundary_ = 0;
     TraceSliceCounts counts_;
 };
 
@@ -165,11 +219,46 @@ Result<TraceStreamResult> mergeTraceSlices(
 Result<bool> parseTraceLine(const char* begin, const char* end,
                             long long& cycle, Op& op);
 
+/**
+ * Fused fast-path parse of the dominant `<digits> <mnemonic>` line
+ * shape (including DOS CRLF endings and trailing blanks): one scan, a
+ * SWAR digit gather, no trim passes, no alias cascade. Returns 1 for a
+ * record, 0 for a blank line, and -1 when the caller must fall back to
+ * parseTraceLine() — comments, unusual whitespace, signs,
+ * overflow-length numbers, unknown mnemonics. A line accepted here
+ * yields exactly the cycle and op parseTraceLine() would produce.
+ */
+int parseTraceLineFast(const char* begin, const char* end,
+                       long long& cycle, Op& op);
+
+/**
+ * Dispatched line parse: identical to parseTraceLine() in every result
+ * and error. Under VDRAM_SIMD=on it tries parseTraceLineFast() first
+ * and bails out to parseTraceLine() — the source of truth — on any
+ * byte sequence the fast path does not accept.
+ */
+Result<bool> parseTraceLineDispatch(const char* begin, const char* end,
+                                    long long& cycle, Op& op);
+
 /** Evaluate a command-trace stream incrementally. */
 Result<TraceStreamResult> evaluateTraceStream(
     std::istream& in, const TraceStreamOptions& options);
 
-/** Evaluate a command-trace file incrementally. */
+/**
+ * Evaluate an in-memory command trace. Chunk iteration (failpoint
+ * probes, chunk metrics, the mid-read injection semantics) mirrors
+ * evaluateTraceStream() over the same bytes with the same chunkBytes,
+ * so results and injected failures are identical; the bytes themselves
+ * are parsed in place with no carry copies. Backs the mmap file path
+ * and the SIMD property tests (any alignment, any length).
+ */
+Result<TraceStreamResult> evaluateTraceBuffer(
+    const char* data, size_t len, const TraceStreamOptions& options);
+
+/** Evaluate a command-trace file incrementally. Regular files are
+ *  mmapped and sliced in place under VDRAM_SIMD=on; other files (and
+ *  VDRAM_SIMD=off) take the chunked read() path. Both produce
+ *  bit-identical results. */
 Result<TraceStreamResult> evaluateTraceStreamFile(
     const std::string& path, const TraceStreamOptions& options);
 

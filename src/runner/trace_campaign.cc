@@ -10,6 +10,7 @@
 
 #include "util/failpoint.h"
 #include "util/metrics.h"
+#include "util/simd.h"
 #include "util/strings.h"
 #include "util/trace.h"
 
@@ -71,6 +72,7 @@ countSlice(const std::string& path, long long begin, long long end,
 
     const size_t chunk_bytes = chunkBytes > 0 ? chunkBytes : 1;
     std::vector<char> buffer(chunk_bytes);
+    std::vector<std::uint32_t> newlines(chunk_bytes); // worst case
     std::string carry;
     long long remaining = end - begin;
     Status failure = Status::okStatus();
@@ -78,7 +80,7 @@ countSlice(const std::string& path, long long begin, long long end,
     auto process_line = [&](const char* b, const char* e) -> Status {
         long long cycle = 0;
         Op op = Op::Nop;
-        Result<bool> record = parseTraceLine(b, e, cycle, op);
+        Result<bool> record = parseTraceLineDispatch(b, e, cycle, op);
         if (!record.ok())
             return record.error();
         if (!record.value())
@@ -86,6 +88,7 @@ countSlice(const std::string& path, long long begin, long long end,
         return counter.feed(cycle, op);
     };
 
+    const bool fast = simdEnabled();
     while (failure.ok() && remaining > 0 && file.good()) {
         if (cancelled && cancelled())
             return Error{"trace slice cancelled", 0, 0, "", "E-RUNNER-STOP"};
@@ -115,32 +118,50 @@ countSlice(const std::string& path, long long begin, long long end,
             break;
         remaining -= got;
         const char* data = buffer.data();
-        size_t len = static_cast<size_t>(got);
+        const size_t len = static_cast<size_t>(got);
+        // Batched newline scan, same shape as evaluateTraceStream():
+        // all line breaks of the chunk first, then the parse walk.
+        const size_t n_newlines = findNewlines(data, len,
+                                               newlines.data());
         size_t pos = 0;
+        size_t next = 0;
         if (!carry.empty()) {
-            const void* nl = std::memchr(data, '\n', len);
-            if (!nl) {
+            if (n_newlines == 0) {
                 carry.append(data, len);
                 continue;
             }
-            const size_t n =
-                static_cast<size_t>(static_cast<const char*>(nl) - data);
+            const size_t n = newlines[0];
             carry.append(data, n);
             failure =
                 process_line(carry.data(), carry.data() + carry.size());
             carry.clear();
             pos = n + 1;
+            next = 1;
         }
-        while (failure.ok() && pos < len) {
-            const void* nl = std::memchr(data + pos, '\n', len - pos);
-            if (!nl) {
-                carry.assign(data + pos, len - pos);
-                break;
+        while (failure.ok() && next < n_newlines) {
+            const size_t nl = newlines[next++];
+            const char* b = data + pos;
+            const char* e = data + nl;
+            pos = nl + 1;
+            // Hot path: the fused parser feeds the counter directly;
+            // rejected lines go through process_line unchanged.
+            if (fast) {
+                long long cycle = 0;
+                Op op = Op::Nop;
+                const int kind = parseTraceLineFast(b, e, cycle, op);
+                if (kind >= 0) {
+                    if (kind > 0 &&
+                        !counter.tryFeed(cycle, op)) [[unlikely]] {
+                        failure = counter.feed(cycle, op);
+                        break;
+                    }
+                    continue;
+                }
             }
-            const char* line_end = static_cast<const char*>(nl);
-            failure = process_line(data + pos, line_end);
-            pos = static_cast<size_t>(line_end - data) + 1;
+            failure = process_line(b, e);
         }
+        if (failure.ok() && pos < len)
+            carry.assign(data + pos, len - pos);
     }
     // The slice bounds came from the file's own size, so exhausting the
     // stream with bytes still owed means a mid-read I/O failure or a

@@ -1,0 +1,189 @@
+#include "util/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define VDRAM_SIMD_X86 1
+#else
+#define VDRAM_SIMD_X86 0
+#endif
+
+namespace vdram {
+
+namespace {
+
+/** -1 = unresolved, 0 = scalar, 1 = vector. */
+std::atomic<int> g_simd_mode{-1};
+
+bool
+envWantsSimd()
+{
+    const char* env = std::getenv("VDRAM_SIMD");
+    if (!env || !*env)
+        return true; // default: on where supported
+    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
+        std::strcmp(env, "false") == 0 || std::strcmp(env, "no") == 0)
+        return false;
+    return true;
+}
+
+#if VDRAM_SIMD_X86
+
+/**
+ * AVX2 newline scan: one compare + movemask per 32 bytes, then the set
+ * bits of the mask are walked with tzcnt. Offsets come out in the same
+ * order the scalar memchr loop would produce them.
+ */
+__attribute__((target("avx2"))) size_t
+findNewlinesAvx2(const char* data, size_t len, std::uint32_t* out)
+{
+    std::uint32_t* cursor = out;
+    const __m256i needle = _mm256_set1_epi8('\n');
+    size_t pos = 0;
+    // 64 bytes per iteration: two compares merged into one 64-bit mask
+    // halve the loop overhead per hit-extraction pass.
+    for (; pos + 64 <= len; pos += 64) {
+        const __m256i lo = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(data + pos));
+        const __m256i hi = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(data + pos + 32));
+        const unsigned mlo = static_cast<unsigned>(
+            _mm256_movemask_epi8(_mm256_cmpeq_epi8(lo, needle)));
+        const unsigned mhi = static_cast<unsigned>(
+            _mm256_movemask_epi8(_mm256_cmpeq_epi8(hi, needle)));
+        std::uint64_t mask =
+            mlo | (static_cast<std::uint64_t>(mhi) << 32);
+        while (mask) {
+            const unsigned bit =
+                static_cast<unsigned>(__builtin_ctzll(mask));
+            *cursor++ = static_cast<std::uint32_t>(pos + bit);
+            mask &= mask - 1;
+        }
+    }
+    for (; pos + 32 <= len; pos += 32) {
+        const __m256i chunk = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(data + pos));
+        unsigned mask = static_cast<unsigned>(
+            _mm256_movemask_epi8(_mm256_cmpeq_epi8(chunk, needle)));
+        while (mask) {
+            const unsigned bit =
+                static_cast<unsigned>(__builtin_ctz(mask));
+            *cursor++ = static_cast<std::uint32_t>(pos + bit);
+            mask &= mask - 1;
+        }
+    }
+    for (; pos < len; ++pos) {
+        if (data[pos] == '\n')
+            *cursor++ = static_cast<std::uint32_t>(pos);
+    }
+    return static_cast<size_t>(cursor - out);
+}
+
+#endif // VDRAM_SIMD_X86
+
+/**
+ * SWAR newline scan for targets without AVX2: the classic zero-byte
+ * trick on eight bytes at a time. Same output order as the scalar loop.
+ */
+size_t
+findNewlinesSwar(const char* data, size_t len, std::uint32_t* out)
+{
+    std::uint32_t* cursor = out;
+    constexpr std::uint64_t kOnes = 0x0101010101010101ull;
+    constexpr std::uint64_t kHighs = 0x8080808080808080ull;
+    size_t pos = 0;
+    for (; pos + 8 <= len; pos += 8) {
+        std::uint64_t word;
+        std::memcpy(&word, data + pos, 8);
+        word ^= kOnes * static_cast<unsigned char>('\n');
+        std::uint64_t hit = (word - kOnes) & ~word & kHighs;
+        while (hit) {
+            const unsigned byte =
+                static_cast<unsigned>(__builtin_ctzll(hit)) / 8;
+            *cursor++ = static_cast<std::uint32_t>(pos + byte);
+            hit &= hit - 1;
+        }
+    }
+    for (; pos < len; ++pos) {
+        if (data[pos] == '\n')
+            *cursor++ = static_cast<std::uint32_t>(pos);
+    }
+    return static_cast<size_t>(cursor - out);
+}
+
+} // namespace
+
+bool
+cpuSupportsAvx2()
+{
+#if VDRAM_SIMD_X86
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+}
+
+bool
+simdEnabled()
+{
+    int mode = g_simd_mode.load(std::memory_order_relaxed);
+    if (mode < 0) {
+        mode = envWantsSimd() ? 1 : 0;
+        g_simd_mode.store(mode, std::memory_order_relaxed);
+    }
+    return mode != 0;
+}
+
+void
+setSimdEnabledForTest(int mode)
+{
+    g_simd_mode.store(mode < 0 ? -1 : (mode ? 1 : 0),
+                      std::memory_order_relaxed);
+}
+
+size_t
+findNewlinesScalar(const char* data, size_t len, std::uint32_t* out)
+{
+    std::uint32_t* cursor = out;
+    const char* search = data;
+    const char* end = data + len;
+    while (search < end) {
+        const void* hit = std::memchr(
+            search, '\n', static_cast<size_t>(end - search));
+        if (!hit)
+            break;
+        search = static_cast<const char*>(hit);
+        *cursor++ = static_cast<std::uint32_t>(search - data);
+        ++search;
+    }
+    return static_cast<size_t>(cursor - out);
+}
+
+size_t
+findNewlines(const char* data, size_t len, std::uint32_t* out)
+{
+    if (len == 0)
+        return 0;
+    if (!simdEnabled())
+        return findNewlinesScalar(data, len, out);
+#if VDRAM_SIMD_X86
+    if (cpuSupportsAvx2())
+        return findNewlinesAvx2(data, len, out);
+#endif
+    return findNewlinesSwar(data, len, out);
+}
+
+size_t
+findNewlines(const char* data, size_t len, std::vector<std::uint32_t>& out)
+{
+    const size_t start = out.size();
+    out.resize(start + len); // worst case: every byte a newline
+    const size_t found = findNewlines(data, len, out.data() + start);
+    out.resize(start + found);
+    return found;
+}
+
+} // namespace vdram

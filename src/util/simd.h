@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Runtime SIMD dispatch for the two evaluation hot paths.
+ *
+ * The streaming trace parser and the variant-evaluation dot products
+ * carry a hard bit-identity contract: the vector kernels may only run
+ * independent accumulation chains side by side (lanes are different
+ * lines, components or measures), never reassociate one chain. Because
+ * of that contract the kernels are drop-in replacements for the scalar
+ * code, and the scalar code stays the source of truth: `VDRAM_SIMD=off`
+ * forces every call site back onto it, and the property tests in
+ * tests/test_simd_identity.cc byte-compare both modes.
+ *
+ * Dispatch policy (resolved once, overridable in-process for tests):
+ *  - `VDRAM_SIMD=off|0|false` — scalar reference paths everywhere.
+ *  - `VDRAM_SIMD=on|1|true`   — vector kernels where the CPU supports
+ *    them (AVX2 on x86-64, SWAR elsewhere); scalar where it does not.
+ *  - unset                    — same as `on`.
+ *
+ * The kernels themselves are compiled per translation unit with
+ * function-level target attributes, so the build needs no global
+ * architecture flags and the binary still runs on baseline hardware.
+ */
+#ifndef VDRAM_UTIL_SIMD_H
+#define VDRAM_UTIL_SIMD_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vdram {
+
+/** True when the vector kernels are selected (VDRAM_SIMD policy above).
+ *  One relaxed flag read after first resolution. */
+bool simdEnabled();
+
+/** Test hook: 1 forces vector kernels, 0 forces scalar, -1 re-resolves
+ *  from the environment on the next simdEnabled() call. */
+void setSimdEnabledForTest(int mode);
+
+/** True when this CPU can run the AVX2 kernels (x86-64 only). */
+bool cpuSupportsAvx2();
+
+/**
+ * Write the offset of every '\n' in [data, data + len) to @p out, in
+ * order. Dispatches to the AVX2/SWAR batch scanner under the runtime
+ * switch; offsets are relative to @p data. Returns the number of
+ * newlines written. The caller must provide room for @p len entries
+ * (the worst case); the raw-pointer sink keeps the per-newline cost to
+ * one store. One batched scan replaces the per-line memchr() calls of
+ * the chunked readers.
+ */
+size_t findNewlines(const char* data, size_t len, std::uint32_t* out);
+
+/** Append variant of findNewlines() for tests and cold callers. */
+size_t findNewlines(const char* data, size_t len,
+                    std::vector<std::uint32_t>& out);
+
+/** Scalar reference implementation of findNewlines() (memchr loop). */
+size_t findNewlinesScalar(const char* data, size_t len,
+                          std::uint32_t* out);
+
+} // namespace vdram
+
+#endif // VDRAM_UTIL_SIMD_H

@@ -1,0 +1,62 @@
+#!/bin/sh
+# `vdram trace --window` edge cases against the real CLI binary.
+#
+# A numeric but unusable window — zero, negative, or wide enough to
+# overflow the window index math — must produce the structured
+# E-TRACE-WINDOW diagnostic and the validation exit code (4), not a
+# generic usage error; non-numeric values stay usage errors (2); and a
+# valid window still evaluates (0), under both VDRAM_SIMD modes.
+#
+# Usage: cli_trace_window_test.sh <path-to-vdram_cli>
+set -e
+
+CLI="$1"
+if [ -z "$CLI" ] || [ ! -x "$CLI" ]; then
+    echo "usage: $0 <path-to-vdram_cli>" >&2
+    exit 1
+fi
+
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+TRACE="$DIR/t.trace"
+printf '0 act\n5 rd\n9 pre\n' > "$TRACE"
+
+fail() {
+    echo "FAIL: $1" >&2
+    exit 1
+}
+
+# window, expected exit code, expected stderr pattern (empty = none)
+check() {
+    window="$1"
+    want_exit="$2"
+    want_err="$3"
+    for simd in on off; do
+        set +e
+        VDRAM_SIMD=$simd "$CLI" trace preset:ddr3_1g_55 "$TRACE" \
+            --window="$window" > "$DIR/out.txt" 2> "$DIR/err.txt"
+        got=$?
+        set -e
+        [ "$got" = "$want_exit" ] ||
+            fail "--window=$window (VDRAM_SIMD=$simd): exit $got, want $want_exit"
+        if [ -n "$want_err" ]; then
+            grep -q "$want_err" "$DIR/err.txt" ||
+                fail "--window=$window (VDRAM_SIMD=$simd): stderr lacks '$want_err'"
+        fi
+    done
+}
+
+check 0 4 "E-TRACE-WINDOW"
+check -5 4 "E-TRACE-WINDOW"
+check 4611686018427387905 4 "E-TRACE-WINDOW"
+check 99999999999999999999 4 "E-TRACE-WINDOW"
+check abc 2 "integer cycle count"
+check 4 0 ""
+
+# The valid run must actually report the timeline it was asked for.
+VDRAM_SIMD=on "$CLI" trace preset:ddr3_1g_55 "$TRACE" --window=4 \
+    --format=json > "$DIR/json.txt" 2>/dev/null
+grep -q '"window_cycles": *4' "$DIR/json.txt" ||
+    fail "json output lacks window_cycles"
+
+echo "PASS"

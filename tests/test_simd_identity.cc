@@ -1,0 +1,412 @@
+/**
+ * @file
+ * SIMD bit-identity property tests (tentpole contract of the SIMD
+ * push): every vector kernel behind the VDRAM_SIMD switch must be
+ * byte-for-byte identical to the scalar reference — on random traces,
+ * odd chunk sizes, unaligned buffers, short tails, degenerate stats and
+ * batched-vs-one-at-a-time variant evaluation. The switch is flipped
+ * in-process via setSimdEnabledForTest(), so one test run exercises
+ * both modes regardless of the environment.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "core/montecarlo.h"
+#include "core/variant_evaluator.h"
+#include "power/pattern_power.h"
+#include "presets/presets.h"
+#include "protocol/trace_stream.h"
+#include "util/simd.h"
+
+namespace vdram {
+namespace {
+
+/** Restore the environment-resolved SIMD mode after each test. */
+class SimdIdentityTest : public testing::Test {
+  protected:
+    ~SimdIdentityTest() override { setSimdEnabledForTest(-1); }
+};
+
+std::string
+makeRandomTrace(unsigned seed, int records, bool dosEndings)
+{
+    std::mt19937 rng(seed);
+    std::string text;
+    long long cycle = static_cast<long long>(rng() % 3);
+    const char* names[] = {"ACT",  "pre",     "Rd",  "wr",  "REF",
+                           "nop",  "pdn",     "SRF", "read", "write",
+                           "wrt",  "activate", "precharge", "refresh",
+                           "powerdown", "selfrefresh"};
+    const char* eol = dosEndings ? "\r\n" : "\n";
+    for (int i = 0; i < records; ++i) {
+        text += std::to_string(cycle);
+        text += ' ';
+        text += names[rng() % (sizeof(names) / sizeof(names[0]))];
+        if (rng() % 5 == 0)
+            text += "   "; // trailing blanks
+        if (rng() % 7 == 0)
+            text += "\t";
+        text += eol;
+        cycle += 1 + rng() % 25;
+        if (rng() % 9 == 0) {
+            text += "# comment";
+            text += eol;
+        }
+    }
+    if (rng() % 2 == 0 && !text.empty() && text.back() == '\n')
+        text.pop_back(); // no newline at EOF (and a dangling \r for DOS)
+    return text;
+}
+
+void
+expectSameResult(const Result<TraceStreamResult>& a,
+                 const Result<TraceStreamResult>& b,
+                 const std::string& what)
+{
+    ASSERT_EQ(a.ok(), b.ok()) << what;
+    if (!a.ok()) {
+        EXPECT_EQ(a.error().code, b.error().code) << what;
+        EXPECT_EQ(a.error().message, b.error().message) << what;
+        EXPECT_EQ(a.error().line, b.error().line) << what;
+        return;
+    }
+    EXPECT_EQ(a.value().cycles, b.value().cycles) << what;
+    EXPECT_EQ(a.value().commands, b.value().commands) << what;
+    EXPECT_EQ(a.value().stats.cycles, b.value().stats.cycles) << what;
+    for (int c = 0; c < kChargeCategoryCount; ++c) {
+        // Byte equality, not EXPECT_EQ on doubles: the contract is
+        // bit-identity, and memcmp distinguishes -0.0 from +0.0.
+        EXPECT_EQ(std::memcmp(&a.value().stats.count[
+                                  static_cast<size_t>(c)],
+                              &b.value().stats.count[
+                                  static_cast<size_t>(c)],
+                              sizeof(double)),
+                  0)
+            << what << " category " << c;
+    }
+    ASSERT_EQ(a.value().windows.size(), b.value().windows.size()) << what;
+    for (size_t w = 0; w < a.value().windows.size(); ++w) {
+        EXPECT_EQ(a.value().windows[w].startCycle,
+                  b.value().windows[w].startCycle)
+            << what;
+        EXPECT_EQ(a.value().windows[w].cycles,
+                  b.value().windows[w].cycles)
+            << what;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Newline scanner
+// ---------------------------------------------------------------------
+
+TEST_F(SimdIdentityTest, FindNewlinesMatchesScalarOnRandomBuffers)
+{
+    std::mt19937 rng(42);
+    for (int round = 0; round < 200; ++round) {
+        // Odd lengths around the kernels' 8/32/64-byte strides, plus an
+        // unaligned start offset so loads never sit on a boundary.
+        const size_t len = rng() % 300;
+        const size_t offset = rng() % 7;
+        std::vector<char> storage(offset + len + 1, 'x');
+        for (size_t i = 0; i < len; ++i) {
+            const unsigned r = rng() % 5;
+            storage[offset + i] =
+                r == 0 ? '\n' : static_cast<char>('a' + r);
+        }
+        const char* data = storage.data() + offset;
+
+        std::vector<std::uint32_t> scalar(len + 1);
+        const size_t n_scalar = findNewlinesScalar(data, len,
+                                                   scalar.data());
+
+        setSimdEnabledForTest(1);
+        std::vector<std::uint32_t> vec(len + 1);
+        const size_t n_vec = findNewlines(data, len, vec.data());
+
+        setSimdEnabledForTest(0);
+        std::vector<std::uint32_t> off(len + 1);
+        const size_t n_off = findNewlines(data, len, off.data());
+
+        ASSERT_EQ(n_vec, n_scalar) << "round " << round;
+        ASSERT_EQ(n_off, n_scalar) << "round " << round;
+        for (size_t i = 0; i < n_scalar; ++i) {
+            EXPECT_EQ(vec[i], scalar[i]) << "round " << round;
+            EXPECT_EQ(off[i], scalar[i]) << "round " << round;
+        }
+
+        // The append overload agrees with the raw sink.
+        setSimdEnabledForTest(1);
+        std::vector<std::uint32_t> appended{12345u};
+        EXPECT_EQ(findNewlines(data, len, appended), n_scalar);
+        ASSERT_EQ(appended.size(), n_scalar + 1);
+        EXPECT_EQ(appended[0], 12345u);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Line parser
+// ---------------------------------------------------------------------
+
+TEST_F(SimdIdentityTest, FastParserAgreesWithReferenceOnRandomLines)
+{
+    std::mt19937 rng(7);
+    const char* tokens[] = {"act", "ACT", "Pre",  "rd",   "RD",
+                            "wr",  "ref", "nop",  "pdn",  "srf",
+                            "read", "write", "wrt", "activate",
+                            "refresh", "bogus", "ac", "actt", "r"};
+    const char* tails[] = {"", " ", "  ", "\t", "\r", " \r", "\t\r",
+                           " extra", "\v", "\f"};
+    const char* heads[] = {"", " ", "  ", "\t", "#", "+", "-"};
+    for (int round = 0; round < 4000; ++round) {
+        std::string line = heads[rng() % 7];
+        const unsigned digits = rng() % 22;
+        for (unsigned i = 0; i < digits; ++i)
+            line += static_cast<char>('0' + rng() % 10);
+        line += rng() % 8 ? " " : "  ";
+        line += tokens[rng() % (sizeof(tokens) / sizeof(tokens[0]))];
+        line += tails[rng() % (sizeof(tails) / sizeof(tails[0]))];
+
+        long long ref_cycle = -7, fast_cycle = -7;
+        Op ref_op = Op::Nop, fast_op = Op::Nop;
+        Result<bool> reference = parseTraceLine(
+            line.data(), line.data() + line.size(), ref_cycle, ref_op);
+        const int kind = parseTraceLineFast(
+            line.data(), line.data() + line.size(), fast_cycle, fast_op);
+        if (kind < 0)
+            continue; // fast path declined: reference is authoritative
+        // Accepted lines must reproduce the reference exactly.
+        ASSERT_TRUE(reference.ok())
+            << "line '" << line << "': fast accepted, reference errored";
+        EXPECT_EQ(kind > 0, reference.value()) << "line '" << line << "'";
+        if (kind > 0) {
+            EXPECT_EQ(fast_cycle, ref_cycle) << "line '" << line << "'";
+            EXPECT_EQ(fast_op, ref_op) << "line '" << line << "'";
+        }
+
+        // And the dispatcher is the reference under both modes.
+        for (int mode : {0, 1}) {
+            setSimdEnabledForTest(mode);
+            long long cycle = -7;
+            Op op = Op::Nop;
+            Result<bool> dispatched = parseTraceLineDispatch(
+                line.data(), line.data() + line.size(), cycle, op);
+            ASSERT_EQ(dispatched.ok(), reference.ok())
+                << "line '" << line << "' mode " << mode;
+            if (reference.ok()) {
+                EXPECT_EQ(dispatched.value(), reference.value());
+                if (reference.value()) {
+                    EXPECT_EQ(cycle, ref_cycle);
+                    EXPECT_EQ(op, ref_op);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Streaming evaluation: SIMD on vs off, byte-identical
+// ---------------------------------------------------------------------
+
+TEST_F(SimdIdentityTest, TraceStreamIdenticalAcrossModes)
+{
+    for (unsigned seed : {1u, 2u, 3u, 4u, 5u, 6u}) {
+        const bool dos = seed % 2 == 0;
+        const std::string text = makeRandomTrace(seed, 120, dos);
+        for (size_t chunk : {size_t{1}, size_t{3}, size_t{61},
+                             size_t{256}, size_t{1u << 20}}) {
+            TraceStreamOptions options;
+            options.chunkBytes = chunk;
+            options.windowCycles = seed % 3 == 0 ? 41 : 0;
+
+            setSimdEnabledForTest(0);
+            std::istringstream off_in(text);
+            Result<TraceStreamResult> off =
+                evaluateTraceStream(off_in, options);
+
+            setSimdEnabledForTest(1);
+            std::istringstream on_in(text);
+            Result<TraceStreamResult> on =
+                evaluateTraceStream(on_in, options);
+
+            expectSameResult(on, off,
+                             "seed " + std::to_string(seed) + " chunk " +
+                                 std::to_string(chunk));
+
+            // The in-place buffer walk (mmap path) against the chunked
+            // reader, on an unaligned copy of the same bytes and with a
+            // short tail after the last newline.
+            std::vector<char> unaligned(text.size() + 3);
+            std::memcpy(unaligned.data() + 3, text.data(), text.size());
+            Result<TraceStreamResult> buffer = evaluateTraceBuffer(
+                unaligned.data() + 3, text.size(), options);
+            expectSameResult(buffer, off,
+                             "buffer seed " + std::to_string(seed) +
+                                 " chunk " + std::to_string(chunk));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Model side: batched vs one-at-a-time, SIMD on vs off
+// ---------------------------------------------------------------------
+
+TEST_F(SimdIdentityTest, ChargeTableIdenticalAcrossModes)
+{
+    DramPowerModel model(preset1GbDdr3(55e-9, 16, 1333));
+    const DramDescription& desc = model.description();
+
+    setSimdEnabledForTest(0);
+    const ChargeTable scalar = makeChargeTable(model.operations(),
+                                               desc.elec);
+    setSimdEnabledForTest(1);
+    const ChargeTable vec = makeChargeTable(model.operations(),
+                                            desc.elec);
+    EXPECT_EQ(std::memcmp(&scalar, &vec, sizeof(ChargeTable)), 0);
+}
+
+TEST_F(SimdIdentityTest, PatternCurrentBatchMatchesScalarCalls)
+{
+    DramPowerModel model(preset1GbDdr3(55e-9, 16, 1333));
+    const DramDescription& desc = model.description();
+    setSimdEnabledForTest(0);
+    const ChargeTable table = makeChargeTable(model.operations(),
+                                              desc.elec);
+    const double tck = desc.timing.tCkSeconds;
+
+    std::mt19937 rng(9);
+    for (int round = 0; round < 50; ++round) {
+        // Random batch sizes across the 4-lane boundary, with
+        // degenerate entries: zero and negative counts (the scalar
+        // skip), zero/negative cycle totals (the scalar early return).
+        const int n = 1 + static_cast<int>(rng() % 13);
+        std::vector<PatternStats> stats(static_cast<size_t>(n));
+        std::vector<const PatternStats*> ptrs(static_cast<size_t>(n));
+        for (int i = 0; i < n; ++i) {
+            PatternStats& s = stats[static_cast<size_t>(i)];
+            const unsigned kind = rng() % 8;
+            s.cycles = kind == 0 ? 0
+                       : kind == 1
+                           ? -4
+                           : static_cast<long long>(1 + rng() % 5000);
+            for (int c = 0; c < kChargeCategoryCount; ++c) {
+                const unsigned ck = rng() % 4;
+                s.count[static_cast<size_t>(c)] =
+                    ck == 0 ? 0.0
+                    : ck == 1
+                        ? -2.0
+                        : static_cast<double>(rng() % 1000);
+            }
+            ptrs[static_cast<size_t>(i)] = &s;
+        }
+
+        std::vector<double> reference(static_cast<size_t>(n));
+        for (int i = 0; i < n; ++i) {
+            reference[static_cast<size_t>(i)] = patternExternalCurrent(
+                stats[static_cast<size_t>(i)], table, desc.elec, tck);
+        }
+        for (int mode : {0, 1}) {
+            setSimdEnabledForTest(mode);
+            std::vector<double> batch(static_cast<size_t>(n), -1.0);
+            patternExternalCurrentBatch(ptrs.data(), n, table,
+                                        desc.elec, tck, batch.data());
+            EXPECT_EQ(std::memcmp(batch.data(), reference.data(),
+                                  static_cast<size_t>(n) *
+                                      sizeof(double)),
+                      0)
+                << "round " << round << " mode " << mode;
+        }
+        // Degenerate clock: every entry is the scalar 0.
+        setSimdEnabledForTest(1);
+        std::vector<double> zeros(static_cast<size_t>(n), -1.0);
+        patternExternalCurrentBatch(ptrs.data(), n, table, desc.elec,
+                                    0.0, zeros.data());
+        for (int i = 0; i < n; ++i)
+            EXPECT_EQ(zeros[static_cast<size_t>(i)], 0.0);
+    }
+}
+
+TEST_F(SimdIdentityTest, IddBatchMatchesPerMeasureCalls)
+{
+    const std::vector<IddMeasure> measures = {
+        IddMeasure::Idd0,  IddMeasure::Idd1,  IddMeasure::Idd2N,
+        IddMeasure::Idd2P, IddMeasure::Idd3N, IddMeasure::Idd3P,
+        IddMeasure::Idd4R, IddMeasure::Idd4W, IddMeasure::Idd5,
+        IddMeasure::Idd6,  IddMeasure::Idd7,
+        // Duplicates and reordering are allowed.
+        IddMeasure::Idd0,  IddMeasure::Idd7};
+
+    for (int mode : {0, 1}) {
+        setSimdEnabledForTest(mode);
+        Result<VariantEvaluator> evaluator =
+            VariantEvaluator::create(preset1GbDdr3(55e-9, 16, 1333));
+        ASSERT_TRUE(evaluator.ok());
+        std::vector<double> one(measures.size());
+        for (size_t i = 0; i < measures.size(); ++i)
+            one[i] = evaluator.value().idd(measures[i]);
+        std::vector<double> batch(measures.size(), -1.0);
+        evaluator.value().iddBatch(measures.data(), measures.size(),
+                                   batch.data());
+        EXPECT_EQ(std::memcmp(one.data(), batch.data(),
+                              measures.size() * sizeof(double)),
+                  0)
+            << "mode " << mode;
+    }
+}
+
+TEST_F(SimdIdentityTest, MonteCarloBatchMatchesSingleSamples)
+{
+    const std::vector<IddMeasure> measures = {
+        IddMeasure::Idd0, IddMeasure::Idd4R, IddMeasure::Idd6};
+    const VariationModel variation;
+    constexpr size_t kSamples = 40;
+    std::vector<std::uint64_t> seeds(kSamples);
+    for (size_t s = 0; s < kSamples; ++s)
+        seeds[s] = monteCarloSampleSeed(11, static_cast<long long>(s));
+
+    // Reference: one-at-a-time under scalar mode.
+    setSimdEnabledForTest(0);
+    Result<VariantEvaluator> scalar_eval =
+        VariantEvaluator::create(preset1GbDdr3(55e-9, 16, 1333));
+    ASSERT_TRUE(scalar_eval.ok());
+    std::vector<Result<std::vector<double>>> reference;
+    for (size_t s = 0; s < kSamples; ++s) {
+        reference.push_back(evaluateMonteCarloSampleFast(
+            scalar_eval.value(), variation, measures, seeds[s]));
+    }
+
+    for (int mode : {0, 1}) {
+        setSimdEnabledForTest(mode);
+        Result<VariantEvaluator> evaluator =
+            VariantEvaluator::create(preset1GbDdr3(55e-9, 16, 1333));
+        ASSERT_TRUE(evaluator.ok());
+        auto batch = evaluateMonteCarloBatchFast(
+            evaluator.value(), variation, measures, seeds.data(),
+            kSamples);
+        ASSERT_EQ(batch.size(), kSamples);
+        for (size_t s = 0; s < kSamples; ++s) {
+            ASSERT_EQ(batch[s].ok(), reference[s].ok())
+                << "sample " << s << " mode " << mode;
+            if (!batch[s].ok()) {
+                EXPECT_EQ(batch[s].error().code,
+                          reference[s].error().code);
+                continue;
+            }
+            ASSERT_EQ(batch[s].value().size(),
+                      reference[s].value().size());
+            EXPECT_EQ(std::memcmp(batch[s].value().data(),
+                                  reference[s].value().data(),
+                                  measures.size() * sizeof(double)),
+                      0)
+                << "sample " << s << " mode " << mode;
+        }
+    }
+}
+
+} // namespace
+} // namespace vdram

@@ -387,6 +387,157 @@ TEST(TraceStreamTest, FinalLineWithoutNewlineIsParsed)
     EXPECT_EQ(r.value().cycles, 11);
 }
 
+TEST(TraceStreamTest, DosLineEndingsMatchUnix)
+{
+    // DOS CRLF endings and trailing blanks/tabs must parse to exactly
+    // the unix-format counts — including a lone trailing '\r' on a
+    // final line with no newline at EOF.
+    const std::string unix_text = "0 ACT\n5 rd\n9 PRE\n20 nop";
+    const std::string dos_text =
+        "0 ACT\r\n5 rd  \r\n9 PRE\t\r\n20 nop\r";
+    std::istringstream unix_in(unix_text);
+    Result<TraceStreamResult> unix_r =
+        evaluateTraceStream(unix_in, TraceStreamOptions{});
+    ASSERT_TRUE(unix_r.ok()) << unix_r.error().toString();
+    for (size_t chunk : {size_t{1}, size_t{5}, size_t{4096}}) {
+        TraceStreamOptions options;
+        options.chunkBytes = chunk;
+        std::istringstream dos_in(dos_text);
+        Result<TraceStreamResult> dos_r =
+            evaluateTraceStream(dos_in, options);
+        ASSERT_TRUE(dos_r.ok()) << dos_r.error().toString();
+        EXPECT_EQ(dos_r.value().commands, unix_r.value().commands)
+            << "chunk " << chunk;
+        EXPECT_EQ(dos_r.value().cycles, unix_r.value().cycles);
+        for (int c = 0; c < kChargeCategoryCount; ++c) {
+            EXPECT_EQ(dos_r.value().stats.count[static_cast<size_t>(c)],
+                      unix_r.value().stats.count[
+                          static_cast<size_t>(c)])
+                << "chunk " << chunk << " category " << c;
+        }
+    }
+}
+
+TEST(TraceStreamTest, NoNewlineAtEofCountsExactlyOnceAtEveryChunkSize)
+{
+    // The final partial line must be evaluated exactly once whether the
+    // chunk boundary lands before it, inside it, or exactly at the last
+    // newline (empty final chunk / exact-multiple file sizes).
+    const std::string text = "0 act\n7 pre\n19 rd"; // 17 bytes, no \n
+    for (size_t chunk = 1; chunk <= text.size() + 3; ++chunk) {
+        TraceStreamOptions options;
+        options.chunkBytes = chunk;
+        std::istringstream in(text);
+        Result<TraceStreamResult> r = evaluateTraceStream(in, options);
+        ASSERT_TRUE(r.ok()) << r.error().toString();
+        EXPECT_EQ(r.value().commands, 3) << "chunk " << chunk;
+        EXPECT_EQ(r.value().cycles, 20) << "chunk " << chunk;
+
+        Result<TraceStreamResult> b =
+            evaluateTraceBuffer(text.data(), text.size(), options);
+        ASSERT_TRUE(b.ok()) << b.error().toString();
+        EXPECT_EQ(b.value().commands, 3) << "buffer chunk " << chunk;
+        EXPECT_EQ(b.value().cycles, 20) << "buffer chunk " << chunk;
+    }
+    // A trailing newline at an exact chunk multiple: the empty final
+    // read must not re-process or drop the carried line.
+    const std::string closed = "0 act\n7 pre\n19 rd\n"; // 18 bytes
+    for (size_t chunk : {size_t{6}, size_t{9}, size_t{18}}) {
+        ASSERT_EQ(closed.size() % chunk, 0u);
+        TraceStreamOptions options;
+        options.chunkBytes = chunk;
+        std::istringstream in(closed);
+        Result<TraceStreamResult> r = evaluateTraceStream(in, options);
+        ASSERT_TRUE(r.ok()) << r.error().toString();
+        EXPECT_EQ(r.value().commands, 3) << "chunk " << chunk;
+    }
+}
+
+TEST(TraceStreamTest, ParallelSlicesHandleNoNewlineAtEof)
+{
+    // The tail slice owns a final line with no newline; every slice
+    // size must count it exactly once.
+    const std::string path = tempPath("nonewline.trace");
+    std::string text;
+    long long cycle = 0;
+    for (int i = 0; i < 200; ++i) {
+        text += std::to_string(cycle) + (i % 2 ? " act\n" : " pre\n");
+        cycle += 3;
+    }
+    text += std::to_string(cycle) + " rd"; // unterminated final record
+    {
+        std::ofstream out(path, std::ios::trunc | std::ios::binary);
+        out << text;
+    }
+    std::istringstream serial_in(text);
+    Result<TraceStreamResult> serial =
+        evaluateTraceStream(serial_in, TraceStreamOptions{});
+    ASSERT_TRUE(serial.ok()) << serial.error().toString();
+    ASSERT_EQ(serial.value().commands, 201);
+    for (long long slice : {7LL, 64LL, 1024LL,
+                            static_cast<long long>(text.size())}) {
+        TraceCampaignOptions options;
+        options.jobs = 2;
+        options.sliceBytes = slice;
+        Result<TraceCampaignResult> parallel =
+            evaluateTraceFileParallel(path, options);
+        ASSERT_TRUE(parallel.ok()) << parallel.error().toString();
+        EXPECT_EQ(parallel.value().trace.commands, 201)
+            << "slice " << slice;
+        EXPECT_EQ(parallel.value().trace.cycles,
+                  serial.value().cycles)
+            << "slice " << slice;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceStreamTest, ValidateTraceWindowBounds)
+{
+    EXPECT_TRUE(validateTraceWindow(0).ok());
+    EXPECT_TRUE(validateTraceWindow(1).ok());
+    EXPECT_TRUE(validateTraceWindow(kMaxWindowCycles).ok());
+    for (long long bad : {-1LL, -1000LL, kMaxWindowCycles + 1}) {
+        Status s = validateTraceWindow(bad);
+        ASSERT_FALSE(s.ok()) << bad;
+        EXPECT_EQ(s.error().code, "E-TRACE-WINDOW") << bad;
+    }
+    // The evaluators and the merge reject the same values up front.
+    {
+        std::istringstream in("0 ACT\n");
+        TraceStreamOptions options;
+        options.windowCycles = -3;
+        Result<TraceStreamResult> r = evaluateTraceStream(in, options);
+        ASSERT_FALSE(r.ok());
+        EXPECT_EQ(r.error().code, "E-TRACE-WINDOW");
+    }
+    {
+        Result<TraceStreamResult> merged =
+            mergeTraceSlices({}, kMaxWindowCycles + 1);
+        ASSERT_FALSE(merged.ok());
+        EXPECT_EQ(merged.error().code, "E-TRACE-WINDOW");
+    }
+}
+
+TEST(TraceStreamTest, WidestWindowDoesNotOverflowBoundaryMath)
+{
+    // One record near the end of the first kMaxWindowCycles window and
+    // one in the second: the next-boundary tracking would overflow a
+    // naive (index + 1) * windowCycles multiply; it must clamp and
+    // still assign both windows correctly.
+    std::istringstream in("4611686018427387903 ACT\n"
+                          "4611686018427387904 PRE\n");
+    TraceStreamOptions options;
+    options.windowCycles = kMaxWindowCycles;
+    Result<TraceStreamResult> r = evaluateTraceStream(in, options);
+    ASSERT_TRUE(r.ok()) << r.error().toString();
+    EXPECT_EQ(r.value().commands, 2);
+    ASSERT_EQ(r.value().windows.size(), 2u);
+    EXPECT_EQ(r.value().windows[0].startCycle, 0);
+    EXPECT_EQ(r.value().windows[1].startCycle, kMaxWindowCycles);
+    EXPECT_EQ(r.value().windows[0].stats.count[0], 1.0); // the ACT
+    EXPECT_EQ(r.value().windows[1].stats.count[1], 1.0); // the PRE
+}
+
 TEST(TraceStreamTest, MergeRejectsOverlappingSlices)
 {
     TraceSliceCounts a;

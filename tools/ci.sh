@@ -17,10 +17,16 @@ set -euo pipefail
 
 jobs=$(nproc 2>/dev/null || echo 4)
 
-echo "== release build + full test suite =="
+echo "== release build + full test suite (VDRAM_SIMD default) =="
 cmake -B build -S .
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
+
+echo "== full test suite (VDRAM_SIMD=off, scalar reference paths) =="
+# The vectorized trace parser and model kernels must be drop-in
+# replacements: the whole suite reruns with SIMD dispatch disabled so
+# the scalar fallbacks stay a tested source of truth, not dead code.
+VDRAM_SIMD=off ctest --test-dir build --output-on-failure -j "$jobs"
 
 echo "== sanitized build (ASan + UBSan) =="
 cmake -B build-asan -S . -DVDRAM_SANITIZE=ON \

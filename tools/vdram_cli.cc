@@ -1387,12 +1387,36 @@ cmdTrace(const DramDescription& desc, CampaignFlags flags, int argc,
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (startsWith(arg, "--window=")) {
-            if (!parseCount(arg.substr(9), 1, 1LL << 62, window)) {
+            if (!parseCount(arg.substr(9), INT64_MIN, INT64_MAX,
+                            window)) {
                 std::fprintf(stderr,
-                             "--window must be a positive cycle count, "
+                             "--window must be an integer cycle count, "
                              "got '%s'\n",
                              arg.substr(9).c_str());
                 return kExitUsage;
+            }
+            // A numeric but unusable window — zero, negative, or wide
+            // enough to overflow the window index math — is a content
+            // defect, not a syntax defect: report the structured
+            // E-TRACE-WINDOW diagnostic (exit 4), same code the
+            // library's validateTraceWindow() uses.
+            Error invalid;
+            bool bad = false;
+            if (window == 0) {
+                invalid = Error{"--window=0 would request a timeline of "
+                                "zero-cycle windows; drop --window to "
+                                "evaluate without a timeline",
+                                0, 0, "", "E-TRACE-WINDOW"};
+                bad = true;
+            } else if (Status valid = validateTraceWindow(window);
+                       !valid.ok()) {
+                invalid = valid.error();
+                bad = true;
+            }
+            if (bad) {
+                std::fprintf(stderr, "%s\n",
+                             invalid.toString().c_str());
+                return exitCodeForError(invalid);
             }
         } else if (startsWith(arg, "--format=")) {
             format = arg.substr(9);
